@@ -1,0 +1,386 @@
+//! Hand-rolled argument parsing for the `coevo` binary.
+
+use coevo_ddl::Dialect;
+use std::path::PathBuf;
+
+/// Usage text printed by `coevo help` and on parse errors.
+pub const USAGE: &str = "\
+coevo — joint source and schema evolution study (EDBT 2023 reproduction)
+
+USAGE:
+    coevo study [--seed N] [--csv DIR] [--from DIR]
+                                             run the study (generated corpus,
+                                             or an on-disk one via --from)
+    coevo measure <PROJECT-DIR>              measure one on-disk history
+    coevo generate <OUT-DIR> [--seed N] [--per-taxon N]
+                                             write a corpus in loader layout
+    coevo case-study                         the paper's §3.3 case study
+    coevo diff <OLD.sql> <NEW.sql> [--dialect mysql|postgres|generic] [--smo]
+    coevo impact <OLD.sql> <NEW.sql> <SRC-DIR> [--dialect D]
+                                             source files at risk from a change
+    coevo parse <FILE.sql> [--dialect mysql|postgres|generic]
+    coevo check-queries <OLD.sql> <NEW.sql> <SRC-DIR> [--dialect D]
+                                             embedded queries a change breaks
+    coevo help";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `coevo study`: the full corpus study.
+    Study {
+        /// The deterministic RNG seed.
+        seed: u64,
+        /// Directory for CSV output, when requested.
+        csv_dir: Option<PathBuf>,
+        /// Run over an on-disk corpus directory instead of generating one.
+        from_dir: Option<PathBuf>,
+    },
+    /// `coevo measure`: one on-disk project history.
+    Measure {
+        /// The target directory.
+        dir: PathBuf,
+    },
+    /// `coevo generate`: write a corpus in the loader layout.
+    Generate {
+        /// The target directory.
+        dir: PathBuf,
+        /// The deterministic RNG seed.
+        seed: u64,
+        /// Override of the per-taxon project count.
+        per_taxon: Option<usize>,
+    },
+    /// `coevo case-study`: the paper's §3.3 project.
+    CaseStudy,
+    /// `coevo diff`: diff two DDL files.
+    Diff {
+        /// Path to the old schema version.
+        old: PathBuf,
+        /// Path to the new schema version.
+        new: PathBuf,
+        /// The SQL dialect to parse with.
+        dialect: Dialect,
+        /// Whether to print the SMO script.
+        smo: bool,
+    },
+    /// `coevo impact`: source files at risk from a schema change.
+    Impact {
+        /// Path to the old schema version.
+        old: PathBuf,
+        /// Path to the new schema version.
+        new: PathBuf,
+        /// The source tree to scan.
+        src_dir: PathBuf,
+        /// The SQL dialect to parse with.
+        dialect: Dialect,
+    },
+    /// `coevo check-queries`: embedded queries a schema change breaks.
+    CheckQueries {
+        /// Path to the old schema version.
+        old: PathBuf,
+        /// Path to the new schema version.
+        new: PathBuf,
+        /// The source tree to scan.
+        src_dir: PathBuf,
+        /// The SQL dialect to parse with.
+        dialect: Dialect,
+    },
+    /// `coevo parse`: validate and summarize a DDL file.
+    Parse {
+        /// The file to process.
+        file: PathBuf,
+        /// The SQL dialect to parse with.
+        dialect: Dialect,
+    },
+    /// `coevo help`: print usage.
+    Help,
+}
+
+/// Outcome of argument parsing.
+pub type ParsedArgs = Result<Command, String>;
+
+const DEFAULT_SEED: u64 = 0x5EED_2019;
+
+/// Parse the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> ParsedArgs {
+    let Some(sub) = args.first() else {
+        return Err(format!("missing subcommand\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "study" => {
+            let (flags, pos) = split_flags(rest)?;
+            expect_no_positionals(&pos)?;
+            Ok(Command::Study {
+                seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
+                csv_dir: flag_value(&flags, "csv").map(PathBuf::from),
+                from_dir: flag_value(&flags, "from").map(PathBuf::from),
+            })
+        }
+        "measure" => {
+            let (flags, pos) = split_flags(rest)?;
+            expect_no_flags(&flags)?;
+            let [dir] = positional::<1>(&pos, "<PROJECT-DIR>")?;
+            Ok(Command::Measure { dir: PathBuf::from(dir) })
+        }
+        "generate" => {
+            let (flags, pos) = split_flags(rest)?;
+            let [dir] = positional::<1>(&pos, "<OUT-DIR>")?;
+            Ok(Command::Generate {
+                dir: PathBuf::from(dir),
+                seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
+                per_taxon: flag_u64(&flags, "per-taxon")?.map(|v| v as usize),
+            })
+        }
+        "case-study" => {
+            expect_empty(rest)?;
+            Ok(Command::CaseStudy)
+        }
+        "diff" => {
+            let (mut flags, pos) = split_flags(rest)?;
+            let smo = take_bool_flag(&mut flags, "smo");
+            let dialect = flag_dialect(&flags)?;
+            let [old, new] = positional::<2>(&pos, "<OLD.sql> <NEW.sql>")?;
+            Ok(Command::Diff {
+                old: PathBuf::from(old),
+                new: PathBuf::from(new),
+                dialect,
+                smo,
+            })
+        }
+        "impact" => {
+            let (flags, pos) = split_flags(rest)?;
+            let dialect = flag_dialect(&flags)?;
+            let [old, new, src] = positional::<3>(&pos, "<OLD.sql> <NEW.sql> <SRC-DIR>")?;
+            Ok(Command::Impact {
+                old: PathBuf::from(old),
+                new: PathBuf::from(new),
+                src_dir: PathBuf::from(src),
+                dialect,
+            })
+        }
+        "check-queries" => {
+            let (flags, pos) = split_flags(rest)?;
+            let dialect = flag_dialect(&flags)?;
+            let [old, new, src] = positional::<3>(&pos, "<OLD.sql> <NEW.sql> <SRC-DIR>")?;
+            Ok(Command::CheckQueries {
+                old: PathBuf::from(old),
+                new: PathBuf::from(new),
+                src_dir: PathBuf::from(src),
+                dialect,
+            })
+        }
+        "parse" => {
+            let (flags, pos) = split_flags(rest)?;
+            let dialect = flag_dialect(&flags)?;
+            let [file] = positional::<1>(&pos, "<FILE.sql>")?;
+            Ok(Command::Parse { file: PathBuf::from(file), dialect })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+/// Split `--flag value` pairs (and bare `--flag`) from positionals.
+fn split_flags(args: &[String]) -> Result<(Vec<(String, Option<String>)>, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut pos = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags take no value; value flags take the next token
+            // unless it is itself a flag.
+            let next_is_value =
+                i + 1 < args.len() && !args[i + 1].starts_with("--") && name != "smo";
+            if next_is_value {
+                flags.push((name.to_string(), Some(args[i + 1].clone())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((flags, pos))
+}
+
+fn flag_value<'a>(flags: &'a [(String, Option<String>)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, v)| v.as_deref())
+}
+
+fn flag_u64(flags: &[(String, Option<String>)], name: &str) -> Result<Option<u64>, String> {
+    match flags.iter().find(|(n, _)| n == name) {
+        None => Ok(None),
+        Some((_, Some(v))) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some((_, None)) => Err(format!("--{name} expects a value")),
+    }
+}
+
+fn flag_dialect(flags: &[(String, Option<String>)]) -> Result<Dialect, String> {
+    match flag_value(flags, "dialect") {
+        None => Ok(Dialect::Generic),
+        Some(v) => {
+            Dialect::from_name(v).ok_or_else(|| format!("unknown dialect {v:?}"))
+        }
+    }
+}
+
+fn take_bool_flag(flags: &mut Vec<(String, Option<String>)>, name: &str) -> bool {
+    let before = flags.len();
+    flags.retain(|(n, _)| n != name);
+    flags.len() != before
+}
+
+fn positional<const N: usize>(pos: &[String], what: &str) -> Result<[String; N], String> {
+    if pos.len() != N {
+        return Err(format!("expected {what}, got {} positional argument(s)", pos.len()));
+    }
+    Ok(std::array::from_fn(|i| pos[i].clone()))
+}
+
+fn expect_no_positionals(pos: &[String]) -> Result<(), String> {
+    if pos.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected argument {:?}", pos[0]))
+    }
+}
+
+fn expect_no_flags(flags: &[(String, Option<String>)]) -> Result<(), String> {
+    if flags.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected flag --{}", flags[0].0))
+    }
+}
+
+fn expect_empty(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected argument {:?}", args[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn study_defaults() {
+        assert_eq!(
+            parse(&["study"]).unwrap(),
+            Command::Study { seed: DEFAULT_SEED, csv_dir: None, from_dir: None }
+        );
+    }
+
+    #[test]
+    fn study_with_flags() {
+        assert_eq!(
+            parse(&["study", "--seed", "42", "--csv", "out"]).unwrap(),
+            Command::Study { seed: 42, csv_dir: Some(PathBuf::from("out")), from_dir: None }
+        );
+    }
+
+    #[test]
+    fn measure_needs_dir() {
+        assert!(parse(&["measure"]).is_err());
+        assert_eq!(
+            parse(&["measure", "proj/"]).unwrap(),
+            Command::Measure { dir: PathBuf::from("proj/") }
+        );
+        assert!(parse(&["measure", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn generate_flags() {
+        assert_eq!(
+            parse(&["generate", "corpus", "--per-taxon", "3", "--seed", "7"]).unwrap(),
+            Command::Generate { dir: PathBuf::from("corpus"), seed: 7, per_taxon: Some(3) }
+        );
+    }
+
+    #[test]
+    fn diff_with_dialect_and_smo() {
+        assert_eq!(
+            parse(&["diff", "a.sql", "b.sql", "--dialect", "mysql", "--smo"]).unwrap(),
+            Command::Diff {
+                old: PathBuf::from("a.sql"),
+                new: PathBuf::from("b.sql"),
+                dialect: Dialect::MySql,
+                smo: true,
+            }
+        );
+        // Flag order independent.
+        assert_eq!(
+            parse(&["diff", "--smo", "a.sql", "--dialect", "postgres", "b.sql"]).unwrap(),
+            Command::Diff {
+                old: PathBuf::from("a.sql"),
+                new: PathBuf::from("b.sql"),
+                dialect: Dialect::Postgres,
+                smo: true,
+            }
+        );
+    }
+
+    #[test]
+    fn impact_subcommand() {
+        assert_eq!(
+            parse(&["impact", "a.sql", "b.sql", "src", "--dialect", "mysql"]).unwrap(),
+            Command::Impact {
+                old: PathBuf::from("a.sql"),
+                new: PathBuf::from("b.sql"),
+                src_dir: PathBuf::from("src"),
+                dialect: Dialect::MySql,
+            }
+        );
+        assert!(parse(&["impact", "a.sql", "b.sql"]).is_err());
+    }
+
+    #[test]
+    fn check_queries_subcommand() {
+        assert!(matches!(
+            parse(&["check-queries", "a.sql", "b.sql", "src"]).unwrap(),
+            Command::CheckQueries { .. }
+        ));
+        assert!(parse(&["check-queries", "a.sql"]).is_err());
+    }
+
+    #[test]
+    fn parse_subcommand() {
+        assert_eq!(
+            parse(&["parse", "schema.sql"]).unwrap(),
+            Command::Parse { file: PathBuf::from("schema.sql"), dialect: Dialect::Generic }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["unknown"]).is_err());
+        assert!(parse(&["study", "--seed", "abc"]).is_err());
+        assert!(parse(&["study", "--seed"]).is_err());
+        assert!(parse(&["diff", "a.sql", "b.sql", "--dialect", "oracle"]).is_err());
+        assert!(parse(&["case-study", "extra"]).is_err());
+        assert!(parse(&["measure", "--weird", "x"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&[h]).unwrap(), Command::Help);
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Subcommand implementations.
+
+use coevo_core::Study;
+use coevo_corpus::loader::{load_project, save_project};
+use coevo_corpus::{case_study_project, generate_corpus, CorpusSpec};
+use coevo_ddl::Dialect;
+use coevo_diff::{
+    change_localization, delta_to_smos, diff_constraints, diff_schemas, net_growth,
+    schema_size_series, SchemaHistory,
+};
+use coevo_report::csv::{fig4_csv, fig6_csv, fig8_csv, measures_csv};
+use coevo_report::linechart::joint_progress_chart;
+use coevo_report::render_all_figures;
+use coevo_taxa::TaxonomyConfig;
+use std::io::Write;
+use std::path::Path;
+
+type CmdResult = Result<(), String>;
+
+fn io_err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// `coevo study`: the full corpus study — over the generated corpus, or
+/// over an on-disk corpus directory when `from_dir` is given.
+pub fn study(
+    seed: u64,
+    csv_dir: Option<&Path>,
+    from_dir: Option<&Path>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let projects: Vec<_> = match from_dir {
+        Some(dir) => coevo_corpus::loader::load_corpus(dir).map_err(io_err)?,
+        None => {
+            let mut spec = CorpusSpec::paper();
+            spec.seed = seed;
+            coevo_corpus::projects_from_generated_parallel(&generate_corpus(&spec))
+                .map_err(io_err)?
+        }
+    };
+    writeln!(out, "studying {} projects", projects.len()).map_err(io_err)?;
+    let results = Study::new(projects).run();
+    writeln!(out, "{}", render_all_figures(&results)).map_err(io_err)?;
+    writeln!(out, "{}", coevo_report::research_question_answers(&results)).map_err(io_err)?;
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        std::fs::write(dir.join("measures.csv"), measures_csv(&results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig4.csv"), fig4_csv(&results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig6.csv"), fig6_csv(&results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig8.csv"), fig8_csv(&results)).map_err(io_err)?;
+        writeln!(out, "CSV files written to {}", dir.display()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `coevo measure <dir>`: one on-disk project through the full pipeline,
+/// with the extension analyses (localization, growth).
+pub fn measure(dir: &Path, out: &mut dyn Write) -> CmdResult {
+    let data = load_project(dir).map_err(io_err)?;
+    let cfg = TaxonomyConfig::default();
+    let m = data.measures(&cfg);
+
+    writeln!(out, "project: {}", m.name).map_err(io_err)?;
+    writeln!(out, "  lifetime: {} months ({} elapsed)", m.months, m.duration_months())
+        .map_err(io_err)?;
+    writeln!(out, "  taxon: {}", m.taxon).map_err(io_err)?;
+    writeln!(
+        out,
+        "  schema activity: {} total ({} at birth)",
+        m.schema_total_activity, data.birth_activity
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  project activity: {} file updates", m.project_total_activity)
+        .map_err(io_err)?;
+    writeln!(out, "  5%-synchronicity:  {:.2}", m.sync_05).map_err(io_err)?;
+    writeln!(out, "  10%-synchronicity: {:.2}", m.sync_10).map_err(io_err)?;
+    writeln!(out, "  advance over source: {:?}", m.advance.over_source).map_err(io_err)?;
+    writeln!(out, "  advance over time:   {:?}", m.advance.over_time).map_err(io_err)?;
+    writeln!(
+        out,
+        "  attainment 50/75/80/100%: {:?} {:?} {:?} {:?}",
+        m.attainment.at_50, m.attainment.at_75, m.attainment.at_80, m.attainment.at_100
+    )
+    .map_err(io_err)?;
+    writeln!(out, "\n{}", joint_progress_chart(&data, 14, 70)).map_err(io_err)?;
+
+    // Extension analyses re-derive the history from the manifest layout.
+    let manifest: coevo_corpus::loader::Manifest = serde_json_read(dir)?;
+    let dialect = Dialect::from_name(&manifest.dialect)
+        .ok_or_else(|| format!("unknown dialect {:?}", manifest.dialect))?;
+    let mut versions = Vec::new();
+    for v in &manifest.versions {
+        let date = coevo_heartbeat::DateTime::parse(&v.date).map_err(io_err)?;
+        let text =
+            std::fs::read_to_string(dir.join("versions").join(&v.file)).map_err(io_err)?;
+        versions.push((date, text));
+    }
+    if let Some(history) = SchemaHistory::from_ddl_texts(
+        versions.iter().map(|(d, s)| (*d, s.as_str())),
+        dialect,
+    )
+    .map_err(io_err)?
+    {
+        let loc = change_localization(&history);
+        writeln!(out, "change localization:").map_err(io_err)?;
+        writeln!(
+            out,
+            "  tables seen {} | untouched {:.0}% | top-20% tables carry {:.0}% of change | gini {:.2}",
+            loc.tables_seen,
+            loc.untouched_fraction * 100.0,
+            loc.top20_share * 100.0,
+            loc.gini
+        )
+        .map_err(io_err)?;
+        let (dattrs, dtables) = net_growth(&history);
+        let series = schema_size_series(&history);
+        let xs: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+        let ys: Vec<f64> = series.iter().map(|p| p.attributes as f64).collect();
+        write!(out, "growth: {dattrs:+} attributes, {dtables:+} tables").map_err(io_err)?;
+        if let Some(fit) = coevo_stats::linear_fit(&xs, &ys) {
+            writeln!(
+                out,
+                " ({:+.2} attributes/month, R² {:.2})",
+                fit.slope, fit.r_squared
+            )
+            .map_err(io_err)?;
+        } else {
+            writeln!(out).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn serde_json_read(dir: &Path) -> Result<coevo_corpus::loader::Manifest, String> {
+    let text = std::fs::read_to_string(dir.join("manifest.json")).map_err(io_err)?;
+    coevo_corpus::loader::manifest_from_json(&text).map_err(io_err)
+}
+
+/// `coevo generate <dir>`: write a corpus in the loader layout.
+pub fn generate(
+    dir: &Path,
+    seed: u64,
+    per_taxon: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut spec = CorpusSpec::paper();
+    spec.seed = seed;
+    if let Some(n) = per_taxon {
+        for t in &mut spec.taxa {
+            t.count = n;
+            t.single_month_count = t.single_month_count.min(n);
+        }
+    }
+    let corpus = generate_corpus(&spec);
+    for p in &corpus {
+        let pdir = dir.join(p.raw.name.replace('/', "__"));
+        save_project(&pdir, p).map_err(io_err)?;
+    }
+    writeln!(out, "wrote {} projects to {}", corpus.len(), dir.display()).map_err(io_err)?;
+    Ok(())
+}
+
+/// `coevo case-study`: the paper's §3.3 project.
+pub fn case_study(out: &mut dyn Write) -> CmdResult {
+    let cs = case_study_project();
+    let data = coevo_corpus::pipeline::project_from_texts(
+        cs.name,
+        &cs.git_log,
+        &cs.ddl_versions,
+        cs.dialect,
+    )
+    .map_err(io_err)?;
+    let m = data.measures(&TaxonomyConfig::default());
+    writeln!(out, "{} — the paper's §3.3 case study", cs.name).map_err(io_err)?;
+    writeln!(out, "  10%-synchronicity: {:.2}", m.sync_10).map_err(io_err)?;
+    writeln!(out, "  attainment 50%: {:?}  80%: {:?}", m.attainment.at_50, m.attainment.at_80)
+        .map_err(io_err)?;
+    writeln!(out, "\n{}", joint_progress_chart(&data, 16, 66)).map_err(io_err)?;
+    Ok(())
+}
+
+/// `coevo diff`: diff two DDL files.
+pub fn diff(
+    old: &Path,
+    new: &Path,
+    dialect: Dialect,
+    smo: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
+    let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
+    let delta = diff_schemas(&old_schema, &new_schema);
+    let b = delta.breakdown();
+    writeln!(out, "Total Activity: {}", b.total()).map_err(io_err)?;
+    writeln!(
+        out,
+        "  born with table: {} | injected: {} | deleted with table: {} | ejected: {} | type changed: {} | key changed: {}",
+        b.attrs_born_with_table,
+        b.attrs_injected,
+        b.attrs_deleted_with_table,
+        b.attrs_ejected,
+        b.attrs_type_changed,
+        b.attrs_key_changed,
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  tables created: {} | dropped: {}",
+        delta.tables_created(),
+        delta.tables_dropped()
+    )
+    .map_err(io_err)?;
+    let constraints = diff_constraints(&old_schema, &new_schema);
+    if !constraints.is_empty() {
+        writeln!(out, "constraint changes (informational, not counted as activity):")
+            .map_err(io_err)?;
+        for c in &constraints.foreign_keys {
+            match c {
+                coevo_diff::ForeignKeyChange::Added { table, fk } => {
+                    writeln!(out, "  + FK on {table} → {}", fk.foreign_table).map_err(io_err)?
+                }
+                coevo_diff::ForeignKeyChange::Removed { table, fk } => {
+                    writeln!(out, "  - FK on {table} → {}", fk.foreign_table).map_err(io_err)?
+                }
+            }
+        }
+        for c in &constraints.indexes {
+            match c {
+                coevo_diff::IndexChange::Added { table, index } => writeln!(
+                    out,
+                    "  + index on {table} ({})",
+                    index.columns.join(", ")
+                )
+                .map_err(io_err)?,
+                coevo_diff::IndexChange::Removed { table, index } => writeln!(
+                    out,
+                    "  - index on {table} ({})",
+                    index.columns.join(", ")
+                )
+                .map_err(io_err)?,
+            }
+        }
+    }
+    if smo {
+        writeln!(out, "\nSMO script:").map_err(io_err)?;
+        for s in delta_to_smos(&delta) {
+            writeln!(out, "  {s};").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `coevo impact`: scan a source tree for files at risk from a schema
+/// change.
+pub fn impact(
+    old: &Path,
+    new: &Path,
+    src_dir: &Path,
+    dialect: Dialect,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
+    let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
+    let delta = diff_schemas(&old_schema, &new_schema);
+
+    // Collect readable text files under the source tree.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    collect_sources(src_dir, &mut sources)?;
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let analyzer = coevo_impact::ImpactAnalyzer::new(
+        &old_schema,
+        &coevo_impact::ScanConfig::default(),
+    );
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(p, t)| (p.as_str(), t.as_str())).collect();
+    let report = analyzer.impact_of(&delta, &refs);
+
+    writeln!(
+        out,
+        "schema delta: {} activity units; {} source files scanned",
+        delta.total_activity(),
+        sources.len()
+    )
+    .map_err(io_err)?;
+    if report.files.is_empty() {
+        writeln!(out, "no files reference the changed schema elements").map_err(io_err)?;
+        return Ok(());
+    }
+    writeln!(out, "{} file(s) at risk (most breaking references first):", report.files.len())
+        .map_err(io_err)?;
+    for f in &report.files {
+        writeln!(out, "  {} ({} breaking)", f.path, f.breaking_references()).map_err(io_err)?;
+        for h in &f.hits {
+            let lines: Vec<String> = h.lines.iter().map(|l| l.to_string()).collect();
+            writeln!(
+                out,
+                "    {}{} ({:?}) at line(s) {}",
+                h.identifier,
+                if h.breaking { " [BREAKING]" } else { "" },
+                h.kind,
+                lines.join(", ")
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `coevo check-queries`: find embedded SQL in a source tree and report the
+/// queries a schema change breaks (valid before, invalid after).
+pub fn check_queries(
+    old: &Path,
+    new: &Path,
+    src_dir: &Path,
+    dialect: Dialect,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
+    let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    collect_sources(src_dir, &mut sources)?;
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut total_embedded = 0usize;
+    let mut total_broken = 0usize;
+    for (path, text) in &sources {
+        let embedded = coevo_query::extract_sql_strings(text);
+        if embedded.is_empty() {
+            continue;
+        }
+        total_embedded += embedded.len();
+        let sqls: Vec<&str> = embedded.iter().map(|e| e.sql.as_str()).collect();
+        let broken = coevo_query::breaking_queries(&old_schema, &new_schema, &sqls);
+        if broken.is_empty() {
+            continue;
+        }
+        writeln!(out, "{path}:").map_err(io_err)?;
+        for b in &broken {
+            total_broken += 1;
+            let line = embedded
+                .iter()
+                .find(|e| e.sql == b.sql)
+                .map(|e| e.line)
+                .unwrap_or(0);
+            writeln!(out, "  line {line}: {}", b.sql.trim()).map_err(io_err)?;
+            for issue in &b.issues {
+                writeln!(
+                    out,
+                    "    {:?} {}{}",
+                    issue.kind,
+                    issue.name,
+                    if issue.context.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (in {})", issue.context)
+                    }
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{total_embedded} embedded quer{} scanned, {total_broken} broken by the change",
+        if total_embedded == 1 { "y" } else { "ies" }
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(io_err)?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Skip VCS internals and build output.
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == ".git" || name == "target" || name == "node_modules" {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if let Ok(text) = std::fs::read_to_string(&path) {
+            out.push((path.display().to_string(), text));
+        }
+        // Unreadable (binary) files are skipped silently.
+    }
+    Ok(())
+}
+
+/// `coevo parse`: validate and summarize one DDL file.
+pub fn parse(file: &Path, dialect: Dialect, out: &mut dyn Write) -> CmdResult {
+    let sql = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let schema = coevo_ddl::parse_schema(&sql, dialect).map_err(io_err)?;
+    writeln!(
+        out,
+        "{}: {} tables, {} attributes",
+        file.display(),
+        schema.tables.len(),
+        schema.attribute_count()
+    )
+    .map_err(io_err)?;
+    for t in &schema.tables {
+        writeln!(
+            out,
+            "  {} ({} columns{})",
+            t.name,
+            t.columns.len(),
+            if t.primary_key().is_empty() {
+                String::new()
+            } else {
+                format!(", pk: {}", t.primary_key().join("+"))
+            }
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("coevo_cli_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn generate_then_measure_round_trip() {
+        let dir = tmp("genmeasure");
+        let mut out = Vec::new();
+        generate(&dir, 11, Some(1), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("wrote 6 projects"));
+        // Measure the first project directory.
+        let first = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let mut out = Vec::new();
+        measure(&first, &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("10%-synchronicity"), "{text}");
+        assert!(text.contains("change localization"), "{text}");
+        assert!(text.contains("growth:"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn study_from_on_disk_corpus() {
+        let dir = tmp("studyfrom");
+        let mut gen_out = Vec::new();
+        generate(&dir, 3, Some(1), &mut gen_out).unwrap();
+        let mut out = Vec::new();
+        study(0, None, Some(&dir), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("studying 6 projects"), "{text}");
+        assert!(text.contains("Figure 4"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_command() {
+        let dir = tmp("diff");
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE t (a INT, b INT);").unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE t (a BIGINT, c INT);").unwrap();
+        let mut out = Vec::new();
+        diff(&dir.join("old.sql"), &dir.join("new.sql"), Dialect::Generic, true, &mut out)
+            .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Total Activity: 3"), "{text}");
+        assert!(text.contains("SMO script:"), "{text}");
+        assert!(text.contains("DROP COLUMN b"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_reports_constraint_changes() {
+        let dir = tmp("diffc");
+        std::fs::write(
+            dir.join("old.sql"),
+            "CREATE TABLE t (a INT, b INT, KEY k (a));",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("new.sql"),
+            "CREATE TABLE t (a INT, b INT, KEY k (a, b));",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        diff(&dir.join("old.sql"), &dir.join("new.sql"), Dialect::MySql, false, &mut out)
+            .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Total Activity: 0"), "{text}");
+        assert!(text.contains("+ index on t (a, b)"), "{text}");
+        assert!(text.contains("- index on t (a)"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_command() {
+        let dir = tmp("parse");
+        std::fs::write(
+            dir.join("s.sql"),
+            "CREATE TABLE users (id INT PRIMARY KEY, email TEXT);",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        parse(&dir.join("s.sql"), Dialect::Generic, &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("1 tables, 2 attributes"), "{text}");
+        assert!(text.contains("pk: id"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn impact_command() {
+        let dir = tmp("impact");
+        std::fs::write(
+            dir.join("old.sql"),
+            "CREATE TABLE invoices (id INT, total_price INT);",
+        )
+        .unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE invoices (id INT);").unwrap();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/billing.js"),
+            "const total = row.total_price;\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("src/other.js"), "console.log('hi');\n").unwrap();
+        let mut out = Vec::new();
+        impact(
+            &dir.join("old.sql"),
+            &dir.join("new.sql"),
+            &dir.join("src"),
+            Dialect::Generic,
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("billing.js"), "{text}");
+        assert!(text.contains("[BREAKING]"), "{text}");
+        assert!(!text.contains("other.js"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_queries_command() {
+        let dir = tmp("checkq");
+        std::fs::write(
+            dir.join("old.sql"),
+            "CREATE TABLE invoices (id INT, total_price INT);",
+        )
+        .unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE invoices (id INT);").unwrap();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/billing.py"),
+            "q = 'SELECT total_price FROM invoices'\nok = 'SELECT id FROM invoices'\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check_queries(
+            &dir.join("old.sql"),
+            &dir.join("new.sql"),
+            &dir.join("src"),
+            Dialect::Generic,
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("2 embedded queries scanned, 1 broken"), "{text}");
+        assert!(text.contains("total_price"), "{text}");
+        assert!(text.contains("line 1"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn case_study_command() {
+        let mut out = Vec::new();
+        case_study(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("osm-comments-parser"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut out = Vec::new();
+        assert!(parse(Path::new("/nonexistent.sql"), Dialect::Generic, &mut out).is_err());
+        assert!(measure(Path::new("/nonexistent_dir"), &mut out).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # coevo-cli — the `coevo` command-line tool
+//!
+//! Subcommands:
+//!
+//! - `coevo study [--seed N] [--csv DIR]` — run the full 195-project study;
+//! - `coevo measure <project-dir>` — measure one on-disk project history;
+//! - `coevo generate <out-dir> [--seed N] [--per-taxon N]` — write a corpus
+//!   to disk in the loader layout;
+//! - `coevo case-study` — the paper's §3.3 case study;
+//! - `coevo diff <old.sql> <new.sql> [--dialect D] [--smo]` — diff two DDL
+//!   files;
+//! - `coevo parse <file.sql> [--dialect D]` — validate and summarize a DDL
+//!   file.
+//!
+//! The argument parser is hand-rolled (tiny, no dependency): subcommand
+//! first, then `--flag value` pairs and positionals in any order.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// Entry point shared by the binary and the tests: dispatch a parsed
+/// command, writing human output to `out`. Returns a process exit code.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
+    let result = match cmd {
+        Command::Study { seed, csv_dir, from_dir } => {
+            commands::study(seed, csv_dir.as_deref(), from_dir.as_deref(), out)
+        }
+        Command::Measure { dir } => commands::measure(&dir, out),
+        Command::Generate { dir, seed, per_taxon } => {
+            commands::generate(&dir, seed, per_taxon, out)
+        }
+        Command::CaseStudy => commands::case_study(out),
+        Command::Diff { old, new, dialect, smo } => {
+            commands::diff(&old, &new, dialect, smo, out)
+        }
+        Command::Impact { old, new, src_dir, dialect } => {
+            commands::impact(&old, &new, &src_dir, dialect, out)
+        }
+        Command::CheckQueries { old, new, src_dir, dialect } => {
+            commands::check_queries(&old, &new, &src_dir, dialect, out)
+        }
+        Command::Parse { file, dialect } => commands::parse(&file, dialect, out),
+        Command::Help => {
+            let _ = writeln!(out, "{}", args::USAGE);
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

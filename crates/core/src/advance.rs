@@ -1,0 +1,152 @@
+//! Schema advance over time and over source — RQ2.
+//!
+//! > We define as the life percentage of schema advance over time (resp.,
+//! > source) the fraction of (a) the number of months where the difference
+//! > of the cumulative fractional activity of the schema minus the
+//! > cumulative fractional progress of the time (resp. source) was larger
+//! > or equal to zero, over (b) the months of the project's life after its
+//! > creation.
+//!
+//! The denominator — months *after* creation — excludes the creation month
+//! itself. Projects whose entire life fits in a single month therefore have
+//! no measurable advance; these appear as the "(blank)" rows of the paper's
+//! Figure 6 (2 of 195 projects).
+
+use serde::{Deserialize, Serialize};
+
+/// The RQ2 measures for one project.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdvanceMeasures {
+    /// Life percentage of schema advance over source progress; `None` when
+    /// the project's life has no months after creation.
+    pub over_source: Option<f64>,
+    /// Life percentage of schema advance over time progress.
+    pub over_time: Option<f64>,
+    /// Schema advance over source held in *every* measured month.
+    pub always_over_source: bool,
+    /// Schema advance over time held in every measured month.
+    pub always_over_time: bool,
+    /// Both advances held in every measured month.
+    pub always_over_both: bool,
+}
+
+/// Compute the advance measures from the three aligned cumulative series.
+pub fn advance_measures(schema: &[f64], project: &[f64], time: &[f64]) -> AdvanceMeasures {
+    assert!(
+        schema.len() == project.len() && project.len() == time.len(),
+        "series must be aligned"
+    );
+    let n = schema.len();
+    if n <= 1 {
+        return AdvanceMeasures {
+            over_source: None,
+            over_time: None,
+            always_over_source: false,
+            always_over_time: false,
+            always_over_both: false,
+        };
+    }
+    let months_after_creation = n - 1;
+    let mut src_hits = 0usize;
+    let mut time_hits = 0usize;
+    let mut both_hits = 0usize;
+    for i in 1..n {
+        let adv_src = schema[i] - project[i] >= -1e-12;
+        let adv_time = schema[i] - time[i] >= -1e-12;
+        if adv_src {
+            src_hits += 1;
+        }
+        if adv_time {
+            time_hits += 1;
+        }
+        if adv_src && adv_time {
+            both_hits += 1;
+        }
+    }
+    AdvanceMeasures {
+        over_source: Some(src_hits as f64 / months_after_creation as f64),
+        over_time: Some(time_hits as f64 / months_after_creation as f64),
+        always_over_source: src_hits == months_after_creation,
+        always_over_time: time_hits == months_after_creation,
+        always_over_both: both_hits == months_after_creation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_all_at_birth_always_ahead() {
+        // Schema completes at birth; project and time progress linearly.
+        let schema = [1.0, 1.0, 1.0, 1.0];
+        let project = [0.25, 0.5, 0.75, 1.0];
+        let time = [0.25, 0.5, 0.75, 1.0];
+        let m = advance_measures(&schema, &project, &time);
+        assert_eq!(m.over_source, Some(1.0));
+        assert_eq!(m.over_time, Some(1.0));
+        assert!(m.always_over_source && m.always_over_time && m.always_over_both);
+    }
+
+    #[test]
+    fn late_schema_never_ahead() {
+        // Schema does everything in the last month.
+        let schema = [0.0, 0.0, 0.0, 1.0];
+        let project = [0.4, 0.6, 0.8, 1.0];
+        let time = [0.25, 0.5, 0.75, 1.0];
+        let m = advance_measures(&schema, &project, &time);
+        // Months 1,2: behind both. Month 3: equal (≥ 0 counts as advance).
+        assert_eq!(m.over_source, Some(1.0 / 3.0));
+        assert_eq!(m.over_time, Some(1.0 / 3.0));
+        assert!(!m.always_over_source);
+    }
+
+    #[test]
+    fn equality_counts_as_advance() {
+        let schema = [0.5, 1.0];
+        let project = [0.5, 1.0];
+        let time = [0.5, 1.0];
+        let m = advance_measures(&schema, &project, &time);
+        assert_eq!(m.over_source, Some(1.0));
+        assert!(m.always_over_both);
+    }
+
+    #[test]
+    fn single_month_project_is_blank() {
+        let m = advance_measures(&[1.0], &[1.0], &[1.0]);
+        assert_eq!(m.over_source, None);
+        assert_eq!(m.over_time, None);
+        assert!(!m.always_over_both);
+    }
+
+    #[test]
+    fn mixed_advance() {
+        // Ahead of time but behind source in month 1; ahead of both in 2, 3.
+        let schema = [0.3, 0.6, 0.9, 1.0];
+        let project = [0.2, 0.7, 0.8, 1.0];
+        let time = [0.25, 0.5, 0.75, 1.0];
+        let m = advance_measures(&schema, &project, &time);
+        assert_eq!(m.over_source, Some(2.0 / 3.0)); // months 2, 3
+        assert_eq!(m.over_time, Some(1.0)); // all three
+        assert!(m.always_over_time && !m.always_over_source && !m.always_over_both);
+    }
+
+    #[test]
+    fn always_both_requires_conjunction_each_month() {
+        // Ahead of source in months {1,3}, ahead of time in months {2,3}:
+        // neither "always" flag holds, and in no month except 3 do both hold.
+        let schema = [0.0, 0.40, 0.80, 1.0];
+        let project = [0.1, 0.30, 0.90, 1.0];
+        let time = [0.25, 0.5, 0.75, 1.0];
+        let m = advance_measures(&schema, &project, &time);
+        assert_eq!(m.over_source, Some(2.0 / 3.0));
+        assert_eq!(m.over_time, Some(2.0 / 3.0));
+        assert!(!m.always_over_source && !m.always_over_time && !m.always_over_both);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_panics() {
+        let _ = advance_measures(&[0.1], &[0.1, 0.2], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,153 @@
+//! α-attainment fractional timepoints — RQ3.
+//!
+//! > The α-attainment timepoint is the timepoint at which the cumulative
+//! > fractional activity reaches or exceeds an arbitrarily-specified
+//! > threshold α. The α-attainment fractional timepoint is the percentage
+//! > of the project's life covered by the α-attainment timepoint.
+//!
+//! Paper example: cumulative schema activity [20%, 47%, 85%, 95%, 100%,
+//! 100%, 100%] over months M0…M6 (duration 6 months): the 45%-attainment
+//! timepoint is M1 and the fractional timepoint is 1/6 ≈ 16.66%.
+
+use serde::{Deserialize, Serialize};
+
+/// The completion levels the paper measures (50%, 75%, 80%, 100%).
+pub const ATTAINMENT_ALPHAS: [f64; 4] = [0.50, 0.75, 0.80, 1.00];
+
+/// The α-attainment timepoint: the first index where `cumulative[i] ≥ α`.
+/// `None` when the series never reaches α (e.g. a schema with zero total
+/// activity, whose cumulative progression is identically zero).
+pub fn attainment_index(cumulative: &[f64], alpha: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    cumulative.iter().position(|&v| v >= alpha - 1e-12)
+}
+
+/// The α-attainment *fractional* timepoint: the attainment index as a
+/// fraction of the project's duration in elapsed months (`len − 1`).
+/// A single-month project attains everything at fraction 0.
+pub fn attainment_fraction(cumulative: &[f64], alpha: f64) -> Option<f64> {
+    let idx = attainment_index(cumulative, alpha)?;
+    let duration = cumulative.len().saturating_sub(1);
+    if duration == 0 {
+        return Some(0.0);
+    }
+    Some(idx as f64 / duration as f64)
+}
+
+/// All four attainment fractions of a cumulative schema series, in the order
+/// of [`ATTAINMENT_ALPHAS`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttainmentLevels {
+    /// The at 50.
+    pub at_50: Option<f64>,
+    /// The at 75.
+    pub at_75: Option<f64>,
+    /// The at 80.
+    pub at_80: Option<f64>,
+    /// The at 100.
+    pub at_100: Option<f64>,
+}
+
+impl AttainmentLevels {
+    /// Compute all four levels.
+    pub fn of(cumulative: &[f64]) -> Self {
+        Self {
+            at_50: attainment_fraction(cumulative, 0.50),
+            at_75: attainment_fraction(cumulative, 0.75),
+            at_80: attainment_fraction(cumulative, 0.80),
+            at_100: attainment_fraction(cumulative, 1.00),
+        }
+    }
+
+    /// The level for a given α of [`ATTAINMENT_ALPHAS`].
+    pub fn get(&self, alpha: f64) -> Option<f64> {
+        if (alpha - 0.50).abs() < 1e-9 {
+            self.at_50
+        } else if (alpha - 0.75).abs() < 1e-9 {
+            self.at_75
+        } else if (alpha - 0.80).abs() < 1e-9 {
+            self.at_80
+        } else if (alpha - 1.00).abs() < 1e-9 {
+            self.at_100
+        } else {
+            panic!("unsupported alpha {alpha}; use ATTAINMENT_ALPHAS")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SERIES: [f64; 7] = [0.20, 0.47, 0.85, 0.95, 1.00, 1.00, 1.00];
+
+    #[test]
+    fn paper_worked_example() {
+        // 45%-attainment at M1; duration 6 → 1/6.
+        assert_eq!(attainment_index(&PAPER_SERIES, 0.45), Some(1));
+        let f = attainment_fraction(&PAPER_SERIES, 0.45).unwrap();
+        assert!((f - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_levels_on_paper_series() {
+        let l = AttainmentLevels::of(&PAPER_SERIES);
+        assert!((l.at_50.unwrap() - 2.0 / 6.0).abs() < 1e-12); // 85% ≥ 50% at M2
+        assert!((l.at_75.unwrap() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((l.at_80.unwrap() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((l.at_100.unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn everything_at_birth() {
+        let cum = [1.0, 1.0, 1.0];
+        let l = AttainmentLevels::of(&cum);
+        assert_eq!(l.at_50, Some(0.0));
+        assert_eq!(l.at_100, Some(0.0));
+    }
+
+    #[test]
+    fn zero_activity_never_attains() {
+        let cum = [0.0, 0.0, 0.0];
+        let l = AttainmentLevels::of(&cum);
+        assert_eq!(l.at_50, None);
+        assert_eq!(l.at_100, None);
+        // α = 0 is attained immediately even with zero activity.
+        assert_eq!(attainment_fraction(&cum, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn single_month_project() {
+        assert_eq!(attainment_fraction(&[1.0], 0.75), Some(0.0));
+    }
+
+    #[test]
+    fn attainment_is_monotone_in_alpha() {
+        let cum = [0.1, 0.3, 0.55, 0.7, 0.9, 1.0];
+        let mut prev = 0.0;
+        for alpha in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let f = attainment_fraction(&cum, alpha).unwrap();
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn get_accessor() {
+        let l = AttainmentLevels::of(&PAPER_SERIES);
+        assert_eq!(l.get(0.50), l.at_50);
+        assert_eq!(l.get(1.00), l.at_100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn get_rejects_unknown_alpha() {
+        let _ = AttainmentLevels::default().get(0.33);
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let cum = [0.5, 1.0];
+        assert_eq!(attainment_index(&cum, 0.5), Some(0));
+    }
+}

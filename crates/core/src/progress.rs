@@ -1,0 +1,160 @@
+//! Per-project inputs and the derived per-project measures.
+
+use crate::advance::{advance_measures, AdvanceMeasures};
+use crate::attainment::AttainmentLevels;
+use crate::synchronicity::theta_synchronicity;
+use coevo_heartbeat::{Heartbeat, JointProgress};
+use coevo_taxa::{classify, HeartbeatFeatures, Taxon, TaxonomyConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything the study needs to know about one project: its name, the two
+/// monthly heartbeats, and the activity carried by the schema's creation
+/// commit (used to separate birth from evolution when classifying taxa).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectData {
+    /// The name, as written in the source.
+    pub name: String,
+    /// The project.
+    pub project: Heartbeat,
+    /// The schema.
+    pub schema: Heartbeat,
+    /// Total Activity of the schema's creation delta (the initial schema's
+    /// attribute count).
+    pub birth_activity: u64,
+    /// Pre-assigned taxon; when absent, the classifier derives one.
+    pub taxon: Option<Taxon>,
+}
+
+impl ProjectData {
+    /// Construct a new instance.
+    pub fn new(name: &str, project: Heartbeat, schema: Heartbeat, birth_activity: u64) -> Self {
+        Self { name: name.to_string(), project, schema, birth_activity, taxon: None }
+    }
+
+    /// Set a pre-assigned taxon (e.g. from a corpus manifest).
+    pub fn with_taxon(mut self, taxon: Taxon) -> Self {
+        self.taxon = Some(taxon);
+        self
+    }
+
+    /// The three aligned cumulative fractional series.
+    pub fn joint_progress(&self) -> JointProgress {
+        JointProgress::from_heartbeats(&self.project, &self.schema)
+    }
+
+    /// The effective taxon: pre-assigned, or classified from the post-birth
+    /// schema heartbeat.
+    pub fn effective_taxon(&self, cfg: &TaxonomyConfig) -> Taxon {
+        self.taxon.unwrap_or_else(|| {
+            classify(&HeartbeatFeatures::post_birth(&self.schema, self.birth_activity), cfg)
+        })
+    }
+
+    /// Compute every per-project measure of the study.
+    pub fn measures(&self, cfg: &TaxonomyConfig) -> ProjectMeasures {
+        let jp = self.joint_progress();
+        let sync_05 = theta_synchronicity(&jp.project, &jp.schema, 0.05);
+        let sync_10 = theta_synchronicity(&jp.project, &jp.schema, 0.10);
+        let advance = advance_measures(&jp.schema, &jp.project, &jp.time);
+        let attainment = AttainmentLevels::of(&jp.schema);
+        ProjectMeasures {
+            name: self.name.clone(),
+            taxon: self.effective_taxon(cfg),
+            months: jp.months(),
+            sync_05,
+            sync_10,
+            advance,
+            attainment,
+            schema_total_activity: self.schema.total(),
+            project_total_activity: self.project.total(),
+        }
+    }
+}
+
+/// The study's derived measures for one project — one row of the dataset
+/// behind every figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectMeasures {
+    /// The name, as written in the source.
+    pub name: String,
+    /// The evolution taxon.
+    pub taxon: Taxon,
+    /// Project lifetime in months (the shared axis length).
+    pub months: usize,
+    /// 5%-synchronicity (RQ1).
+    pub sync_05: f64,
+    /// 10%-synchronicity (RQ1) — the figure the paper reports.
+    pub sync_10: f64,
+    /// RQ2 measures.
+    pub advance: AdvanceMeasures,
+    /// RQ3 measures.
+    pub attainment: AttainmentLevels,
+    /// The schema total activity.
+    pub schema_total_activity: u64,
+    /// The project total activity.
+    pub project_total_activity: u64,
+}
+
+impl ProjectMeasures {
+    /// Duration in elapsed months (the x-axis of the paper's Figure 5).
+    pub fn duration_months(&self) -> usize {
+        self.months.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_heartbeat::YearMonth;
+
+    fn ym(y: i32, m: u8) -> YearMonth {
+        YearMonth::new(y, m).unwrap()
+    }
+
+    fn linear_project() -> ProjectData {
+        let project = Heartbeat::new(ym(2015, 1), vec![10, 10, 10, 10, 10]);
+        let schema = Heartbeat::new(ym(2015, 1), vec![20, 0, 0, 0, 0]);
+        ProjectData::new("o/p", project, schema, 12)
+    }
+
+    #[test]
+    fn measures_shape() {
+        let m = linear_project().measures(&TaxonomyConfig::default());
+        assert_eq!(m.months, 5);
+        assert_eq!(m.duration_months(), 4);
+        // Schema completes at birth: synchronous only when project reaches
+        // ≥ 90%: months 4 (0.8? no: cum project = .2,.4,.6,.8,1). Within 10%
+        // of schema's 1.0 only at the last month.
+        assert!((m.sync_10 - 0.2).abs() < 1e-9);
+        assert_eq!(m.advance.over_time, Some(1.0));
+        assert_eq!(m.attainment.at_100, Some(0.0));
+        assert_eq!(m.schema_total_activity, 20);
+        assert_eq!(m.project_total_activity, 50);
+    }
+
+    #[test]
+    fn taxon_pre_assignment_wins() {
+        let cfg = TaxonomyConfig::default();
+        let p = linear_project();
+        // Post-birth activity = 20 − 12 = 8 → ALMOST FROZEN by classifier.
+        assert_eq!(p.effective_taxon(&cfg), Taxon::AlmostFrozen);
+        let forced = p.with_taxon(Taxon::Active);
+        assert_eq!(forced.effective_taxon(&cfg), Taxon::Active);
+    }
+
+    #[test]
+    fn sync5_never_exceeds_sync10() {
+        let m = linear_project().measures(&TaxonomyConfig::default());
+        assert!(m.sync_05 <= m.sync_10);
+    }
+
+    #[test]
+    fn joint_progress_spans_both_heartbeats() {
+        let project = Heartbeat::new(ym(2015, 1), vec![5, 5]);
+        let schema = Heartbeat::new(ym(2015, 3), vec![4]);
+        let p = ProjectData::new("late/schema", project, schema, 4);
+        let jp = p.joint_progress();
+        assert_eq!(jp.months(), 3);
+        assert_eq!(jp.schema, vec![0.0, 0.0, 1.0]);
+    }
+}

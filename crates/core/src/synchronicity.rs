@@ -1,0 +1,87 @@
+//! θ-synchronicity — RQ1's measure of "hand-in-hand" co-evolution.
+//!
+//! > For a specific timepoint tᵢ, the predicate θ-synchronous(tᵢ) is true if
+//! > |pᵢ − sᵢ| ≤ θ. The θ-synchronicity of P and S is the fraction of the
+//! > time-points that are θ-synchronous over the total amount of points.
+//!
+//! θ is an acceptance band, not a lag measure: the paper fixes θ at 5% and
+//! 10% and reports the 10% results (Kendall correlation between the two:
+//! 0.67).
+
+/// Is timepoint `i` θ-synchronous for the two cumulative series?
+pub fn theta_synchronous_at(p: &[f64], s: &[f64], theta: f64, i: usize) -> bool {
+    (p[i] - s[i]).abs() <= theta + 1e-12
+}
+
+/// The θ-synchronicity of two cumulative fractional series: the fraction of
+/// timepoints where the two are within θ of each other.
+///
+/// Both series must share one month axis (see
+/// [`coevo_heartbeat::align_pair`]). Returns 0.0 for empty series.
+pub fn theta_synchronicity(p: &[f64], s: &[f64], theta: f64) -> f64 {
+    assert_eq!(p.len(), s.len(), "series must be aligned");
+    assert!(theta >= 0.0, "theta must be non-negative");
+    if p.is_empty() {
+        return 0.0;
+    }
+    let hits = (0..p.len()).filter(|&i| theta_synchronous_at(p, s, theta, i)).count();
+    hits as f64 / p.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_fully_synchronous() {
+        let p = [0.2, 0.5, 0.9, 1.0];
+        assert_eq!(theta_synchronicity(&p, &p, 0.0), 1.0);
+        assert_eq!(theta_synchronicity(&p, &p, 0.10), 1.0);
+    }
+
+    #[test]
+    fn constant_offset_within_band() {
+        let p = [0.20, 0.50, 0.90, 1.00];
+        let s = [0.28, 0.58, 0.98, 1.00];
+        assert_eq!(theta_synchronicity(&p, &s, 0.10), 1.0);
+        assert_eq!(theta_synchronicity(&p, &s, 0.05), 0.25); // only the last
+    }
+
+    #[test]
+    fn early_schema_burst_out_of_sync() {
+        // Schema does everything at birth; project progresses linearly.
+        let p = [0.25, 0.50, 0.75, 1.00];
+        let s = [1.00, 1.00, 1.00, 1.00];
+        // |p−s| = .75, .5, .25, 0 → only the last within 10%.
+        assert_eq!(theta_synchronicity(&p, &s, 0.10), 0.25);
+    }
+
+    #[test]
+    fn band_is_inclusive() {
+        let p = [0.5];
+        let s = [0.6];
+        assert_eq!(theta_synchronicity(&p, &s, 0.10), 1.0);
+        assert_eq!(theta_synchronicity(&p, &s, 0.09), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert_eq!(theta_synchronicity(&[], &[], 0.1), 0.0);
+    }
+
+    #[test]
+    fn wider_theta_never_decreases_synchronicity() {
+        let p = [0.1, 0.4, 0.5, 0.8, 1.0];
+        let s = [0.3, 0.45, 0.9, 0.85, 1.0];
+        let s5 = theta_synchronicity(&p, &s, 0.05);
+        let s10 = theta_synchronicity(&p, &s, 0.10);
+        let s20 = theta_synchronicity(&p, &s, 0.20);
+        assert!(s5 <= s10 && s10 <= s20);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_series_panic() {
+        let _ = theta_synchronicity(&[0.1], &[0.1, 0.2], 0.1);
+    }
+}

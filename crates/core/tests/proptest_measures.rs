@@ -1,0 +1,122 @@
+//! Property tests on the co-evolution measures over arbitrary heartbeats.
+
+use coevo_core::advance::advance_measures;
+use coevo_core::attainment::AttainmentLevels;
+use coevo_core::progress::ProjectData;
+use coevo_core::synchronicity::theta_synchronicity;
+use coevo_heartbeat::{Heartbeat, YearMonth};
+use coevo_taxa::TaxonomyConfig;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn project_strategy()(
+        start_idx in 24_000i64..24_200,
+        schema_offset in 0i64..24,
+        project_act in prop::collection::vec(0u64..20, 1..80),
+        schema_act in prop::collection::vec(0u64..15, 1..80),
+        birth in 0u64..30,
+    ) -> ProjectData {
+        let start = YearMonth::from_index(start_idx);
+        // Guarantee some activity on both sides (the pipeline rejects
+        // zero-activity projects before measures are taken).
+        let mut pa = project_act;
+        pa[0] += 1;
+        let mut sa = schema_act;
+        sa[0] += 1;
+        ProjectData::new(
+            "prop/test",
+            Heartbeat::new(start, pa),
+            Heartbeat::new(start.plus(schema_offset), sa),
+            birth,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn measures_always_well_formed(p in project_strategy()) {
+        let m = p.measures(&TaxonomyConfig::default());
+        prop_assert!((0.0..=1.0).contains(&m.sync_05));
+        prop_assert!((0.0..=1.0).contains(&m.sync_10));
+        prop_assert!(m.sync_05 <= m.sync_10 + 1e-12);
+        for v in [m.advance.over_source, m.advance.over_time].into_iter().flatten() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Attainment fractions monotone in alpha.
+        let levels = [m.attainment.at_50, m.attainment.at_75, m.attainment.at_80, m.attainment.at_100];
+        let mut prev = -1.0;
+        for a in levels.into_iter().flatten() {
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(a >= prev);
+            prev = a;
+        }
+        // always ⇒ fraction 1.0, and both = and of the two.
+        if m.advance.always_over_source {
+            prop_assert_eq!(m.advance.over_source, Some(1.0));
+        }
+        if m.advance.always_over_time {
+            prop_assert_eq!(m.advance.over_time, Some(1.0));
+        }
+        prop_assert_eq!(
+            m.advance.always_over_both,
+            m.advance.always_over_source && m.advance.always_over_time
+        );
+    }
+
+    #[test]
+    fn synchronicity_monotone_in_theta(p in project_strategy()) {
+        let jp = p.joint_progress();
+        let mut prev = 0.0;
+        for theta in [0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
+            let s = theta_synchronicity(&jp.project, &jp.schema, theta);
+            prop_assert!(s >= prev - 1e-12);
+            prev = s;
+        }
+        // θ = 1 covers every month: both series live in [0, 1].
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_synchronicity_is_total(p in project_strategy()) {
+        let jp = p.joint_progress();
+        prop_assert_eq!(theta_synchronicity(&jp.schema, &jp.schema, 0.0), 1.0);
+    }
+
+    #[test]
+    fn advance_degenerate_tolerance(p in project_strategy()) {
+        // advance_measures over identical series: full advance (≥ 0 holds
+        // with equality everywhere).
+        let jp = p.joint_progress();
+        let m = advance_measures(&jp.schema, &jp.schema, &jp.schema);
+        if jp.months() > 1 {
+            prop_assert_eq!(m.over_source, Some(1.0));
+            prop_assert!(m.always_over_both);
+        } else {
+            prop_assert_eq!(m.over_source, None);
+        }
+    }
+
+    #[test]
+    fn attainment_of_cumulative_is_consistent(p in project_strategy()) {
+        let jp = p.joint_progress();
+        let att = AttainmentLevels::of(&jp.schema);
+        // The schema has activity by construction, so 100% is attained.
+        prop_assert!(att.at_100.is_some());
+        // At the attainment index, the cumulative value really is ≥ α.
+        for (alpha, frac) in [(0.5, att.at_50), (0.75, att.at_75), (0.8, att.at_80)] {
+            if let Some(f) = frac {
+                let idx = (f * (jp.months() - 1) as f64).round() as usize;
+                prop_assert!(jp.schema[idx] >= alpha - 1e-9,
+                    "alpha {alpha}: cum {} at idx {idx}", jp.schema[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn measures_are_deterministic(p in project_strategy()) {
+        let cfg = TaxonomyConfig::default();
+        prop_assert_eq!(p.measures(&cfg), p.measures(&cfg));
+    }
+}

@@ -1,0 +1,35 @@
+//! # coevo-corpus — dataset substrate
+//!
+//! The paper analyzes the Schema_Evo_2019 dataset: 195 real schema histories
+//! (DDL file versions plus commit metadata) from GitHub. That dataset is not
+//! redistributable here, so this crate provides its *synthetic equivalent*:
+//! a seeded, deterministic generator that emits, per project,
+//!
+//! - a history of **DDL texts** (real SQL, evolved by mutating a schema
+//!   model and printing it), and
+//! - a **git log** in `git log --name-status --date=iso` format,
+//!
+//! which then flow through the *same measurement pipeline* as real data
+//! (SQL → [`coevo_ddl`] parse → [`coevo_diff`] diff → heartbeats →
+//! [`coevo_core`] measures). Per-taxon generative parameters are calibrated
+//! so population-level aggregates land near the published counts; see
+//! `EXPERIMENTS.md` for paper-vs-measured values.
+//!
+//! The [`loader`] module provides the real-data path: point it at a
+//! directory with DDL versions and a `git log` dump, and the same pipeline
+//! runs on an actual project.
+
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod generator;
+pub mod loader;
+pub mod pipeline;
+pub mod project_gen;
+pub mod schema_gen;
+pub mod spec;
+
+pub use case_study::case_study_project;
+pub use generator::{generate_corpus, CorpusSpec, GeneratedProject};
+pub use pipeline::{project_from_generated, projects_from_generated_parallel, PipelineError};
+pub use spec::{paper_spec, TaxonSpec};

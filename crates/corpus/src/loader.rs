@@ -1,0 +1,238 @@
+//! The real-data path: persisting and loading project histories on disk.
+//!
+//! Layout of a project directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.json      # name, dialect, ordered version file names + dates
+//!   git.log            # `git log --name-status --no-merges --date=iso` dump
+//!   versions/
+//!     0001.sql
+//!     0002.sql
+//!     ...
+//! ```
+//!
+//! A user with a real clone produces `git.log` with the study's exact git
+//! command and dumps each historical version of the DDL file (e.g. via
+//! `git show <sha>:<path>`); the pipeline then runs unmodified on real data.
+
+use crate::generator::GeneratedProject;
+use crate::pipeline::{project_from_texts, PipelineError};
+use coevo_core::ProjectData;
+use coevo_ddl::Dialect;
+use coevo_heartbeat::DateTime;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The manifest of a stored project history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// The name, as written in the source.
+    pub name: String,
+    /// Dialect name (`mysql` / `postgres` / `generic`).
+    pub dialect: String,
+    /// Optional taxon label (slug), as assigned by a human or the
+    /// classifier.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub taxon: Option<String>,
+    /// Ordered versions: file name (under `versions/`) and ISO commit date.
+    pub versions: Vec<ManifestVersion>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One DDL version entry of a manifest.
+pub struct ManifestVersion {
+    /// The file.
+    pub file: String,
+    /// The commit timestamp.
+    pub date: String,
+}
+
+/// Loader/saver errors.
+#[derive(Debug)]
+pub enum LoaderError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Manifest (de)serialization error.
+    Json(serde_json::Error),
+    /// A version date that does not parse.
+    BadDate(String),
+    /// An unrecognized dialect name.
+    BadDialect(String),
+    /// The measurement pipeline rejected the loaded artifacts.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Json(e) => write!(f, "manifest: {e}"),
+            Self::BadDate(s) => write!(f, "bad date {s:?}"),
+            Self::BadDialect(s) => write!(f, "unknown dialect {s:?}"),
+            Self::Pipeline(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+impl From<io::Error> for LoaderError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoaderError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Parse a manifest from its JSON text (exposed so downstream tools can
+/// inspect manifests without depending on a JSON library themselves).
+pub fn manifest_from_json(text: &str) -> Result<Manifest, LoaderError> {
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Save a generated project to disk in the loader's layout.
+pub fn save_project(dir: &Path, project: &GeneratedProject) -> Result<(), LoaderError> {
+    fs::create_dir_all(dir.join("versions"))?;
+    let mut versions = Vec::new();
+    for (i, (date, text)) in project.raw.ddl_versions.iter().enumerate() {
+        let file = format!("{:04}.sql", i + 1);
+        fs::write(dir.join("versions").join(&file), text)?;
+        versions.push(ManifestVersion { file, date: date.to_string() });
+    }
+    let manifest = Manifest {
+        name: project.raw.name.clone(),
+        dialect: project.raw.dialect.name().to_string(),
+        taxon: Some(project.raw.taxon.slug().to_string()),
+        versions,
+    };
+    fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
+    fs::write(dir.join("git.log"), &project.git_log)?;
+    Ok(())
+}
+
+/// Load a project directory and run the measurement pipeline on it.
+pub fn load_project(dir: &Path) -> Result<ProjectData, LoaderError> {
+    let manifest: Manifest =
+        serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
+    let dialect = Dialect::from_name(&manifest.dialect)
+        .ok_or_else(|| LoaderError::BadDialect(manifest.dialect.clone()))?;
+    let git_log = fs::read_to_string(dir.join("git.log"))?;
+
+    let mut versions: Vec<(DateTime, String)> = Vec::with_capacity(manifest.versions.len());
+    for v in &manifest.versions {
+        let date =
+            DateTime::parse(&v.date).map_err(|_| LoaderError::BadDate(v.date.clone()))?;
+        let text = fs::read_to_string(dir.join("versions").join(&v.file))?;
+        versions.push((date, text));
+    }
+
+    let mut data = project_from_texts(&manifest.name, &git_log, &versions, dialect)
+        .map_err(LoaderError::Pipeline)?;
+    if let Some(taxon) = manifest.taxon.as_deref().and_then(coevo_taxa::Taxon::parse) {
+        data = data.with_taxon(taxon);
+    }
+    Ok(data)
+}
+
+/// Load every project directory under `dir` (any subdirectory containing a
+/// `manifest.json`) and run the measurement pipeline on each. Entries are
+/// returned sorted by project name; directories without a manifest are
+/// skipped, and a project that fails to load aborts with its error (partial
+/// corpora would silently bias the study).
+pub fn load_corpus(dir: &Path) -> Result<Vec<ProjectData>, LoaderError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() && path.join("manifest.json").exists() {
+            out.push(load_project(&path)?);
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, CorpusSpec};
+    use crate::pipeline::project_from_generated;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("coevo_loader_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut spec = CorpusSpec::paper();
+        for t in &mut spec.taxa {
+            t.count = 1;
+        }
+        let corpus = generate_corpus(&spec);
+        let dir = tmpdir("rt");
+        for (i, p) in corpus.iter().enumerate() {
+            let pdir = dir.join(format!("p{i}"));
+            save_project(&pdir, p).unwrap();
+            let loaded = load_project(&pdir).unwrap();
+            let direct = project_from_generated(p).unwrap();
+            assert_eq!(loaded.name, direct.name);
+            assert_eq!(loaded.project, direct.project);
+            assert_eq!(loaded.schema, direct.schema);
+            assert_eq!(loaded.birth_activity, direct.birth_activity);
+            assert_eq!(loaded.taxon, direct.taxon);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_corpus_round_trip() {
+        let mut spec = CorpusSpec::paper();
+        for t in &mut spec.taxa {
+            t.count = 1;
+        }
+        let corpus = generate_corpus(&spec);
+        let dir = tmpdir("corpus");
+        for p in &corpus {
+            save_project(&dir.join(p.raw.name.replace('/', "__")), p).unwrap();
+        }
+        // A stray non-project directory is skipped.
+        fs::create_dir_all(dir.join("not_a_project")).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        let mut names: Vec<String> = loaded.iter().map(|d| d.name.clone()).collect();
+        let mut expect: Vec<String> = corpus.iter().map(|p| p.raw.name.clone()).collect();
+        names.sort();
+        expect.sort();
+        assert_eq!(names, expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let dir = tmpdir("missing");
+        assert!(matches!(load_project(&dir), Err(LoaderError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_dialect_errors() {
+        let dir = tmpdir("baddialect");
+        fs::write(
+            dir.join("manifest.json"),
+            r#"{"name":"x","dialect":"oracle","versions":[]}"#,
+        )
+        .unwrap();
+        fs::write(dir.join("git.log"), "").unwrap();
+        assert!(matches!(load_project(&dir), Err(LoaderError::BadDialect(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

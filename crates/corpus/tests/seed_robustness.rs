@@ -1,0 +1,84 @@
+//! Seed robustness: the calibrated corpus shapes must not be an artifact of
+//! one lucky seed. Runs the full study under alternative seeds and asserts
+//! the *shape* properties (not the tuned point values).
+
+use coevo_core::Study;
+use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+
+fn run_with_seed(seed: u64) -> coevo_core::StudyResults {
+    let mut spec = CorpusSpec::paper();
+    spec.seed = seed;
+    let projects: Vec<_> = generate_corpus(&spec)
+        .iter()
+        .map(|p| project_from_generated(p).expect("pipeline"))
+        .collect();
+    Study::new(projects).run()
+}
+
+fn assert_shapes(results: &coevo_core::StudyResults, seed: u64) {
+    let n = results.measures.len() as f64;
+    assert_eq!(results.measures.len(), 195, "seed {seed}");
+
+    // Advance over time dominates advance over source.
+    let src_09 = results.fig6.rows[0].source_pct;
+    let time_09 = results.fig6.rows[0].time_pct;
+    assert!(time_09 >= src_09, "seed {seed}");
+    assert!(
+        results.fig7.total_time >= results.fig7.total_source,
+        "seed {seed}"
+    );
+    assert!(results.fig7.total_both <= results.fig7.total_source, "seed {seed}");
+    // Always-in-advance is a sizable minority, not everyone and not no-one.
+    let always_time = results.fig7.total_time as f64 / n;
+    assert!((0.25..=0.65).contains(&always_time), "seed {seed}: {always_time}");
+
+    // Gravitation to rigidity: a large share attains 75% early; a real tail
+    // attains 100% late.
+    let a75 = &results.fig8.counts[1];
+    let a100 = &results.fig8.counts[3];
+    assert!(a75[0] as f64 / n >= 0.35, "seed {seed}: early-75 {}", a75[0]);
+    assert!(a100[3] as f64 / n >= 0.15, "seed {seed}: late-100 {}", a100[3]);
+
+    // Taxon effects stay statistically significant.
+    let s7 = &results.section7;
+    assert!(s7.sync_by_taxon.as_ref().unwrap().p_value < 0.05, "seed {seed}");
+    assert!(
+        s7.attainment75_by_taxon.as_ref().unwrap().p_value < 0.05,
+        "seed {seed}"
+    );
+    // Synchronicity measures stay strongly correlated.
+    assert!(s7.kendall_sync_5_10.unwrap() > 0.4, "seed {seed}");
+    assert!(s7.kendall_advance_time_source.unwrap() > 0.4, "seed {seed}");
+
+    // Frozen-leaning taxa lead the always-in-advance ranking.
+    let row = |t: coevo_taxa::Taxon| {
+        results
+            .fig7
+            .rows
+            .iter()
+            .find(|r| r.taxon == t)
+            .map(|r| r.always_over_time as f64 / r.projects.max(1) as f64)
+            .unwrap()
+    };
+    let frozen_rate = row(coevo_taxa::Taxon::Frozen);
+    let active_rate = row(coevo_taxa::Taxon::Active);
+    assert!(
+        frozen_rate > active_rate,
+        "seed {seed}: frozen {frozen_rate} vs active {active_rate}"
+    );
+}
+
+#[test]
+fn alternative_seed_preserves_shapes() {
+    let results = run_with_seed(0xD00D_F00D);
+    assert_shapes(&results, 0xD00D_F00D);
+}
+
+#[test]
+#[ignore = "slow: two more full-study runs; exercised in CI nightly"]
+fn more_seeds_preserve_shapes() {
+    for seed in [1u64, 0xABCD_EF01] {
+        let results = run_with_seed(seed);
+        assert_shapes(&results, seed);
+    }
+}

@@ -1,0 +1,98 @@
+//! SQL dialect handling.
+//!
+//! The dataset of the paper keeps, per project, one DDL file in either MySQL
+//! or PostgreSQL ("the choice of MySQL or Postgres, in that order, in the case
+//! of more than one supported vendor"). The dialect influences lexing rules
+//! (comment forms, quoting, escapes) and a few parser tolerances; the schema
+//! *model* is dialect-independent.
+
+use serde::{Deserialize, Serialize};
+
+/// The SQL dialect of a DDL file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dialect {
+    /// MySQL / MariaDB: backtick identifiers, `#` comments, backslash escapes
+    /// in strings, `AUTO_INCREMENT`, `ENGINE=` table options.
+    MySql,
+    /// PostgreSQL: double-quoted identifiers, dollar-quoted strings, `SERIAL`
+    /// pseudo-types, no backslash escapes by default.
+    Postgres,
+    /// A permissive union used when the vendor is unknown: accepts the quoting
+    /// and comment forms of both, plus bracket identifiers.
+    Generic,
+}
+
+impl Dialect {
+    /// `# line comments` (MySQL only, plus Generic tolerance).
+    pub fn hash_comments(self) -> bool {
+        matches!(self, Dialect::MySql | Dialect::Generic)
+    }
+
+    /// Backslash escape sequences inside string literals.
+    pub fn backslash_escapes(self) -> bool {
+        matches!(self, Dialect::MySql | Dialect::Generic)
+    }
+
+    /// `$tag$ ... $tag$` dollar-quoted strings.
+    pub fn dollar_quotes(self) -> bool {
+        matches!(self, Dialect::Postgres | Dialect::Generic)
+    }
+
+    /// `[bracketed]` identifiers (SQL Server files that leak into corpora).
+    pub fn bracket_idents(self) -> bool {
+        matches!(self, Dialect::Generic)
+    }
+
+    /// Canonical lowercase name, used in corpus manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dialect::MySql => "mysql",
+            Dialect::Postgres => "postgres",
+            Dialect::Generic => "generic",
+        }
+    }
+
+    /// Parse a dialect name as it appears in manifests (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "mysql" | "mariadb" => Some(Dialect::MySql),
+            "postgres" | "postgresql" | "pgsql" => Some(Dialect::Postgres),
+            "generic" | "ansi" => Some(Dialect::Generic),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::Generic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_matrix() {
+        assert!(Dialect::MySql.hash_comments());
+        assert!(!Dialect::Postgres.hash_comments());
+        assert!(Dialect::MySql.backslash_escapes());
+        assert!(!Dialect::Postgres.backslash_escapes());
+        assert!(Dialect::Postgres.dollar_quotes());
+        assert!(!Dialect::MySql.dollar_quotes());
+        assert!(Dialect::Generic.hash_comments());
+        assert!(Dialect::Generic.dollar_quotes());
+        assert!(Dialect::Generic.bracket_idents());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for d in [Dialect::MySql, Dialect::Postgres, Dialect::Generic] {
+            assert_eq!(Dialect::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dialect::from_name("PostgreSQL"), Some(Dialect::Postgres));
+        assert_eq!(Dialect::from_name("mariadb"), Some(Dialect::MySql));
+        assert_eq!(Dialect::from_name("oracle"), None);
+    }
+}

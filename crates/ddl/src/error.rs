@@ -1,0 +1,129 @@
+//! Parse-error types for the DDL lexer and parser.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// What went wrong while lexing or parsing a DDL script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character the lexer cannot start any token with.
+    UnexpectedChar(char),
+    /// A string / quoted identifier / comment that never terminates.
+    UnterminatedLiteral(&'static str),
+    /// The parser found a token it did not expect.
+    /// The expected.
+    UnexpectedToken {
+        /// What the parser expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// Input ended in the middle of a statement.
+    /// The expected.
+    UnexpectedEof {
+        /// What the parser expected.
+        expected: String,
+    },
+    /// A statement references a table that does not exist (during apply).
+    UnknownTable(String),
+    /// A statement references a column that does not exist (during apply).
+    /// The table name.
+    UnknownColumn {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// A duplicate object definition (e.g. two tables with the same name).
+    /// The what.
+    Duplicate {
+        /// What kind of object was involved.
+        what: &'static str,
+        /// The object name.
+        name: String,
+    },
+    /// A numeric literal that does not fit the expected representation.
+    BadNumber(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            Self::UnterminatedLiteral(what) => write!(f, "unterminated {what}"),
+            Self::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            Self::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            Self::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} in table {table:?}")
+            }
+            Self::Duplicate { what, name } => write!(f, "duplicate {what} {name:?}"),
+            Self::BadNumber(s) => write!(f, "malformed number {s:?}"),
+        }
+    }
+}
+
+/// A parse error with source position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The kind of this item.
+    pub kind: ParseErrorKind,
+    /// 1-based line in the source text.
+    pub line: u32,
+    /// 1-based column in the source text.
+    pub column: u32,
+}
+
+impl ParseError {
+    /// Construct a new instance.
+    pub fn new(kind: ParseErrorKind, line: u32, column: u32) -> Self {
+        Self { kind, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedChar('\u{7f}'), 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 14"), "{s}");
+    }
+
+    #[test]
+    fn display_unexpected_token() {
+        let e = ParseError::new(
+            ParseErrorKind::UnexpectedToken {
+                expected: "identifier".into(),
+                found: "','".into(),
+            },
+            1,
+            1,
+        );
+        assert!(e.to_string().contains("expected identifier"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = ParseError::new(ParseErrorKind::UnknownTable("t".into()), 1, 1);
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,604 @@
+//! Hand-written SQL lexer.
+//!
+//! Handles the lexical quirks of real-world MySQL and PostgreSQL dump files:
+//! `--` line comments, `#` line comments (MySQL), `/* ... */` block comments
+//! (including MySQL's executable-comment form `/*!40101 ... */`, whose body we
+//! discard — schema files use them only for session settings), single-quoted
+//! strings with `''` and backslash escapes, backtick identifiers (MySQL),
+//! double-quoted identifiers (PostgreSQL / ANSI), bracket identifiers
+//! (tolerated for stray SQL Server files), and PostgreSQL dollar-quoted
+//! strings (`$$ ... $$`, `$tag$ ... $tag$`).
+
+use crate::dialect::Dialect;
+use crate::error::{ParseError, ParseErrorKind, Result};
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a DDL script.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+    dialect: Dialect,
+}
+
+impl<'a> Lexer<'a> {
+    /// Construct a new instance.
+    pub fn new(src: &'a str, dialect: Dialect) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, column: 1, dialect }
+    }
+
+    /// Tokenize the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    self.skip_line_comment();
+                }
+                Some(b'#') if self.dialect.hash_comments() => {
+                    self.skip_line_comment();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.skip_block_comment()?;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) -> Result<()> {
+        // Consume "/*". Nesting is not part of standard SQL; we do not nest.
+        self.bump();
+        self.bump();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnterminatedLiteral("block comment"))),
+                Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    return Ok(());
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let (line, column) = (self.line, self.column);
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, line, column });
+        };
+        let kind = match b {
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b',' => self.single(TokenKind::Comma),
+            b';' => self.single(TokenKind::Semicolon),
+            b'.' if !matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()) => {
+                self.single(TokenKind::Dot)
+            }
+            b'=' => self.single(TokenKind::Eq),
+            b'\'' => self.string_literal()?,
+            b'`' => self.quoted_ident(b'`', "backtick identifier")?,
+            b'"' => self.quoted_ident(b'"', "quoted identifier")?,
+            b'[' if self.dialect.bracket_idents() => self.bracket_ident()?,
+            b'$' if self.dialect.dollar_quotes() && self.looks_like_dollar_quote() => {
+                self.dollar_quoted()?
+            }
+            b'0'..=b'9' => self.number()?,
+            b'.' => self.number()?, // ".5" style literal
+            _ if is_ident_start(b) => self.word(),
+            b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b':' | b'|' | b'&'
+            | b'~' | b'^' | b'?' | b'@' | b'$' | b'[' | b']' | b'{' | b'}' | b'#' => {
+                self.operator()
+            }
+            other => {
+                // Non-ASCII bytes inside identifiers are handled by `word`;
+                // a stray non-ASCII byte elsewhere is an error.
+                if other >= 0x80 {
+                    self.word()
+                } else {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(other as char)));
+                }
+            }
+        };
+        Ok(Token { kind, line, column })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        TokenKind::Word(text)
+    }
+
+    fn operator(&mut self) -> TokenKind {
+        // Greedily take the two-character operators we care about; everything
+        // else is a single-character Op. The parser never interprets these
+        // beyond skipping expressions, so fidelity is not required.
+        let a = self.bump().unwrap();
+        let two = match (a, self.peek()) {
+            (b':', Some(b':'))
+            | (b'<', Some(b'='))
+            | (b'>', Some(b'='))
+            | (b'<', Some(b'>'))
+            | (b'!', Some(b'='))
+            | (b'|', Some(b'|'))
+            | (b'&', Some(b'&')) => {
+                let second = self.bump().unwrap();
+                Some(format!("{}{}", a as char, second as char))
+            }
+            _ => None,
+        };
+        TokenKind::Op(two.unwrap_or_else(|| (a as char).to_string()))
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !seen_dot && !seen_exp => {
+                    seen_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !seen_exp => {
+                    // Only an exponent if followed by a digit or sign+digit —
+                    // otherwise this is the start of an identifier (`1e` never
+                    // appears in DDL, but `1END` does not either; be strict).
+                    let next = self.peek_at(1);
+                    let next2 = self.peek_at(2);
+                    let is_exp = match next {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some(b'+') | Some(b'-') => {
+                            matches!(next2, Some(d) if d.is_ascii_digit())
+                        }
+                        _ => false,
+                    };
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.bump(); // e
+                    self.bump(); // digit or sign
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_string();
+        if text == "." {
+            return Err(self.err(ParseErrorKind::BadNumber(text)));
+        }
+        Ok(TokenKind::Number(text))
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(self.err(ParseErrorKind::UnterminatedLiteral("string literal")))
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    if self.peek() == Some(b'\'') {
+                        // '' escape
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::StringLit(out));
+                    }
+                }
+                Some(b'\\') if self.dialect.backslash_escapes() => {
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        out.push(unescape(esc));
+                    }
+                }
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self, quote: u8, what: &'static str) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnterminatedLiteral(what))),
+                Some(b) if b == quote => {
+                    self.bump();
+                    if self.peek() == Some(quote) {
+                        // Doubled quote escape inside identifier.
+                        self.bump();
+                        out.push(quote as char);
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(out));
+                    }
+                }
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+
+    fn bracket_ident(&mut self) -> Result<TokenKind> {
+        self.bump(); // '['
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(self.err(ParseErrorKind::UnterminatedLiteral("bracket identifier")))
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(TokenKind::QuotedIdent(out));
+                }
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+
+    /// A `$` starts a dollar-quote only when followed by `$` or `tag$`.
+    fn looks_like_dollar_quote(&self) -> bool {
+        let mut i = 1;
+        loop {
+            match self.peek_at(i) {
+                Some(b'$') => return true,
+                Some(b) if is_ident_continue(b) => i += 1,
+                _ => return false,
+            }
+        }
+    }
+
+    fn dollar_quoted(&mut self) -> Result<TokenKind> {
+        // Read the opening tag `$...$`.
+        let tag_start = self.pos;
+        self.bump(); // first '$'
+        while let Some(b) = self.peek() {
+            self.bump();
+            if b == b'$' {
+                break;
+            }
+        }
+        let tag: Vec<u8> = self.src[tag_start..self.pos].to_vec();
+        let body_start = self.pos;
+        // Scan for the closing tag.
+        loop {
+            if self.pos + tag.len() > self.src.len() {
+                return Err(self.err(ParseErrorKind::UnterminatedLiteral("dollar-quoted string")));
+            }
+            if &self.src[self.pos..self.pos + tag.len()] == tag.as_slice() {
+                let body =
+                    String::from_utf8_lossy(&self.src[body_start..self.pos]).into_owned();
+                for _ in 0..tag.len() {
+                    self.bump();
+                }
+                return Ok(TokenKind::StringLit(body));
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80
+}
+
+fn unescape(b: u8) -> char {
+    match b {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<TokenKind> {
+        Lexer::new(s, Dialect::MySql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn lex_pg(s: &str) -> Vec<TokenKind> {
+        Lexer::new(s, Dialect::Postgres)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn words_and_punctuation() {
+        let toks = lex("CREATE TABLE t (id INT);");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("CREATE".into()),
+                TokenKind::Word("TABLE".into()),
+                TokenKind::Word("t".into()),
+                TokenKind::LParen,
+                TokenKind::Word("id".into()),
+                TokenKind::Word("INT".into()),
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        let toks = lex("`order` `weird``name`");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::QuotedIdent("order".into()),
+                TokenKind::QuotedIdent("weird`name".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn double_quoted_identifiers() {
+        let toks = lex_pg(r#""User" "a""b""#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::QuotedIdent("User".into()),
+                TokenKind::QuotedIdent("a\"b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = lex(r"'it''s' 'a\nb'");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::StringLit("it's".into()),
+                TokenKind::StringLit("a\nb".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn postgres_strings_no_backslash_escape() {
+        let toks = lex_pg(r"'a\nb'");
+        assert_eq!(
+            toks,
+            vec![TokenKind::StringLit(r"a\nb".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_comments() {
+        let toks = lex("a -- comment to end\nb # another\nc");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::Word("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_is_not_comment_in_postgres() {
+        // Postgres has no # comments; '#' lexes as an operator.
+        let toks = lex_pg("a # b");
+        assert!(toks.contains(&TokenKind::Op("#".into())) || toks.len() == 4);
+    }
+
+    #[test]
+    fn block_comments_including_executable() {
+        let toks = lex("/* plain */ a /*!40101 SET x=1 */ b");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("/* never ends", Dialect::MySql).tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedLiteral("block comment"));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::new("'open", Dialect::MySql).tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedLiteral("string literal"));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("1 2.5 10e3 1.5E-2 .5");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Number("2.5".into()),
+                TokenKind::Number("10e3".into()),
+                TokenKind::Number("1.5E-2".into()),
+                TokenKind::Number(".5".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_word_does_not_eat_exponentless_e() {
+        // "10 END" vs "10END": the latter lexes as number 10 then word END.
+        let toks = lex("10END");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Number("10".into()),
+                TokenKind::Word("END".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_quoted_strings() {
+        let toks = lex_pg("$$hello$$ $fn$body; with 'quotes'$fn$");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::StringLit("hello".into()),
+                TokenKind::StringLit("body; with 'quotes'".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_not_a_quote_in_mysql() {
+        // MySQL has no dollar quoting; `$$` lexes as operators.
+        let toks = lex("$$x$$");
+        assert!(matches!(toks[0], TokenKind::Op(_)));
+    }
+
+    #[test]
+    fn operators_and_eq() {
+        let toks = lex("a = b <> c <= d :: e");
+        assert!(toks.contains(&TokenKind::Eq));
+        assert!(toks.contains(&TokenKind::Op("<>".into())));
+        assert!(toks.contains(&TokenKind::Op("<=".into())));
+        assert!(toks.contains(&TokenKind::Op("::".into())));
+    }
+
+    #[test]
+    fn dot_separates_qualified_names() {
+        let toks = lex("public.users");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("public".into()),
+                TokenKind::Dot,
+                TokenKind::Word("users".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("a\n  b", Dialect::MySql).tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn utf8_identifiers_survive() {
+        let toks = lex("café");
+        assert!(matches!(&toks[0], TokenKind::Word(w) if w.contains("caf")));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(lex(""), vec![TokenKind::Eof]);
+        assert_eq!(lex("   \n\t "), vec![TokenKind::Eof]);
+    }
+}

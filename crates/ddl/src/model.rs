@@ -1,0 +1,360 @@
+//! The logical schema object model.
+//!
+//! This is the measurement construct of the study: relations, their typed
+//! attributes, and primary-key participation. Tables keep their columns in
+//! declaration order (order changes are not evolution events in the paper,
+//! but the printer preserves them); lookups are case-insensitive, matching
+//! SQL's treatment of unquoted identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed SQL data type: base name plus optional parameters, e.g.
+/// `VARCHAR(255)`, `DECIMAL(10,2)`, `INT`, `ENUM('a','b')`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SqlType {
+    /// Uppercased base type name, possibly multi-word (`DOUBLE PRECISION`).
+    pub name: String,
+    /// Raw parameter list text items, e.g. `["255"]`, `["10", "2"]`,
+    /// `["'a'", "'b'"]` for enums.
+    pub params: Vec<String>,
+    /// Trailing modifiers that are part of the type in MySQL
+    /// (`UNSIGNED`, `ZEROFILL`) — uppercased.
+    pub modifiers: Vec<String>,
+}
+
+impl SqlType {
+    /// A parameterless type.
+    pub fn simple(name: &str) -> Self {
+        Self { name: name.to_ascii_uppercase(), params: Vec::new(), modifiers: Vec::new() }
+    }
+
+    /// A type with parameters, e.g. `SqlType::with_params("VARCHAR", &["255"])`.
+    pub fn with_params(name: &str, params: &[&str]) -> Self {
+        Self {
+            name: name.to_ascii_uppercase(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            modifiers: Vec::new(),
+        }
+    }
+
+    /// Two types are *equivalent* for evolution measurement if their base
+    /// name, parameters, and modifiers match. (`INT` vs `INTEGER` and other
+    /// alias pairs are normalized at parse time.)
+    pub fn equivalent(&self, other: &SqlType) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.params.is_empty() {
+            write!(f, "({})", self.params.join(","))?;
+        }
+        for m in &self.modifiers {
+            write!(f, " {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A column (attribute) of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Name as written (original case preserved).
+    pub name: String,
+    /// The declared SQL data type.
+    pub sql_type: SqlType,
+    /// The nullable.
+    pub nullable: bool,
+    /// Whether a DEFAULT clause is present (the expression itself is kept as
+    /// raw text for printing; it does not participate in evolution metrics).
+    pub default: Option<String>,
+    /// MySQL AUTO_INCREMENT / Postgres SERIAL-derived identity flag.
+    pub auto_increment: bool,
+    /// Declared inline as `PRIMARY KEY` on the column.
+    pub inline_primary_key: bool,
+    /// Declared inline as `UNIQUE` on the column.
+    pub unique: bool,
+    /// COMMENT 'text' if present (MySQL).
+    pub comment: Option<String>,
+}
+
+impl Column {
+    /// A nullable column of the given type with no constraints.
+    pub fn new(name: &str, sql_type: SqlType) -> Self {
+        Self {
+            name: name.to_string(),
+            sql_type,
+            nullable: true,
+            default: None,
+            auto_increment: false,
+            inline_primary_key: false,
+            unique: false,
+            comment: None,
+        }
+    }
+
+    /// Case-insensitive name comparison key.
+    pub fn key(&self) -> String {
+        self.name.to_ascii_lowercase()
+    }
+}
+
+/// A table-level constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableConstraint {
+    /// A table-level `PRIMARY KEY` constraint.
+    PrimaryKey {
+        /// The object name.
+        name: Option<String>,
+        /// The column names.
+        columns: Vec<String>,
+    },
+    /// A `UNIQUE` constraint.
+    Unique {
+        /// The object name.
+        name: Option<String>,
+        /// The column names.
+        columns: Vec<String>,
+    },
+    /// A `FOREIGN KEY` reference.
+    ForeignKey(ForeignKey),
+    /// CHECK constraints are retained as raw text (never diffed).
+    /// The name, as written in the source.
+    Check {
+        /// The object name.
+        name: Option<String>,
+        /// The expr.
+        expr: String,
+    },
+}
+
+/// A foreign-key reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// The name, as written in the source.
+    pub name: Option<String>,
+    /// The referenced column names.
+    pub columns: Vec<String>,
+    /// The foreign table.
+    pub foreign_table: String,
+    /// The foreign columns.
+    pub foreign_columns: Vec<String>,
+    /// Raw text of ON DELETE / ON UPDATE actions, if any.
+    pub actions: Vec<String>,
+}
+
+/// A secondary index (MySQL `KEY`/`INDEX` entries and `CREATE INDEX`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// The name, as written in the source.
+    pub name: Option<String>,
+    /// The referenced column names.
+    pub columns: Vec<String>,
+    /// The unique.
+    pub unique: bool,
+}
+
+/// A relation: named, with ordered typed attributes and constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Name as written (original case preserved); schema-qualified prefixes
+    /// (`public.`) are stripped at parse time.
+    pub name: String,
+    /// The referenced column names.
+    pub columns: Vec<Column>,
+    /// The constraints.
+    pub constraints: Vec<TableConstraint>,
+    /// The indexes.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl Table {
+    /// Construct a new instance.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            columns: Vec::new(),
+            constraints: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Case-insensitive name comparison key.
+    pub fn key(&self) -> String {
+        self.name.to_ascii_lowercase()
+    }
+
+    /// Look up a column case-insensitively.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable case-insensitive column lookup.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        self.columns.iter_mut().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The effective primary-key column names (lowercased), merging inline
+    /// `PRIMARY KEY` column flags and table-level PRIMARY KEY constraints.
+    pub fn primary_key(&self) -> Vec<String> {
+        let mut pk: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| c.inline_primary_key)
+            .map(|c| c.key())
+            .collect();
+        for constraint in &self.constraints {
+            if let TableConstraint::PrimaryKey { columns, .. } = constraint {
+                for col in columns {
+                    let k = col.to_ascii_lowercase();
+                    if !pk.contains(&k) {
+                        pk.push(k);
+                    }
+                }
+            }
+        }
+        pk
+    }
+
+    /// All foreign keys (table-level only; inline REFERENCES are promoted to
+    /// table constraints by the parser).
+    pub fn foreign_keys(&self) -> impl Iterator<Item = &ForeignKey> {
+        self.constraints.iter().filter_map(|c| match c {
+            TableConstraint::ForeignKey(fk) => Some(fk),
+            _ => None,
+        })
+    }
+}
+
+/// A whole logical schema: an ordered collection of tables.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// The referenced tables.
+    pub tables: Vec<Table>,
+}
+
+impl Schema {
+    /// Construct a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a table case-insensitively.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable case-insensitive table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Remove a table by name (case-insensitive); returns it if present.
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        let idx = self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))?;
+        Some(self.tables.remove(idx))
+    }
+
+    /// Total number of attributes across all tables — the paper's measure of
+    /// schema size.
+    pub fn attribute_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// True if the schema defines no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users_table() -> Table {
+        let mut t = Table::new("Users");
+        let mut id = Column::new("id", SqlType::simple("int"));
+        id.inline_primary_key = true;
+        id.nullable = false;
+        t.columns.push(id);
+        t.columns.push(Column::new("email", SqlType::with_params("varchar", &["255"])));
+        t
+    }
+
+    #[test]
+    fn sql_type_display() {
+        assert_eq!(SqlType::simple("int").to_string(), "INT");
+        assert_eq!(SqlType::with_params("varchar", &["255"]).to_string(), "VARCHAR(255)");
+        let mut t = SqlType::with_params("decimal", &["10", "2"]);
+        t.modifiers.push("UNSIGNED".into());
+        assert_eq!(t.to_string(), "DECIMAL(10,2) UNSIGNED");
+    }
+
+    #[test]
+    fn case_insensitive_lookups() {
+        let mut s = Schema::new();
+        s.tables.push(users_table());
+        assert!(s.table("users").is_some());
+        assert!(s.table("USERS").is_some());
+        assert!(s.table("nope").is_none());
+        let t = s.table("users").unwrap();
+        assert!(t.column("EMAIL").is_some());
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn primary_key_merges_inline_and_table_level() {
+        let mut t = users_table();
+        assert_eq!(t.primary_key(), vec!["id".to_string()]);
+        t.constraints.push(TableConstraint::PrimaryKey {
+            name: None,
+            columns: vec!["email".into()],
+        });
+        assert_eq!(t.primary_key(), vec!["id".to_string(), "email".to_string()]);
+    }
+
+    #[test]
+    fn primary_key_dedupes() {
+        let mut t = users_table();
+        t.constraints.push(TableConstraint::PrimaryKey {
+            name: None,
+            columns: vec!["ID".into()],
+        });
+        assert_eq!(t.primary_key(), vec!["id".to_string()]);
+    }
+
+    #[test]
+    fn remove_table_returns_removed() {
+        let mut s = Schema::new();
+        s.tables.push(users_table());
+        let removed = s.remove_table("USERS").unwrap();
+        assert_eq!(removed.name, "Users");
+        assert!(s.is_empty());
+        assert!(s.remove_table("users").is_none());
+    }
+
+    #[test]
+    fn attribute_count_sums_tables() {
+        let mut s = Schema::new();
+        s.tables.push(users_table());
+        s.tables.push(users_table());
+        assert_eq!(s.attribute_count(), 4);
+    }
+
+    #[test]
+    fn foreign_keys_iterates_only_fks() {
+        let mut t = users_table();
+        t.constraints.push(TableConstraint::Check { name: None, expr: "id > 0".into() });
+        t.constraints.push(TableConstraint::ForeignKey(ForeignKey {
+            name: None,
+            columns: vec!["email".into()],
+            foreign_table: "emails".into(),
+            foreign_columns: vec!["addr".into()],
+            actions: vec![],
+        }));
+        assert_eq!(t.foreign_keys().count(), 1);
+    }
+}

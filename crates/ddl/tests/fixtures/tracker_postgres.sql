@@ -1,0 +1,80 @@
+--
+-- PostgreSQL database dump (issue-tracker style schema)
+--
+
+SET statement_timeout = 0;
+SET lock_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+SET check_function_bodies = false;
+SET search_path = public, pg_catalog;
+
+--
+-- Name: projects; Type: TABLE
+--
+
+CREATE TABLE public.projects (
+    id bigserial PRIMARY KEY,
+    slug character varying(80) NOT NULL UNIQUE,
+    name character varying(200) NOT NULL,
+    description text,
+    visibility smallint DEFAULT 0 NOT NULL,
+    created_at timestamp with time zone DEFAULT now() NOT NULL,
+    archived boolean DEFAULT false NOT NULL
+);
+
+CREATE TABLE public.issues (
+    id bigserial PRIMARY KEY,
+    project_id bigint NOT NULL REFERENCES public.projects(id) ON DELETE CASCADE,
+    reporter_id integer,
+    title character varying(255) NOT NULL,
+    body text,
+    state character varying(20) DEFAULT 'open'::character varying NOT NULL,
+    labels text[],
+    weight numeric(6,2),
+    due_on date,
+    created_at timestamp without time zone DEFAULT now(),
+    updated_at timestamp without time zone,
+    CONSTRAINT issues_state_check CHECK (state IN ('open', 'closed', 'wontfix'))
+);
+
+CREATE TABLE public."issueEvents" (
+    id bigserial PRIMARY KEY,
+    issue_id bigint NOT NULL,
+    actor_id integer,
+    kind character varying(40) NOT NULL,
+    payload text,
+    happened_at timestamp with time zone DEFAULT now() NOT NULL
+);
+
+ALTER TABLE ONLY public."issueEvents"
+    ADD CONSTRAINT fk_events_issue FOREIGN KEY (issue_id) REFERENCES public.issues(id) ON DELETE CASCADE;
+
+CREATE INDEX idx_issues_project ON public.issues (project_id);
+CREATE INDEX idx_issues_state ON public.issues (state);
+CREATE UNIQUE INDEX idx_events_unique ON public."issueEvents" (issue_id, kind, happened_at);
+
+--
+-- A trigger function body: the parser must skip the dollar-quoted block.
+--
+
+CREATE FUNCTION public.touch_updated_at() RETURNS trigger AS $$
+BEGIN
+    NEW.updated_at := now();
+    RETURN NEW; -- semicolons in here; must not end statements
+END;
+$$ LANGUAGE plpgsql;
+
+CREATE TRIGGER trg_touch BEFORE UPDATE ON public.issues
+    FOR EACH ROW EXECUTE PROCEDURE public.touch_updated_at();
+
+--
+-- Schema evolution leftovers typical of hand-maintained DDL files.
+--
+
+ALTER TABLE public.issues ADD COLUMN severity smallint DEFAULT 3;
+ALTER TABLE public.issues ALTER COLUMN weight TYPE numeric(8,2);
+ALTER TABLE public.projects RENAME COLUMN visibility TO visibility_level;
+
+COMMENT ON TABLE public.issues IS 'tracked issues';
+GRANT SELECT ON public.issues TO readonly;

@@ -1,0 +1,130 @@
+//! The six activity counters and Total Activity.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counts of attribute-level changes between two schema versions, in the six
+/// categories of the Schema_Evo_2019 dataset. Their sum is **Total
+/// Activity** — "the central measure that we will use to trace the amount of
+/// evolution the schema undergoes."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivityBreakdown {
+    /// Attributes born with a new table.
+    pub attrs_born_with_table: u64,
+    /// Attributes injected into an existing table.
+    pub attrs_injected: u64,
+    /// Attributes deleted with a removed table.
+    pub attrs_deleted_with_table: u64,
+    /// Attributes ejected from a surviving table.
+    pub attrs_ejected: u64,
+    /// Attributes whose data type changed.
+    pub attrs_type_changed: u64,
+    /// Attributes whose participation in the primary key changed.
+    pub attrs_key_changed: u64,
+}
+
+impl ActivityBreakdown {
+    /// Total Activity: the sum of all six categories.
+    pub fn total(&self) -> u64 {
+        self.attrs_born_with_table
+            + self.attrs_injected
+            + self.attrs_deleted_with_table
+            + self.attrs_ejected
+            + self.attrs_type_changed
+            + self.attrs_key_changed
+    }
+
+    /// True when no change at the logical level occurred (the paper's
+    /// "inactive" commits — versions that differ only in comments,
+    /// formatting, or non-logical detail).
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Growth-oriented activity (births + injections).
+    pub fn additions(&self) -> u64 {
+        self.attrs_born_with_table + self.attrs_injected
+    }
+
+    /// Shrink-oriented activity (deletions + ejections).
+    pub fn removals(&self) -> u64 {
+        self.attrs_deleted_with_table + self.attrs_ejected
+    }
+
+    /// In-place maintenance (type + key changes).
+    pub fn updates(&self) -> u64 {
+        self.attrs_type_changed + self.attrs_key_changed
+    }
+}
+
+impl Add for ActivityBreakdown {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            attrs_born_with_table: self.attrs_born_with_table + rhs.attrs_born_with_table,
+            attrs_injected: self.attrs_injected + rhs.attrs_injected,
+            attrs_deleted_with_table: self.attrs_deleted_with_table
+                + rhs.attrs_deleted_with_table,
+            attrs_ejected: self.attrs_ejected + rhs.attrs_ejected,
+            attrs_type_changed: self.attrs_type_changed + rhs.attrs_type_changed,
+            attrs_key_changed: self.attrs_key_changed + rhs.attrs_key_changed,
+        }
+    }
+}
+
+impl AddAssign for ActivityBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ActivityBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ActivityBreakdown {
+        ActivityBreakdown {
+            attrs_born_with_table: 1,
+            attrs_injected: 2,
+            attrs_deleted_with_table: 3,
+            attrs_ejected: 4,
+            attrs_type_changed: 5,
+            attrs_key_changed: 6,
+        }
+    }
+
+    #[test]
+    fn total_sums_all_six() {
+        assert_eq!(sample().total(), 21);
+        assert_eq!(ActivityBreakdown::default().total(), 0);
+        assert!(ActivityBreakdown::default().is_zero());
+        assert!(!sample().is_zero());
+    }
+
+    #[test]
+    fn category_groupings() {
+        let s = sample();
+        assert_eq!(s.additions(), 3);
+        assert_eq!(s.removals(), 7);
+        assert_eq!(s.updates(), 11);
+        assert_eq!(s.additions() + s.removals() + s.updates(), s.total());
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let two = sample() + sample();
+        assert_eq!(two.total(), 42);
+        let summed: ActivityBreakdown = vec![sample(), sample(), sample()].into_iter().sum();
+        assert_eq!(summed.total(), 63);
+        let mut acc = ActivityBreakdown::default();
+        acc += sample();
+        assert_eq!(acc, sample());
+    }
+}

@@ -1,0 +1,215 @@
+//! Constraint-level diffing: foreign keys and secondary indexes.
+//!
+//! The paper's Total Activity counts only attribute-level change; constraint
+//! churn is *informational* — it never feeds the heartbeats — but a library
+//! user replaying or reviewing a schema change wants to see it. Constraints
+//! are matched structurally (by their column sets and targets), not by name:
+//! real dumps rename constraints freely (`fk_1` → `orders_customer_fk`)
+//! without changing meaning.
+
+use coevo_ddl::{ForeignKey, IndexDef, Schema};
+use serde::{Deserialize, Serialize};
+
+/// One foreign-key change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForeignKeyChange {
+    /// Present only in the new version of the table.
+    Added {
+        /// The owning table.
+        table: String,
+        /// The foreign key definition.
+        fk: ForeignKey,
+    },
+    /// Present only in the old version of the table.
+    Removed {
+        /// The owning table.
+        table: String,
+        /// The foreign key definition.
+        fk: ForeignKey,
+    },
+}
+
+/// One secondary-index change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IndexChange {
+    /// Present only in the new version of the table.
+    Added {
+        /// The owning table.
+        table: String,
+        /// The index definition.
+        index: IndexDef,
+    },
+    /// Present only in the old version of the table.
+    Removed {
+        /// The owning table.
+        table: String,
+        /// The index definition.
+        index: IndexDef,
+    },
+}
+
+/// Constraint-level delta between two schema versions (surviving tables
+/// only — constraints of created/dropped tables ride along with the table).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConstraintDelta {
+    /// Foreign keys gained or lost by surviving tables.
+    pub foreign_keys: Vec<ForeignKeyChange>,
+    /// Secondary indexes gained or lost by surviving tables.
+    pub indexes: Vec<IndexChange>,
+}
+
+impl ConstraintDelta {
+    /// True when no constraint changed.
+    pub fn is_empty(&self) -> bool {
+        self.foreign_keys.is_empty() && self.indexes.is_empty()
+    }
+}
+
+/// Structural identity of a foreign key: columns, target table, target
+/// columns (lowercased); names and actions are ignored.
+fn fk_signature(fk: &ForeignKey) -> (Vec<String>, String, Vec<String>) {
+    (
+        fk.columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        fk.foreign_table.to_ascii_lowercase(),
+        fk.foreign_columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+    )
+}
+
+/// Structural identity of an index: uniqueness and its column list.
+fn index_signature(idx: &IndexDef) -> (bool, Vec<String>) {
+    (idx.unique, idx.columns.iter().map(|c| c.to_ascii_lowercase()).collect())
+}
+
+/// Diff the constraints of surviving tables between two schema versions.
+pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
+    let mut delta = ConstraintDelta::default();
+    for old_table in &old.tables {
+        let Some(new_table) = new.table(&old_table.name) else {
+            continue; // dropped table: not reported here
+        };
+        let old_fks: Vec<&ForeignKey> = old_table.foreign_keys().collect();
+        let new_fks: Vec<&ForeignKey> = new_table.foreign_keys().collect();
+        for fk in &old_fks {
+            if !new_fks.iter().any(|n| fk_signature(n) == fk_signature(fk)) {
+                delta.foreign_keys.push(ForeignKeyChange::Removed {
+                    table: new_table.name.clone(),
+                    fk: (*fk).clone(),
+                });
+            }
+        }
+        for fk in &new_fks {
+            if !old_fks.iter().any(|o| fk_signature(o) == fk_signature(fk)) {
+                delta.foreign_keys.push(ForeignKeyChange::Added {
+                    table: new_table.name.clone(),
+                    fk: (*fk).clone(),
+                });
+            }
+        }
+        for idx in &old_table.indexes {
+            if !new_table
+                .indexes
+                .iter()
+                .any(|n| index_signature(n) == index_signature(idx))
+            {
+                delta.indexes.push(IndexChange::Removed {
+                    table: new_table.name.clone(),
+                    index: idx.clone(),
+                });
+            }
+        }
+        for idx in &new_table.indexes {
+            if !old_table
+                .indexes
+                .iter()
+                .any(|o| index_signature(o) == index_signature(idx))
+            {
+                delta.indexes.push(IndexChange::Added {
+                    table: new_table.name.clone(),
+                    index: idx.clone(),
+                });
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn schema(sql: &str) -> Schema {
+        parse_schema(sql, Dialect::Generic).unwrap()
+    }
+
+    #[test]
+    fn fk_added_and_removed() {
+        let old = schema(
+            "CREATE TABLE orders (id INT, cid INT,
+                CONSTRAINT fk1 FOREIGN KEY (cid) REFERENCES customers (id));
+             CREATE TABLE customers (id INT);",
+        );
+        let new = schema(
+            "CREATE TABLE orders (id INT, cid INT, wid INT,
+                CONSTRAINT fk2 FOREIGN KEY (wid) REFERENCES warehouses (id));
+             CREATE TABLE customers (id INT);",
+        );
+        let d = diff_constraints(&old, &new);
+        assert_eq!(d.foreign_keys.len(), 2);
+        assert!(matches!(
+            &d.foreign_keys[0],
+            ForeignKeyChange::Removed { fk, .. } if fk.foreign_table == "customers"
+        ));
+        assert!(matches!(
+            &d.foreign_keys[1],
+            ForeignKeyChange::Added { fk, .. } if fk.foreign_table == "warehouses"
+        ));
+    }
+
+    #[test]
+    fn renamed_constraint_is_not_a_change() {
+        let old = schema(
+            "CREATE TABLE o (id INT, cid INT,
+                CONSTRAINT fk_1 FOREIGN KEY (cid) REFERENCES c (id));",
+        );
+        let new = schema(
+            "CREATE TABLE o (id INT, cid INT,
+                CONSTRAINT orders_customer_fk FOREIGN KEY (cid) REFERENCES c (id));",
+        );
+        assert!(diff_constraints(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn index_changes_by_structure() {
+        let old = schema("CREATE TABLE t (a INT, b INT, KEY i1 (a));");
+        let new = schema("CREATE TABLE t (a INT, b INT, KEY i1 (a, b));");
+        let d = diff_constraints(&old, &new);
+        assert_eq!(d.indexes.len(), 2); // (a) removed, (a, b) added
+    }
+
+    #[test]
+    fn uniqueness_flip_is_a_change() {
+        let old = schema("CREATE TABLE t (a INT); CREATE INDEX i ON t (a);");
+        let new = schema("CREATE TABLE t (a INT); CREATE UNIQUE INDEX i ON t (a);");
+        let d = diff_constraints(&old, &new);
+        assert_eq!(d.indexes.len(), 2);
+    }
+
+    #[test]
+    fn dropped_table_constraints_not_reported() {
+        let old = schema(
+            "CREATE TABLE gone (a INT, CONSTRAINT f FOREIGN KEY (a) REFERENCES x (y));",
+        );
+        let new = Schema::new();
+        assert!(diff_constraints(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn identical_schemas_empty() {
+        let s = schema(
+            "CREATE TABLE t (a INT, KEY k (a),
+                CONSTRAINT f FOREIGN KEY (a) REFERENCES u (b));",
+        );
+        assert!(diff_constraints(&s, &s).is_empty());
+    }
+}

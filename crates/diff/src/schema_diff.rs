@@ -1,0 +1,180 @@
+//! Schema-level diff: table matching, creations, drops, and survivors.
+
+use crate::changes::{SchemaDelta, TableDelta, TableFate};
+use crate::table_diff::diff_tables;
+use coevo_ddl::Schema;
+use std::collections::BTreeMap;
+
+/// How attributes (and, transitively, their changes) are matched between two
+/// versions. The paper matches by name; rename detection is an ablation knob
+/// (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchPolicy {
+    /// Case-insensitive name equality — the paper's policy. A renamed
+    /// attribute counts as one ejection plus one injection.
+    #[default]
+    ByName,
+    /// Additionally pair unmatched attributes of identical type as renames.
+    RenameDetection,
+}
+
+/// Diff two schema versions under the default (paper) matching policy.
+pub fn diff_schemas(old: &Schema, new: &Schema) -> SchemaDelta {
+    diff_schemas_with(old, new, MatchPolicy::ByName)
+}
+
+/// Diff two schema versions under an explicit matching policy.
+///
+/// Tables are matched by case-insensitive name. A table present only in
+/// `new` contributes its attributes as *born with table*; present only in
+/// `old`, as *deleted with table*; present in both, the attribute-level
+/// diff of [`diff_tables`].
+pub fn diff_schemas_with(old: &Schema, new: &Schema, policy: MatchPolicy) -> SchemaDelta {
+    let old_by_key: BTreeMap<String, usize> =
+        old.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
+    let new_by_key: BTreeMap<String, usize> =
+        new.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
+
+    let mut deltas = Vec::new();
+
+    // Old-version order: drops and survivors.
+    for t in &old.tables {
+        match new_by_key.get(&t.key()) {
+            Some(&j) => {
+                let td = diff_tables(t, &new.tables[j], policy);
+                if !td.changes.is_empty() {
+                    deltas.push(td);
+                }
+            }
+            None => {
+                deltas.push(TableDelta {
+                    table: t.name.clone(),
+                    fate: TableFate::Dropped,
+                    changes: Vec::new(),
+                    attribute_count: t.columns.len(),
+                });
+            }
+        }
+    }
+    // New-version order: creations.
+    for t in &new.tables {
+        if !old_by_key.contains_key(&t.key()) {
+            deltas.push(TableDelta {
+                table: t.name.clone(),
+                fate: TableFate::Created,
+                changes: Vec::new(),
+                attribute_count: t.columns.len(),
+            });
+        }
+    }
+
+    SchemaDelta { tables: deltas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn schema(sql: &str) -> Schema {
+        parse_schema(sql, Dialect::Generic).unwrap()
+    }
+
+    #[test]
+    fn table_creation_counts_births() {
+        let old = schema("CREATE TABLE a (x INT);");
+        let new = schema("CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT, w INT);");
+        let d = diff_schemas(&old, &new);
+        let b = d.breakdown();
+        assert_eq!(b.attrs_born_with_table, 3);
+        assert_eq!(b.total(), 3);
+        assert_eq!(d.tables_created(), 1);
+    }
+
+    #[test]
+    fn table_drop_counts_deaths() {
+        let old = schema("CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);");
+        let new = schema("CREATE TABLE a (x INT);");
+        let d = diff_schemas(&old, &new);
+        assert_eq!(d.breakdown().attrs_deleted_with_table, 2);
+        assert_eq!(d.tables_dropped(), 1);
+    }
+
+    #[test]
+    fn survivor_changes_flow_through() {
+        let old = schema("CREATE TABLE a (x INT, y INT);");
+        let new = schema("CREATE TABLE a (x BIGINT, z INT);");
+        let b = diff_schemas(&old, &new).breakdown();
+        assert_eq!(b.attrs_type_changed, 1);
+        assert_eq!(b.attrs_ejected, 1);
+        assert_eq!(b.attrs_injected, 1);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn identical_schemas_are_empty_delta() {
+        let s = schema("CREATE TABLE a (x INT); CREATE TABLE b (y TEXT);");
+        let d = diff_schemas(&s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.total_activity(), 0);
+    }
+
+    #[test]
+    fn unchanged_survivors_not_reported() {
+        let old = schema("CREATE TABLE a (x INT); CREATE TABLE b (y INT);");
+        let new = schema("CREATE TABLE a (x INT); CREATE TABLE b (y BIGINT);");
+        let d = diff_schemas(&old, &new);
+        assert_eq!(d.tables.len(), 1);
+        assert_eq!(d.tables[0].table, "b");
+    }
+
+    #[test]
+    fn table_rename_is_drop_plus_create() {
+        // Table matching is by name only (paper policy): renaming a table is
+        // a drop + create, with all attributes dying and being born.
+        let old = schema("CREATE TABLE users (a INT, b INT);");
+        let new = schema("CREATE TABLE members (a INT, b INT);");
+        let b = diff_schemas(&old, &new).breakdown();
+        assert_eq!(b.attrs_deleted_with_table, 2);
+        assert_eq!(b.attrs_born_with_table, 2);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn case_insensitive_table_matching() {
+        let old = schema("CREATE TABLE Users (a INT);");
+        let new = schema("CREATE TABLE users (a INT);");
+        assert!(diff_schemas(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn empty_to_initial_schema() {
+        let old = Schema::new();
+        let new = schema("CREATE TABLE a (x INT, y INT);");
+        let b = diff_schemas(&old, &new).breakdown();
+        assert_eq!(b.attrs_born_with_table, 2);
+    }
+
+    #[test]
+    fn doc_example_from_lib() {
+        let v1 = schema("CREATE TABLE t (a INT, b INT);");
+        let v2 = schema("CREATE TABLE t (a BIGINT, c INT);");
+        let acts = diff_schemas(&v1, &v2).breakdown();
+        assert_eq!(acts.attrs_injected, 1);
+        assert_eq!(acts.attrs_ejected, 1);
+        assert_eq!(acts.attrs_type_changed, 1);
+        assert_eq!(acts.total(), 3);
+    }
+
+    #[test]
+    fn policy_is_threaded_to_tables() {
+        let old = schema("CREATE TABLE t (a VARCHAR(9));");
+        let new = schema("CREATE TABLE t (b VARCHAR(9));");
+        let by_name = diff_schemas_with(&old, &new, MatchPolicy::ByName);
+        let renames = diff_schemas_with(&old, &new, MatchPolicy::RenameDetection);
+        assert_eq!(by_name.breakdown().total(), 2);
+        // Rename still counts 2 in activity, but is structurally one change.
+        assert_eq!(renames.tables[0].changes.len(), 1);
+        assert_eq!(renames.breakdown().total(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Schema Modification Operators (SMOs): expressing a delta as a forward
+//! script of evolution operations.
+//!
+//! The SMO algebra line of work (PRISM, and the operator algebras cited in
+//! the paper's §2.1) describes evolution as an executable sequence of
+//! operators. This module derives such a script from a [`SchemaDelta`] — an
+//! extension beyond the paper's measurements, useful for replaying a history
+//! against a live database.
+
+use crate::changes::{AttributeChange, SchemaDelta, TableFate};
+use coevo_ddl::SqlType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One schema modification operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Smo {
+    /// A `CREATE TABLE` statement.
+    CreateTable {
+        /// The table name, as written.
+        table: String,
+    },
+    /// A `DROP TABLE` statement.
+    DropTable {
+        /// The table name, as written.
+        table: String,
+    },
+    /// Add a column.
+    AddColumn {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+        /// The SQL data type.
+        sql_type: SqlType,
+    },
+    /// Drop a column.
+    DropColumn {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// Change a column’s data type.
+    ChangeColumnType {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+        /// The new name.
+        to: SqlType,
+    },
+    /// Rename a column.
+    RenameColumn {
+        /// The table name, as written.
+        table: String,
+        /// The old name.
+        from: String,
+        /// The new name.
+        to: String,
+    },
+    /// Add a column to the primary key.
+    AddToKey {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// Remove a column from the primary key.
+    RemoveFromKey {
+        /// The table name, as written.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+}
+
+impl Smo {
+    /// The table this operator targets.
+    pub fn table(&self) -> &str {
+        match self {
+            Smo::CreateTable { table }
+            | Smo::DropTable { table }
+            | Smo::AddColumn { table, .. }
+            | Smo::DropColumn { table, .. }
+            | Smo::ChangeColumnType { table, .. }
+            | Smo::RenameColumn { table, .. }
+            | Smo::AddToKey { table, .. }
+            | Smo::RemoveFromKey { table, .. } => table,
+        }
+    }
+}
+
+impl fmt::Display for Smo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Smo::CreateTable { table } => write!(f, "CREATE TABLE {table}"),
+            Smo::DropTable { table } => write!(f, "DROP TABLE {table}"),
+            Smo::AddColumn { table, column, sql_type } => {
+                write!(f, "ALTER TABLE {table} ADD COLUMN {column} {sql_type}")
+            }
+            Smo::DropColumn { table, column } => {
+                write!(f, "ALTER TABLE {table} DROP COLUMN {column}")
+            }
+            Smo::ChangeColumnType { table, column, to } => {
+                write!(f, "ALTER TABLE {table} ALTER COLUMN {column} TYPE {to}")
+            }
+            Smo::RenameColumn { table, from, to } => {
+                write!(f, "ALTER TABLE {table} RENAME COLUMN {from} TO {to}")
+            }
+            Smo::AddToKey { table, column } => {
+                write!(f, "-- KEY: add {column} to PRIMARY KEY of {table}")
+            }
+            Smo::RemoveFromKey { table, column } => {
+                write!(f, "-- KEY: remove {column} from PRIMARY KEY of {table}")
+            }
+        }
+    }
+}
+
+/// Flatten a schema delta into a forward SMO script: drops first, then
+/// creations, then in-place changes (a safe replay order for name reuse).
+pub fn delta_to_smos(delta: &SchemaDelta) -> Vec<Smo> {
+    let mut out = Vec::new();
+    for td in delta.tables.iter().filter(|t| t.fate == TableFate::Dropped) {
+        out.push(Smo::DropTable { table: td.table.clone() });
+    }
+    for td in delta.tables.iter().filter(|t| t.fate == TableFate::Created) {
+        out.push(Smo::CreateTable { table: td.table.clone() });
+    }
+    for td in delta.tables.iter().filter(|t| t.fate == TableFate::Survived) {
+        for ch in &td.changes {
+            out.push(match ch {
+                AttributeChange::Injected { name, sql_type } => Smo::AddColumn {
+                    table: td.table.clone(),
+                    column: name.clone(),
+                    sql_type: sql_type.clone(),
+                },
+                AttributeChange::Ejected { name, .. } => {
+                    Smo::DropColumn { table: td.table.clone(), column: name.clone() }
+                }
+                AttributeChange::TypeChanged { name, to, .. } => Smo::ChangeColumnType {
+                    table: td.table.clone(),
+                    column: name.clone(),
+                    to: to.clone(),
+                },
+                AttributeChange::KeyChanged { name, now_in_key: true } => {
+                    Smo::AddToKey { table: td.table.clone(), column: name.clone() }
+                }
+                AttributeChange::KeyChanged { name, now_in_key: false } => {
+                    Smo::RemoveFromKey { table: td.table.clone(), column: name.clone() }
+                }
+                AttributeChange::Renamed { from, to, .. } => Smo::RenameColumn {
+                    table: td.table.clone(),
+                    from: from.clone(),
+                    to: to.clone(),
+                },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_diff::{diff_schemas, diff_schemas_with, MatchPolicy};
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn schema(sql: &str) -> coevo_ddl::Schema {
+        parse_schema(sql, Dialect::Generic).unwrap()
+    }
+
+    #[test]
+    fn smo_script_covers_all_changes() {
+        let old = schema("CREATE TABLE gone (a INT); CREATE TABLE t (x INT, y INT, w INT, PRIMARY KEY (x));");
+        let new = schema("CREATE TABLE t (x INT, y INT, z TEXT, PRIMARY KEY (x, y)); CREATE TABLE born (b INT);");
+        let smos = delta_to_smos(&diff_schemas(&old, &new));
+        let rendered: Vec<String> = smos.iter().map(|s| s.to_string()).collect();
+        assert!(rendered.contains(&"DROP TABLE gone".to_string()));
+        assert!(rendered.contains(&"CREATE TABLE born".to_string()));
+        assert!(rendered.contains(&"ALTER TABLE t DROP COLUMN w".to_string()));
+        assert!(rendered.contains(&"ALTER TABLE t ADD COLUMN z TEXT".to_string()));
+        assert!(rendered.iter().any(|s| s.contains("add y to PRIMARY KEY")));
+    }
+
+    #[test]
+    fn drops_precede_creates() {
+        let old = schema("CREATE TABLE a (x INT);");
+        let new = schema("CREATE TABLE b (x INT);");
+        let smos = delta_to_smos(&diff_schemas(&old, &new));
+        assert!(matches!(smos[0], Smo::DropTable { .. }));
+        assert!(matches!(smos[1], Smo::CreateTable { .. }));
+    }
+
+    #[test]
+    fn rename_smo_from_rename_policy() {
+        let old = schema("CREATE TABLE t (old_name INT);");
+        let new = schema("CREATE TABLE t (new_name INT);");
+        let smos = delta_to_smos(&diff_schemas_with(&old, &new, MatchPolicy::RenameDetection));
+        assert_eq!(smos.len(), 1);
+        assert_eq!(smos[0].to_string(), "ALTER TABLE t RENAME COLUMN old_name TO new_name");
+        assert_eq!(smos[0].table(), "t");
+    }
+
+    #[test]
+    fn type_change_smo() {
+        let old = schema("CREATE TABLE t (a INT);");
+        let new = schema("CREATE TABLE t (a VARCHAR(20));");
+        let smos = delta_to_smos(&diff_schemas(&old, &new));
+        assert_eq!(smos[0].to_string(), "ALTER TABLE t ALTER COLUMN a TYPE VARCHAR(20)");
+    }
+
+    #[test]
+    fn empty_delta_empty_script() {
+        let s = schema("CREATE TABLE t (a INT);");
+        assert!(delta_to_smos(&diff_schemas(&s, &s)).is_empty());
+    }
+}

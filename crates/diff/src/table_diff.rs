@@ -1,0 +1,240 @@
+//! Attribute-level diff of two versions of the *same* table.
+
+use crate::changes::{AttributeChange, TableDelta, TableFate};
+use crate::schema_diff::MatchPolicy;
+use coevo_ddl::Table;
+use std::collections::BTreeMap;
+
+/// Diff two versions of a surviving table into attribute-level changes.
+///
+/// Attributes are matched by case-insensitive name (the paper's policy).
+/// Under [`MatchPolicy::RenameDetection`], unmatched old/new attribute pairs
+/// with identical types are additionally recognized as renames — an ablation
+/// of the matching construct, not the paper's accounting.
+pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
+    let old_by_key: BTreeMap<String, usize> =
+        old.columns.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
+    let new_by_key: BTreeMap<String, usize> =
+        new.columns.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
+
+    let old_pk = old.primary_key();
+    let new_pk = new.primary_key();
+
+    let mut changes = Vec::new();
+    let mut ejected: Vec<usize> = Vec::new();
+    let mut injected: Vec<usize> = Vec::new();
+
+    // Survivors: type and key changes. Iterate in old declaration order for
+    // deterministic output.
+    for (i, col) in old.columns.iter().enumerate() {
+        match new_by_key.get(&col.key()) {
+            Some(&j) => {
+                let new_col = &new.columns[j];
+                if !col.sql_type.equivalent(&new_col.sql_type) {
+                    changes.push(AttributeChange::TypeChanged {
+                        name: new_col.name.clone(),
+                        from: col.sql_type.clone(),
+                        to: new_col.sql_type.clone(),
+                    });
+                }
+                let was_in_key = old_pk.contains(&col.key());
+                let now_in_key = new_pk.contains(&new_col.key());
+                if was_in_key != now_in_key {
+                    changes.push(AttributeChange::KeyChanged {
+                        name: new_col.name.clone(),
+                        now_in_key,
+                    });
+                }
+            }
+            None => ejected.push(i),
+        }
+    }
+    for (j, col) in new.columns.iter().enumerate() {
+        if !old_by_key.contains_key(&col.key()) {
+            injected.push(j);
+        }
+    }
+
+    if policy == MatchPolicy::RenameDetection {
+        // Greedily pair unmatched old attributes with unmatched new ones of
+        // the identical type, in declaration order.
+        let mut remaining_new = injected.clone();
+        let mut paired_old = Vec::new();
+        for &i in &ejected {
+            if let Some(pos) = remaining_new
+                .iter()
+                .position(|&j| new.columns[j].sql_type.equivalent(&old.columns[i].sql_type))
+            {
+                let j = remaining_new.remove(pos);
+                changes.push(AttributeChange::Renamed {
+                    from: old.columns[i].name.clone(),
+                    to: new.columns[j].name.clone(),
+                    sql_type: old.columns[i].sql_type.clone(),
+                });
+                paired_old.push(i);
+            }
+        }
+        ejected.retain(|i| !paired_old.contains(i));
+        injected = remaining_new;
+    }
+
+    for i in ejected {
+        changes.push(AttributeChange::Ejected {
+            name: old.columns[i].name.clone(),
+            sql_type: old.columns[i].sql_type.clone(),
+        });
+    }
+    for j in injected {
+        changes.push(AttributeChange::Injected {
+            name: new.columns[j].name.clone(),
+            sql_type: new.columns[j].sql_type.clone(),
+        });
+    }
+
+    TableDelta {
+        table: new.name.clone(),
+        fate: TableFate::Survived,
+        changes,
+        attribute_count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn table(sql: &str) -> Table {
+        parse_schema(sql, Dialect::Generic)
+            .unwrap()
+            .tables
+            .into_iter()
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_tables_no_changes() {
+        let t = table("CREATE TABLE t (a INT, b VARCHAR(10));");
+        let d = diff_tables(&t, &t, MatchPolicy::ByName);
+        assert!(d.changes.is_empty());
+    }
+
+    #[test]
+    fn injection_and_ejection() {
+        let old = table("CREATE TABLE t (a INT, b INT);");
+        let new = table("CREATE TABLE t (a INT, c INT);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 2);
+        assert!(d
+            .changes
+            .iter()
+            .any(|c| matches!(c, AttributeChange::Ejected { name, .. } if name == "b")));
+        assert!(d
+            .changes
+            .iter()
+            .any(|c| matches!(c, AttributeChange::Injected { name, .. } if name == "c")));
+    }
+
+    #[test]
+    fn type_change() {
+        let old = table("CREATE TABLE t (a INT);");
+        let new = table("CREATE TABLE t (a BIGINT);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 1);
+        assert!(matches!(
+            &d.changes[0],
+            AttributeChange::TypeChanged { name, from, to }
+                if name == "a" && from.name == "INT" && to.name == "BIGINT"
+        ));
+    }
+
+    #[test]
+    fn varchar_length_change_is_type_change() {
+        let old = table("CREATE TABLE t (a VARCHAR(50));");
+        let new = table("CREATE TABLE t (a VARCHAR(100));");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 1);
+        assert!(matches!(&d.changes[0], AttributeChange::TypeChanged { .. }));
+    }
+
+    #[test]
+    fn key_participation_change() {
+        let old = table("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));");
+        let new = table("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 1);
+        assert!(matches!(
+            &d.changes[0],
+            AttributeChange::KeyChanged { name, now_in_key: true } if name == "b"
+        ));
+    }
+
+    #[test]
+    fn key_removal_counts_per_attribute() {
+        let old = table("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));");
+        let new = table("CREATE TABLE t (a INT, b INT);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 2);
+        assert!(d
+            .changes
+            .iter()
+            .all(|c| matches!(c, AttributeChange::KeyChanged { now_in_key: false, .. })));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let old = table("CREATE TABLE t (UserID INT);");
+        let new = table("CREATE TABLE t (userid INT);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert!(d.changes.is_empty());
+    }
+
+    #[test]
+    fn nullability_change_is_not_activity() {
+        // The paper's six categories do not include nullability; NOT NULL flips
+        // must not create activity.
+        let old = table("CREATE TABLE t (a INT);");
+        let new = table("CREATE TABLE t (a INT NOT NULL);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert!(d.changes.is_empty());
+    }
+
+    #[test]
+    fn rename_detection_pairs_same_type() {
+        let old = table("CREATE TABLE t (user_name VARCHAR(40), age INT);");
+        let new = table("CREATE TABLE t (username VARCHAR(40), age INT);");
+        let by_name = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(by_name.changes.len(), 2); // eject + inject
+        let with_rename = diff_tables(&old, &new, MatchPolicy::RenameDetection);
+        assert_eq!(with_rename.changes.len(), 1);
+        assert!(matches!(
+            &with_rename.changes[0],
+            AttributeChange::Renamed { from, to, .. } if from == "user_name" && to == "username"
+        ));
+    }
+
+    #[test]
+    fn rename_detection_requires_type_match() {
+        let old = table("CREATE TABLE t (a INT);");
+        let new = table("CREATE TABLE t (b TEXT);");
+        let d = diff_tables(&old, &new, MatchPolicy::RenameDetection);
+        assert_eq!(d.changes.len(), 2); // no pairing possible
+    }
+
+    #[test]
+    fn simultaneous_type_and_key_change() {
+        let old = table("CREATE TABLE t (a INT);");
+        let new = table("CREATE TABLE t (a BIGINT PRIMARY KEY);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert_eq!(d.changes.len(), 2);
+    }
+
+    #[test]
+    fn column_reorder_is_not_activity() {
+        let old = table("CREATE TABLE t (a INT, b TEXT);");
+        let new = table("CREATE TABLE t (b TEXT, a INT);");
+        let d = diff_tables(&old, &new, MatchPolicy::ByName);
+        assert!(d.changes.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests on diff invariants.
+
+use coevo_ddl::{Column, Schema, SqlType, Table};
+use coevo_diff::{diff_schemas, diff_schemas_with, MatchPolicy};
+use proptest::prelude::*;
+
+fn sql_type_strategy() -> impl Strategy<Value = SqlType> {
+    prop_oneof![
+        Just(SqlType::simple("INT")),
+        Just(SqlType::simple("BIGINT")),
+        Just(SqlType::simple("TEXT")),
+        (1u16..200).prop_map(|n| SqlType::with_params("VARCHAR", &[&n.to_string()])),
+    ]
+}
+
+prop_compose! {
+    fn table_strategy(name_pool: &'static [&'static str])(
+        name_idx in 0..name_pool.len(),
+        cols in prop::collection::btree_map("[a-f]{1,3}", sql_type_strategy(), 1..6),
+        pk in any::<bool>(),
+    ) -> Table {
+        let mut t = Table::new(name_pool[name_idx]);
+        for (cname, ty) in cols {
+            t.columns.push(Column::new(&cname, ty));
+        }
+        if pk {
+            t.columns[0].inline_primary_key = true;
+        }
+        t
+    }
+}
+
+prop_compose! {
+    fn schema_strategy()(
+        mut tables in prop::collection::vec(
+            table_strategy(&["alpha", "beta", "gamma", "delta", "epsilon"]), 0..5)
+    ) -> Schema {
+        let mut seen = std::collections::HashSet::new();
+        tables.retain(|t| seen.insert(t.key()));
+        Schema { tables }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn self_diff_is_empty(s in schema_strategy()) {
+        let d = diff_schemas(&s, &s);
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(d.total_activity(), 0);
+    }
+
+    #[test]
+    fn diff_from_empty_counts_all_attributes(s in schema_strategy()) {
+        let d = diff_schemas(&Schema::new(), &s);
+        let b = d.breakdown();
+        prop_assert_eq!(b.attrs_born_with_table, s.attribute_count() as u64);
+        prop_assert_eq!(b.total(), s.attribute_count() as u64);
+    }
+
+    #[test]
+    fn diff_to_empty_counts_all_attributes(s in schema_strategy()) {
+        let d = diff_schemas(&s, &Schema::new());
+        let b = d.breakdown();
+        prop_assert_eq!(b.attrs_deleted_with_table, s.attribute_count() as u64);
+    }
+
+    #[test]
+    fn forward_and_backward_totals_are_symmetric(a in schema_strategy(), b in schema_strategy()) {
+        // Births ↔ deaths and injections ↔ ejections swap; type and key
+        // changes are symmetric. So Total Activity is direction-independent.
+        let fwd = diff_schemas(&a, &b).breakdown();
+        let bwd = diff_schemas(&b, &a).breakdown();
+        prop_assert_eq!(fwd.total(), bwd.total());
+        prop_assert_eq!(fwd.attrs_born_with_table, bwd.attrs_deleted_with_table);
+        prop_assert_eq!(fwd.attrs_injected, bwd.attrs_ejected);
+        prop_assert_eq!(fwd.attrs_type_changed, bwd.attrs_type_changed);
+        prop_assert_eq!(fwd.attrs_key_changed, bwd.attrs_key_changed);
+    }
+
+    #[test]
+    fn rename_detection_never_increases_structural_changes(
+        a in schema_strategy(), b in schema_strategy()
+    ) {
+        let by_name = diff_schemas_with(&a, &b, MatchPolicy::ByName);
+        let renames = diff_schemas_with(&a, &b, MatchPolicy::RenameDetection);
+        let count = |d: &coevo_diff::SchemaDelta| -> usize {
+            d.tables.iter().map(|t| t.changes.len()).sum()
+        };
+        prop_assert!(count(&renames) <= count(&by_name));
+        // Activity accounting is identical under both policies.
+        prop_assert_eq!(renames.breakdown().total(), by_name.breakdown().total());
+    }
+
+    #[test]
+    fn triangle_inequality_on_activity(
+        a in schema_strategy(), b in schema_strategy(), c in schema_strategy()
+    ) {
+        // Going a→c directly can never require more activity than a→b→c.
+        let direct = diff_schemas(&a, &c).total_activity();
+        let via = diff_schemas(&a, &b).total_activity() + diff_schemas(&b, &c).total_activity();
+        prop_assert!(direct <= via, "direct {direct} > via {via}");
+    }
+}

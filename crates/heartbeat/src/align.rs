@@ -1,0 +1,151 @@
+//! Aligning schema and project heartbeats onto one month axis.
+//!
+//! The paper compares, per project, three cumulative fractional series over
+//! the *project's* lifetime: project activity, schema activity, and time.
+//! The DDL file may be born after the project (months before its birth carry
+//! zero schema progress) and either series may end before the other (the
+//! tail is padded with quiet months, during which cumulative progress holds
+//! at its final value).
+
+use crate::cumulative::{cumulative_fraction, time_progress};
+use crate::month::YearMonth;
+use crate::series::Heartbeat;
+use serde::{Deserialize, Serialize};
+
+/// Two heartbeats re-anchored to a common start month and padded to a common
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignedPair {
+    /// The start.
+    pub start: YearMonth,
+    /// The project.
+    pub project: Heartbeat,
+    /// The schema.
+    pub schema: Heartbeat,
+}
+
+/// Align a project heartbeat and a schema heartbeat onto the axis spanning
+/// from the earlier of the two start months through the later of the two end
+/// months. (In the study the project's initial commit also creates the
+/// repository, so the project start is almost always the axis origin.)
+pub fn align_pair(project: &Heartbeat, schema: &Heartbeat) -> AlignedPair {
+    let start = project.start().min(schema.start());
+    let end = project.end().max(schema.end());
+    let mut p = project.clone();
+    let mut s = schema.clone();
+    p.rebase_start(start);
+    s.rebase_start(start);
+    p.extend_through(end);
+    s.extend_through(end);
+    AlignedPair { start, project: p, schema: s }
+}
+
+/// The joint (cumulative fractional) progress of a project: the three series
+/// the paper plots in its joint progress diagrams, on a shared month axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointProgress {
+    /// First month of the shared axis.
+    pub start: YearMonth,
+    /// Cumulative fractional project (source) activity per month.
+    pub project: Vec<f64>,
+    /// Cumulative fractional schema activity per month.
+    pub schema: Vec<f64>,
+    /// Cumulative fractional time progress per month.
+    pub time: Vec<f64>,
+}
+
+impl JointProgress {
+    /// Build from raw (unaligned) heartbeats.
+    pub fn from_heartbeats(project: &Heartbeat, schema: &Heartbeat) -> Self {
+        let aligned = align_pair(project, schema);
+        let months = aligned.project.months();
+        Self {
+            start: aligned.start,
+            project: cumulative_fraction(aligned.project.activity()),
+            schema: cumulative_fraction(aligned.schema.activity()),
+            time: time_progress(months),
+        }
+    }
+
+    /// Number of months on the shared axis.
+    pub fn months(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Month label for index `i`.
+    pub fn month_at(&self, i: usize) -> YearMonth {
+        self.start.plus(i as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ym(y: i32, m: u8) -> YearMonth {
+        YearMonth::new(y, m).unwrap()
+    }
+
+    #[test]
+    fn same_axis_is_identity() {
+        let p = Heartbeat::new(ym(2020, 1), vec![1, 2, 3]);
+        let s = Heartbeat::new(ym(2020, 1), vec![3, 0, 0]);
+        let a = align_pair(&p, &s);
+        assert_eq!(a.project, p);
+        assert_eq!(a.schema, s);
+    }
+
+    #[test]
+    fn late_schema_birth_pads_front() {
+        let p = Heartbeat::new(ym(2020, 1), vec![1, 1, 1, 1]);
+        let s = Heartbeat::new(ym(2020, 3), vec![5, 5]);
+        let a = align_pair(&p, &s);
+        assert_eq!(a.start, ym(2020, 1));
+        assert_eq!(a.schema.activity(), &[0, 0, 5, 5]);
+        assert_eq!(a.project.activity(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn early_schema_end_pads_tail() {
+        let p = Heartbeat::new(ym(2020, 1), vec![1, 1, 1, 1, 1]);
+        let s = Heartbeat::new(ym(2020, 1), vec![9]);
+        let a = align_pair(&p, &s);
+        assert_eq!(a.schema.activity(), &[9, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn schema_outliving_project_extends_axis() {
+        let p = Heartbeat::new(ym(2020, 1), vec![1, 1]);
+        let s = Heartbeat::new(ym(2020, 1), vec![1, 1, 1, 1]);
+        let a = align_pair(&p, &s);
+        assert_eq!(a.project.months(), 4);
+        assert_eq!(a.project.activity(), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn joint_progress_series_lengths_match() {
+        let p = Heartbeat::new(ym(2020, 1), vec![2, 2, 2, 2]);
+        let s = Heartbeat::new(ym(2020, 2), vec![4, 4]);
+        let j = JointProgress::from_heartbeats(&p, &s);
+        assert_eq!(j.months(), 4);
+        assert_eq!(j.project.len(), 4);
+        assert_eq!(j.schema.len(), 4);
+        assert_eq!(j.time.len(), 4);
+        // Schema has no progress before its birth month.
+        assert_eq!(j.schema[0], 0.0);
+        assert!((j.schema[1] - 0.5).abs() < 1e-12);
+        // Everything ends at 100%.
+        assert!((j.project[3] - 1.0).abs() < 1e-12);
+        assert!((j.schema[3] - 1.0).abs() < 1e-12);
+        assert!((j.time[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn month_labels_follow_axis() {
+        let p = Heartbeat::new(ym(2019, 12), vec![1, 1, 1]);
+        let s = Heartbeat::new(ym(2020, 1), vec![1]);
+        let j = JointProgress::from_heartbeats(&p, &s);
+        assert_eq!(j.month_at(0), ym(2019, 12));
+        assert_eq!(j.month_at(2), ym(2020, 2));
+    }
+}

@@ -1,0 +1,103 @@
+//! Cumulative fractional progress — Equation 1 of the paper.
+//!
+//! ```text
+//! cumPct_i = (1/TotalActivity) * Σ_{k=0..i} activity_k
+//! ```
+//!
+//! and the analogous *time progress* series, which assigns to each month the
+//! fraction of the project's lifetime elapsed.
+
+/// The cumulative fractional activity of a heartbeat (Eq. 1). Monotone
+/// non-decreasing, ending at 1.0 whenever total activity is non-zero. An
+/// all-zero series yields all zeros (there is no activity to accumulate).
+pub fn cumulative_fraction(activity: &[u64]) -> Vec<f64> {
+    let total: u64 = activity.iter().sum();
+    if total == 0 {
+        return vec![0.0; activity.len()];
+    }
+    let total = total as f64;
+    let mut acc = 0u64;
+    activity
+        .iter()
+        .map(|&a| {
+            acc += a;
+            acc as f64 / total
+        })
+        .collect()
+}
+
+/// Time progress for a lifetime of `months` time-points: element `i` is the
+/// fraction of life elapsed at the *end* of month `i`, i.e. `(i+1)/months`.
+///
+/// The end-of-month convention mirrors the activity series: the cumulative
+/// activity at index `i` includes everything that happened *during* month
+/// `i`, so the comparable time progress is the time elapsed once month `i`
+/// has completed. With it, a single-month project has progress `[1.0]`, and
+/// the last month of any project has progress 1.0 — matching the paper's
+/// observation that "it is only the last month where all cumulative
+/// heartbeats end up in 100%".
+pub fn time_progress(months: usize) -> Vec<f64> {
+    (0..months).map(|i| (i + 1) as f64 / months as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn paper_example() {
+        let cf = cumulative_fraction(&[40, 25, 20, 15]);
+        assert!(close(&cf, &[0.40, 0.65, 0.85, 1.0]), "{cf:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cumulative_fraction(&[]).is_empty());
+        assert!(time_progress(0).is_empty());
+    }
+
+    #[test]
+    fn all_zeros() {
+        assert_eq!(cumulative_fraction(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_burst_at_start() {
+        let cf = cumulative_fraction(&[10, 0, 0]);
+        assert!(close(&cf, &[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn single_burst_at_end() {
+        let cf = cumulative_fraction(&[0, 0, 10]);
+        assert!(close(&cf, &[0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn monotone_and_ends_at_one() {
+        let cf = cumulative_fraction(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        for w in cf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_progress_shape() {
+        assert!(close(&time_progress(1), &[1.0]));
+        assert!(close(&time_progress(4), &[0.25, 0.5, 0.75, 1.0]));
+        let tp = time_progress(10);
+        assert!((tp[0] - 0.1).abs() < 1e-12);
+        assert!((tp[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_totals_no_overflow() {
+        let cf = cumulative_fraction(&[u64::MAX / 2, u64::MAX / 2]);
+        assert!((cf[1] - 1.0).abs() < 1e-9);
+    }
+}

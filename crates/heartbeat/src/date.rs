@@ -1,0 +1,388 @@
+//! Civil dates and datetimes, with the ISO parsing needed for `git log`.
+//!
+//! Implemented from scratch (no chrono): the study needs only ordering,
+//! month extraction, and day arithmetic — all derivable from the classic
+//! days-from-civil algorithm (Howard Hinnant's `chrono`-compatible formulas).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from date construction or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DateError {
+    /// Month outside 1..=12 or day outside the month's length.
+    /// The what.
+    OutOfRange {
+        /// What kind of object was involved.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// Text that does not match the expected ISO layout.
+    Malformed(String),
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfRange { what, value } => write!(f, "{what} out of range: {value}"),
+            Self::Malformed(s) => write!(f, "malformed date/time: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
+
+/// A civil (proleptic Gregorian) calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// The year.
+    pub year: i32,
+    /// The month.
+    pub month: u8,
+    /// The day.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, DateError> {
+        if !(1..=12).contains(&month) {
+            return Err(DateError::OutOfRange { what: "month", value: month as i64 });
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(DateError::OutOfRange { what: "day", value: day as i64 });
+        }
+        Ok(Self { year, month, day })
+    }
+
+    /// Days since 1970-01-01 (negative before), via the days-from-civil
+    /// algorithm.
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // [0, 11], March = 0
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`days_from_epoch`](Self::days_from_epoch).
+    pub fn from_days_from_epoch(days: i64) -> Self {
+        let z = days + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        Self { year, month: m, day: d }
+    }
+
+    /// The date `days` days later (or earlier, if negative).
+    pub fn plus_days(&self, days: i64) -> Self {
+        Self::from_days_from_epoch(self.days_from_epoch() + days)
+    }
+
+    /// Signed day difference `self - other`.
+    pub fn days_since(&self, other: &Date) -> i64 {
+        self.days_from_epoch() - other.days_from_epoch()
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self, DateError> {
+        let mut parts = s.splitn(3, '-');
+        // A leading '-' would make the first part empty; negative years do
+        // not occur in git logs, so reject them.
+        let y = parse_int(parts.next(), s)?;
+        let m = parse_int(parts.next(), s)?;
+        let d = parse_int(parts.next(), s)?;
+        Date::new(y as i32, m as u8, d as u8).map_err(|_| DateError::Malformed(s.to_string()))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A civil datetime with an optional UTC offset — the shape of
+/// `git log --date=iso` output (`2015-06-12 14:33:02 +0200`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DateTime {
+    /// The commit timestamp.
+    pub date: Date,
+    /// The hour.
+    pub hour: u8,
+    /// The minute.
+    pub minute: u8,
+    /// The second.
+    pub second: u8,
+    /// Offset from UTC in minutes (e.g. +0200 → 120). Zero when absent.
+    pub utc_offset_minutes: i32,
+}
+
+impl DateTime {
+    /// Midnight local on the given date.
+    pub fn midnight(date: Date) -> Self {
+        Self { date, hour: 0, minute: 0, second: 0, utc_offset_minutes: 0 }
+    }
+
+    /// Construct a validated datetime.
+    pub fn new(date: Date, hour: u8, minute: u8, second: u8) -> Result<Self, DateError> {
+        if hour > 23 {
+            return Err(DateError::OutOfRange { what: "hour", value: hour as i64 });
+        }
+        if minute > 59 {
+            return Err(DateError::OutOfRange { what: "minute", value: minute as i64 });
+        }
+        if second > 60 {
+            // allow leap second notation
+            return Err(DateError::OutOfRange { what: "second", value: second as i64 });
+        }
+        Ok(Self { date, hour, minute, second, utc_offset_minutes: 0 })
+    }
+
+    /// Parse the `--date=iso` git format: `YYYY-MM-DD HH:MM:SS +ZZZZ`, with
+    /// the time and offset parts optional (`YYYY-MM-DD` alone is accepted);
+    /// also tolerates a `T` separator and a trailing `Z`.
+    pub fn parse(s: &str) -> Result<Self, DateError> {
+        let s = s.trim();
+        let (date_part, rest) = match s.find(|c| c == ' ' || c == 'T') {
+            Some(idx) => (&s[..idx], s[idx + 1..].trim()),
+            None => (s, ""),
+        };
+        let date = Date::parse(date_part)?;
+        if rest.is_empty() {
+            return Ok(Self::midnight(date));
+        }
+        let (time_part, offset_part) = match rest.find(|c| c == ' ' || c == '+') {
+            Some(idx) if rest.as_bytes()[idx] == b' ' => (&rest[..idx], rest[idx + 1..].trim()),
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, ""),
+        };
+        let time_part = time_part.trim_end_matches('Z');
+        let mut hms = time_part.splitn(3, ':');
+        let h = parse_int(hms.next(), s)?;
+        let m = parse_int(hms.next(), s)?;
+        let sec = match hms.next() {
+            Some(v) => {
+                // Tolerate fractional seconds.
+                let v = v.split('.').next().unwrap_or("0");
+                v.parse::<i64>().map_err(|_| DateError::Malformed(s.to_string()))?
+            }
+            None => 0,
+        };
+        let mut dt = Self::new(date, h as u8, m as u8, sec as u8)?;
+        if !offset_part.is_empty() {
+            dt.utc_offset_minutes = parse_offset(offset_part, s)?;
+        }
+        Ok(dt)
+    }
+
+    /// Seconds since the Unix epoch, ignoring leap seconds, adjusted to UTC.
+    pub fn unix_seconds(&self) -> i64 {
+        let days = self.date.days_from_epoch();
+        days * 86_400 + self.hour as i64 * 3_600 + self.minute as i64 * 60 + self.second as i64
+            - self.utc_offset_minutes as i64 * 60
+    }
+}
+
+impl PartialOrd for DateTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DateTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.unix_seconds().cmp(&other.unix_seconds())
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let off = self.utc_offset_minutes;
+        let sign = if off < 0 { '-' } else { '+' };
+        let a = off.unsigned_abs();
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02} {}{:02}{:02}",
+            self.date,
+            self.hour,
+            self.minute,
+            self.second,
+            sign,
+            a / 60,
+            a % 60
+        )
+    }
+}
+
+/// Days in the given month, accounting for leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn parse_int(part: Option<&str>, whole: &str) -> Result<i64, DateError> {
+    part.ok_or_else(|| DateError::Malformed(whole.to_string()))?
+        .parse::<i64>()
+        .map_err(|_| DateError::Malformed(whole.to_string()))
+}
+
+fn parse_offset(s: &str, whole: &str) -> Result<i32, DateError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Ok(0);
+    }
+    let (sign, digits) = match bytes[0] {
+        b'+' => (1, &s[1..]),
+        b'-' => (-1, &s[1..]),
+        _ => (1, s),
+    };
+    // Accept "+0200", "+02:00", "+02".
+    let digits = digits.replace(':', "");
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(DateError::Malformed(whole.to_string()));
+    }
+    let v: i32 = digits.parse().map_err(|_| DateError::Malformed(whole.to_string()))?;
+    let (h, m) = if digits.len() <= 2 { (v, 0) } else { (v / 100, v % 100) };
+    Ok(sign * (h * 60 + m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::new(1970, 1, 1).unwrap().days_from_epoch(), 0);
+        assert_eq!(Date::new(1970, 1, 2).unwrap().days_from_epoch(), 1);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().days_from_epoch(), -1);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-03-01 is day 11017.
+        assert_eq!(Date::new(2000, 3, 1).unwrap().days_from_epoch(), 11017);
+        // Unix billennium: 2001-09-09 (1e9 seconds / 86400 = 11574 days).
+        assert_eq!(Date::new(2001, 9, 9).unwrap().days_from_epoch(), 11574);
+    }
+
+    #[test]
+    fn round_trip_days() {
+        for days in [-100_000i64, -1, 0, 1, 365, 10_000, 20_000, 100_000] {
+            let d = Date::from_days_from_epoch(days);
+            assert_eq!(d.days_from_epoch(), days, "{d}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2024));
+        assert!(!is_leap(2023));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+        assert_eq!(days_in_month(2023, 4), 30);
+        assert_eq!(days_in_month(2023, 12), 31);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::new(2023, 13, 1).is_err());
+        assert!(Date::new(2023, 0, 1).is_err());
+        assert!(Date::new(2023, 2, 29).is_err());
+        assert!(Date::new(2024, 2, 29).is_ok());
+        assert!(Date::new(2023, 4, 31).is_err());
+    }
+
+    #[test]
+    fn date_parsing() {
+        assert_eq!(Date::parse("2015-06-12").unwrap(), Date::new(2015, 6, 12).unwrap());
+        assert!(Date::parse("2015-6").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("2015-13-01").is_err());
+    }
+
+    #[test]
+    fn git_iso_datetime_parsing() {
+        let dt = DateTime::parse("2015-06-12 14:33:02 +0200").unwrap();
+        assert_eq!(dt.date, Date::new(2015, 6, 12).unwrap());
+        assert_eq!((dt.hour, dt.minute, dt.second), (14, 33, 2));
+        assert_eq!(dt.utc_offset_minutes, 120);
+    }
+
+    #[test]
+    fn datetime_variants() {
+        assert!(DateTime::parse("2015-06-12").is_ok());
+        assert!(DateTime::parse("2015-06-12T14:33:02Z").is_ok());
+        assert!(DateTime::parse("2015-06-12 14:33:02 -0530").is_ok());
+        let dt = DateTime::parse("2015-06-12 14:33:02 -0530").unwrap();
+        assert_eq!(dt.utc_offset_minutes, -330);
+        assert!(DateTime::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn datetime_ordering_respects_offset() {
+        // 14:00 +0200 is 12:00 UTC; 13:00 +0000 is 13:00 UTC.
+        let a = DateTime::parse("2015-06-12 14:00:00 +0200").unwrap();
+        let b = DateTime::parse("2015-06-12 13:00:00 +0000").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn datetime_display_round_trips() {
+        let dt = DateTime::parse("2015-06-12 14:33:02 +0200").unwrap();
+        let dt2 = DateTime::parse(&dt.to_string()).unwrap();
+        assert_eq!(dt, dt2);
+        let neg = DateTime::parse("2015-06-12 14:33:02 -0700").unwrap();
+        assert_eq!(DateTime::parse(&neg.to_string()).unwrap(), neg);
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = Date::new(2023, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(2024, 1, 1).unwrap());
+        assert_eq!(d.plus_days(60), Date::new(2024, 2, 29).unwrap());
+        assert_eq!(d.plus_days(-365), Date::new(2022, 12, 31).unwrap());
+    }
+
+    #[test]
+    fn days_since() {
+        let a = Date::new(2024, 3, 1).unwrap();
+        let b = Date::new(2024, 2, 1).unwrap();
+        assert_eq!(a.days_since(&b), 29);
+        assert_eq!(b.days_since(&a), -29);
+    }
+
+    #[test]
+    fn unix_seconds_known_value() {
+        // 2001-09-09 01:46:40 UTC == 1_000_000_000.
+        let dt = DateTime::parse("2001-09-09 01:46:40 +0000").unwrap();
+        assert_eq!(dt.unix_seconds(), 1_000_000_000);
+    }
+}

@@ -1,0 +1,43 @@
+//! # coevo-heartbeat — time and time-series substrate
+//!
+//! The study's unit of time is the **month** ("a reasonable, common chronon"
+//! per the paper's construct-validity discussion). This crate provides:
+//!
+//! - civil [`Date`]/[`DateTime`] types with ISO-8601 parsing matching the
+//!   output of `git log --date=iso` (no external time library);
+//! - [`YearMonth`] quantization and month arithmetic;
+//! - [`Heartbeat`]: a monthly activity series anchored at a start month;
+//! - cumulative fractional progress (Eq. 1 of the paper) and time-progress
+//!   series;
+//! - alignment of schema and project heartbeats onto a common month axis.
+//!
+//! ```
+//! use coevo_heartbeat::{Date, Heartbeat, YearMonth};
+//!
+//! let events = [
+//!     (Date::new(2015, 1, 10).unwrap(), 4u64),
+//!     (Date::new(2015, 1, 20).unwrap(), 1),
+//!     (Date::new(2015, 4, 2).unwrap(), 5),
+//! ];
+//! let hb = Heartbeat::from_events(events.iter().copied()).unwrap();
+//! assert_eq!(hb.start(), YearMonth::new(2015, 1).unwrap());
+//! assert_eq!(hb.months(), 4); // Jan, Feb, Mar, Apr
+//! assert_eq!(hb.activity(), &[5, 0, 0, 5]);
+//! assert_eq!(hb.cumulative_fraction(), vec![0.5, 0.5, 0.5, 1.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod cumulative;
+pub mod date;
+pub mod month;
+pub mod series;
+pub mod window;
+
+pub use align::{align_pair, AlignedPair, JointProgress};
+pub use cumulative::{cumulative_fraction, time_progress};
+pub use date::{Date, DateError, DateTime};
+pub use month::YearMonth;
+pub use series::Heartbeat;
+pub use window::{windowed_activity, windowed_pair};

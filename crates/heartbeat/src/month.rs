@@ -1,0 +1,136 @@
+//! Month quantization: the study's chronon.
+
+use crate::date::{Date, DateError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar month (`2015-06`), the time unit of every heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct YearMonth {
+    /// The year.
+    pub year: i32,
+    /// The month.
+    pub month: u8,
+}
+
+impl YearMonth {
+    /// Construct a validated year-month.
+    pub fn new(year: i32, month: u8) -> Result<Self, DateError> {
+        if !(1..=12).contains(&month) {
+            return Err(DateError::OutOfRange { what: "month", value: month as i64 });
+        }
+        Ok(Self { year, month })
+    }
+
+    /// The month containing a date.
+    pub fn of(date: Date) -> Self {
+        Self { year: date.year, month: date.month }
+    }
+
+    /// Linear month index (year*12 + month-1) used for arithmetic.
+    pub fn index(&self) -> i64 {
+        self.year as i64 * 12 + (self.month as i64 - 1)
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(idx: i64) -> Self {
+        let year = idx.div_euclid(12) as i32;
+        let month = (idx.rem_euclid(12) + 1) as u8;
+        Self { year, month }
+    }
+
+    /// The month `n` months later (negative = earlier).
+    pub fn plus(&self, n: i64) -> Self {
+        Self::from_index(self.index() + n)
+    }
+
+    /// Signed number of months from `other` to `self`.
+    pub fn months_since(&self, other: &YearMonth) -> i64 {
+        self.index() - other.index()
+    }
+
+    /// First day of the month.
+    pub fn first_day(&self) -> Date {
+        Date { year: self.year, month: self.month, day: 1 }
+    }
+
+    /// Parse `YYYY-MM`.
+    pub fn parse(s: &str) -> Result<Self, DateError> {
+        let mut parts = s.splitn(2, '-');
+        let y: i32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| DateError::Malformed(s.to_string()))?;
+        let m: u8 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| DateError::Malformed(s.to_string()))?;
+        Self::new(y, m).map_err(|_| DateError::Malformed(s.to_string()))
+    }
+}
+
+impl fmt::Display for YearMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (y, m) in [(1970, 1), (2015, 6), (1999, 12), (2024, 2)] {
+            let ym = YearMonth::new(y, m).unwrap();
+            assert_eq!(YearMonth::from_index(ym.index()), ym);
+        }
+    }
+
+    #[test]
+    fn plus_wraps_years() {
+        let jan = YearMonth::new(2020, 1).unwrap();
+        assert_eq!(jan.plus(11), YearMonth::new(2020, 12).unwrap());
+        assert_eq!(jan.plus(12), YearMonth::new(2021, 1).unwrap());
+        assert_eq!(jan.plus(-1), YearMonth::new(2019, 12).unwrap());
+        assert_eq!(jan.plus(25), YearMonth::new(2022, 2).unwrap());
+    }
+
+    #[test]
+    fn months_since_is_signed() {
+        let a = YearMonth::new(2021, 3).unwrap();
+        let b = YearMonth::new(2020, 11).unwrap();
+        assert_eq!(a.months_since(&b), 4);
+        assert_eq!(b.months_since(&a), -4);
+        assert_eq!(a.months_since(&a), 0);
+    }
+
+    #[test]
+    fn of_date() {
+        let d = Date::new(2015, 6, 12).unwrap();
+        assert_eq!(YearMonth::of(d), YearMonth::new(2015, 6).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = YearMonth::new(2019, 12).unwrap();
+        let b = YearMonth::new(2020, 1).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let ym = YearMonth::parse("2015-06").unwrap();
+        assert_eq!(ym, YearMonth::new(2015, 6).unwrap());
+        assert_eq!(ym.to_string(), "2015-06");
+        assert!(YearMonth::parse("2015").is_err());
+        assert!(YearMonth::parse("2015-13").is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(YearMonth::new(2020, 0).is_err());
+        assert!(YearMonth::new(2020, 13).is_err());
+        assert!(YearMonth::new(2020, 12).is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! Monthly heartbeats: the linear sequence of per-month activity counts.
+
+use crate::cumulative::cumulative_fraction;
+use crate::date::Date;
+use crate::month::YearMonth;
+use serde::{Deserialize, Serialize};
+
+/// A monthly activity series anchored at a start month. Element `i` is the
+/// activity in month `start + i`; months without updates hold zero, matching
+/// the paper's definition of a heartbeat ("with zero activity for the months
+/// without updates").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    start: YearMonth,
+    activity: Vec<u64>,
+}
+
+impl Heartbeat {
+    /// Build from an explicit start month and per-month values.
+    ///
+    /// Trailing months are kept as given (a project's lifetime may end with
+    /// quiet months); an empty activity vector is normalized to one month of
+    /// zero activity.
+    pub fn new(start: YearMonth, activity: Vec<u64>) -> Self {
+        let activity = if activity.is_empty() { vec![0] } else { activity };
+        Self { start, activity }
+    }
+
+    /// Bucket dated events into months. Returns `None` when no events are
+    /// given (a heartbeat needs at least a birth month). The series spans
+    /// from the month of the earliest event through the month of the latest.
+    pub fn from_events<I>(events: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (Date, u64)>,
+    {
+        let events: Vec<(Date, u64)> = events.into_iter().collect();
+        let first = events.iter().map(|(d, _)| YearMonth::of(*d)).min()?;
+        let last = events.iter().map(|(d, _)| YearMonth::of(*d)).max()?;
+        let months = (last.months_since(&first) + 1) as usize;
+        let mut activity = vec![0u64; months];
+        for (date, amount) in events {
+            let idx = YearMonth::of(date).months_since(&first) as usize;
+            activity[idx] += amount;
+        }
+        Some(Self { start: first, activity })
+    }
+
+    /// The first month of the series.
+    pub fn start(&self) -> YearMonth {
+        self.start
+    }
+
+    /// The last month of the series.
+    pub fn end(&self) -> YearMonth {
+        self.start.plus(self.activity.len() as i64 - 1)
+    }
+
+    /// Number of months covered (≥ 1).
+    pub fn months(&self) -> usize {
+        self.activity.len()
+    }
+
+    /// Per-month activity values.
+    pub fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+
+    /// Total lifetime activity.
+    pub fn total(&self) -> u64 {
+        self.activity.iter().sum()
+    }
+
+    /// The month label of element `i`.
+    pub fn month_at(&self, i: usize) -> YearMonth {
+        self.start.plus(i as i64)
+    }
+
+    /// Activity in a specific calendar month (zero if outside the series).
+    pub fn at(&self, month: YearMonth) -> u64 {
+        let off = month.months_since(&self.start);
+        if off < 0 {
+            return 0;
+        }
+        self.activity.get(off as usize).copied().unwrap_or(0)
+    }
+
+    /// Cumulative fractional activity (Eq. 1 of the paper). All-zero series
+    /// yield an all-zero progression (no activity ever accumulates).
+    pub fn cumulative_fraction(&self) -> Vec<f64> {
+        cumulative_fraction(&self.activity)
+    }
+
+    /// Extend (or truncate never — only extend) the series to cover through
+    /// `month`, padding with zeros. No-op if already covered.
+    pub fn extend_through(&mut self, month: YearMonth) {
+        let need = month.months_since(&self.start) + 1;
+        if need > self.activity.len() as i64 {
+            self.activity.resize(need as usize, 0);
+        }
+    }
+
+    /// Re-anchor the series to start at an earlier month, padding the front
+    /// with zeros. No-op if `month` is not earlier than the current start.
+    pub fn rebase_start(&mut self, month: YearMonth) {
+        let shift = self.start.months_since(&month);
+        if shift > 0 {
+            let mut v = vec![0u64; shift as usize];
+            v.extend_from_slice(&self.activity);
+            self.activity = v;
+            self.start = month;
+        }
+    }
+
+    /// Number of months with non-zero activity.
+    pub fn active_months(&self) -> usize {
+        self.activity.iter().filter(|&&a| a > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn ym(y: i32, m: u8) -> YearMonth {
+        YearMonth::new(y, m).unwrap()
+    }
+
+    #[test]
+    fn from_events_buckets_and_pads() {
+        let hb = Heartbeat::from_events(vec![
+            (d(2015, 1, 5), 2),
+            (d(2015, 1, 25), 3),
+            (d(2015, 3, 1), 7),
+        ])
+        .unwrap();
+        assert_eq!(hb.start(), ym(2015, 1));
+        assert_eq!(hb.end(), ym(2015, 3));
+        assert_eq!(hb.activity(), &[5, 0, 7]);
+        assert_eq!(hb.total(), 12);
+        assert_eq!(hb.active_months(), 2);
+    }
+
+    #[test]
+    fn from_events_unordered_input() {
+        let hb = Heartbeat::from_events(vec![(d(2016, 2, 1), 1), (d(2015, 11, 1), 1)]).unwrap();
+        assert_eq!(hb.start(), ym(2015, 11));
+        assert_eq!(hb.months(), 4);
+        assert_eq!(hb.activity(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn from_events_empty_is_none() {
+        assert!(Heartbeat::from_events(Vec::<(Date, u64)>::new()).is_none());
+    }
+
+    #[test]
+    fn single_event() {
+        let hb = Heartbeat::from_events(vec![(d(2020, 5, 15), 9)]).unwrap();
+        assert_eq!(hb.months(), 1);
+        assert_eq!(hb.total(), 9);
+        assert_eq!(hb.cumulative_fraction(), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_new_is_one_quiet_month() {
+        let hb = Heartbeat::new(ym(2020, 1), vec![]);
+        assert_eq!(hb.months(), 1);
+        assert_eq!(hb.total(), 0);
+    }
+
+    #[test]
+    fn at_outside_range_is_zero() {
+        let hb = Heartbeat::new(ym(2020, 1), vec![1, 2]);
+        assert_eq!(hb.at(ym(2019, 12)), 0);
+        assert_eq!(hb.at(ym(2020, 1)), 1);
+        assert_eq!(hb.at(ym(2020, 2)), 2);
+        assert_eq!(hb.at(ym(2020, 3)), 0);
+    }
+
+    #[test]
+    fn cumulative_fraction_matches_paper_example() {
+        // Paper §3.2: monthly percentages 40/25/20/15 → cumulative 40/65/85/100.
+        let hb = Heartbeat::new(ym(2020, 1), vec![40, 25, 20, 15]);
+        let cf = hb.cumulative_fraction();
+        let expect = [0.40, 0.65, 0.85, 1.0];
+        for (got, want) in cf.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn all_zero_series_has_zero_progress() {
+        let hb = Heartbeat::new(ym(2020, 1), vec![0, 0, 0]);
+        assert_eq!(hb.cumulative_fraction(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn extend_through_pads_with_zeros() {
+        let mut hb = Heartbeat::new(ym(2020, 1), vec![5]);
+        hb.extend_through(ym(2020, 4));
+        assert_eq!(hb.activity(), &[5, 0, 0, 0]);
+        // No-op when already covered.
+        hb.extend_through(ym(2020, 2));
+        assert_eq!(hb.months(), 4);
+    }
+
+    #[test]
+    fn rebase_start_pads_front() {
+        let mut hb = Heartbeat::new(ym(2020, 3), vec![7, 1]);
+        hb.rebase_start(ym(2020, 1));
+        assert_eq!(hb.start(), ym(2020, 1));
+        assert_eq!(hb.activity(), &[0, 0, 7, 1]);
+        // No-op when month is later than start.
+        hb.rebase_start(ym(2020, 6));
+        assert_eq!(hb.start(), ym(2020, 1));
+    }
+
+    #[test]
+    fn month_at_indexing() {
+        let hb = Heartbeat::new(ym(2019, 11), vec![1, 1, 1]);
+        assert_eq!(hb.month_at(0), ym(2019, 11));
+        assert_eq!(hb.month_at(2), ym(2020, 1));
+    }
+}

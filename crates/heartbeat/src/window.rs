@@ -1,0 +1,121 @@
+//! Alternative time quantization: fixed-length day windows instead of
+//! calendar months — the ablation knob for the paper's construct-validity
+//! choice of "the month as chronon".
+
+use crate::date::Date;
+
+/// Bucket dated events into consecutive `window_days`-day windows starting
+/// at the earliest event. Returns `None` for empty input.
+pub fn windowed_activity<I>(events: I, window_days: i64) -> Option<(Date, Vec<u64>)>
+where
+    I: IntoIterator<Item = (Date, u64)>,
+{
+    assert!(window_days > 0, "window must be positive");
+    let events: Vec<(Date, u64)> = events.into_iter().collect();
+    let first = events.iter().map(|(d, _)| *d).min()?;
+    let last = events.iter().map(|(d, _)| *d).max()?;
+    let base = first.days_from_epoch();
+    let buckets = ((last.days_from_epoch() - base) / window_days + 1) as usize;
+    let mut out = vec![0u64; buckets];
+    for (date, amount) in events {
+        let idx = ((date.days_from_epoch() - base) / window_days) as usize;
+        out[idx] += amount;
+    }
+    Some((first, out))
+}
+
+/// Bucket two event streams onto one shared window axis (anchored at the
+/// earlier of the two first events, padded to the later last event).
+/// Returns `None` if either stream is empty.
+pub fn windowed_pair<A, B>(
+    a: A,
+    b: B,
+    window_days: i64,
+) -> Option<(Date, Vec<u64>, Vec<u64>)>
+where
+    A: IntoIterator<Item = (Date, u64)>,
+    B: IntoIterator<Item = (Date, u64)>,
+{
+    assert!(window_days > 0, "window must be positive");
+    let a: Vec<(Date, u64)> = a.into_iter().collect();
+    let b: Vec<(Date, u64)> = b.into_iter().collect();
+    let first = a
+        .iter()
+        .chain(b.iter())
+        .map(|(d, _)| *d)
+        .min()?;
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let last = a.iter().chain(b.iter()).map(|(d, _)| *d).max()?;
+    let base = first.days_from_epoch();
+    let buckets = ((last.days_from_epoch() - base) / window_days + 1) as usize;
+    let mut va = vec![0u64; buckets];
+    let mut vb = vec![0u64; buckets];
+    for (date, amount) in a {
+        va[((date.days_from_epoch() - base) / window_days) as usize] += amount;
+    }
+    for (date, amount) in b {
+        vb[((date.days_from_epoch() - base) / window_days) as usize] += amount;
+    }
+    Some((first, va, vb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(days: i64) -> Date {
+        Date::from_days_from_epoch(18_000 + days)
+    }
+
+    #[test]
+    fn thirty_day_windows() {
+        let (start, act) =
+            windowed_activity(vec![(d(0), 3), (d(29), 2), (d(30), 7), (d(65), 1)], 30).unwrap();
+        assert_eq!(start, d(0));
+        assert_eq!(act, vec![5, 7, 1]);
+    }
+
+    #[test]
+    fn single_event() {
+        let (_, act) = windowed_activity(vec![(d(5), 9)], 7).unwrap();
+        assert_eq!(act, vec![9]);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(windowed_activity(Vec::<(Date, u64)>::new(), 30).is_none());
+    }
+
+    #[test]
+    fn totals_conserved_across_window_sizes() {
+        let events: Vec<(Date, u64)> = (0..50).map(|i| (d(i * 3), (i % 5) as u64)).collect();
+        let total: u64 = events.iter().map(|(_, a)| a).sum();
+        for w in [1, 7, 30, 365] {
+            let (_, act) = windowed_activity(events.clone(), w).unwrap();
+            assert_eq!(act.iter().sum::<u64>(), total, "window {w}");
+        }
+    }
+
+    #[test]
+    fn pair_shares_axis() {
+        let (start, a, b) =
+            windowed_pair(vec![(d(10), 1)], vec![(d(0), 2), (d(45), 3)], 30).unwrap();
+        assert_eq!(start, d(0));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(b, vec![2, 3]);
+    }
+
+    #[test]
+    fn pair_empty_side_is_none() {
+        assert!(windowed_pair(vec![(d(0), 1)], Vec::<(Date, u64)>::new(), 30).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = windowed_activity(vec![(d(0), 1)], 0);
+    }
+}

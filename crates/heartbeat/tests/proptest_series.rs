@@ -1,0 +1,108 @@
+//! Property tests over dates, months, and cumulative series invariants.
+
+use coevo_heartbeat::{cumulative_fraction, time_progress, Date, DateTime, Heartbeat, YearMonth};
+use coevo_heartbeat::align::JointProgress;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn date_days_round_trip(days in -200_000i64..200_000) {
+        let d = Date::from_days_from_epoch(days);
+        prop_assert_eq!(d.days_from_epoch(), days);
+        // And the components are valid.
+        prop_assert!(Date::new(d.year, d.month, d.day).is_ok());
+    }
+
+    #[test]
+    fn date_ordering_matches_day_number(a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        let da = Date::from_days_from_epoch(a);
+        let db = Date::from_days_from_epoch(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+
+    #[test]
+    fn datetime_display_parse_round_trip(
+        days in 0i64..40_000,
+        h in 0u8..24, m in 0u8..60, s in 0u8..60,
+        off in -14i32..=14,
+    ) {
+        let mut dt = DateTime::new(Date::from_days_from_epoch(days), h, m, s).unwrap();
+        dt.utc_offset_minutes = off * 60;
+        let parsed = DateTime::parse(&dt.to_string()).unwrap();
+        prop_assert_eq!(parsed, dt);
+    }
+
+    #[test]
+    fn month_index_round_trip(idx in -50_000i64..50_000) {
+        let ym = YearMonth::from_index(idx);
+        prop_assert_eq!(ym.index(), idx);
+    }
+
+    #[test]
+    fn month_plus_is_additive(idx in -10_000i64..10_000, a in -500i64..500, b in -500i64..500) {
+        let ym = YearMonth::from_index(idx);
+        prop_assert_eq!(ym.plus(a).plus(b), ym.plus(a + b));
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_bounded(activity in prop::collection::vec(0u64..1000, 1..120)) {
+        let cf = cumulative_fraction(&activity);
+        prop_assert_eq!(cf.len(), activity.len());
+        for w in cf.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        for &v in &cf {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        let total: u64 = activity.iter().sum();
+        if total > 0 {
+            prop_assert!((cf.last().unwrap() - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(cf.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn time_progress_is_strictly_increasing(months in 1usize..200) {
+        let tp = time_progress(months);
+        prop_assert_eq!(tp.len(), months);
+        for w in tp.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        prop_assert!((tp.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heartbeat_from_events_conserves_total(
+        events in prop::collection::vec((0i64..20_000, 0u64..50), 1..60)
+    ) {
+        let evts: Vec<(Date, u64)> = events
+            .iter()
+            .map(|&(d, a)| (Date::from_days_from_epoch(d), a))
+            .collect();
+        let total: u64 = evts.iter().map(|(_, a)| a).sum();
+        let hb = Heartbeat::from_events(evts).unwrap();
+        prop_assert_eq!(hb.total(), total);
+        // Axis invariants.
+        prop_assert!(hb.months() >= 1);
+        prop_assert!(hb.end() >= hb.start());
+    }
+
+    #[test]
+    fn joint_progress_axes_always_agree(
+        p_start in 0i64..600, p_act in prop::collection::vec(0u64..30, 1..80),
+        s_offset in 0i64..40, s_act in prop::collection::vec(0u64..30, 1..80),
+    ) {
+        let p0 = YearMonth::from_index(24_000 + p_start);
+        let p = Heartbeat::new(p0, p_act);
+        let s = Heartbeat::new(p0.plus(s_offset), s_act);
+        let j = JointProgress::from_heartbeats(&p, &s);
+        prop_assert_eq!(j.project.len(), j.schema.len());
+        prop_assert_eq!(j.project.len(), j.time.len());
+        prop_assert!(j.months() >= p.months());
+        // Time always ends at 1; activity ends at 1 iff total > 0.
+        prop_assert!((j.time.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

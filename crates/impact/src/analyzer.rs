@@ -1,0 +1,265 @@
+//! From a schema delta to the source files it puts at risk.
+
+use crate::scanner::{scan_source, IdentifierIndex, RefKind, ScanConfig};
+use coevo_ddl::Schema;
+use coevo_diff::{AttributeChange, SchemaDelta, TableFate};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One identifier hit inside a file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hit {
+    /// The identifier.
+    pub identifier: String,
+    /// The kind of this item.
+    pub kind: RefKind,
+    /// 1-based lines where the identifier appears.
+    pub lines: Vec<u32>,
+    /// True when the change breaks existing readers (drop/eject/retype/
+    /// rename); false for additions, which can only cause the paper's
+    /// "semantic inconsistency" (queries missing new data).
+    pub breaking: bool,
+}
+
+/// All hits of one source file, ranked by breaking-hit count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileImpact {
+    /// The file path.
+    pub path: String,
+    /// The hits.
+    pub hits: Vec<Hit>,
+}
+
+impl FileImpact {
+    /// Number of breaking references in this file.
+    pub fn breaking_references(&self) -> usize {
+        self.hits.iter().filter(|h| h.breaking).map(|h| h.lines.len()).sum()
+    }
+}
+
+/// The impact report: affected files, most-at-risk first.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImpactReport {
+    /// The files.
+    pub files: Vec<FileImpact>,
+}
+
+impl ImpactReport {
+    /// Total breaking references across all files.
+    pub fn total_breaking(&self) -> usize {
+        self.files.iter().map(|f| f.breaking_references()).sum()
+    }
+}
+
+/// The analyzer: a schema's identifier index plus the scan configuration.
+pub struct ImpactAnalyzer {
+    index: IdentifierIndex,
+    config: ScanConfig,
+}
+
+impl ImpactAnalyzer {
+    /// Build for the *old* schema version (the one existing code was written
+    /// against).
+    pub fn new(old_schema: &Schema, config: &ScanConfig) -> Self {
+        Self { index: IdentifierIndex::build(old_schema, config), config: config.clone() }
+    }
+
+    /// The identifiers a delta touches: (lowercased identifier, breaking?).
+    /// Breaking: dropped tables and their columns, ejected/retyped/renamed/
+    /// re-keyed columns. Non-breaking: created tables, injected columns
+    /// (callers may *want* to know about them — semantic inconsistency).
+    pub fn touched_identifiers(&self, delta: &SchemaDelta) -> Vec<(String, bool)> {
+        let mut touched: BTreeSet<(String, bool)> = BTreeSet::new();
+        let eligible = |name: &str| {
+            name.len() >= self.config.min_identifier_length
+                && !self.config.stoplist.iter().any(|s| s.eq_ignore_ascii_case(name))
+        };
+        for td in &delta.tables {
+            let table_key = td.table.to_ascii_lowercase();
+            match td.fate {
+                TableFate::Dropped => {
+                    if eligible(&td.table) {
+                        touched.insert((table_key, true));
+                    }
+                }
+                TableFate::Created => {
+                    if eligible(&td.table) {
+                        touched.insert((table_key, false));
+                    }
+                }
+                TableFate::Survived => {
+                    for ch in &td.changes {
+                        let (name, breaking) = match ch {
+                            AttributeChange::Injected { name, .. } => (name.clone(), false),
+                            AttributeChange::Ejected { name, .. }
+                            | AttributeChange::TypeChanged { name, .. }
+                            | AttributeChange::KeyChanged { name, .. } => (name.clone(), true),
+                            AttributeChange::Renamed { from, .. } => (from.clone(), true),
+                        };
+                        if eligible(&name) {
+                            touched.insert((name.to_ascii_lowercase(), breaking));
+                        }
+                    }
+                }
+            }
+        }
+        touched.into_iter().collect()
+    }
+
+    /// Scan the given `(path, text)` sources for references to the delta's
+    /// touched identifiers. Files with no hits are omitted; the rest are
+    /// ordered by breaking-reference count, then path.
+    pub fn impact_of(&self, delta: &SchemaDelta, sources: &[(&str, &str)]) -> ImpactReport {
+        let touched = self.touched_identifiers(delta);
+        if touched.is_empty() {
+            return ImpactReport::default();
+        }
+        let breaking_of = |ident: &str| -> Option<bool> {
+            touched.iter().find(|(t, _)| t == ident).map(|(_, b)| *b)
+        };
+
+        let mut files = Vec::new();
+        for &(path, text) in sources {
+            let refs = scan_source(text, &self.index);
+            // Group references by identifier, keeping only touched ones.
+            let mut hits: Vec<Hit> = Vec::new();
+            for r in refs {
+                let Some(breaking) = breaking_of(&r.identifier) else {
+                    continue;
+                };
+                match hits.iter_mut().find(|h| h.identifier == r.identifier) {
+                    Some(h) => h.lines.push(r.line),
+                    None => hits.push(Hit {
+                        identifier: r.identifier,
+                        kind: r.kind,
+                        lines: vec![r.line],
+                        breaking,
+                    }),
+                }
+            }
+            if !hits.is_empty() {
+                hits.sort_by(|a, b| {
+                    b.breaking.cmp(&a.breaking).then_with(|| a.identifier.cmp(&b.identifier))
+                });
+                files.push(FileImpact { path: path.to_string(), hits });
+            }
+        }
+        files.sort_by(|a, b| {
+            b.breaking_references()
+                .cmp(&a.breaking_references())
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        ImpactReport { files }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+    use coevo_diff::diff_schemas;
+
+    fn schemas(old: &str, new: &str) -> (Schema, SchemaDelta) {
+        let old_schema = parse_schema(old, Dialect::Generic).unwrap();
+        let new_schema = parse_schema(new, Dialect::Generic).unwrap();
+        let delta = diff_schemas(&old_schema, &new_schema);
+        (old_schema, delta)
+    }
+
+    const SOURCES: &[(&str, &str)] = &[
+        (
+            "src/billing.js",
+            "const q = `SELECT total_price, currency FROM invoices WHERE total_price > 0`;\nfunction pay() { return invoices.total_price; }",
+        ),
+        ("src/auth.py", "def login(user, password):\n    return sessions.get(user)"),
+        ("docs/README.md", "The invoices table stores billing records."),
+    ];
+
+    #[test]
+    fn ejection_flags_referencing_files() {
+        let (old, delta) = schemas(
+            "CREATE TABLE invoices (id INT, total_price INT, currency TEXT);",
+            "CREATE TABLE invoices (id INT, currency TEXT);",
+        );
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        let report = a.impact_of(&delta, SOURCES);
+        assert_eq!(report.files.len(), 1);
+        let f = &report.files[0];
+        assert_eq!(f.path, "src/billing.js");
+        let hit = &f.hits[0];
+        assert_eq!(hit.identifier, "total_price");
+        assert!(hit.breaking);
+        assert_eq!(hit.lines, vec![1, 1, 2]); // two refs on line 1, one on 2
+        assert_eq!(report.total_breaking(), 3);
+    }
+
+    #[test]
+    fn table_drop_hits_docs_too() {
+        let (old, delta) = schemas(
+            "CREATE TABLE invoices (id INT); CREATE TABLE sessions (id INT, token TEXT);",
+            "CREATE TABLE sessions (id INT, token TEXT);",
+        );
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        let report = a.impact_of(&delta, SOURCES);
+        let paths: Vec<&str> = report.files.iter().map(|f| f.path.as_str()).collect();
+        // billing.js references `invoices` twice (lines 1 and 2) and ranks
+        // above the single-reference README.
+        assert_eq!(paths, vec!["src/billing.js", "docs/README.md"]);
+        assert_eq!(report.files[0].breaking_references(), 2);
+    }
+
+    #[test]
+    fn additions_are_informational_not_breaking() {
+        let (old, delta) = schemas(
+            "CREATE TABLE invoices (id INT, total_price INT);",
+            "CREATE TABLE invoices (id INT, total_price INT, discount INT); CREATE TABLE refunds (id INT);",
+        );
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        let touched = a.touched_identifiers(&delta);
+        assert!(touched.iter().any(|(n, b)| n == "discount" && !b));
+        assert!(touched.iter().any(|(n, b)| n == "refunds" && !b));
+        // No existing source references them → empty report.
+        let report = a.impact_of(&delta, SOURCES);
+        assert!(report.files.is_empty());
+        assert_eq!(report.total_breaking(), 0);
+    }
+
+    #[test]
+    fn rename_reports_old_name() {
+        let (old, delta) = schemas(
+            "CREATE TABLE invoices (total_price INT);",
+            "CREATE TABLE invoices (grand_total INT);",
+        );
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        // By-name diff reports eject(total_price) + inject(grand_total):
+        // the old name is breaking, the new one informational.
+        let touched = a.touched_identifiers(&delta);
+        assert!(touched.contains(&("total_price".to_string(), true)));
+        assert!(touched.contains(&("grand_total".to_string(), false)));
+    }
+
+    #[test]
+    fn empty_delta_empty_report() {
+        let (old, delta) =
+            schemas("CREATE TABLE invoices (id INT);", "CREATE TABLE invoices (id INT);");
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        assert!(a.impact_of(&delta, SOURCES).files.is_empty());
+    }
+
+    #[test]
+    fn ranking_by_breaking_hits() {
+        let (old, delta) = schemas(
+            "CREATE TABLE invoices (id INT, total_price INT);",
+            "CREATE TABLE invoices (id INT);",
+        );
+        let a = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        let sources = [
+            ("one_hit.js", "x = total_price;"),
+            ("three_hits.js", "total_price; total_price; total_price;"),
+        ];
+        let report = a.impact_of(&delta, &sources);
+        assert_eq!(report.files[0].path, "three_hits.js");
+        assert_eq!(report.files[0].breaking_references(), 3);
+        assert_eq!(report.files[1].breaking_references(), 1);
+    }
+}

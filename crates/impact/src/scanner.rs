@@ -1,0 +1,198 @@
+//! Lexical scanning of source text for schema-identifier references.
+
+use coevo_ddl::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What kind of schema element a reference points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefKind {
+    /// A table name.
+    Table,
+    /// A column name.
+    Column,
+}
+
+/// One reference found in source text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    /// The matched identifier, lowercased.
+    pub identifier: String,
+    /// The kind of this item.
+    pub kind: RefKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Scanner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Identifiers shorter than this are never matched (too generic).
+    pub min_identifier_length: usize,
+    /// Identifiers in this list are never matched even when long enough.
+    /// The default stoplist holds column names so common in ordinary code
+    /// that matching them would drown the signal.
+    pub stoplist: Vec<String>,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self {
+            min_identifier_length: 4,
+            stoplist: ["name", "type", "value", "data", "status", "date", "text", "user"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// The searchable identifier set of a schema.
+#[derive(Debug, Clone, Default)]
+pub struct IdentifierIndex {
+    /// Lowercased identifier → kind. Columns of several tables collapse to
+    /// one entry (lexical matching cannot tell them apart anyway).
+    entries: HashMap<String, RefKind>,
+}
+
+impl IdentifierIndex {
+    /// Build the index from a schema under a config.
+    pub fn build(schema: &Schema, config: &ScanConfig) -> Self {
+        let mut entries = HashMap::new();
+        let eligible = |name: &str| {
+            name.len() >= config.min_identifier_length
+                && !config.stoplist.iter().any(|s| s.eq_ignore_ascii_case(name))
+        };
+        // Insert columns first so table names (the stronger signal) win on
+        // collisions.
+        for t in &schema.tables {
+            for c in &t.columns {
+                if eligible(&c.name) {
+                    entries.insert(c.key(), RefKind::Column);
+                }
+            }
+        }
+        for t in &schema.tables {
+            if eligible(&t.name) {
+                entries.insert(t.key(), RefKind::Table);
+            }
+        }
+        Self { entries }
+    }
+
+    /// Look up one identifier (case-insensitive).
+    pub fn get(&self, ident: &str) -> Option<RefKind> {
+        self.entries.get(&ident.to_ascii_lowercase()).copied()
+    }
+
+    /// Number of searchable identifiers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no identifiers are searchable.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Scan one source text for references to indexed identifiers. Matching is
+/// word-bounded over identifier characters (`[A-Za-z0-9_]`), so `orders`
+/// matches in `FROM orders` and `db.orders` but not in `preorders` or
+/// `orders_archive`.
+pub fn scan_source(text: &str, index: &IdentifierIndex) -> Vec<Reference> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if is_word_byte(bytes[i]) {
+                let start = i;
+                while i < bytes.len() && is_word_byte(bytes[i]) {
+                    i += 1;
+                }
+                let word = &line[start..i];
+                if let Some(kind) = index.get(word) {
+                    out.push(Reference {
+                        identifier: word.to_ascii_lowercase(),
+                        kind,
+                        line: lineno as u32 + 1,
+                    });
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn index(sql: &str) -> IdentifierIndex {
+        let schema = parse_schema(sql, Dialect::Generic).unwrap();
+        IdentifierIndex::build(&schema, &ScanConfig::default())
+    }
+
+    #[test]
+    fn builds_index_with_stoplist_and_length_filter() {
+        let idx = index("CREATE TABLE orders (id INT, name TEXT, total_price INT);");
+        assert_eq!(idx.get("orders"), Some(RefKind::Table));
+        assert_eq!(idx.get("total_price"), Some(RefKind::Column));
+        assert_eq!(idx.get("id"), None); // too short
+        assert_eq!(idx.get("name"), None); // stoplisted
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn table_beats_column_on_collision() {
+        let idx = index("CREATE TABLE events (events INT);");
+        assert_eq!(idx.get("events"), Some(RefKind::Table));
+    }
+
+    #[test]
+    fn word_bounded_matching() {
+        let idx = index("CREATE TABLE orders (total_price INT);");
+        let refs = scan_source(
+            "SELECT total_price FROM orders;\nlet preorders = orders_archive;\ndb.orders.find()",
+            &idx,
+        );
+        let idents: Vec<(&str, u32)> =
+            refs.iter().map(|r| (r.identifier.as_str(), r.line)).collect();
+        assert_eq!(idents, vec![("total_price", 1), ("orders", 1), ("orders", 3)]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let idx = index("CREATE TABLE Orders (Total_Price INT);");
+        let refs = scan_source("select TOTAL_PRICE from ORDERS", &idx);
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let idx = index("CREATE TABLE orders (total_price INT);");
+        assert!(scan_source("", &idx).is_empty());
+        let empty = IdentifierIndex::default();
+        assert!(empty.is_empty());
+        assert!(scan_source("orders everywhere", &empty).is_empty());
+    }
+
+    #[test]
+    fn custom_config() {
+        let schema =
+            parse_schema("CREATE TABLE ab (cd INT, name TEXT);", Dialect::Generic).unwrap();
+        let cfg = ScanConfig { min_identifier_length: 2, stoplist: vec![] };
+        let idx = IdentifierIndex::build(&schema, &cfg);
+        assert_eq!(idx.get("ab"), Some(RefKind::Table));
+        assert_eq!(idx.get("cd"), Some(RefKind::Column));
+        assert_eq!(idx.get("name"), Some(RefKind::Column)); // no stoplist
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the impact scanner and analyzer.
+
+use coevo_ddl::{parse_schema, Dialect};
+use coevo_impact::{scan_source, IdentifierIndex, ImpactAnalyzer, ScanConfig};
+use proptest::prelude::*;
+
+fn test_schema() -> coevo_ddl::Schema {
+    parse_schema(
+        "CREATE TABLE invoices (id INT, total_price INT, currency TEXT);
+         CREATE TABLE customers (id INT, full_name TEXT, email_addr TEXT);",
+        Dialect::Generic,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scanner_never_panics(input in "\\PC{0,500}") {
+        let index = IdentifierIndex::build(&test_schema(), &ScanConfig::default());
+        let _ = scan_source(&input, &index);
+    }
+
+    #[test]
+    fn every_hit_really_occurs_word_bounded(
+        prefix in "[a-z ;.(){}=]{0,20}",
+        suffix in "[a-z ;.(){}=]{0,20}",
+        which in 0usize..4,
+    ) {
+        let idents = ["invoices", "total_price", "customers", "full_name"];
+        let ident = idents[which];
+        let line = format!("{prefix} {ident} {suffix}");
+        let index = IdentifierIndex::build(&test_schema(), &ScanConfig::default());
+        let refs = scan_source(&line, &index);
+        // The planted identifier is found…
+        prop_assert!(refs.iter().any(|r| r.identifier == ident), "{line}");
+        // …and every reported hit appears verbatim on its line.
+        for r in &refs {
+            prop_assert!(line.to_ascii_lowercase().contains(&r.identifier));
+            prop_assert_eq!(r.line, 1);
+        }
+    }
+
+    #[test]
+    fn embedded_identifier_is_not_matched(
+        glue in "[a-z]{1,6}",
+    ) {
+        // `xinvoicesy` must not match `invoices`.
+        let line = format!("{glue}invoices{glue}");
+        let index = IdentifierIndex::build(&test_schema(), &ScanConfig::default());
+        let refs = scan_source(&line, &index);
+        prop_assert!(refs.is_empty(), "{line}: {refs:?}");
+    }
+
+    #[test]
+    fn analyzer_reports_only_touched_identifiers(source in "[a-z_ .;\\n]{0,200}") {
+        let old = test_schema();
+        let new = parse_schema(
+            "CREATE TABLE invoices (id INT, currency TEXT);
+             CREATE TABLE customers (id INT, full_name TEXT, email_addr TEXT);",
+            Dialect::Generic,
+        )
+        .unwrap();
+        let delta = coevo_diff::diff_schemas(&old, &new);
+        let analyzer = ImpactAnalyzer::new(&old, &ScanConfig::default());
+        let report = analyzer.impact_of(&delta, &[("f", &source)]);
+        for f in &report.files {
+            for h in &f.hits {
+                // Only the ejected column can appear.
+                prop_assert_eq!(h.identifier.as_str(), "total_price");
+                prop_assert!(h.breaking);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The query AST — reference-oriented: the validator needs the *names* a
+//! query binds to, not full relational semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// A table reference in FROM/JOIN/INSERT/UPDATE/DELETE position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Table name as written (schema qualifier stripped).
+    pub name: String,
+    /// Alias, when given (`FROM users u` / `users AS u`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A plain, alias-free table reference.
+    pub fn named(name: &str) -> Self {
+        Self { name: name.to_string(), alias: None }
+    }
+}
+
+/// A column reference, optionally qualified (`u.email` / `email`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Alias or table qualifier as written, when present.
+    pub qualifier: Option<String>,
+    /// The referenced column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference (`email`).
+    pub fn bare(column: &str) -> Self {
+        Self { qualifier: None, column: column.to_string() }
+    }
+
+    /// A qualified reference (`u.email`).
+    pub fn qualified(qualifier: &str, column: &str) -> Self {
+        Self { qualifier: Some(qualifier.to_string()), column: column.to_string() }
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*` or `alias.*`.
+    Star {
+        /// Optional table/alias qualifier.
+        qualifier: Option<String>,
+    },
+    /// An expression; the column references it mentions are recorded.
+    Expr {
+        /// The column references collected.
+        refs: Vec<ColumnRef>,
+    },
+}
+
+/// A parsed query: the references the validator needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// A `SELECT` statement.
+    Select(SelectQuery),
+    /// An `INSERT` statement.
+    Insert(InsertQuery),
+    /// An `UPDATE` statement.
+    Update(UpdateQuery),
+    /// A `DELETE` statement.
+    Delete(DeleteQuery),
+}
+
+/// A SELECT (including its flattened subqueries).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SelectQuery {
+    /// The SELECT-list items.
+    pub items: Vec<SelectItem>,
+    /// FROM and JOIN tables.
+    pub tables: Vec<TableRef>,
+    /// Column references from ON/WHERE/GROUP BY/HAVING/ORDER BY.
+    pub other_refs: Vec<ColumnRef>,
+    /// Subqueries (IN (...), FROM (...), EXISTS (...)), validated
+    /// independently.
+    pub subqueries: Vec<SelectQuery>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The insert query.
+pub struct InsertQuery {
+    /// The table name.
+    pub table: TableRef,
+    /// Explicit column list, empty for `INSERT INTO t VALUES (...)`.
+    pub columns: Vec<String>,
+    /// A `SELECT` source, when present (`INSERT INTO t SELECT ...`).
+    pub select: Option<SelectQuery>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The update query.
+pub struct UpdateQuery {
+    /// The table name.
+    pub table: TableRef,
+    /// Columns assigned in SET.
+    pub set_columns: Vec<String>,
+    /// References in SET expressions and WHERE.
+    pub other_refs: Vec<ColumnRef>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The delete query.
+pub struct DeleteQuery {
+    /// The table name.
+    pub table: TableRef,
+    /// The other refs.
+    pub other_refs: Vec<ColumnRef>,
+}
+
+impl Query {
+    /// Every table this query references (subqueries included).
+    pub fn tables(&self) -> Vec<&TableRef> {
+        fn from_select<'a>(s: &'a SelectQuery, out: &mut Vec<&'a TableRef>) {
+            out.extend(s.tables.iter());
+            for sub in &s.subqueries {
+                from_select(sub, out);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Query::Select(s) => from_select(s, &mut out),
+            Query::Insert(i) => {
+                out.push(&i.table);
+                if let Some(s) = &i.select {
+                    from_select(s, &mut out);
+                }
+            }
+            Query::Update(u) => out.push(&u.table),
+            Query::Delete(d) => out.push(&d.table),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_collects_subqueries() {
+        let inner = SelectQuery {
+            tables: vec![TableRef::named("inner_t")],
+            ..Default::default()
+        };
+        let outer = Query::Select(SelectQuery {
+            tables: vec![TableRef::named("outer_t")],
+            subqueries: vec![inner],
+            ..Default::default()
+        });
+        let names: Vec<&str> = outer.tables().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["outer_t", "inner_t"]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ColumnRef::bare("a"), ColumnRef { qualifier: None, column: "a".into() });
+        assert_eq!(
+            ColumnRef::qualified("u", "a"),
+            ColumnRef { qualifier: Some("u".into()), column: "a".into() }
+        );
+        assert_eq!(TableRef::named("t").alias, None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Finding embedded SQL strings inside application source text.
+//!
+//! The heuristic mirrors what co-change studies do: any string literal
+//! (single-, double-, or backtick-quoted) whose trimmed content starts with
+//! a DML keyword is taken as an embedded query. Adjacent string
+//! concatenation fragments are not joined — partial queries simply fail to
+//! parse downstream and are skipped by the validator.
+
+use serde::{Deserialize, Serialize};
+
+/// One embedded SQL string found in source text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedSql {
+    /// 1-based line where the string literal starts.
+    pub line: u32,
+    /// The literal's contents.
+    pub sql: String,
+}
+
+const DML_PREFIXES: &[&str] = &["SELECT", "INSERT", "UPDATE", "DELETE"];
+
+/// Scan source text for string literals that look like SQL queries.
+pub fn extract_sql_strings(source: &str) -> Vec<EmbeddedSql> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            q @ (b'"' | b'\'' | b'`') => {
+                let start_line = line;
+                let mut j = i + 1;
+                let mut content = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if b == b'\\' && j + 1 < bytes.len() {
+                        // Escape: keep the escaped char (normalize \n etc. to
+                        // a space so the lexer does not see raw backslashes).
+                        let esc = bytes[j + 1];
+                        content.push(match esc {
+                            b'n' | b't' | b'r' => ' ',
+                            other => other as char,
+                        });
+                        j += 2;
+                        continue;
+                    }
+                    if b == q {
+                        closed = true;
+                        break;
+                    }
+                    if b == b'\n' {
+                        line += 1;
+                    }
+                    content.push(b as char);
+                    j += 1;
+                }
+                if closed {
+                    let trimmed = content.trim_start();
+                    if DML_PREFIXES
+                        .iter()
+                        .any(|p| starts_with_word(trimmed, p))
+                    {
+                        out.push(EmbeddedSql { line: start_line, sql: content.clone() });
+                    }
+                    i = j + 1;
+                } else {
+                    // Unterminated: treat the quote as ordinary text.
+                    line = start_line;
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Case-insensitive prefix match followed by a word boundary.
+fn starts_with_word(text: &str, word: &str) -> bool {
+    if text.len() < word.len() {
+        return false;
+    }
+    let head = &text[..word.len()];
+    if !head.eq_ignore_ascii_case(word) {
+        return false;
+    }
+    match text.as_bytes().get(word.len()) {
+        None => true,
+        Some(b) => !b.is_ascii_alphanumeric() && *b != b'_',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sql_in_various_quotes() {
+        let src = r#"
+const a = "SELECT id FROM users";
+const b = 'UPDATE t SET x = 1';
+const c = `DELETE FROM logs WHERE old = 1`;
+const noise = "hello world";
+"#;
+        let found = extract_sql_strings(src);
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].sql, "SELECT id FROM users");
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[2].line, 4);
+    }
+
+    #[test]
+    fn prefix_must_be_word_bounded() {
+        let src = r#"x = "SELECTION of items"; y = "selectors";"#;
+        assert!(extract_sql_strings(src).is_empty());
+    }
+
+    #[test]
+    fn case_insensitive_and_leading_whitespace() {
+        let src = "q = '  select * from t'";
+        let found = extract_sql_strings(src);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn multiline_template_strings() {
+        let src = "const q = `SELECT id,\n    name\nFROM users`;\nafter();";
+        let found = extract_sql_strings(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].sql.contains("FROM users"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let src = r#"q = "SELECT note FROM t WHERE note = \"x\"";"#;
+        let found = extract_sql_strings(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].sql.contains("note"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_loop() {
+        let src = "broken = \"SELECT id FROM t";
+        assert!(extract_sql_strings(src).is_empty());
+    }
+
+    #[test]
+    fn python_docstring_like_input() {
+        let src = "def f():\n    q = 'INSERT INTO logs (msg) VALUES (%s)'\n    run(q)";
+        let found = extract_sql_strings(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # coevo-query — SQL query parsing and schema validation
+//!
+//! The paper's motivation is *syntactic impact*: "queries are authored with
+//! respect to the names of the elements of the database schema; thus, an
+//! update in the structure might lead a query to be syntactically invalid."
+//! This crate implements exactly that check:
+//!
+//! - a parser for the DML subset applications embed in source code
+//!   (`SELECT` with joins and subqueries, `INSERT`, `UPDATE`, `DELETE`),
+//!   reusing the DDL crate's lexer;
+//! - [`validate()`][validate::validate]: resolve a query's table/column references against a
+//!   [`coevo_ddl::Schema`], reporting unknown tables and columns;
+//! - [`extract`]: find embedded SQL strings inside application source text;
+//! - [`breaking_queries`]: the end-to-end checker — queries that are valid
+//!   against one schema version and broken by the next.
+//!
+//! ```
+//! use coevo_ddl::{parse_schema, Dialect};
+//! use coevo_query::{parse_query, validate};
+//!
+//! let schema = parse_schema(
+//!     "CREATE TABLE users (id INT, email TEXT);", Dialect::Generic).unwrap();
+//! let q = parse_query("SELECT email FROM users WHERE id = 1").unwrap();
+//! assert!(validate(&q, &schema).is_empty());
+//!
+//! let q = parse_query("SELECT nickname FROM users").unwrap();
+//! let issues = validate(&q, &schema);
+//! assert_eq!(issues.len(), 1); // unknown column `nickname`
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod extract;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{ColumnRef, Query, SelectItem, TableRef};
+pub use extract::{extract_sql_strings, EmbeddedSql};
+pub use parser::parse_query;
+pub use validate::{breaking_queries, validate, BrokenQuery, Issue, IssueKind};

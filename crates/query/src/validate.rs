@@ -1,0 +1,364 @@
+//! Resolving query references against a schema — the syntactic-impact check.
+
+use crate::ast::{ColumnRef, Query, SelectItem, SelectQuery, TableRef};
+use crate::parser::parse_query;
+use coevo_ddl::Schema;
+use serde::{Deserialize, Serialize};
+
+/// What kind of resolution failure occurred.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueKind {
+    /// A referenced table does not exist in the schema.
+    UnknownTable,
+    /// A referenced column does not exist in the table(s) searched.
+    UnknownColumn,
+}
+
+/// One validation issue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Issue {
+    /// The kind of this item.
+    pub kind: IssueKind,
+    /// The unresolved name (table name, or column name).
+    pub name: String,
+    /// For columns: the table(s) searched, for diagnostics.
+    pub context: String,
+}
+
+/// Validate a query against a schema: every referenced table must exist and
+/// every referenced column must exist in (one of) the tables it can bind to.
+///
+/// Resolution rules (lenient where lexical extraction is imprecise):
+/// - qualified refs (`u.email`) resolve their qualifier through aliases; an
+///   unknown qualifier is *skipped* (it may be a derived-table alias);
+/// - bare refs must exist in at least one in-scope table;
+/// - subqueries validate in their own scope (correlated references to outer
+///   tables are therefore conservatively also checked against the outer
+///   scope — see `validate_select`).
+pub fn validate(query: &Query, schema: &Schema) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    match query {
+        Query::Select(s) => validate_select(s, schema, &[], &mut issues),
+        Query::Insert(i) => {
+            if check_table(&i.table, schema, &mut issues) {
+                for col in &i.columns {
+                    check_column_in(&i.table.name, col, schema, &mut issues);
+                }
+            }
+            if let Some(s) = &i.select {
+                validate_select(s, schema, &[], &mut issues);
+            }
+        }
+        Query::Update(u) => {
+            if check_table(&u.table, schema, &mut issues) {
+                for col in &u.set_columns {
+                    check_column_in(&u.table.name, col, schema, &mut issues);
+                }
+                let scope = vec![u.table.clone()];
+                for r in &u.other_refs {
+                    check_ref(r, &scope, schema, &mut issues);
+                }
+            }
+        }
+        Query::Delete(d) => {
+            if check_table(&d.table, schema, &mut issues) {
+                let scope = vec![d.table.clone()];
+                for r in &d.other_refs {
+                    check_ref(r, &scope, schema, &mut issues);
+                }
+            }
+        }
+    }
+    issues
+}
+
+fn validate_select(
+    s: &SelectQuery,
+    schema: &Schema,
+    outer_scope: &[TableRef],
+    issues: &mut Vec<Issue>,
+) {
+    // In-scope tables: this SELECT's FROM list (only those that exist are
+    // searched for columns) plus the outer scope for correlated refs.
+    let mut scope: Vec<TableRef> = Vec::new();
+    for t in &s.tables {
+        if check_table(t, schema, issues) {
+            scope.push(t.clone());
+        }
+    }
+    scope.extend(outer_scope.iter().cloned());
+    let has_derived = s.tables.len() < scope_capacity(s);
+
+    for item in &s.items {
+        match item {
+            SelectItem::Star { qualifier: Some(q) } => {
+                // `alias.*`: the alias must resolve unless derived tables
+                // make resolution uncertain.
+                if !has_derived && resolve_qualifier(q, &scope).is_none() {
+                    issues.push(Issue {
+                        kind: IssueKind::UnknownTable,
+                        name: q.clone(),
+                        context: "star qualifier".into(),
+                    });
+                }
+            }
+            SelectItem::Star { qualifier: None } => {}
+            SelectItem::Expr { refs } => {
+                for r in refs {
+                    if !has_derived {
+                        check_ref(r, &scope, schema, issues);
+                    }
+                }
+            }
+        }
+    }
+    if !has_derived {
+        for r in &s.other_refs {
+            check_ref(r, &scope, schema, issues);
+        }
+    }
+    for sub in &s.subqueries {
+        validate_select(sub, schema, &scope, issues);
+    }
+}
+
+/// Number of relations contributing columns to this SELECT's scope: FROM
+/// tables plus derived tables (subqueries used as FROM sources are counted
+/// as subqueries; we cannot tell FROM-subqueries from WHERE-subqueries after
+/// flattening, so any subquery presence relaxes bare-column checking).
+fn scope_capacity(s: &SelectQuery) -> usize {
+    s.tables.len() + s.subqueries.len()
+}
+
+fn check_table(t: &TableRef, schema: &Schema, issues: &mut Vec<Issue>) -> bool {
+    if schema.table(&t.name).is_some() {
+        true
+    } else {
+        issues.push(Issue {
+            kind: IssueKind::UnknownTable,
+            name: t.name.clone(),
+            context: String::new(),
+        });
+        false
+    }
+}
+
+fn check_column_in(table: &str, column: &str, schema: &Schema, issues: &mut Vec<Issue>) {
+    let Some(t) = schema.table(table) else {
+        return;
+    };
+    if t.column(column).is_none() {
+        issues.push(Issue {
+            kind: IssueKind::UnknownColumn,
+            name: column.to_string(),
+            context: table.to_string(),
+        });
+    }
+}
+
+fn resolve_qualifier<'a>(q: &str, scope: &'a [TableRef]) -> Option<&'a TableRef> {
+    scope.iter().find(|t| {
+        t.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+            || t.name.eq_ignore_ascii_case(q)
+    })
+}
+
+fn check_ref(r: &ColumnRef, scope: &[TableRef], schema: &Schema, issues: &mut Vec<Issue>) {
+    match &r.qualifier {
+        Some(q) => {
+            // Unknown qualifiers are tolerated (derived tables, outer CTEs).
+            if let Some(t) = resolve_qualifier(q, scope) {
+                check_column_in(&t.name, &r.column, schema, issues);
+            }
+        }
+        None => {
+            if scope.is_empty() {
+                return; // `SELECT 1` style — nothing to bind
+            }
+            let found = scope.iter().any(|t| {
+                schema.table(&t.name).is_some_and(|tab| tab.column(&r.column).is_some())
+            });
+            if !found {
+                issues.push(Issue {
+                    kind: IssueKind::UnknownColumn,
+                    name: r.column.clone(),
+                    context: scope
+                        .iter()
+                        .map(|t| t.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                });
+            }
+        }
+    }
+}
+
+/// A query that parses and validates against the old schema but fails
+/// against the new one — the syntactic impact of a schema change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokenQuery {
+    /// The SQL text.
+    pub sql: String,
+    /// The validation issues found.
+    pub issues: Vec<Issue>,
+}
+
+/// End-to-end syntactic-impact check over a set of SQL strings: return those
+/// valid under `old_schema` and broken under `new_schema`. Strings that do
+/// not parse as queries, or were already invalid, are skipped — the checker
+/// reports *changes breaking previously-working queries*.
+pub fn breaking_queries(
+    old_schema: &Schema,
+    new_schema: &Schema,
+    sql_strings: &[&str],
+) -> Vec<BrokenQuery> {
+    let mut out = Vec::new();
+    for &sql in sql_strings {
+        let Ok(q) = parse_query(sql) else {
+            continue;
+        };
+        if !validate(&q, old_schema).is_empty() {
+            continue; // already broken before the change
+        }
+        let issues = validate(&q, new_schema);
+        if !issues.is_empty() {
+            out.push(BrokenQuery { sql: sql.to_string(), issues });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+
+    fn schema(sql: &str) -> Schema {
+        parse_schema(sql, Dialect::Generic).unwrap()
+    }
+
+    fn issues(query: &str, schema_sql: &str) -> Vec<Issue> {
+        validate(&parse_query(query).unwrap(), &schema(schema_sql))
+    }
+
+    const SHOP: &str = "
+        CREATE TABLE customers (id INT, email TEXT, full_name TEXT);
+        CREATE TABLE orders (id INT, customer_id INT, total INT, placed_at DATE);
+    ";
+
+    #[test]
+    fn valid_queries_pass() {
+        for q in [
+            "SELECT email FROM customers",
+            "SELECT c.email, o.total FROM customers c JOIN orders o ON o.customer_id = c.id",
+            "SELECT * FROM orders WHERE total > 100 ORDER BY placed_at",
+            "INSERT INTO orders (customer_id, total) VALUES (?, ?)",
+            "UPDATE customers SET email = ? WHERE id = ?",
+            "DELETE FROM orders WHERE placed_at < ?",
+            "SELECT id FROM orders WHERE customer_id IN (SELECT id FROM customers)",
+        ] {
+            assert!(issues(q, SHOP).is_empty(), "query should pass: {q}");
+        }
+    }
+
+    #[test]
+    fn unknown_table() {
+        let i = issues("SELECT x FROM invoices", SHOP);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].kind, IssueKind::UnknownTable);
+        assert_eq!(i[0].name, "invoices");
+    }
+
+    #[test]
+    fn unknown_column_bare_and_qualified() {
+        let i = issues("SELECT nickname FROM customers", SHOP);
+        assert_eq!(i, vec![Issue {
+            kind: IssueKind::UnknownColumn,
+            name: "nickname".into(),
+            context: "customers".into(),
+        }]);
+        let i = issues("SELECT c.nickname FROM customers c", SHOP);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].kind, IssueKind::UnknownColumn);
+    }
+
+    #[test]
+    fn bare_column_resolves_across_joined_tables() {
+        // `total` lives in orders; query joins both tables.
+        let i = issues(
+            "SELECT total FROM customers c JOIN orders o ON o.customer_id = c.id",
+            SHOP,
+        );
+        assert!(i.is_empty(), "{i:?}");
+    }
+
+    #[test]
+    fn insert_update_column_checks() {
+        let i = issues("INSERT INTO orders (customer_id, discount) VALUES (?, ?)", SHOP);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].name, "discount");
+        let i = issues("UPDATE orders SET freight = 1 WHERE id = 2", SHOP);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].name, "freight");
+    }
+
+    #[test]
+    fn subquery_scope_is_checked() {
+        let i = issues(
+            "SELECT id FROM orders WHERE customer_id IN (SELECT ghost FROM customers)",
+            SHOP,
+        );
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].name, "ghost");
+    }
+
+    #[test]
+    fn correlated_subquery_sees_outer_scope() {
+        let i = issues(
+            "SELECT id FROM orders o WHERE EXISTS (SELECT 1 FROM customers c WHERE c.id = o.customer_id)",
+            SHOP,
+        );
+        assert!(i.is_empty(), "{i:?}");
+    }
+
+    #[test]
+    fn derived_tables_relax_bare_checks() {
+        // Columns coming out of a FROM-subquery cannot be resolved
+        // lexically; no false positives allowed.
+        let i = issues("SELECT synthetic FROM (SELECT id AS synthetic FROM orders) t", SHOP);
+        assert!(i.is_empty(), "{i:?}");
+    }
+
+    #[test]
+    fn breaking_queries_end_to_end() {
+        let old = schema(SHOP);
+        let new = schema(
+            "CREATE TABLE customers (id INT, email TEXT, full_name TEXT);
+             CREATE TABLE orders (id INT, customer_id INT, grand_total INT, placed_at DATE);",
+        );
+        let queries = [
+            "SELECT total FROM orders",                       // breaks: renamed away
+            "SELECT email FROM customers",                    // fine
+            "SELECT ghost FROM orders",                       // was already broken
+            "not sql at all",                                 // unparseable
+            "UPDATE orders SET total = 0 WHERE id = 1",       // breaks
+        ];
+        let broken = breaking_queries(&old, &new, &queries);
+        let sqls: Vec<&str> = broken.iter().map(|b| b.sql.as_str()).collect();
+        assert_eq!(
+            sqls,
+            vec!["SELECT total FROM orders", "UPDATE orders SET total = 0 WHERE id = 1"]
+        );
+        assert!(broken[0].issues.iter().all(|i| i.kind == IssueKind::UnknownColumn));
+    }
+
+    #[test]
+    fn dropped_table_breaks_all_its_queries() {
+        let old = schema(SHOP);
+        let new = schema("CREATE TABLE customers (id INT, email TEXT, full_name TEXT);");
+        let broken =
+            breaking_queries(&old, &new, &["DELETE FROM orders WHERE id = 1"]);
+        assert_eq!(broken.len(), 1);
+        assert_eq!(broken[0].issues[0].kind, IssueKind::UnknownTable);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the query parser must never panic, and round-trip
+//! invariants over generated queries must hold.
+
+use coevo_ddl::{parse_schema, Dialect};
+use coevo_query::{parse_query, validate, Query};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not reserved", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "and" | "or" | "not" | "null" | "in" | "is"
+                | "like" | "between" | "as" | "on" | "join" | "group" | "order" | "by"
+                | "having" | "limit" | "union" | "set" | "values" | "into" | "update"
+                | "delete" | "insert" | "exists" | "case" | "when" | "then" | "else"
+                | "end" | "left" | "right" | "inner" | "outer" | "cross" | "full"
+                | "using" | "distinct" | "all" | "asc" | "desc" | "true" | "false"
+        )
+    })
+}
+
+prop_compose! {
+    fn simple_select()(
+        cols in prop::collection::vec(ident(), 1..5),
+        table in ident(),
+        where_col in ident(),
+    ) -> (String, String, Vec<String>, String) {
+        let sql = format!(
+            "SELECT {} FROM {} WHERE {} = ?",
+            cols.join(", "),
+            table,
+            where_col
+        );
+        (sql, table, cols, where_col)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,300}") {
+        let _ = parse_query(&input);
+    }
+
+    #[test]
+    fn generated_selects_parse_and_reference_correctly(
+        (sql, table, cols, where_col) in simple_select()
+    ) {
+        let q = parse_query(&sql).expect("generated select parses");
+        let Query::Select(s) = &q else { panic!("not a select") };
+        prop_assert_eq!(s.tables.len(), 1);
+        prop_assert_eq!(&s.tables[0].name, &table);
+        // Every projected column appears as a ref.
+        let item_refs: Vec<&str> = s
+            .items
+            .iter()
+            .flat_map(|i| match i {
+                coevo_query::SelectItem::Expr { refs } => {
+                    refs.iter().map(|r| r.column.as_str()).collect::<Vec<_>>()
+                }
+                _ => vec![],
+            })
+            .collect();
+        for c in &cols {
+            prop_assert!(item_refs.contains(&c.as_str()), "{c} missing from {item_refs:?}");
+        }
+        prop_assert!(s.other_refs.iter().any(|r| r.column == where_col));
+    }
+
+    #[test]
+    fn validation_against_matching_schema_passes(
+        (sql, table, cols, where_col) in simple_select()
+    ) {
+        // Build a schema containing exactly the referenced names.
+        let mut all: Vec<String> = cols.clone();
+        all.push(where_col);
+        all.sort();
+        all.dedup();
+        let ddl = format!(
+            "CREATE TABLE {} ({});",
+            table,
+            all.iter().map(|c| format!("{c} INT")).collect::<Vec<_>>().join(", ")
+        );
+        let schema = parse_schema(&ddl, Dialect::Generic).expect("schema parses");
+        let q = parse_query(&sql).unwrap();
+        let issues = validate(&q, &schema);
+        prop_assert!(issues.is_empty(), "{sql} -> {issues:?}");
+    }
+
+    #[test]
+    fn validation_flags_missing_table(
+        (sql, table, _, _) in simple_select()
+    ) {
+        let schema = parse_schema("CREATE TABLE unrelated (x INT);", Dialect::Generic).unwrap();
+        prop_assume!(table != "unrelated");
+        let q = parse_query(&sql).unwrap();
+        let issues = validate(&q, &schema);
+        prop_assert!(
+            issues.iter().any(|i| i.kind == coevo_query::IssueKind::UnknownTable),
+            "{sql} -> {issues:?}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Horizontal ASCII bar charts (Figures 4 and 8).
+
+/// Render labeled values as horizontal bars scaled to `width` characters.
+pub fn bar_chart(items: &[(String, u64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).max().unwrap_or(0);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max == 0 {
+            0
+        } else {
+            ((*value as f64 / max as f64) * width as f64).round() as usize
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value}\n",
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// A grouped bar chart rendered as one block per group (Figure 8: one group
+/// per α level, one bar per lifetime range).
+pub fn grouped_bar_chart(
+    groups: &[(String, Vec<(String, u64)>)],
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    for (title, items) in groups {
+        out.push_str(title);
+        out.push('\n');
+        out.push_str(&bar_chart(items, width));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let items = vec![("a".to_string(), 10), ("b".to_string(), 5), ("c".to_string(), 0)];
+        let s = bar_chart(&items, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.matches('█').count();
+        assert_eq!(count(lines[0]), 20);
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[2]), 0);
+        assert!(lines[0].ends_with("10"));
+    }
+
+    #[test]
+    fn empty_and_all_zero() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let s = bar_chart(&[("x".to_string(), 0)], 10);
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn grouped_blocks() {
+        let groups = vec![
+            ("75%".to_string(), vec![("[0-20)".to_string(), 98)]),
+            ("80%".to_string(), vec![("[0-20)".to_string(), 94)]),
+        ];
+        let s = grouped_bar_chart(&groups, 30);
+        assert!(s.contains("75%"));
+        assert!(s.contains("80%"));
+        assert!(s.contains("98"));
+    }
+}

@@ -1,0 +1,178 @@
+//! CSV emitters for every figure's underlying data.
+
+use coevo_core::study::StudyResults;
+
+/// Minimal CSV field quoting (RFC 4180: quote when the field contains a
+/// comma, quote, or newline; double embedded quotes).
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_line<S: AsRef<str>>(fields: impl IntoIterator<Item = S>) -> String {
+    let joined: Vec<String> =
+        fields.into_iter().map(|f| csv_field(f.as_ref())).collect();
+    format!("{}\n", joined.join(","))
+}
+
+/// Per-project measures: the master table behind every figure.
+pub fn measures_csv(results: &StudyResults) -> String {
+    let mut out = csv_line([
+        "project",
+        "taxon",
+        "months",
+        "duration_months",
+        "sync_05",
+        "sync_10",
+        "advance_over_source",
+        "advance_over_time",
+        "always_over_source",
+        "always_over_time",
+        "always_over_both",
+        "attainment_50",
+        "attainment_75",
+        "attainment_80",
+        "attainment_100",
+        "schema_total_activity",
+        "project_total_activity",
+    ]);
+    let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
+    for m in &results.measures {
+        out.push_str(&csv_line([
+            m.name.clone(),
+            m.taxon.slug().to_string(),
+            m.months.to_string(),
+            m.duration_months().to_string(),
+            format!("{:.6}", m.sync_05),
+            format!("{:.6}", m.sync_10),
+            opt(m.advance.over_source),
+            opt(m.advance.over_time),
+            m.advance.always_over_source.to_string(),
+            m.advance.always_over_time.to_string(),
+            m.advance.always_over_both.to_string(),
+            opt(m.attainment.at_50),
+            opt(m.attainment.at_75),
+            opt(m.attainment.at_80),
+            opt(m.attainment.at_100),
+            m.schema_total_activity.to_string(),
+            m.project_total_activity.to_string(),
+        ]));
+    }
+    out
+}
+
+/// Figure 4 histogram as CSV.
+pub fn fig4_csv(results: &StudyResults) -> String {
+    let mut out = csv_line(["range", "projects"]);
+    for (label, count) in results.fig4.labels.iter().zip(&results.fig4.counts) {
+        out.push_str(&csv_line([label.clone(), count.to_string()]));
+    }
+    out
+}
+
+/// Figure 6 table as CSV.
+pub fn fig6_csv(results: &StudyResults) -> String {
+    let mut out = csv_line([
+        "range",
+        "source_count",
+        "source_pct",
+        "source_cum_pct",
+        "time_count",
+        "time_pct",
+        "time_cum_pct",
+    ]);
+    for r in &results.fig6.rows {
+        out.push_str(&csv_line([
+            r.range.clone(),
+            r.source_count.to_string(),
+            format!("{:.4}", r.source_pct),
+            format!("{:.4}", r.source_cum_pct),
+            r.time_count.to_string(),
+            format!("{:.4}", r.time_pct),
+            format!("{:.4}", r.time_cum_pct),
+        ]));
+    }
+    out.push_str(&csv_line([
+        "(blank)".to_string(),
+        results.fig6.blank.to_string(),
+        String::new(),
+        String::new(),
+        results.fig6.blank.to_string(),
+        String::new(),
+        String::new(),
+    ]));
+    out
+}
+
+/// Figure 8 attainment grid as CSV.
+pub fn fig8_csv(results: &StudyResults) -> String {
+    let mut header = vec!["alpha".to_string()];
+    header.extend(results.fig8.range_labels.iter().cloned());
+    header.push("unattained".to_string());
+    let mut out = csv_line(header);
+    for (i, alpha) in results.fig8.alphas.iter().enumerate() {
+        let mut row = vec![format!("{:.0}%", alpha * 100.0)];
+        row.extend(results.fig8.counts[i].iter().map(|c| c.to_string()));
+        row.push(results.fig8.unattained[i].to_string());
+        out.push_str(&csv_line(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_core::progress::ProjectData;
+    use coevo_core::Study;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+
+    fn results() -> StudyResults {
+        let start = YearMonth::new(2015, 1).unwrap();
+        let projects = vec![
+            ProjectData::new(
+                "a/b,with comma",
+                Heartbeat::new(start, vec![3, 3, 3]),
+                Heartbeat::new(start, vec![5, 0, 1]),
+                5,
+            ),
+            ProjectData::new(
+                "c/d",
+                Heartbeat::new(start, vec![2, 2]),
+                Heartbeat::new(start, vec![4, 0]),
+                4,
+            ),
+        ];
+        Study::new(projects).run()
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn measures_csv_shape() {
+        let csv = measures_csv(&results());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 projects
+        assert!(lines[0].starts_with("project,taxon"));
+        assert!(lines[1].starts_with("\"a/b,with comma\""));
+        // All rows have the same number of fields as the header... roughly:
+        // count commas outside quotes for the plain row.
+        let header_fields = lines[0].split(',').count();
+        assert_eq!(lines[2].split(',').count(), header_fields);
+    }
+
+    #[test]
+    fn figure_csvs_nonempty() {
+        let r = results();
+        assert!(fig4_csv(&r).lines().count() > 1);
+        assert!(fig6_csv(&r).lines().count() == 12); // header + 10 ranges + blank
+        assert!(fig8_csv(&r).lines().count() == 5); // header + 4 alphas
+    }
+}

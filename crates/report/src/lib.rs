@@ -1,0 +1,21 @@
+//! # coevo-report — rendering the study's figures and tables
+//!
+//! Text renderers for every figure of the paper: aligned tables (Fig. 6, 7),
+//! bar charts (Fig. 4, 8), joint-progress line charts (Fig. 1–3), the
+//! duration × synchronicity scatter (Fig. 5), and CSV emitters for all of
+//! them (so external plotting tools can regenerate the camera-ready
+//! graphics).
+
+#![warn(missing_docs)]
+
+pub mod barchart;
+pub mod csv;
+pub mod figures;
+pub mod linechart;
+pub mod markdown;
+pub mod scatter;
+pub mod summary;
+pub mod table;
+
+pub use figures::render_all_figures;
+pub use summary::research_question_answers;

@@ -1,0 +1,113 @@
+//! Joint-progress line charts (Figures 1–3): three cumulative series on a
+//! character grid.
+
+use coevo_core::progress::ProjectData;
+
+/// Plot the three cumulative fractional series of a project on a text grid.
+/// `P` = project (source), `S` = schema, `t` = time; `*` where series
+/// coincide. The y axis is cumulative progress (top = 100%), the x axis is
+/// the project's month axis.
+pub fn joint_progress_chart(data: &ProjectData, height: usize, max_width: usize) -> String {
+    let jp = data.joint_progress();
+    let months = jp.months();
+    let width = months.min(max_width).max(1);
+    let mut grid = vec![vec![' '; width]; height];
+
+    // Down-sample months onto the width.
+    let sample = |series: &[f64], col: usize| -> f64 {
+        let idx = if width == 1 { 0 } else { col * (months - 1) / (width - 1) };
+        series[idx]
+    };
+    let to_row = |v: f64| -> usize {
+        let r = ((1.0 - v) * (height - 1) as f64).round() as usize;
+        r.min(height - 1)
+    };
+
+    for col in 0..width {
+        let marks = [
+            (sample(&jp.time, col), 't'),
+            (sample(&jp.project, col), 'P'),
+            (sample(&jp.schema, col), 'S'),
+        ];
+        for (v, ch) in marks {
+            let row = to_row(v);
+            grid[row][col] = if grid[row][col] == ' ' { ch } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {} months, S=schema P=project t=time (*=overlap)\n",
+        data.name, months
+    ));
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            "100% "
+        } else if r == height - 1 {
+            "  0% "
+        } else {
+            "     "
+        };
+        out.push_str(y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+
+    fn data() -> ProjectData {
+        let start = YearMonth::new(2015, 1).unwrap();
+        ProjectData::new(
+            "demo/app",
+            Heartbeat::new(start, vec![5, 5, 5, 5, 5, 5, 5, 5]),
+            Heartbeat::new(start, vec![20, 0, 0, 0, 0, 0, 0, 4]),
+            20,
+        )
+    }
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let s = joint_progress_chart(&data(), 10, 60);
+        let lines: Vec<&str> = s.lines().collect();
+        // title + 10 grid rows + x axis
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].contains("demo/app"));
+        assert!(lines[1].starts_with("100% |"));
+        assert!(lines[10].starts_with("  0% |"));
+    }
+
+    #[test]
+    fn schema_starts_high_project_low() {
+        let s = joint_progress_chart(&data(), 12, 8);
+        // The schema's early burst puts an S near the top-left.
+        let top_rows: String = s.lines().skip(1).take(4).collect();
+        assert!(top_rows.contains('S') || top_rows.contains('*'), "{s}");
+        // Time/project start near the bottom-left.
+        let bottom_rows: String = s.lines().skip(9).take(4).collect();
+        assert!(bottom_rows.contains('t') || bottom_rows.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn wide_projects_downsample() {
+        let start = YearMonth::new(2010, 1).unwrap();
+        let p = ProjectData::new(
+            "long/project",
+            Heartbeat::new(start, vec![1; 200]),
+            Heartbeat::new(start, vec![1; 200]),
+            1,
+        );
+        let s = joint_progress_chart(&p, 8, 50);
+        for line in s.lines().skip(1) {
+            assert!(line.len() <= 60, "line too wide: {line:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Markdown renderers — the tables EXPERIMENTS.md-style documents embed.
+
+use coevo_core::study::StudyResults;
+
+/// Escape a cell for markdown table context.
+fn cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        let cells: Vec<String> = row.iter().map(|c| cell(c)).collect();
+        out.push_str(&cells.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Figure 6 as a markdown table.
+pub fn fig6_markdown(results: &StudyResults) -> String {
+    let rows: Vec<Vec<String>> = results
+        .fig6
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.range.clone(),
+                r.source_count.to_string(),
+                format!("{:.0}%", r.source_pct * 100.0),
+                format!("{:.0}%", r.source_cum_pct * 100.0),
+                r.time_count.to_string(),
+                format!("{:.0}%", r.time_pct * 100.0),
+                format!("{:.0}%", r.time_cum_pct * 100.0),
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "(blank)".to_string(),
+            results.fig6.blank.to_string(),
+            String::new(),
+            String::new(),
+            results.fig6.blank.to_string(),
+            String::new(),
+            String::new(),
+        ]))
+        .collect();
+    md_table(
+        &["Range", "Source", "%", "Cum%", "Time", "%", "Cum%"],
+        &rows,
+    )
+}
+
+/// Figure 7 as a markdown table.
+pub fn fig7_markdown(results: &StudyResults) -> String {
+    let mut rows: Vec<Vec<String>> = results
+        .fig7
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.taxon.name().to_string(),
+                r.projects.to_string(),
+                r.always_over_time.to_string(),
+                r.always_over_source.to_string(),
+                r.always_over_both.to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "**TOTAL**".to_string(),
+        results.fig7.total_projects.to_string(),
+        results.fig7.total_time.to_string(),
+        results.fig7.total_source.to_string(),
+        results.fig7.total_both.to_string(),
+    ]);
+    md_table(&["Taxon", "Projects", "Time", "Source", "Both"], &rows)
+}
+
+/// Figure 8 as a markdown table (one row per α).
+pub fn fig8_markdown(results: &StudyResults) -> String {
+    let mut header: Vec<&str> = vec!["α"];
+    let labels: Vec<&str> =
+        results.fig8.range_labels.iter().map(|s| s.as_str()).collect();
+    header.extend(labels);
+    header.push("unattained");
+    let rows: Vec<Vec<String>> = results
+        .fig8
+        .alphas
+        .iter()
+        .enumerate()
+        .map(|(i, alpha)| {
+            let mut row = vec![format!("{:.0}%", alpha * 100.0)];
+            row.extend(results.fig8.counts[i].iter().map(|c| c.to_string()));
+            row.push(results.fig8.unattained[i].to_string());
+            row
+        })
+        .collect();
+    md_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_core::progress::ProjectData;
+    use coevo_core::Study;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+
+    fn results() -> StudyResults {
+        let start = YearMonth::new(2015, 1).unwrap();
+        let projects = (0..5u64)
+            .map(|i| {
+                ProjectData::new(
+                    &format!("p/{i}"),
+                    Heartbeat::new(start, vec![2; 6]),
+                    Heartbeat::new(start, vec![8, 0, i, 0, 0, 1]),
+                    8,
+                )
+            })
+            .collect();
+        Study::new(projects).run()
+    }
+
+    #[test]
+    fn tables_are_well_formed_markdown() {
+        let r = results();
+        for md in [fig6_markdown(&r), fig7_markdown(&r), fig8_markdown(&r)] {
+            let lines: Vec<&str> = md.lines().collect();
+            assert!(lines.len() >= 3, "{md}");
+            let cols = lines[0].matches('|').count();
+            // Separator and every row carry the same pipe count.
+            for line in &lines[1..] {
+                assert_eq!(line.matches('|').count(), cols, "{md}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_contains_total_row() {
+        let md = fig7_markdown(&results());
+        assert!(md.contains("**TOTAL**"));
+        assert!(md.contains("FROZEN"));
+    }
+
+    #[test]
+    fn pipe_escaping() {
+        assert_eq!(cell("a|b"), "a\\|b");
+    }
+}

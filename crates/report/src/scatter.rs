@@ -1,0 +1,97 @@
+//! The duration × synchronicity scatter (Figure 5).
+
+use coevo_core::study::Fig5Point;
+use coevo_taxa::Taxon;
+
+/// One-character marker per taxon.
+pub fn taxon_marker(t: Taxon) -> char {
+    match t {
+        Taxon::Frozen => 'F',
+        Taxon::AlmostFrozen => 'a',
+        Taxon::FocusedShotAndFrozen => 's',
+        Taxon::Moderate => 'm',
+        Taxon::FocusedShotAndLow => 'l',
+        Taxon::Active => 'A',
+    }
+}
+
+/// Plot duration (x, months) against 10%-synchronicity (y), one marker per
+/// project; `+` where projects of different taxa collide.
+pub fn duration_sync_scatter(points: &[Fig5Point], width: usize, height: usize) -> String {
+    let max_duration = points.iter().map(|p| p.duration_months).max().unwrap_or(1).max(1);
+    let mut grid = vec![vec![' '; width]; height];
+    for p in points {
+        let col = (p.duration_months * (width - 1)) / max_duration;
+        let row = ((1.0 - p.sync_10) * (height - 1) as f64).round() as usize;
+        let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+        let mark = taxon_marker(p.taxon);
+        *cell = if *cell == ' ' || *cell == mark { mark } else { '+' };
+    }
+    let mut out = String::new();
+    out.push_str("10%-synchronicity (y) vs duration in months (x)\n");
+    out.push_str("legend: F=FROZEN a=ALMOST s=SHOT&FROZEN m=MODERATE l=SHOT&LOW A=ACTIVE\n");
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            "1.0 "
+        } else if r == height - 1 {
+            "0.0 "
+        } else {
+            "    "
+        };
+        out.push_str(label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push_str(&format!("> {max_duration} months\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(taxon: Taxon, duration: usize, sync: f64) -> Fig5Point {
+        Fig5Point { name: "x".into(), taxon, duration_months: duration, sync_10: sync }
+    }
+
+    #[test]
+    fn markers_unique_per_taxon() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Taxon::ALL {
+            assert!(seen.insert(taxon_marker(t)), "duplicate marker for {t}");
+        }
+    }
+
+    #[test]
+    fn scatter_places_points() {
+        let pts = vec![
+            point(Taxon::Frozen, 0, 1.0),
+            point(Taxon::Active, 100, 0.0),
+        ];
+        let s = duration_sync_scatter(&pts, 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Top-left F.
+        assert!(lines[2].contains('F'), "{s}");
+        // Bottom-right A.
+        assert!(lines[11].contains('A'), "{s}");
+    }
+
+    #[test]
+    fn collisions_marked() {
+        let pts = vec![
+            point(Taxon::Frozen, 10, 0.5),
+            point(Taxon::Active, 10, 0.5),
+        ];
+        let s = duration_sync_scatter(&pts, 20, 9);
+        assert!(s.contains('+'), "{s}");
+    }
+
+    #[test]
+    fn empty_input_renders() {
+        let s = duration_sync_scatter(&[], 10, 5);
+        assert!(s.contains("synchronicity"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Narrative answers to the paper's research questions — the §9 discussion,
+//! generated from measured results.
+
+use coevo_core::study::StudyResults;
+use std::fmt::Write as _;
+
+/// Render the answers to RQ1–RQ3 as prose with the measured numbers filled
+/// in, mirroring the structure of the paper's Discussion section.
+pub fn research_question_answers(results: &StudyResults) -> String {
+    let n = results.measures.len();
+    if n == 0 {
+        return "No projects studied.".to_string();
+    }
+    let nf = n as f64;
+    let mut out = String::new();
+
+    // RQ1 — synchronicity.
+    let hand_in_hand = results.hand_in_hand_share(0.8);
+    let top_bucket = *results.fig4.counts.last().unwrap_or(&0);
+    let _ = writeln!(
+        out,
+        "RQ1 — Is schema evolution in sync with source code evolution?\n\
+         Only {:.0}% of the {} projects keep the two cumulative heartbeats \
+         within 10% of each other for at least 80% of their life ({} projects \
+         in the top synchronicity bucket). All five synchronicity ranges are \
+         populated: there are all kinds of behaviors, and \"hand-in-hand\" \
+         co-evolution is the exception, not the rule.",
+        hand_in_hand * 100.0,
+        n,
+        top_bucket,
+    );
+
+    // RQ2 — advance.
+    let src_09 = results.fig6.rows.first().map(|r| r.source_pct).unwrap_or(0.0);
+    let time_09 = results.fig6.rows.first().map(|r| r.time_pct).unwrap_or(0.0);
+    let f7 = &results.fig7;
+    let _ = writeln!(
+        out,
+        "\nRQ2 — Does schema evolution precede source code evolution?\n\
+         Yes, markedly: {:.0}% of projects have their cumulative schema \
+         progress ahead of source progress for at least 90% of their months, \
+         and {:.0}% are ahead of time itself. {} projects ({:.0}%) are ahead \
+         of time in *every* measured month, {} ({:.0}%) ahead of source, and \
+         {} ({:.0}%) ahead of both — and the more frozen the taxon, the more \
+         likely the total dominance.",
+        src_09 * 100.0,
+        time_09 * 100.0,
+        f7.total_time,
+        f7.total_time as f64 / nf * 100.0,
+        f7.total_source,
+        f7.total_source as f64 / nf * 100.0,
+        f7.total_both,
+        f7.total_both as f64 / nf * 100.0,
+    );
+
+    // RQ3 — attainment.
+    let alpha_idx = |a: f64| {
+        results
+            .fig8
+            .alphas
+            .iter()
+            .position(|&x| (x - a).abs() < 1e-9)
+            .expect("standard alpha")
+    };
+    let a75 = &results.fig8.counts[alpha_idx(0.75)];
+    let a100 = &results.fig8.counts[alpha_idx(1.00)];
+    let _ = writeln!(
+        out,
+        "\nRQ3 — How early do schemata complete their evolution?\n\
+         {} of {} projects ({:.0}%) attain 75% of their total schema \
+         evolution within the first 20% of their life — gravitation to \
+         rigidity. Resistance exists too: {} projects ({:.0}%) complete their \
+         last schema change only after 80% of their lifetime.",
+        a75[0],
+        n,
+        a75[0] as f64 / nf * 100.0,
+        a100[3],
+        a100[3] as f64 / nf * 100.0,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_core::progress::ProjectData;
+    use coevo_core::Study;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+
+    fn results(n: u64) -> StudyResults {
+        let start = YearMonth::new(2015, 1).unwrap();
+        let projects = (0..n)
+            .map(|i| {
+                ProjectData::new(
+                    &format!("p/{i}"),
+                    Heartbeat::new(start, vec![2; 8]),
+                    Heartbeat::new(start, {
+                        let mut v = vec![0u64; 8];
+                        v[0] = 10;
+                        v[(i % 8) as usize] += 2;
+                        v
+                    }),
+                    10,
+                )
+            })
+            .collect();
+        Study::new(projects).run()
+    }
+
+    #[test]
+    fn narrative_covers_all_rqs() {
+        let text = research_question_answers(&results(12));
+        assert!(text.contains("RQ1"));
+        assert!(text.contains("RQ2"));
+        assert!(text.contains("RQ3"));
+        assert!(text.contains("12 projects") || text.contains("of 12"), "{text}");
+    }
+
+    #[test]
+    fn empty_study_is_graceful() {
+        let text = research_question_answers(&results(0));
+        assert_eq!(text, "No projects studied.");
+    }
+}

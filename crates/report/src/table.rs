@@ -1,0 +1,101 @@
+//! Aligned text tables.
+
+/// A simple column-aligned text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Construct a new instance.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; it is padded or truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with column alignment: first column left, the rest right.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with no decimals (paper style).
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["Range", "Count", "%"]);
+        t.row(["0.9-1.0", "79", "41%"]);
+        t.row(["0.8-0.9", "9", "5%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Range"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers share the column's right edge.
+        let pos79 = lines[2].rfind("79").unwrap() + 2;
+        let pos9 = lines[3].rfind('9').unwrap() + 1;
+        assert_eq!(pos79, pos9);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.41), "41%");
+        assert_eq!(pct(1.0), "100%");
+        assert_eq!(pct(0.006), "1%");
+        assert_eq!(pct(0.0), "0%");
+    }
+}

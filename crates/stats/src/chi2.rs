@@ -1,0 +1,135 @@
+//! Pearson chi-square test of independence on r×c contingency tables.
+
+use crate::dist::chi2_sf;
+
+/// Result of a chi-square independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub df: usize,
+    /// The p-value of the test.
+    pub p_value: f64,
+}
+
+/// Pearson chi-square test of independence (no continuity correction, as in
+/// R's `chisq.test(correct = FALSE)` for tables larger than 2×2).
+///
+/// `table[i][j]` is the observed count in row i, column j. Rows and columns
+/// that are entirely zero are dropped before testing. Returns `None` if the
+/// reduced table has fewer than 2 rows or 2 columns, or a zero grand total.
+pub fn chi_square_independence(table: &[Vec<u64>]) -> Option<Chi2Result> {
+    // Validate rectangularity.
+    let cols = table.first()?.len();
+    assert!(
+        table.iter().all(|r| r.len() == cols),
+        "chi_square_independence: ragged table"
+    );
+
+    // Drop all-zero rows/columns.
+    let live_rows: Vec<usize> =
+        (0..table.len()).filter(|&i| table[i].iter().any(|&v| v > 0)).collect();
+    let live_cols: Vec<usize> =
+        (0..cols).filter(|&j| table.iter().any(|r| r[j] > 0)).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return None;
+    }
+
+    let row_sums: Vec<f64> = live_rows
+        .iter()
+        .map(|&i| live_cols.iter().map(|&j| table[i][j] as f64).sum())
+        .collect();
+    let col_sums: Vec<f64> = live_cols
+        .iter()
+        .map(|&j| live_rows.iter().map(|&i| table[i][j] as f64).sum())
+        .collect();
+    let total: f64 = row_sums.iter().sum();
+    if total == 0.0 {
+        return None;
+    }
+
+    let mut stat = 0.0;
+    for (ri, &i) in live_rows.iter().enumerate() {
+        for (ci, &j) in live_cols.iter().enumerate() {
+            let expected = row_sums[ri] * col_sums[ci] / total;
+            let observed = table[i][j] as f64;
+            stat += (observed - expected).powi(2) / expected;
+        }
+    }
+    let df = (live_rows.len() - 1) * (live_cols.len() - 1);
+    Some(Chi2Result { statistic: stat, df, p_value: chi2_sf(stat, df as f64) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn two_by_two_hand_computed() {
+        // [[10,20],[30,40]]: χ² = N(ad−bc)²/(r1·r2·c1·c2)
+        //                      = 100·(400−600)²/(30·70·40·60) = 0.79365…
+        let r = chi_square_independence(&[vec![10, 20], vec![30, 40]]).unwrap();
+        close(r.statistic, 100.0 * 40_000.0 / 5_040_000.0, 1e-12);
+        assert_eq!(r.df, 1);
+        assert!(r.p_value > 0.3 && r.p_value < 0.5);
+    }
+
+    #[test]
+    fn independent_table_small_statistic() {
+        // Perfectly proportional rows → statistic 0, p = 1.
+        let r = chi_square_independence(&[vec![10, 20], vec![20, 40]]).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn strong_association_is_significant() {
+        let r = chi_square_independence(&[vec![50, 0], vec![0, 50]]).unwrap();
+        close(r.statistic, 100.0, 1e-9);
+        assert!(r.p_value < 1e-20);
+    }
+
+    #[test]
+    fn r_by_c_degrees_of_freedom() {
+        let r = chi_square_independence(&[
+            vec![5, 10, 15],
+            vec![10, 10, 10],
+            vec![15, 10, 5],
+            vec![5, 5, 5],
+        ])
+        .unwrap();
+        assert_eq!(r.df, 6);
+    }
+
+    #[test]
+    fn zero_rows_and_columns_dropped() {
+        let with_zero = chi_square_independence(&[
+            vec![10, 0, 20],
+            vec![0, 0, 0],
+            vec![30, 0, 40],
+        ])
+        .unwrap();
+        let without = chi_square_independence(&[vec![10, 20], vec![30, 40]]).unwrap();
+        close(with_zero.statistic, without.statistic, 1e-12);
+        assert_eq!(with_zero.df, without.df);
+    }
+
+    #[test]
+    fn degenerate_tables_are_none() {
+        assert!(chi_square_independence(&[]).is_none());
+        assert!(chi_square_independence(&[vec![1, 2]]).is_none());
+        assert!(chi_square_independence(&[vec![1], vec![2]]).is_none());
+        assert!(chi_square_independence(&[vec![0, 0], vec![0, 0]]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_panics() {
+        let _ = chi_square_independence(&[vec![1, 2], vec![3]]);
+    }
+}

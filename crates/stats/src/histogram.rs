@@ -1,0 +1,153 @@
+//! Range bucketing for the paper's histogram figures.
+//!
+//! Figure 4 buckets 10%-synchronicity into five ranges; Figure 6 buckets the
+//! life-percentage measures into ten; Figure 8 uses the custom lifetime
+//! ranges [0–20), [20–50), [50–80), [80–100].
+
+/// A bucketing of the unit interval into left-closed ranges; the final
+/// bucket is closed on both ends so 1.0 lands inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketing {
+    /// Ascending bucket boundaries, e.g. `[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]`.
+    edges: Vec<f64>,
+}
+
+impl Bucketing {
+    /// Build from explicit ascending edges (at least two).
+    pub fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        Self { edges }
+    }
+
+    /// `k` equal-width buckets over [0, 1] — Figure 4 uses k = 5, Figure 6
+    /// uses k = 10.
+    pub fn equal_width(k: usize) -> Self {
+        assert!(k >= 1);
+        Self::from_edges((0..=k).map(|i| i as f64 / k as f64).collect())
+    }
+
+    /// The paper's Figure 8 lifetime ranges: [0–20), [20–50), [50–80),
+    /// [80–100].
+    pub fn attainment_ranges() -> Self {
+        Self::from_edges(vec![0.0, 0.2, 0.5, 0.8, 1.0])
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// True when there are no buckets (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the bucket containing `v`, or `None` when outside the range.
+    pub fn bucket_of(&self, v: f64) -> Option<usize> {
+        let first = *self.edges.first().unwrap();
+        let last = *self.edges.last().unwrap();
+        if v < first || v > last {
+            return None;
+        }
+        if v == last {
+            return Some(self.len() - 1);
+        }
+        // Linear scan: bucket counts in this study are ≤ 10.
+        for (i, w) in self.edges.windows(2).enumerate() {
+            if v >= w[0] && v < w[1] {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Human-readable label of bucket `i`, e.g. `"[20%-40%)"`.
+    pub fn label(&self, i: usize) -> String {
+        let lo = self.edges[i] * 100.0;
+        let hi = self.edges[i + 1] * 100.0;
+        let close = if i == self.len() - 1 { "]" } else { ")" };
+        format!("[{lo:.0}%-{hi:.0}%{close}")
+    }
+}
+
+/// Count how many values fall in each bucket; values outside the range are
+/// counted in the returned `outside` tally (the paper's "(blank)" row in
+/// Figure 6 corresponds to non-measurable projects, handled upstream).
+pub fn bucket_counts(values: &[f64], bucketing: &Bucketing) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; bucketing.len()];
+    let mut outside = 0u64;
+    for &v in values {
+        match bucketing.bucket_of(v) {
+            Some(i) => counts[i] += 1,
+            None => outside += 1,
+        }
+    }
+    (counts, outside)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_five() {
+        let b = Bucketing::equal_width(5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.bucket_of(0.0), Some(0));
+        assert_eq!(b.bucket_of(0.19), Some(0));
+        assert_eq!(b.bucket_of(0.2), Some(1));
+        assert_eq!(b.bucket_of(0.55), Some(2));
+        assert_eq!(b.bucket_of(1.0), Some(4)); // closed top bucket
+        assert_eq!(b.bucket_of(1.01), None);
+        assert_eq!(b.bucket_of(-0.01), None);
+    }
+
+    #[test]
+    fn paper_fig4_allocation_example() {
+        // "a project with θ-synchronous value of 55% is allocated to the
+        // 40%-59% bucket" (i.e. bucket [40%,60%) of the five).
+        let b = Bucketing::equal_width(5);
+        assert_eq!(b.bucket_of(0.55), Some(2));
+        assert_eq!(b.label(2), "[40%-60%)");
+        assert_eq!(b.label(4), "[80%-100%]");
+    }
+
+    #[test]
+    fn attainment_ranges() {
+        let b = Bucketing::attainment_ranges();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.bucket_of(0.1), Some(0));
+        assert_eq!(b.bucket_of(0.2), Some(1));
+        assert_eq!(b.bucket_of(0.49), Some(1));
+        assert_eq!(b.bucket_of(0.5), Some(2));
+        assert_eq!(b.bucket_of(0.99), Some(3));
+        assert_eq!(b.bucket_of(1.0), Some(3));
+    }
+
+    #[test]
+    fn counting() {
+        let b = Bucketing::equal_width(2);
+        let (counts, outside) = bucket_counts(&[0.1, 0.2, 0.6, 1.0, 2.0, -1.0], &b);
+        assert_eq!(counts, vec![2, 2]);
+        assert_eq!(outside, 2);
+    }
+
+    #[test]
+    fn counts_total_invariant() {
+        let b = Bucketing::equal_width(10);
+        let values: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let (counts, outside) = bucket_counts(&values, &b);
+        assert_eq!(counts.iter().sum::<u64>() + outside, 100);
+        assert_eq!(outside, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn bad_edges_panic() {
+        let _ = Bucketing::from_edges(vec![0.0, 0.5, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Kendall rank correlation τ-b (tie-corrected).
+//!
+//! The paper reports Kendall correlations between its co-evolution measures:
+//! 0.67 between 5%- and 10%-synchronicity, 0.75 between schema advance over
+//! time and over source.
+
+/// Kendall's τ-b of two paired samples. Returns `None` when fewer than two
+/// pairs exist or when either variable is constant (τ undefined).
+///
+/// O(n²) pair counting — the study's n is 195, where the simple counter is
+/// faster in practice than a merge-sort implementation and trivially correct.
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "kendall_tau_b: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64; // tied in x only
+    let mut ties_y = 0i64; // tied in y only
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i].partial_cmp(&x[j]).expect("NaN in x");
+            let dy = y[i].partial_cmp(&y[j]).expect("NaN in y");
+            use std::cmp::Ordering::Equal;
+            match (dx, dy) {
+                (Equal, Equal) => {}
+                (Equal, _) => ties_x += 1,
+                (_, Equal) => ties_y += 1,
+                (a, b) if a == b => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    // Tied-in-both pairs reduce both denominator terms.
+    let tied_both = n0 - concordant - discordant - ties_x - ties_y;
+    let denom_x = (n0 - ties_x - tied_both) as f64;
+    let denom_y = (n0 - ties_y - tied_both) as f64;
+    if denom_x <= 0.0 || denom_y <= 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / (denom_x * denom_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn perfect_concordance() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 20.0, 30.0, 40.0, 50.0];
+        close(kendall_tau_b(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn perfect_discordance() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        close(kendall_tau_b(&x, &y).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // x = [1,2,3,4], y = [2,1,4,3]: pairs (12)(13)(14)(23)(24)(34)
+        // concordant: (13)(14)(23)(24) = 4, discordant: (12)(34) = 2.
+        // τ = (4−2)/6 = 1/3.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0];
+        close(kendall_tau_b(&x, &y).unwrap(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn tau_b_with_ties() {
+        // x = [1,1,2], y = [1,2,3]:
+        // pairs: (1,2): x tie → ties_x; (1,3): C; (2,3): C.
+        // n0 = 3, C = 2, D = 0, tx = 1, ty = 0, tied_both = 0.
+        // τb = 2 / sqrt((3−1)(3−0)) = 2/sqrt(6).
+        let x = [1.0, 1.0, 2.0];
+        let y = [1.0, 2.0, 3.0];
+        close(kendall_tau_b(&x, &y).unwrap(), 2.0 / 6.0_f64.sqrt());
+    }
+
+    #[test]
+    fn constant_variable_is_none() {
+        assert!(kendall_tau_b(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(kendall_tau_b(&[1.0], &[1.0]).is_none());
+        assert!(kendall_tau_b(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        let a = kendall_tau_b(&x, &y).unwrap();
+        let b = kendall_tau_b(&y, &x).unwrap();
+        close(a, b);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let y = [2.0, 2.0, 6.0, 1.0, 3.0, 7.0, 7.0];
+        let t = kendall_tau_b(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&t));
+    }
+}

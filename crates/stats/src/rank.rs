@@ -1,0 +1,85 @@
+//! Ranking with midrank tie handling — the backbone of the rank-based tests.
+
+/// Assign 1-based ranks to `values`, giving tied values the average of the
+/// ranks they span (midranks). NaNs are not supported (the study's measures
+/// are always finite).
+pub fn rank_with_ties(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a].partial_cmp(&values[b]).expect("rank_with_ties: NaN in input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Tied block spans sorted positions i..=j → midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Sizes of tied groups (needed for tie-correction terms). Groups of size 1
+/// are omitted.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("tie_group_sizes: NaN in input"));
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            out.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(rank_with_ties(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn midranks_for_ties() {
+        // [5, 5] occupy ranks 1 and 2 → both get 1.5.
+        assert_eq!(rank_with_ties(&[5.0, 5.0, 9.0]), vec![1.5, 1.5, 3.0]);
+        // Triple tie.
+        assert_eq!(rank_with_ties(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_sum_invariant() {
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let sum: f64 = rank_with_ties(&v).iter().sum();
+        assert_eq!(sum, (v.len() * (v.len() + 1)) as f64 / 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(rank_with_ties(&[]).is_empty());
+        assert_eq!(rank_with_ties(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn tie_groups() {
+        assert!(tie_group_sizes(&[1.0, 2.0, 3.0]).is_empty());
+        assert_eq!(tie_group_sizes(&[1.0, 1.0, 2.0, 2.0, 2.0, 3.0]), vec![2, 3]);
+    }
+}

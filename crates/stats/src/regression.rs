@@ -1,0 +1,101 @@
+//! Ordinary least-squares linear regression, for growth-rate analysis
+//! (related work \[10\] reports that schema and application both grow
+//! linearly, at different rates).
+
+/// An OLS fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in [0, 1]; 1 when y is constant and the
+    /// fit is exact.
+    pub r_squared: f64,
+}
+
+/// Fit a least-squares line through paired samples. Returns `None` for
+/// fewer than two points or when x is constant (slope undefined).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let syy: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y, perfectly explained
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let pred = intercept + slope * x;
+                (y - pred) * (y - pred)
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        close(f.slope, 2.0);
+        close(f.intercept, 1.0);
+        close(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 10.0 + if x % 2.0 == 0.0 { 0.5 } else { -0.5 }).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        close(f.slope, 0.0);
+        close(f.intercept, 5.0);
+        close(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn no_relationship_low_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!(f.r_squared < 0.1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on statistical invariants.
+
+use coevo_stats::{
+    chi_square_independence, fisher_exact_2x2, kendall_tau_b, kruskal_wallis, quantile,
+    rank_with_ties, shapiro_wilk,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranks_are_permutation_equivariant(mut xs in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        let ranks = rank_with_ties(&xs);
+        // Reversing the data reverses the ranks.
+        xs.reverse();
+        let mut rev_ranks = rank_with_ties(&xs);
+        rev_ranks.reverse();
+        prop_assert_eq!(ranks, rev_ranks);
+    }
+
+    #[test]
+    fn ranks_sum_to_triangular(xs in prop::collection::vec(-10.0f64..10.0, 1..50)) {
+        let n = xs.len();
+        let sum: f64 = rank_with_ties(&xs).iter().sum();
+        prop_assert!((sum - (n * (n + 1)) as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_is_bounded_and_symmetric(
+        pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..40)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(t) = kendall_tau_b(&x, &y) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&t));
+            prop_assert_eq!(Some(t), kendall_tau_b(&y, &x));
+        }
+    }
+
+    #[test]
+    fn kendall_invariant_under_monotone_transform(
+        pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..30)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let x2: Vec<f64> = x.iter().map(|v| v.exp()).collect(); // strictly monotone
+        match (kendall_tau_b(&x, &y), kendall_tau_b(&x2, &y)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "definedness mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kruskal_invariant_under_monotone_transform(
+        a in prop::collection::vec(0.0f64..10.0, 3..20),
+        b in prop::collection::vec(0.0f64..10.0, 3..20),
+        c in prop::collection::vec(0.0f64..10.0, 3..20),
+    ) {
+        let r1 = kruskal_wallis(&[&a, &b, &c]);
+        let ta: Vec<f64> = a.iter().map(|v| v * v + 1.0).collect(); // monotone on [0,10]
+        let tb: Vec<f64> = b.iter().map(|v| v * v + 1.0).collect();
+        let tc: Vec<f64> = c.iter().map(|v| v * v + 1.0).collect();
+        let r2 = kruskal_wallis(&[&ta, &tb, &tc]);
+        match (r1, r2) {
+            (Some(r1), Some(r2)) => {
+                prop_assert!((r1.h - r2.h).abs() < 1e-9, "{} vs {}", r1.h, r2.h);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "definedness mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kruskal_group_order_irrelevant(
+        a in prop::collection::vec(0.0f64..10.0, 3..15),
+        b in prop::collection::vec(0.0f64..10.0, 3..15),
+    ) {
+        let r1 = kruskal_wallis(&[&a, &b]);
+        let r2 = kruskal_wallis(&[&b, &a]);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fisher_2x2_transpose_invariance(a in 0u64..25, b in 0u64..25, c in 0u64..25, d in 0u64..25) {
+        prop_assume!(a + b + c + d > 0);
+        let p1 = fisher_exact_2x2(a, b, c, d);
+        let p2 = fisher_exact_2x2(a, c, b, d); // transpose
+        match (p1, p2) {
+            (Some(p1), Some(p2)) => prop_assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn fisher_p_in_unit_interval(a in 0u64..30, b in 0u64..30, c in 0u64..30, d in 0u64..30) {
+        prop_assume!(a + b + c + d > 0);
+        let p = fisher_exact_2x2(a, b, c, d).unwrap();
+        prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn chi2_row_swap_invariance(
+        r1 in prop::collection::vec(1u64..40, 3),
+        r2 in prop::collection::vec(1u64..40, 3),
+        r3 in prop::collection::vec(1u64..40, 3),
+    ) {
+        let t1 = chi_square_independence(&[r1.clone(), r2.clone(), r3.clone()]).unwrap();
+        let t2 = chi_square_independence(&[r3, r1, r2]).unwrap();
+        prop_assert!((t1.statistic - t2.statistic).abs() < 1e-9);
+        prop_assert_eq!(t1.df, t2.df);
+    }
+
+    #[test]
+    fn shapiro_scale_location_invariance(
+        xs in prop::collection::vec(-5.0f64..5.0, 10..60),
+        shift in -100.0f64..100.0,
+        scale in 0.1f64..50.0,
+    ) {
+        let transformed: Vec<f64> = xs.iter().map(|v| v * scale + shift).collect();
+        match (shapiro_wilk(&xs), shapiro_wilk(&transformed)) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.w - b.w).abs() < 1e-6, "{} vs {}", a.w, b.w);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "definedness mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantile_within_range(xs in prop::collection::vec(-100.0f64..100.0, 1..50), q in 0.0f64..=1.0) {
+        let v = quantile(&xs, q).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+}

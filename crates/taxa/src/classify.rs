@@ -1,0 +1,158 @@
+//! Rule-based taxon classification.
+
+use crate::features::HeartbeatFeatures;
+use crate::taxon::Taxon;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds operationalizing the taxa of \[33\]. The defaults encode the
+/// verbal definitions ("very small change", "single spike", "high volume")
+/// as concrete numbers; they are configuration — not truth — and the corpus
+/// generator plus classifier recovery tests pin their joint behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyConfig {
+    /// Post-birth Total Activity at or below which a history is ALMOST
+    /// FROZEN (when not exactly zero ⇒ FROZEN).
+    pub almost_frozen_max: u64,
+    /// Minimum share of total activity the busiest month must carry for a
+    /// "focused shot" reading.
+    pub shot_share: f64,
+    /// Maximum number of active months for FOCUSED SHOT & FROZEN (the shot,
+    /// plus possibly a stray tweak).
+    pub shot_frozen_active_months: usize,
+    /// Minimum share of total carried by the two busiest months for FOCUSED
+    /// SHOT & LOW.
+    pub shot_low_top2_share: f64,
+    /// Post-birth Total Activity at or above which a spread-out history is
+    /// ACTIVE.
+    pub active_min_total: u64,
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        Self {
+            almost_frozen_max: 8,
+            shot_share: 0.75,
+            shot_frozen_active_months: 2,
+            shot_low_top2_share: 0.6,
+            active_min_total: 64,
+        }
+    }
+}
+
+/// Classify a post-birth heartbeat-feature vector into a taxon.
+///
+/// Rule order (first match wins):
+/// 1. zero activity → FROZEN;
+/// 2. tiny activity → ALMOST FROZEN;
+/// 3. one dominant spike and almost no other active month → FOCUSED SHOT &
+///    FROZEN;
+/// 4. spikes dominating a longer-lived background → FOCUSED SHOT & LOW;
+/// 5. high total volume → ACTIVE;
+/// 6. otherwise → MODERATE.
+pub fn classify(f: &HeartbeatFeatures, cfg: &TaxonomyConfig) -> Taxon {
+    if f.total == 0 {
+        return Taxon::Frozen;
+    }
+    if f.total <= cfg.almost_frozen_max {
+        return Taxon::AlmostFrozen;
+    }
+    if f.top1_share >= cfg.shot_share && f.active_months <= cfg.shot_frozen_active_months {
+        return Taxon::FocusedShotAndFrozen;
+    }
+    if f.top2_share >= cfg.shot_low_top2_share
+        && f.active_months > cfg.shot_frozen_active_months
+    {
+        return Taxon::FocusedShotAndLow;
+    }
+    if f.total >= cfg.active_min_total {
+        return Taxon::Active;
+    }
+    Taxon::Moderate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify_activity(activity: &[u64]) -> Taxon {
+        classify(
+            &HeartbeatFeatures::from_activity(activity),
+            &TaxonomyConfig::default(),
+        )
+    }
+
+    #[test]
+    fn frozen() {
+        assert_eq!(classify_activity(&[0, 0, 0, 0]), Taxon::Frozen);
+        assert_eq!(classify_activity(&[]), Taxon::Frozen);
+    }
+
+    #[test]
+    fn almost_frozen() {
+        assert_eq!(classify_activity(&[1, 0, 2, 0, 1]), Taxon::AlmostFrozen);
+        assert_eq!(classify_activity(&[8]), Taxon::AlmostFrozen);
+    }
+
+    #[test]
+    fn focused_shot_and_frozen() {
+        // One big spike, nothing else.
+        assert_eq!(classify_activity(&[0, 40, 0, 0, 0, 0]), Taxon::FocusedShotAndFrozen);
+        // Spike plus one stray tweak still qualifies.
+        assert_eq!(classify_activity(&[0, 40, 0, 0, 2, 0]), Taxon::FocusedShotAndFrozen);
+    }
+
+    #[test]
+    fn focused_shot_and_low() {
+        // Two spikes over a low background across several months.
+        assert_eq!(
+            classify_activity(&[2, 30, 1, 0, 25, 1, 2, 0]),
+            Taxon::FocusedShotAndLow
+        );
+    }
+
+    #[test]
+    fn moderate() {
+        // Small deltas spread throughout; total below the active cutoff.
+        assert_eq!(
+            classify_activity(&[3, 4, 2, 5, 3, 4, 2, 3, 4, 3]),
+            Taxon::Moderate
+        );
+    }
+
+    #[test]
+    fn active() {
+        // High sustained volume.
+        assert_eq!(
+            classify_activity(&[10, 12, 8, 9, 11, 10, 9, 12, 8, 10]),
+            Taxon::Active
+        );
+    }
+
+    #[test]
+    fn boundary_between_frozen_tiers() {
+        let cfg = TaxonomyConfig::default();
+        let f8 = HeartbeatFeatures::from_activity(&[8]);
+        let f9 = HeartbeatFeatures::from_activity(&[9]);
+        assert_eq!(classify(&f8, &cfg), Taxon::AlmostFrozen);
+        // 9 > almost_frozen_max, single active month, 100% share → shot.
+        assert_eq!(classify(&f9, &cfg), Taxon::FocusedShotAndFrozen);
+    }
+
+    #[test]
+    fn custom_config_changes_decision() {
+        let strict = TaxonomyConfig { active_min_total: 30, ..TaxonomyConfig::default() };
+        let f = HeartbeatFeatures::from_activity(&[3, 4, 2, 5, 3, 4, 2, 3, 4, 3]);
+        assert_eq!(classify(&f, &TaxonomyConfig::default()), Taxon::Moderate);
+        assert_eq!(classify(&f, &strict), Taxon::Active);
+    }
+
+    #[test]
+    fn big_spiky_history_is_shot_not_active() {
+        // Even with large total, a single dominant spike reads as a shot.
+        assert_eq!(classify_activity(&[0, 200, 0, 1]), Taxon::FocusedShotAndFrozen);
+        assert_eq!(
+            classify_activity(&[5, 100, 3, 80, 4, 2, 1]),
+            Taxon::FocusedShotAndLow
+        );
+    }
+}

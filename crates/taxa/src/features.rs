@@ -1,0 +1,104 @@
+//! Heartbeat features feeding the taxon classifier.
+
+use coevo_heartbeat::Heartbeat;
+use serde::{Deserialize, Serialize};
+
+/// Summary features of a post-birth schema activity series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatFeatures {
+    /// Total post-birth activity.
+    pub total: u64,
+    /// Number of months with non-zero activity.
+    pub active_months: usize,
+    /// Lifetime in months.
+    pub months: usize,
+    /// Largest single-month activity.
+    pub max_month: u64,
+    /// Fraction of total carried by the single busiest month (0 when total
+    /// is 0).
+    pub top1_share: f64,
+    /// Fraction of total carried by the two busiest months.
+    pub top2_share: f64,
+}
+
+impl HeartbeatFeatures {
+    /// Compute features from a post-birth activity series.
+    pub fn from_activity(activity: &[u64]) -> Self {
+        let total: u64 = activity.iter().sum();
+        let active_months = activity.iter().filter(|&&a| a > 0).count();
+        let mut sorted: Vec<u64> = activity.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let max_month = sorted.first().copied().unwrap_or(0);
+        let top2 = sorted.iter().take(2).sum::<u64>();
+        let (top1_share, top2_share) = if total > 0 {
+            (max_month as f64 / total as f64, top2 as f64 / total as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        Self {
+            total,
+            active_months,
+            months: activity.len(),
+            max_month,
+            top1_share,
+            top2_share,
+        }
+    }
+
+    /// Compute features from a full schema heartbeat by removing the birth
+    /// activity: the first month's activity is reduced by `birth_activity`
+    /// (the Total Activity of the creation delta, i.e. the initial schema's
+    /// attribute count).
+    pub fn post_birth(heartbeat: &Heartbeat, birth_activity: u64) -> Self {
+        let mut activity: Vec<u64> = heartbeat.activity().to_vec();
+        if let Some(first) = activity.first_mut() {
+            *first = first.saturating_sub(birth_activity);
+        }
+        Self::from_activity(&activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_heartbeat::YearMonth;
+
+    #[test]
+    fn basic_features() {
+        let f = HeartbeatFeatures::from_activity(&[0, 10, 0, 5, 5]);
+        assert_eq!(f.total, 20);
+        assert_eq!(f.active_months, 3);
+        assert_eq!(f.months, 5);
+        assert_eq!(f.max_month, 10);
+        assert!((f.top1_share - 0.5).abs() < 1e-12);
+        assert!((f.top2_share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_activity() {
+        let f = HeartbeatFeatures::from_activity(&[0, 0, 0]);
+        assert_eq!(f.total, 0);
+        assert_eq!(f.top1_share, 0.0);
+        assert_eq!(f.top2_share, 0.0);
+    }
+
+    #[test]
+    fn single_month() {
+        let f = HeartbeatFeatures::from_activity(&[7]);
+        assert_eq!(f.total, 7);
+        assert!((f.top1_share - 1.0).abs() < 1e-12);
+        assert!((f.top2_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_birth_subtracts_creation() {
+        let hb = Heartbeat::new(YearMonth::new(2020, 1).unwrap(), vec![25, 0, 3]);
+        // Initial schema had 20 attributes; 5 more changes landed in month 0.
+        let f = HeartbeatFeatures::post_birth(&hb, 20);
+        assert_eq!(f.total, 8);
+        assert_eq!(f.max_month, 5);
+        // Birth larger than first month's total saturates at zero.
+        let f = HeartbeatFeatures::post_birth(&hb, 100);
+        assert_eq!(f.total, 3);
+    }
+}

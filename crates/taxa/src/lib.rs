@@ -1,0 +1,30 @@
+//! # coevo-taxa — schema evolution taxa
+//!
+//! The paper groups its 195 projects by the evolution archetypes ("taxa")
+//! introduced in the author's preceding large-scale study \[33\]:
+//!
+//! 1. **FROZEN** — zero change at the logical level after birth;
+//! 2. **ALMOST FROZEN** — very small change, typically few intra-table
+//!    attribute modifications;
+//! 3. **FOCUSED SHOT & FROZEN** — a single spike of change, almost nothing
+//!    else;
+//! 4. **MODERATE** — small deltas spread throughout the life of the project;
+//! 5. **FOCUSED SHOT & LOW** — moderate-like background plus a pair of
+//!    spikes;
+//! 6. **ACTIVE** — sustained high volume of change.
+//!
+//! \[33\] assigned taxa by manual clustering. [`classify()`][classify::classify] operationalizes
+//! the taxonomy as documented threshold rules over the *post-birth* schema
+//! heartbeat — the initial commit (which carries the whole initial schema as
+//! births) is excluded, since taxa describe how a schema *evolves*, not how
+//! big it starts.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod features;
+pub mod taxon;
+
+pub use classify::{classify, TaxonomyConfig};
+pub use features::HeartbeatFeatures;
+pub use taxon::Taxon;

@@ -1,0 +1,133 @@
+//! The taxon enumeration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six schema-evolution archetypes of \[33\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Taxon {
+    /// Zero change at the logical level after birth.
+    Frozen,
+    /// Very small change, typically few intra-table tweaks.
+    AlmostFrozen,
+    /// A single spike of change, almost nothing else.
+    FocusedShotAndFrozen,
+    /// Small deltas spread throughout the project’s life.
+    Moderate,
+    /// Moderate-like background plus a pair of spikes.
+    FocusedShotAndLow,
+    /// Sustained high volume of change.
+    Active,
+}
+
+impl Taxon {
+    /// All taxa, in the paper's customary order from most frozen to most
+    /// active.
+    pub const ALL: [Taxon; 6] = [
+        Taxon::Frozen,
+        Taxon::AlmostFrozen,
+        Taxon::FocusedShotAndFrozen,
+        Taxon::Moderate,
+        Taxon::FocusedShotAndLow,
+        Taxon::Active,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Taxon::Frozen => "FROZEN",
+            Taxon::AlmostFrozen => "ALMOST FROZEN",
+            Taxon::FocusedShotAndFrozen => "FOCUSED SHOT & FROZEN",
+            Taxon::Moderate => "MODERATE",
+            Taxon::FocusedShotAndLow => "FOCUSED SHOT & LOW",
+            Taxon::Active => "ACTIVE",
+        }
+    }
+
+    /// A short machine-friendly identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Taxon::Frozen => "frozen",
+            Taxon::AlmostFrozen => "almost_frozen",
+            Taxon::FocusedShotAndFrozen => "focused_shot_frozen",
+            Taxon::Moderate => "moderate",
+            Taxon::FocusedShotAndLow => "focused_shot_low",
+            Taxon::Active => "active",
+        }
+    }
+
+    /// Parse from a slug or display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Taxon::ALL
+            .into_iter()
+            .find(|t| {
+                let slug_norm: String =
+                    t.slug().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+                let name_norm: String = t
+                    .name()
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric())
+                    .collect::<String>()
+                    .to_ascii_lowercase();
+                slug_norm == norm || name_norm == norm
+            })
+    }
+
+    /// The "degree of frozenness" rank used by the paper's observation that
+    /// "the more frozen a taxon is, the higher its probability to
+    /// demonstrate an early advance": 0 = most frozen … 5 = most active.
+    pub fn activity_rank(self) -> u8 {
+        match self {
+            Taxon::Frozen => 0,
+            Taxon::AlmostFrozen => 1,
+            Taxon::FocusedShotAndFrozen => 2,
+            Taxon::Moderate => 3,
+            Taxon::FocusedShotAndLow => 4,
+            Taxon::Active => 5,
+        }
+    }
+}
+
+impl fmt::Display for Taxon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_each_once() {
+        for t in Taxon::ALL {
+            assert_eq!(Taxon::ALL.iter().filter(|&&x| x == t).count(), 1);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for t in Taxon::ALL {
+            assert_eq!(Taxon::parse(t.slug()), Some(t));
+            assert_eq!(Taxon::parse(t.name()), Some(t));
+        }
+        assert_eq!(Taxon::parse("Focused Shot & Frozen"), Some(Taxon::FocusedShotAndFrozen));
+        assert_eq!(Taxon::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn ranks_are_ordered() {
+        let ranks: Vec<u8> = Taxon::ALL.iter().map(|t| t.activity_rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Taxon::FocusedShotAndLow.to_string(), "FOCUSED SHOT & LOW");
+    }
+}

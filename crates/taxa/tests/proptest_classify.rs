@@ -1,0 +1,87 @@
+//! Property tests for the taxon classifier.
+
+use coevo_taxa::{classify, HeartbeatFeatures, Taxon, TaxonomyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn classification_is_total_and_deterministic(
+        activity in prop::collection::vec(0u64..200, 0..120)
+    ) {
+        let cfg = TaxonomyConfig::default();
+        let f = HeartbeatFeatures::from_activity(&activity);
+        let a = classify(&f, &cfg);
+        let b = classify(&f, &cfg);
+        prop_assert_eq!(a, b);
+        prop_assert!(Taxon::ALL.contains(&a));
+    }
+
+    #[test]
+    fn zero_activity_is_frozen(months in 0usize..100) {
+        let f = HeartbeatFeatures::from_activity(&vec![0; months]);
+        prop_assert_eq!(classify(&f, &TaxonomyConfig::default()), Taxon::Frozen);
+    }
+
+    #[test]
+    fn classification_invariant_under_month_permutation(
+        mut activity in prop::collection::vec(0u64..60, 1..60)
+    ) {
+        let cfg = TaxonomyConfig::default();
+        let before = classify(&HeartbeatFeatures::from_activity(&activity), &cfg);
+        // Reverse and rotate: the features are order-free statistics.
+        activity.reverse();
+        let reversed = classify(&HeartbeatFeatures::from_activity(&activity), &cfg);
+        prop_assert_eq!(before, reversed);
+        let mid = activity.len() / 2;
+        activity.rotate_left(mid);
+        let rotated = classify(&HeartbeatFeatures::from_activity(&activity), &cfg);
+        prop_assert_eq!(before, rotated);
+    }
+
+    #[test]
+    fn appending_quiet_months_never_changes_the_class(
+        activity in prop::collection::vec(0u64..60, 1..40),
+        extra_quiet in 1usize..40,
+    ) {
+        let cfg = TaxonomyConfig::default();
+        let before = classify(&HeartbeatFeatures::from_activity(&activity), &cfg);
+        let mut padded = activity.clone();
+        padded.extend(std::iter::repeat(0).take(extra_quiet));
+        let after = classify(&HeartbeatFeatures::from_activity(&padded), &cfg);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn tiny_activity_is_almost_frozen(
+        spots in prop::collection::vec((0usize..50, 1u64..3), 1..4)
+    ) {
+        // Up to 3 events of 1–2 units each → total ≤ 8 (the default
+        // almost-frozen cutoff) whenever the sum stays within it.
+        let mut activity = vec![0u64; 50];
+        for (i, a) in &spots {
+            activity[*i] += a;
+        }
+        let total: u64 = activity.iter().sum();
+        prop_assume!(total > 0 && total <= 8);
+        let f = HeartbeatFeatures::from_activity(&activity);
+        prop_assert_eq!(classify(&f, &TaxonomyConfig::default()), Taxon::AlmostFrozen);
+    }
+
+    #[test]
+    fn features_are_internally_consistent(
+        activity in prop::collection::vec(0u64..500, 0..80)
+    ) {
+        let f = HeartbeatFeatures::from_activity(&activity);
+        prop_assert_eq!(f.months, activity.len());
+        prop_assert_eq!(f.total, activity.iter().sum::<u64>());
+        prop_assert!(f.active_months <= f.months);
+        prop_assert!(f.max_month <= f.total);
+        prop_assert!(f.top1_share <= f.top2_share + 1e-12);
+        prop_assert!(f.top2_share <= 1.0 + 1e-12);
+        if f.total > 0 {
+            prop_assert!(f.top1_share > 0.0);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Parsing `git log --name-status --date=iso` output.
+//!
+//! Accepts real `git log` output (the study's extraction command) as well as
+//! the output of [`crate::write::write_log`]. Tolerated variations: `Merge:`
+//! lines, extended headers (`Commit:`, `Signed-off-by` style trailers inside
+//! the message), empty messages, and CRLF line endings. Commits are returned
+//! oldest-first (the model's canonical order), i.e. the reverse of git's
+//! print order.
+
+use crate::model::{ChangeStatus, Commit, FileChange, Repository};
+use coevo_heartbeat::DateTime;
+use std::fmt;
+
+/// Error from log parsing, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "git log parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LogParseError {}
+
+/// Parse a full `git log --name-status` dump into a repository with commits
+/// ordered oldest-first.
+pub fn parse_log(text: &str) -> Result<Repository, LogParseError> {
+    let mut repo = Repository::new("");
+    let mut current: Option<PartialCommit> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+
+        if let Some(id) = line.strip_prefix("commit ") {
+            if let Some(pc) = current.take() {
+                repo.commits.push(pc.finish(lineno)?);
+            }
+            // `git log --decorate` appends refs: `commit abc (HEAD -> main)`.
+            let id = id.split_whitespace().next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(err(lineno, "empty commit id"));
+            }
+            current = Some(PartialCommit::new(id));
+            continue;
+        }
+
+        let Some(pc) = current.as_mut() else {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(err(lineno, "content before first 'commit' header"));
+        };
+
+        if let Some(rest) = line.strip_prefix("Author: ") {
+            pc.author = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("Date: ") {
+            pc.date = Some(
+                DateTime::parse(rest.trim())
+                    .map_err(|e| err(lineno, &format!("bad date: {e}")))?,
+            );
+        } else if line.starts_with("Merge:") {
+            pc.is_merge = true;
+        } else if line.starts_with("    ") {
+            // Message line (blank message lines arrive as exactly 4 spaces).
+            if pc.message_started {
+                pc.message.push('\n');
+            }
+            pc.message_started = true;
+            pc.message.push_str(&line[4..]);
+        } else if line.is_empty() {
+            // Separator between header/message/changes blocks.
+        } else if let Some((ins, del, path)) = parse_numstat_line(line) {
+            // `--numstat` output: merge line counts into an existing
+            // name-status entry for the same path, or record a fresh
+            // modification carrying only line counts (plain `--numstat`
+            // logs without `--name-status`).
+            match pc.changes.iter_mut().find(|c| c.path == path) {
+                Some(c) => {
+                    c.insertions = ins;
+                    c.deletions = del;
+                }
+                None => {
+                    let mut c = FileChange::modified(&path);
+                    c.insertions = ins;
+                    c.deletions = del;
+                    pc.changes.push(c);
+                }
+            }
+        } else if let Some(change) = parse_name_status_line(line) {
+            pc.changes.push(change);
+        } else if line.contains(':') {
+            // Unknown header (e.g. `AuthorDate:`, `Commit:`): tolerated.
+        } else {
+            return Err(err(lineno, &format!("unrecognized line {line:?}")));
+        }
+    }
+
+    if let Some(pc) = current.take() {
+        let last = text.lines().count();
+        repo.commits.push(pc.finish(last)?);
+    }
+    repo.commits.reverse(); // git prints newest first; model is oldest first
+    Ok(repo)
+}
+
+/// `git log --numstat` line: `<ins>\t<del>\t<path>` with `-` for binary
+/// files. Rename entries print `a => b` path syntax; the destination is
+/// kept.
+fn parse_numstat_line(line: &str) -> Option<(Option<u32>, Option<u32>, String)> {
+    let mut parts = line.splitn(3, '\t');
+    let ins = parts.next()?;
+    let del = parts.next()?;
+    let path = parts.next()?;
+    let parse_count = |s: &str| -> Option<Option<u32>> {
+        if s == "-" {
+            Some(None) // binary file: counts unavailable
+        } else {
+            s.parse::<u32>().ok().map(Some)
+        }
+    };
+    let ins = parse_count(ins)?;
+    let del = parse_count(del)?;
+    // Rename syntax: `old => new` or `dir/{old => new}/x`.
+    let path = if let Some(idx) = path.find(" => ") {
+        match (path.rfind('{'), path.find('}')) {
+            (Some(open), Some(close)) if open < idx && idx < close => {
+                // `dir/{old => new}/rest`
+                let prefix = &path[..open];
+                let new_mid = &path[idx + 4..close];
+                let suffix = &path[close + 1..];
+                format!("{prefix}{new_mid}{suffix}").replace("//", "/")
+            }
+            _ => path[idx + 4..].to_string(),
+        }
+    } else {
+        path.to_string()
+    };
+    Some((ins, del, path))
+}
+
+fn parse_name_status_line(line: &str) -> Option<FileChange> {
+    let mut parts = line.split('\t');
+    let status = parts.next()?;
+    let first_path = parts.next()?;
+    let second_path = parts.next();
+
+    let status_char = status.chars().next()?;
+    let similarity: u8 = status[1..].parse().unwrap_or(100);
+    match (status_char, second_path) {
+        ('A', None) => Some(FileChange::added(first_path)),
+        ('M', None) => Some(FileChange::modified(first_path)),
+        ('D', None) => Some(FileChange::deleted(first_path)),
+        ('T', None) => Some(FileChange::new(ChangeStatus::TypeChanged, first_path)),
+        ('R', Some(to)) => Some(FileChange::new(
+            ChangeStatus::Renamed { from: first_path.to_string(), similarity },
+            to,
+        )),
+        ('C', Some(to)) => Some(FileChange::new(
+            ChangeStatus::Copied { from: first_path.to_string(), similarity },
+            to,
+        )),
+        _ => None,
+    }
+}
+
+struct PartialCommit {
+    id: String,
+    author: String,
+    date: Option<DateTime>,
+    message: String,
+    message_started: bool,
+    changes: Vec<FileChange>,
+    is_merge: bool,
+}
+
+impl PartialCommit {
+    fn new(id: String) -> Self {
+        Self {
+            id,
+            author: String::new(),
+            date: None,
+            message: String::new(),
+            message_started: false,
+            changes: Vec::new(),
+            is_merge: false,
+        }
+    }
+
+    fn finish(self, lineno: usize) -> Result<Commit, LogParseError> {
+        let date = self.date.ok_or_else(|| {
+            err(lineno, &format!("commit {} has no Date: line", self.id))
+        })?;
+        Ok(Commit {
+            id: self.id,
+            author: self.author,
+            date,
+            message: self.message.trim_end().to_string(),
+            changes: self.changes,
+            is_merge: self.is_merge,
+        })
+    }
+}
+
+fn err(line: usize, message: &str) -> LogParseError {
+    LogParseError { line, message: message.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Repository;
+    use crate::write::write_log;
+
+    const REAL_STYLE_LOG: &str = "\
+commit 9fceb02d0ae598e95dc970b74767f19372d61af8
+Author: Panos V <pv@example.org>
+Date:   2016-03-04 18:12:44 +0200
+
+    add invoice table
+    
+    also touch parser
+
+M\tschema.sql
+M\tsrc/parser.js
+A\tsrc/invoice.js
+
+commit 1111111111111111111111111111111111111111
+Author: George K <gk@example.org>
+Date:   2015-12-01 09:00:00 +0000
+
+    initial
+
+A\tschema.sql
+A\tREADME.md
+";
+
+    #[test]
+    fn parses_real_style_log() {
+        let repo = parse_log(REAL_STYLE_LOG).unwrap();
+        assert_eq!(repo.commits.len(), 2);
+        // Oldest first after parsing.
+        assert_eq!(repo.commits[0].message, "initial");
+        assert_eq!(repo.commits[0].changes.len(), 2);
+        assert_eq!(repo.commits[1].message, "add invoice table\n\nalso touch parser");
+        assert_eq!(repo.commits[1].changes.len(), 3);
+        assert_eq!(repo.commits[1].date.utc_offset_minutes, 120);
+    }
+
+    #[test]
+    fn round_trip_write_parse() {
+        use crate::model::{Commit, FileChange};
+        use coevo_heartbeat::DateTime;
+        let mut r = Repository::new("o/p");
+        for (i, day) in [1u8, 5, 9].iter().enumerate() {
+            r.push_commit(
+                Commit::builder(
+                    "Dev <d@x.io>",
+                    DateTime::parse(&format!("2017-03-0{day} 12:00:00 +0100")).unwrap(),
+                )
+                .message(&format!("change {i}"))
+                .change(FileChange::modified("schema.sql"))
+                .change(FileChange::modified(&format!("src/f{i}.js")))
+                .build(),
+            );
+        }
+        let parsed = parse_log(&write_log(&r)).unwrap();
+        assert_eq!(parsed.commits.len(), 3);
+        for (orig, back) in r.commits.iter().zip(parsed.commits.iter()) {
+            assert_eq!(orig.id, back.id);
+            assert_eq!(orig.author, back.author);
+            assert_eq!(orig.date, back.date);
+            assert_eq!(orig.message, back.message);
+            assert_eq!(orig.changes, back.changes);
+        }
+    }
+
+    #[test]
+    fn decorated_commit_header() {
+        let log = "commit abc123 (HEAD -> main, origin/main)\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    msg\n\nM\tf\n";
+        let repo = parse_log(log).unwrap();
+        assert_eq!(repo.commits[0].id, "abc123");
+    }
+
+    #[test]
+    fn merge_lines_set_flag() {
+        let log = "commit abc\nMerge: 123 456\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    Merge pull request\n\n";
+        let repo = parse_log(log).unwrap();
+        assert!(repo.commits[0].is_merge);
+    }
+
+    #[test]
+    fn rename_and_copy_entries() {
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    r\n\nR095\told.sql\tnew.sql\nC050\ta.js\tb.js\n";
+        let repo = parse_log(log).unwrap();
+        let ch = &repo.commits[0].changes;
+        assert_eq!(
+            ch[0].status,
+            ChangeStatus::Renamed { from: "old.sql".into(), similarity: 95 }
+        );
+        assert_eq!(ch[0].path, "new.sql");
+        assert_eq!(ch[1].status, ChangeStatus::Copied { from: "a.js".into(), similarity: 50 });
+    }
+
+    #[test]
+    fn missing_date_is_error() {
+        let log = "commit abc\nAuthor: A <a@b.c>\n\n    msg\n";
+        let e = parse_log(log).unwrap_err();
+        assert!(e.message.contains("no Date"));
+    }
+
+    #[test]
+    fn bad_date_is_error() {
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   tomorrow\n";
+        assert!(parse_log(log).is_err());
+    }
+
+    #[test]
+    fn content_before_commit_is_error() {
+        assert!(parse_log("M\tfile\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_repo() {
+        let repo = parse_log("").unwrap();
+        assert!(repo.commits.is_empty());
+        let repo = parse_log("\n\n\n").unwrap();
+        assert!(repo.commits.is_empty());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let log = "commit abc\r\nAuthor: A <a@b.c>\r\nDate:   2020-01-01 00:00:00 +0000\r\n\r\n    m\r\n\r\nM\tf\r\n";
+        let repo = parse_log(log).unwrap();
+        assert_eq!(repo.commits[0].changes.len(), 1);
+    }
+
+    #[test]
+    fn numstat_lines_fill_line_counts() {
+        // `git log --name-status --numstat` style: both blocks present.
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tsrc/a.js\n12\t3\tsrc/a.js\n";
+        let repo = parse_log(log).unwrap();
+        let c = &repo.commits[0].changes[0];
+        assert_eq!(c.path, "src/a.js");
+        assert_eq!(c.insertions, Some(12));
+        assert_eq!(c.deletions, Some(3));
+        assert_eq!(repo.commits[0].line_churn(), Some(15));
+    }
+
+    #[test]
+    fn numstat_only_log() {
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\n5\t1\ta.py\n-\t-\timg.png\n";
+        let repo = parse_log(log).unwrap();
+        let ch = &repo.commits[0].changes;
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch[0].insertions, Some(5));
+        // Binary: counts unknown.
+        assert_eq!(ch[1].insertions, None);
+        assert_eq!(ch[1].path, "img.png");
+    }
+
+    #[test]
+    fn numstat_rename_syntax() {
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\n3\t3\tsrc/{old => new}/mod.rs\n1\t0\tplain => renamed\n";
+        let repo = parse_log(log).unwrap();
+        let ch = &repo.commits[0].changes;
+        assert_eq!(ch[0].path, "src/new/mod.rs");
+        assert_eq!(ch[1].path, "renamed");
+    }
+
+    #[test]
+    fn paths_with_spaces() {
+        let log = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tdocs/my file.md\n";
+        let repo = parse_log(log).unwrap();
+        assert_eq!(repo.commits[0].changes[0].path, "docs/my file.md");
+    }
+}

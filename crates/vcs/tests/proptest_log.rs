@@ -1,0 +1,75 @@
+//! Property test: write_log → parse_log is lossless for non-merge history.
+
+use coevo_heartbeat::{Date, DateTime};
+use coevo_vcs::{parse_log, write_log, ChangeStatus, Commit, FileChange, Repository};
+use proptest::prelude::*;
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("schema.sql".to_string()),
+        "[a-z]{1,8}/[a-z]{1,8}\\.(js|py|rb|sql|md)",
+        "[a-z]{1,10}\\.[a-z]{1,3}",
+    ]
+}
+
+fn change_strategy() -> impl Strategy<Value = FileChange> {
+    (path_strategy(), 0u8..6, path_strategy()).prop_map(|(p, kind, p2)| match kind {
+        0 => FileChange::added(&p),
+        1 => FileChange::deleted(&p),
+        2 => FileChange::new(ChangeStatus::TypeChanged, &p),
+        3 => FileChange::new(ChangeStatus::Renamed { from: p2, similarity: 93 }, &p),
+        4 => FileChange::new(ChangeStatus::Copied { from: p2, similarity: 51 }, &p),
+        _ => FileChange::modified(&p),
+    })
+}
+
+fn message_strategy() -> impl Strategy<Value = String> {
+    // Message lines: printable, no leading/trailing whitespace issues.
+    prop::collection::vec("[a-zA-Z0-9 ,.:;#_-]{0,40}", 0..4)
+        .prop_map(|lines| lines.join("\n").trim_end().to_string())
+}
+
+prop_compose! {
+    fn commit_strategy()(
+        day in 0i64..15_000,
+        secs in 0u32..86_400,
+        msg in message_strategy(),
+        changes in prop::collection::vec(change_strategy(), 1..6),
+        author in "[A-Za-z]{2,10} [A-Za-z]{2,10}",
+    ) -> Commit {
+        let date = Date::from_days_from_epoch(10_000 + day);
+        let dt = DateTime::new(date, (secs / 3600) as u8, ((secs / 60) % 60) as u8, (secs % 60) as u8).unwrap();
+        Commit::builder(&format!("{author} <{}@example.org>", author.to_lowercase().replace(' ', ".")), dt)
+            .message(&msg)
+            .changes(changes)
+            .build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_round_trip(mut commits in prop::collection::vec(commit_strategy(), 0..12)) {
+        commits.sort_by_key(|c| c.date.unix_seconds());
+        let mut repo = Repository::new("owner/proj");
+        for c in commits {
+            repo.push_commit(c);
+        }
+        let text = write_log(&repo);
+        let parsed = parse_log(&text).expect("parse back");
+        prop_assert_eq!(parsed.commits.len(), repo.commits.len());
+        for (orig, back) in repo.commits.iter().zip(parsed.commits.iter()) {
+            prop_assert_eq!(&orig.id, &back.id);
+            prop_assert_eq!(&orig.author, &back.author);
+            prop_assert_eq!(orig.date, back.date);
+            prop_assert_eq!(orig.message.trim_end(), back.message.as_str());
+            prop_assert_eq!(&orig.changes, &back.changes);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,600}") {
+        let _ = parse_log(&input);
+    }
+}

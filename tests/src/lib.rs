@@ -1,0 +1,3 @@
+//! Integration-test crate: the tests live in `tests/tests/*.rs` and span the
+//! whole workspace, from SQL text and git-log text down to the study's
+//! figures.

@@ -1,0 +1,115 @@
+//! Cross-crate validation: queries synthesized from a schema's own elements
+//! must validate against it; queries must break exactly when the diff engine
+//! says their elements were removed or retyped away.
+
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_ddl::{parse_schema, Dialect, Schema};
+use coevo_query::{breaking_queries, parse_query, validate, IssueKind};
+
+/// Synthesize simple queries from every table of a schema.
+fn queries_for(schema: &Schema) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in &schema.tables {
+        out.push(format!("SELECT * FROM {}", t.name));
+        if let Some(col) = t.columns.iter().find(|c| !c.inline_primary_key) {
+            out.push(format!("SELECT {} FROM {} WHERE {} IS NOT NULL", col.name, t.name, col.name));
+            out.push(format!("UPDATE {} SET {} = ? WHERE id = ?", t.name, col.name));
+        }
+        out.push(format!("DELETE FROM {} WHERE id = ?", t.name));
+    }
+    out
+}
+
+#[test]
+fn self_synthesized_queries_always_validate() {
+    // Over generated corpus schemas (first and final versions).
+    let mut spec = CorpusSpec::paper();
+    for t in &mut spec.taxa {
+        t.count = 2;
+    }
+    for p in generate_corpus(&spec) {
+        for (_, text) in [p.raw.ddl_versions.first(), p.raw.ddl_versions.last()]
+            .into_iter()
+            .flatten()
+        {
+            let schema = parse_schema(text, p.raw.dialect).unwrap();
+            for sql in queries_for(&schema) {
+                let q = parse_query(&sql)
+                    .unwrap_or_else(|e| panic!("{}: {sql}: {e}", p.raw.name));
+                let issues = validate(&q, &schema);
+                assert!(issues.is_empty(), "{}: {sql}: {issues:?}", p.raw.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn version_transitions_break_queries_consistently() {
+    // For each consecutive version pair in a handful of histories: a query
+    // on an ejected column must appear in breaking_queries; queries on
+    // surviving columns must not.
+    let mut spec = CorpusSpec::paper();
+    for t in &mut spec.taxa {
+        t.count = 3;
+    }
+    let mut checked_breaks = 0;
+    for p in generate_corpus(&spec) {
+        for w in p.raw.ddl_versions.windows(2) {
+            let old = parse_schema(&w[0].1, p.raw.dialect).unwrap();
+            let new = parse_schema(&w[1].1, p.raw.dialect).unwrap();
+            let delta = coevo_diff::diff_schemas(&old, &new);
+            for td in &delta.tables {
+                if td.fate != coevo_diff::TableFate::Survived {
+                    continue;
+                }
+                for ch in &td.changes {
+                    if let coevo_diff::AttributeChange::Ejected { name, .. } = ch {
+                        let sql = format!("SELECT {} FROM {}", name, td.table);
+                        // Only meaningful when valid against the old schema
+                        // (a same-named column in another table could blur it,
+                        // but table-qualified FROM pins the scope).
+                        let broken = breaking_queries(&old, &new, &[sql.as_str()]);
+                        assert_eq!(
+                            broken.len(),
+                            1,
+                            "{}: expected {sql} to break",
+                            p.raw.name
+                        );
+                        assert!(broken[0]
+                            .issues
+                            .iter()
+                            .all(|i| i.kind == IssueKind::UnknownColumn));
+                        checked_breaks += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked_breaks > 0, "corpus produced no ejections to check");
+}
+
+#[test]
+fn dropped_tables_break_star_queries() {
+    let mut spec = CorpusSpec::paper();
+    for t in &mut spec.taxa {
+        t.count = 4;
+    }
+    let mut checked = 0;
+    for p in generate_corpus(&spec) {
+        for w in p.raw.ddl_versions.windows(2) {
+            let old = parse_schema(&w[0].1, p.raw.dialect).unwrap();
+            let new = parse_schema(&w[1].1, p.raw.dialect).unwrap();
+            let delta = coevo_diff::diff_schemas(&old, &new);
+            for td in &delta.tables {
+                if td.fate == coevo_diff::TableFate::Dropped {
+                    let sql = format!("SELECT * FROM {}", td.table);
+                    let broken = breaking_queries(&old, &new, &[sql.as_str()]);
+                    assert_eq!(broken.len(), 1, "{}: {sql}", p.raw.name);
+                    assert_eq!(broken[0].issues[0].kind, IssueKind::UnknownTable);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "corpus produced no table drops to check");
+}
