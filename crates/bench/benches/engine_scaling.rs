@@ -1,0 +1,45 @@
+//! Worker-count scaling of the execution engine: the full 195-project study
+//! (corpus generation + per-project pipeline + statistics) at 1, 2, 4 and 8
+//! workers. The first run per worker count also prints the engine's own
+//! per-stage execution profile, so the bench doubles as a profiling
+//! artifact.
+
+use coevo_engine::{Source, StudyConfig, StudyRunner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn engine_scaling(c: &mut Criterion) {
+    // One profiled run per worker count, printed up front.
+    for &workers in &WORKER_SWEEP {
+        let report = StudyRunner::new(StudyConfig::default())
+            .with_workers(workers)
+            .run(Source::paper())
+            .expect("engine");
+        assert!(report.failures.is_empty());
+        println!(
+            "\n[engine_scaling] {} projects @ {workers} worker(s)\n{}",
+            report.projects.len(),
+            report.metrics.render()
+        );
+    }
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for &workers in &WORKER_SWEEP {
+        group.bench_function(&format!("full_study_{workers}_workers"), |b| {
+            b.iter(|| {
+                let report = StudyRunner::new(StudyConfig::default())
+                    .with_workers(black_box(workers))
+                    .run(Source::paper())
+                    .expect("engine");
+                black_box(report.results)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine, engine_scaling);
+criterion_main!(engine);

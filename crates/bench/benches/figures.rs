@@ -61,7 +61,8 @@ fn fig3_taxa_gallery(c: &mut Criterion) {
     c.bench_function("fig3_taxa_gallery", |b| {
         b.iter(|| {
             for p in &corpus {
-                let data = coevo_corpus::project_from_generated(black_box(p)).unwrap();
+                let data =
+                    coevo_engine::pipeline::project_from_generated(black_box(p)).unwrap();
                 black_box(coevo_report::linechart::joint_progress_chart(&data, 12, 70));
             }
         })

@@ -4,12 +4,17 @@
 #![warn(missing_docs)]
 
 use coevo_core::{ProjectData, Study, StudyResults};
-use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::pipeline::project_from_generated;
+use coevo_engine::{Source, StudyConfig, StudyRunner};
 
-/// Generate the full calibrated 195-project corpus and run its pipeline.
+/// Generate the full calibrated 195-project corpus and run its pipeline
+/// on the execution engine.
 pub fn study_projects() -> Vec<ProjectData> {
-    let corpus = generate_corpus(&CorpusSpec::paper());
-    coevo_corpus::projects_from_generated_parallel(&corpus).expect("pipeline")
+    StudyRunner::new(StudyConfig::default())
+        .run(Source::paper())
+        .expect("engine")
+        .projects
 }
 
 /// A smaller corpus (one project per taxon scaled by `per_taxon`) for

@@ -8,9 +8,10 @@ pub const USAGE: &str = "\
 coevo — joint source and schema evolution study (EDBT 2023 reproduction)
 
 USAGE:
-    coevo study [--seed N] [--csv DIR] [--from DIR]
+    coevo study [--seed N] [--csv DIR] [--from DIR] [--workers N] [--profile]
                                              run the study (generated corpus,
-                                             or an on-disk one via --from)
+                                             or an on-disk one via --from);
+                                             --profile prints per-stage timing
     coevo measure <PROJECT-DIR>              measure one on-disk history
     coevo generate <OUT-DIR> [--seed N] [--per-taxon N]
                                              write a corpus in loader layout
@@ -34,6 +35,10 @@ pub enum Command {
         csv_dir: Option<PathBuf>,
         /// Run over an on-disk corpus directory instead of generating one.
         from_dir: Option<PathBuf>,
+        /// Engine worker threads (None = one per available CPU).
+        workers: Option<usize>,
+        /// Print the engine's per-stage execution profile.
+        profile: bool,
     },
     /// `coevo measure`: one on-disk project history.
     Measure {
@@ -108,12 +113,15 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
     let rest = &args[1..];
     match sub.as_str() {
         "study" => {
-            let (flags, pos) = split_flags(rest)?;
+            let (mut flags, pos) = split_flags(rest)?;
             expect_no_positionals(&pos)?;
+            let profile = take_bool_flag(&mut flags, "profile");
             Ok(Command::Study {
                 seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
                 csv_dir: flag_value(&flags, "csv").map(PathBuf::from),
                 from_dir: flag_value(&flags, "from").map(PathBuf::from),
+                workers: flag_u64(&flags, "workers")?.map(|v| v as usize),
+                profile,
             })
         }
         "measure" => {
@@ -180,8 +188,11 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
     }
 }
 
+/// Parsed `--flag value` pairs (bare flags carry `None`).
+type Flags = Vec<(String, Option<String>)>;
+
 /// Split `--flag value` pairs (and bare `--flag`) from positionals.
-fn split_flags(args: &[String]) -> Result<(Vec<(String, Option<String>)>, Vec<String>), String> {
+fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     let mut flags = Vec::new();
     let mut pos = Vec::new();
     let mut i = 0;
@@ -189,8 +200,9 @@ fn split_flags(args: &[String]) -> Result<(Vec<(String, Option<String>)>, Vec<St
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags take the next token
             // unless it is itself a flag.
+            let is_bool = matches!(name, "smo" | "profile");
             let next_is_value =
-                i + 1 < args.len() && !args[i + 1].starts_with("--") && name != "smo";
+                i + 1 < args.len() && !args[i + 1].starts_with("--") && !is_bool;
             if next_is_value {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));
                 i += 2;
@@ -282,7 +294,13 @@ mod tests {
     fn study_defaults() {
         assert_eq!(
             parse(&["study"]).unwrap(),
-            Command::Study { seed: DEFAULT_SEED, csv_dir: None, from_dir: None }
+            Command::Study {
+                seed: DEFAULT_SEED,
+                csv_dir: None,
+                from_dir: None,
+                workers: None,
+                profile: false,
+            }
         );
     }
 
@@ -290,8 +308,41 @@ mod tests {
     fn study_with_flags() {
         assert_eq!(
             parse(&["study", "--seed", "42", "--csv", "out"]).unwrap(),
-            Command::Study { seed: 42, csv_dir: Some(PathBuf::from("out")), from_dir: None }
+            Command::Study {
+                seed: 42,
+                csv_dir: Some(PathBuf::from("out")),
+                from_dir: None,
+                workers: None,
+                profile: false,
+            }
         );
+    }
+
+    #[test]
+    fn study_engine_flags() {
+        // --profile is boolean: it must not swallow a following value flag's
+        // token, regardless of position.
+        assert_eq!(
+            parse(&["study", "--profile", "--workers", "4", "--seed", "9"]).unwrap(),
+            Command::Study {
+                seed: 9,
+                csv_dir: None,
+                from_dir: None,
+                workers: Some(4),
+                profile: true,
+            }
+        );
+        assert_eq!(
+            parse(&["study", "--workers", "2", "--profile"]).unwrap(),
+            Command::Study {
+                seed: DEFAULT_SEED,
+                csv_dir: None,
+                from_dir: None,
+                workers: Some(2),
+                profile: true,
+            }
+        );
+        assert!(parse(&["study", "--workers", "many"]).is_err());
     }
 
     #[test]

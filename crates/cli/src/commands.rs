@@ -1,9 +1,9 @@
 //! Subcommand implementations.
 
-use coevo_core::Study;
 use coevo_corpus::loader::{load_project, save_project};
 use coevo_corpus::{case_study_project, generate_corpus, CorpusSpec};
 use coevo_ddl::Dialect;
+use coevo_engine::{Source, StudyConfig, StudyRunner};
 use coevo_diff::{
     change_localization, delta_to_smos, diff_constraints, diff_schemas, net_growth,
     schema_size_series, SchemaHistory,
@@ -22,33 +22,48 @@ fn io_err<E: std::fmt::Display>(e: E) -> String {
 }
 
 /// `coevo study`: the full corpus study — over the generated corpus, or
-/// over an on-disk corpus directory when `from_dir` is given.
+/// over an on-disk corpus directory when `from_dir` is given. Runs on the
+/// execution engine: projects that fail to load or parse are reported as
+/// warnings and the study proceeds on the survivors.
 pub fn study(
     seed: u64,
     csv_dir: Option<&Path>,
     from_dir: Option<&Path>,
+    workers: Option<usize>,
+    profile: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let projects: Vec<_> = match from_dir {
-        Some(dir) => coevo_corpus::loader::load_corpus(dir).map_err(io_err)?,
-        None => {
-            let mut spec = CorpusSpec::paper();
-            spec.seed = seed;
-            coevo_corpus::projects_from_generated_parallel(&generate_corpus(&spec))
-                .map_err(io_err)?
-        }
+    let source = match from_dir {
+        Some(dir) => Source::OnDisk(dir.to_path_buf()),
+        None => Source::GeneratedCorpus(seed),
     };
-    writeln!(out, "studying {} projects", projects.len()).map_err(io_err)?;
-    let results = Study::new(projects).run();
-    writeln!(out, "{}", render_all_figures(&results)).map_err(io_err)?;
-    writeln!(out, "{}", coevo_report::research_question_answers(&results)).map_err(io_err)?;
+    let mut runner = StudyRunner::new(StudyConfig::default());
+    if let Some(n) = workers {
+        runner = runner.with_workers(n);
+    }
+    let report = runner.run(source).map_err(io_err)?;
+    writeln!(
+        out,
+        "studying {} projects",
+        report.projects.len() + report.failures.len()
+    )
+    .map_err(io_err)?;
+    for failure in &report.failures {
+        writeln!(out, "warning: skipped {failure}").map_err(io_err)?;
+    }
+    let results = &report.results;
+    writeln!(out, "{}", render_all_figures(results)).map_err(io_err)?;
+    writeln!(out, "{}", coevo_report::research_question_answers(results)).map_err(io_err)?;
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(dir).map_err(io_err)?;
-        std::fs::write(dir.join("measures.csv"), measures_csv(&results)).map_err(io_err)?;
-        std::fs::write(dir.join("fig4.csv"), fig4_csv(&results)).map_err(io_err)?;
-        std::fs::write(dir.join("fig6.csv"), fig6_csv(&results)).map_err(io_err)?;
-        std::fs::write(dir.join("fig8.csv"), fig8_csv(&results)).map_err(io_err)?;
+        std::fs::write(dir.join("measures.csv"), measures_csv(results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig4.csv"), fig4_csv(results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig6.csv"), fig6_csv(results)).map_err(io_err)?;
+        std::fs::write(dir.join("fig8.csv"), fig8_csv(results)).map_err(io_err)?;
         writeln!(out, "CSV files written to {}", dir.display()).map_err(io_err)?;
+    }
+    if profile {
+        writeln!(out, "{}", report.metrics.render()).map_err(io_err)?;
     }
     Ok(())
 }
@@ -460,10 +475,26 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 3, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), &mut out).unwrap();
+        study(0, None, Some(&dir), None, false, &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("studying 6 projects"), "{text}");
         assert!(text.contains("Figure 4"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn study_profile_prints_stage_timing() {
+        let dir = tmp("studyprofile");
+        let mut gen_out = Vec::new();
+        generate(&dir, 5, Some(1), &mut gen_out).unwrap();
+        let mut out = Vec::new();
+        study(0, None, Some(&dir), Some(2), true, &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("execution profile"), "{text}");
+        for stage in ["load", "parse", "diff", "heartbeat", "measure", "stats"] {
+            assert!(text.contains(stage), "missing stage {stage}: {text}");
+        }
+        assert!(text.contains("2 workers"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,7 +2,8 @@
 //!
 //! Subcommands:
 //!
-//! - `coevo study [--seed N] [--csv DIR]` — run the full 195-project study;
+//! - `coevo study [--seed N] [--csv DIR] [--workers N] [--profile]` — run
+//!   the full 195-project study on the execution engine;
 //! - `coevo measure <project-dir>` — measure one on-disk project history;
 //! - `coevo generate <out-dir> [--seed N] [--per-taxon N]` — write a corpus
 //!   to disk in the loader layout;
@@ -26,8 +27,8 @@ pub use args::{parse_args, Command, ParsedArgs};
 /// command, writing human output to `out`. Returns a process exit code.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
     let result = match cmd {
-        Command::Study { seed, csv_dir, from_dir } => {
-            commands::study(seed, csv_dir.as_deref(), from_dir.as_deref(), out)
+        Command::Study { seed, csv_dir, from_dir, workers, profile } => {
+            commands::study(seed, csv_dir.as_deref(), from_dir.as_deref(), workers, profile, out)
         }
         Command::Measure { dir } => commands::measure(&dir, out),
         Command::Generate { dir, seed, per_taxon } => {

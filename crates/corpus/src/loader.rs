@@ -159,6 +159,7 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<ProjectData>, LoaderError> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // round-trip checks compare against the legacy pipeline shim
 mod tests {
     use super::*;
     use crate::generator::{generate_corpus, CorpusSpec};

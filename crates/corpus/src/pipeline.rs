@@ -63,6 +63,11 @@ pub fn project_from_texts(
 /// the text format is exercised) and the printed DDL texts, and attaches the
 /// generator's taxon label (playing the role of the dataset's manual taxon
 /// assignment).
+#[deprecated(
+    since = "0.1.0",
+    note = "use coevo_engine::pipeline::project_from_generated (typed errors) or \
+            coevo_engine::StudyRunner for whole-corpus runs"
+)]
 pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, PipelineError> {
     let data = project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)?;
     Ok(data.with_taxon(p.raw.taxon))
@@ -72,6 +77,12 @@ pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, Pipel
 /// input order. Each project's work (git-log parse, DDL parses, diffs) is
 /// independent, so the mapping fans out over `crossbeam` scoped threads —
 /// the full 195-project corpus pipeline is the study's dominant cost.
+#[deprecated(
+    since = "0.1.0",
+    note = "use coevo_engine::StudyRunner, which adds work stealing, per-stage \
+            metrics and structured partial-failure handling"
+)]
+#[allow(deprecated)] // the shim forwards to its deprecated sibling
 pub fn projects_from_generated_parallel(
     generated: &[GeneratedProject],
 ) -> Result<Vec<ProjectData>, PipelineError> {
@@ -104,6 +115,7 @@ pub fn schema_path() -> &'static str {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated shims keep their behavioral coverage here
 mod tests {
     use super::*;
     use crate::generator::{generate_corpus, CorpusSpec};

@@ -268,7 +268,7 @@ impl EvolvingSchema {
                 // (re-seeding a table if the schema is empty).
                 let fallback = self.inject_window(rng, &mut window);
                 spent += if fallback == 0 {
-                    let cols = remaining.min(3).max(1) as usize;
+                    let cols = remaining.clamp(1, 3) as usize;
                     let cost = self.add_table(rng, cols);
                     window.new_tables.push(self.schema.tables.last().unwrap().key());
                     cost

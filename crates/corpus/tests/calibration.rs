@@ -3,6 +3,8 @@
 //! the paper's published numbers. Run with `--nocapture` to see the full
 //! measured-vs-paper report.
 
+#![allow(deprecated)] // exercises the corpus crate's own (shimmed) pipeline entry
+
 use coevo_core::Study;
 use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
 

@@ -2,6 +2,8 @@
 //! one lucky seed. Runs the full study under alternative seeds and asserts
 //! the *shape* properties (not the tuned point values).
 
+#![allow(deprecated)] // exercises the corpus crate's own (shimmed) pipeline entry
+
 use coevo_core::Study;
 use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
 

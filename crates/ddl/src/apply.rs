@@ -143,10 +143,10 @@ fn apply_alter(t: &mut Table, op: &AlterOp) -> Result<()> {
                     | TableConstraint::Check { name, .. } => name.as_deref(),
                     TableConstraint::ForeignKey(fk) => fk.name.as_deref(),
                 };
-                cname.map_or(true, |n| !n.eq_ignore_ascii_case(name))
+                cname.is_none_or(|n| !n.eq_ignore_ascii_case(name))
             });
             t.indexes
-                .retain(|i| i.name.as_deref().map_or(true, |n| !n.eq_ignore_ascii_case(name)));
+                .retain(|i| i.name.as_deref().is_none_or(|n| !n.eq_ignore_ascii_case(name)));
             Ok(())
         }
         AlterOp::AddIndex(idx) => {

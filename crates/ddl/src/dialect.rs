@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The SQL dialect of a DDL file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dialect {
     /// MySQL / MariaDB: backtick identifiers, `#` comments, backslash escapes
     /// in strings, `AUTO_INCREMENT`, `ENGINE=` table options.
@@ -19,6 +19,7 @@ pub enum Dialect {
     Postgres,
     /// A permissive union used when the vendor is unknown: accepts the quoting
     /// and comment forms of both, plus bracket identifiers.
+    #[default]
     Generic,
 }
 
@@ -60,12 +61,6 @@ impl Dialect {
             "generic" | "ansi" => Some(Dialect::Generic),
             _ => None,
         }
-    }
-}
-
-impl Default for Dialect {
-    fn default() -> Self {
-        Dialect::Generic
     }
 }
 

@@ -677,11 +677,7 @@ impl Parser {
         // Multi-word types.
         let mut name = first.clone();
         match first.as_str() {
-            "DOUBLE" => {
-                if self.eat_kw("PRECISION") {
-                    name = "DOUBLE PRECISION".into();
-                }
-            }
+            "DOUBLE" if self.eat_kw("PRECISION") => name = "DOUBLE PRECISION".into(),
             "CHARACTER" | "CHAR" | "NATIONAL" => {
                 if self.eat_kw("VARYING") {
                     name = "VARCHAR".into();
@@ -694,11 +690,7 @@ impl Parser {
                     name = "CHAR".into();
                 }
             }
-            "BIT" => {
-                if self.eat_kw("VARYING") {
-                    name = "VARBIT".into();
-                }
-            }
+            "BIT" if self.eat_kw("VARYING") => name = "VARBIT".into(),
             "TIME" | "TIMESTAMP" => {
                 // Optional precision handled below; WITH/WITHOUT TIME ZONE here.
                 // Order matters: precision comes first in PG (`timestamp(3) with
@@ -803,9 +795,10 @@ impl Parser {
                     col.comment = Some(s);
                     self.advance();
                 }
-            } else if self.eat_kw("COLLATE") {
-                let _ = self.ident();
-            } else if self.eat_kws(&["CHARACTER", "SET"]) || self.eat_kw("CHARSET") {
+            } else if self.eat_kw("COLLATE")
+                || self.eat_kws(&["CHARACTER", "SET"])
+                || self.eat_kw("CHARSET")
+            {
                 let _ = self.ident();
             } else if self.eat_kws(&["ON", "UPDATE"]) || self.eat_kws(&["ON", "DELETE"]) {
                 // e.g. `ON UPDATE CURRENT_TIMESTAMP`

@@ -161,7 +161,7 @@ mod tests {
         ]);
         assert_eq!(h.commits(), 4);
         assert_eq!(h.active_commits(), 3);
-        assert_eq!(h.total_activity(), 1 + 1 + 0 + 1);
+        assert_eq!(h.total_activity(), 3); // 1 + 1 + 0 + 1 per version
         let hb = h.heartbeat();
         assert_eq!(hb.activity(), &[1, 1, 0, 1]); // Jan, Feb, Mar, Apr
     }

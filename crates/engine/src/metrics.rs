@@ -1,0 +1,150 @@
+//! Per-stage observability: wall-time spans, item counters and throughput.
+//!
+//! Workers record into [`Metrics`] with plain atomic adds (no locks on the
+//! hot path); [`Metrics::snapshot`] freezes the counters into a
+//! [`MetricsSnapshot`] that [`coevo_report::profile`] renders as the
+//! `coevo study --profile` table.
+
+use crate::error::Stage;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Live per-stage counters, shared by every worker of a run.
+#[derive(Debug)]
+pub struct Metrics {
+    busy_nanos: [AtomicU64; Stage::ALL.len()],
+    items: [AtomicU64; Stage::ALL.len()],
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Start a fresh counter set; the run's wall clock starts now.
+    pub fn new() -> Self {
+        Self {
+            busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            items: std::array::from_fn(|_| AtomicU64::new(0)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record `elapsed` busy time and `items` processed items for `stage`.
+    pub fn record(&self, stage: Stage, elapsed: Duration, items: u64) {
+        let i = Self::index(stage);
+        self.busy_nanos[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.items[i].fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters. `workers` is echoed into the snapshot so the
+    /// profile rendering can relate summed busy time to wall time.
+    pub fn snapshot(&self, workers: usize) -> MetricsSnapshot {
+        let stages = Stage::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, stage)| StageMetrics {
+                stage,
+                items: self.items[i].load(Ordering::Relaxed),
+                busy: Duration::from_nanos(self.busy_nanos[i].load(Ordering::Relaxed)),
+            })
+            .collect();
+        MetricsSnapshot { stages, wall: self.started.elapsed(), workers }
+    }
+
+    fn index(stage: Stage) -> usize {
+        Stage::ALL.iter().position(|s| *s == stage).expect("stage in ALL")
+    }
+}
+
+/// The frozen counters of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// The stage.
+    pub stage: Stage,
+    /// Items processed (logs+versions parsed, deltas diffed, heartbeats
+    /// built, projects measured, …).
+    pub items: u64,
+    /// Summed busy time across all workers.
+    pub busy: Duration,
+}
+
+impl StageMetrics {
+    /// Items per second of busy time (0 when the stage never ran).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A frozen view of one engine run's observability counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-stage counters, in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Worker threads the run used.
+    pub workers: usize,
+}
+
+impl MetricsSnapshot {
+    /// The counters of one stage.
+    pub fn stage(&self, stage: Stage) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Render the profile table (via [`coevo_report::profile`]).
+    pub fn render(&self) -> String {
+        let rows: Vec<coevo_report::profile::ProfileRow> = self
+            .stages
+            .iter()
+            .map(|s| coevo_report::profile::ProfileRow {
+                stage: s.stage.name().to_string(),
+                items: s.items,
+                busy: s.busy,
+            })
+            .collect();
+        coevo_report::profile::render_profile(&rows, self.wall, self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = Metrics::new();
+        m.record(Stage::Parse, Duration::from_millis(10), 4);
+        m.record(Stage::Parse, Duration::from_millis(30), 6);
+        m.record(Stage::Stats, Duration::from_millis(5), 1);
+        let snap = m.snapshot(3);
+        assert_eq!(snap.workers, 3);
+        let parse = snap.stage(Stage::Parse).unwrap();
+        assert_eq!(parse.items, 10);
+        assert_eq!(parse.busy, Duration::from_millis(40));
+        assert!((parse.throughput() - 250.0).abs() < 1.0);
+        assert_eq!(snap.stage(Stage::Diff).unwrap().items, 0);
+        assert_eq!(snap.stage(Stage::Diff).unwrap().throughput(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_every_stage() {
+        let m = Metrics::new();
+        m.record(Stage::Measure, Duration::from_millis(2), 7);
+        let text = m.snapshot(2).render();
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()), "{text}");
+        }
+        assert!(text.contains("items/s"), "{text}");
+        assert!(text.contains("workers"), "{text}");
+    }
+}

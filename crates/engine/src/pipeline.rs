@@ -1,0 +1,190 @@
+//! The typed per-project measurement pipeline the engine's workers run:
+//! parse → diff → heartbeat → measure, with per-stage [`Metrics`] spans and
+//! [`EngineError`] failures that keep the underlying parser error.
+//!
+//! This is the structured replacement for the stringly-typed entry points in
+//! [`coevo_corpus::pipeline`], which remain as deprecated shims.
+
+use crate::error::{EngineError, EngineErrorKind, Stage};
+use crate::metrics::Metrics;
+use coevo_core::{ProjectData, ProjectMeasures};
+use coevo_corpus::GeneratedProject;
+use coevo_ddl::{parse_schema, Dialect};
+use coevo_diff::{MatchPolicy, SchemaHistory, SchemaVersion};
+use coevo_heartbeat::DateTime;
+use coevo_taxa::{Taxon, TaxonomyConfig};
+use coevo_vcs::{monthly::project_heartbeat, parse_log};
+use std::time::Instant;
+
+/// One unit of work for the engine's pool: a project's raw artifacts plus
+/// its position in the corpus (results are re-assembled in input order, so
+/// parallel output is identical to sequential output).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkItem {
+    pub index: usize,
+    pub name: String,
+    pub git_log: String,
+    pub ddl_versions: Vec<(DateTime, String)>,
+    pub dialect: Dialect,
+    pub taxon: Option<Taxon>,
+}
+
+/// Run parse → diff → heartbeat → measure on one project's raw artifacts,
+/// recording per-stage spans into `metrics`.
+pub(crate) fn process(
+    item: &WorkItem,
+    cfg: &TaxonomyConfig,
+    metrics: &Metrics,
+) -> Result<(ProjectData, ProjectMeasures), EngineError> {
+    let fail = |stage: Stage, kind: EngineErrorKind| EngineError {
+        project: item.name.clone(),
+        stage,
+        kind,
+    };
+
+    // Parse: the git log, then every DDL version.
+    let t = Instant::now();
+    let repo = parse_log(&item.git_log)
+        .map_err(|e| fail(Stage::Parse, EngineErrorKind::GitLog(e)))?;
+    let mut versions = Vec::with_capacity(item.ddl_versions.len());
+    for (date, text) in &item.ddl_versions {
+        let schema = parse_schema(text, item.dialect)
+            .map_err(|e| fail(Stage::Parse, EngineErrorKind::Ddl(e)))?;
+        versions.push(SchemaVersion { date: *date, schema });
+    }
+    metrics.record(Stage::Parse, t.elapsed(), 1 + item.ddl_versions.len() as u64);
+
+    // Diff: consecutive versions into the delta sequence.
+    let t = Instant::now();
+    let history = SchemaHistory::from_schemas(versions, MatchPolicy::ByName)
+        .ok_or_else(|| fail(Stage::Diff, EngineErrorKind::Empty("schema history")))?;
+    metrics.record(Stage::Diff, t.elapsed(), history.deltas().len() as u64);
+
+    // Heartbeat: the two monthly activity series.
+    let t = Instant::now();
+    let project_hb = project_heartbeat(&repo)
+        .ok_or_else(|| fail(Stage::Heartbeat, EngineErrorKind::Empty("repository")))?;
+    let schema_hb = history.heartbeat();
+    let birth_activity =
+        history.deltas().first().map(|d| d.breakdown.total()).unwrap_or(0);
+    metrics.record(Stage::Heartbeat, t.elapsed(), 2);
+
+    let mut data = ProjectData::new(&item.name, project_hb, schema_hb, birth_activity);
+    if let Some(taxon) = item.taxon {
+        data = data.with_taxon(taxon);
+    }
+
+    // Measure: the per-project study measures.
+    let t = Instant::now();
+    let measures = data.measures(cfg);
+    metrics.record(Stage::Measure, t.elapsed(), 1);
+
+    Ok((data, measures))
+}
+
+/// Run the typed pipeline on raw textual artifacts: a git log dump and a
+/// dated DDL version sequence. The structured counterpart of
+/// [`coevo_corpus::pipeline::project_from_texts`].
+pub fn project_from_texts(
+    name: &str,
+    git_log: &str,
+    ddl_versions: &[(DateTime, String)],
+    dialect: Dialect,
+) -> Result<ProjectData, EngineError> {
+    let item = WorkItem {
+        index: 0,
+        name: name.to_string(),
+        git_log: git_log.to_string(),
+        ddl_versions: ddl_versions.to_vec(),
+        dialect,
+        taxon: None,
+    };
+    process(&item, &TaxonomyConfig::default(), &Metrics::new()).map(|(data, _)| data)
+}
+
+/// Run the typed pipeline on one generated project, attaching the
+/// generator's taxon label. The structured counterpart of the deprecated
+/// `coevo_corpus::project_from_generated`.
+pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, EngineError> {
+    let item = WorkItem {
+        index: 0,
+        name: p.raw.name.clone(),
+        git_log: p.git_log.clone(),
+        ddl_versions: p.raw.ddl_versions.clone(),
+        dialect: p.raw.dialect,
+        taxon: Some(p.raw.taxon),
+    };
+    process(&item, &TaxonomyConfig::default(), &Metrics::new()).map(|(data, _)| data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_corpus::{generate_corpus, CorpusSpec};
+
+    const GOOD_LOG: &str = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
+
+    fn dt(s: &str) -> DateTime {
+        DateTime::parse(s).unwrap()
+    }
+
+    #[test]
+    fn matches_legacy_pipeline_on_generated_projects() {
+        let mut spec = CorpusSpec::paper();
+        for t in &mut spec.taxa {
+            t.count = 1;
+        }
+        for p in generate_corpus(&spec) {
+            let typed = project_from_generated(&p).expect("typed pipeline");
+            #[allow(deprecated)]
+            let legacy = coevo_corpus::project_from_generated(&p).expect("legacy pipeline");
+            assert_eq!(typed, legacy, "{}", p.raw.name);
+        }
+    }
+
+    #[test]
+    fn corrupt_ddl_fails_at_parse_with_position() {
+        let versions = vec![
+            (dt("2020-01-01 00:00:00 +0000"), "CREATE TABLE t (a INT);".to_string()),
+            (dt("2020-02-01 00:00:00 +0000"), "CREATE TABLE t (a INT".to_string()),
+        ];
+        let err = project_from_texts("x/y", GOOD_LOG, &versions, Dialect::Generic)
+            .unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+        let EngineErrorKind::Ddl(parse) = &err.kind else {
+            panic!("expected Ddl kind, got {:?}", err.kind)
+        };
+        assert!(parse.line >= 1);
+        assert_eq!(err.project, "x/y");
+    }
+
+    #[test]
+    fn truncated_git_log_fails_at_parse() {
+        let versions =
+            vec![(dt("2020-01-01 00:00:00 +0000"), "CREATE TABLE t (a INT);".to_string())];
+        let err = project_from_texts(
+            "x/y",
+            "commit abcdef\nAuthor: A <a@b.c>\n",
+            &versions,
+            Dialect::Generic,
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+        assert!(matches!(err.kind, EngineErrorKind::GitLog(_)));
+    }
+
+    #[test]
+    fn empty_inputs_fail_with_empty_kind() {
+        let err = project_from_texts("x/y", GOOD_LOG, &[], Dialect::Generic).unwrap_err();
+        assert_eq!(err.stage, Stage::Diff);
+        assert_eq!(err.kind, EngineErrorKind::Empty("schema history"));
+
+        let merge_only = "commit abc\nMerge: 1 2\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    Merge\n\n";
+        let versions =
+            vec![(dt("2020-01-01 00:00:00 +0000"), "CREATE TABLE t (a INT);".to_string())];
+        let err =
+            project_from_texts("x/y", merge_only, &versions, Dialect::Generic).unwrap_err();
+        assert_eq!(err.stage, Stage::Heartbeat);
+        assert_eq!(err.kind, EngineErrorKind::Empty("repository"));
+    }
+}

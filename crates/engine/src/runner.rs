@@ -1,0 +1,494 @@
+//! The staged execution engine behind the [`StudyRunner`] builder API.
+//!
+//! A run proceeds through the stages of [`crate::Stage`]:
+//!
+//! 1. **load** — materialize raw artifacts (generate the corpus, or read
+//!    manifests + files from disk);
+//! 2. **parse / diff / heartbeat / measure** — the per-project pipeline,
+//!    fanned out over a crossbeam work-stealing worker pool. Items are
+//!    dealt round-robin into per-worker deques; idle workers steal from
+//!    their peers, and finished results flow through a bounded channel to
+//!    an order-preserving collector (so parallel output is byte-identical
+//!    to sequential output);
+//! 3. **stats** — figures and Section-7 statistics over the survivors.
+//!
+//! A project whose artifacts are corrupt is demoted to a structured
+//! [`ProjectFailure`] under the default [`FailurePolicy::CollectAndContinue`]
+//! — the study completes on the survivors instead of aborting.
+
+use crate::error::{
+    EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage,
+};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pipeline::{process, WorkItem};
+use coevo_core::{ProjectData, ProjectMeasures, StudyResults};
+use coevo_corpus::loader::Manifest;
+use coevo_corpus::CorpusSpec;
+use coevo_ddl::Dialect;
+use coevo_heartbeat::DateTime;
+use coevo_taxa::TaxonomyConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Where the study's projects come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// The calibrated 195-project paper corpus, generated with this seed.
+    GeneratedCorpus(u64),
+    /// A corpus generated from a custom spec.
+    Spec(CorpusSpec),
+    /// An on-disk corpus directory in the loader layout (one subdirectory
+    /// per project, each with `manifest.json`, `git.log` and `versions/`).
+    OnDisk(PathBuf),
+}
+
+impl Source {
+    /// The paper's corpus under its default seed.
+    pub fn paper() -> Self {
+        Source::GeneratedCorpus(CorpusSpec::paper().seed)
+    }
+}
+
+/// Configuration of a study run. Construct with [`Default`] and refine via
+/// the [`StudyRunner`] builder methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// Worker threads for the per-project stages; `0` means one per
+    /// available CPU.
+    pub workers: usize,
+    /// What to do when a project fails.
+    pub failure_policy: FailurePolicy,
+    /// The taxonomy thresholds used when measuring projects.
+    pub taxonomy: TaxonomyConfig,
+    /// Capacity of the bounded result channel between the worker pool and
+    /// the collector (backpressure bound).
+    pub channel_capacity: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            failure_policy: FailurePolicy::default(),
+            taxonomy: TaxonomyConfig::default(),
+            channel_capacity: 32,
+        }
+    }
+}
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// The surviving projects, in corpus order.
+    pub projects: Vec<ProjectData>,
+    /// The full study results computed from the survivors.
+    pub results: StudyResults,
+    /// Projects demoted to structured failures.
+    pub failures: Vec<ProjectFailure>,
+    /// Per-stage observability counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The single public entry point for running the study:
+///
+/// ```no_run
+/// use coevo_engine::{FailurePolicy, Source, StudyConfig, StudyRunner};
+///
+/// let report = StudyRunner::new(StudyConfig::default())
+///     .with_workers(4)
+///     .with_failure_policy(FailurePolicy::CollectAndContinue)
+///     .run(Source::paper())
+///     .expect("study");
+/// println!("{}", report.metrics.render());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StudyRunner {
+    config: StudyConfig,
+}
+
+impl StudyRunner {
+    /// Construct a runner from a configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Override the worker-thread count (`0` = one per available CPU).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Override the failure policy.
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.config.failure_policy = policy;
+        self
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Run the full study over `source`.
+    ///
+    /// Under [`FailurePolicy::CollectAndContinue`] this only returns `Err`
+    /// when the source itself is unusable (e.g. the corpus directory cannot
+    /// be read); per-project problems land in [`EngineReport::failures`].
+    /// Under [`FailurePolicy::FailFast`] the first project failure aborts
+    /// the run with its error.
+    pub fn run(&self, source: Source) -> Result<EngineReport, EngineError> {
+        let metrics = Metrics::new();
+
+        // Load stage.
+        let t = Instant::now();
+        let (items, mut failures) = self.load(source)?;
+        metrics.record(Stage::Load, t.elapsed(), items.len() as u64);
+        if self.config.failure_policy == FailurePolicy::FailFast {
+            if let Some(f) = failures.first() {
+                return Err(f.error.clone());
+            }
+        }
+
+        // Per-project stages over the work-stealing pool.
+        let workers = self.worker_count(items.len());
+        let slots = self.run_pool(items, workers, &metrics);
+
+        let mut projects = Vec::new();
+        let mut measures = Vec::new();
+        for slot in slots {
+            match slot {
+                Some(Ok((data, m))) => {
+                    projects.push(data);
+                    measures.push(m);
+                }
+                Some(Err(e)) => {
+                    if self.config.failure_policy == FailurePolicy::FailFast {
+                        return Err(e);
+                    }
+                    failures.push(ProjectFailure::from(e));
+                }
+                // A `None` slot is an item skipped after a fail-fast abort;
+                // the triggering error itself is returned via the arm above
+                // (an abort implies at least one `Some(Err(_))` slot).
+                None => {}
+            }
+        }
+        failures.sort_by(|a, b| a.project.cmp(&b.project));
+
+        // Stats stage.
+        let t = Instant::now();
+        let results = StudyResults::from_measures(measures);
+        metrics.record(Stage::Stats, t.elapsed(), 1);
+
+        Ok(EngineReport {
+            projects,
+            results,
+            failures,
+            metrics: metrics.snapshot(workers),
+        })
+    }
+
+    fn worker_count(&self, items: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        };
+        let n = if self.config.workers == 0 { auto() } else { self.config.workers };
+        n.min(items.max(1))
+    }
+
+    /// Materialize work items. Per-project load problems become failures;
+    /// only an unusable source is a hard error.
+    fn load(
+        &self,
+        source: Source,
+    ) -> Result<(Vec<WorkItem>, Vec<ProjectFailure>), EngineError> {
+        match source {
+            Source::GeneratedCorpus(seed) => {
+                let mut spec = CorpusSpec::paper();
+                spec.seed = seed;
+                Ok((generated_items(&spec), Vec::new()))
+            }
+            Source::Spec(spec) => Ok((generated_items(&spec), Vec::new())),
+            Source::OnDisk(dir) => load_on_disk(&dir),
+        }
+    }
+
+    /// Fan the items out over `workers` threads with per-worker deques and
+    /// work stealing; collect `(index, result)` pairs over a bounded channel
+    /// into input-order slots.
+    #[allow(clippy::type_complexity)]
+    fn run_pool(
+        &self,
+        items: Vec<WorkItem>,
+        workers: usize,
+        metrics: &Metrics,
+    ) -> Vec<Option<Result<(ProjectData, ProjectMeasures), EngineError>>> {
+        let total = items.len();
+        let mut slots: Vec<Option<Result<(ProjectData, ProjectMeasures), EngineError>>> =
+            (0..total).map(|_| None).collect();
+        if total == 0 {
+            return slots;
+        }
+
+        // Deal items round-robin into per-worker deques.
+        let queues: Vec<crossbeam::deque::Worker<WorkItem>> =
+            (0..workers).map(|_| crossbeam::deque::Worker::new_fifo()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push(item);
+        }
+        let stealers: Vec<crossbeam::deque::Stealer<WorkItem>> =
+            queues.iter().map(|q| q.stealer()).collect();
+
+        let remaining = AtomicUsize::new(total);
+        let abort = AtomicBool::new(false);
+        let fail_fast = self.config.failure_policy == FailurePolicy::FailFast;
+        let cfg = &self.config.taxonomy;
+        let (tx, rx) = crossbeam::channel::bounded(self.config.channel_capacity.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for (id, own) in queues.into_iter().enumerate() {
+                let tx = tx.clone();
+                let stealers = stealers.clone();
+                let remaining = &remaining;
+                let abort = &abort;
+                scope.spawn(move |_| {
+                    loop {
+                        // Own queue first, then steal from peers.
+                        let item = own.pop().or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != id)
+                                .find_map(|(_, s)| loop {
+                                    match s.steal() {
+                                        crossbeam::deque::Steal::Success(it) => {
+                                            break Some(it)
+                                        }
+                                        crossbeam::deque::Steal::Empty => break None,
+                                        crossbeam::deque::Steal::Retry => {}
+                                    }
+                                })
+                        });
+                        let Some(item) = item else {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        let index = item.index;
+                        let result = if abort.load(Ordering::Relaxed) {
+                            None
+                        } else {
+                            let r = process(&item, cfg, metrics);
+                            if fail_fast && r.is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            Some(r)
+                        };
+                        remaining.fetch_sub(1, Ordering::Release);
+                        tx.send((index, result)).expect("collector alive");
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..total {
+                let (index, result) = rx.recv().expect("one message per item");
+                slots[index] = result;
+            }
+        })
+        .expect("engine worker panicked");
+
+        slots
+    }
+}
+
+/// Turn a generated corpus into work items (corpus order preserved).
+fn generated_items(spec: &CorpusSpec) -> Vec<WorkItem> {
+    coevo_corpus::generate_corpus(spec)
+        .into_iter()
+        .enumerate()
+        .map(|(index, p)| WorkItem {
+            index,
+            name: p.raw.name,
+            git_log: p.git_log,
+            ddl_versions: p.raw.ddl_versions,
+            dialect: p.raw.dialect,
+            taxon: Some(p.raw.taxon),
+        })
+        .collect()
+}
+
+/// Read every project directory under `dir` (any subdirectory containing a
+/// `manifest.json`), demoting unreadable projects to load failures. Items
+/// are ordered by project name, matching `coevo_corpus::loader::load_corpus`.
+#[allow(clippy::type_complexity)]
+fn load_on_disk(
+    dir: &std::path::Path,
+) -> Result<(Vec<WorkItem>, Vec<ProjectFailure>), EngineError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| EngineError {
+        project: dir.display().to_string(),
+        stage: Stage::Load,
+        kind: EngineErrorKind::Load(format!("unreadable corpus directory: {e}")),
+    })?;
+    let mut project_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("manifest.json").exists())
+        .collect();
+    project_dirs.sort();
+
+    let mut items = Vec::new();
+    let mut failures = Vec::new();
+    for pdir in project_dirs {
+        let fallback_name = pdir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| pdir.display().to_string());
+        match load_project_raw(&pdir) {
+            Ok((name, git_log, ddl_versions, dialect, taxon)) => items.push(WorkItem {
+                index: 0, // assigned after sorting
+                name,
+                git_log,
+                ddl_versions,
+                dialect,
+                taxon,
+            }),
+            Err(kind) => failures.push(ProjectFailure::from(EngineError {
+                project: fallback_name,
+                stage: Stage::Load,
+                kind,
+            })),
+        }
+    }
+    items.sort_by(|a, b| a.name.cmp(&b.name));
+    for (i, item) in items.iter_mut().enumerate() {
+        item.index = i;
+    }
+    Ok((items, failures))
+}
+
+type RawProjectParts =
+    (String, String, Vec<(DateTime, String)>, Dialect, Option<coevo_taxa::Taxon>);
+
+/// Read one project directory's raw artifacts without running the pipeline
+/// (parsing happens inside the instrumented worker stages).
+fn load_project_raw(dir: &std::path::Path) -> Result<RawProjectParts, EngineErrorKind> {
+    let io = |what: &str, e: std::io::Error| {
+        EngineErrorKind::Load(format!("{what}: {e}"))
+    };
+    let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))
+        .map_err(|e| io("manifest.json", e))?;
+    let manifest: Manifest = coevo_corpus::loader::manifest_from_json(&manifest_text)
+        .map_err(|e| EngineErrorKind::Load(e.to_string()))?;
+    let dialect = Dialect::from_name(&manifest.dialect).ok_or_else(|| {
+        EngineErrorKind::Load(format!("unknown dialect {:?}", manifest.dialect))
+    })?;
+    let git_log =
+        std::fs::read_to_string(dir.join("git.log")).map_err(|e| io("git.log", e))?;
+    let mut ddl_versions = Vec::with_capacity(manifest.versions.len());
+    for v in &manifest.versions {
+        let date = DateTime::parse(&v.date)
+            .map_err(|_| EngineErrorKind::Load(format!("bad date {:?}", v.date)))?;
+        let text = std::fs::read_to_string(dir.join("versions").join(&v.file))
+            .map_err(|e| io(&format!("versions/{}", v.file), e))?;
+        ddl_versions.push((date, text));
+    }
+    let taxon = manifest.taxon.as_deref().and_then(coevo_taxa::Taxon::parse);
+    Ok((manifest.name, git_log, ddl_versions, dialect, taxon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_core::Study;
+
+    fn small_spec(per_taxon: usize) -> CorpusSpec {
+        let mut spec = CorpusSpec::paper();
+        for t in &mut spec.taxa {
+            t.count = per_taxon;
+        }
+        spec
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_small_corpus() {
+        let spec = small_spec(2);
+        let seq = StudyRunner::new(StudyConfig::default())
+            .with_workers(1)
+            .run(Source::Spec(spec.clone()))
+            .expect("sequential run");
+        let par = StudyRunner::new(StudyConfig::default())
+            .with_workers(4)
+            .run(Source::Spec(spec))
+            .expect("parallel run");
+        assert!(seq.failures.is_empty());
+        assert_eq!(seq.projects, par.projects);
+        assert_eq!(seq.results, par.results);
+    }
+
+    #[test]
+    fn engine_matches_legacy_study() {
+        let spec = small_spec(1);
+        let report = StudyRunner::new(StudyConfig::default())
+            .run(Source::Spec(spec.clone()))
+            .expect("engine run");
+        #[allow(deprecated)]
+        let projects = coevo_corpus::projects_from_generated_parallel(
+            &coevo_corpus::generate_corpus(&spec),
+        )
+        .expect("legacy pipeline");
+        let legacy = Study::new(projects).run();
+        assert_eq!(report.results, legacy);
+    }
+
+    #[test]
+    fn metrics_cover_all_stages() {
+        let report = StudyRunner::new(StudyConfig::default())
+            .with_workers(2)
+            .run(Source::Spec(small_spec(1)))
+            .expect("engine run");
+        let m = &report.metrics;
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.stage(Stage::Load).unwrap().items, 6);
+        assert_eq!(m.stage(Stage::Measure).unwrap().items, 6);
+        assert_eq!(m.stage(Stage::Stats).unwrap().items, 1);
+        assert!(m.stage(Stage::Parse).unwrap().items > 6); // logs + versions
+        assert!(m.stage(Stage::Diff).unwrap().items >= 6);
+        assert!(m.stage(Stage::Heartbeat).unwrap().items == 12);
+    }
+
+    #[test]
+    fn empty_on_disk_corpus_is_an_empty_study() {
+        let dir = std::env::temp_dir()
+            .join(format!("coevo_engine_empty_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = StudyRunner::new(StudyConfig::default())
+            .run(Source::OnDisk(dir.clone()))
+            .expect("engine run");
+        assert!(report.projects.is_empty());
+        assert!(report.failures.is_empty());
+        assert_eq!(report.results.measures.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_directory_is_a_hard_error() {
+        let err = StudyRunner::new(StudyConfig::default())
+            .run(Source::OnDisk(PathBuf::from("/nonexistent_coevo_corpus")))
+            .unwrap_err();
+        assert_eq!(err.stage, Stage::Load);
+        assert!(matches!(err.kind, EngineErrorKind::Load(_)));
+    }
+
+    #[test]
+    fn builder_overrides_config() {
+        let runner = StudyRunner::new(StudyConfig::default())
+            .with_workers(3)
+            .with_failure_policy(FailurePolicy::FailFast);
+        assert_eq!(runner.config().workers, 3);
+        assert_eq!(runner.config().failure_policy, FailurePolicy::FailFast);
+    }
+}

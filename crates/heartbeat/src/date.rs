@@ -154,7 +154,7 @@ impl DateTime {
     /// also tolerates a `T` separator and a trailing `Z`.
     pub fn parse(s: &str) -> Result<Self, DateError> {
         let s = s.trim();
-        let (date_part, rest) = match s.find(|c| c == ' ' || c == 'T') {
+        let (date_part, rest) = match s.find([' ', 'T']) {
             Some(idx) => (&s[..idx], s[idx + 1..].trim()),
             None => (s, ""),
         };
@@ -162,7 +162,7 @@ impl DateTime {
         if rest.is_empty() {
             return Ok(Self::midnight(date));
         }
-        let (time_part, offset_part) = match rest.find(|c| c == ' ' || c == '+') {
+        let (time_part, offset_part) = match rest.find([' ', '+']) {
             Some(idx) if rest.as_bytes()[idx] == b' ' => (&rest[..idx], rest[idx + 1..].trim()),
             Some(idx) => (&rest[..idx], &rest[idx..]),
             None => (rest, ""),

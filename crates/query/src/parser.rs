@@ -246,9 +246,9 @@ impl QueryParser {
             } else {
                 let name = self.ident()?;
                 let mut tr = TableRef::named(&name);
-                if self.eat_kw("AS") {
-                    tr.alias = Some(self.ident()?);
-                } else if self.peek().ident_text().is_some_and(|t| !is_reserved(t)) {
+                if self.eat_kw("AS")
+                    || self.peek().ident_text().is_some_and(|t| !is_reserved(t))
+                {
                     tr.alias = Some(self.ident()?);
                 }
                 q.tables.push(tr);
@@ -284,7 +284,7 @@ impl QueryParser {
                     loop {
                         match self.peek().ident_text() {
                             Some(t) if !is_reserved(t) => {
-                                q.other_refs.push(ColumnRef::bare(&t.to_string()));
+                                q.other_refs.push(ColumnRef::bare(t));
                                 self.advance();
                             }
                             _ => {}

@@ -13,6 +13,7 @@ pub mod csv;
 pub mod figures;
 pub mod linechart;
 pub mod markdown;
+pub mod profile;
 pub mod scatter;
 pub mod summary;
 pub mod table;

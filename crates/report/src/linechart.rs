@@ -23,6 +23,9 @@ pub fn joint_progress_chart(data: &ProjectData, height: usize, max_width: usize)
         r.min(height - 1)
     };
 
+    // `col` both samples the series and addresses the column, so a range
+    // loop is clearer than iterating one of the two.
+    #[allow(clippy::needless_range_loop)]
     for col in 0..width {
         let marks = [
             (sample(&jp.time, col), 't'),

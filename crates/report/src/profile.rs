@@ -1,0 +1,111 @@
+//! Rendering execution-profile tables: per-stage busy time, item counts and
+//! throughput, as printed by `coevo study --profile`.
+//!
+//! This module is deliberately engine-agnostic — it renders plain rows, so
+//! the report crate stays independent of the execution engine that collects
+//! the numbers.
+
+use crate::table::TextTable;
+use std::time::Duration;
+
+/// One stage's profile numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Stage name (e.g. `parse`, `diff`).
+    pub stage: String,
+    /// Items the stage processed.
+    pub items: u64,
+    /// Summed busy time across workers.
+    pub busy: Duration,
+}
+
+/// Render the profile table: one row per stage with busy time, item count,
+/// throughput and share of total busy time, plus a wall-time footer.
+pub fn render_profile(rows: &[ProfileRow], wall: Duration, workers: usize) -> String {
+    let total_busy: Duration = rows.iter().map(|r| r.busy).sum();
+    let mut table = TextTable::new(["stage", "items", "busy", "items/s", "% busy"]);
+    for r in rows {
+        let throughput = if r.busy.as_secs_f64() > 0.0 {
+            r.items as f64 / r.busy.as_secs_f64()
+        } else {
+            0.0
+        };
+        let share = if total_busy.as_secs_f64() > 0.0 {
+            r.busy.as_secs_f64() / total_busy.as_secs_f64() * 100.0
+        } else {
+            0.0
+        };
+        table.row([
+            r.stage.clone(),
+            r.items.to_string(),
+            fmt_duration(r.busy),
+            format!("{throughput:.0}"),
+            format!("{share:.0}%"),
+        ]);
+    }
+    let mut out = String::from("execution profile\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "wall {} | busy {} | {} workers | parallel speedup {:.2}x\n",
+        fmt_duration(wall),
+        fmt_duration(total_busy),
+        workers,
+        if wall.as_secs_f64() > 0.0 {
+            total_busy.as_secs_f64() / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+    ));
+    out
+}
+
+/// Compact human duration: `428ms`, `1.52s`, `87µs`.
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.0}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_and_footer() {
+        let rows = vec![
+            ProfileRow {
+                stage: "parse".into(),
+                items: 100,
+                busy: Duration::from_millis(300),
+            },
+            ProfileRow { stage: "diff".into(), items: 50, busy: Duration::from_millis(100) },
+        ];
+        let text = render_profile(&rows, Duration::from_millis(200), 4);
+        assert!(text.contains("parse"), "{text}");
+        assert!(text.contains("items/s"), "{text}");
+        assert!(text.contains("75%"), "{text}"); // parse share of busy
+        assert!(text.contains("4 workers"), "{text}");
+        assert!(text.contains("2.00x"), "{text}"); // 400ms busy / 200ms wall
+    }
+
+    #[test]
+    fn zero_durations_do_not_divide_by_zero() {
+        let rows =
+            vec![ProfileRow { stage: "stats".into(), items: 0, busy: Duration::ZERO }];
+        let text = render_profile(&rows, Duration::ZERO, 1);
+        assert!(text.contains("stats"), "{text}");
+        assert!(text.contains("0.00x"), "{text}");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(428)), "428ms");
+        assert_eq!(fmt_duration(Duration::from_micros(87)), "87µs");
+    }
+}

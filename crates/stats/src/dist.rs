@@ -4,6 +4,8 @@
 /// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9),
 /// accurate to ~15 significant digits for positive arguments.
 pub fn ln_gamma(x: f64) -> f64 {
+    // Published Lanczos coefficients, kept verbatim (beyond f64 precision).
+    #[allow(clippy::excessive_precision)]
     const G: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

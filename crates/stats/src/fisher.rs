@@ -83,6 +83,7 @@ pub fn fisher_exact_rx2(rows: &[(u64, u64)], max_tables: u64) -> Option<f64> {
 
     let mut p_total = 0.0f64;
     // Iterative depth-first enumeration over a_i (column-1 count per row).
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn recurse(
         idx: usize,
         remaining: u64,
@@ -161,8 +162,8 @@ pub fn fisher_rx2_monte_carlo(rows: &[(u64, u64)], samples: u32, seed: u64) -> O
 
     // Pool of membership labels: true = column 1.
     let mut pool: Vec<bool> = Vec::with_capacity(n);
-    pool.extend(std::iter::repeat(true).take(col1 as usize));
-    pool.extend(std::iter::repeat(false).take(col2 as usize));
+    pool.extend(std::iter::repeat_n(true, col1 as usize));
+    pool.extend(std::iter::repeat_n(false, col2 as usize));
 
     let mut hits = 0u64;
     for _ in 0..samples {

@@ -87,9 +87,8 @@ proptest! {
         prop_assume!(a + b + c + d > 0);
         let p1 = fisher_exact_2x2(a, b, c, d);
         let p2 = fisher_exact_2x2(a, c, b, d); // transpose
-        match (p1, p2) {
-            (Some(p1), Some(p2)) => prop_assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}"),
-            _ => {}
+        if let (Some(p1), Some(p2)) = (p1, p2) {
+            prop_assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}");
         }
     }
 

@@ -48,7 +48,7 @@ proptest! {
         let cfg = TaxonomyConfig::default();
         let before = classify(&HeartbeatFeatures::from_activity(&activity), &cfg);
         let mut padded = activity.clone();
-        padded.extend(std::iter::repeat(0).take(extra_quiet));
+        padded.extend(std::iter::repeat_n(0, extra_quiet));
         let after = classify(&HeartbeatFeatures::from_activity(&padded), &cfg);
         prop_assert_eq!(before, after);
     }

@@ -67,13 +67,13 @@ pub fn parse_log(text: &str) -> Result<Repository, LogParseError> {
             );
         } else if line.starts_with("Merge:") {
             pc.is_merge = true;
-        } else if line.starts_with("    ") {
+        } else if let Some(msg) = line.strip_prefix("    ") {
             // Message line (blank message lines arrive as exactly 4 spaces).
             if pc.message_started {
                 pc.message.push('\n');
             }
             pc.message_started = true;
-            pc.message.push_str(&line[4..]);
+            pc.message.push_str(msg);
         } else if line.is_empty() {
             // Separator between header/message/changes blocks.
         } else if let Some((ins, del, path)) = parse_numstat_line(line) {

@@ -1,41 +1,40 @@
 //! The full 195-project study: generate the calibrated corpus, run every
-//! analysis of the paper, and print every figure plus the Section 7
-//! statistics. Optionally dump the per-figure CSVs.
+//! analysis of the paper on the execution engine, and print every figure
+//! plus the Section 7 statistics and the per-stage execution profile.
+//! Optionally dump the per-figure CSVs.
 //!
 //! ```sh
 //! cargo run --release --example full_study            # print figures
 //! cargo run --release --example full_study -- out_dir # also write CSVs
 //! ```
 
-use coevo_core::Study;
-use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::{Source, StudyConfig, StudyRunner};
 use coevo_report::csv::{fig4_csv, fig6_csv, fig8_csv, measures_csv};
 use coevo_report::render_all_figures;
 use std::fs;
 
 fn main() {
-    eprintln!("generating the 195-project corpus …");
-    let corpus = generate_corpus(&CorpusSpec::paper());
+    eprintln!("running the 195-project study on the execution engine …\n");
+    let report = StudyRunner::new(StudyConfig::default())
+        .run(Source::paper())
+        .expect("study");
+    assert!(report.failures.is_empty(), "generated corpus never fails");
+    let results = &report.results;
 
-    eprintln!("running the measurement pipeline on every project …");
-    let projects = coevo_corpus::projects_from_generated_parallel(&corpus).expect("pipeline");
-
-    eprintln!("computing all measures and statistics …\n");
-    let results = Study::new(projects).run();
-
-    println!("{}", render_all_figures(&results));
-    println!("{}", coevo_report::research_question_answers(&results));
+    println!("{}", render_all_figures(results));
+    println!("{}", coevo_report::research_question_answers(results));
     println!(
         "hand-in-hand co-evolution (10%-synchronicity ≥ 80%): {:.0}% of projects (paper: ~20%)",
         results.hand_in_hand_share(0.8) * 100.0
     );
+    eprintln!("\n{}", report.metrics.render());
 
     if let Some(dir) = std::env::args().nth(1) {
         fs::create_dir_all(&dir).expect("create output dir");
-        fs::write(format!("{dir}/measures.csv"), measures_csv(&results)).unwrap();
-        fs::write(format!("{dir}/fig4.csv"), fig4_csv(&results)).unwrap();
-        fs::write(format!("{dir}/fig6.csv"), fig6_csv(&results)).unwrap();
-        fs::write(format!("{dir}/fig8.csv"), fig8_csv(&results)).unwrap();
+        fs::write(format!("{dir}/measures.csv"), measures_csv(results)).unwrap();
+        fs::write(format!("{dir}/fig4.csv"), fig4_csv(results)).unwrap();
+        fs::write(format!("{dir}/fig6.csv"), fig6_csv(results)).unwrap();
+        fs::write(format!("{dir}/fig8.csv"), fig8_csv(results)).unwrap();
         eprintln!("CSVs written to {dir}/");
     }
 }

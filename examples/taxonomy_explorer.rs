@@ -6,7 +6,8 @@
 //! cargo run --example taxonomy_explorer
 //! ```
 
-use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::pipeline::project_from_generated;
 use coevo_report::linechart::joint_progress_chart;
 use coevo_taxa::{Taxon, TaxonomyConfig};
 

@@ -1,7 +1,8 @@
 //! Corpus-wide invariants: every generated project, pushed through the full
 //! text pipeline, satisfies the structural properties the study relies on.
 
-use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::pipeline::project_from_generated;
 use coevo_taxa::{Taxon, TaxonomyConfig};
 
 fn corpus_data() -> Vec<(coevo_core::ProjectData, Taxon)> {
@@ -46,10 +47,8 @@ fn measures_are_well_formed_for_all_projects() {
         assert!((0.0..=1.0).contains(&m.sync_05), "{}", d.name);
         assert!((0.0..=1.0).contains(&m.sync_10), "{}", d.name);
         assert!(m.sync_05 <= m.sync_10 + 1e-12, "{}", d.name);
-        for v in [m.advance.over_source, m.advance.over_time] {
-            if let Some(v) = v {
-                assert!((0.0..=1.0).contains(&v), "{}", d.name);
-            }
+        for v in [m.advance.over_source, m.advance.over_time].into_iter().flatten() {
+            assert!((0.0..=1.0).contains(&v), "{}", d.name);
         }
         // Attainment fractions are ordered and in [0, 1].
         let atts = [m.attainment.at_50, m.attainment.at_75, m.attainment.at_80, m.attainment.at_100];

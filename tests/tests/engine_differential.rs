@@ -1,0 +1,51 @@
+//! Determinism of the execution engine: the parallel study must be
+//! byte-identical to the sequential one, and both must match the legacy
+//! free-function pipeline, over the full 195-project corpus.
+
+use coevo_core::Study;
+use coevo_engine::{Source, StudyConfig, StudyRunner};
+
+#[test]
+fn parallel_study_is_byte_identical_to_sequential() {
+    let sequential = StudyRunner::new(StudyConfig::default())
+        .with_workers(1)
+        .run(Source::paper())
+        .expect("sequential run");
+    let parallel = StudyRunner::new(StudyConfig::default())
+        .with_workers(8)
+        .run(Source::paper())
+        .expect("parallel run");
+
+    assert!(sequential.failures.is_empty());
+    assert!(parallel.failures.is_empty());
+    assert_eq!(sequential.projects.len(), 195);
+    assert_eq!(sequential.projects, parallel.projects);
+    assert_eq!(sequential.results, parallel.results);
+
+    // Structural equality could in principle hide float formatting
+    // differences downstream; the serialized artifacts must match byte for
+    // byte too.
+    let seq_json = serde_json::to_string(&sequential.results).unwrap();
+    let par_json = serde_json::to_string(&parallel.results).unwrap();
+    assert_eq!(seq_json, par_json);
+}
+
+#[test]
+#[allow(deprecated)] // differential oracle: the legacy pipeline entry
+fn engine_matches_legacy_pipeline_on_full_corpus() {
+    let corpus = coevo_corpus::generate_corpus(&coevo_corpus::CorpusSpec::paper());
+    let legacy_projects =
+        coevo_corpus::projects_from_generated_parallel(&corpus).expect("legacy pipeline");
+    let legacy = Study::new(legacy_projects.clone()).run();
+
+    let report = StudyRunner::new(StudyConfig::default())
+        .run(Source::paper())
+        .expect("engine run");
+
+    assert_eq!(report.projects, legacy_projects);
+    assert_eq!(report.results, legacy);
+    assert_eq!(
+        serde_json::to_string(&report.results).unwrap(),
+        serde_json::to_string(&legacy).unwrap()
+    );
+}

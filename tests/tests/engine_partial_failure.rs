@@ -1,0 +1,96 @@
+//! Fault tolerance of the execution engine: corrupt artifacts in an on-disk
+//! corpus demote their projects to structured failures while the study
+//! completes on the survivors.
+
+use coevo_corpus::loader::save_project;
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::{
+    EngineErrorKind, FailurePolicy, Source, Stage, StudyConfig, StudyRunner,
+};
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+/// Write a one-project-per-taxon corpus to disk and corrupt two projects:
+/// one gets a truncated DDL version, the other a truncated git log. Returns
+/// the corpus dir and the two victims' names (DDL victim, log victim).
+fn corrupted_corpus(tag: &str) -> (PathBuf, String, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "coevo_engine_fail_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let mut spec = CorpusSpec::paper();
+    for t in &mut spec.taxa {
+        t.count = 1;
+    }
+    let corpus = generate_corpus(&spec);
+    assert_eq!(corpus.len(), 6);
+    for p in &corpus {
+        save_project(&dir.join(p.raw.name.replace('/', "__")), p).unwrap();
+    }
+
+    let ddl_victim = &corpus[1];
+    let ddl_dir = dir.join(ddl_victim.raw.name.replace('/', "__"));
+    fs::write(ddl_dir.join("versions/0001.sql"), "CREATE TABLE t (a INT").unwrap();
+
+    let log_victim = &corpus[4];
+    let log_dir = dir.join(log_victim.raw.name.replace('/', "__"));
+    fs::write(log_dir.join("git.log"), "commit abcdef\nAuthor: A <a@b.c>\n").unwrap();
+
+    (dir, ddl_victim.raw.name.clone(), log_victim.raw.name.clone())
+}
+
+#[test]
+fn corrupt_projects_are_demoted_to_failures() {
+    let (dir, ddl_name, log_name) = corrupted_corpus("collect");
+
+    let report = StudyRunner::new(StudyConfig::default())
+        .with_failure_policy(FailurePolicy::CollectAndContinue)
+        .run(Source::OnDisk(dir.clone()))
+        .expect("study completes despite corrupt projects");
+
+    // Exactly the two victims failed, both at the parse stage, with the
+    // structured cause preserved through `Error::source()`.
+    assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+    let ddl_failure = report
+        .failures
+        .iter()
+        .find(|f| f.project == ddl_name)
+        .expect("DDL victim reported");
+    assert_eq!(ddl_failure.stage, Stage::Parse);
+    assert!(matches!(ddl_failure.error.kind, EngineErrorKind::Ddl(_)));
+    assert!(ddl_failure.error.source().is_some());
+
+    let log_failure = report
+        .failures
+        .iter()
+        .find(|f| f.project == log_name)
+        .expect("log victim reported");
+    assert_eq!(log_failure.stage, Stage::Parse);
+    assert!(matches!(log_failure.error.kind, EngineErrorKind::GitLog(_)));
+    assert!(log_failure.error.source().is_some());
+
+    // The survivors carried the study: four projects, figures included.
+    assert_eq!(report.projects.len(), 4);
+    assert!(report.projects.iter().all(|p| p.name != ddl_name && p.name != log_name));
+    assert_eq!(report.results.measures.len(), 4);
+    assert_eq!(report.results.fig4.counts.iter().sum::<u64>(), 4);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fail_fast_aborts_on_first_corrupt_project() {
+    let (dir, _, _) = corrupted_corpus("failfast");
+
+    let err = StudyRunner::new(StudyConfig::default())
+        .with_failure_policy(FailurePolicy::FailFast)
+        .run(Source::OnDisk(dir.clone()))
+        .expect_err("fail-fast surfaces the corruption");
+    assert_eq!(err.stage, Stage::Parse);
+
+    let _ = fs::remove_dir_all(&dir);
+}

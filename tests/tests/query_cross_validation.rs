@@ -3,7 +3,7 @@
 //! says their elements were removed or retyped away.
 
 use coevo_corpus::{generate_corpus, CorpusSpec};
-use coevo_ddl::{parse_schema, Dialect, Schema};
+use coevo_ddl::{parse_schema, Schema};
 use coevo_query::{breaking_queries, parse_query, validate, IssueKind};
 
 /// Synthesize simple queries from every table of a schema.

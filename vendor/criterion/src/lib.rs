@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros — with honest wall-clock measurement but none of
+//! the statistical machinery. Two modes:
+//!
+//! - **bench mode** (`--bench` among the args, as `cargo bench` passes):
+//!   each benchmark is warmed up once, then timed over enough iterations to
+//!   fill a short measurement window; mean time per iteration is printed.
+//! - **test mode** (no `--bench`, as when `cargo test` executes a
+//!   `harness = false` bench target): every closure runs exactly once so the
+//!   suite doubles as a smoke test and finishes fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs benchmark closures and reports per-iteration timing.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`. In test mode it runs exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        // Measure: fill a fixed window, bounded by sample count.
+        let window = Duration::from_millis(300);
+        let max_iters = self.sample_size.max(1) as u64 * 10;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < window && iters < max_iters {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = started.elapsed() / iters.max(1) as u32;
+        println!("    time: {per_iter:>12.2?}/iter over {iters} iterations");
+    }
+}
+
+/// The benchmark driver (a far smaller stand-in for criterion's).
+pub struct Criterion {
+    bench_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { bench_mode, default_sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {name}");
+        let mut b =
+            Bencher { bench_mode: self.bench_mode, sample_size: self.default_sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the sample-size hint for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {}/{name}", self.name);
+        let mut b = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            sample_size: self.sample_size.unwrap_or(self.criterion.default_sample_size),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group, as criterion's macro
+/// does. Only the positional form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function("noop2", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn runs_in_test_mode() {
+        smoke();
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for the `crossbeam` umbrella crate.
+//!
+//! Provides the three facilities the workspace uses with crossbeam-0.8
+//! signatures, implemented over `std` primitives (the environment cannot
+//! fetch crates):
+//!
+//! - [`thread::scope`] — scoped threads returning `Err` on child panic,
+//!   layered over `std::thread::scope`;
+//! - [`deque`] — a FIFO work-stealing deque (`Worker`/`Stealer`/`Steal`),
+//!   lock-based rather than lock-free but with the same API and semantics;
+//! - [`channel`] — bounded MPMC channels with blocking `send`/`recv` and
+//!   disconnect-on-drop, built from a mutex-guarded ring and condvars.
+
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's panic-capturing result signature.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of a scope: `Err` when any spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads, passed to the [`scope`] closure
+    /// and to every spawned thread.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// returning. A panicking child turns into `Err` (crossbeam semantics)
+    /// rather than resuming the panic (std semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// A FIFO work-stealing deque with crossbeam-deque's API.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The owner side of a deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle other threads use to steal from a [`Worker`].
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    /// The outcome of a steal attempt.
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether this is [`Steal::Empty`].
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Create a FIFO deque (tasks pop in push order).
+        pub fn new_fifo() -> Self {
+            Self { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push a task.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the next task (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// Create a stealer handle.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempt to steal one task. The lock-based implementation never
+        /// loses a race, so [`Steal::Retry`] is not produced — but callers
+        /// written against crossbeam must still handle it.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+/// Bounded MPMC channels with crossbeam-channel's core API.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        capacity: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error on [`Sender::send`]: all receivers are gone; the unsent value
+    /// is returned inside.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error on [`Receiver::recv`]: the channel is empty and all senders are
+    /// gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clone freely.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create a bounded channel. `send` blocks while `capacity` messages are
+    /// in flight. A capacity of zero is rounded up to one (this stand-in has
+    /// no rendezvous mode).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.inner.capacity {
+                    state.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.inner.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking while the channel is empty. Fails
+        /// only when the channel is drained and every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// A blocking iterator over received messages; ends on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_reports_panics() {
+        let mut data = vec![0u32; 8];
+        thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deque_fifo_and_steal() {
+        let w = deque::Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal().success(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn channel_bounded_mpmc() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let collected = thread::scope(|s| {
+            let h = s.spawn(move |_| {
+                let mut got: Vec<u32> = rx.iter().collect();
+                got.sort_unstable();
+                got
+            });
+            s.spawn(move |_| {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move |_| {
+                for i in 50..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,605 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing subset this workspace uses — the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`, integer/float range and
+//! regex-string strategies, `prop::collection::{vec, btree_map}`, tuples,
+//! [`Just`], `any::<bool>()`, and the `proptest!`/`prop_compose!`/
+//! `prop_oneof!`/`prop_assert*`/`prop_assume!` macros — without shrinking.
+//! Case generation is fully deterministic: each test derives its RNG from
+//! the test name and case index, so failures reproduce across runs. Failed
+//! cases report the `Debug` form of every generated input.
+
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Panic payload used by `prop_assume!` to discard the current case.
+pub struct Rejected;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `whence` names the filter in the
+    /// exhaustion panic.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+pub struct Union<V> {
+    alts: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Build from a non-empty alternative list.
+    pub fn new(alts: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        Self { alts }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.alts.len());
+        self.alts[idx].generate(rng)
+    }
+}
+
+// ---- ranges ----------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---- any ------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+}
+
+// ---- collections -----------------------------------------------------------
+
+/// A collection size: fixed or drawn from a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.max_exclusive <= self.min + 1 {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_exclusive: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self { min: r.start, max_exclusive: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max_exclusive: r.end() + 1 }
+    }
+}
+
+/// Collection strategies (`prop::collection` in real proptest).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generate maps with `size` entries (duplicate keys are retried a
+    /// bounded number of times, so the result can end up smaller when the
+    /// key space is tight).
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 20 + 20 {
+                let k = self.key.generate(rng);
+                let v = self.value.generate(rng);
+                out.insert(k, v);
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---- regex string strategies -----------------------------------------------
+
+mod regex;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+// ---- runner ----------------------------------------------------------------
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    static IN_CASE: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Panics inside a property case are caught and re-reported by
+            // the runner with the generated inputs attached; printing them
+            // here would flood the output.
+            if !IN_CASE.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn rng_for(name: &str, case: u32, rejections: u32) -> TestRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    let seed = h.finish() ^ (case as u64) ^ ((rejections as u64) << 32);
+    TestRng::seed_from_u64(seed)
+}
+
+/// Execute `config.cases` cases of a property. Called by the `proptest!`
+/// macro expansion; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategies: S,
+    test: impl Fn(S::Value),
+) {
+    install_quiet_hook();
+    let mut rejections: u32 = 0;
+    let max_rejections = config.cases.saturating_mul(64).max(1024);
+    let mut case: u32 = 0;
+    while case < config.cases {
+        let mut rng = rng_for(name, case, rejections);
+        let values = strategies.generate(&mut rng);
+        let described = format!("{values:?}");
+        IN_CASE.with(|c| c.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(values)));
+        IN_CASE.with(|c| c.set(false));
+        match outcome {
+            Ok(()) => case += 1,
+            Err(payload) if payload.is::<Rejected>() => {
+                rejections += 1;
+                assert!(
+                    rejections <= max_rejections,
+                    "{name}: gave up after {rejections} prop_assume! rejections"
+                );
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "property {name} failed at case {case}: {message}\n\
+                     input: {described}"
+                );
+            }
+        }
+    }
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])+ fn $name:ident( $($pat:pat_param in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategies = ($($strategy,)*);
+                $crate::run_cases(&__config, stringify!($name), __strategies, |__values| {
+                    let ($($pat,)*) = __values;
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Define a composite strategy function:
+/// `fn name(outer args)(pat in strategy, ...) -> Type { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($oarg:ident: $oty:ty),* $(,)?)
+                 ($($pat:pat_param in $strategy:expr),* $(,)?)
+                 -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($oarg: $oty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::Strategy::prop_map(($($strategy,)*), move |($($pat,)*)| -> $out { $body })
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a property (reported with the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Discard the current case (retried without counting) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Rejected);
+        }
+    };
+}
+
+/// The `proptest::prelude` import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
+    };
+
+    /// Nested module alias (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::rng_for("t", 0, 0);
+        let s = (1u8..5, 0.0f64..1.0, crate::Just("x"));
+        for _ in 0..100 {
+            let (a, b, c) = crate::Strategy::generate(&s, &mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            assert_eq!(c, "x");
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = crate::rng_for("v", 1, 0);
+        let s = prop::collection::vec(0u32..10, 2..6);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = prop::collection::vec(0u32..10, 3usize);
+        assert_eq!(crate::Strategy::generate(&fixed, &mut rng).len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn self_test_filters_and_maps(
+            n in (0u32..100).prop_filter("even", |n| n % 2 == 0),
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn self_test_assume(n in 0u32..10) {
+            prop_assume!(n > 0);
+            prop_assert!(n > 0);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u32..5, mut v in prop::collection::vec(0u32..3, 1..4)) -> (u32, Vec<u32>) {
+            v.push(a);
+            (a, v)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn self_test_compose((a, v) in pair()) {
+            prop_assert_eq!(*v.last().unwrap(), a);
+            prop_assert!(v.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! String generation from the regex subset the workspace's property tests
+//! use: literals, escapes, character classes with ranges, groups with
+//! alternation, `\PC` (any printable character), and `{n}` / `{n,m}` /
+//! `?` / `*` / `+` quantifiers.
+
+use crate::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+    /// Alternative sub-sequences.
+    Group(Vec<Vec<Quantified>>),
+    /// `\PC`: any printable (non-control) character.
+    NonControl,
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, pattern);
+    assert!(pos == chars.len(), "unsupported regex {pattern:?}: trailing input at {pos}");
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Quantified> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        if chars[*pos] == '|' || chars[*pos] == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos, pattern);
+        let (min, max) = parse_quantifier(chars, pos, pattern);
+        seq.push(Quantified { atom, min, max });
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Atom {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            Atom::Class(parse_class(chars, pos, pattern))
+        }
+        '(' => {
+            *pos += 1;
+            let mut alternatives = vec![parse_seq(chars, pos, pattern)];
+            while *pos < chars.len() && chars[*pos] == '|' {
+                *pos += 1;
+                alternatives.push(parse_seq(chars, pos, pattern));
+            }
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unsupported regex {pattern:?}: unterminated group"
+            );
+            *pos += 1;
+            Atom::Group(alternatives)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = *chars.get(*pos).unwrap_or_else(|| {
+                panic!("unsupported regex {pattern:?}: trailing backslash")
+            });
+            *pos += 1;
+            match c {
+                'P' => {
+                    // Only the \PC (non-control) category is supported.
+                    assert!(
+                        chars.get(*pos) == Some(&'C'),
+                        "unsupported regex {pattern:?}: only \\PC is implemented"
+                    );
+                    *pos += 1;
+                    Atom::NonControl
+                }
+                'n' => Atom::Lit('\n'),
+                't' => Atom::Lit('\t'),
+                'r' => Atom::Lit('\r'),
+                other => Atom::Lit(other),
+            }
+        }
+        c if "?*+{}".contains(c) => {
+            panic!("unsupported regex {pattern:?}: dangling quantifier at {}", *pos)
+        }
+        c => {
+            *pos += 1;
+            Atom::Lit(c)
+        }
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = *chars.get(*pos).unwrap_or_else(|| {
+            panic!("unsupported regex {pattern:?}: unterminated class")
+        });
+        *pos += 1;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "unsupported regex {pattern:?}: empty class");
+                return ranges;
+            }
+            '-' if pending.is_some() && chars.get(*pos) != Some(&']') => {
+                // A range: low is pending, high is next char.
+                let low = pending.take().unwrap();
+                let mut high = chars[*pos];
+                *pos += 1;
+                if high == '\\' {
+                    high = unescape_class_char(chars, pos, pattern);
+                }
+                assert!(low <= high, "unsupported regex {pattern:?}: inverted range");
+                ranges.push((low, high));
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape_class_char(chars, pos, pattern)) {
+                    ranges.push((p, p));
+                }
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn unescape_class_char(chars: &[char], pos: &mut usize, pattern: &str) -> char {
+    let c = *chars.get(*pos).unwrap_or_else(|| {
+        panic!("unsupported regex {pattern:?}: trailing backslash in class")
+    });
+    *pos += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min.parse().expect("quantifier minimum");
+            let max = match chars[*pos] {
+                '}' => min,
+                ',' => {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().expect("quantifier maximum")
+                }
+                _ => panic!("unsupported regex {pattern:?}: malformed quantifier"),
+            };
+            assert!(chars[*pos] == '}', "unsupported regex {pattern:?}: malformed quantifier");
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let count = if q.max > q.min { rng.gen_range(q.min..=q.max) } else { q.min };
+        for _ in 0..count {
+            emit_atom(&q.atom, rng, out);
+        }
+    }
+}
+
+/// A sprinkle of multi-byte printable characters so `\PC` fuzzing exercises
+/// non-ASCII paths.
+const WIDE: [char; 8] = ['é', 'ß', 'λ', 'Ω', '中', '✓', '—', '😀'];
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let size = *hi as u32 - *lo as u32 + 1;
+                if pick < size {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("valid class char"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Atom::Group(alternatives) => {
+            let idx = rng.gen_range(0..alternatives.len());
+            emit_seq(&alternatives[idx], rng, out);
+        }
+        Atom::NonControl => {
+            if rng.gen_bool(0.08) {
+                out.push(WIDE[rng.gen_range(0..WIDE.len())]);
+            } else {
+                out.push(char::from(rng.gen_range(0x20u8..=0x7E)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn path_pattern_with_group() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,8}/[a-z]{1,8}\\.(js|py|rb|sql|md)", &mut rng);
+            let (stem, ext) = s.rsplit_once('.').unwrap();
+            assert!(["js", "py", "rb", "sql", "md"].contains(&ext), "{s:?}");
+            assert!(stem.contains('/'));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_punct() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 ,.:;#_-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || " ,.:;#_-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = rng();
+        let s = generate("[a-f]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+}

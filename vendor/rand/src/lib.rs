@@ -1,0 +1,346 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no pre-fetched registry,
+//! so the real `rand` cannot be resolved. This crate reimplements exactly
+//! the slice of the 0.8 API the workspace uses — [`RngCore`],
+//! [`SeedableRng`], and the [`Rng`] extension trait with `gen`,
+//! `gen_range`, and `gen_bool` — with the *same sampling algorithms* as
+//! rand 0.8.5 (PCG32-based `seed_from_u64`, widening-multiply rejection for
+//! integer ranges, `[1, 2)` mantissa scaling for float ranges, and the
+//! 2⁻⁶⁴ fixed-point Bernoulli), so a given seed reproduces the streams the
+//! corpus generator was calibrated with.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32/64-bit output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the PCG32 output function
+    /// exactly as `rand_core` 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(4) {
+            chunk.copy_from_slice(&pcg32(&mut state));
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from the "whole type" distribution
+/// (rand's `Standard`).
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+              usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Sign test on the most significant bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform range sampler (rand's `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+        -> Self;
+}
+
+// Integer uniform sampling: widening multiply + rejection zone, matching
+// rand 0.8.5 (`UniformInt::sample_single`). `$large` is the sampling width
+// (u32 for sub-word types, u64 for word types).
+macro_rules! uniform_int {
+    ($($t:ty, $unsigned:ty, $large:ty, $wide:ty);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as $unsigned as $large;
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = <$large as StandardSample>::standard_sample(rng);
+                    let product = (v as $wide) * (range as $wide);
+                    let hi = (product >> <$large>::BITS) as $large;
+                    let lo = product as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as $unsigned as $large;
+                let range = range.wrapping_add(1);
+                if range == 0 {
+                    // The full type range: every raw draw is valid.
+                    return <$t as StandardSample>::standard_sample(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = <$large as StandardSample>::standard_sample(rng);
+                    let product = (v as $wide) * (range as $wide);
+                    let hi = (product >> <$large>::BITS) as $large;
+                    let lo = product as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8, u8, u32, u64;
+    i8, u8, u32, u64;
+    u16, u16, u32, u64;
+    i16, u16, u32, u64;
+    u32, u32, u32, u64;
+    i32, u32, u32, u64;
+    u64, u64, u64, u128;
+    i64, u64, u64, u128;
+    usize, usize, u64, u128;
+    isize, usize, u64, u128
+);
+
+// Float uniform sampling via the [1, 2) mantissa trick, as rand 0.8.5.
+macro_rules! uniform_float {
+    ($($t:ty, $bits:ty, $discard:expr, $exp_one:expr);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                loop {
+                    // A value in [1, 2): random mantissa, exponent 0.
+                    let bits = <$bits as StandardSample>::standard_sample(rng);
+                    let value1_2 = <$t>::from_bits((bits >> $discard) | $exp_one);
+                    // Map to [low, high).
+                    let res = value1_2 * scale - (scale - low);
+                    if res < high {
+                        return res;
+                    }
+                    // Pathological rounding: shrink the scale and retry.
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                // Largest value1_2 is (2 - ε); dividing by (max − 1) lets the
+                // top draw land exactly on `high`.
+                let max_rand = <$t>::from_bits((<$bits>::MAX >> $discard) | $exp_one);
+                let scale = (high - low) / (max_rand - 1.0);
+                loop {
+                    let bits = <$bits as StandardSample>::standard_sample(rng);
+                    let value1_2 = <$t>::from_bits((bits >> $discard) | $exp_one);
+                    let res = value1_2 * scale - (scale - low);
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float!(
+    f64, u64, 12u32, 0x3FF0_0000_0000_0000u64;
+    f32, u32, 9u32, 0x3F80_0000u32
+);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring rand's `Rng`.
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    ///
+    /// Uses rand 0.8's fixed-point Bernoulli: compare 64 random bits
+    /// against `p · 2⁶⁴`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            (self.0 >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let hi = self.next_u32() as u64;
+            let lo = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..17u8);
+            assert!((3..17).contains(&v));
+            let v = rng.gen_range(2008..=2016);
+            assert!((2008..=2016).contains(&v));
+            let v = rng.gen_range(0..5usize);
+            assert!(v < 5);
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let f = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..4000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((1400..=2600).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — structs with named fields, unit
+//! structs, and enums with unit / newtype / struct variants — by walking the
+//! raw token stream directly (the environment has no `syn`/`quote`) and
+//! emitting impls of the vendored `serde` crate's value-tree traits.
+//! Supported field attributes: `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Anything outside this subset
+//! (generics, tuple structs, other attributes) panics at compile time so a
+//! mismatch is loud, not silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Collected `#[serde(...)]` metadata for one field.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Consume leading attributes at `tokens[*i..]`, folding any `#[serde(...)]`
+/// contents into the returned attrs.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("expected [...] after # in attribute");
+        };
+        assert_eq!(g.delimiter(), Delimiter::Bracket, "expected [...] after #");
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if !inner.is_empty() && is_ident(&inner[0], "serde") {
+            let TokenTree::Group(metas) = &inner[1] else {
+                panic!("expected #[serde(...)]");
+            };
+            parse_serde_metas(&metas.stream().into_iter().collect::<Vec<_>>(), &mut attrs);
+        }
+        *i += 1;
+    }
+    attrs
+}
+
+fn parse_serde_metas(tokens: &[TokenTree], attrs: &mut SerdeAttrs) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected meta name in #[serde(...)], got {:?}", tokens[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        match name.as_str() {
+            "default" => attrs.default = true,
+            "skip_serializing_if" => {
+                assert!(
+                    i + 1 < tokens.len() && is_punct(&tokens[i], '='),
+                    "skip_serializing_if takes = \"path\""
+                );
+                let lit = tokens[i + 1].to_string();
+                let path = lit.trim_matches('"').to_string();
+                attrs.skip_if = Some(path);
+                i += 2;
+            }
+            other => panic!("unsupported serde attribute: {other}"),
+        }
+        if i < tokens.len() {
+            assert!(is_punct(&tokens[i], ','), "expected , between serde metas");
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let is_struct = if is_ident(&tokens[i], "struct") {
+        true
+    } else if is_ident(&tokens[i], "enum") {
+        false
+    } else {
+        panic!("expected struct or enum, got {:?}", tokens[i].to_string());
+    };
+    i += 1;
+
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("generic types are not supported by the vendored serde_derive");
+    }
+
+    let body = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => panic!("only named-field and unit structs are supported"),
+        }
+    } else {
+        let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            panic!("expected enum body");
+        };
+        Body::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+    };
+
+    Input { name, body }
+}
+
+fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attributes(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let TokenTree::Ident(fname) = &tokens[i] else {
+            panic!("expected field name, got {:?}", tokens[i].to_string());
+        };
+        let name = fname.to_string();
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected : after field name {name}");
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        // Groups are atomic token trees, so commas inside `(A, B)` or
+        // `[T; N]` are invisible here; only `<...>` needs depth tracking.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default: attrs.default, skip_if: attrs.skip_if });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(vname) = &tokens[i] else {
+            panic!("expected variant name, got {:?}", tokens[i].to_string());
+        };
+        let name = vname.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let top_commas = {
+                    let mut depth = 0i32;
+                    let mut commas = 0usize;
+                    for t in &inner {
+                        if is_punct(t, '<') {
+                            depth += 1;
+                        } else if is_punct(t, '>') {
+                            depth -= 1;
+                        } else if is_punct(t, ',') && depth == 0 {
+                            commas += 1;
+                        }
+                    }
+                    commas
+                };
+                assert_eq!(top_commas, 0, "only newtype tuple variants are supported ({name})");
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < tokens.len() {
+            assert!(
+                is_punct(&tokens[i], ','),
+                "expected , after variant {name} (discriminants are not supported)"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+/// Emit the statements serializing `fields` (accessed via `access`, e.g.
+/// `&self.` or `` for pattern bindings) into a local `__fields` vector.
+fn gen_fields_to_object(fields: &[Field], access: &str, out: &mut String) {
+    out.push_str("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let expr = format!("{}{}", access, f.name);
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&{expr})));\n",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(path) => {
+                out.push_str(&format!("if !{path}(&{expr}) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+}
+
+fn gen_fields_from_object(fields: &[Field], type_name: &str, out: &mut String) {
+    for f in fields {
+        let helper = if f.default { "__field_default" } else { "__field" };
+        out.push_str(&format!(
+            "{n}: serde::{helper}(__fields, \"{n}\", \"{type_name}\")?,\n",
+            n = f.name
+        ));
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.body {
+        Body::Struct(fields) => {
+            gen_fields_to_object(fields, "self.", &mut body);
+            body.push_str("serde::Value::Object(__fields)\n");
+        }
+        Body::UnitStruct => {
+            body.push_str("serde::Value::Object(Vec::new())\n");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => body.push_str(&format!(
+                        "{name}::{vn}(__x) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::to_value(__x))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pattern: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n",
+                            pattern.join(", ")
+                        ));
+                        gen_fields_to_object(fields, "", &mut body);
+                        body.push_str(&format!(
+                            "serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Object(__fields))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.body {
+        Body::Struct(fields) => {
+            body.push_str(&format!("let __fields = serde::__object(__v, \"{name}\")?;\n"));
+            body.push_str(&format!("Ok({name} {{\n"));
+            gen_fields_from_object(fields, name, &mut body);
+            body.push_str("})\n");
+        }
+        Body::UnitStruct => {
+            body.push_str(&format!("serde::__object(__v, \"{name}\")?;\nOk({name} {{}})\n"));
+        }
+        Body::Enum(variants) => {
+            body.push_str("match __v {\n");
+            // Unit variants arrive as bare strings.
+            body.push_str("serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    body.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name));
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\
+                 \"unknown variant {{__other:?}} for {name}\"))),\n}}\n"
+            ));
+            // Payload variants arrive as single-key objects.
+            body.push_str(
+                "serde::Value::Object(__o) if __o.len() == 1 => {\n\
+                 let (__k, __pv) = &__o[0];\nmatch __k.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Newtype => body.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__pv)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __fields = \
+                             serde::__object(__pv, \"{name}::{vn}\")?;\nOk({name}::{vn} {{\n"
+                        ));
+                        gen_fields_from_object(fields, &format!("{name}::{vn}"), &mut body);
+                        body.push_str("})\n}\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\
+                 \"unknown variant {{__other:?}} for {name}\"))),\n}}\n}}\n"
+            ));
+            body.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\
+                 \"expected enum {name} as a string or single-key object\"))),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
