@@ -33,7 +33,9 @@ fn ablation_diff_matching(c: &mut Criterion) {
         by_name.total_activity(),
     );
     c.bench_function("ablation_diff_matching/by_name", |b| {
-        b.iter(|| black_box(diff_schemas_with(black_box(&old), black_box(&new), MatchPolicy::ByName)))
+        b.iter(|| {
+            black_box(diff_schemas_with(black_box(&old), black_box(&new), MatchPolicy::ByName))
+        })
     });
     c.bench_function("ablation_diff_matching/rename_detection", |b| {
         b.iter(|| {
@@ -140,11 +142,8 @@ fn ablation_time_quantization(c: &mut Criterion) {
             let (_, ps, ss) =
                 windowed_pair(project.iter().copied(), schema.iter().copied(), window_days)
                     .expect("non-empty streams");
-            total += theta_synchronicity(
-                &cumulative_fraction(&ps),
-                &cumulative_fraction(&ss),
-                0.10,
-            );
+            total +=
+                theta_synchronicity(&cumulative_fraction(&ps), &cumulative_fraction(&ss), 0.10);
         }
         total / day_events.len() as f64
     };

@@ -126,13 +126,10 @@ fn query_and_impact(c: &mut Criterion) {
     });
 
     // Impact: scan a synthetic 200-line source file against the schema index.
-    let source: String = (0..200)
-        .map(|i| format!("let v{i} = db.table_{}.col_{};\n", i % 40, i % 11))
-        .collect();
-    let index = coevo_impact::IdentifierIndex::build(
-        &schema,
-        &coevo_impact::ScanConfig::default(),
-    );
+    let source: String =
+        (0..200).map(|i| format!("let v{i} = db.table_{}.col_{};\n", i % 40, i % 11)).collect();
+    let index =
+        coevo_impact::IdentifierIndex::build(&schema, &coevo_impact::ScanConfig::default());
     println!("[components] impact index: {} identifiers", index.len());
     c.bench_function("impact_scan_200_line_source", |b| {
         b.iter(|| black_box(coevo_impact::scan_source(black_box(&source), black_box(&index))))

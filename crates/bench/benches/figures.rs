@@ -108,9 +108,7 @@ fn fig8_attainment(c: &mut Criterion) {
     let r = results();
     println!("\n{}", render_fig8(r));
     let measures = r.measures.clone();
-    c.bench_function("fig8_attainment", |b| {
-        b.iter(|| black_box(fig8(black_box(&measures))))
-    });
+    c.bench_function("fig8_attainment", |b| b.iter(|| black_box(fig8(black_box(&measures)))));
 }
 
 fn sec7_statistics(c: &mut Criterion) {

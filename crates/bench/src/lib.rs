@@ -11,10 +11,7 @@ use coevo_engine::{Source, StudyConfig, StudyRunner};
 /// Generate the full calibrated 195-project corpus and run its pipeline
 /// on the execution engine.
 pub fn study_projects() -> Vec<ProjectData> {
-    StudyRunner::new(StudyConfig::default())
-        .run(Source::paper())
-        .expect("engine")
-        .projects
+    StudyRunner::new(StudyConfig::default()).run(Source::paper()).expect("engine").projects
 }
 
 /// A smaller corpus (one project per taxon scaled by `per_taxon`) for

@@ -148,12 +148,7 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
             let smo = take_bool_flag(&mut flags, "smo");
             let dialect = flag_dialect(&flags)?;
             let [old, new] = positional::<2>(&pos, "<OLD.sql> <NEW.sql>")?;
-            Ok(Command::Diff {
-                old: PathBuf::from(old),
-                new: PathBuf::from(new),
-                dialect,
-                smo,
-            })
+            Ok(Command::Diff { old: PathBuf::from(old), new: PathBuf::from(new), dialect, smo })
         }
         "impact" => {
             let (flags, pos) = split_flags(rest)?;
@@ -219,10 +214,7 @@ fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
 }
 
 fn flag_value<'a>(flags: &'a [(String, Option<String>)], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(n, _)| n == name)
-        .and_then(|(_, v)| v.as_deref())
+    flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
 }
 
 fn flag_u64(flags: &[(String, Option<String>)], name: &str) -> Result<Option<u64>, String> {
@@ -239,9 +231,7 @@ fn flag_u64(flags: &[(String, Option<String>)], name: &str) -> Result<Option<u64
 fn flag_dialect(flags: &[(String, Option<String>)]) -> Result<Dialect, String> {
     match flag_value(flags, "dialect") {
         None => Ok(Dialect::Generic),
-        Some(v) => {
-            Dialect::from_name(v).ok_or_else(|| format!("unknown dialect {v:?}"))
-        }
+        Some(v) => Dialect::from_name(v).ok_or_else(|| format!("unknown dialect {v:?}")),
     }
 }
 

@@ -3,11 +3,11 @@
 use coevo_corpus::loader::{load_project, save_project};
 use coevo_corpus::{case_study_project, generate_corpus, CorpusSpec};
 use coevo_ddl::Dialect;
-use coevo_engine::{Source, StudyConfig, StudyRunner};
 use coevo_diff::{
     change_localization, delta_to_smos, diff_constraints, diff_schemas, net_growth,
     schema_size_series, SchemaHistory,
 };
+use coevo_engine::{Source, StudyConfig, StudyRunner};
 use coevo_report::csv::{fig4_csv, fig6_csv, fig8_csv, measures_csv};
 use coevo_report::linechart::joint_progress_chart;
 use coevo_report::render_all_figures;
@@ -42,12 +42,8 @@ pub fn study(
         runner = runner.with_workers(n);
     }
     let report = runner.run(source).map_err(io_err)?;
-    writeln!(
-        out,
-        "studying {} projects",
-        report.projects.len() + report.failures.len()
-    )
-    .map_err(io_err)?;
+    writeln!(out, "studying {} projects", report.projects.len() + report.failures.len())
+        .map_err(io_err)?;
     for failure in &report.failures {
         writeln!(out, "warning: skipped {failure}").map_err(io_err)?;
     }
@@ -110,11 +106,9 @@ pub fn measure(dir: &Path, out: &mut dyn Write) -> CmdResult {
             std::fs::read_to_string(dir.join("versions").join(&v.file)).map_err(io_err)?;
         versions.push((date, text));
     }
-    if let Some(history) = SchemaHistory::from_ddl_texts(
-        versions.iter().map(|(d, s)| (*d, s.as_str())),
-        dialect,
-    )
-    .map_err(io_err)?
+    if let Some(history) =
+        SchemaHistory::from_ddl_texts(versions.iter().map(|(d, s)| (*d, s.as_str())), dialect)
+            .map_err(io_err)?
     {
         let loc = change_localization(&history);
         writeln!(out, "change localization:").map_err(io_err)?;
@@ -133,12 +127,8 @@ pub fn measure(dir: &Path, out: &mut dyn Write) -> CmdResult {
         let ys: Vec<f64> = series.iter().map(|p| p.attributes as f64).collect();
         write!(out, "growth: {dattrs:+} attributes, {dtables:+} tables").map_err(io_err)?;
         if let Some(fit) = coevo_stats::linear_fit(&xs, &ys) {
-            writeln!(
-                out,
-                " ({:+.2} attributes/month, R² {:.2})",
-                fit.slope, fit.r_squared
-            )
-            .map_err(io_err)?;
+            writeln!(out, " ({:+.2} attributes/month, R² {:.2})", fit.slope, fit.r_squared)
+                .map_err(io_err)?;
         } else {
             writeln!(out).map_err(io_err)?;
         }
@@ -202,8 +192,10 @@ pub fn diff(
     smo: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
-    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_sql =
+        std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql =
+        std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
     let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
     let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
     let delta = diff_schemas(&old_schema, &new_schema);
@@ -243,18 +235,14 @@ pub fn diff(
         }
         for c in &constraints.indexes {
             match c {
-                coevo_diff::IndexChange::Added { table, index } => writeln!(
-                    out,
-                    "  + index on {table} ({})",
-                    index.columns.join(", ")
-                )
-                .map_err(io_err)?,
-                coevo_diff::IndexChange::Removed { table, index } => writeln!(
-                    out,
-                    "  - index on {table} ({})",
-                    index.columns.join(", ")
-                )
-                .map_err(io_err)?,
+                coevo_diff::IndexChange::Added { table, index } => {
+                    writeln!(out, "  + index on {table} ({})", index.columns.join(", "))
+                        .map_err(io_err)?
+                }
+                coevo_diff::IndexChange::Removed { table, index } => {
+                    writeln!(out, "  - index on {table} ({})", index.columns.join(", "))
+                        .map_err(io_err)?
+                }
             }
         }
     }
@@ -276,8 +264,10 @@ pub fn impact(
     dialect: Dialect,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
-    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_sql =
+        std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql =
+        std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
     let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
     let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
     let delta = diff_schemas(&old_schema, &new_schema);
@@ -287,10 +277,8 @@ pub fn impact(
     collect_sources(src_dir, &mut sources)?;
     sources.sort_by(|a, b| a.0.cmp(&b.0));
 
-    let analyzer = coevo_impact::ImpactAnalyzer::new(
-        &old_schema,
-        &coevo_impact::ScanConfig::default(),
-    );
+    let analyzer =
+        coevo_impact::ImpactAnalyzer::new(&old_schema, &coevo_impact::ScanConfig::default());
     let refs: Vec<(&str, &str)> =
         sources.iter().map(|(p, t)| (p.as_str(), t.as_str())).collect();
     let report = analyzer.impact_of(&delta, &refs);
@@ -335,8 +323,10 @@ pub fn check_queries(
     dialect: Dialect,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let old_sql = std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
-    let new_sql = std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_sql =
+        std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql =
+        std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
     let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
     let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
 
@@ -360,11 +350,7 @@ pub fn check_queries(
         writeln!(out, "{path}:").map_err(io_err)?;
         for b in &broken {
             total_broken += 1;
-            let line = embedded
-                .iter()
-                .find(|e| e.sql == b.sql)
-                .map(|e| e.line)
-                .unwrap_or(0);
+            let line = embedded.iter().find(|e| e.sql == b.sql).map(|e| e.line).unwrap_or(0);
             writeln!(out, "  line {line}: {}", b.sql.trim()).map_err(io_err)?;
             for issue in &b.issues {
                 writeln!(
@@ -516,16 +502,10 @@ mod tests {
     #[test]
     fn diff_reports_constraint_changes() {
         let dir = tmp("diffc");
-        std::fs::write(
-            dir.join("old.sql"),
-            "CREATE TABLE t (a INT, b INT, KEY k (a));",
-        )
-        .unwrap();
-        std::fs::write(
-            dir.join("new.sql"),
-            "CREATE TABLE t (a INT, b INT, KEY k (a, b));",
-        )
-        .unwrap();
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE t (a INT, b INT, KEY k (a));")
+            .unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE t (a INT, b INT, KEY k (a, b));")
+            .unwrap();
         let mut out = Vec::new();
         diff(&dir.join("old.sql"), &dir.join("new.sql"), Dialect::MySql, false, &mut out)
             .unwrap();
@@ -555,18 +535,11 @@ mod tests {
     #[test]
     fn impact_command() {
         let dir = tmp("impact");
-        std::fs::write(
-            dir.join("old.sql"),
-            "CREATE TABLE invoices (id INT, total_price INT);",
-        )
-        .unwrap();
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE invoices (id INT, total_price INT);")
+            .unwrap();
         std::fs::write(dir.join("new.sql"), "CREATE TABLE invoices (id INT);").unwrap();
         std::fs::create_dir_all(dir.join("src")).unwrap();
-        std::fs::write(
-            dir.join("src/billing.js"),
-            "const total = row.total_price;\n",
-        )
-        .unwrap();
+        std::fs::write(dir.join("src/billing.js"), "const total = row.total_price;\n").unwrap();
         std::fs::write(dir.join("src/other.js"), "console.log('hi');\n").unwrap();
         let mut out = Vec::new();
         impact(
@@ -587,11 +560,8 @@ mod tests {
     #[test]
     fn check_queries_command() {
         let dir = tmp("checkq");
-        std::fs::write(
-            dir.join("old.sql"),
-            "CREATE TABLE invoices (id INT, total_price INT);",
-        )
-        .unwrap();
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE invoices (id INT, total_price INT);")
+            .unwrap();
         std::fs::write(dir.join("new.sql"), "CREATE TABLE invoices (id INT);").unwrap();
         std::fs::create_dir_all(dir.join("src")).unwrap();
         std::fs::write(

@@ -27,9 +27,14 @@ pub use args::{parse_args, Command, ParsedArgs};
 /// command, writing human output to `out`. Returns a process exit code.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
     let result = match cmd {
-        Command::Study { seed, csv_dir, from_dir, workers, profile } => {
-            commands::study(seed, csv_dir.as_deref(), from_dir.as_deref(), workers, profile, out)
-        }
+        Command::Study { seed, csv_dir, from_dir, workers, profile } => commands::study(
+            seed,
+            csv_dir.as_deref(),
+            from_dir.as_deref(),
+            workers,
+            profile,
+            out,
+        ),
         Command::Measure { dir } => commands::measure(&dir, out),
         Command::Generate { dir, seed, per_taxon } => {
             commands::generate(&dir, seed, per_taxon, out)

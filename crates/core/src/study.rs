@@ -249,10 +249,7 @@ pub fn fig4(measures: &[ProjectMeasures]) -> Fig4Histogram {
     let bucketing = Bucketing::equal_width(5);
     let values: Vec<f64> = measures.iter().map(|m| m.sync_10).collect();
     let (counts, _) = bucket_counts(&values, &bucketing);
-    Fig4Histogram {
-        labels: (0..bucketing.len()).map(|i| bucketing.label(i)).collect(),
-        counts,
-    }
+    Fig4Histogram { labels: (0..bucketing.len()).map(|i| bucketing.label(i)).collect(), counts }
 }
 
 /// Compute Figure 5 (the duration × synchronicity scatter points).
@@ -271,8 +268,7 @@ pub fn fig5(measures: &[ProjectMeasures]) -> Vec<Fig5Point> {
 /// Compute Figure 6 (the advance table).
 pub fn fig6(measures: &[ProjectMeasures]) -> Fig6Table {
     let bucketing = Bucketing::equal_width(10);
-    let source: Vec<f64> =
-        measures.iter().filter_map(|m| m.advance.over_source).collect();
+    let source: Vec<f64> = measures.iter().filter_map(|m| m.advance.over_source).collect();
     let time: Vec<f64> = measures.iter().filter_map(|m| m.advance.over_time).collect();
     let blank = (measures.len() - source.len()) as u64;
     let (src_counts, _) = bucket_counts(&source, &bucketing);
@@ -314,10 +310,8 @@ pub fn fig7(measures: &[ProjectMeasures]) -> Fig7Table {
         })
         .collect();
     for m in measures {
-        let row = rows
-            .iter_mut()
-            .find(|r| r.taxon == m.taxon)
-            .expect("all taxa are pre-populated");
+        let row =
+            rows.iter_mut().find(|r| r.taxon == m.taxon).expect("all taxa are pre-populated");
         row.projects += 1;
         if m.advance.always_over_time {
             row.always_over_time += 1;
@@ -372,14 +366,8 @@ pub fn section7(measures: &[ProjectMeasures]) -> Section7 {
             "advance_over_source",
             measures.iter().filter_map(|m| m.advance.over_source).collect(),
         ),
-        (
-            "advance_over_time",
-            measures.iter().filter_map(|m| m.advance.over_time).collect(),
-        ),
-        (
-            "attainment_75",
-            measures.iter().filter_map(|m| m.attainment.at_75).collect(),
-        ),
+        ("advance_over_time", measures.iter().filter_map(|m| m.advance.over_time).collect()),
+        ("attainment_75", measures.iter().filter_map(|m| m.attainment.at_75).collect()),
         ("duration", measures.iter().map(|m| m.duration_months() as f64).collect()),
     ];
     let normality: Vec<NormalityEntry> = attrs
@@ -417,8 +405,7 @@ pub fn section7(measures: &[ProjectMeasures]) -> Section7 {
                 })
                 .collect();
             let chi2 = chi_square_independence(&table)?;
-            let fisher_rows: Vec<(u64, u64)> =
-                table.iter().map(|r| (r[0], r[1])).collect();
+            let fisher_rows: Vec<(u64, u64)> = table.iter().map(|r| (r[0], r[1])).collect();
             // Exact when the enumeration is tractable; Monte Carlo (the
             // approach of R's simulate.p.value) otherwise.
             let fisher_p = fisher_exact_rx2(&fisher_rows, 2_000_000)
@@ -504,11 +491,7 @@ fn taxon_effect(
     let groups: Vec<Vec<f64>> = Taxon::ALL
         .into_iter()
         .map(|t| {
-            measures
-                .iter()
-                .filter(|m| m.taxon == t)
-                .filter_map(&value)
-                .collect::<Vec<f64>>()
+            measures.iter().filter(|m| m.taxon == t).filter_map(&value).collect::<Vec<f64>>()
         })
         .collect();
     let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
@@ -529,12 +512,7 @@ fn pairwise_posthoc(
 ) -> Vec<PairwiseComparison> {
     let groups: Vec<(Taxon, Vec<f64>)> = Taxon::ALL
         .into_iter()
-        .map(|t| {
-            (
-                t,
-                measures.iter().filter(|m| m.taxon == t).filter_map(&value).collect(),
-            )
-        })
+        .map(|t| (t, measures.iter().filter(|m| m.taxon == t).filter_map(&value).collect()))
         .collect();
     let mut raw: Vec<(Taxon, Taxon, f64)> = Vec::new();
     for i in 0..groups.len() {
@@ -608,18 +586,13 @@ mod tests {
         assert_eq!(results.fig4.counts.iter().sum::<u64>(), 10);
         assert_eq!(results.fig5.len(), 10);
         assert_eq!(
-            results.fig6.rows.iter().map(|r| r.source_count).sum::<u64>()
-                + results.fig6.blank,
+            results.fig6.rows.iter().map(|r| r.source_count).sum::<u64>() + results.fig6.blank,
             10
         );
         for (a, c) in results.fig8.alphas.iter().zip(&results.fig8.counts) {
             let covered: u64 = c.iter().sum();
-            let un = results.fig8.unattained[results
-                .fig8
-                .alphas
-                .iter()
-                .position(|x| x == a)
-                .unwrap()];
+            let un = results.fig8.unattained
+                [results.fig8.alphas.iter().position(|x| x == a).unwrap()];
             assert_eq!(covered + un, 10);
         }
     }
@@ -643,10 +616,7 @@ mod tests {
         let results = Study::new(corpus()).run();
         let f7 = &results.fig7;
         assert_eq!(f7.total_projects, 10);
-        assert_eq!(
-            f7.rows.iter().map(|r| r.projects).sum::<u64>(),
-            f7.total_projects
-        );
+        assert_eq!(f7.rows.iter().map(|r| r.projects).sum::<u64>(), f7.total_projects);
         // "Both" can never exceed either single flag.
         assert!(f7.total_both <= f7.total_time);
         assert!(f7.total_both <= f7.total_source);

@@ -42,8 +42,8 @@ const COMMITS_PER_MONTH: [usize; 22] =
 /// post-birth activity 13 on top of a 12-attribute initial schema → the
 /// birth carries 12/25 = 48% of all schema activity.
 const SCHEMA_EVENTS: [(usize, usize, u64); 12] = [
-    (3, 0, 0),  // inactive
-    (7, 0, 0),  // inactive
+    (3, 0, 0), // inactive
+    (7, 0, 0), // inactive
     (12, 0, 1),
     (12, 1, 1),
     (13, 0, 2),
@@ -97,15 +97,14 @@ pub fn case_study_project() -> CaseStudy {
             );
             let is_birth = month == 0 && k == 0;
 
-            let mut b = Commit::builder("OSM Dev <osm@mapbox.example>", date).message(
-                if is_birth {
+            let mut b =
+                Commit::builder("OSM Dev <osm@mapbox.example>", date).message(if is_birth {
                     "initial import"
                 } else if is_schema_commit {
                     "update schema"
                 } else {
                     "work on parsers"
-                },
-            );
+                });
 
             // File payload: 2 files per commit, 3 for the first
             // `extra_file_budget` non-birth commits (total = 259).

@@ -118,6 +118,10 @@ pub fn save_project(dir: &Path, project: &GeneratedProject) -> Result<(), Loader
 }
 
 /// Load a project directory and run the measurement pipeline on it.
+///
+/// The loaded version texts flow through the same content-addressed parse
+/// path as generated projects (see [`project_from_texts`]), so repeated
+/// on-disk versions are parsed once and diffed by fingerprint.
 pub fn load_project(dir: &Path) -> Result<ProjectData, LoaderError> {
     let manifest: Manifest =
         serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
@@ -166,7 +170,8 @@ mod tests {
     use crate::pipeline::project_from_generated;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("coevo_loader_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("coevo_loader_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir

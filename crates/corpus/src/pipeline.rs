@@ -37,6 +37,11 @@ impl std::error::Error for PipelineError {}
 /// Run the full pipeline on raw textual artifacts: a git log dump and a
 /// dated DDL version sequence. This is the path both synthetic and real
 /// projects take.
+///
+/// Versions are parsed through [`SchemaHistory::from_ddl_texts`], which
+/// content-addresses the texts: byte-identical versions (inactive commits)
+/// parse once and share a single `Arc<Schema>`, and the incremental diff
+/// core short-circuits them by fingerprint.
 pub fn project_from_texts(
     name: &str,
     git_log: &str,
@@ -44,8 +49,7 @@ pub fn project_from_texts(
     dialect: Dialect,
 ) -> Result<ProjectData, PipelineError> {
     let repo = parse_log(git_log).map_err(|e| PipelineError::GitLog(e.to_string()))?;
-    let project_hb =
-        project_heartbeat(&repo).ok_or(PipelineError::Empty("repository"))?;
+    let project_hb = project_heartbeat(&repo).ok_or(PipelineError::Empty("repository"))?;
 
     let history = SchemaHistory::from_ddl_texts(
         ddl_versions.iter().map(|(d, s)| (*d, s.as_str())),
@@ -102,10 +106,7 @@ pub fn projects_from_generated_parallel(
     })
     .expect("pipeline worker panicked");
 
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every slot filled"))
-        .collect()
+    slots.into_iter().map(|slot| slot.expect("every slot filled")).collect()
 }
 
 /// Sanity accessor used by tests and reports: the schema path the generator
@@ -185,20 +186,15 @@ mod tests {
             }
             total += 1;
         }
-        assert!(
-            agree * 3 >= total * 2,
-            "classifier agreement too low: {agree}/{total}"
-        );
+        assert!(agree * 3 >= total * 2, "classifier agreement too low: {agree}/{total}");
     }
 
     #[test]
     fn parallel_pipeline_matches_sequential() {
         let corpus = small_corpus();
         let parallel = projects_from_generated_parallel(&corpus).unwrap();
-        let sequential: Vec<_> = corpus
-            .iter()
-            .map(|p| project_from_generated(p).unwrap())
-            .collect();
+        let sequential: Vec<_> =
+            corpus.iter().map(|p| project_from_generated(p).unwrap()).collect();
         assert_eq!(parallel, sequential);
     }
 

@@ -13,9 +13,8 @@ pub const SCHEMA_PATH: &str = "db/schema.sql";
 
 const SOURCE_DIRS: &[&str] = &["src", "lib", "app", "server", "web", "api", "scripts", "test"];
 const SOURCE_EXTS: &[&str] = &["js", "py", "rb", "go", "java", "php", "ts", "css", "html"];
-const OWNERS: &[&str] = &[
-    "mapbox", "acme", "dbworks", "openkit", "nightowl", "redstack", "plasma", "quartz",
-];
+const OWNERS: &[&str] =
+    &["mapbox", "acme", "dbworks", "openkit", "nightowl", "redstack", "plasma", "quartz"];
 const AUTHORS: &[&str] = &[
     "Alice Doe <alice@example.org>",
     "Bob Ray <bob@example.org>",
@@ -69,8 +68,7 @@ pub fn generate_project<R: Rng>(rng: &mut R, spec: &TaxonSpec, index: usize) -> 
         // At least two months after the project's birth: the advance
         // measures skip the creation month, so a 1-month delay would
         // quantize away.
-        ((frac_to_month(rng, spec.schema_birth_delay_range, duration)).max(2))
-            .min(duration - 2)
+        ((frac_to_month(rng, spec.schema_birth_delay_range, duration)).max(2)).min(duration - 2)
     } else {
         0
     };
@@ -150,8 +148,7 @@ pub fn generate_project<R: Rng>(rng: &mut R, spec: &TaxonSpec, index: usize) -> 
     let mut repo = Repository::new(&name);
     let rate = rng.gen_range(spec.commits_per_month.0..=spec.commits_per_month.1);
     let total_commits = ((duration as f64 * rate) as usize).max(2);
-    let exponent =
-        rng.gen_range(spec.project_time_exponent.0..=spec.project_time_exponent.1);
+    let exponent = rng.gen_range(spec.project_time_exponent.0..=spec.project_time_exponent.1);
 
     // Commit dates: front-loaded via the exponent, plus pinned commits at
     // birth and in the final month so the project's lifetime spans the

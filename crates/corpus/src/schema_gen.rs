@@ -13,20 +13,71 @@ use rand::Rng;
 /// Domain-flavored vocabulary for table/column names; combined with numeric
 /// suffixes when exhausted.
 const TABLE_STEMS: &[&str] = &[
-    "users", "accounts", "orders", "items", "products", "invoices", "payments", "sessions",
-    "messages", "comments", "tags", "categories", "events", "logs", "settings", "devices",
-    "sensors", "readings", "alerts", "customers", "addresses", "shipments", "reviews",
-    "subscriptions", "permissions", "roles", "notes", "changesets", "attachments", "audits",
+    "users",
+    "accounts",
+    "orders",
+    "items",
+    "products",
+    "invoices",
+    "payments",
+    "sessions",
+    "messages",
+    "comments",
+    "tags",
+    "categories",
+    "events",
+    "logs",
+    "settings",
+    "devices",
+    "sensors",
+    "readings",
+    "alerts",
+    "customers",
+    "addresses",
+    "shipments",
+    "reviews",
+    "subscriptions",
+    "permissions",
+    "roles",
+    "notes",
+    "changesets",
+    "attachments",
+    "audits",
 ];
 
 // NOTE: must not contain "id" — every generated table carries a hardcoded
 // `id` primary-key column, and duplicate column names would corrupt the
 // diff engine's name-based matching.
 const COLUMN_STEMS: &[&str] = &[
-    "name", "email", "status", "created_at", "updated_at", "amount", "price", "quantity",
-    "description", "title", "body", "kind", "owner_id", "parent_id", "value", "label", "url",
-    "code", "rank", "score", "notes", "enabled", "version", "uuid", "ref_id", "total",
-    "currency", "started_at", "finished_at",
+    "name",
+    "email",
+    "status",
+    "created_at",
+    "updated_at",
+    "amount",
+    "price",
+    "quantity",
+    "description",
+    "title",
+    "body",
+    "kind",
+    "owner_id",
+    "parent_id",
+    "value",
+    "label",
+    "url",
+    "code",
+    "rank",
+    "score",
+    "notes",
+    "enabled",
+    "version",
+    "uuid",
+    "ref_id",
+    "total",
+    "currency",
+    "started_at",
+    "finished_at",
 ];
 
 const TYPE_POOL: &[fn() -> SqlType] = &[
@@ -434,7 +485,10 @@ mod tests {
                 _ => s.change_type(&mut r),
             };
             let measured = diff_schemas(&before, &s.schema).total_activity();
-            assert_eq!(declared, measured, "op {op}: declared {declared} ≠ measured {measured}");
+            assert_eq!(
+                declared, measured,
+                "op {op}: declared {declared} ≠ measured {measured}"
+            );
         }
     }
 

@@ -10,10 +10,8 @@ use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
 
 fn run_study() -> coevo_core::StudyResults {
     let corpus = generate_corpus(&CorpusSpec::paper());
-    let projects: Vec<_> = corpus
-        .iter()
-        .map(|p| project_from_generated(p).expect("pipeline"))
-        .collect();
+    let projects: Vec<_> =
+        corpus.iter().map(|p| project_from_generated(p).expect("pipeline")).collect();
     Study::new(projects).run()
 }
 
@@ -97,15 +95,9 @@ fn calibration_headline_numbers() {
         }
     }
     for lt in &s7.lag_tests {
-        println!(
-            "lag {} chi2 p={:.3} fisher p={:?}",
-            lt.flag, lt.chi2_p, lt.fisher_p
-        );
+        println!("lag {} chi2 p={:.3} fisher p={:?}", lt.flag, lt.chi2_p, lt.fisher_p);
     }
-    println!(
-        "kendall sync5~sync10: 0.67 → {:.2}",
-        s7.kendall_sync_5_10.unwrap_or(f64::NAN)
-    );
+    println!("kendall sync5~sync10: 0.67 → {:.2}", s7.kendall_sync_5_10.unwrap_or(f64::NAN));
     println!(
         "kendall advTime~advSource: 0.75 → {:.2}",
         s7.kendall_advance_time_source.unwrap_or(f64::NAN)
@@ -173,11 +165,8 @@ fn corpus_spreads_over_all_sync_buckets() {
 fn long_projects_gravitate_to_mid_sync() {
     // Paper Fig. 5: beyond 60 months, high synchronicity empties out.
     let results = run_study();
-    let long_high = results
-        .fig5
-        .iter()
-        .filter(|p| p.duration_months > 60 && p.sync_10 > 0.8)
-        .count();
+    let long_high =
+        results.fig5.iter().filter(|p| p.duration_months > 60 && p.sync_10 > 0.8).count();
     let long_all = results.fig5.iter().filter(|p| p.duration_months > 60).count();
     assert!(long_all >= 10, "need a populated >60-month band: {long_all}");
     assert!(

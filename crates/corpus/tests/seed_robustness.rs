@@ -25,10 +25,7 @@ fn assert_shapes(results: &coevo_core::StudyResults, seed: u64) {
     let src_09 = results.fig6.rows[0].source_pct;
     let time_09 = results.fig6.rows[0].time_pct;
     assert!(time_09 >= src_09, "seed {seed}");
-    assert!(
-        results.fig7.total_time >= results.fig7.total_source,
-        "seed {seed}"
-    );
+    assert!(results.fig7.total_time >= results.fig7.total_source, "seed {seed}");
     assert!(results.fig7.total_both <= results.fig7.total_source, "seed {seed}");
     // Always-in-advance is a sizable minority, not everyone and not no-one.
     let always_time = results.fig7.total_time as f64 / n;
@@ -44,10 +41,7 @@ fn assert_shapes(results: &coevo_core::StudyResults, seed: u64) {
     // Taxon effects stay statistically significant.
     let s7 = &results.section7;
     assert!(s7.sync_by_taxon.as_ref().unwrap().p_value < 0.05, "seed {seed}");
-    assert!(
-        s7.attainment75_by_taxon.as_ref().unwrap().p_value < 0.05,
-        "seed {seed}"
-    );
+    assert!(s7.attainment75_by_taxon.as_ref().unwrap().p_value < 0.05, "seed {seed}");
     // Synchronicity measures stay strongly correlated.
     assert!(s7.kendall_sync_5_10.unwrap() > 0.4, "seed {seed}");
     assert!(s7.kendall_advance_time_source.unwrap() > 0.4, "seed {seed}");

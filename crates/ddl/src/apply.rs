@@ -31,6 +31,7 @@ pub fn apply_one(schema: &mut Schema, stmt: &Statement) -> Result<()> {
                 // Permissive: dumps re-create tables; last definition wins.
                 schema.remove_table(&table.name);
             }
+            schema.unseal();
             schema.tables.push(table.clone());
             Ok(())
         }
@@ -79,7 +80,8 @@ fn apply_alter(t: &mut Table, op: &AlterOp) -> Result<()> {
             Ok(())
         }
         AlterOp::DropColumn(name) => {
-            if let Some(idx) = t.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name)) {
+            if let Some(idx) = t.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+            {
                 t.columns.remove(idx);
             }
             Ok(())
@@ -201,7 +203,8 @@ mod tests {
 
     #[test]
     fn if_not_exists_keeps_original() {
-        let s = schema_of("CREATE TABLE t (a INT); CREATE TABLE IF NOT EXISTS t (b INT, c INT);");
+        let s =
+            schema_of("CREATE TABLE t (a INT); CREATE TABLE IF NOT EXISTS t (b INT, c INT);");
         assert_eq!(s.table("t").unwrap().columns.len(), 1);
     }
 
@@ -263,9 +266,8 @@ mod tests {
 
     #[test]
     fn modify_changes_type() {
-        let s = schema_of(
-            "CREATE TABLE t (a INT); ALTER TABLE t MODIFY COLUMN a BIGINT NOT NULL;",
-        );
+        let s =
+            schema_of("CREATE TABLE t (a INT); ALTER TABLE t MODIFY COLUMN a BIGINT NOT NULL;");
         let c = &s.table("t").unwrap().columns[0];
         assert_eq!(c.sql_type.name, "BIGINT");
         assert!(!c.nullable);

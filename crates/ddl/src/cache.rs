@@ -1,0 +1,127 @@
+//! A content-addressed parse cache: byte-identical DDL text parses once.
+//!
+//! Schema histories are dominated by *inactive* commits — versions whose DDL
+//! file is byte-identical to a neighbor (whitespace-only commits are also
+//! common, but we only dedupe exact bytes so accounting stays untouched).
+//! [`ParseCache`] keys on a 64-bit FNV-1a content hash of the raw text and
+//! hands out `Arc<Schema>` so every identical version shares one parsed,
+//! sealed schema. Hash collisions are neutralized by verifying the stored
+//! text against the query before a hit is declared, so the cache can never
+//! return the wrong schema.
+
+use crate::dialect::Dialect;
+use crate::error::Result;
+use crate::fingerprint::content_hash;
+use crate::model::Schema;
+use crate::parser::parse_schema;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    dialect: Dialect,
+    text: Arc<str>,
+    schema: Arc<Schema>,
+}
+
+/// A content-hash → `Arc<Schema>` parse cache with hit/miss counters.
+///
+/// Scope one cache per project history (the engine does): identical versions
+/// within a history share a schema, and the cache's memory dies with the
+/// history.
+#[derive(Default)]
+pub struct ParseCache {
+    buckets: HashMap<u64, Vec<Entry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ParseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse `sql` under `dialect`, returning a shared schema. Byte-identical
+    /// text under the same dialect parses once; later calls return the same
+    /// `Arc` (observable via [`Arc::ptr_eq`]). Parse errors are not cached.
+    pub fn parse(&mut self, sql: &str, dialect: Dialect) -> Result<Arc<Schema>> {
+        let hash = content_hash(sql.as_bytes());
+        if let Some(e) = self
+            .buckets
+            .get(&hash)
+            .and_then(|b| b.iter().find(|e| e.dialect == dialect && *e.text == *sql))
+        {
+            self.hits += 1;
+            return Ok(Arc::clone(&e.schema));
+        }
+        let schema = Arc::new(parse_schema(sql, dialect)?);
+        self.buckets.entry(hash).or_default().push(Entry {
+            dialect,
+            text: Arc::from(sql),
+            schema: Arc::clone(&schema),
+        });
+        self.misses += 1;
+        Ok(schema)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to parse.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct (dialect, text) entries stored.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_parses_once_and_shares() {
+        let mut c = ParseCache::new();
+        let a = c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
+        let b = c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn different_text_or_dialect_misses() {
+        let mut c = ParseCache::new();
+        c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
+        c.parse("CREATE TABLE t (a INT) ;", Dialect::Generic).unwrap();
+        c.parse("CREATE TABLE t (a INT);", Dialect::MySql).unwrap();
+        assert_eq!((c.hits(), c.misses()), (0, 3));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn cached_schema_is_sealed() {
+        let mut c = ParseCache::new();
+        let s = c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
+        assert!(s.seal_data().is_some());
+    }
+
+    #[test]
+    fn parse_errors_propagate_and_are_not_cached() {
+        let mut c = ParseCache::new();
+        assert!(c.parse("CREATE TABLE t (a INT", Dialect::Generic).is_err());
+        assert!(c.parse("CREATE TABLE t (a INT", Dialect::Generic).is_err());
+        assert!(c.is_empty());
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+    }
+}

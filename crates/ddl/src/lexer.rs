@@ -100,7 +100,9 @@ impl<'a> Lexer<'a> {
         self.bump();
         loop {
             match self.peek() {
-                None => return Err(self.err(ParseErrorKind::UnterminatedLiteral("block comment"))),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnterminatedLiteral("block comment")))
+                }
                 Some(b'*') if self.peek_at(1) == Some(b'/') => {
                     self.bump();
                     self.bump();
@@ -301,7 +303,9 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek() {
                 None => {
-                    return Err(self.err(ParseErrorKind::UnterminatedLiteral("bracket identifier")))
+                    return Err(
+                        self.err(ParseErrorKind::UnterminatedLiteral("bracket identifier"))
+                    )
                 }
                 Some(b']') => {
                     self.bump();
@@ -342,7 +346,9 @@ impl<'a> Lexer<'a> {
         // Scan for the closing tag.
         loop {
             if self.pos + tag.len() > self.src.len() {
-                return Err(self.err(ParseErrorKind::UnterminatedLiteral("dollar-quoted string")));
+                return Err(
+                    self.err(ParseErrorKind::UnterminatedLiteral("dollar-quoted string"))
+                );
             }
             if &self.src[self.pos..self.pos + tag.len()] == tag.as_slice() {
                 let body =
@@ -380,12 +386,7 @@ mod tests {
     use super::*;
 
     fn lex(s: &str) -> Vec<TokenKind> {
-        Lexer::new(s, Dialect::MySql)
-            .tokenize()
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        Lexer::new(s, Dialect::MySql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     fn lex_pg(s: &str) -> Vec<TokenKind> {
@@ -458,10 +459,7 @@ mod tests {
     #[test]
     fn postgres_strings_no_backslash_escape() {
         let toks = lex_pg(r"'a\nb'");
-        assert_eq!(
-            toks,
-            vec![TokenKind::StringLit(r"a\nb".into()), TokenKind::Eof]
-        );
+        assert_eq!(toks, vec![TokenKind::StringLit(r"a\nb".into()), TokenKind::Eof]);
     }
 
     #[test]
@@ -490,11 +488,7 @@ mod tests {
         let toks = lex("/* plain */ a /*!40101 SET x=1 */ b");
         assert_eq!(
             toks,
-            vec![
-                TokenKind::Word("a".into()),
-                TokenKind::Word("b".into()),
-                TokenKind::Eof,
-            ]
+            vec![TokenKind::Word("a".into()), TokenKind::Word("b".into()), TokenKind::Eof,]
         );
     }
 
@@ -532,11 +526,7 @@ mod tests {
         let toks = lex("10END");
         assert_eq!(
             toks,
-            vec![
-                TokenKind::Number("10".into()),
-                TokenKind::Word("END".into()),
-                TokenKind::Eof,
-            ]
+            vec![TokenKind::Number("10".into()), TokenKind::Word("END".into()), TokenKind::Eof,]
         );
     }
 

@@ -35,8 +35,10 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod cache;
 pub mod dialect;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod model;
 pub mod parser;
@@ -44,9 +46,14 @@ pub mod printer;
 pub mod token;
 
 pub use apply::apply_statements;
+pub use cache::ParseCache;
 pub use dialect::Dialect;
 pub use error::{ParseError, ParseErrorKind, Result};
+pub use fingerprint::Fingerprint;
 pub use lexer::Lexer;
-pub use model::{Column, ForeignKey, IndexDef, Schema, SqlType, Table, TableConstraint};
+pub use model::{
+    Column, ForeignKey, IndexDef, Schema, SchemaSeal, SqlType, Table, TableConstraint,
+    TableSeal,
+};
 pub use parser::{parse_schema, parse_statements, Parser, Statement};
 pub use printer::print_schema;

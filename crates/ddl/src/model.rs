@@ -6,7 +6,9 @@
 //! but the printer preserves them); lookups are case-insensitive, matching
 //! SQL's treatment of unquoted identifiers.
 
+use crate::fingerprint::{self, Fingerprint};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A parsed SQL data type: base name plus optional parameters, e.g.
@@ -157,8 +159,136 @@ pub struct IndexDef {
     pub unique: bool,
 }
 
+/// Parse-time cache of a table's derived lookup data: its case-folded name
+/// key, the folded key of every column (declaration order), a key → index
+/// map, and the table's structural [`Fingerprint`].
+///
+/// Seals are *derived* state — they never serialize, never participate in
+/// equality, and are dropped by every `&mut` accessor so they can only
+/// describe the current structure. A hand-built or deserialized table simply
+/// has no seal; all consumers fall back to computing the same data on the
+/// fly.
+#[derive(Debug, Clone)]
+pub struct TableSeal {
+    key: String,
+    folded: Vec<String>,
+    by_key: BTreeMap<String, usize>,
+    fingerprint: Fingerprint,
+}
+
+impl TableSeal {
+    fn build(table: &Table) -> Self {
+        let folded: Vec<String> = table.columns.iter().map(|c| c.key()).collect();
+        // Duplicate keys: last declaration wins, matching the `collect()`
+        // semantics of the map the diff core used to rebuild per call.
+        let by_key = folded.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+        Self {
+            key: table.name.to_ascii_lowercase(),
+            folded,
+            by_key,
+            fingerprint: fingerprint::of_table(table),
+        }
+    }
+
+    /// The table's case-folded name key.
+    pub fn table_key(&self) -> &str {
+        &self.key
+    }
+
+    /// The case-folded key of column `i` (declaration order).
+    pub fn column_key(&self, i: usize) -> &str {
+        &self.folded[i]
+    }
+
+    /// Index of the column with the given folded key (last declaration wins
+    /// on duplicates).
+    pub fn column_index(&self, key: &str) -> Option<usize> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Number of columns covered by the seal.
+    pub fn len(&self) -> usize {
+        self.folded.len()
+    }
+
+    /// True when the sealed table has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.folded.is_empty()
+    }
+
+    /// The table's structural fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+}
+
+/// Parse-time cache of a schema's derived lookup data: a case-folded
+/// table-key → index map and the schema's structural [`Fingerprint`].
+/// Same lifecycle rules as [`TableSeal`].
+#[derive(Debug, Clone)]
+pub struct SchemaSeal {
+    by_key: BTreeMap<String, usize>,
+    fingerprint: Fingerprint,
+}
+
+impl SchemaSeal {
+    fn build(schema: &Schema) -> Self {
+        Self {
+            by_key: schema
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.name.to_ascii_lowercase(), i))
+                .collect(),
+            fingerprint: fingerprint::of_schema(schema),
+        }
+    }
+
+    /// Index of the table with the given folded key (last declaration wins
+    /// on duplicates).
+    pub fn table_index(&self, key: &str) -> Option<usize> {
+        self.by_key.get(key).copied()
+    }
+
+    /// The schema's structural fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+}
+
+// Seals are derived state: always skipped on serialize (the closure below is
+// constantly true), absent on deserialize (`default`). The trait impls exist
+// only to satisfy the derive's bounds and are never reached.
+fn seal_never_serialized<T>(_: &T) -> bool {
+    true
+}
+
+impl Serialize for TableSeal {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for TableSeal {
+    fn from_value(_: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Err(serde::Error::custom("TableSeal is derived state and never serialized"))
+    }
+}
+
+impl Serialize for SchemaSeal {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for SchemaSeal {
+    fn from_value(_: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Err(serde::Error::custom("SchemaSeal is derived state and never serialized"))
+    }
+}
+
 /// A relation: named, with ordered typed attributes and constraints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     /// Name as written (original case preserved); schema-qualified prefixes
     /// (`public.`) are stripped at parse time.
@@ -169,6 +299,18 @@ pub struct Table {
     pub constraints: Vec<TableConstraint>,
     /// The indexes.
     pub indexes: Vec<IndexDef>,
+    #[serde(default, skip_serializing_if = "seal_never_serialized")]
+    seal: Option<TableSeal>,
+}
+
+// Equality ignores the seal: a sealed table equals its unsealed twin.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.constraints == other.constraints
+            && self.indexes == other.indexes
+    }
 }
 
 impl Table {
@@ -179,6 +321,7 @@ impl Table {
             columns: Vec::new(),
             constraints: Vec::new(),
             indexes: Vec::new(),
+            seal: None,
         }
     }
 
@@ -192,20 +335,44 @@ impl Table {
         self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
-    /// Mutable case-insensitive column lookup.
+    /// Mutable case-insensitive column lookup. Drops the seal: the caller
+    /// may change the structure through the returned reference.
     pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        self.seal = None;
         self.columns.iter_mut().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Precompute the seal (key map + fingerprint) for the current structure.
+    /// Called by the parser once a table's statements are fully applied.
+    pub fn seal(&mut self) {
+        self.seal = Some(TableSeal::build(self));
+    }
+
+    /// Drop the seal. Must be called before mutating structure through the
+    /// `pub` fields directly (the accessor methods do this themselves).
+    pub fn unseal(&mut self) {
+        self.seal = None;
+    }
+
+    /// The seal, if this table has been sealed and not mutated since.
+    pub fn seal_data(&self) -> Option<&TableSeal> {
+        self.seal.as_ref()
+    }
+
+    /// The table's structural fingerprint: cached when sealed, otherwise
+    /// computed on the fly.
+    pub fn fingerprint(&self) -> Fingerprint {
+        match &self.seal {
+            Some(s) => s.fingerprint,
+            None => fingerprint::of_table(self),
+        }
     }
 
     /// The effective primary-key column names (lowercased), merging inline
     /// `PRIMARY KEY` column flags and table-level PRIMARY KEY constraints.
     pub fn primary_key(&self) -> Vec<String> {
-        let mut pk: Vec<String> = self
-            .columns
-            .iter()
-            .filter(|c| c.inline_primary_key)
-            .map(|c| c.key())
-            .collect();
+        let mut pk: Vec<String> =
+            self.columns.iter().filter(|c| c.inline_primary_key).map(|c| c.key()).collect();
         for constraint in &self.constraints {
             if let TableConstraint::PrimaryKey { columns, .. } = constraint {
                 for col in columns {
@@ -230,16 +397,39 @@ impl Table {
 }
 
 /// A whole logical schema: an ordered collection of tables.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Schema {
     /// The referenced tables.
     pub tables: Vec<Table>,
+    #[serde(default, skip_serializing_if = "seal_never_serialized")]
+    seal: Option<SchemaSeal>,
 }
+
+// Equality ignores the seal: a sealed schema equals its unsealed twin.
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables
+    }
+}
+
+/// The canonical empty schema, shared by every history's creation delta.
+static EMPTY_SCHEMA: Schema = Schema::new();
 
 impl Schema {
     /// Construct a new instance.
-    pub fn new() -> Self {
-        Self::default()
+    pub const fn new() -> Self {
+        Self { tables: Vec::new(), seal: None }
+    }
+
+    /// A schema owning the given tables (unsealed).
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        Self { tables, seal: None }
+    }
+
+    /// A shared reference to the canonical empty schema — avoids allocating
+    /// a sentinel per diff/history.
+    pub fn empty_ref() -> &'static Schema {
+        &EMPTY_SCHEMA
     }
 
     /// Look up a table case-insensitively.
@@ -247,15 +437,55 @@ impl Schema {
         self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
-    /// Mutable case-insensitive table lookup.
+    /// Mutable case-insensitive table lookup. Drops the schema seal and the
+    /// found table's seal: the caller may change structure through the
+    /// returned reference.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.seal = None;
+        let t = self.tables.iter_mut().find(|t| t.name.eq_ignore_ascii_case(name))?;
+        t.seal = None;
+        Some(t)
     }
 
     /// Remove a table by name (case-insensitive); returns it if present.
+    /// Drops the schema seal (the removed table keeps its own seal — its
+    /// structure is unchanged).
     pub fn remove_table(&mut self, name: &str) -> Option<Table> {
         let idx = self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))?;
+        self.seal = None;
         Some(self.tables.remove(idx))
+    }
+
+    /// Precompute the seal for the current structure, sealing every table
+    /// first. Called by the parser once all statements are applied.
+    pub fn seal(&mut self) {
+        for t in &mut self.tables {
+            if t.seal.is_none() {
+                t.seal();
+            }
+        }
+        self.seal = Some(SchemaSeal::build(self));
+    }
+
+    /// Drop the schema-level seal. Must be called before mutating structure
+    /// through the `pub` fields directly (the accessor methods do this
+    /// themselves).
+    pub fn unseal(&mut self) {
+        self.seal = None;
+    }
+
+    /// The seal, if this schema has been sealed and not mutated since.
+    pub fn seal_data(&self) -> Option<&SchemaSeal> {
+        self.seal.as_ref()
+    }
+
+    /// The schema's structural fingerprint: cached when sealed, otherwise
+    /// computed on the fly.
+    pub fn fingerprint(&self) -> Fingerprint {
+        match &self.seal {
+            Some(s) => s.fingerprint,
+            None => fingerprint::of_schema(self),
+        }
     }
 
     /// Total number of attributes across all tables — the paper's measure of
@@ -309,20 +539,16 @@ mod tests {
     fn primary_key_merges_inline_and_table_level() {
         let mut t = users_table();
         assert_eq!(t.primary_key(), vec!["id".to_string()]);
-        t.constraints.push(TableConstraint::PrimaryKey {
-            name: None,
-            columns: vec!["email".into()],
-        });
+        t.constraints
+            .push(TableConstraint::PrimaryKey { name: None, columns: vec!["email".into()] });
         assert_eq!(t.primary_key(), vec!["id".to_string(), "email".to_string()]);
     }
 
     #[test]
     fn primary_key_dedupes() {
         let mut t = users_table();
-        t.constraints.push(TableConstraint::PrimaryKey {
-            name: None,
-            columns: vec!["ID".into()],
-        });
+        t.constraints
+            .push(TableConstraint::PrimaryKey { name: None, columns: vec!["ID".into()] });
         assert_eq!(t.primary_key(), vec!["id".to_string()]);
     }
 
@@ -342,6 +568,71 @@ mod tests {
         s.tables.push(users_table());
         s.tables.push(users_table());
         assert_eq!(s.attribute_count(), 4);
+    }
+
+    #[test]
+    fn seal_caches_keys_and_fingerprint() {
+        let mut s = Schema::new();
+        s.tables.push(users_table());
+        let unsealed_fp = s.fingerprint();
+        s.seal();
+        let seal = s.seal_data().unwrap();
+        assert_eq!(seal.fingerprint(), unsealed_fp);
+        assert_eq!(seal.table_index("users"), Some(0));
+        assert_eq!(seal.table_index("nope"), None);
+        let t = &s.tables[0];
+        let ts = t.seal_data().unwrap();
+        assert_eq!(ts.table_key(), "users");
+        assert_eq!(ts.column_key(0), "id");
+        assert_eq!(ts.column_key(1), "email");
+        assert_eq!(ts.column_index("email"), Some(1));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn mut_accessors_drop_the_seal() {
+        let mut s = Schema::new();
+        s.tables.push(users_table());
+        s.seal();
+        let before = s.fingerprint();
+        s.table_mut("users").unwrap().column_mut("email").unwrap().nullable = false;
+        assert!(s.seal_data().is_none());
+        assert!(s.tables[0].seal_data().is_none());
+        assert_ne!(s.fingerprint(), before);
+
+        let mut s2 = Schema::new();
+        s2.tables.push(users_table());
+        s2.seal();
+        s2.remove_table("users");
+        assert!(s2.seal_data().is_none());
+    }
+
+    #[test]
+    fn equality_ignores_the_seal() {
+        let mut sealed = Schema::new();
+        sealed.tables.push(users_table());
+        let unsealed = sealed.clone();
+        sealed.seal();
+        assert_eq!(sealed, unsealed);
+        assert_eq!(sealed.fingerprint(), unsealed.fingerprint());
+    }
+
+    #[test]
+    fn duplicate_column_keys_last_declaration_wins() {
+        let mut t = Table::new("t");
+        t.columns.push(Column::new("A", SqlType::simple("INT")));
+        t.columns.push(Column::new("a", SqlType::simple("TEXT")));
+        t.seal();
+        assert_eq!(t.seal_data().unwrap().column_index("a"), Some(1));
+    }
+
+    #[test]
+    fn empty_ref_is_shared_and_empty() {
+        let e = Schema::empty_ref();
+        assert!(e.is_empty());
+        assert!(std::ptr::eq(Schema::empty_ref(), e));
+        assert_eq!(*e, Schema::new());
     }
 
     #[test]

@@ -128,10 +128,14 @@ pub fn parse_statements(sql: &str, dialect: Dialect) -> Result<Vec<Statement>> {
 }
 
 /// Parse a full script and apply it to an empty schema, yielding the final
-/// logical schema the script defines.
+/// logical schema the script defines. The result is *sealed*: its key maps
+/// and structural fingerprints are precomputed (see [`crate::fingerprint`]),
+/// so downstream diffing never re-folds identifiers or rebuilds lookup maps.
 pub fn parse_schema(sql: &str, dialect: Dialect) -> Result<crate::model::Schema> {
     let stmts = parse_statements(sql, dialect)?;
-    crate::apply::apply_statements(&stmts)
+    let mut schema = crate::apply::apply_statements(&stmts)?;
+    schema.seal();
+    Ok(schema)
 }
 
 /// The recursive-descent parser over a token buffer.
@@ -383,11 +387,8 @@ impl Parser {
         )) {
             i += 1;
         }
-        let object = self
-            .peek_at(i)
-            .ident_text()
-            .map(|w| w.to_ascii_uppercase())
-            .unwrap_or_default();
+        let object =
+            self.peek_at(i).ident_text().map(|w| w.to_ascii_uppercase()).unwrap_or_default();
         match object.as_str() {
             "TABLE" => self.create_table(),
             "INDEX" => self.create_index(),
@@ -445,11 +446,7 @@ impl Parser {
             self.advance();
             // Optional constraint name (absent when CONSTRAINT is followed
             // directly by the constraint kind).
-            let name = if !self.peek_constraint_kind() {
-                Some(self.ident()?)
-            } else {
-                None
-            };
+            let name = if !self.peek_constraint_kind() { Some(self.ident()?) } else { None };
             let c = self.table_constraint(name)?;
             table.constraints.push(c);
             return Ok(());
@@ -486,7 +483,8 @@ impl Parser {
     fn peek_constraint_kind(&self) -> bool {
         (self.peek().is_keyword("PRIMARY") && self.peek_at(1).is_keyword("KEY"))
             || (self.peek().is_keyword("FOREIGN") && self.peek_at(1).is_keyword("KEY"))
-            || (self.peek().is_keyword("UNIQUE") && matches!(self.peek_at(1), TokenKind::LParen))
+            || (self.peek().is_keyword("UNIQUE")
+                && matches!(self.peek_at(1), TokenKind::LParen))
             || self.peek().is_keyword("CHECK")
     }
 
@@ -546,12 +544,12 @@ impl Parser {
         // We may sit on FULLTEXT/SPATIAL first.
         let _ = self.eat_kw("FULLTEXT") || self.eat_kw("SPATIAL");
         let _ = self.eat_kw("KEY") || self.eat_kw("INDEX");
-        let name = if !matches!(self.peek(), TokenKind::LParen) && !self.peek().is_keyword("USING")
-        {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let name =
+            if !matches!(self.peek(), TokenKind::LParen) && !self.peek().is_keyword("USING") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
         self.maybe_using_clause();
         let columns = self.paren_column_list()?;
         self.maybe_using_clause();
@@ -614,7 +612,8 @@ impl Parser {
         let mut actions = Vec::new();
         loop {
             if self.peek().is_keyword("ON")
-                && (self.peek_at(1).is_keyword("DELETE") || self.peek_at(1).is_keyword("UPDATE"))
+                && (self.peek_at(1).is_keyword("DELETE")
+                    || self.peek_at(1).is_keyword("UPDATE"))
             {
                 self.advance();
                 let which = self.advance().to_string().to_ascii_uppercase();
@@ -821,9 +820,7 @@ impl Parser {
                 }));
             } else if self.eat_kw("CHECK") {
                 let expr = self.capture_parens()?;
-                table
-                    .constraints
-                    .push(TableConstraint::Check { name: None, expr });
+                table.constraints.push(TableConstraint::Check { name: None, expr });
             } else if self.eat_kw("CONSTRAINT") {
                 // Named inline constraint: `CONSTRAINT nn NOT NULL` etc.
                 let _ = self.ident();
@@ -931,11 +928,8 @@ impl Parser {
     fn alter_op(&mut self) -> Result<AlterOp> {
         if self.eat_kw("ADD") {
             if self.eat_kw("CONSTRAINT") {
-                let name = if !self.peek_constraint_kind() {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let name =
+                    if !self.peek_constraint_kind() { Some(self.ident()?) } else { None };
                 let c = self.table_constraint(name)?;
                 return Ok(AlterOp::AddConstraint(c));
             }
@@ -1182,11 +1176,7 @@ impl Parser {
         self.expect_kw("INDEX")?;
         let _ = self.eat_kw("CONCURRENTLY");
         let _ = self.eat_kws(&["IF", "NOT", "EXISTS"]);
-        let name = if !self.peek().is_keyword("ON") {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let name = if !self.peek().is_keyword("ON") { Some(self.ident()?) } else { None };
         self.expect_kw("ON")?;
         let table = self.ident()?;
         self.maybe_using_clause();
@@ -1262,9 +1252,8 @@ mod tests {
 
     #[test]
     fn simple_create_table() {
-        let t = only_table(parse_my(
-            "CREATE TABLE users (id INT NOT NULL, name VARCHAR(100));",
-        ));
+        let t =
+            only_table(parse_my("CREATE TABLE users (id INT NOT NULL, name VARCHAR(100));"));
         assert_eq!(t.name, "users");
         assert_eq!(t.columns.len(), 2);
         assert!(!t.columns[0].nullable);
@@ -1365,7 +1354,9 @@ mod tests {
             Statement::AlterTable { table, ops } => {
                 assert_eq!(table, "t");
                 assert_eq!(ops.len(), 4);
-                assert!(matches!(&ops[0], AlterOp::AddColumn(c) if c.name == "age" && !c.nullable));
+                assert!(
+                    matches!(&ops[0], AlterOp::AddColumn(c) if c.name == "age" && !c.nullable)
+                );
                 assert!(matches!(&ops[1], AlterOp::DropColumn(n) if n == "old"));
                 assert!(
                     matches!(&ops[2], AlterOp::ModifyColumn(c) if c.sql_type == SqlType::with_params("VARCHAR", &["200"]))
@@ -1453,17 +1444,17 @@ mod tests {
              CREATE TABLE t (a INT); \
              GRANT ALL ON t TO x;",
         );
-        let kinds: Vec<_> = stmts
-            .iter()
-            .map(|s| matches!(s, Statement::CreateTable { .. }))
-            .collect();
+        let kinds: Vec<_> =
+            stmts.iter().map(|s| matches!(s, Statement::CreateTable { .. })).collect();
         assert_eq!(kinds, vec![false, false, true, false]);
     }
 
     #[test]
     fn create_view_is_skipped() {
         let stmts = parse_my("CREATE VIEW v AS SELECT 1; CREATE TABLE t (a INT);");
-        assert!(matches!(&stmts[0], Statement::Skipped { leading } if leading == "CREATE VIEW"));
+        assert!(
+            matches!(&stmts[0], Statement::Skipped { leading } if leading == "CREATE VIEW")
+        );
         assert!(matches!(&stmts[1], Statement::CreateTable { .. }));
     }
 
@@ -1508,25 +1499,20 @@ mod tests {
 
     #[test]
     fn composite_primary_key() {
-        let t = only_table(parse_my(
-            "CREATE TABLE m (a INT, b INT, PRIMARY KEY (a, b));",
-        ));
+        let t = only_table(parse_my("CREATE TABLE m (a INT, b INT, PRIMARY KEY (a, b));"));
         assert_eq!(t.primary_key(), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]
     fn key_with_prefix_lengths() {
-        let t = only_table(parse_my(
-            "CREATE TABLE t (a VARCHAR(500), KEY idx_a (a(100) DESC));",
-        ));
+        let t =
+            only_table(parse_my("CREATE TABLE t (a VARCHAR(500), KEY idx_a (a(100) DESC));"));
         assert_eq!(t.indexes[0].columns, vec!["a".to_string()]);
     }
 
     #[test]
     fn check_constraints_capture_expression() {
-        let t = only_table(parse_pg(
-            "CREATE TABLE t (a INT, CONSTRAINT pos CHECK (a > 0));",
-        ));
+        let t = only_table(parse_pg("CREATE TABLE t (a INT, CONSTRAINT pos CHECK (a > 0));"));
         assert!(matches!(
             &t.constraints[0],
             TableConstraint::Check { name: Some(n), .. } if n == "pos"
@@ -1561,7 +1547,9 @@ mod tests {
         let stmts = parse_my("ALTER TABLE t RENAME TO s;");
         match &stmts[0] {
             Statement::AlterTable { ops, .. } => {
-                assert!(matches!(&ops[0], AlterOp::RenameTable { new_name } if new_name == "s"));
+                assert!(
+                    matches!(&ops[0], AlterOp::RenameTable { new_name } if new_name == "s")
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -91,10 +91,7 @@ mod tests {
     #[test]
     fn ident_text_for_words_and_quoted() {
         assert_eq!(TokenKind::Word("users".into()).ident_text(), Some("users"));
-        assert_eq!(
-            TokenKind::QuotedIdent("order".into()).ident_text(),
-            Some("order")
-        );
+        assert_eq!(TokenKind::QuotedIdent("order".into()).ident_text(), Some("order"));
         assert_eq!(TokenKind::Comma.ident_text(), None);
         assert_eq!(TokenKind::StringLit("x".into()).ident_text(), None);
     }

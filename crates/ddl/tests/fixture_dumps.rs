@@ -18,19 +18,13 @@ fn wordpress_style_mysql_dump() {
     assert_eq!(users.columns.len(), 10);
     assert_eq!(users.primary_key(), vec!["id".to_string()]);
     assert!(users.column("ID").unwrap().auto_increment);
-    assert_eq!(
-        users.column("user_login").unwrap().default.as_deref(),
-        Some("''")
-    );
+    assert_eq!(users.column("user_login").unwrap().default.as_deref(), Some("''"));
     assert_eq!(users.indexes.len(), 3);
 
     let posts = schema.table("wp_posts").unwrap();
     assert_eq!(posts.columns.len(), 19);
     // Prefix-length key `post_name(191)` parses to the bare column.
-    assert!(posts
-        .indexes
-        .iter()
-        .any(|i| i.columns == vec!["post_name".to_string()]));
+    assert!(posts.indexes.iter().any(|i| i.columns == vec!["post_name".to_string()]));
     // Composite key preserved in order.
     assert!(posts.indexes.iter().any(|i| i.columns
         == vec![
@@ -86,14 +80,8 @@ fn postgres_tracker_dump() {
     assert_eq!(issues.indexes.len(), 2);
     assert!(events.indexes.iter().any(|i| i.unique));
     // timestamptz canonicalization.
-    assert_eq!(
-        projects.column("created_at").unwrap().sql_type.name,
-        "TIMESTAMPTZ"
-    );
-    assert_eq!(
-        issues.column("created_at").unwrap().sql_type.name,
-        "TIMESTAMP"
-    );
+    assert_eq!(projects.column("created_at").unwrap().sql_type.name, "TIMESTAMPTZ");
+    assert_eq!(issues.column("created_at").unwrap().sql_type.name, "TIMESTAMP");
 }
 
 #[test]
@@ -105,10 +93,7 @@ fn mediawiki_style_tables_file() {
     let page = schema.table("page").unwrap();
     assert_eq!(page.columns.len(), 10);
     assert!(page.column("page_id").unwrap().inline_primary_key);
-    assert_eq!(
-        page.column("page_title").unwrap().sql_type.name,
-        "VARBINARY"
-    );
+    assert_eq!(page.column("page_title").unwrap().sql_type.name, "VARBINARY");
     // CREATE INDEX statements attach across the comment-marker names.
     assert_eq!(page.indexes.len(), 3);
     assert!(page.indexes.iter().any(|i| i.unique));

@@ -13,11 +13,39 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,12}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.as_str(),
-            "create" | "table" | "primary" | "key" | "unique" | "constraint" | "not"
-                | "null" | "default" | "references" | "check" | "index" | "drop"
-                | "alter" | "add" | "column" | "int" | "like" | "if" | "exists"
-                | "foreign" | "on" | "to" | "using" | "comment" | "collate" | "first"
-                | "after" | "modify" | "change" | "rename" | "generated" | "as"
+            "create"
+                | "table"
+                | "primary"
+                | "key"
+                | "unique"
+                | "constraint"
+                | "not"
+                | "null"
+                | "default"
+                | "references"
+                | "check"
+                | "index"
+                | "drop"
+                | "alter"
+                | "add"
+                | "column"
+                | "int"
+                | "like"
+                | "if"
+                | "exists"
+                | "foreign"
+                | "on"
+                | "to"
+                | "using"
+                | "comment"
+                | "collate"
+                | "first"
+                | "after"
+                | "modify"
+                | "change"
+                | "rename"
+                | "generated"
+                | "as"
         )
     })
 }
@@ -31,8 +59,10 @@ fn sql_type_strategy() -> impl Strategy<Value = SqlType> {
         Just(SqlType::simple("DATE")),
         Just(SqlType::simple("TIMESTAMP")),
         (1u16..=512).prop_map(|n| SqlType::with_params("VARCHAR", &[&n.to_string()])),
-        (1u8..=30, 0u8..=10)
-            .prop_map(|(p, s)| SqlType::with_params("DECIMAL", &[&p.to_string(), &s.to_string()])),
+        (1u8..=30, 0u8..=10).prop_map(|(p, s)| SqlType::with_params(
+            "DECIMAL",
+            &[&p.to_string(), &s.to_string()]
+        )),
     ]
 }
 
@@ -105,7 +135,7 @@ prop_compose! {
     fn schema_strategy()(mut tables in prop::collection::vec(table_strategy(), 0..6)) -> Schema {
         let mut seen = std::collections::HashSet::new();
         tables.retain(|t| seen.insert(t.key()));
-        Schema { tables }
+        Schema::from_tables(tables)
     }
 }
 
@@ -173,6 +203,54 @@ proptest! {
                     prop_assert_eq!(&a.columns, &b.columns);
                     prop_assert_eq!(&a.actions, &b.actions);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_equality_is_structural_equality(
+        a in schema_strategy(),
+        b in schema_strategy(),
+    ) {
+        // fp(a) == fp(b) ⇔ structural equality, witnessed by the printer's
+        // normalized output: two schemas print identically exactly when the
+        // model considers them equal, and the fingerprint must agree with
+        // both. (The reverse direction also catches *systematic* collisions —
+        // e.g. a field missing from the hash — which random pairs would hit
+        // constantly.)
+        let printed_eq = print_schema(&a, Dialect::Generic) == print_schema(&b, Dialect::Generic);
+        prop_assert_eq!(printed_eq, a == b);
+        prop_assert_eq!(a.fingerprint() == b.fingerprint(), a == b);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_print_parse_and_sealing(schema in schema_strategy()) {
+        // The strategy builds unsealed schemas; parsing yields sealed ones.
+        // The fingerprint must not notice the difference.
+        let printed = print_schema(&schema, Dialect::Generic);
+        let reparsed = parse_schema(&printed, Dialect::Generic).expect("re-parse");
+        prop_assert!(reparsed.seal_data().is_some());
+        prop_assert!(schema.seal_data().is_none());
+        prop_assert_eq!(schema.fingerprint(), reparsed.fingerprint());
+        for t in &schema.tables {
+            let rt = reparsed.table(&t.name).expect("table survives");
+            prop_assert_eq!(t.fingerprint(), rt.fingerprint());
+        }
+    }
+
+    #[test]
+    fn sealed_key_maps_agree_with_fallback_lookups(schema in schema_strategy()) {
+        let printed = print_schema(&schema, Dialect::Generic);
+        let reparsed = parse_schema(&printed, Dialect::Generic).expect("re-parse");
+        let seal = reparsed.seal_data().expect("parsed schemas are sealed");
+        for (i, t) in reparsed.tables.iter().enumerate() {
+            prop_assert_eq!(seal.table_index(&t.key()), Some(i));
+            let ts = t.seal_data().expect("parsed tables are sealed");
+            prop_assert_eq!(ts.table_key(), t.key().as_str());
+            prop_assert_eq!(ts.len(), t.columns.len());
+            for (j, c) in t.columns.iter().enumerate() {
+                prop_assert_eq!(ts.column_key(j), c.key().as_str());
+                prop_assert_eq!(ts.column_index(&c.key()), Some(j));
             }
         }
     }

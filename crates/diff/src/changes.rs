@@ -240,7 +240,8 @@ mod tests {
 
     #[test]
     fn change_name_accessor() {
-        let c = AttributeChange::Renamed { from: "a".into(), to: "b".into(), sql_type: ty("X") };
+        let c =
+            AttributeChange::Renamed { from: "a".into(), to: "b".into(), sql_type: ty("X") };
         assert_eq!(c.name(), "b");
         let c = AttributeChange::KeyChanged { name: "k".into(), now_in_key: false };
         assert_eq!(c.name(), "k");

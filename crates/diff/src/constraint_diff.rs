@@ -106,11 +106,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
             }
         }
         for idx in &old_table.indexes {
-            if !new_table
-                .indexes
-                .iter()
-                .any(|n| index_signature(n) == index_signature(idx))
-            {
+            if !new_table.indexes.iter().any(|n| index_signature(n) == index_signature(idx)) {
                 delta.indexes.push(IndexChange::Removed {
                     table: new_table.name.clone(),
                     index: idx.clone(),
@@ -118,11 +114,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
             }
         }
         for idx in &new_table.indexes {
-            if !old_table
-                .indexes
-                .iter()
-                .any(|o| index_signature(o) == index_signature(idx))
-            {
+            if !old_table.indexes.iter().any(|o| index_signature(o) == index_signature(idx)) {
                 delta.indexes.push(IndexChange::Added {
                     table: new_table.name.clone(),
                     index: idx.clone(),
@@ -197,9 +189,8 @@ mod tests {
 
     #[test]
     fn dropped_table_constraints_not_reported() {
-        let old = schema(
-            "CREATE TABLE gone (a INT, CONSTRAINT f FOREIGN KEY (a) REFERENCES x (y));",
-        );
+        let old =
+            schema("CREATE TABLE gone (a INT, CONSTRAINT f FOREIGN KEY (a) REFERENCES x (y));");
         let new = Schema::new();
         assert!(diff_constraints(&old, &new).is_empty());
     }

@@ -35,9 +35,7 @@ pub fn schema_size_series(history: &SchemaHistory) -> Vec<SizePoint> {
     for m in 0..months {
         let month = first.plus(m as i64);
         // Advance to the latest version whose month is ≤ this month.
-        while vi + 1 < versions.len()
-            && YearMonth::of(versions[vi + 1].date.date) <= month
-        {
+        while vi + 1 < versions.len() && YearMonth::of(versions[vi + 1].date.date) <= month {
             vi += 1;
         }
         let schema = &versions[vi].schema;
@@ -80,7 +78,10 @@ mod tests {
     fn forward_fill_between_versions() {
         let h = history(&[
             ("2020-01-15 00:00:00 +0000", "CREATE TABLE a (x INT);"),
-            ("2020-04-15 00:00:00 +0000", "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);"),
+            (
+                "2020-04-15 00:00:00 +0000",
+                "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);",
+            ),
         ]);
         let s = schema_size_series(&h);
         assert_eq!(s.len(), 4); // Jan..Apr
@@ -101,7 +102,10 @@ mod tests {
     #[test]
     fn shrinkage_is_negative_growth() {
         let h = history(&[
-            ("2020-01-01 00:00:00 +0000", "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);"),
+            (
+                "2020-01-01 00:00:00 +0000",
+                "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);",
+            ),
             ("2020-02-01 00:00:00 +0000", "CREATE TABLE a (x INT);"),
         ]);
         assert_eq!(net_growth(&h), (-2, -1));

@@ -3,18 +3,38 @@
 
 use crate::activity::ActivityBreakdown;
 use crate::changes::SchemaDelta;
-use crate::schema_diff::{diff_schemas_with, MatchPolicy};
-use coevo_ddl::{parse_schema, Dialect, ParseError, Schema};
+use crate::schema_diff::{diff_schemas_counted, diff_schemas_legacy, DiffStats, MatchPolicy};
+use coevo_ddl::{Dialect, ParseCache, ParseError, Schema};
 use coevo_heartbeat::{DateTime, Heartbeat};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One version of the schema DDL file: the commit date and the parsed schema.
+///
+/// The schema is shared: byte-identical DDL versions (inactive commits) hold
+/// the *same* `Arc<Schema>` when built through [`SchemaHistory::from_ddl_texts`],
+/// so a hundred-commit history of an unchanging file stores one schema, not a
+/// hundred clones. Serialization sees through the `Arc` (sharing is a memory
+/// optimization, not part of the value).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchemaVersion {
     /// The commit timestamp.
     pub date: DateTime,
     /// The schema.
-    pub schema: Schema,
+    pub schema: Arc<Schema>,
+}
+
+/// Which diff algorithm a history is built with. The two produce
+/// byte-identical deltas — [`DiffMode::Legacy`] exists so differential tests
+/// can prove it on the full corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiffMode {
+    /// The fingerprinted, incremental core: identical versions and unchanged
+    /// tables short-circuit (every short-circuit confirmed by `==`).
+    #[default]
+    Incremental,
+    /// The pre-refactor algorithm, preserved as the accounting oracle.
+    Legacy,
 }
 
 /// The delta between two consecutive versions, with its date (the date of
@@ -36,42 +56,104 @@ pub struct VersionDelta {
 /// table, matching the dataset's accounting where the initial commit carries
 /// the initial schema size as activity. This is what makes "48% of change at
 /// start-up" (the paper's case study) representable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SchemaHistory {
     versions: Vec<SchemaVersion>,
     deltas: Vec<VersionDelta>,
+    #[serde(default, skip_serializing_if = "stats_never_serialized")]
+    stats: DiffStats,
+}
+
+// Diff work counters are instrumentation, not part of the history's value:
+// they are never serialized (so legacy- and incremental-built histories have
+// identical wire forms) and never compared.
+fn stats_never_serialized<T>(_: &T) -> bool {
+    true
+}
+
+impl PartialEq for SchemaHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.versions == other.versions && self.deltas == other.deltas
+    }
 }
 
 impl SchemaHistory {
     /// Build a history from dated, already-parsed schemas. Versions are
     /// sorted by date. Returns `None` when `versions` is empty.
-    pub fn from_schemas(mut versions: Vec<SchemaVersion>, policy: MatchPolicy) -> Option<Self> {
+    pub fn from_schemas(versions: Vec<SchemaVersion>, policy: MatchPolicy) -> Option<Self> {
+        Self::from_schemas_mode(versions, policy, DiffMode::Incremental)
+    }
+
+    /// [`SchemaHistory::from_schemas`] with an explicit [`DiffMode`].
+    pub fn from_schemas_mode(
+        mut versions: Vec<SchemaVersion>,
+        policy: MatchPolicy,
+        mode: DiffMode,
+    ) -> Option<Self> {
         if versions.is_empty() {
             return None;
         }
         versions.sort_by_key(|v| v.date.unix_seconds());
-        let empty = Schema::new();
+        let mut stats = DiffStats::default();
         let mut deltas = Vec::with_capacity(versions.len());
-        let mut prev = &empty;
+        let mut prev: &Schema = Schema::empty_ref();
+        let mut prev_arc: Option<&Arc<Schema>> = None;
         for v in &versions {
-            let delta = diff_schemas_with(prev, &v.schema, policy);
+            let delta = match mode {
+                DiffMode::Incremental => {
+                    if prev_arc.is_some_and(|p| Arc::ptr_eq(p, &v.schema)) {
+                        // Shared-Arc fast path: the parse cache deduplicated
+                        // byte-identical versions, so this commit is provably
+                        // inactive without even a fingerprint compare.
+                        stats.schema_diffs += 1;
+                        stats.versions_unchanged += 1;
+                        SchemaDelta { tables: Vec::new() }
+                    } else {
+                        diff_schemas_counted(prev, v.schema.as_ref(), policy, &mut stats)
+                    }
+                }
+                DiffMode::Legacy => diff_schemas_legacy(prev, v.schema.as_ref(), policy),
+            };
             let breakdown = delta.breakdown();
             deltas.push(VersionDelta { date: v.date, delta, breakdown });
-            prev = &v.schema;
+            prev = v.schema.as_ref();
+            prev_arc = Some(&v.schema);
         }
-        Some(Self { versions, deltas })
+        Some(Self { versions, deltas, stats })
     }
 
-    /// Build a history from dated DDL texts, parsing each version.
+    /// Build a history from dated DDL texts, parsing each version through a
+    /// fresh content-addressed [`ParseCache`] (byte-identical versions parse
+    /// once and share one `Arc<Schema>`).
     pub fn from_ddl_texts<'a, I>(texts: I, dialect: Dialect) -> Result<Option<Self>, ParseError>
+    where
+        I: IntoIterator<Item = (DateTime, &'a str)>,
+    {
+        Self::from_ddl_texts_cached(texts, dialect, &mut ParseCache::new())
+    }
+
+    /// [`SchemaHistory::from_ddl_texts`] against a caller-owned cache, so the
+    /// caller can observe hit/miss counters (the engine surfaces them in
+    /// `coevo study --profile`).
+    pub fn from_ddl_texts_cached<'a, I>(
+        texts: I,
+        dialect: Dialect,
+        cache: &mut ParseCache,
+    ) -> Result<Option<Self>, ParseError>
     where
         I: IntoIterator<Item = (DateTime, &'a str)>,
     {
         let mut versions = Vec::new();
         for (date, sql) in texts {
-            versions.push(SchemaVersion { date, schema: parse_schema(sql, dialect)? });
+            versions.push(SchemaVersion { date, schema: cache.parse(sql, dialect)? });
         }
         Ok(Self::from_schemas(versions, MatchPolicy::ByName))
+    }
+
+    /// Work/skip counters accumulated while the deltas were computed. All
+    /// zero for a deserialized history (instrumentation is not persisted).
+    pub fn diff_stats(&self) -> DiffStats {
+        self.stats
     }
 
     /// The versions, oldest first.
@@ -109,20 +191,18 @@ impl SchemaHistory {
 
     /// The **Schema (Monthly) Heartbeat**: Total Activity per month.
     pub fn heartbeat(&self) -> Heartbeat {
-        Heartbeat::from_events(
-            self.deltas.iter().map(|d| (d.date.date, d.breakdown.total())),
-        )
-        .expect("history has at least one version")
+        Heartbeat::from_events(self.deltas.iter().map(|d| (d.date.date, d.breakdown.total())))
+            .expect("history has at least one version")
     }
 
     /// The final schema (last version).
     pub fn final_schema(&self) -> &Schema {
-        &self.versions.last().expect("non-empty history").schema
+        self.versions.last().expect("non-empty history").schema.as_ref()
     }
 
     /// The initial schema (first version).
     pub fn initial_schema(&self) -> &Schema {
-        &self.versions.first().expect("non-empty history").schema
+        self.versions.first().expect("non-empty history").schema.as_ref()
     }
 }
 
@@ -197,13 +277,94 @@ mod tests {
     fn table_lifecycle_across_versions() {
         let h = history(&[
             ("2015-01-01 10:00:00 +0000", "CREATE TABLE a (x INT);"),
-            ("2015-02-01 10:00:00 +0000", "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);"),
+            (
+                "2015-02-01 10:00:00 +0000",
+                "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);",
+            ),
             ("2015-03-01 10:00:00 +0000", "CREATE TABLE a (x INT);"),
         ]);
         let total = h.total_breakdown();
         assert_eq!(total.attrs_born_with_table, 1 + 2);
         assert_eq!(total.attrs_deleted_with_table, 2);
         assert_eq!(h.total_activity(), 5);
+    }
+
+    /// Build the same history without any parse cache: every version parsed
+    /// into its own `Arc`, so no `Arc::ptr_eq` fast path can fire.
+    fn history_uncached(texts: &[(&str, &str)], mode: DiffMode) -> SchemaHistory {
+        let versions = texts
+            .iter()
+            .map(|(d, sql)| SchemaVersion {
+                date: dt(d),
+                schema: Arc::new(coevo_ddl::parse_schema(sql, Dialect::Generic).unwrap()),
+            })
+            .collect();
+        SchemaHistory::from_schemas_mode(versions, MatchPolicy::ByName, mode).unwrap()
+    }
+
+    const INACTIVE_HEAVY: &[(&str, &str)] = &[
+        ("2015-01-01 10:00:00 +0000", "CREATE TABLE t (a INT);"),
+        ("2015-01-20 10:00:00 +0000", "CREATE TABLE t (a INT);"), // inactive
+        ("2015-02-01 10:00:00 +0000", "CREATE TABLE t (a INT, b INT);"),
+        ("2015-02-15 10:00:00 +0000", "CREATE TABLE t (a INT, b INT);"), // inactive
+        ("2015-03-15 10:00:00 +0000", "CREATE TABLE t (a INT, b INT);"), // inactive
+        ("2015-04-01 10:00:00 +0000", "CREATE TABLE t (a BIGINT, b INT);"),
+    ];
+
+    #[test]
+    fn cache_on_and_off_produce_identical_histories() {
+        let cached = history(INACTIVE_HEAVY);
+        let uncached = history_uncached(INACTIVE_HEAVY, DiffMode::Incremental);
+        let legacy = history_uncached(INACTIVE_HEAVY, DiffMode::Legacy);
+        assert_eq!(cached, uncached);
+        assert_eq!(cached, legacy);
+        assert_eq!(cached.heartbeat(), uncached.heartbeat());
+        assert_eq!(cached.heartbeat(), legacy.heartbeat());
+        assert_eq!(cached.active_commits(), 3);
+        assert_eq!(cached.total_activity(), 3);
+    }
+
+    #[test]
+    fn inactive_commits_short_circuit_with_and_without_sharing() {
+        // Cached: inactive commits share the previous version's Arc, so the
+        // ptr_eq fast path fires. Uncached: distinct allocations, so the
+        // fingerprint short-circuit fires instead. Same counters either way.
+        for h in
+            [history(INACTIVE_HEAVY), history_uncached(INACTIVE_HEAVY, DiffMode::Incremental)]
+        {
+            let s = h.diff_stats();
+            assert_eq!(s.schema_diffs, 6);
+            assert_eq!(s.versions_unchanged, 3);
+            assert_eq!(s.elided(), 3);
+        }
+        // Legacy mode does no incremental work at all.
+        let s = history_uncached(INACTIVE_HEAVY, DiffMode::Legacy).diff_stats();
+        assert_eq!(s, DiffStats::default());
+    }
+
+    #[test]
+    fn cached_inactive_versions_share_one_schema() {
+        let h = history(INACTIVE_HEAVY);
+        let v = h.versions();
+        assert!(Arc::ptr_eq(&v[0].schema, &v[1].schema));
+        assert!(Arc::ptr_eq(&v[2].schema, &v[3].schema));
+        assert!(Arc::ptr_eq(&v[2].schema, &v[4].schema));
+        assert!(!Arc::ptr_eq(&v[0].schema, &v[2].schema));
+    }
+
+    #[test]
+    fn unchanged_tables_are_skipped_not_rediffed() {
+        let h = history(&[
+            ("2015-01-01 10:00:00 +0000", "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),
+            ("2015-02-01 10:00:00 +0000", "CREATE TABLE a (x BIGINT); CREATE TABLE b (y INT);"),
+        ]);
+        let s = h.diff_stats();
+        // The creation delta has no survivors (both tables are born). The
+        // second delta has two survivors: `a` changed (diffed), `b`
+        // unchanged (skipped via fingerprint).
+        assert_eq!(s.tables_diffed, 1);
+        assert_eq!(s.tables_skipped, 1);
+        assert_eq!(h.total_activity(), 3); // 2 births + 1 type change
     }
 
     #[test]

@@ -45,8 +45,11 @@ pub use activity::ActivityBreakdown;
 pub use changes::{AttributeChange, SchemaDelta, TableDelta, TableFate};
 pub use constraint_diff::{diff_constraints, ConstraintDelta, ForeignKeyChange, IndexChange};
 pub use growth::{net_growth, schema_size_series, SizePoint};
-pub use history::{SchemaHistory, SchemaVersion, VersionDelta};
+pub use history::{DiffMode, SchemaHistory, SchemaVersion, VersionDelta};
 pub use localization::{change_localization, gini_coefficient, ChangeLocalization};
-pub use schema_diff::{diff_schemas, diff_schemas_with, MatchPolicy};
+pub use schema_diff::{
+    diff_schemas, diff_schemas_counted, diff_schemas_legacy, diff_schemas_with, DiffStats,
+    MatchPolicy,
+};
 pub use smo::{delta_to_smos, Smo};
-pub use table_diff::diff_tables;
+pub use table_diff::{diff_tables, diff_tables_legacy};

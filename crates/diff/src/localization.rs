@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn dropped_tables_attributed() {
         let h = history(&[
-            ("2020-01-01 00:00:00 +0000", "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);"),
+            (
+                "2020-01-01 00:00:00 +0000",
+                "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);",
+            ),
             ("2020-02-01 00:00:00 +0000", "CREATE TABLE a (x INT);"),
         ]);
         let loc = change_localization(&h);

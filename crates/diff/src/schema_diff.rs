@@ -1,9 +1,46 @@
 //! Schema-level diff: table matching, creations, drops, and survivors.
+//!
+//! The diff is *incremental*: schemas and tables sealed at parse time carry
+//! structural fingerprints (see [`coevo_ddl::fingerprint`]), and identical
+//! versions / unchanged tables are skipped without any attribute-level work.
+//! Every fingerprint short-circuit is confirmed by a full structural equality
+//! check, so a 64-bit collision can never alter the accounting — the output
+//! is byte-identical to the pre-fingerprint algorithm, which is preserved as
+//! [`diff_schemas_legacy`] and used as the oracle in differential tests.
 
 use crate::changes::{SchemaDelta, TableDelta, TableFate};
-use crate::table_diff::diff_tables;
-use coevo_ddl::Schema;
+use crate::table_diff::{diff_tables, diff_tables_legacy};
+use coevo_ddl::{Schema, SchemaSeal, Table};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Counters for how much work the incremental diff core actually did — and,
+/// more importantly, elided. Accumulated across a history by
+/// [`crate::SchemaHistory`] and surfaced as cache/skip rates in
+/// `coevo study --profile`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffStats {
+    /// Schema-pair diffs requested.
+    pub schema_diffs: u64,
+    /// Whole-version short-circuits: the two schemas were structurally
+    /// identical (fingerprint-equal and confirmed equal, or the same shared
+    /// `Arc`), so no table work happened at all.
+    pub versions_unchanged: u64,
+    /// Surviving tables skipped because both sides were fingerprint-equal
+    /// (and confirmed equal).
+    pub tables_skipped: u64,
+    /// Surviving tables that went through the attribute-level diff.
+    pub tables_diffed: u64,
+}
+
+impl DiffStats {
+    /// Lookups the incremental core answered without diffing (version- and
+    /// table-level skips combined).
+    pub fn elided(&self) -> u64 {
+        self.versions_unchanged + self.tables_skipped
+    }
+}
 
 /// How attributes (and, transitively, their changes) are matched between two
 /// versions. The paper matches by name; rename detection is an ablation knob
@@ -28,8 +65,75 @@ pub fn diff_schemas(old: &Schema, new: &Schema) -> SchemaDelta {
 /// Tables are matched by case-insensitive name. A table present only in
 /// `new` contributes its attributes as *born with table*; present only in
 /// `old`, as *deleted with table*; present in both, the attribute-level
-/// diff of [`diff_tables`].
+/// diff of [`diff_tables`] — unless the two sides are fingerprint-equal
+/// (confirmed by `==`), in which case the table is skipped entirely.
 pub fn diff_schemas_with(old: &Schema, new: &Schema, policy: MatchPolicy) -> SchemaDelta {
+    let mut stats = DiffStats::default();
+    diff_schemas_counted(old, new, policy, &mut stats)
+}
+
+/// [`diff_schemas_with`], accumulating work/skip counters into `stats`.
+pub fn diff_schemas_counted(
+    old: &Schema,
+    new: &Schema,
+    policy: MatchPolicy,
+    stats: &mut DiffStats,
+) -> SchemaDelta {
+    stats.schema_diffs += 1;
+    if schemas_identical(old, new) {
+        stats.versions_unchanged += 1;
+        return SchemaDelta { tables: Vec::new() };
+    }
+
+    let old_keys = SchemaKeys::of(old);
+    let new_keys = SchemaKeys::of(new);
+
+    let mut deltas = Vec::new();
+
+    // Old-version order: drops and survivors.
+    for t in &old.tables {
+        match new_keys.index_of(&table_key(t)) {
+            Some(j) => {
+                let new_t = &new.tables[j];
+                if tables_identical(t, new_t) {
+                    stats.tables_skipped += 1;
+                    continue;
+                }
+                stats.tables_diffed += 1;
+                let td = diff_tables(t, new_t, policy);
+                if !td.changes.is_empty() {
+                    deltas.push(td);
+                }
+            }
+            None => {
+                deltas.push(TableDelta {
+                    table: t.name.clone(),
+                    fate: TableFate::Dropped,
+                    changes: Vec::new(),
+                    attribute_count: t.columns.len(),
+                });
+            }
+        }
+    }
+    // New-version order: creations.
+    for t in &new.tables {
+        if old_keys.index_of(&table_key(t)).is_none() {
+            deltas.push(TableDelta {
+                table: t.name.clone(),
+                fate: TableFate::Created,
+                changes: Vec::new(),
+                attribute_count: t.columns.len(),
+            });
+        }
+    }
+
+    SchemaDelta { tables: deltas }
+}
+
+/// The pre-fingerprint schema diff, preserved verbatim as the oracle for the
+/// differential tests: it unconditionally rebuilds key maps and runs the
+/// attribute-level diff on every surviving table.
+pub fn diff_schemas_legacy(old: &Schema, new: &Schema, policy: MatchPolicy) -> SchemaDelta {
     let old_by_key: BTreeMap<String, usize> =
         old.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
     let new_by_key: BTreeMap<String, usize> =
@@ -41,7 +145,7 @@ pub fn diff_schemas_with(old: &Schema, new: &Schema, policy: MatchPolicy) -> Sch
     for t in &old.tables {
         match new_by_key.get(&t.key()) {
             Some(&j) => {
-                let td = diff_tables(t, &new.tables[j], policy);
+                let td = diff_tables_legacy(t, &new.tables[j], policy);
                 if !td.changes.is_empty() {
                     deltas.push(td);
                 }
@@ -69,6 +173,63 @@ pub fn diff_schemas_with(old: &Schema, new: &Schema, policy: MatchPolicy) -> Sch
     }
 
     SchemaDelta { tables: deltas }
+}
+
+/// True when the two schemas are provably structurally identical *cheaply*:
+/// the same allocation, or fingerprint-equal seals confirmed by `==`. An
+/// unsealed pair never short-circuits — it flows through the per-table walk,
+/// exactly like the legacy algorithm.
+fn schemas_identical(old: &Schema, new: &Schema) -> bool {
+    if std::ptr::eq(old, new) {
+        return true;
+    }
+    match (old.seal_data(), new.seal_data()) {
+        (Some(a), Some(b)) => a.fingerprint() == b.fingerprint() && old == new,
+        _ => false,
+    }
+}
+
+/// True when two surviving tables are provably identical: fingerprint-equal
+/// seals, confirmed by `==` so a hash collision cannot suppress real changes.
+fn tables_identical(old: &Table, new: &Table) -> bool {
+    match (old.seal_data(), new.seal_data()) {
+        (Some(a), Some(b)) => a.fingerprint() == b.fingerprint() && old == new,
+        _ => false,
+    }
+}
+
+/// A table's case-folded key: borrowed from the seal when available,
+/// computed otherwise.
+fn table_key(t: &Table) -> Cow<'_, str> {
+    match t.seal_data() {
+        Some(s) => Cow::Borrowed(s.table_key()),
+        None => Cow::Owned(t.key()),
+    }
+}
+
+/// Key → index lookup over a schema's tables: the sealed map when present,
+/// a freshly built one (same last-declaration-wins semantics) otherwise.
+enum SchemaKeys<'a> {
+    Sealed(&'a SchemaSeal),
+    Built(BTreeMap<String, usize>),
+}
+
+impl<'a> SchemaKeys<'a> {
+    fn of(s: &'a Schema) -> Self {
+        match s.seal_data() {
+            Some(seal) => Self::Sealed(seal),
+            None => {
+                Self::Built(s.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect())
+            }
+        }
+    }
+
+    fn index_of(&self, key: &str) -> Option<usize> {
+        match self {
+            Self::Sealed(seal) => seal.table_index(key),
+            Self::Built(map) => map.get(key).copied(),
+        }
+    }
 }
 
 #[cfg(test)]

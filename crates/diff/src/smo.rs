@@ -173,7 +173,9 @@ mod tests {
 
     #[test]
     fn smo_script_covers_all_changes() {
-        let old = schema("CREATE TABLE gone (a INT); CREATE TABLE t (x INT, y INT, w INT, PRIMARY KEY (x));");
+        let old = schema(
+            "CREATE TABLE gone (a INT); CREATE TABLE t (x INT, y INT, w INT, PRIMARY KEY (x));",
+        );
         let new = schema("CREATE TABLE t (x INT, y INT, z TEXT, PRIMARY KEY (x, y)); CREATE TABLE born (b INT);");
         let smos = delta_to_smos(&diff_schemas(&old, &new));
         let rendered: Vec<String> = smos.iter().map(|s| s.to_string()).collect();

@@ -2,8 +2,53 @@
 
 use crate::changes::{AttributeChange, TableDelta, TableFate};
 use crate::schema_diff::MatchPolicy;
-use coevo_ddl::Table;
+use coevo_ddl::{Table, TableSeal};
 use std::collections::BTreeMap;
+
+/// Case-folded column keys of one table side: borrowed from the parse-time
+/// seal when available, built once per diff (not once per column, as the
+/// pre-refactor code did) otherwise. Either way, matchers downstream see
+/// `&str` and never allocate.
+enum ColumnKeys<'a> {
+    Sealed(&'a TableSeal),
+    Built { folded: Vec<String>, by_key: BTreeMap<String, usize> },
+}
+
+impl<'a> ColumnKeys<'a> {
+    fn of(t: &'a Table) -> Self {
+        match t.seal_data() {
+            Some(seal) => {
+                // A seal always describes the current structure — every &mut
+                // accessor drops it. This trips if a caller mutated `pub`
+                // fields of a sealed table without `unseal()`.
+                debug_assert_eq!(seal.len(), t.columns.len(), "stale seal on {}", t.name);
+                Self::Sealed(seal)
+            }
+            None => {
+                let folded: Vec<String> = t.columns.iter().map(|c| c.key()).collect();
+                let by_key = folded.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+                Self::Built { folded, by_key }
+            }
+        }
+    }
+
+    /// The folded key of column `i` (declaration order).
+    fn key(&self, i: usize) -> &str {
+        match self {
+            Self::Sealed(seal) => seal.column_key(i),
+            Self::Built { folded, .. } => &folded[i],
+        }
+    }
+
+    /// Index of the column with the given folded key (last declaration wins
+    /// on duplicates, matching the legacy map-collect semantics).
+    fn index_of(&self, key: &str) -> Option<usize> {
+        match self {
+            Self::Sealed(seal) => seal.column_index(key),
+            Self::Built { by_key, .. } => by_key.get(key).copied(),
+        }
+    }
+}
 
 /// Diff two versions of a surviving table into attribute-level changes.
 ///
@@ -12,6 +57,96 @@ use std::collections::BTreeMap;
 /// with identical types are additionally recognized as renames — an ablation
 /// of the matching construct, not the paper's accounting.
 pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
+    let old_keys = ColumnKeys::of(old);
+    let new_keys = ColumnKeys::of(new);
+
+    let old_pk = old.primary_key();
+    let new_pk = new.primary_key();
+
+    let mut changes = Vec::new();
+    let mut ejected: Vec<usize> = Vec::new();
+    let mut injected: Vec<usize> = Vec::new();
+
+    // Survivors: type and key changes. Iterate in old declaration order for
+    // deterministic output.
+    for (i, col) in old.columns.iter().enumerate() {
+        let key = old_keys.key(i);
+        match new_keys.index_of(key) {
+            Some(j) => {
+                let new_col = &new.columns[j];
+                if !col.sql_type.equivalent(&new_col.sql_type) {
+                    changes.push(AttributeChange::TypeChanged {
+                        name: new_col.name.clone(),
+                        from: col.sql_type.clone(),
+                        to: new_col.sql_type.clone(),
+                    });
+                }
+                let was_in_key = old_pk.iter().any(|p| p == key);
+                let now_in_key = new_pk.iter().any(|p| p == new_keys.key(j));
+                if was_in_key != now_in_key {
+                    changes.push(AttributeChange::KeyChanged {
+                        name: new_col.name.clone(),
+                        now_in_key,
+                    });
+                }
+            }
+            None => ejected.push(i),
+        }
+    }
+    for (j, _col) in new.columns.iter().enumerate() {
+        if old_keys.index_of(new_keys.key(j)).is_none() {
+            injected.push(j);
+        }
+    }
+
+    if policy == MatchPolicy::RenameDetection {
+        // Greedily pair unmatched old attributes with unmatched new ones of
+        // the identical type, in declaration order.
+        let mut remaining_new = injected.clone();
+        let mut paired_old = Vec::new();
+        for &i in &ejected {
+            if let Some(pos) = remaining_new
+                .iter()
+                .position(|&j| new.columns[j].sql_type.equivalent(&old.columns[i].sql_type))
+            {
+                let j = remaining_new.remove(pos);
+                changes.push(AttributeChange::Renamed {
+                    from: old.columns[i].name.clone(),
+                    to: new.columns[j].name.clone(),
+                    sql_type: old.columns[i].sql_type.clone(),
+                });
+                paired_old.push(i);
+            }
+        }
+        ejected.retain(|i| !paired_old.contains(i));
+        injected = remaining_new;
+    }
+
+    for i in ejected {
+        changes.push(AttributeChange::Ejected {
+            name: old.columns[i].name.clone(),
+            sql_type: old.columns[i].sql_type.clone(),
+        });
+    }
+    for j in injected {
+        changes.push(AttributeChange::Injected {
+            name: new.columns[j].name.clone(),
+            sql_type: new.columns[j].sql_type.clone(),
+        });
+    }
+
+    TableDelta {
+        table: new.name.clone(),
+        fate: TableFate::Survived,
+        changes,
+        attribute_count: 0,
+    }
+}
+
+/// The pre-refactor attribute-level diff, preserved verbatim as the oracle
+/// for the differential tests: it re-lowercases every column name on each
+/// lookup and rebuilds both key maps per call.
+pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
     let old_by_key: BTreeMap<String, usize> =
         old.columns.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
     let new_by_key: BTreeMap<String, usize> =
@@ -105,12 +240,7 @@ mod tests {
     use coevo_ddl::{parse_schema, Dialect};
 
     fn table(sql: &str) -> Table {
-        parse_schema(sql, Dialect::Generic)
-            .unwrap()
-            .tables
-            .into_iter()
-            .next()
-            .unwrap()
+        parse_schema(sql, Dialect::Generic).unwrap().tables.into_iter().next().unwrap()
     }
 
     #[test]

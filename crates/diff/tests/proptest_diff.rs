@@ -1,7 +1,7 @@
 //! Property tests on diff invariants.
 
 use coevo_ddl::{Column, Schema, SqlType, Table};
-use coevo_diff::{diff_schemas, diff_schemas_with, MatchPolicy};
+use coevo_diff::{diff_schemas, diff_schemas_legacy, diff_schemas_with, MatchPolicy};
 use proptest::prelude::*;
 
 fn sql_type_strategy() -> impl Strategy<Value = SqlType> {
@@ -37,8 +37,14 @@ prop_compose! {
     ) -> Schema {
         let mut seen = std::collections::HashSet::new();
         tables.retain(|t| seen.insert(t.key()));
-        Schema { tables }
+        Schema::from_tables(tables)
     }
+}
+
+fn sealed(s: &Schema) -> Schema {
+    let mut s = s.clone();
+    s.seal();
+    s
 }
 
 proptest! {
@@ -91,6 +97,35 @@ proptest! {
         prop_assert!(count(&renames) <= count(&by_name));
         // Activity accounting is identical under both policies.
         prop_assert_eq!(renames.breakdown().total(), by_name.breakdown().total());
+    }
+
+    #[test]
+    fn incremental_diff_is_byte_identical_to_legacy(
+        a in schema_strategy(), b in schema_strategy()
+    ) {
+        // The fingerprinted path must reproduce the pre-refactor algorithm's
+        // output exactly — for unsealed schemas (no short-circuits possible),
+        // sealed schemas (fingerprint skips active), and mixed pairs — under
+        // both matching policies.
+        let (sa, sb) = (sealed(&a), sealed(&b));
+        for policy in [MatchPolicy::ByName, MatchPolicy::RenameDetection] {
+            let oracle = diff_schemas_legacy(&a, &b, policy);
+            prop_assert_eq!(&diff_schemas_with(&a, &b, policy), &oracle);
+            prop_assert_eq!(&diff_schemas_with(&sa, &sb, policy), &oracle);
+            prop_assert_eq!(&diff_schemas_with(&sa, &b, policy), &oracle);
+            prop_assert_eq!(&diff_schemas_with(&a, &sb, policy), &oracle);
+        }
+    }
+
+    #[test]
+    fn sealed_self_diff_short_circuits_to_empty(s in schema_strategy()) {
+        let sa = sealed(&s);
+        let sb = sealed(&s);
+        let mut stats = coevo_diff::DiffStats::default();
+        let d = coevo_diff::diff_schemas_counted(&sa, &sb, MatchPolicy::ByName, &mut stats);
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(stats.versions_unchanged, 1);
+        prop_assert_eq!(stats.tables_diffed, 0);
     }
 
     #[test]

@@ -172,8 +172,9 @@ mod tests {
 
     #[test]
     fn source_preserves_parser_errors() {
-        let ddl_err = coevo_ddl::parse_schema("CREATE TABLE t (a INT", coevo_ddl::Dialect::Generic)
-            .unwrap_err();
+        let ddl_err =
+            coevo_ddl::parse_schema("CREATE TABLE t (a INT", coevo_ddl::Dialect::Generic)
+                .unwrap_err();
         let e = EngineError {
             project: "g/p".into(),
             stage: Stage::Parse,

@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 pub struct Metrics {
     busy_nanos: [AtomicU64; Stage::ALL.len()],
     items: [AtomicU64; Stage::ALL.len()],
+    cache_hits: [AtomicU64; Stage::ALL.len()],
+    cache_misses: [AtomicU64; Stage::ALL.len()],
     started: Instant,
 }
 
@@ -29,6 +31,8 @@ impl Metrics {
         Self {
             busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
             items: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_misses: std::array::from_fn(|_| AtomicU64::new(0)),
             started: Instant::now(),
         }
     }
@@ -38,6 +42,15 @@ impl Metrics {
         let i = Self::index(stage);
         self.busy_nanos[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.items[i].fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Record incremental-core counters for `stage`: lookups the stage's
+    /// cache answered (`hits` — parses elided, versions/tables skipped) vs.
+    /// lookups that had to do the work (`misses`).
+    pub fn record_cache(&self, stage: Stage, hits: u64, misses: u64) {
+        let i = Self::index(stage);
+        self.cache_hits[i].fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses[i].fetch_add(misses, Ordering::Relaxed);
     }
 
     /// Freeze the counters. `workers` is echoed into the snapshot so the
@@ -50,6 +63,8 @@ impl Metrics {
                 stage,
                 items: self.items[i].load(Ordering::Relaxed),
                 busy: Duration::from_nanos(self.busy_nanos[i].load(Ordering::Relaxed)),
+                cache_hits: self.cache_hits[i].load(Ordering::Relaxed),
+                cache_misses: self.cache_misses[i].load(Ordering::Relaxed),
             })
             .collect();
         MetricsSnapshot { stages, wall: self.started.elapsed(), workers }
@@ -70,6 +85,12 @@ pub struct StageMetrics {
     pub items: u64,
     /// Summed busy time across all workers.
     pub busy: Duration,
+    /// Incremental-core lookups answered without doing the work (parse-cache
+    /// hits, fingerprint-equal versions/tables skipped).
+    pub cache_hits: u64,
+    /// Incremental-core lookups that did the work (fresh parses, tables
+    /// actually diffed).
+    pub cache_misses: u64,
 }
 
 impl StageMetrics {
@@ -80,6 +101,17 @@ impl StageMetrics {
             self.items as f64 / secs
         } else {
             0.0
+        }
+    }
+
+    /// Fraction of cache lookups answered without work, or `None` when the
+    /// stage recorded no cache lookups at all.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
         }
     }
 }
@@ -110,6 +142,8 @@ impl MetricsSnapshot {
                 stage: s.stage.name().to_string(),
                 items: s.items,
                 busy: s.busy,
+                cache_hits: s.cache_hits,
+                cache_misses: s.cache_misses,
             })
             .collect();
         coevo_report::profile::render_profile(&rows, self.wall, self.workers)
@@ -134,6 +168,25 @@ mod tests {
         assert!((parse.throughput() - 250.0).abs() < 1.0);
         assert_eq!(snap.stage(Stage::Diff).unwrap().items, 0);
         assert_eq!(snap.stage(Stage::Diff).unwrap().throughput(), 0.0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_rate() {
+        let m = Metrics::new();
+        m.record_cache(Stage::Parse, 59, 1);
+        m.record_cache(Stage::Parse, 0, 1);
+        m.record_cache(Stage::Diff, 10, 30);
+        let snap = m.snapshot(1);
+        let parse = snap.stage(Stage::Parse).unwrap();
+        assert_eq!((parse.cache_hits, parse.cache_misses), (59, 2));
+        assert!((parse.cache_hit_rate().unwrap() - 59.0 / 61.0).abs() < 1e-9);
+        assert!(
+            (snap.stage(Stage::Diff).unwrap().cache_hit_rate().unwrap() - 0.25).abs() < 1e-9
+        );
+        // Stages with no cache lookups report no rate (rendered as `-`).
+        assert_eq!(snap.stage(Stage::Load).unwrap().cache_hit_rate(), None);
+        let text = snap.render();
+        assert!(text.contains("97%"), "{text}"); // parse hit rate 59/61
     }
 
     #[test]

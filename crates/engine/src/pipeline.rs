@@ -9,7 +9,7 @@ use crate::error::{EngineError, EngineErrorKind, Stage};
 use crate::metrics::Metrics;
 use coevo_core::{ProjectData, ProjectMeasures};
 use coevo_corpus::GeneratedProject;
-use coevo_ddl::{parse_schema, Dialect};
+use coevo_ddl::{Dialect, ParseCache};
 use coevo_diff::{MatchPolicy, SchemaHistory, SchemaVersion};
 use coevo_heartbeat::DateTime;
 use coevo_taxa::{Taxon, TaxonomyConfig};
@@ -42,31 +42,37 @@ pub(crate) fn process(
         kind,
     };
 
-    // Parse: the git log, then every DDL version.
+    // Parse: the git log, then every DDL version through a per-project
+    // content-addressed cache — byte-identical versions (inactive commits)
+    // parse once and share one `Arc<Schema>`.
     let t = Instant::now();
-    let repo = parse_log(&item.git_log)
-        .map_err(|e| fail(Stage::Parse, EngineErrorKind::GitLog(e)))?;
+    let repo =
+        parse_log(&item.git_log).map_err(|e| fail(Stage::Parse, EngineErrorKind::GitLog(e)))?;
+    let mut cache = ParseCache::new();
     let mut versions = Vec::with_capacity(item.ddl_versions.len());
     for (date, text) in &item.ddl_versions {
-        let schema = parse_schema(text, item.dialect)
+        let schema = cache
+            .parse(text, item.dialect)
             .map_err(|e| fail(Stage::Parse, EngineErrorKind::Ddl(e)))?;
         versions.push(SchemaVersion { date: *date, schema });
     }
     metrics.record(Stage::Parse, t.elapsed(), 1 + item.ddl_versions.len() as u64);
+    metrics.record_cache(Stage::Parse, cache.hits(), cache.misses());
 
     // Diff: consecutive versions into the delta sequence.
     let t = Instant::now();
     let history = SchemaHistory::from_schemas(versions, MatchPolicy::ByName)
         .ok_or_else(|| fail(Stage::Diff, EngineErrorKind::Empty("schema history")))?;
     metrics.record(Stage::Diff, t.elapsed(), history.deltas().len() as u64);
+    let dstats = history.diff_stats();
+    metrics.record_cache(Stage::Diff, dstats.elided(), dstats.tables_diffed);
 
     // Heartbeat: the two monthly activity series.
     let t = Instant::now();
     let project_hb = project_heartbeat(&repo)
         .ok_or_else(|| fail(Stage::Heartbeat, EngineErrorKind::Empty("repository")))?;
     let schema_hb = history.heartbeat();
-    let birth_activity =
-        history.deltas().first().map(|d| d.breakdown.total()).unwrap_or(0);
+    let birth_activity = history.deltas().first().map(|d| d.breakdown.total()).unwrap_or(0);
     metrics.record(Stage::Heartbeat, t.elapsed(), 2);
 
     let mut data = ProjectData::new(&item.name, project_hb, schema_hb, birth_activity);
@@ -122,7 +128,8 @@ mod tests {
     use super::*;
     use coevo_corpus::{generate_corpus, CorpusSpec};
 
-    const GOOD_LOG: &str = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
+    const GOOD_LOG: &str =
+        "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
 
     fn dt(s: &str) -> DateTime {
         DateTime::parse(s).unwrap()
@@ -143,13 +150,42 @@ mod tests {
     }
 
     #[test]
+    fn inactive_versions_hit_the_parse_and_diff_caches() {
+        let same = "CREATE TABLE t (a INT);".to_string();
+        let item = WorkItem {
+            index: 0,
+            name: "x/y".into(),
+            git_log: GOOD_LOG.to_string(),
+            ddl_versions: vec![
+                (dt("2020-01-01 00:00:00 +0000"), same.clone()),
+                (dt("2020-02-01 00:00:00 +0000"), same.clone()),
+                (dt("2020-03-01 00:00:00 +0000"), same),
+                (dt("2020-04-01 00:00:00 +0000"), "CREATE TABLE t (a INT, b INT);".into()),
+            ],
+            dialect: Dialect::Generic,
+            taxon: None,
+        };
+        let metrics = Metrics::new();
+        process(&item, &TaxonomyConfig::default(), &metrics).expect("pipeline");
+        let snap = metrics.snapshot(1);
+        let parse = snap.stage(Stage::Parse).unwrap();
+        // Item accounting is unchanged: 1 git log + 4 versions.
+        assert_eq!(parse.items, 5);
+        // But only 2 distinct texts parsed; 2 lookups were cache hits.
+        assert_eq!((parse.cache_hits, parse.cache_misses), (2, 2));
+        let diff = snap.stage(Stage::Diff).unwrap();
+        // Versions 2 and 3 short-circuit whole-version; version 4 diffs
+        // table `t` for real. (The creation delta has no survivors.)
+        assert_eq!((diff.cache_hits, diff.cache_misses), (2, 1));
+    }
+
+    #[test]
     fn corrupt_ddl_fails_at_parse_with_position() {
         let versions = vec![
             (dt("2020-01-01 00:00:00 +0000"), "CREATE TABLE t (a INT);".to_string()),
             (dt("2020-02-01 00:00:00 +0000"), "CREATE TABLE t (a INT".to_string()),
         ];
-        let err = project_from_texts("x/y", GOOD_LOG, &versions, Dialect::Generic)
-            .unwrap_err();
+        let err = project_from_texts("x/y", GOOD_LOG, &versions, Dialect::Generic).unwrap_err();
         assert_eq!(err.stage, Stage::Parse);
         let EngineErrorKind::Ddl(parse) = &err.kind else {
             panic!("expected Ddl kind, got {:?}", err.kind)

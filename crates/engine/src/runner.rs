@@ -16,9 +16,7 @@
 //! [`ProjectFailure`] under the default [`FailurePolicy::CollectAndContinue`]
 //! — the study completes on the survivors instead of aborting.
 
-use crate::error::{
-    EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage,
-};
+use crate::error::{EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pipeline::{process, WorkItem};
 use coevo_core::{ProjectData, ProjectMeasures, StudyResults};
@@ -181,18 +179,11 @@ impl StudyRunner {
         let results = StudyResults::from_measures(measures);
         metrics.record(Stage::Stats, t.elapsed(), 1);
 
-        Ok(EngineReport {
-            projects,
-            results,
-            failures,
-            metrics: metrics.snapshot(workers),
-        })
+        Ok(EngineReport { projects, results, failures, metrics: metrics.snapshot(workers) })
     }
 
     fn worker_count(&self, items: usize) -> usize {
-        let auto = || {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        };
+        let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let n = if self.config.workers == 0 { auto() } else { self.config.workers };
         n.min(items.max(1))
     }
@@ -256,19 +247,15 @@ impl StudyRunner {
                     loop {
                         // Own queue first, then steal from peers.
                         let item = own.pop().or_else(|| {
-                            stealers
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, _)| *j != id)
-                                .find_map(|(_, s)| loop {
+                            stealers.iter().enumerate().filter(|(j, _)| *j != id).find_map(
+                                |(_, s)| loop {
                                     match s.steal() {
-                                        crossbeam::deque::Steal::Success(it) => {
-                                            break Some(it)
-                                        }
+                                        crossbeam::deque::Steal::Success(it) => break Some(it),
                                         crossbeam::deque::Steal::Empty => break None,
                                         crossbeam::deque::Steal::Retry => {}
                                     }
-                                })
+                                },
+                            )
                         });
                         let Some(item) = item else {
                             if remaining.load(Ordering::Acquire) == 0 {
@@ -375,9 +362,7 @@ type RawProjectParts =
 /// Read one project directory's raw artifacts without running the pipeline
 /// (parsing happens inside the instrumented worker stages).
 fn load_project_raw(dir: &std::path::Path) -> Result<RawProjectParts, EngineErrorKind> {
-    let io = |what: &str, e: std::io::Error| {
-        EngineErrorKind::Load(format!("{what}: {e}"))
-    };
+    let io = |what: &str, e: std::io::Error| EngineErrorKind::Load(format!("{what}: {e}"));
     let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))
         .map_err(|e| io("manifest.json", e))?;
     let manifest: Manifest = coevo_corpus::loader::manifest_from_json(&manifest_text)
@@ -385,8 +370,7 @@ fn load_project_raw(dir: &std::path::Path) -> Result<RawProjectParts, EngineErro
     let dialect = Dialect::from_name(&manifest.dialect).ok_or_else(|| {
         EngineErrorKind::Load(format!("unknown dialect {:?}", manifest.dialect))
     })?;
-    let git_log =
-        std::fs::read_to_string(dir.join("git.log")).map_err(|e| io("git.log", e))?;
+    let git_log = std::fs::read_to_string(dir.join("git.log")).map_err(|e| io("git.log", e))?;
     let mut ddl_versions = Vec::with_capacity(manifest.versions.len());
     for v in &manifest.versions {
         let date = DateTime::parse(&v.date)
@@ -461,8 +445,8 @@ mod tests {
 
     #[test]
     fn empty_on_disk_corpus_is_an_empty_study() {
-        let dir = std::env::temp_dir()
-            .join(format!("coevo_engine_empty_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("coevo_engine_empty_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let report = StudyRunner::new(StudyConfig::default())

@@ -27,11 +27,7 @@ where
 /// Bucket two event streams onto one shared window axis (anchored at the
 /// earlier of the two first events, padded to the later last event).
 /// Returns `None` if either stream is empty.
-pub fn windowed_pair<A, B>(
-    a: A,
-    b: B,
-    window_days: i64,
-) -> Option<(Date, Vec<u64>, Vec<u64>)>
+pub fn windowed_pair<A, B>(a: A, b: B, window_days: i64) -> Option<(Date, Vec<u64>, Vec<u64>)>
 where
     A: IntoIterator<Item = (Date, u64)>,
     B: IntoIterator<Item = (Date, u64)>,
@@ -39,11 +35,7 @@ where
     assert!(window_days > 0, "window must be positive");
     let a: Vec<(Date, u64)> = a.into_iter().collect();
     let b: Vec<(Date, u64)> = b.into_iter().collect();
-    let first = a
-        .iter()
-        .chain(b.iter())
-        .map(|(d, _)| *d)
-        .min()?;
+    let first = a.iter().chain(b.iter()).map(|(d, _)| *d).min()?;
     if a.is_empty() || b.is_empty() {
         return None;
     }

@@ -1,7 +1,9 @@
 //! Property tests over dates, months, and cumulative series invariants.
 
-use coevo_heartbeat::{cumulative_fraction, time_progress, Date, DateTime, Heartbeat, YearMonth};
 use coevo_heartbeat::align::JointProgress;
+use coevo_heartbeat::{
+    cumulative_fraction, time_progress, Date, DateTime, Heartbeat, YearMonth,
+};
 use proptest::prelude::*;
 
 proptest! {

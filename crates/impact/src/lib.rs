@@ -39,4 +39,4 @@ pub mod analyzer;
 pub mod scanner;
 
 pub use analyzer::{FileImpact, Hit, ImpactAnalyzer, ImpactReport};
-pub use scanner::{scan_source, IdentifierIndex, Reference, RefKind, ScanConfig};
+pub use scanner::{scan_source, IdentifierIndex, RefKind, Reference, ScanConfig};

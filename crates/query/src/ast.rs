@@ -144,10 +144,8 @@ mod tests {
 
     #[test]
     fn tables_collects_subqueries() {
-        let inner = SelectQuery {
-            tables: vec![TableRef::named("inner_t")],
-            ..Default::default()
-        };
+        let inner =
+            SelectQuery { tables: vec![TableRef::named("inner_t")], ..Default::default() };
         let outer = Query::Select(SelectQuery {
             tables: vec![TableRef::named("outer_t")],
             subqueries: vec![inner],

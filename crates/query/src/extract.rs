@@ -61,10 +61,7 @@ pub fn extract_sql_strings(source: &str) -> Vec<EmbeddedSql> {
                 }
                 if closed {
                     let trimmed = content.trim_start();
-                    if DML_PREFIXES
-                        .iter()
-                        .any(|p| starts_with_word(trimmed, p))
-                    {
+                    if DML_PREFIXES.iter().any(|p| starts_with_word(trimmed, p)) {
                         out.push(EmbeddedSql { line: start_line, sql: content.clone() });
                     }
                     i = j + 1;

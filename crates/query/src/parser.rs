@@ -36,11 +36,56 @@ fn err<T>(message: impl Into<String>) -> Result<T, QueryError> {
 
 /// Words that terminate an expression scope or are never column references.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT", "OFFSET", "UNION", "JOIN",
-    "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "NULL", "IN",
-    "IS", "LIKE", "ILIKE", "BETWEEN", "AS", "ASC", "DESC", "DISTINCT", "CASE", "WHEN", "THEN",
-    "ELSE", "END", "EXISTS", "ALL", "ANY", "SOME", "BY", "VALUES", "SET", "INTO", "TRUE",
-    "FALSE", "INTERVAL", "CAST", "USING", "FOR", "RETURNING",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "HAVING",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "OUTER",
+    "CROSS",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "IN",
+    "IS",
+    "LIKE",
+    "ILIKE",
+    "BETWEEN",
+    "AS",
+    "ASC",
+    "DESC",
+    "DISTINCT",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "EXISTS",
+    "ALL",
+    "ANY",
+    "SOME",
+    "BY",
+    "VALUES",
+    "SET",
+    "INTO",
+    "TRUE",
+    "FALSE",
+    "INTERVAL",
+    "CAST",
+    "USING",
+    "FOR",
+    "RETURNING",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -49,8 +94,26 @@ fn is_reserved(word: &str) -> bool {
 
 /// Clause keywords that end the current expression scope at depth 0.
 const CLAUSE_STOPS: &[&str] = &[
-    "FROM", "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT", "OFFSET", "UNION", "JOIN", "INNER",
-    "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "RETURNING", "SET", "VALUES", "AS",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "HAVING",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "OUTER",
+    "CROSS",
+    "ON",
+    "RETURNING",
+    "SET",
+    "VALUES",
+    "AS",
 ];
 
 /// Parse one DML statement. A trailing semicolon is tolerated.
@@ -230,8 +293,7 @@ impl QueryParser {
     fn table_list(&mut self, q: &mut SelectQuery) -> Result<(), QueryError> {
         loop {
             // Derived table: FROM (SELECT ...) alias
-            if matches!(self.peek(), TokenKind::LParen)
-                && self.peek_at(1).is_keyword("SELECT")
+            if matches!(self.peek(), TokenKind::LParen) && self.peek_at(1).is_keyword("SELECT")
             {
                 self.advance(); // (
                 let sub = self.select()?;
@@ -333,9 +395,13 @@ impl QueryParser {
         let mut refs = Vec::new();
         loop {
             match self.peek().clone() {
-                TokenKind::Eof | TokenKind::Semicolon | TokenKind::Comma
+                TokenKind::Eof
+                | TokenKind::Semicolon
+                | TokenKind::Comma
                 | TokenKind::RParen => return Ok(refs),
-                TokenKind::Word(w) if CLAUSE_STOPS.iter().any(|s| w.eq_ignore_ascii_case(s)) => {
+                TokenKind::Word(w)
+                    if CLAUSE_STOPS.iter().any(|s| w.eq_ignore_ascii_case(s)) =>
+                {
                     return Ok(refs);
                 }
                 TokenKind::LParen => {
@@ -560,7 +626,9 @@ mod tests {
         let q = select("SELECT id, email FROM users WHERE active = 1");
         assert_eq!(q.tables, vec![TableRef::named("users")]);
         assert_eq!(q.items.len(), 2);
-        assert!(matches!(&q.items[0], SelectItem::Expr { refs } if refs == &[ColumnRef::bare("id")]));
+        assert!(
+            matches!(&q.items[0], SelectItem::Expr { refs } if refs == &[ColumnRef::bare("id")])
+        );
         assert_eq!(q.other_refs, vec![ColumnRef::bare("active")]);
     }
 
@@ -569,9 +637,7 @@ mod tests {
         let q = select("SELECT * FROM t");
         assert!(matches!(&q.items[0], SelectItem::Star { qualifier: None }));
         let q = select("SELECT u.* FROM users u");
-        assert!(
-            matches!(&q.items[0], SelectItem::Star { qualifier: Some(x) } if x == "u")
-        );
+        assert!(matches!(&q.items[0], SelectItem::Star { qualifier: Some(x) } if x == "u"));
         assert_eq!(q.tables[0].alias.as_deref(), Some("u"));
     }
 

@@ -272,11 +272,14 @@ mod tests {
     #[test]
     fn unknown_column_bare_and_qualified() {
         let i = issues("SELECT nickname FROM customers", SHOP);
-        assert_eq!(i, vec![Issue {
-            kind: IssueKind::UnknownColumn,
-            name: "nickname".into(),
-            context: "customers".into(),
-        }]);
+        assert_eq!(
+            i,
+            vec![Issue {
+                kind: IssueKind::UnknownColumn,
+                name: "nickname".into(),
+                context: "customers".into(),
+            }]
+        );
         let i = issues("SELECT c.nickname FROM customers c", SHOP);
         assert_eq!(i.len(), 1);
         assert_eq!(i[0].kind, IssueKind::UnknownColumn);
@@ -285,10 +288,8 @@ mod tests {
     #[test]
     fn bare_column_resolves_across_joined_tables() {
         // `total` lives in orders; query joins both tables.
-        let i = issues(
-            "SELECT total FROM customers c JOIN orders o ON o.customer_id = c.id",
-            SHOP,
-        );
+        let i =
+            issues("SELECT total FROM customers c JOIN orders o ON o.customer_id = c.id", SHOP);
         assert!(i.is_empty(), "{i:?}");
     }
 
@@ -337,11 +338,11 @@ mod tests {
              CREATE TABLE orders (id INT, customer_id INT, grand_total INT, placed_at DATE);",
         );
         let queries = [
-            "SELECT total FROM orders",                       // breaks: renamed away
-            "SELECT email FROM customers",                    // fine
-            "SELECT ghost FROM orders",                       // was already broken
-            "not sql at all",                                 // unparseable
-            "UPDATE orders SET total = 0 WHERE id = 1",       // breaks
+            "SELECT total FROM orders",                 // breaks: renamed away
+            "SELECT email FROM customers",              // fine
+            "SELECT ghost FROM orders",                 // was already broken
+            "not sql at all",                           // unparseable
+            "UPDATE orders SET total = 0 WHERE id = 1", // breaks
         ];
         let broken = breaking_queries(&old, &new, &queries);
         let sqls: Vec<&str> = broken.iter().map(|b| b.sql.as_str()).collect();
@@ -356,8 +357,7 @@ mod tests {
     fn dropped_table_breaks_all_its_queries() {
         let old = schema(SHOP);
         let new = schema("CREATE TABLE customers (id INT, email TEXT, full_name TEXT);");
-        let broken =
-            breaking_queries(&old, &new, &["DELETE FROM orders WHERE id = 1"]);
+        let broken = breaking_queries(&old, &new, &["DELETE FROM orders WHERE id = 1"]);
         assert_eq!(broken.len(), 1);
         assert_eq!(broken[0].issues[0].kind, IssueKind::UnknownTable);
     }

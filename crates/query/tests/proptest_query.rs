@@ -9,12 +9,51 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("not reserved", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "and" | "or" | "not" | "null" | "in" | "is"
-                | "like" | "between" | "as" | "on" | "join" | "group" | "order" | "by"
-                | "having" | "limit" | "union" | "set" | "values" | "into" | "update"
-                | "delete" | "insert" | "exists" | "case" | "when" | "then" | "else"
-                | "end" | "left" | "right" | "inner" | "outer" | "cross" | "full"
-                | "using" | "distinct" | "all" | "asc" | "desc" | "true" | "false"
+            "select"
+                | "from"
+                | "where"
+                | "and"
+                | "or"
+                | "not"
+                | "null"
+                | "in"
+                | "is"
+                | "like"
+                | "between"
+                | "as"
+                | "on"
+                | "join"
+                | "group"
+                | "order"
+                | "by"
+                | "having"
+                | "limit"
+                | "union"
+                | "set"
+                | "values"
+                | "into"
+                | "update"
+                | "delete"
+                | "insert"
+                | "exists"
+                | "case"
+                | "when"
+                | "then"
+                | "else"
+                | "end"
+                | "left"
+                | "right"
+                | "inner"
+                | "outer"
+                | "cross"
+                | "full"
+                | "using"
+                | "distinct"
+                | "all"
+                | "asc"
+                | "desc"
+                | "true"
+                | "false"
         )
     })
 }

@@ -11,20 +11,14 @@ pub fn bar_chart(items: &[(String, u64)], width: usize) -> String {
         } else {
             ((*value as f64 / max as f64) * width as f64).round() as usize
         };
-        out.push_str(&format!(
-            "{label:<label_w$} |{} {value}\n",
-            "█".repeat(bar_len),
-        ));
+        out.push_str(&format!("{label:<label_w$} |{} {value}\n", "█".repeat(bar_len),));
     }
     out
 }
 
 /// A grouped bar chart rendered as one block per group (Figure 8: one group
 /// per α level, one bar per lifetime range).
-pub fn grouped_bar_chart(
-    groups: &[(String, Vec<(String, u64)>)],
-    width: usize,
-) -> String {
+pub fn grouped_bar_chart(groups: &[(String, Vec<(String, u64)>)], width: usize) -> String {
     let mut out = String::new();
     for (title, items) in groups {
         out.push_str(title);

@@ -13,8 +13,7 @@ pub fn csv_field(s: &str) -> String {
 }
 
 fn csv_line<S: AsRef<str>>(fields: impl IntoIterator<Item = S>) -> String {
-    let joined: Vec<String> =
-        fields.into_iter().map(|f| csv_field(f.as_ref())).collect();
+    let joined: Vec<String> = fields.into_iter().map(|f| csv_field(f.as_ref())).collect();
     format!("{}\n", joined.join(","))
 }
 

@@ -7,13 +7,8 @@ use coevo_core::study::StudyResults;
 
 /// Figure 4: the synchronicity histogram.
 pub fn render_fig4(results: &StudyResults) -> String {
-    let items: Vec<(String, u64)> = results
-        .fig4
-        .labels
-        .iter()
-        .cloned()
-        .zip(results.fig4.counts.iter().copied())
-        .collect();
+    let items: Vec<(String, u64)> =
+        results.fig4.labels.iter().cloned().zip(results.fig4.counts.iter().copied()).collect();
     format!(
         "Figure 4 — breakdown of projects per 10%-synchronicity range\n{}",
         bar_chart(&items, 50)
@@ -30,9 +25,7 @@ pub fn render_fig5(results: &StudyResults) -> String {
 
 /// Figure 6: the advance table.
 pub fn render_fig6(results: &StudyResults) -> String {
-    let mut t = TextTable::new([
-        "Range", "Source", "%", "Cum%", "Time", "%", "Cum%",
-    ]);
+    let mut t = TextTable::new(["Range", "Source", "%", "Cum%", "Time", "%", "Cum%"]);
     for r in &results.fig6.rows {
         t.row([
             r.range.clone(),
@@ -62,10 +55,7 @@ pub fn render_fig6(results: &StudyResults) -> String {
         "100%".to_string(),
         String::new(),
     ]);
-    format!(
-        "Figure 6 — life percentage of schema advance over source and time\n{}",
-        t.render()
-    )
+    format!("Figure 6 — life percentage of schema advance over source and time\n{}", t.render())
 }
 
 /// Figure 7: always-in-advance per taxon.
@@ -87,10 +77,7 @@ pub fn render_fig7(results: &StudyResults) -> String {
         results.fig7.total_source.to_string(),
         results.fig7.total_both.to_string(),
     ]);
-    format!(
-        "Figure 7 — projects whose schema is always in advance, per taxon\n{}",
-        t.render()
-    )
+    format!("Figure 7 — projects whose schema is always in advance, per taxon\n{}", t.render())
 }
 
 /// Figure 8: the attainment grid.
@@ -103,13 +90,7 @@ pub fn render_fig8(results: &StudyResults) -> String {
         .map(|(alpha, counts)| {
             (
                 format!("attainment of {:.0}% of schema activity", alpha * 100.0),
-                results
-                    .fig8
-                    .range_labels
-                    .iter()
-                    .cloned()
-                    .zip(counts.iter().copied())
-                    .collect(),
+                results.fig8.range_labels.iter().cloned().zip(counts.iter().copied()).collect(),
             )
         })
         .collect();
@@ -227,7 +208,8 @@ mod tests {
     fn all_figures_render() {
         let r = results();
         let all = render_all_figures(&r);
-        for needle in ["Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Section 7"] {
+        for needle in ["Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Section 7"]
+        {
             assert!(all.contains(needle), "missing {needle}");
         }
     }

@@ -52,10 +52,7 @@ pub fn fig6_markdown(results: &StudyResults) -> String {
             String::new(),
         ]))
         .collect();
-    md_table(
-        &["Range", "Source", "%", "Cum%", "Time", "%", "Cum%"],
-        &rows,
-    )
+    md_table(&["Range", "Source", "%", "Cum%", "Time", "%", "Cum%"], &rows)
 }
 
 /// Figure 7 as a markdown table.
@@ -87,8 +84,7 @@ pub fn fig7_markdown(results: &StudyResults) -> String {
 /// Figure 8 as a markdown table (one row per α).
 pub fn fig8_markdown(results: &StudyResults) -> String {
     let mut header: Vec<&str> = vec!["α"];
-    let labels: Vec<&str> =
-        results.fig8.range_labels.iter().map(|s| s.as_str()).collect();
+    let labels: Vec<&str> = results.fig8.range_labels.iter().map(|s| s.as_str()).collect();
     header.extend(labels);
     header.push("unattained");
     let rows: Vec<Vec<String>> = results

@@ -17,13 +17,30 @@ pub struct ProfileRow {
     pub items: u64,
     /// Summed busy time across workers.
     pub busy: Duration,
+    /// Incremental-core lookups the stage answered without doing the work
+    /// (parse-cache hits, fingerprint-equal versions/tables skipped).
+    pub cache_hits: u64,
+    /// Incremental-core lookups that did the work.
+    pub cache_misses: u64,
+}
+
+impl ProfileRow {
+    fn cache_cell(&self) -> String {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return "-".to_string();
+        }
+        let rate = self.cache_hits as f64 / total as f64 * 100.0;
+        format!("{rate:.0}% ({}/{total})", self.cache_hits)
+    }
 }
 
 /// Render the profile table: one row per stage with busy time, item count,
-/// throughput and share of total busy time, plus a wall-time footer.
+/// throughput, share of total busy time, and incremental-cache hit rate,
+/// plus a wall-time footer.
 pub fn render_profile(rows: &[ProfileRow], wall: Duration, workers: usize) -> String {
     let total_busy: Duration = rows.iter().map(|r| r.busy).sum();
-    let mut table = TextTable::new(["stage", "items", "busy", "items/s", "% busy"]);
+    let mut table = TextTable::new(["stage", "items", "busy", "items/s", "% busy", "cache"]);
     for r in rows {
         let throughput = if r.busy.as_secs_f64() > 0.0 {
             r.items as f64 / r.busy.as_secs_f64()
@@ -41,6 +58,7 @@ pub fn render_profile(rows: &[ProfileRow], wall: Duration, workers: usize) -> St
             fmt_duration(r.busy),
             format!("{throughput:.0}"),
             format!("{share:.0}%"),
+            r.cache_cell(),
         ]);
     }
     let mut out = String::from("execution profile\n");
@@ -82,8 +100,16 @@ mod tests {
                 stage: "parse".into(),
                 items: 100,
                 busy: Duration::from_millis(300),
+                cache_hits: 59,
+                cache_misses: 41,
             },
-            ProfileRow { stage: "diff".into(), items: 50, busy: Duration::from_millis(100) },
+            ProfileRow {
+                stage: "diff".into(),
+                items: 50,
+                busy: Duration::from_millis(100),
+                cache_hits: 0,
+                cache_misses: 0,
+            },
         ];
         let text = render_profile(&rows, Duration::from_millis(200), 4);
         assert!(text.contains("parse"), "{text}");
@@ -91,15 +117,24 @@ mod tests {
         assert!(text.contains("75%"), "{text}"); // parse share of busy
         assert!(text.contains("4 workers"), "{text}");
         assert!(text.contains("2.00x"), "{text}"); // 400ms busy / 200ms wall
+        assert!(text.contains("cache"), "{text}");
+        assert!(text.contains("59% (59/100)"), "{text}"); // parse cache column
     }
 
     #[test]
     fn zero_durations_do_not_divide_by_zero() {
-        let rows =
-            vec![ProfileRow { stage: "stats".into(), items: 0, busy: Duration::ZERO }];
+        let rows = vec![ProfileRow {
+            stage: "stats".into(),
+            items: 0,
+            busy: Duration::ZERO,
+            cache_hits: 0,
+            cache_misses: 0,
+        }];
         let text = render_profile(&rows, Duration::ZERO, 1);
         assert!(text.contains("stats"), "{text}");
         assert!(text.contains("0.00x"), "{text}");
+        // No cache lookups → the cache column shows `-`, not a 0% rate.
+        assert!(text.contains('-'), "{text}");
     }
 
     #[test]

@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn scatter_places_points() {
-        let pts = vec![
-            point(Taxon::Frozen, 0, 1.0),
-            point(Taxon::Active, 100, 0.0),
-        ];
+        let pts = vec![point(Taxon::Frozen, 0, 1.0), point(Taxon::Active, 100, 0.0)];
         let s = duration_sync_scatter(&pts, 40, 10);
         let lines: Vec<&str> = s.lines().collect();
         // Top-left F.
@@ -81,10 +78,7 @@ mod tests {
 
     #[test]
     fn collisions_marked() {
-        let pts = vec![
-            point(Taxon::Frozen, 10, 0.5),
-            point(Taxon::Active, 10, 0.5),
-        ];
+        let pts = vec![point(Taxon::Frozen, 10, 0.5), point(Taxon::Active, 10, 0.5)];
         let s = duration_sync_scatter(&pts, 20, 9);
         assert!(s.contains('+'), "{s}");
     }

@@ -55,12 +55,7 @@ pub fn research_question_answers(results: &StudyResults) -> String {
 
     // RQ3 — attainment.
     let alpha_idx = |a: f64| {
-        results
-            .fig8
-            .alphas
-            .iter()
-            .position(|&x| (x - a).abs() < 1e-9)
-            .expect("standard alpha")
+        results.fig8.alphas.iter().position(|&x| (x - a).abs() < 1e-9).expect("standard alpha")
     };
     let a75 = &results.fig8.counts[alpha_idx(0.75)];
     let a100 = &results.fig8.counts[alpha_idx(1.00)];

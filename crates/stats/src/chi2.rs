@@ -22,16 +22,12 @@ pub struct Chi2Result {
 pub fn chi_square_independence(table: &[Vec<u64>]) -> Option<Chi2Result> {
     // Validate rectangularity.
     let cols = table.first()?.len();
-    assert!(
-        table.iter().all(|r| r.len() == cols),
-        "chi_square_independence: ragged table"
-    );
+    assert!(table.iter().all(|r| r.len() == cols), "chi_square_independence: ragged table");
 
     // Drop all-zero rows/columns.
     let live_rows: Vec<usize> =
         (0..table.len()).filter(|&i| table[i].iter().any(|&v| v > 0)).collect();
-    let live_cols: Vec<usize> =
-        (0..cols).filter(|&j| table.iter().any(|r| r[j] > 0)).collect();
+    let live_cols: Vec<usize> = (0..cols).filter(|&j| table.iter().any(|r| r[j] > 0)).collect();
     if live_rows.len() < 2 || live_cols.len() < 2 {
         return None;
     }
@@ -108,12 +104,9 @@ mod tests {
 
     #[test]
     fn zero_rows_and_columns_dropped() {
-        let with_zero = chi_square_independence(&[
-            vec![10, 0, 20],
-            vec![0, 0, 0],
-            vec![30, 0, 40],
-        ])
-        .unwrap();
+        let with_zero =
+            chi_square_independence(&[vec![10, 0, 20], vec![0, 0, 0], vec![30, 0, 40]])
+                .unwrap();
         let without = chi_square_independence(&[vec![10, 20], vec![30, 40]]).unwrap();
         close(with_zero.statistic, without.statistic, 1e-12);
         assert_eq!(with_zero.df, without.df);

@@ -68,12 +68,8 @@ pub fn fisher_exact_rx2(rows: &[(u64, u64)], max_tables: u64) -> Option<f64> {
     }
 
     let denom = ln_choose(n, col1);
-    let lp_obs: f64 = rows
-        .iter()
-        .zip(&row_sums)
-        .map(|(&(a, _), &rs)| ln_choose(rs, a))
-        .sum::<f64>()
-        - denom;
+    let lp_obs: f64 =
+        rows.iter().zip(&row_sums).map(|(&(a, _), &rs)| ln_choose(rs, a)).sum::<f64>() - denom;
 
     // Suffix sums of row capacities for pruning.
     let mut suffix_cap = vec![0u64; rows.len() + 1];
@@ -144,11 +140,7 @@ pub fn fisher_rx2_monte_carlo(rows: &[(u64, u64)], samples: u32, seed: u64) -> O
     }
     let n = (col1 + col2) as usize;
 
-    let lp_obs: f64 = rows
-        .iter()
-        .zip(&row_sums)
-        .map(|(&(a, _), &rs)| ln_choose(rs, a))
-        .sum();
+    let lp_obs: f64 = rows.iter().zip(&row_sums).map(|(&(a, _), &rs)| ln_choose(rs, a)).sum();
 
     // A small deterministic xorshift generator: no external dependency, and
     // statistical-quality requirements here are modest.
@@ -285,10 +277,7 @@ mod tests {
         for rows in tables {
             let exact = fisher_exact_rx2(rows, 100_000_000).unwrap();
             let mc = fisher_rx2_monte_carlo(rows, 200_000, 42).unwrap();
-            assert!(
-                (exact - mc).abs() < 0.02,
-                "exact {exact} vs mc {mc} for {rows:?}"
-            );
+            assert!((exact - mc).abs() < 0.02, "exact {exact} vs mc {mc} for {rows:?}");
         }
     }
 

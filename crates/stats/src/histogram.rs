@@ -16,10 +16,7 @@ impl Bucketing {
     /// Build from explicit ascending edges (at least two).
     pub fn from_edges(edges: Vec<f64>) -> Self {
         assert!(edges.len() >= 2, "need at least two edges");
-        assert!(
-            edges.windows(2).all(|w| w[0] < w[1]),
-            "edges must be strictly ascending"
-        );
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly ascending");
         Self { edges }
     }
 

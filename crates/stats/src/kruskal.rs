@@ -86,7 +86,8 @@ mod tests {
         // Groups [1,2,3], [4,5,6], [7,8,9]: rank sums 6, 15, 24.
         // H = 12/(9·10) · (36/3 + 225/3 + 576/3) − 3·10 = 7.2.
         // p = exp(−7.2/2) with df=2 → 0.02732…
-        let r = kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        let r =
+            kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         close(r.h, 7.2, 1e-12);
         assert_eq!(r.df, 2);
         close(r.p_value, (-3.6_f64).exp(), 1e-12);
@@ -122,10 +123,7 @@ mod tests {
         assert!(corrected.h > raw.h);
         // Without ties the two agree exactly.
         let clean: [&[f64]; 2] = [&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]];
-        assert_eq!(
-            kruskal_wallis_with(&clean, true),
-            kruskal_wallis_with(&clean, false)
-        );
+        assert_eq!(kruskal_wallis_with(&clean, true), kruskal_wallis_with(&clean, false));
     }
 
     #[test]
@@ -140,7 +138,8 @@ mod tests {
     #[test]
     fn empty_groups_are_dropped() {
         let with_empty =
-            kruskal_wallis(&[&[1.0, 2.0, 3.0], &[], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+            kruskal_wallis(&[&[1.0, 2.0, 3.0], &[], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]])
+                .unwrap();
         let without =
             kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         assert_eq!(with_empty, without);

@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn noisy_line() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 10.0 + if x % 2.0 == 0.0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x + 10.0 + if x % 2.0 == 0.0 { 0.5 } else { -0.5 })
+            .collect();
         let f = linear_fit(&xs, &ys).unwrap();
         assert!((f.slope - 3.0).abs() < 0.01);
         assert!(f.r_squared > 0.999);

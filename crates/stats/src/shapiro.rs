@@ -33,9 +33,8 @@ pub fn shapiro_wilk(sample: &[f64]) -> Option<ShapiroResult> {
     // Expected values of normal order statistics (Blom approximation used by
     // Royston): m_i = Φ⁻¹((i − 3/8) / (n + 1/4)).
     let nf = n as f64;
-    let m: Vec<f64> = (1..=n)
-        .map(|i| normal_quantile((i as f64 - 0.375) / (nf + 0.25)))
-        .collect();
+    let m: Vec<f64> =
+        (1..=n).map(|i| normal_quantile((i as f64 - 0.375) / (nf + 0.25))).collect();
     let ssq_m: f64 = m.iter().map(|v| v * v).sum();
     let rsn = 1.0 / nf.sqrt();
 
@@ -47,10 +46,10 @@ pub fn shapiro_wilk(sample: &[f64]) -> Option<ShapiroResult> {
     if n > 5 {
         let c_n = a[n - 1];
         let c_n1 = a[n - 2];
-        let a_n = c_n
-            + poly(&[0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056], rsn);
-        let a_n1 = c_n1
-            + poly(&[0.0, 0.042_981, -0.293_762, -1.752_461, 5.682_633, -3.582_633], rsn);
+        let a_n =
+            c_n + poly(&[0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056], rsn);
+        let a_n1 =
+            c_n1 + poly(&[0.0, 0.042_981, -0.293_762, -1.752_461, 5.682_633, -3.582_633], rsn);
         // Re-normalize the interior weights (Royston's phi).
         let phi = (ssq_m - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
             / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
@@ -64,10 +63,9 @@ pub fn shapiro_wilk(sample: &[f64]) -> Option<ShapiroResult> {
         a[1] = -a_n1;
     } else {
         let c_n = a[n - 1];
-        let a_n = c_n
-            + poly(&[0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056], rsn);
-        let phi =
-            (ssq_m - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * a_n * a_n);
+        let a_n =
+            c_n + poly(&[0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056], rsn);
+        let phi = (ssq_m - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * a_n * a_n);
         let phi_sqrt = phi.sqrt();
         for (ai, mi) in a.iter_mut().zip(m.iter()).take(n - 1).skip(1) {
             *ai = mi / phi_sqrt;
@@ -118,9 +116,7 @@ mod tests {
     /// A deterministic sample that is normal by construction: the expected
     /// normal order statistics themselves.
     fn normal_scores(n: usize) -> Vec<f64> {
-        (1..=n)
-            .map(|i| normal_quantile((i as f64 - 0.375) / (n as f64 + 0.25)))
-            .collect()
+        (1..=n).map(|i| normal_quantile((i as f64 - 0.375) / (n as f64 + 0.25))).collect()
     }
 
     #[test]
@@ -136,9 +132,8 @@ mod tests {
     fn exponential_shape_rejected() {
         // Deterministic exponential quantiles: clearly non-normal.
         let n = 100;
-        let sample: Vec<f64> = (1..=n)
-            .map(|i| -(1.0 - (i as f64 - 0.5) / n as f64).ln())
-            .collect();
+        let sample: Vec<f64> =
+            (1..=n).map(|i| -(1.0 - (i as f64 - 0.5) / n as f64).ln()).collect();
         let r = shapiro_wilk(&sample).unwrap();
         assert!(r.w < 0.92, "W={}", r.w);
         assert!(r.p_value < 1e-4, "p={}", r.p_value);
@@ -190,10 +185,8 @@ mod tests {
 
     #[test]
     fn w_is_in_unit_interval() {
-        let samples: &[&[f64]] = &[
-            &[1.0, 5.0, 2.0, 8.0, 3.0],
-            &[0.1, 0.2, 0.2, 0.3, 9.0, 9.5, 10.0],
-        ];
+        let samples: &[&[f64]] =
+            &[&[1.0, 5.0, 2.0, 8.0, 3.0], &[0.1, 0.2, 0.2, 0.3, 9.0, 9.5, 10.0]];
         for s in samples {
             let r = shapiro_wilk(s).unwrap();
             assert!(r.w > 0.0 && r.w <= 1.0);

@@ -75,10 +75,7 @@ mod tests {
     use super::*;
 
     fn classify_activity(activity: &[u64]) -> Taxon {
-        classify(
-            &HeartbeatFeatures::from_activity(activity),
-            &TaxonomyConfig::default(),
-        )
+        classify(&HeartbeatFeatures::from_activity(activity), &TaxonomyConfig::default())
     }
 
     #[test]
@@ -104,28 +101,19 @@ mod tests {
     #[test]
     fn focused_shot_and_low() {
         // Two spikes over a low background across several months.
-        assert_eq!(
-            classify_activity(&[2, 30, 1, 0, 25, 1, 2, 0]),
-            Taxon::FocusedShotAndLow
-        );
+        assert_eq!(classify_activity(&[2, 30, 1, 0, 25, 1, 2, 0]), Taxon::FocusedShotAndLow);
     }
 
     #[test]
     fn moderate() {
         // Small deltas spread throughout; total below the active cutoff.
-        assert_eq!(
-            classify_activity(&[3, 4, 2, 5, 3, 4, 2, 3, 4, 3]),
-            Taxon::Moderate
-        );
+        assert_eq!(classify_activity(&[3, 4, 2, 5, 3, 4, 2, 3, 4, 3]), Taxon::Moderate);
     }
 
     #[test]
     fn active() {
         // High sustained volume.
-        assert_eq!(
-            classify_activity(&[10, 12, 8, 9, 11, 10, 9, 12, 8, 10]),
-            Taxon::Active
-        );
+        assert_eq!(classify_activity(&[10, 12, 8, 9, 11, 10, 9, 12, 8, 10]), Taxon::Active);
     }
 
     #[test]
@@ -150,9 +138,6 @@ mod tests {
     fn big_spiky_history_is_shot_not_active() {
         // Even with large total, a single dominant spike reads as a shot.
         assert_eq!(classify_activity(&[0, 200, 0, 1]), Taxon::FocusedShotAndFrozen);
-        assert_eq!(
-            classify_activity(&[5, 100, 3, 80, 4, 2, 1]),
-            Taxon::FocusedShotAndLow
-        );
+        assert_eq!(classify_activity(&[5, 100, 3, 80, 4, 2, 1]), Taxon::FocusedShotAndLow);
     }
 }

@@ -35,14 +35,7 @@ impl HeartbeatFeatures {
         } else {
             (0.0, 0.0)
         };
-        Self {
-            total,
-            active_months,
-            months: activity.len(),
-            max_month,
-            top1_share,
-            top2_share,
-        }
+        Self { total, active_months, months: activity.len(), max_month, top1_share, top2_share }
     }
 
     /// Compute features from a full schema heartbeat by removing the birth

@@ -63,19 +63,17 @@ impl Taxon {
             .filter(|c| c.is_ascii_alphanumeric())
             .collect::<String>()
             .to_ascii_lowercase();
-        Taxon::ALL
-            .into_iter()
-            .find(|t| {
-                let slug_norm: String =
-                    t.slug().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
-                let name_norm: String = t
-                    .name()
-                    .chars()
-                    .filter(|c| c.is_ascii_alphanumeric())
-                    .collect::<String>()
-                    .to_ascii_lowercase();
-                slug_norm == norm || name_norm == norm
-            })
+        Taxon::ALL.into_iter().find(|t| {
+            let slug_norm: String =
+                t.slug().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+            let name_norm: String = t
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            slug_norm == norm || name_norm == norm
+        })
     }
 
     /// The "degree of frozenness" rank used by the paper's observation that

@@ -238,8 +238,14 @@ impl Repository {
 /// A small deterministic 160-bit content hash rendered as 40 hex chars.
 /// This is *not* cryptographic — it only needs to be stable and well spread
 /// so synthetic commit ids look and behave like shas.
-fn content_hash_hex(author: &str, date: &DateTime, message: &str, changes: &[FileChange]) -> String {
-    let mut h = [0xcbf2_9ce4_8422_2325u64 ^ 0x9e37_79b9, 0x100_0000_01b3, 0xdead_beef_cafe_f00d];
+fn content_hash_hex(
+    author: &str,
+    date: &DateTime,
+    message: &str,
+    changes: &[FileChange],
+) -> String {
+    let mut h =
+        [0xcbf2_9ce4_8422_2325u64 ^ 0x9e37_79b9, 0x100_0000_01b3, 0xdead_beef_cafe_f00d];
     let mut mix = |bytes: &[u8]| {
         for &b in bytes {
             for (i, hi) in h.iter_mut().enumerate() {
@@ -314,10 +320,7 @@ mod tests {
         assert_eq!(ChangeStatus::Added.letter(), "A");
         assert_eq!(ChangeStatus::Modified.letter(), "M");
         assert_eq!(ChangeStatus::Deleted.letter(), "D");
-        assert_eq!(
-            ChangeStatus::Renamed { from: "x".into(), similarity: 87 }.letter(),
-            "R087"
-        );
+        assert_eq!(ChangeStatus::Renamed { from: "x".into(), similarity: 87 }.letter(), "R087");
         assert_eq!(ChangeStatus::Copied { from: "x".into(), similarity: 100 }.letter(), "C100");
         assert_eq!(ChangeStatus::TypeChanged.letter(), "T");
     }

@@ -7,9 +7,7 @@ use coevo_heartbeat::{Date, Heartbeat};
 /// across all non-merge commits. Returns `None` for a repository with no
 /// commits.
 pub fn project_heartbeat(repo: &Repository) -> Option<Heartbeat> {
-    Heartbeat::from_events(
-        repo.non_merge_commits().map(|c| (c.date.date, c.files_updated())),
-    )
+    Heartbeat::from_events(repo.non_merge_commits().map(|c| (c.date.date, c.files_updated())))
 }
 
 /// Like [`project_heartbeat`] but counting line churn (insertions +
@@ -26,8 +24,7 @@ pub fn project_heartbeat_lines(repo: &Repository) -> Option<Heartbeat> {
 /// The dates of the commits that touched a specific path (e.g. the schema
 /// DDL file), oldest first — the raw material of a schema history.
 pub fn file_touch_dates(repo: &Repository, path: &str) -> Vec<Date> {
-    let mut dates: Vec<Date> =
-        repo.commits_touching(path).map(|c| c.date.date).collect();
+    let mut dates: Vec<Date> = repo.commits_touching(path).map(|c| c.date.date).collect();
     dates.sort();
     dates
 }
@@ -109,10 +106,13 @@ mod tests {
     fn merge_commits_excluded() {
         let mut r = repo();
         r.push_commit(
-            Commit::builder("D <d@x.io>", DateTime::parse("2015-03-20 10:00:00 +0000").unwrap())
-                .merge(true)
-                .change(FileChange::modified("a.js"))
-                .build(),
+            Commit::builder(
+                "D <d@x.io>",
+                DateTime::parse("2015-03-20 10:00:00 +0000").unwrap(),
+            )
+            .merge(true)
+            .change(FileChange::modified("a.js"))
+            .build(),
         );
         let hb = project_heartbeat(&r).unwrap();
         assert_eq!(hb.activity(), &[3, 0, 3]);
@@ -158,9 +158,12 @@ mod tests {
     fn line_heartbeat_uses_numstat_with_fallback() {
         let mut r = Repository::new("o/p");
         r.push_commit(
-            Commit::builder("D <d@x.io>", DateTime::parse("2015-01-03 10:00:00 +0000").unwrap())
-                .change(FileChange::modified("a").with_lines(100, 20))
-                .build(),
+            Commit::builder(
+                "D <d@x.io>",
+                DateTime::parse("2015-01-03 10:00:00 +0000").unwrap(),
+            )
+            .change(FileChange::modified("a").with_lines(100, 20))
+            .build(),
         );
         r.push_commit(commit("2015-01-20 10:00:00 +0000", &["a", "b"])); // no numstat → 2 files
         let hb = project_heartbeat_lines(&r).unwrap();

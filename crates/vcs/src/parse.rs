@@ -194,9 +194,9 @@ impl PartialCommit {
     }
 
     fn finish(self, lineno: usize) -> Result<Commit, LogParseError> {
-        let date = self.date.ok_or_else(|| {
-            err(lineno, &format!("commit {} has no Date: line", self.id))
-        })?;
+        let date = self
+            .date
+            .ok_or_else(|| err(lineno, &format!("commit {} has no Date: line", self.id)))?;
         Ok(Commit {
             id: self.id,
             author: self.author,

@@ -28,7 +28,8 @@ pub fn write_log(repo: &Repository) -> String {
         for change in &commit.changes {
             match &change.status {
                 ChangeStatus::Renamed { from, .. } | ChangeStatus::Copied { from, .. } => {
-                    let _ = writeln!(out, "{}\t{}\t{}", change.status.letter(), from, change.path);
+                    let _ =
+                        writeln!(out, "{}\t{}\t{}", change.status.letter(), from, change.path);
                 }
                 _ => {
                     let _ = writeln!(out, "{}\t{}", change.status.letter(), change.path);

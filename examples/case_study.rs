@@ -27,10 +27,7 @@ fn main() {
     let jp = data.joint_progress();
     println!("  project period:     {} months (paper: 22)", jp.months());
     println!("  schema period:      {} months (paper: 20)", data.schema.months());
-    println!(
-        "  schema change at start-up: {:.0}% (paper: 48%)",
-        jp.schema[0] * 100.0
-    );
+    println!("  schema change at start-up: {:.0}% (paper: 48%)", jp.schema[0] * 100.0);
 
     let m = data.measures(&TaxonomyConfig::default());
     println!(

@@ -15,9 +15,7 @@ use std::fs;
 
 fn main() {
     eprintln!("running the 195-project study on the execution engine …\n");
-    let report = StudyRunner::new(StudyConfig::default())
-        .run(Source::paper())
-        .expect("study");
+    let report = StudyRunner::new(StudyConfig::default()).run(Source::paper()).expect("study");
     assert!(report.failures.is_empty(), "generated corpus never fails");
     let results = &report.results;
 

@@ -107,10 +107,7 @@ fn main() {
 
     let m = data.measures(&TaxonomyConfig::default());
     println!("\n10%-synchronicity: {:.2}", m.sync_10);
-    println!(
-        "sanity: recomputed = {:.2}",
-        theta_synchronicity(&jp.project, &jp.schema, 0.10)
-    );
+    println!("sanity: recomputed = {:.2}", theta_synchronicity(&jp.project, &jp.schema, 0.10));
     println!("advance over time: {:?}", m.advance.over_time);
     println!("advance over source: {:?}", m.advance.over_source);
     println!("75%-attainment fractional timepoint: {:?}", m.attainment.at_75);

@@ -7,10 +7,7 @@ use coevo_taxa::{Taxon, TaxonomyConfig};
 
 fn corpus_data() -> Vec<(coevo_core::ProjectData, Taxon)> {
     let corpus = generate_corpus(&CorpusSpec::paper());
-    corpus
-        .iter()
-        .map(|p| (project_from_generated(p).expect("pipeline"), p.raw.taxon))
-        .collect()
+    corpus.iter().map(|p| (project_from_generated(p).expect("pipeline"), p.raw.taxon)).collect()
 }
 
 #[test]
@@ -51,7 +48,8 @@ fn measures_are_well_formed_for_all_projects() {
             assert!((0.0..=1.0).contains(&v), "{}", d.name);
         }
         // Attainment fractions are ordered and in [0, 1].
-        let atts = [m.attainment.at_50, m.attainment.at_75, m.attainment.at_80, m.attainment.at_100];
+        let atts =
+            [m.attainment.at_50, m.attainment.at_75, m.attainment.at_80, m.attainment.at_100];
         let mut prev = 0.0;
         for a in atts.into_iter().flatten() {
             assert!((0.0..=1.0).contains(&a), "{}", d.name);

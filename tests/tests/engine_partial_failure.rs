@@ -4,9 +4,7 @@
 
 use coevo_corpus::loader::save_project;
 use coevo_corpus::{generate_corpus, CorpusSpec};
-use coevo_engine::{
-    EngineErrorKind, FailurePolicy, Source, Stage, StudyConfig, StudyRunner,
-};
+use coevo_engine::{EngineErrorKind, FailurePolicy, Source, Stage, StudyConfig, StudyRunner};
 use std::error::Error;
 use std::fs;
 use std::path::PathBuf;
@@ -15,10 +13,8 @@ use std::path::PathBuf;
 /// one gets a truncated DDL version, the other a truncated git log. Returns
 /// the corpus dir and the two victims' names (DDL victim, log victim).
 fn corrupted_corpus(tag: &str) -> (PathBuf, String, String) {
-    let dir = std::env::temp_dir().join(format!(
-        "coevo_engine_fail_{tag}_{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("coevo_engine_fail_{tag}_{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
 
@@ -55,20 +51,14 @@ fn corrupt_projects_are_demoted_to_failures() {
     // Exactly the two victims failed, both at the parse stage, with the
     // structured cause preserved through `Error::source()`.
     assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
-    let ddl_failure = report
-        .failures
-        .iter()
-        .find(|f| f.project == ddl_name)
-        .expect("DDL victim reported");
+    let ddl_failure =
+        report.failures.iter().find(|f| f.project == ddl_name).expect("DDL victim reported");
     assert_eq!(ddl_failure.stage, Stage::Parse);
     assert!(matches!(ddl_failure.error.kind, EngineErrorKind::Ddl(_)));
     assert!(ddl_failure.error.source().is_some());
 
-    let log_failure = report
-        .failures
-        .iter()
-        .find(|f| f.project == log_name)
-        .expect("log victim reported");
+    let log_failure =
+        report.failures.iter().find(|f| f.project == log_name).expect("log victim reported");
     assert_eq!(log_failure.stage, Stage::Parse);
     assert!(matches!(log_failure.error.kind, EngineErrorKind::GitLog(_)));
     assert!(log_failure.error.source().is_some());

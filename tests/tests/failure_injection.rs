@@ -12,7 +12,8 @@ fn dt(s: &str) -> DateTime {
     DateTime::parse(s).unwrap()
 }
 
-const GOOD_LOG: &str = "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
+const GOOD_LOG: &str =
+    "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
 
 #[test]
 fn truncated_git_log_mid_commit() {

@@ -12,7 +12,10 @@ fn queries_for(schema: &Schema) -> Vec<String> {
     for t in &schema.tables {
         out.push(format!("SELECT * FROM {}", t.name));
         if let Some(col) = t.columns.iter().find(|c| !c.inline_primary_key) {
-            out.push(format!("SELECT {} FROM {} WHERE {} IS NOT NULL", col.name, t.name, col.name));
+            out.push(format!(
+                "SELECT {} FROM {} WHERE {} IS NOT NULL",
+                col.name, t.name, col.name
+            ));
             out.push(format!("UPDATE {} SET {} = ? WHERE id = ?", t.name, col.name));
         }
         out.push(format!("DELETE FROM {} WHERE id = ?", t.name));
@@ -28,14 +31,13 @@ fn self_synthesized_queries_always_validate() {
         t.count = 2;
     }
     for p in generate_corpus(&spec) {
-        for (_, text) in [p.raw.ddl_versions.first(), p.raw.ddl_versions.last()]
-            .into_iter()
-            .flatten()
+        for (_, text) in
+            [p.raw.ddl_versions.first(), p.raw.ddl_versions.last()].into_iter().flatten()
         {
             let schema = parse_schema(text, p.raw.dialect).unwrap();
             for sql in queries_for(&schema) {
-                let q = parse_query(&sql)
-                    .unwrap_or_else(|e| panic!("{}: {sql}: {e}", p.raw.name));
+                let q =
+                    parse_query(&sql).unwrap_or_else(|e| panic!("{}: {sql}: {e}", p.raw.name));
                 let issues = validate(&q, &schema);
                 assert!(issues.is_empty(), "{}: {sql}: {issues:?}", p.raw.name);
             }
@@ -69,12 +71,7 @@ fn version_transitions_break_queries_consistently() {
                         // (a same-named column in another table could blur it,
                         // but table-qualified FROM pins the scope).
                         let broken = breaking_queries(&old, &new, &[sql.as_str()]);
-                        assert_eq!(
-                            broken.len(),
-                            1,
-                            "{}: expected {sql} to break",
-                            p.raw.name
-                        );
+                        assert_eq!(broken.len(), 1, "{}: expected {sql} to break", p.raw.name);
                         assert!(broken[0]
                             .issues
                             .iter()

@@ -274,6 +274,33 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Mirrors real serde's `rc` feature: shared pointers serialize as their
+// contents (sharing is not preserved across a round trip — each deserialized
+// `Arc`/`Rc` is a fresh allocation).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::rc::Rc::new)
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -357,6 +384,14 @@ pub fn __field_default<T: Deserialize + Default>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arc_serializes_as_contents() {
+        let v = std::sync::Arc::new(3u32).to_value();
+        assert_eq!(v, Value::UInt(3));
+        let back = <std::sync::Arc<u32>>::from_value(&v).unwrap();
+        assert_eq!(*back, 3);
+    }
 
     #[test]
     fn option_null_round_trip() {
