@@ -1,0 +1,157 @@
+//! Warm-restart economics of the result store on an on-disk corpus whose
+//! cost is where real corpora pay it: long DDL histories of wide schemas,
+//! where parse + diff dominate the pipeline. Three shapes:
+//!
+//! - *cold*   — empty store, every project computed and published;
+//! - *warm*   — every project served from a verified store entry;
+//! - *touched* — one project's history grew by a commit, so exactly one
+//!   project recomputes and the rest are served.
+//!
+//! Prints the measured warm-over-cold speedup up front — the store's
+//! acceptance bar is ≥ 5× there.
+
+use coevo_corpus::loader::save_project;
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_engine::{EngineReport, Source, StudyConfig, StudyRunner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const PROJECTS: usize = 3;
+
+/// A parse-heavy corpus: few projects (the cross-project stats stage stays
+/// cheap), each with a long history of a wide schema (the per-project parse
+/// and diff stages are expensive — exactly what a warm restart elides).
+fn heavy_spec() -> CorpusSpec {
+    let mut spec = CorpusSpec::paper();
+    spec.taxa.retain(|t| t.change_events.1 > 0);
+    spec.taxa.truncate(1);
+    let t = &mut spec.taxa[0];
+    t.count = PROJECTS;
+    t.duration_months = (96, 96);
+    t.initial_tables = (35, 35);
+    t.initial_cols = (10, 10);
+    t.change_events = (240, 240);
+    t.change_size = (6, 6);
+    t.spikes = (0, 0);
+    t.single_month_count = 0;
+    t.schema_birth_delay_prob = 0.0;
+    spec
+}
+
+fn write_corpus(dir: &Path) {
+    for project in generate_corpus(&heavy_spec()) {
+        // Generated names carry an owner prefix ("acme/app"); flatten so
+        // each project is a direct child directory, as the loader expects.
+        let child = project.raw.name.replace('/', "_");
+        save_project(&dir.join(child), &project).expect("save project");
+    }
+}
+
+fn run(corpus: &Path, store: &Path) -> EngineReport {
+    let report = StudyRunner::new(StudyConfig::default())
+        .with_store(store)
+        .run(Source::OnDisk(corpus.to_path_buf()))
+        .expect("engine run");
+    assert!(report.failures.is_empty(), "project failures: {:?}", report.failures);
+    assert_eq!(report.projects.len(), PROJECTS);
+    report
+}
+
+/// Append a no-op comment to the last version file of the first project —
+/// the digest changes, so that project (and only it) misses the store.
+fn touch_one_project(corpus: &Path, round: u64) {
+    let mut projects: Vec<PathBuf> = std::fs::read_dir(corpus)
+        .expect("corpus dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    projects.sort();
+    let versions = projects[0].join("versions");
+    let mut files: Vec<PathBuf> =
+        std::fs::read_dir(&versions).expect("versions").map(|e| e.unwrap().path()).collect();
+    files.sort();
+    let last = files.last().expect("at least one version");
+    let mut text = std::fs::read_to_string(last).unwrap();
+    text.push_str(&format!("\n-- warm-restart bench touch {round}\n"));
+    std::fs::write(last, text).unwrap();
+}
+
+fn warm_restart(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("coevo_warm_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = root.join("corpus");
+    let store = root.join("store");
+    write_corpus(&corpus);
+
+    // Sanity before timing: cold publishes all, warm serves all, a touched
+    // history misses for exactly that project — and the results agree.
+    let cold = run(&corpus, &store);
+    let s = cold.metrics.store.as_ref().expect("store metrics");
+    assert_eq!((s.hits, s.misses, s.published), (0, PROJECTS as u64, PROJECTS as u64));
+    let warm = run(&corpus, &store);
+    let s = warm.metrics.store.as_ref().expect("store metrics");
+    assert_eq!((s.hits, s.misses), (PROJECTS as u64, 0));
+    assert_eq!(cold.results, warm.results);
+    touch_one_project(&corpus, 0);
+    let touched = run(&corpus, &store);
+    let s = touched.metrics.store.as_ref().expect("store metrics");
+    assert_eq!((s.hits, s.misses, s.published), (PROJECTS as u64 - 1, 1, 1));
+
+    const ROUNDS: u32 = 5;
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let _ = std::fs::remove_dir_all(&store);
+        black_box(run(&corpus, &store));
+    }
+    let cold_secs = t.elapsed().as_secs_f64() / f64::from(ROUNDS);
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        black_box(run(&corpus, &store));
+    }
+    let warm_secs = t.elapsed().as_secs_f64() / f64::from(ROUNDS);
+    let t = Instant::now();
+    for round in 0..ROUNDS {
+        touch_one_project(&corpus, u64::from(round) + 1);
+        black_box(run(&corpus, &store));
+    }
+    let touched_secs = t.elapsed().as_secs_f64() / f64::from(ROUNDS);
+    let speedup = cold_secs / warm_secs;
+    println!(
+        "\n[warm_restart] {PROJECTS} heavy projects: cold {:.1}ms  warm {:.1}ms  \
+         one-touched {:.1}ms  warm speedup {speedup:.1}x",
+        cold_secs * 1e3,
+        warm_secs * 1e3,
+        touched_secs * 1e3,
+    );
+    assert!(speedup >= 5.0, "warm-over-cold speedup {speedup:.2}x below the 5x acceptance bar");
+
+    let mut group = c.benchmark_group("warm_restart");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&store);
+            black_box(run(black_box(&corpus), black_box(&store)))
+        })
+    });
+    // Repopulate after the cold benches wiped it.
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = run(&corpus, &store);
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(run(black_box(&corpus), black_box(&store))))
+    });
+    let mut round = 100u64;
+    group.bench_function("one_touched", |b| {
+        b.iter(|| {
+            round += 1;
+            touch_one_project(&corpus, round);
+            black_box(run(black_box(&corpus), black_box(&store)))
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(warm, warm_restart);
+criterion_main!(warm);

@@ -9,9 +9,16 @@ coevo — joint source and schema evolution study (EDBT 2023 reproduction)
 
 USAGE:
     coevo study [--seed N] [--csv DIR] [--from DIR] [--workers N] [--profile]
-                                             run the study (generated corpus,
+                [--store DIR]                run the study (generated corpus,
                                              or an on-disk one via --from);
-                                             --profile prints per-stage timing
+                                             --profile prints per-stage timing;
+                                             --store serves unchanged projects
+                                             from a result store (warm restart)
+    coevo store stats <DIR>                  result-store entry/byte counts
+    coevo store verify <DIR>                 validate every entry checksum
+                                             (quarantines corrupt entries;
+                                             exits nonzero if any were found)
+    coevo store gc <DIR> --max-bytes N       evict LRU entries beyond budget
     coevo measure <PROJECT-DIR>              measure one on-disk history
     coevo generate <OUT-DIR> [--seed N] [--per-taxon N]
                                              write a corpus in loader layout
@@ -39,6 +46,15 @@ pub enum Command {
         workers: Option<usize>,
         /// Print the engine's per-stage execution profile.
         profile: bool,
+        /// Root directory of the content-addressed result store.
+        store: Option<PathBuf>,
+    },
+    /// `coevo store`: inspect and maintain a result store.
+    Store {
+        /// What to do with the store.
+        action: StoreAction,
+        /// The store's root directory.
+        dir: PathBuf,
     },
     /// `coevo measure`: one on-disk project history.
     Measure {
@@ -100,6 +116,20 @@ pub enum Command {
     Help,
 }
 
+/// A `coevo store` maintenance action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoreAction {
+    /// Print entry/byte/quarantine counts.
+    Stats,
+    /// Validate every entry; quarantine and report failures.
+    Verify,
+    /// Evict least-recently-used entries beyond a byte budget.
+    Gc {
+        /// The byte budget committed entries may occupy.
+        max_bytes: u64,
+    },
+}
+
 /// Outcome of argument parsing.
 pub type ParsedArgs = Result<Command, String>;
 
@@ -122,7 +152,25 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
                 from_dir: flag_value(&flags, "from").map(PathBuf::from),
                 workers: flag_u64(&flags, "workers")?.map(|v| v as usize),
                 profile,
+                store: flag_value(&flags, "store").map(PathBuf::from),
             })
+        }
+        "store" => {
+            let (flags, pos) = split_flags(rest)?;
+            let [action, dir] = positional::<2>(&pos, "<stats|verify|gc> <DIR>")?;
+            let action = match action.as_str() {
+                "stats" => StoreAction::Stats,
+                "verify" => StoreAction::Verify,
+                "gc" => StoreAction::Gc {
+                    max_bytes: flag_u64(&flags, "max-bytes")?
+                        .ok_or("store gc requires --max-bytes N")?,
+                },
+                other => return Err(format!("unknown store action {other:?}\n{USAGE}")),
+            };
+            if !matches!(action, StoreAction::Gc { .. }) {
+                expect_no_flags(&flags)?;
+            }
+            Ok(Command::Store { action, dir: PathBuf::from(dir) })
         }
         "measure" => {
             let (flags, pos) = split_flags(rest)?;
@@ -290,6 +338,7 @@ mod tests {
                 from_dir: None,
                 workers: None,
                 profile: false,
+                store: None,
             }
         );
     }
@@ -304,6 +353,7 @@ mod tests {
                 from_dir: None,
                 workers: None,
                 profile: false,
+                store: None,
             }
         );
     }
@@ -320,6 +370,7 @@ mod tests {
                 from_dir: None,
                 workers: Some(4),
                 profile: true,
+                store: None,
             }
         );
         assert_eq!(
@@ -330,9 +381,45 @@ mod tests {
                 from_dir: None,
                 workers: Some(2),
                 profile: true,
+                store: None,
             }
         );
         assert!(parse(&["study", "--workers", "many"]).is_err());
+    }
+
+    #[test]
+    fn study_store_flag() {
+        let Command::Study { store, profile, .. } =
+            parse(&["study", "--store", "cache", "--profile"]).unwrap()
+        else {
+            panic!("expected study");
+        };
+        assert_eq!(store, Some(PathBuf::from("cache")));
+        assert!(profile);
+    }
+
+    #[test]
+    fn store_subcommands() {
+        assert_eq!(
+            parse(&["store", "stats", "cache"]).unwrap(),
+            Command::Store { action: StoreAction::Stats, dir: PathBuf::from("cache") }
+        );
+        assert_eq!(
+            parse(&["store", "verify", "cache"]).unwrap(),
+            Command::Store { action: StoreAction::Verify, dir: PathBuf::from("cache") }
+        );
+        assert_eq!(
+            parse(&["store", "gc", "cache", "--max-bytes", "1024"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Gc { max_bytes: 1024 },
+                dir: PathBuf::from("cache"),
+            }
+        );
+        // gc without a budget, unknown actions, and stray flags all error.
+        assert!(parse(&["store", "gc", "cache"]).is_err());
+        assert!(parse(&["store", "compact", "cache"]).is_err());
+        assert!(parse(&["store", "stats"]).is_err());
+        assert!(parse(&["store", "stats", "cache", "--max-bytes", "9"]).is_err());
     }
 
     #[test]

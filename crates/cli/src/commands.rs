@@ -25,12 +25,14 @@ fn io_err<E: std::fmt::Display>(e: E) -> String {
 /// over an on-disk corpus directory when `from_dir` is given. Runs on the
 /// execution engine: projects that fail to load or parse are reported as
 /// warnings and the study proceeds on the survivors.
+#[allow(clippy::too_many_arguments)]
 pub fn study(
     seed: u64,
     csv_dir: Option<&Path>,
     from_dir: Option<&Path>,
     workers: Option<usize>,
     profile: bool,
+    store: Option<&Path>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let source = match from_dir {
@@ -40,6 +42,9 @@ pub fn study(
     let mut runner = StudyRunner::new(StudyConfig::default());
     if let Some(n) = workers {
         runner = runner.with_workers(n);
+    }
+    if let Some(dir) = store {
+        runner = runner.with_store(dir);
     }
     let report = runner.run(source).map_err(io_err)?;
     writeln!(out, "studying {} projects", report.projects.len() + report.failures.len())
@@ -61,6 +66,54 @@ pub fn study(
     if profile {
         writeln!(out, "{}", report.metrics.render()).map_err(io_err)?;
     }
+    Ok(())
+}
+
+/// `coevo store stats <dir>`: entry/byte/quarantine counts of a result
+/// store.
+pub fn store_stats(dir: &Path, out: &mut dyn Write) -> CmdResult {
+    let store = coevo_store::ResultStore::open(dir).map_err(io_err)?;
+    let stats = store.stats().map_err(io_err)?;
+    writeln!(out, "result store at {}", dir.display()).map_err(io_err)?;
+    writeln!(out, "  format version: {}", stats.format).map_err(io_err)?;
+    writeln!(out, "  entries: {} ({} bytes)", stats.entries, stats.entry_bytes)
+        .map_err(io_err)?;
+    writeln!(out, "  quarantined: {}", stats.quarantined).map_err(io_err)?;
+    Ok(())
+}
+
+/// `coevo store verify <dir>`: validate every entry's header and checksum,
+/// quarantining failures. Errors (exit code 1) when any entry failed, so CI
+/// can gate on store health.
+pub fn store_verify(dir: &Path, out: &mut dyn Write) -> CmdResult {
+    let store = coevo_store::ResultStore::open(dir).map_err(io_err)?;
+    let report = store.verify().map_err(io_err)?;
+    writeln!(out, "checked {} entries: {} ok", report.checked, report.ok).map_err(io_err)?;
+    for name in &report.quarantined {
+        writeln!(out, "  quarantined {name}").map_err(io_err)?;
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} corrupt or stale entr{} quarantined (they will be recomputed on the next run)",
+            report.quarantined.len(),
+            if report.quarantined.len() == 1 { "y" } else { "ies" },
+        ))
+    }
+}
+
+/// `coevo store gc <dir> --max-bytes N`: evict least-recently-used entries
+/// beyond the byte budget.
+pub fn store_gc(dir: &Path, max_bytes: u64, out: &mut dyn Write) -> CmdResult {
+    let store = coevo_store::ResultStore::open(dir).map_err(io_err)?;
+    let report = store.gc(max_bytes).map_err(io_err)?;
+    writeln!(
+        out,
+        "kept {} entries ({} bytes), evicted {} ({} bytes reclaimed)",
+        report.kept, report.kept_bytes, report.evicted, report.evicted_bytes
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
@@ -461,7 +514,7 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 3, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), None, false, &mut out).unwrap();
+        study(0, None, Some(&dir), None, false, None, &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("studying 6 projects"), "{text}");
         assert!(text.contains("Figure 4"), "{text}");
@@ -474,13 +527,84 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 5, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), Some(2), true, &mut out).unwrap();
+        study(0, None, Some(&dir), Some(2), true, None, &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("execution profile"), "{text}");
         for stage in ["load", "parse", "diff", "heartbeat", "measure", "stats"] {
             assert!(text.contains(stage), "missing stage {stage}: {text}");
         }
         assert!(text.contains("2 workers"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn study_with_store_serves_rerun_from_store() {
+        let dir = tmp("studystore");
+        let corpus = dir.join("corpus");
+        let store = dir.join("store");
+        let mut gen_out = Vec::new();
+        generate(&corpus, 7, Some(1), &mut gen_out).unwrap();
+        let mut cold = Vec::new();
+        study(0, None, Some(&corpus), None, true, Some(&store), &mut cold).unwrap();
+        let cold_text = String::from_utf8_lossy(&cold);
+        assert!(cold_text.contains("0/6 served"), "{cold_text}");
+        assert!(cold_text.contains("6 miss"), "{cold_text}");
+        let mut warm = Vec::new();
+        study(0, None, Some(&corpus), None, true, Some(&store), &mut warm).unwrap();
+        let warm_text = String::from_utf8_lossy(&warm);
+        assert!(warm_text.contains("6/6 served"), "{warm_text}");
+        assert!(warm_text.contains("6 hit"), "{warm_text}");
+        // Everything up to the profile (figures, answers) is byte-identical.
+        let cold_body = cold_text.split("execution profile").next().unwrap().to_string();
+        let warm_body = warm_text.split("execution profile").next().unwrap().to_string();
+        assert_eq!(cold_body, warm_body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_subcommands_round_trip() {
+        let dir = tmp("storecmds");
+        let corpus = dir.join("corpus");
+        let store_dir = dir.join("store");
+        let mut gen_out = Vec::new();
+        generate(&corpus, 9, Some(1), &mut gen_out).unwrap();
+        let mut out = Vec::new();
+        study(0, None, Some(&corpus), None, false, Some(&store_dir), &mut out).unwrap();
+
+        let mut stats_out = Vec::new();
+        store_stats(&store_dir, &mut stats_out).unwrap();
+        let stats_text = String::from_utf8_lossy(&stats_out);
+        assert!(stats_text.contains("entries: 6"), "{stats_text}");
+        assert!(stats_text.contains("quarantined: 0"), "{stats_text}");
+
+        let mut verify_out = Vec::new();
+        store_verify(&store_dir, &mut verify_out).unwrap();
+        let verify_text = String::from_utf8_lossy(&verify_out);
+        assert!(verify_text.contains("checked 6 entries: 6 ok"), "{verify_text}");
+
+        // Corrupt one entry: verify reports it, quarantines it, and errors.
+        let entry = std::fs::read_dir(store_dir.join("entries"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&entry, &bytes).unwrap();
+        let mut verify_out = Vec::new();
+        let err = store_verify(&store_dir, &mut verify_out).unwrap_err();
+        assert!(err.contains("1 corrupt or stale entry"), "{err}");
+        let verify_text = String::from_utf8_lossy(&verify_out);
+        assert!(verify_text.contains("checked 6 entries: 5 ok"), "{verify_text}");
+        assert!(verify_text.contains("quarantined"), "{verify_text}");
+
+        let mut gc_out = Vec::new();
+        store_gc(&store_dir, 0, &mut gc_out).unwrap();
+        let gc_text = String::from_utf8_lossy(&gc_out);
+        assert!(gc_text.contains("kept 0 entries"), "{gc_text}");
+        assert!(gc_text.contains("evicted 5"), "{gc_text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

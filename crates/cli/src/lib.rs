@@ -2,8 +2,12 @@
 //!
 //! Subcommands:
 //!
-//! - `coevo study [--seed N] [--csv DIR] [--workers N] [--profile]` — run
-//!   the full 195-project study on the execution engine;
+//! - `coevo study [--seed N] [--csv DIR] [--workers N] [--profile]
+//!   [--store DIR]` — run the full 195-project study on the execution
+//!   engine, optionally backed by a content-addressed result store so
+//!   re-runs only recompute changed projects;
+//! - `coevo store {stats,verify,gc} <dir>` — inspect, validate and bound
+//!   the result store;
 //! - `coevo measure <project-dir>` — measure one on-disk project history;
 //! - `coevo generate <out-dir> [--seed N] [--per-taxon N]` — write a corpus
 //!   to disk in the loader layout;
@@ -27,14 +31,20 @@ pub use args::{parse_args, Command, ParsedArgs};
 /// command, writing human output to `out`. Returns a process exit code.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
     let result = match cmd {
-        Command::Study { seed, csv_dir, from_dir, workers, profile } => commands::study(
+        Command::Study { seed, csv_dir, from_dir, workers, profile, store } => commands::study(
             seed,
             csv_dir.as_deref(),
             from_dir.as_deref(),
             workers,
             profile,
+            store.as_deref(),
             out,
         ),
+        Command::Store { action, dir } => match action {
+            args::StoreAction::Stats => commands::store_stats(&dir, out),
+            args::StoreAction::Verify => commands::store_verify(&dir, out),
+            args::StoreAction::Gc { max_bytes } => commands::store_gc(&dir, max_bytes, out),
+        },
         Command::Measure { dir } => commands::measure(&dir, out),
         Command::Generate { dir, seed, per_taxon } => {
             commands::generate(&dir, seed, per_taxon, out)

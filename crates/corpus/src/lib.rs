@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod case_study;
+pub mod digest;
 pub mod generator;
 pub mod loader;
 pub mod pipeline;

@@ -142,7 +142,6 @@ pub fn parse_schema(sql: &str, dialect: Dialect) -> Result<crate::model::Schema>
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
-    #[allow(dead_code)]
     dialect: Dialect,
 }
 
@@ -150,6 +149,15 @@ impl Parser {
     /// Construct a new instance.
     pub fn new(tokens: Vec<Token>, dialect: Dialect) -> Self {
         Self { tokens, pos: 0, dialect }
+    }
+
+    /// The dialect this parser was constructed for. The lexer already
+    /// folded dialect-specific token forms (quoting, comments), so parsing
+    /// itself is dialect-independent — but downstream consumers (error
+    /// reporting, result-store digests) need to know which dialect a parse
+    /// was keyed under.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
     }
 
     // ---- token-stream helpers -------------------------------------------
@@ -1611,5 +1619,13 @@ mod tests {
             "CREATE TABLE t (id int GENERATED ALWAYS AS IDENTITY PRIMARY KEY);",
         ));
         assert!(t.columns[0].auto_increment);
+    }
+
+    #[test]
+    fn parser_reports_its_dialect() {
+        for dialect in [Dialect::Generic, Dialect::MySql, Dialect::Postgres] {
+            let tokens = Lexer::new("CREATE TABLE t (a INT);", dialect).tokenize().unwrap();
+            assert_eq!(Parser::new(tokens, dialect).dialect(), dialect);
+        }
     }
 }

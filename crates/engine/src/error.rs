@@ -16,6 +16,9 @@ pub enum Stage {
     /// Reading raw artifacts (corpus generation, or manifest + files on
     /// disk).
     Load,
+    /// Consulting and publishing to the content-addressed result store
+    /// (only active when a run is configured with `--store`).
+    Store,
     /// Parsing the git log and every DDL version.
     Parse,
     /// Diffing consecutive schema versions into the delta sequence.
@@ -30,8 +33,9 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in execution order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Load,
+        Stage::Store,
         Stage::Parse,
         Stage::Diff,
         Stage::Heartbeat,
@@ -43,6 +47,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Load => "load",
+            Stage::Store => "store",
             Stage::Parse => "parse",
             Stage::Diff => "diff",
             Stage::Heartbeat => "heartbeat",
@@ -70,6 +75,10 @@ pub enum EngineErrorKind {
     /// The on-disk artifacts could not be loaded (missing or malformed
     /// manifest, unreadable version file, bad date or dialect).
     Load(String),
+    /// The configured result store is unusable (unwritable directory,
+    /// failed recovery). Per-entry corruption is *not* an error — corrupt
+    /// entries are quarantined and recomputed.
+    Store(String),
 }
 
 impl fmt::Display for EngineErrorKind {
@@ -79,6 +88,7 @@ impl fmt::Display for EngineErrorKind {
             Self::Ddl(e) => write!(f, "{e}"),
             Self::Empty(what) => write!(f, "empty {what}"),
             Self::Load(msg) => write!(f, "{msg}"),
+            Self::Store(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -107,7 +117,9 @@ impl std::error::Error for EngineError {
         match &self.kind {
             EngineErrorKind::GitLog(e) => Some(e),
             EngineErrorKind::Ddl(e) => Some(e),
-            EngineErrorKind::Empty(_) | EngineErrorKind::Load(_) => None,
+            EngineErrorKind::Empty(_)
+            | EngineErrorKind::Load(_)
+            | EngineErrorKind::Store(_) => None,
         }
     }
 }

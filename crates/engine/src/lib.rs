@@ -36,7 +36,8 @@ mod error;
 mod metrics;
 pub mod pipeline;
 mod runner;
+mod store_stage;
 
 pub use error::{EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage};
-pub use metrics::{Metrics, MetricsSnapshot, StageMetrics};
+pub use metrics::{Metrics, MetricsSnapshot, StageMetrics, StoreEvent, StoreMetrics};
 pub use runner::{EngineReport, Source, StudyConfig, StudyRunner};

@@ -6,8 +6,42 @@
 //! `coevo study --profile` table.
 
 use crate::error::Stage;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// One observable outcome of a result-store interaction, counted by
+/// [`Metrics::record_store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// A verified entry served the project (parse/diff/measure skipped).
+    Hit,
+    /// No entry existed for the project's input digest.
+    Miss,
+    /// A stale entry (format or digest mismatch) was quarantined.
+    Invalidated,
+    /// A corrupt entry (torn write, checksum failure) was quarantined.
+    Quarantined,
+    /// A freshly computed result was published to the store.
+    Published,
+    /// A publish attempt failed (the study continues; publishes are
+    /// best-effort).
+    PublishFailure,
+}
+
+impl StoreEvent {
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            Self::Hit => 0,
+            Self::Miss => 1,
+            Self::Invalidated => 2,
+            Self::Quarantined => 3,
+            Self::Published => 4,
+            Self::PublishFailure => 5,
+        }
+    }
+}
 
 /// Live per-stage counters, shared by every worker of a run.
 #[derive(Debug)]
@@ -16,6 +50,8 @@ pub struct Metrics {
     items: [AtomicU64; Stage::ALL.len()],
     cache_hits: [AtomicU64; Stage::ALL.len()],
     cache_misses: [AtomicU64; Stage::ALL.len()],
+    store: [AtomicU64; StoreEvent::COUNT],
+    store_enabled: AtomicBool,
     started: Instant,
 }
 
@@ -33,8 +69,22 @@ impl Metrics {
             items: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_hits: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            store: std::array::from_fn(|_| AtomicU64::new(0)),
+            store_enabled: AtomicBool::new(false),
             started: Instant::now(),
         }
+    }
+
+    /// Mark this run as store-backed: the snapshot will carry a
+    /// [`StoreMetrics`] block (all-zero counters are meaningful for a
+    /// store-backed run, and absent for a store-less one).
+    pub fn enable_store(&self) {
+        self.store_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Count one result-store outcome.
+    pub fn record_store(&self, event: StoreEvent) {
+        self.store[event.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record `elapsed` busy time and `items` processed items for `stage`.
@@ -67,7 +117,16 @@ impl Metrics {
                 cache_misses: self.cache_misses[i].load(Ordering::Relaxed),
             })
             .collect();
-        MetricsSnapshot { stages, wall: self.started.elapsed(), workers }
+        let store = self.store_enabled.load(Ordering::Relaxed).then(|| StoreMetrics {
+            hits: self.store[StoreEvent::Hit.index()].load(Ordering::Relaxed),
+            misses: self.store[StoreEvent::Miss.index()].load(Ordering::Relaxed),
+            invalidated: self.store[StoreEvent::Invalidated.index()].load(Ordering::Relaxed),
+            quarantined: self.store[StoreEvent::Quarantined.index()].load(Ordering::Relaxed),
+            published: self.store[StoreEvent::Published.index()].load(Ordering::Relaxed),
+            publish_failures: self.store[StoreEvent::PublishFailure.index()]
+                .load(Ordering::Relaxed),
+        });
+        MetricsSnapshot { stages, wall: self.started.elapsed(), workers, store }
     }
 
     fn index(stage: Stage) -> usize {
@@ -116,6 +175,31 @@ impl StageMetrics {
     }
 }
 
+/// The frozen result-store counters of one store-backed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetrics {
+    /// Projects served from a verified store entry.
+    pub hits: u64,
+    /// Projects with no store entry (computed, then published).
+    pub misses: u64,
+    /// Stale entries quarantined (format/digest mismatch), then recomputed.
+    pub invalidated: u64,
+    /// Corrupt entries quarantined (checksum/parse failure), then
+    /// recomputed.
+    pub quarantined: u64,
+    /// Results published to the store this run.
+    pub published: u64,
+    /// Best-effort publishes that failed (never fatal to the study).
+    pub publish_failures: u64,
+}
+
+impl StoreMetrics {
+    /// Total store lookups (one per project).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.invalidated + self.quarantined
+    }
+}
+
 /// A frozen view of one engine run's observability counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -125,6 +209,8 @@ pub struct MetricsSnapshot {
     pub wall: Duration,
     /// Worker threads the run used.
     pub workers: usize,
+    /// Result-store counters; `Some` exactly when the run was store-backed.
+    pub store: Option<StoreMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -146,7 +232,15 @@ impl MetricsSnapshot {
                 cache_misses: s.cache_misses,
             })
             .collect();
-        coevo_report::profile::render_profile(&rows, self.wall, self.workers)
+        let store = self.store.map(|s| coevo_report::profile::StoreProfile {
+            hits: s.hits,
+            misses: s.misses,
+            invalidated: s.invalidated,
+            quarantined: s.quarantined,
+            published: s.published,
+            publish_failures: s.publish_failures,
+        });
+        coevo_report::profile::render_profile(&rows, self.wall, self.workers, store.as_ref())
     }
 }
 

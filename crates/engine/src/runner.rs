@@ -19,6 +19,7 @@
 use crate::error::{EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pipeline::{process, WorkItem};
+use crate::store_stage::{process_with_store, store_config_hash, StoreContext};
 use coevo_core::{ProjectData, ProjectMeasures, StudyResults};
 use coevo_corpus::loader::Manifest;
 use coevo_corpus::CorpusSpec;
@@ -62,6 +63,10 @@ pub struct StudyConfig {
     /// Capacity of the bounded result channel between the worker pool and
     /// the collector (backpressure bound).
     pub channel_capacity: usize,
+    /// Root directory of the content-addressed result store; `None` runs
+    /// store-less. With a store, every project's result is looked up by
+    /// input digest before the pipeline runs and published after a miss.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -71,6 +76,7 @@ impl Default for StudyConfig {
             failure_policy: FailurePolicy::default(),
             taxonomy: TaxonomyConfig::default(),
             channel_capacity: 32,
+            store_dir: None,
         }
     }
 }
@@ -123,6 +129,13 @@ impl StudyRunner {
         self
     }
 
+    /// Back the run with the content-addressed result store rooted at `dir`
+    /// (created on first use).
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.store_dir = Some(dir.into());
+        self
+    }
+
     /// The effective configuration.
     pub fn config(&self) -> &StudyConfig {
         &self.config
@@ -138,6 +151,22 @@ impl StudyRunner {
     pub fn run(&self, source: Source) -> Result<EngineReport, EngineError> {
         let metrics = Metrics::new();
 
+        // An unusable store is a hard error, like an unreadable corpus: the
+        // user asked for warm restarts and cannot have them.
+        let store = match &self.config.store_dir {
+            Some(dir) => {
+                metrics.enable_store();
+                let store = coevo_store::ResultStore::open(dir).map_err(|e| EngineError {
+                    project: dir.display().to_string(),
+                    stage: Stage::Store,
+                    kind: EngineErrorKind::Store(e.to_string()),
+                })?;
+                let config_hash = store_config_hash(&self.config.taxonomy);
+                Some(StoreContext { store, config_hash })
+            }
+            None => None,
+        };
+
         // Load stage.
         let t = Instant::now();
         let (items, mut failures) = self.load(source)?;
@@ -150,7 +179,7 @@ impl StudyRunner {
 
         // Per-project stages over the work-stealing pool.
         let workers = self.worker_count(items.len());
-        let slots = self.run_pool(items, workers, &metrics);
+        let slots = self.run_pool(items, workers, &metrics, store.as_ref());
 
         let mut projects = Vec::new();
         let mut measures = Vec::new();
@@ -214,6 +243,7 @@ impl StudyRunner {
         items: Vec<WorkItem>,
         workers: usize,
         metrics: &Metrics,
+        store: Option<&StoreContext>,
     ) -> Vec<Option<Result<(ProjectData, ProjectMeasures), EngineError>>> {
         let total = items.len();
         let mut slots: Vec<Option<Result<(ProjectData, ProjectMeasures), EngineError>>> =
@@ -268,7 +298,10 @@ impl StudyRunner {
                         let result = if abort.load(Ordering::Relaxed) {
                             None
                         } else {
-                            let r = process(&item, cfg, metrics);
+                            let r = match store {
+                                Some(ctx) => process_with_store(&item, cfg, metrics, ctx),
+                                None => process(&item, cfg, metrics),
+                            };
                             if fail_fast && r.is_err() {
                                 abort.store(true, Ordering::Relaxed);
                             }
@@ -441,6 +474,43 @@ mod tests {
         assert!(m.stage(Stage::Parse).unwrap().items > 6); // logs + versions
         assert!(m.stage(Stage::Diff).unwrap().items >= 6);
         assert!(m.stage(Stage::Heartbeat).unwrap().items == 12);
+    }
+
+    #[test]
+    fn store_backed_rerun_serves_every_project() {
+        let dir =
+            std::env::temp_dir().join(format!("coevo_engine_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec(1);
+        let runner = StudyRunner::new(StudyConfig::default()).with_store(&dir);
+
+        let cold = runner.run(Source::Spec(spec.clone())).expect("cold run");
+        let s = cold.metrics.store.expect("store-backed metrics");
+        assert_eq!((s.hits, s.misses, s.published), (0, 6, 6));
+
+        let warm = runner.run(Source::Spec(spec)).expect("warm run");
+        let s = warm.metrics.store.expect("store-backed metrics");
+        assert_eq!((s.hits, s.misses, s.published), (6, 0, 0));
+        assert_eq!(cold.projects, warm.projects);
+        assert_eq!(cold.results, warm.results);
+        assert!(warm.metrics.render().contains("6/6 served"));
+
+        // A store-less run reports no store metrics at all.
+        let plain = StudyRunner::new(StudyConfig::default())
+            .run(Source::Spec(small_spec(1)))
+            .expect("store-less run");
+        assert!(plain.metrics.store.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_store_directory_is_a_hard_error() {
+        let err = StudyRunner::new(StudyConfig::default())
+            .with_store("/proc/coevo-engine-store-cannot-live-here")
+            .run(Source::Spec(small_spec(1)))
+            .unwrap_err();
+        assert_eq!(err.stage, Stage::Store);
+        assert!(matches!(err.kind, EngineErrorKind::Store(_)));
     }
 
     #[test]

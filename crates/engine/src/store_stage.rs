@@ -1,0 +1,258 @@
+//! The store-aware stage: consult the result store before running the
+//! per-project pipeline, publish on miss.
+//!
+//! The stage wraps [`crate::pipeline::process`]. For every work item it
+//! derives the item's [`InputDigest`] (history hash × vcs hash × config
+//! hash — see `coevo_corpus::digest` and [`store_config_hash`]) and asks
+//! the store:
+//!
+//! - **hit** — the verified entry is deserialized and returned; parse,
+//!   diff, heartbeat and measure are skipped entirely;
+//! - **miss / invalidated / quarantined** — the pipeline runs as usual and
+//!   the fresh result is published back (best-effort: a failed publish is
+//!   counted, never fatal).
+//!
+//! Because the digest covers every input byte and the configuration, a
+//! changed project — or a changed configuration — can never be served a
+//! stale result: it simply looks up a key that does not exist.
+
+use crate::error::{EngineError, Stage};
+use crate::metrics::{Metrics, StoreEvent};
+use crate::pipeline::{process, WorkItem};
+use coevo_core::{ProjectData, ProjectMeasures};
+use coevo_ddl::fingerprint::Fnv1a;
+use coevo_store::{InputDigest, Lookup, ResultStore};
+use coevo_taxa::TaxonomyConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The serialized per-project result a store entry holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct StoredProjectResult {
+    /// The measured project (heartbeats, taxon, birth activity).
+    pub data: ProjectData,
+    /// Its derived study measures.
+    pub measures: ProjectMeasures,
+}
+
+/// A run's store handle plus the run-wide configuration hash.
+#[derive(Debug)]
+pub(crate) struct StoreContext {
+    pub store: ResultStore,
+    pub config_hash: u64,
+}
+
+impl StoreContext {
+    /// The input digest of one work item under this run's configuration.
+    pub fn digest(&self, item: &WorkItem) -> InputDigest {
+        let history = coevo_corpus::digest::history_hash(
+            &item.name,
+            item.taxon.map(|t| t.slug()),
+            item.dialect.name(),
+            &item.ddl_versions,
+        );
+        let vcs = coevo_corpus::digest::vcs_hash(&item.git_log);
+        InputDigest::new(history, vcs, self.config_hash)
+    }
+}
+
+/// Hash everything configuration-side that feeds a result: the taxonomy
+/// thresholds (canonical JSON), the measure parameters baked into the
+/// pipeline (synchronicity thetas, attainment alphas), and the store format
+/// version. Any change produces different digests for *every* project — a
+/// config change is a full miss, never a partial reuse.
+pub(crate) fn store_config_hash(taxonomy: &TaxonomyConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.tag(0xC5);
+    h.write_str(&serde_json::to_string(taxonomy).expect("taxonomy config serializes"));
+    h.write_str(&format!("{:?}", [0.05f64, 0.10])); // synchronicity thetas
+    h.write_str(&format!("{:?}", coevo_core::ATTAINMENT_ALPHAS));
+    h.write_u64(u64::from(coevo_store::FORMAT_VERSION));
+    h.finish().0
+}
+
+/// Run one work item through the store-aware pipeline: serve a verified hit,
+/// otherwise compute and publish.
+pub(crate) fn process_with_store(
+    item: &WorkItem,
+    cfg: &TaxonomyConfig,
+    metrics: &Metrics,
+    ctx: &StoreContext,
+) -> Result<(ProjectData, ProjectMeasures), EngineError> {
+    let digest = ctx.digest(item);
+
+    let t = Instant::now();
+    let lookup = ctx.store.get::<StoredProjectResult>(&digest);
+    metrics.record(Stage::Store, t.elapsed(), 1);
+    match lookup {
+        Lookup::Hit(stored) => {
+            metrics.record_store(StoreEvent::Hit);
+            metrics.record_cache(Stage::Store, 1, 0);
+            return Ok((stored.data, stored.measures));
+        }
+        Lookup::Miss => metrics.record_store(StoreEvent::Miss),
+        Lookup::Invalidated => metrics.record_store(StoreEvent::Invalidated),
+        Lookup::Quarantined => metrics.record_store(StoreEvent::Quarantined),
+    }
+    metrics.record_cache(Stage::Store, 0, 1);
+
+    let (data, measures) = process(item, cfg, metrics)?;
+
+    let t = Instant::now();
+    let stored = StoredProjectResult { data, measures };
+    match ctx.store.put(&digest, &stored) {
+        Ok(()) => metrics.record_store(StoreEvent::Published),
+        Err(_) => metrics.record_store(StoreEvent::PublishFailure),
+    }
+    metrics.record(Stage::Store, t.elapsed(), 0);
+    Ok((stored.data, stored.measures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StoreMetrics;
+    use coevo_ddl::Dialect;
+    use coevo_heartbeat::DateTime;
+
+    const GOOD_LOG: &str =
+        "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tf\n";
+
+    fn item(name: &str) -> WorkItem {
+        WorkItem {
+            index: 0,
+            name: name.into(),
+            git_log: GOOD_LOG.to_string(),
+            ddl_versions: vec![
+                (
+                    DateTime::parse("2020-01-01 00:00:00 +0000").unwrap(),
+                    "CREATE TABLE t (a INT);".into(),
+                ),
+                (
+                    DateTime::parse("2020-02-01 00:00:00 +0000").unwrap(),
+                    "CREATE TABLE t (a INT, b INT);".into(),
+                ),
+            ],
+            dialect: Dialect::Generic,
+            taxon: None,
+        }
+    }
+
+    fn ctx(tag: &str) -> (std::path::PathBuf, StoreContext) {
+        let dir = std::env::temp_dir()
+            .join(format!("coevo_store_stage_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let config_hash = store_config_hash(&TaxonomyConfig::default());
+        (dir, StoreContext { store, config_hash })
+    }
+
+    fn snapshot_store(metrics: &Metrics) -> StoreMetrics {
+        metrics.enable_store();
+        metrics.snapshot(1).store.unwrap()
+    }
+
+    #[test]
+    fn miss_computes_publishes_and_then_hits() {
+        let (dir, ctx) = ctx("hit");
+        let cfg = TaxonomyConfig::default();
+        let it = item("g/p");
+
+        let metrics = Metrics::new();
+        let cold = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.hits, s.misses, s.published), (0, 1, 1));
+
+        let metrics = Metrics::new();
+        let warm = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.hits, s.misses, s.published), (1, 0, 0));
+        assert_eq!(cold, warm);
+        // Served from the store: the pipeline stages never ran.
+        let snap = metrics.snapshot(1);
+        assert_eq!(snap.stage(Stage::Parse).unwrap().items, 0);
+        assert_eq!(snap.stage(Stage::Measure).unwrap().items, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_result_round_trips_exactly() {
+        let (dir, ctx) = ctx("exact");
+        let cfg = TaxonomyConfig::default();
+        let it = item("g/p");
+        let metrics = Metrics::new();
+        let direct = process(&it, &cfg, &metrics).unwrap();
+        let cold = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let warm = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        assert_eq!(direct, cold);
+        assert_eq!(direct, warm);
+        // Byte-identical through serialization too.
+        assert_eq!(
+            serde_json::to_string(&direct.0).unwrap(),
+            serde_json::to_string(&warm.0).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&direct.1).unwrap(),
+            serde_json::to_string(&warm.1).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_is_a_full_miss() {
+        let (dir, mut ctx) = ctx("config");
+        let cfg = TaxonomyConfig::default();
+        let it = item("g/p");
+        let metrics = Metrics::new();
+        process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+
+        ctx.config_hash ^= 1; // a different configuration
+        let metrics = Metrics::new();
+        process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.hits, s.misses), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn touched_input_is_a_miss_for_that_project_only() {
+        let (dir, ctx) = ctx("touch");
+        let cfg = TaxonomyConfig::default();
+        let a = item("g/a");
+        let mut b = item("g/b");
+        let metrics = Metrics::new();
+        process_with_store(&a, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&b, &cfg, &metrics, &ctx).unwrap();
+
+        // Touch one byte of b's history.
+        b.ddl_versions.last_mut().unwrap().1.push('\n');
+        let metrics = Metrics::new();
+        process_with_store(&a, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&b, &cfg, &metrics, &ctx).unwrap();
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.hits, s.misses, s.published), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipeline_failure_is_not_published() {
+        let (dir, ctx) = ctx("fail");
+        let cfg = TaxonomyConfig::default();
+        let mut it = item("g/p");
+        it.ddl_versions[1].1 = "CREATE TABLE t (".into();
+        let metrics = Metrics::new();
+        assert!(process_with_store(&it, &cfg, &metrics, &ctx).is_err());
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.misses, s.published, s.publish_failures), (1, 0, 0));
+        assert_eq!(ctx.store.stats().unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_hash_tracks_taxonomy() {
+        let base = store_config_hash(&TaxonomyConfig::default());
+        assert_eq!(base, store_config_hash(&TaxonomyConfig::default()));
+        let cfg = TaxonomyConfig { almost_frozen_max: 9, ..TaxonomyConfig::default() };
+        assert_ne!(base, store_config_hash(&cfg));
+    }
+}

@@ -35,12 +35,76 @@ impl ProfileRow {
     }
 }
 
+/// The result-store counters of a store-backed run, rendered as the
+/// profile's `store` column plus a summary footer line. `None` (a
+/// store-less run) reproduces the store-free table byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreProfile {
+    /// Projects served from a verified store entry.
+    pub hits: u64,
+    /// Projects with no store entry.
+    pub misses: u64,
+    /// Stale entries quarantined and recomputed.
+    pub invalidated: u64,
+    /// Corrupt entries quarantined and recomputed.
+    pub quarantined: u64,
+    /// Results published this run.
+    pub published: u64,
+    /// Best-effort publishes that failed.
+    pub publish_failures: u64,
+}
+
+impl StoreProfile {
+    fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.invalidated + self.quarantined
+    }
+
+    /// The `store` cell of one stage row: served/total on the store's own
+    /// row, `-` elsewhere.
+    fn cell(&self, stage: &str) -> String {
+        if stage == "store" {
+            format!("{}/{} served", self.hits, self.lookups())
+        } else {
+            "-".to_string()
+        }
+    }
+
+    fn footer(&self) -> String {
+        format!(
+            "store {} hit | {} miss | {} invalidated | {} quarantined | {} published | {} publish failures\n",
+            self.hits,
+            self.misses,
+            self.invalidated,
+            self.quarantined,
+            self.published,
+            self.publish_failures,
+        )
+    }
+}
+
 /// Render the profile table: one row per stage with busy time, item count,
 /// throughput, share of total busy time, and incremental-cache hit rate,
-/// plus a wall-time footer.
-pub fn render_profile(rows: &[ProfileRow], wall: Duration, workers: usize) -> String {
+/// plus a wall-time footer. A store-backed run passes its counters as
+/// `store`, adding a `store` column and a store summary line.
+pub fn render_profile(
+    rows: &[ProfileRow],
+    wall: Duration,
+    workers: usize,
+    store: Option<&StoreProfile>,
+) -> String {
     let total_busy: Duration = rows.iter().map(|r| r.busy).sum();
-    let mut table = TextTable::new(["stage", "items", "busy", "items/s", "% busy", "cache"]);
+    let mut headers = vec![
+        "stage".to_string(),
+        "items".into(),
+        "busy".into(),
+        "items/s".into(),
+        "% busy".into(),
+        "cache".into(),
+    ];
+    if store.is_some() {
+        headers.push("store".into());
+    }
+    let mut table = TextTable::new(headers);
     for r in rows {
         let throughput = if r.busy.as_secs_f64() > 0.0 {
             r.items as f64 / r.busy.as_secs_f64()
@@ -52,17 +116,24 @@ pub fn render_profile(rows: &[ProfileRow], wall: Duration, workers: usize) -> St
         } else {
             0.0
         };
-        table.row([
+        let mut cells = vec![
             r.stage.clone(),
             r.items.to_string(),
             fmt_duration(r.busy),
             format!("{throughput:.0}"),
             format!("{share:.0}%"),
             r.cache_cell(),
-        ]);
+        ];
+        if let Some(s) = store {
+            cells.push(s.cell(&r.stage));
+        }
+        table.row(cells);
     }
     let mut out = String::from("execution profile\n");
     out.push_str(&table.render());
+    if let Some(s) = store {
+        out.push_str(&s.footer());
+    }
     out.push_str(&format!(
         "wall {} | busy {} | {} workers | parallel speedup {:.2}x\n",
         fmt_duration(wall),
@@ -111,7 +182,7 @@ mod tests {
                 cache_misses: 0,
             },
         ];
-        let text = render_profile(&rows, Duration::from_millis(200), 4);
+        let text = render_profile(&rows, Duration::from_millis(200), 4, None);
         assert!(text.contains("parse"), "{text}");
         assert!(text.contains("items/s"), "{text}");
         assert!(text.contains("75%"), "{text}"); // parse share of busy
@@ -130,11 +201,45 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
         }];
-        let text = render_profile(&rows, Duration::ZERO, 1);
+        let text = render_profile(&rows, Duration::ZERO, 1, None);
         assert!(text.contains("stats"), "{text}");
         assert!(text.contains("0.00x"), "{text}");
         // No cache lookups → the cache column shows `-`, not a 0% rate.
         assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn store_column_and_footer_render_only_when_present() {
+        let rows = vec![
+            ProfileRow {
+                stage: "store".into(),
+                items: 195,
+                busy: Duration::from_millis(12),
+                cache_hits: 195,
+                cache_misses: 0,
+            },
+            ProfileRow {
+                stage: "parse".into(),
+                items: 0,
+                busy: Duration::ZERO,
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+        ];
+        let store = StoreProfile { hits: 195, published: 0, ..StoreProfile::default() };
+        let text = render_profile(&rows, Duration::from_millis(20), 4, Some(&store));
+        assert!(text.contains("195/195 served"), "{text}");
+        assert!(
+            text.contains(
+                "store 195 hit | 0 miss | 0 invalidated | 0 quarantined | 0 published | 0 publish failures"
+            ),
+            "{text}"
+        );
+
+        // The store-less rendering has no store column at all.
+        let without = render_profile(&rows, Duration::from_millis(20), 4, None);
+        assert!(!without.contains("served"), "{without}");
+        assert!(!without.contains("publish"), "{without}");
     }
 
     #[test]

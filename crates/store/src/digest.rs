@@ -1,0 +1,90 @@
+//! Store keys: the input digest a result is addressed by.
+
+use coevo_ddl::fingerprint::content_hash;
+use std::fmt;
+
+/// The content address of one stored result: what the pipeline consumed to
+/// produce it, reduced to three domain-separated 64-bit content hashes.
+///
+/// Two runs that consume byte-identical inputs under the same configuration
+/// produce equal digests; any difference in any component produces a
+/// different digest, so a stale entry is never *returned* — it is simply
+/// never *found* (and eventually evicted by GC). The store format version is
+/// deliberately not part of the key: it lives in the store manifest and in
+/// every entry header, so a format bump invalidates entries explicitly
+/// instead of silently orphaning them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputDigest {
+    /// Content hash of the DDL history: project name, taxon label, dialect,
+    /// and every dated version text (see `coevo_corpus::digest`).
+    pub history: u64,
+    /// Content hash of the raw vcs log text.
+    pub vcs: u64,
+    /// Content hash of the study configuration and measure parameters.
+    pub config: u64,
+}
+
+impl InputDigest {
+    /// Construct a digest from its three components.
+    pub fn new(history: u64, vcs: u64, config: u64) -> Self {
+        Self { history, vcs, config }
+    }
+
+    /// The canonical key string: three fixed-width hex words. Used as the
+    /// entry file stem and embedded in the entry header (a moved or renamed
+    /// entry file self-reports the mismatch).
+    pub fn key(&self) -> String {
+        format!("{:016x}-{:016x}-{:016x}", self.history, self.vcs, self.config)
+    }
+}
+
+impl fmt::Display for InputDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// Hash a serializable configuration value into the digest's `config`
+/// component: the value is rendered to canonical JSON and content-hashed.
+/// Deterministic across processes and platforms (the vendored serde renders
+/// structs in field order and floats in shortest round-trip form).
+pub fn config_hash<T: serde::Serialize + ?Sized>(config: &T) -> u64 {
+    let json = serde_json::to_string(config).expect("config serializes");
+    content_hash(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_fixed_width_hex() {
+        let d = InputDigest::new(1, 0xABCD, u64::MAX);
+        assert_eq!(d.key(), "0000000000000001-000000000000abcd-ffffffffffffffff");
+        assert_eq!(d.to_string(), d.key());
+    }
+
+    #[test]
+    fn any_component_changes_the_key() {
+        let base = InputDigest::new(1, 2, 3);
+        assert_ne!(base.key(), InputDigest::new(9, 2, 3).key());
+        assert_ne!(base.key(), InputDigest::new(1, 9, 3).key());
+        assert_ne!(base.key(), InputDigest::new(1, 2, 9).key());
+        // Components do not alias across positions.
+        assert_ne!(InputDigest::new(1, 2, 3).key(), InputDigest::new(2, 1, 3).key());
+    }
+
+    #[test]
+    fn config_hash_is_content_sensitive_and_stable() {
+        #[derive(serde::Serialize)]
+        struct Cfg {
+            threshold: f64,
+            buckets: u64,
+        }
+        let a = config_hash(&Cfg { threshold: 0.1, buckets: 5 });
+        let b = config_hash(&Cfg { threshold: 0.1, buckets: 5 });
+        let c = config_hash(&Cfg { threshold: 0.2, buckets: 5 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,38 @@
+//! # coevo-store — crash-safe, content-addressed result store
+//!
+//! The study pipeline is change-sparse: across repeated runs, almost every
+//! project's inputs (DDL history, git log, study configuration) are
+//! byte-identical to the previous run. This crate persists what the engine
+//! computes, keyed by what it consumed, so a re-run is ~O(changed projects)
+//! instead of O(corpus):
+//!
+//! - **content-addressed** — an entry's key is an [`InputDigest`]: the DDL
+//!   history content hash × the vcs log hash × the study-config hash. Any
+//!   input change produces a different key, so stale results are simply
+//!   never found (config change ⇒ full miss);
+//! - **crash-safe** — entries are published atomically (temp file +
+//!   `rename` in the same directory); a torn write can never be observed as
+//!   an entry, and leftover temp files from crashed runs are swept on open;
+//! - **self-verifying** — every entry carries a header with the store
+//!   format version, its own key, and an FNV-1a checksum over the exact
+//!   payload bytes. Corrupt or stale entries are quarantined (moved aside,
+//!   never returned, counted by the caller, recomputed) rather than served;
+//! - **bounded** — [`ResultStore::gc`] evicts least-recently-used entries
+//!   beyond a byte budget (a hit refreshes the entry's modification time).
+//!
+//! The store is payload-agnostic: any `Serialize + Deserialize` type can be
+//! stored. The execution engine stores one serialized per-project result
+//! (heartbeats, measures, taxon) per entry; see `coevo-engine`.
+//!
+//! Everything here is std + the workspace's vendored `serde`/`serde_json` —
+//! no external dependencies.
+
+#![warn(missing_docs)]
+
+mod digest;
+mod store;
+
+pub use digest::{config_hash, InputDigest};
+pub use store::{
+    GcReport, Lookup, ResultStore, StoreError, StoreStats, VerifyReport, FORMAT_VERSION,
+};

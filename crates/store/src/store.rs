@@ -1,0 +1,700 @@
+//! The on-disk store: atomic publish, checksum-verified reads, quarantine,
+//! verification and GC.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   store-manifest.json   # {"format": 1} — the store-wide format version
+//!   entries/
+//!     <history>-<vcs>-<config>.entry   # one published result per digest
+//!     .tmp-<pid>-<n>                   # in-flight publishes (swept on open)
+//!   quarantine/
+//!     <entry-name>.<n>                 # corrupt/stale entries, moved aside
+//! ```
+//!
+//! ## Entry format
+//!
+//! An entry file is a one-line JSON header, a newline, then the payload
+//! JSON:
+//!
+//! ```text
+//! {"format":1,"digest":"<key>","bytes":N,"checksum":"<16-hex>"}
+//! <payload JSON, exactly N bytes>
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the *exact* payload bytes, so truncation,
+//! bit flips, and partial writes are all detected before anything is
+//! deserialized. A failed check moves the file into `quarantine/` — the
+//! entry is never served, and the caller recomputes and republishes.
+//!
+//! ## Atomicity protocol
+//!
+//! Publishes write the full entry to `entries/.tmp-<pid>-<n>`, fsync it,
+//! and `rename(2)` it over the final name. Rename within one directory is
+//! atomic on POSIX: readers observe either the old entry, the new entry, or
+//! no entry — never a torn file. Temp files left behind by a crashed writer
+//! are deleted the next time the store is opened.
+
+use crate::digest::InputDigest;
+use coevo_ddl::fingerprint::content_hash;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The store format version, embedded in the store manifest and in every
+/// entry header. Bump this whenever the serialized payload shape, the
+/// digest recipe, or the measure parameters baked into the pipeline change:
+/// all previously published entries become *stale* and are quarantined
+/// instead of served.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MANIFEST_FILE: &str = "store-manifest.json";
+const ENTRIES_DIR: &str = "entries";
+const QUARANTINE_DIR: &str = "quarantine";
+const ENTRY_EXT: &str = "entry";
+const TMP_PREFIX: &str = ".tmp-";
+
+/// A store operation failure: which operation, on which path, and why.
+#[derive(Debug)]
+pub struct StoreError {
+    /// The failed operation (e.g. `"open"`, `"publish"`).
+    pub op: &'static str,
+    /// The path involved.
+    pub path: PathBuf,
+    /// The rendered cause.
+    pub message: String,
+}
+
+impl StoreError {
+    fn new(op: &'static str, path: &Path, message: impl fmt::Display) -> Self {
+        Self { op, path: path.to_path_buf(), message: message.to_string() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store {} failed at {}: {}", self.op, self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of one [`ResultStore::get`] lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup<T> {
+    /// A verified entry was found and deserialized.
+    Hit(T),
+    /// No entry exists for the digest.
+    Miss,
+    /// An entry existed but was *stale* — wrong format version or a header
+    /// digest that does not match its file name. It was quarantined; the
+    /// caller must recompute.
+    Invalidated,
+    /// An entry existed but was *corrupt* — unreadable, torn, or failing
+    /// its checksum. It was quarantined; the caller must recompute.
+    Quarantined,
+}
+
+/// The per-entry header preceding the payload bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EntryHeader {
+    format: u32,
+    digest: String,
+    bytes: u64,
+    checksum: String,
+}
+
+/// The store-wide manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreManifest {
+    format: u32,
+}
+
+/// Aggregate numbers for `coevo store stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// The store format version from the manifest.
+    pub format: u32,
+    /// Committed entries.
+    pub entries: u64,
+    /// Total bytes of committed entries.
+    pub entry_bytes: u64,
+    /// Files in the quarantine directory.
+    pub quarantined: u64,
+}
+
+/// Outcome of [`ResultStore::verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Entries examined.
+    pub checked: u64,
+    /// Entries that passed header + checksum validation.
+    pub ok: u64,
+    /// File names (entry stems) moved to quarantine by this pass.
+    pub quarantined: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether every checked entry verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Outcome of [`ResultStore::gc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcReport {
+    /// Entries kept.
+    pub kept: u64,
+    /// Bytes kept.
+    pub kept_bytes: u64,
+    /// Entries evicted.
+    pub evicted: u64,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+}
+
+/// A content-addressed result store rooted at one directory.
+///
+/// The handle is cheap and thread-safe: lookups and publishes from the
+/// engine's worker pool share one instance (`&self` everywhere; the only
+/// mutable state is an atomic sequence number for temp-file and quarantine
+/// names).
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    seq: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store at `root`.
+    ///
+    /// Recovery happens here: leftover temp files from crashed publishes are
+    /// deleted, and if the store manifest is missing, unreadable, or carries
+    /// a different format version, every existing entry is quarantined and a
+    /// fresh manifest is written — a stale-format store never serves a
+    /// single entry.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        let store = Self { root, seq: AtomicU64::new(0) };
+        for dir in [store.entries_dir(), store.quarantine_dir()] {
+            fs::create_dir_all(&dir).map_err(|e| StoreError::new("open", &dir, e))?;
+        }
+        store.sweep_temp_files()?;
+        store.check_manifest()?;
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding committed entries.
+    pub fn entries_dir(&self) -> PathBuf {
+        self.root.join(ENTRIES_DIR)
+    }
+
+    /// The directory corrupt/stale entries are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join(QUARANTINE_DIR)
+    }
+
+    /// The committed entry path for a digest.
+    pub fn entry_path(&self, digest: &InputDigest) -> PathBuf {
+        self.entries_dir().join(format!("{}.{ENTRY_EXT}", digest.key()))
+    }
+
+    /// Look up the result stored under `digest`, verifying the entry header
+    /// and payload checksum before deserializing. Anything that fails
+    /// verification is quarantined and reported as [`Lookup::Invalidated`]
+    /// (stale) or [`Lookup::Quarantined`] (corrupt) — never returned.
+    pub fn get<T: Deserialize>(&self, digest: &InputDigest) -> Lookup<T> {
+        let path = self.entry_path(digest);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(_) => {
+                self.quarantine(&path);
+                return Lookup::Quarantined;
+            }
+        };
+        match validate_entry(&bytes, Some(&digest.key())) {
+            Validated::Ok(payload) => match serde_json::from_str::<T>(payload) {
+                Ok(value) => {
+                    // Refresh the modification time so GC evicts in true
+                    // least-recently-used order. Best effort: a read-only
+                    // store still serves hits.
+                    let _ = fs::File::open(&path)
+                        .and_then(|f| f.set_modified(std::time::SystemTime::now()));
+                    Lookup::Hit(value)
+                }
+                Err(_) => {
+                    self.quarantine(&path);
+                    Lookup::Quarantined
+                }
+            },
+            Validated::Stale => {
+                self.quarantine(&path);
+                Lookup::Invalidated
+            }
+            Validated::Corrupt => {
+                self.quarantine(&path);
+                Lookup::Quarantined
+            }
+        }
+    }
+
+    /// Atomically publish `payload` under `digest`, replacing any existing
+    /// entry. The entry is fully written and fsynced to a temp file in the
+    /// entries directory, then renamed over the final name — a crash at any
+    /// point leaves either the previous entry or a swept-on-open temp file,
+    /// never a torn entry.
+    pub fn put<T: Serialize + ?Sized>(
+        &self,
+        digest: &InputDigest,
+        payload: &T,
+    ) -> Result<(), StoreError> {
+        let payload_json = serde_json::to_string(payload)
+            .map_err(|e| StoreError::new("publish", &self.entry_path(digest), e))?;
+        let header = EntryHeader {
+            format: FORMAT_VERSION,
+            digest: digest.key(),
+            bytes: payload_json.len() as u64,
+            checksum: format!("{:016x}", content_hash(payload_json.as_bytes())),
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| StoreError::new("publish", &self.entry_path(digest), e))?;
+
+        let tmp = self.entries_dir().join(format!(
+            "{TMP_PREFIX}{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(header_json.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(payload_json.as_bytes())?;
+            f.sync_all()
+        };
+        write(&tmp).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::new("publish", &tmp, e)
+        })?;
+        fs::rename(&tmp, self.entry_path(digest)).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::new("publish", &self.entry_path(digest), e)
+        })
+    }
+
+    /// Validate every committed entry (header parse, format version, digest
+    /// vs. file name, payload checksum), quarantining anything that fails.
+    /// Payloads are *not* deserialized — verification is type-agnostic.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport { checked: 0, ok: 0, quarantined: Vec::new() };
+        for path in self.entry_files()? {
+            report.checked += 1;
+            let expected_key = path.file_stem().map(|s| s.to_string_lossy().into_owned());
+            let valid = fs::read(&path).ok().is_some_and(|bytes| {
+                matches!(validate_entry(&bytes, expected_key.as_deref()), Validated::Ok(_))
+            });
+            if valid {
+                report.ok += 1;
+            } else {
+                self.quarantine(&path);
+                report.quarantined.push(
+                    path.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        report.quarantined.sort();
+        Ok(report)
+    }
+
+    /// Evict least-recently-used entries until the committed entries total
+    /// at most `max_bytes`. Eviction order is oldest modification time
+    /// first (hits refresh it), with the file name as a deterministic
+    /// tie-break. Evicted entries are deleted, not quarantined — they were
+    /// valid, just over budget.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, StoreError> {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for path in self.entry_files()? {
+            let meta = match fs::metadata(&path) {
+                Ok(m) => m,
+                Err(_) => continue, // raced with a concurrent eviction
+            };
+            let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            entries.push((modified, path, meta.len()));
+        }
+        // Newest first; keep from the front while under budget.
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| b.1.cmp(&a.1)));
+        let mut report = GcReport { kept: 0, kept_bytes: 0, evicted: 0, evicted_bytes: 0 };
+        for (_, path, len) in entries {
+            if report.kept_bytes + len <= max_bytes {
+                report.kept += 1;
+                report.kept_bytes += len;
+            } else {
+                fs::remove_file(&path).map_err(|e| StoreError::new("gc", &path, e))?;
+                report.evicted += 1;
+                report.evicted_bytes += len;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Aggregate store numbers.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let mut entries = 0;
+        let mut entry_bytes = 0;
+        for path in self.entry_files()? {
+            entries += 1;
+            entry_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+        let qdir = self.quarantine_dir();
+        let quarantined = match fs::read_dir(&qdir) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).count() as u64,
+            Err(e) => return Err(StoreError::new("stats", &qdir, e)),
+        };
+        Ok(StoreStats { format: FORMAT_VERSION, entries, entry_bytes, quarantined })
+    }
+
+    /// Committed entry files, sorted by name for deterministic iteration.
+    fn entry_files(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let dir = self.entries_dir();
+        let rd = fs::read_dir(&dir).map_err(|e| StoreError::new("list", &dir, e))?;
+        let mut files: Vec<PathBuf> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == ENTRY_EXT)
+                    && p.file_name()
+                        .is_some_and(|n| !n.to_string_lossy().starts_with(TMP_PREFIX))
+            })
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Delete leftover `.tmp-*` files from crashed publishes.
+    fn sweep_temp_files(&self) -> Result<(), StoreError> {
+        let dir = self.entries_dir();
+        let rd = fs::read_dir(&dir).map_err(|e| StoreError::new("open", &dir, e))?;
+        for entry in rd.filter_map(|e| e.ok()) {
+            if entry.file_name().to_string_lossy().starts_with(TMP_PREFIX) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the manifest: absent ⇒ write it; unreadable or a different
+    /// format version ⇒ quarantine every entry, then write a fresh one.
+    fn check_manifest(&self) -> Result<(), StoreError> {
+        let path = self.root.join(MANIFEST_FILE);
+        match fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str::<StoreManifest>(&text) {
+                Ok(m) if m.format == FORMAT_VERSION => return Ok(()),
+                _ => self.quarantine_all()?,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // A fresh store — but if entries exist without a manifest
+                // (e.g. the manifest itself was lost), treat them as stale.
+                if !self.entry_files()?.is_empty() {
+                    self.quarantine_all()?;
+                }
+            }
+            Err(e) => return Err(StoreError::new("open", &path, e)),
+        }
+        let manifest = serde_json::to_string(&StoreManifest { format: FORMAT_VERSION })
+            .map_err(|e| StoreError::new("open", &path, e))?;
+        // The manifest write follows the same temp + rename protocol.
+        let tmp = self.root.join(format!("{TMP_PREFIX}manifest-{}", std::process::id()));
+        fs::write(&tmp, manifest).map_err(|e| StoreError::new("open", &tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| StoreError::new("open", &path, e))
+    }
+
+    fn quarantine_all(&self) -> Result<(), StoreError> {
+        for path in self.entry_files()? {
+            self.quarantine(&path);
+        }
+        Ok(())
+    }
+
+    /// Move a bad entry into the quarantine directory (best effort — if even
+    /// the move fails, fall back to deletion so the entry can never be
+    /// served again).
+    fn quarantine(&self, path: &Path) {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let Some(name) = name else {
+            let _ = fs::remove_file(path);
+            return;
+        };
+        let dest = self
+            .quarantine_dir()
+            .join(format!("{name}.{}", self.seq.fetch_add(1, Ordering::Relaxed)));
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+enum Validated<'a> {
+    /// Structurally valid; the exact payload slice.
+    Ok(&'a str),
+    /// Wrong format version or digest/file-name mismatch.
+    Stale,
+    /// Torn, truncated, or checksum-failing.
+    Corrupt,
+}
+
+/// Validate raw entry bytes: header line parses, format matches, digest
+/// matches `expected_key` (when known), payload length and checksum match.
+fn validate_entry<'a>(bytes: &'a [u8], expected_key: Option<&str>) -> Validated<'a> {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return Validated::Corrupt;
+    };
+    let Some((header_line, payload)) = text.split_once('\n') else {
+        return Validated::Corrupt;
+    };
+    let Ok(header) = serde_json::from_str::<EntryHeader>(header_line) else {
+        return Validated::Corrupt;
+    };
+    if header.format != FORMAT_VERSION {
+        return Validated::Stale;
+    }
+    if expected_key.is_some_and(|k| k != header.digest) {
+        return Validated::Stale;
+    }
+    if payload.len() as u64 != header.bytes
+        || format!("{:016x}", content_hash(payload.as_bytes())) != header.checksum
+    {
+        return Validated::Corrupt;
+    }
+    Validated::Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        name: String,
+        values: Vec<f64>,
+        count: u64,
+    }
+
+    fn payload(tag: &str) -> Payload {
+        Payload { name: tag.to_string(), values: vec![0.25, 1.0, -3.5], count: 7 }
+    }
+
+    fn digest(n: u64) -> InputDigest {
+        InputDigest::new(n, n.wrapping_mul(31), 0xC0FFEE)
+    }
+
+    fn tmp_store(tag: &str) -> (PathBuf, ResultStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "coevo_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (dir, store) = tmp_store("roundtrip");
+        let d = digest(1);
+        assert_eq!(store.get::<Payload>(&d), Lookup::Miss);
+        store.put(&d, &payload("a")).unwrap();
+        assert_eq!(store.get::<Payload>(&d), Lookup::Hit(payload("a")));
+        // Re-publish replaces.
+        store.put(&d, &payload("b")).unwrap();
+        assert_eq!(store.get::<Payload>(&d), Lookup::Hit(payload("b")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_serves_published_entries() {
+        let (dir, store) = tmp_store("reopen");
+        store.put(&digest(2), &payload("x")).unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.get::<Payload>(&digest(2)), Lookup::Hit(payload("x")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_then_recomputable() {
+        let (dir, store) = tmp_store("trunc");
+        let d = digest(3);
+        store.put(&d, &payload("x")).unwrap();
+        let path = store.entry_path(&d);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        assert_eq!(store.get::<Payload>(&d), Lookup::Quarantined);
+        // Quarantined, not deleted — and never served again.
+        assert!(!path.exists());
+        assert_eq!(store.stats().unwrap().quarantined, 1);
+        assert_eq!(store.get::<Payload>(&d), Lookup::Miss);
+        // Republishing repairs.
+        store.put(&d, &payload("x")).unwrap();
+        assert_eq!(store.get::<Payload>(&d), Lookup::Hit(payload("x")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_quarantined() {
+        let (dir, store) = tmp_store("flip");
+        let d = digest(4);
+        store.put(&d, &payload("x")).unwrap();
+        let path = store.entry_path(&d);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01; // corrupt inside the payload
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get::<Payload>(&d), Lookup::Quarantined);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_format_version_is_invalidated() {
+        let (dir, store) = tmp_store("stale");
+        let d = digest(5);
+        store.put(&d, &payload("x")).unwrap();
+        let path = store.entry_path(&d);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replacen("{\"format\":1", "{\"format\":999", 1)).unwrap();
+        assert_eq!(store.get::<Payload>(&d), Lookup::Invalidated);
+        assert_eq!(store.stats().unwrap().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renamed_entry_self_reports_digest_mismatch() {
+        let (dir, store) = tmp_store("renamed");
+        store.put(&digest(6), &payload("x")).unwrap();
+        // Copy the entry under a different digest's name.
+        let other = digest(7);
+        fs::copy(store.entry_path(&digest(6)), store.entry_path(&other)).unwrap();
+        assert_eq!(store.get::<Payload>(&other), Lookup::Invalidated);
+        // The original is untouched.
+        assert_eq!(store.get::<Payload>(&digest(6)), Lookup::Hit(payload("x")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_temp_files_are_swept_on_open() {
+        let (dir, store) = tmp_store("sweep");
+        let torn = store.entries_dir().join(".tmp-9999-0");
+        fs::write(&torn, "{\"format\":1,\"digest\":\"x\",\"bytes\":4,\"checks").unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!torn.exists());
+        assert_eq!(store.stats().unwrap().entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_version_mismatch_quarantines_everything() {
+        let (dir, store) = tmp_store("manifest");
+        store.put(&digest(8), &payload("x")).unwrap();
+        store.put(&digest(9), &payload("y")).unwrap();
+        drop(store);
+        fs::write(dir.join(MANIFEST_FILE), "{\"format\":999}").unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.get::<Payload>(&digest(8)), Lookup::Miss);
+        let stats = store.stats().unwrap();
+        assert_eq!((stats.entries, stats.quarantined), (0, 2));
+        // The manifest was reset to the current version.
+        assert_eq!(stats.format, FORMAT_VERSION);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_and_quarantines() {
+        let (dir, store) = tmp_store("verify");
+        for i in 0..4 {
+            store.put(&digest(10 + i), &payload(&format!("p{i}"))).unwrap();
+        }
+        // Corrupt one entry on disk.
+        let victim = store.entry_path(&digest(11));
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 1]).unwrap();
+
+        let report = store.verify().unwrap();
+        assert_eq!((report.checked, report.ok), (4, 3));
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!report.is_clean());
+        assert!(report.quarantined[0].contains(&digest(11).key()));
+
+        // A second pass over the repaired store is clean.
+        let report = store.verify().unwrap();
+        assert_eq!((report.checked, report.ok), (3, 3));
+        assert!(report.is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_beyond_budget() {
+        let (dir, store) = tmp_store("gc");
+        for i in 0..3u64 {
+            store.put(&digest(20 + i), &payload(&format!("p{i}"))).unwrap();
+        }
+        let entry_len = fs::metadata(store.entry_path(&digest(20))).unwrap().len();
+        // Make entry 20 clearly the oldest, then freshen it with a hit so
+        // GC keeps it and evicts the next-oldest instead.
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        for i in 0..3u64 {
+            let age = std::time::Duration::from_secs(60 * (3 - i));
+            fs::File::open(store.entry_path(&digest(20 + i)))
+                .unwrap()
+                .set_modified(old - age)
+                .unwrap();
+        }
+        assert!(matches!(store.get::<Payload>(&digest(20)), Lookup::Hit(_)));
+
+        let report = store.gc(entry_len * 2 + 1).unwrap();
+        assert_eq!((report.kept, report.evicted), (2, 1));
+        assert!(report.kept_bytes <= entry_len * 2 + 1);
+        // 21 was the least recently used (20 was refreshed by the hit).
+        assert_eq!(store.get::<Payload>(&digest(21)), Lookup::Miss);
+        assert!(matches!(store.get::<Payload>(&digest(20)), Lookup::Hit(_)));
+        assert!(matches!(store.get::<Payload>(&digest(22)), Lookup::Hit(_)));
+
+        // A zero budget empties the store.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(store.stats().unwrap().entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_counts_entries_and_bytes() {
+        let (dir, store) = tmp_store("stats");
+        assert_eq!(store.stats().unwrap().entries, 0);
+        store.put(&digest(30), &payload("x")).unwrap();
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.entry_bytes > 0);
+        assert_eq!(stats.format, FORMAT_VERSION);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_root_is_a_hard_error() {
+        let err = ResultStore::open("/proc/coevo-store-cannot-live-here").unwrap_err();
+        assert_eq!(err.op, "open");
+        assert!(err.to_string().contains("store open failed"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Crash injection for the store's atomic publish protocol, driven through
+//! the whole engine: interrupted publishes leave only temp files (swept on
+//! open, never served), truncated or bit-flipped entries are quarantined,
+//! recomputed and repaired in one run, and a stale format header is
+//! invalidated rather than trusted — all without perturbing the study's
+//! results by a single byte.
+
+use coevo_corpus::CorpusSpec;
+use coevo_engine::{EngineReport, Source, StudyConfig, StudyRunner};
+use std::path::{Path, PathBuf};
+
+/// One project per taxon: six projects, small enough that each scenario
+/// re-runs the engine several times in milliseconds.
+fn small_spec() -> CorpusSpec {
+    let mut spec = CorpusSpec::paper();
+    for t in &mut spec.taxa {
+        t.count = 1;
+        t.single_month_count = 0;
+    }
+    spec
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("coevo_store_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(store: &Path) -> EngineReport {
+    StudyRunner::new(StudyConfig::default())
+        .with_store(store)
+        .run(Source::Spec(small_spec()))
+        .expect("engine run")
+}
+
+fn store_counts(report: &EngineReport) -> (u64, u64, u64, u64, u64) {
+    let s = report.metrics.store.as_ref().expect("store metrics");
+    (s.hits, s.misses, s.invalidated, s.quarantined, s.published)
+}
+
+/// All `*.entry` files under `<store>/entries`, sorted for determinism.
+fn entry_files(store: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(store.join("entries"))
+        .expect("entries dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "entry"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn quarantine_count(store: &Path) -> usize {
+    std::fs::read_dir(store.join("quarantine")).map(|it| it.count()).unwrap_or(0)
+}
+
+#[test]
+fn leftover_temp_files_are_swept_and_never_served() {
+    let store = tmp("tmpsweep");
+    let cold = run(&store);
+    assert_eq!(store_counts(&cold), (0, 6, 0, 0, 6));
+
+    // A publish that died between write and rename leaves only a temp file.
+    let orphan = store.join("entries").join(".tmp-99999-0");
+    std::fs::write(&orphan, b"half-written garbage").unwrap();
+
+    let warm = run(&store);
+    assert_eq!(store_counts(&warm), (6, 0, 0, 0, 0), "orphan temp must not affect lookups");
+    assert!(!orphan.exists(), "store open must sweep leftover temp files");
+    assert_eq!(cold.results, warm.results);
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_recomputed_and_repaired() {
+    let store = tmp("truncate");
+    let cold = run(&store);
+    assert_eq!(store_counts(&cold), (0, 6, 0, 0, 6));
+
+    // Simulate a crash mid-write that somehow survived as a real entry:
+    // chop the file in half, through the payload.
+    let victim = entry_files(&store).into_iter().next().expect("at least one entry");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    // The damaged project is quarantined and recomputed; the repair is
+    // published back in the same run. Results are unperturbed.
+    let repair = run(&store);
+    assert_eq!(store_counts(&repair), (5, 0, 0, 1, 1));
+    assert_eq!(cold.results, repair.results);
+    assert!(quarantine_count(&store) >= 1, "damaged entry must be preserved in quarantine");
+
+    // The republished entry is trusted again: the next run is all hits.
+    let healed = run(&store);
+    assert_eq!(store_counts(&healed), (6, 0, 0, 0, 0));
+    assert_eq!(cold.results, healed.results);
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn bit_flipped_entry_fails_its_checksum_and_is_repaired() {
+    let store = tmp("bitflip");
+    let cold = run(&store);
+
+    let victim = entry_files(&store).into_iter().last().expect("at least one entry");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let repair = run(&store);
+    assert_eq!(store_counts(&repair), (5, 0, 0, 1, 1));
+    assert_eq!(cold.results, repair.results);
+
+    let healed = run(&store);
+    assert_eq!(store_counts(&healed), (6, 0, 0, 0, 0));
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn stale_format_header_is_invalidated_and_recomputed() {
+    let store = tmp("staleformat");
+    let cold = run(&store);
+
+    // An entry written by a future (or ancient) format version: same
+    // payload, same checksum, wrong format number. It must be invalidated,
+    // not deserialized on faith.
+    let victim = entry_files(&store).into_iter().next().expect("at least one entry");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    assert!(text.starts_with("{\"format\":1,"), "header layout changed under the test");
+    let stale = text.replacen("{\"format\":1,", "{\"format\":999,", 1);
+    std::fs::write(&victim, stale).unwrap();
+
+    let repair = run(&store);
+    assert_eq!(store_counts(&repair), (5, 0, 1, 0, 1));
+    assert_eq!(cold.results, repair.results);
+
+    let healed = run(&store);
+    assert_eq!(store_counts(&healed), (6, 0, 0, 0, 0));
+
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -1,0 +1,71 @@
+//! Differential guarantees of the result store over the full 195-project
+//! corpus: a store-backed run — cold or warm — must be byte-identical to a
+//! store-less run, the cold run publishes every project, the warm run
+//! serves every project from the store, and the store itself stays
+//! verifiably clean throughout.
+
+use coevo_engine::{Source, StudyConfig, StudyRunner};
+use coevo_store::ResultStore;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("coevo_store_diff_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_store_run_is_byte_identical_to_store_less_run() {
+    let dir = tmp("full");
+
+    // Oracle: the plain, store-less engine run.
+    let baseline =
+        StudyRunner::new(StudyConfig::default()).run(Source::paper()).expect("store-less run");
+    assert!(baseline.failures.is_empty());
+    assert_eq!(baseline.projects.len(), 195);
+    assert!(baseline.metrics.store.is_none(), "store-less run must report no store metrics");
+
+    // Cold store-backed run: every project misses, computes, publishes.
+    let runner = StudyRunner::new(StudyConfig::default()).with_store(&dir);
+    let cold = runner.run(Source::paper()).expect("cold run");
+    let s = cold.metrics.store.as_ref().expect("store metrics");
+    assert_eq!(
+        (s.hits, s.misses, s.invalidated, s.quarantined, s.published, s.publish_failures),
+        (0, 195, 0, 0, 195, 0)
+    );
+
+    // Warm run: every project is served from a verified entry; nothing is
+    // recomputed or republished.
+    let warm = runner.run(Source::paper()).expect("warm run");
+    let s = warm.metrics.store.as_ref().expect("store metrics");
+    assert_eq!(
+        (s.hits, s.misses, s.invalidated, s.quarantined, s.published, s.publish_failures),
+        (195, 0, 0, 0, 0, 0)
+    );
+
+    // Structural equality across all three runs.
+    assert_eq!(baseline.projects, cold.projects);
+    assert_eq!(baseline.projects, warm.projects);
+    assert_eq!(baseline.results, cold.results);
+    assert_eq!(baseline.results, warm.results);
+
+    // Structural equality could in principle hide float-formatting drift in
+    // anything serialized downstream; the wire form must match byte for
+    // byte too.
+    let base_json = serde_json::to_string(&baseline.results).unwrap();
+    assert_eq!(base_json, serde_json::to_string(&cold.results).unwrap());
+    assert_eq!(base_json, serde_json::to_string(&warm.results).unwrap());
+
+    // The store holds exactly one entry per project and verifies clean.
+    let store = ResultStore::open(&dir).expect("open store");
+    let stats = store.stats().expect("stats");
+    assert_eq!(stats.entries, 195);
+    assert_eq!(stats.quarantined, 0);
+    let report = store.verify().expect("verify");
+    assert!(report.is_clean());
+    assert_eq!(report.checked, 195);
+    assert_eq!(report.ok, 195);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
