@@ -19,6 +19,11 @@ USAGE:
                                              (quarantines corrupt entries;
                                              exits nonzero if any were found)
     coevo store gc <DIR> --max-bytes N       evict LRU entries beyond budget
+    coevo check [--quick|--full] [--seed N] [--repro DIR]
+                                             metamorphic & differential
+                                             correctness check over a seeded
+                                             corpus; exits nonzero and writes
+                                             minimized reproducers on violation
     coevo measure <PROJECT-DIR>              measure one on-disk history
     coevo generate <OUT-DIR> [--seed N] [--per-taxon N]
                                              write a corpus in loader layout
@@ -55,6 +60,16 @@ pub enum Command {
         action: StoreAction,
         /// The store's root directory.
         dir: PathBuf,
+    },
+    /// `coevo check`: the metamorphic/differential correctness harness.
+    Check {
+        /// Run the thorough configuration (54 projects) instead of the
+        /// quick one (12).
+        full: bool,
+        /// The deterministic corpus/mutation seed.
+        seed: u64,
+        /// Where to write reproducers (defaults to a temp directory).
+        repro_dir: Option<PathBuf>,
     },
     /// `coevo measure`: one on-disk project history.
     Measure {
@@ -172,6 +187,20 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
             }
             Ok(Command::Store { action, dir: PathBuf::from(dir) })
         }
+        "check" => {
+            let (mut flags, pos) = split_flags(rest)?;
+            expect_no_positionals(&pos)?;
+            let quick = take_bool_flag(&mut flags, "quick");
+            let full = take_bool_flag(&mut flags, "full");
+            if quick && full {
+                return Err("check takes at most one of --quick / --full".to_string());
+            }
+            Ok(Command::Check {
+                full,
+                seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
+                repro_dir: flag_value(&flags, "repro").map(PathBuf::from),
+            })
+        }
         "measure" => {
             let (flags, pos) = split_flags(rest)?;
             expect_no_flags(&flags)?;
@@ -243,7 +272,7 @@ fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags take the next token
             // unless it is itself a flag.
-            let is_bool = matches!(name, "smo" | "profile");
+            let is_bool = matches!(name, "smo" | "profile" | "quick" | "full");
             let next_is_value =
                 i + 1 < args.len() && !args[i + 1].starts_with("--") && !is_bool;
             if next_is_value {
@@ -420,6 +449,25 @@ mod tests {
         assert!(parse(&["store", "compact", "cache"]).is_err());
         assert!(parse(&["store", "stats"]).is_err());
         assert!(parse(&["store", "stats", "cache", "--max-bytes", "9"]).is_err());
+    }
+
+    #[test]
+    fn check_flags() {
+        assert_eq!(
+            parse(&["check"]).unwrap(),
+            Command::Check { full: false, seed: DEFAULT_SEED, repro_dir: None }
+        );
+        assert_eq!(
+            parse(&["check", "--quick", "--seed", "42"]).unwrap(),
+            Command::Check { full: false, seed: 42, repro_dir: None }
+        );
+        // --full is boolean: it must not swallow the next flag's token.
+        assert_eq!(
+            parse(&["check", "--full", "--seed", "7", "--repro", "out"]).unwrap(),
+            Command::Check { full: true, seed: 7, repro_dir: Some(PathBuf::from("out")) }
+        );
+        assert!(parse(&["check", "--quick", "--full"]).is_err());
+        assert!(parse(&["check", "extra"]).is_err());
     }
 
     #[test]

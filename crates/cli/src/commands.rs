@@ -8,9 +8,11 @@ use coevo_diff::{
     schema_size_series, SchemaHistory,
 };
 use coevo_engine::{Source, StudyConfig, StudyRunner};
+use coevo_oracle::CheckConfig;
 use coevo_report::csv::{fig4_csv, fig6_csv, fig8_csv, measures_csv};
 use coevo_report::linechart::joint_progress_chart;
 use coevo_report::render_all_figures;
+use coevo_report::violations::{render_violations, ViolationRow};
 use coevo_taxa::TaxonomyConfig;
 use std::io::Write;
 use std::path::Path;
@@ -115,6 +117,53 @@ pub fn store_gc(dir: &Path, max_bytes: u64, out: &mut dyn Write) -> CmdResult {
     )
     .map_err(io_err)?;
     Ok(())
+}
+
+/// `coevo check`: the metamorphic/differential correctness harness over a
+/// seeded generated corpus. Exits nonzero (via `Err`) when any check
+/// fires; each violation is shrunk and serialized as a replayable
+/// reproducer.
+pub fn check(
+    full: bool,
+    seed: u64,
+    repro_dir: Option<&Path>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut cfg = if full { CheckConfig::full(seed) } else { CheckConfig::quick(seed) };
+    cfg.repro_dir = Some(match repro_dir {
+        Some(dir) => dir.to_path_buf(),
+        None => std::env::temp_dir().join(format!("coevo-check-{seed:x}")),
+    });
+    let report = coevo_oracle::run_check(&cfg);
+    writeln!(
+        out,
+        "checked {} projects × {} mutators × {} oracles (seed {seed}): \
+         {} mutations applied, {} oracle runs, {} invariant sweeps",
+        report.projects,
+        report.mutators,
+        report.oracles,
+        report.mutation_runs,
+        report.oracle_runs,
+        report.invariant_checks,
+    )
+    .map_err(io_err)?;
+    let rows: Vec<ViolationRow> = report
+        .violations
+        .iter()
+        .map(|v| ViolationRow {
+            project: v.project.clone(),
+            mutation: v.mutation_label(),
+            oracle: v.check.clone(),
+            detail: v.detail.clone(),
+            repro: v.repro_path.as_ref().map(|p| p.display().to_string()),
+        })
+        .collect();
+    write!(out, "{}", render_violations(&rows)).map_err(io_err)?;
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} correctness violation(s)", report.violations.len()))
+    }
 }
 
 /// `coevo measure <dir>`: one on-disk project through the full pipeline,

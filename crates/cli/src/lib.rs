@@ -8,6 +8,9 @@
 //!   re-runs only recompute changed projects;
 //! - `coevo store {stats,verify,gc} <dir>` — inspect, validate and bound
 //!   the result store;
+//! - `coevo check [--quick|--full] [--seed N] [--repro DIR]` — run the
+//!   metamorphic/differential correctness harness over a seeded corpus,
+//!   exiting nonzero (with minimized reproducers on disk) on violation;
 //! - `coevo measure <project-dir>` — measure one on-disk project history;
 //! - `coevo generate <out-dir> [--seed N] [--per-taxon N]` — write a corpus
 //!   to disk in the loader layout;
@@ -45,6 +48,9 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
             args::StoreAction::Verify => commands::store_verify(&dir, out),
             args::StoreAction::Gc { max_bytes } => commands::store_gc(&dir, max_bytes, out),
         },
+        Command::Check { full, seed, repro_dir } => {
+            commands::check(full, seed, repro_dir.as_deref(), out)
+        }
         Command::Measure { dir } => commands::measure(&dir, out),
         Command::Generate { dir, seed, per_taxon } => {
             commands::generate(&dir, seed, per_taxon, out)

@@ -21,6 +21,18 @@ impl CorpusSpec {
     pub fn paper() -> Self {
         Self { seed: 0x5EED_2019, taxa: crate::spec::paper_spec() }
     }
+
+    /// This spec scaled to `n` projects per taxon, clamping each taxon's
+    /// forced single-month count to the new size. The standard way to derive
+    /// small smoke corpora (`coevo generate --per-taxon`, the oracle's
+    /// `--quick` mode) from the calibrated paper spec.
+    pub fn with_per_taxon(mut self, n: usize) -> Self {
+        for t in &mut self.taxa {
+            t.count = n;
+            t.single_month_count = t.single_month_count.min(n);
+        }
+        self
+    }
 }
 
 /// One generated project, with its git log rendered to text so consumers

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod case_study;
 pub mod digest;
 pub mod generator;
@@ -30,6 +31,7 @@ pub mod project_gen;
 pub mod schema_gen;
 pub mod spec;
 
+pub use artifacts::ProjectArtifacts;
 pub use case_study::case_study_project;
 pub use generator::{generate_corpus, CorpusSpec, GeneratedProject};
 pub use pipeline::PipelineError;

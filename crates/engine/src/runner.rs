@@ -22,7 +22,7 @@ use crate::pipeline::{process, WorkItem};
 use crate::store_stage::{process_with_store, store_config_hash, StoreContext};
 use coevo_core::{ProjectData, ProjectMeasures, StudyResults};
 use coevo_corpus::loader::Manifest;
-use coevo_corpus::CorpusSpec;
+use coevo_corpus::{CorpusSpec, ProjectArtifacts};
 use coevo_ddl::Dialect;
 use coevo_heartbeat::DateTime;
 use coevo_taxa::TaxonomyConfig;
@@ -40,6 +40,10 @@ pub enum Source {
     /// An on-disk corpus directory in the loader layout (one subdirectory
     /// per project, each with `manifest.json`, `git.log` and `versions/`).
     OnDisk(PathBuf),
+    /// Explicit in-memory project artifacts, run as given and in the given
+    /// order. The entry point for callers that synthesize or rewrite
+    /// histories themselves (the `coevo-oracle` mutators).
+    InMemory(Vec<ProjectArtifacts>),
 }
 
 impl Source {
@@ -211,6 +215,36 @@ impl StudyRunner {
         Ok(EngineReport { projects, results, failures, metrics: metrics.snapshot(workers) })
     }
 
+    /// Run exactly one project through the per-project pipeline stages,
+    /// deterministically and on the calling thread — no worker pool, no
+    /// stats stage. Honors the configured taxonomy and (when set) the
+    /// result store, so a store-backed call is served from / published to
+    /// the same entries as a full [`StudyRunner::run`].
+    ///
+    /// This is the oracle's re-run entry point: two calls with equal
+    /// artifacts and equal config return equal results, bit for bit.
+    pub fn run_project(
+        &self,
+        project: &ProjectArtifacts,
+    ) -> Result<(ProjectData, ProjectMeasures), EngineError> {
+        let metrics = Metrics::new();
+        let item = work_item(0, project.clone());
+        match &self.config.store_dir {
+            Some(dir) => {
+                metrics.enable_store();
+                let store = coevo_store::ResultStore::open(dir).map_err(|e| EngineError {
+                    project: dir.display().to_string(),
+                    stage: Stage::Store,
+                    kind: EngineErrorKind::Store(e.to_string()),
+                })?;
+                let config_hash = store_config_hash(&self.config.taxonomy);
+                let ctx = StoreContext { store, config_hash };
+                process_with_store(&item, &self.config.taxonomy, &metrics, &ctx)
+            }
+            None => process(&item, &self.config.taxonomy, &metrics),
+        }
+    }
+
     fn worker_count(&self, items: usize) -> usize {
         let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let n = if self.config.workers == 0 { auto() } else { self.config.workers };
@@ -231,6 +265,10 @@ impl StudyRunner {
             }
             Source::Spec(spec) => Ok((generated_items(&spec), Vec::new())),
             Source::OnDisk(dir) => load_on_disk(&dir),
+            Source::InMemory(projects) => Ok((
+                projects.into_iter().enumerate().map(|(i, p)| work_item(i, p)).collect(),
+                Vec::new(),
+            )),
         }
     }
 
@@ -321,6 +359,18 @@ impl StudyRunner {
         .expect("engine worker panicked");
 
         slots
+    }
+}
+
+/// Turn explicit project artifacts into the pipeline's work item.
+fn work_item(index: usize, p: ProjectArtifacts) -> WorkItem {
+    WorkItem {
+        index,
+        name: p.name,
+        git_log: p.git_log,
+        ddl_versions: p.ddl_versions,
+        dialect: p.dialect,
+        taxon: p.taxon,
     }
 }
 
@@ -535,6 +585,43 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.stage, Stage::Load);
         assert!(matches!(err.kind, EngineErrorKind::Load(_)));
+    }
+
+    #[test]
+    fn in_memory_source_equals_generated_source() {
+        let spec = small_spec(1);
+        let projects: Vec<ProjectArtifacts> = coevo_corpus::generate_corpus(&spec)
+            .iter()
+            .map(ProjectArtifacts::from_generated)
+            .collect();
+        let from_spec = StudyRunner::new(StudyConfig::default())
+            .with_workers(1)
+            .run(Source::Spec(spec))
+            .expect("spec run");
+        let from_memory = StudyRunner::new(StudyConfig::default())
+            .with_workers(1)
+            .run(Source::InMemory(projects))
+            .expect("in-memory run");
+        assert_eq!(from_spec.projects, from_memory.projects);
+        assert_eq!(from_spec.results, from_memory.results);
+    }
+
+    #[test]
+    fn run_project_matches_full_run_per_project() {
+        let spec = small_spec(1);
+        let projects: Vec<ProjectArtifacts> = coevo_corpus::generate_corpus(&spec)
+            .iter()
+            .map(ProjectArtifacts::from_generated)
+            .collect();
+        let runner = StudyRunner::new(StudyConfig::default());
+        let full = runner.run(Source::InMemory(projects.clone())).expect("full run");
+        for (i, p) in projects.iter().enumerate() {
+            let (data, measures) = runner.run_project(p).expect("single run");
+            let again = runner.run_project(p).expect("repeat run");
+            assert_eq!(full.projects[i], data, "{}", p.name);
+            assert_eq!(full.results.measures[i], measures, "{}", p.name);
+            assert_eq!((data, measures), again, "{}", p.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Field-by-field comparison of per-project measure structs.
+//!
+//! Differential oracles and metamorphic invariants both end in the same
+//! question: are these two [`ProjectMeasures`] *bit-identical*? When not,
+//! the report names the first divergent field and both values — enough to
+//! see at a glance whether e.g. the incremental diff dropped activity or
+//! the attainment fraction drifted.
+
+use coevo_core::ProjectMeasures;
+
+/// The first divergent field between two measure structs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Field name (e.g. `schema_total_activity`).
+    pub field: &'static str,
+    /// Left value, debug-rendered.
+    pub left: String,
+    /// Right value, debug-rendered.
+    pub right: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} vs {}", self.field, self.left, self.right)
+    }
+}
+
+macro_rules! check_fields {
+    ($a:expr, $b:expr, $($field:ident),+ $(,)?) => {
+        $(
+            if $a.$field != $b.$field {
+                return Some(Divergence {
+                    field: stringify!($field),
+                    left: format!("{:?}", $a.$field),
+                    right: format!("{:?}", $b.$field),
+                });
+            }
+        )+
+    };
+}
+
+/// The first field (in declaration order) where `a` and `b` differ.
+/// Floating-point fields compare *exactly* — the independent paths must be
+/// bitwise-identical, not merely close.
+pub fn first_divergence(a: &ProjectMeasures, b: &ProjectMeasures) -> Option<Divergence> {
+    check_fields!(a, b, name, taxon, months, sync_05, sync_10);
+    check_fields!(
+        a.advance,
+        b.advance,
+        over_source,
+        over_time,
+        always_over_source,
+        always_over_time,
+        always_over_both,
+    );
+    if let Some(d) = attainment_divergence(a, b) {
+        return Some(d);
+    }
+    check_fields!(a, b, schema_total_activity, project_total_activity);
+    None
+}
+
+/// Compare only what time-axis scaling preserves: both Total Activities
+/// and the taxon. (Attainment is *not* scale-free here: `time_progress` is
+/// `(i+1)/months`, so integer month scaling moves the fractions.)
+pub fn totals_divergence(a: &ProjectMeasures, b: &ProjectMeasures) -> Option<Divergence> {
+    check_fields!(a, b, name, taxon, schema_total_activity, project_total_activity);
+    None
+}
+
+fn attainment_divergence(a: &ProjectMeasures, b: &ProjectMeasures) -> Option<Divergence> {
+    check_fields!(a.attainment, b.attainment, at_50, at_75, at_80, at_100);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_core::ProjectData;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+    use coevo_taxa::TaxonomyConfig;
+
+    fn measures() -> ProjectMeasures {
+        let start = YearMonth::new(2020, 1).unwrap();
+        let data = ProjectData::new(
+            "a/b",
+            Heartbeat::new(start, vec![3, 1, 2]),
+            Heartbeat::new(start, vec![2, 0, 1]),
+            2,
+        );
+        data.measures(&TaxonomyConfig::default())
+    }
+
+    #[test]
+    fn identical_measures_have_no_divergence() {
+        assert_eq!(first_divergence(&measures(), &measures()), None);
+        assert_eq!(totals_divergence(&measures(), &measures()), None);
+    }
+
+    #[test]
+    fn first_differing_field_is_named() {
+        let a = measures();
+        let mut b = measures();
+        b.schema_total_activity += 1;
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.field, "schema_total_activity");
+        assert!(d.to_string().contains("vs"), "{d}");
+    }
+
+    #[test]
+    fn nested_advance_fields_are_reported() {
+        let a = measures();
+        let mut b = measures();
+        b.advance.over_time = b.advance.over_time.map(|x| x / 2.0);
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.field, "over_time");
+    }
+
+    #[test]
+    fn totals_scope_ignores_month_indexed_measures() {
+        let a = measures();
+        let mut b = measures();
+        b.sync_05 = 0.123;
+        b.sync_10 = 0.456;
+        b.months += 5;
+        b.attainment.at_50 = Some(0.999);
+        assert!(first_divergence(&a, &b).is_some());
+        assert_eq!(totals_divergence(&a, &b), None);
+        b.project_total_activity += 1;
+        assert_eq!(totals_divergence(&a, &b).unwrap().field, "project_total_activity");
+    }
+}

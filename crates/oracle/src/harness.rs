@@ -1,0 +1,421 @@
+//! The check harness: corpora × mutators × oracles × invariants.
+//!
+//! One [`run_check`] call drives the whole subsystem, exactly as `coevo
+//! check` does:
+//!
+//! 1. generate a seeded corpus and compute every project's **baseline**
+//!    measures through the production pipeline;
+//! 2. apply every [`Mutator`] (plus one composed two-step script) to every
+//!    project and enforce the declared **metamorphic invariant** against
+//!    the baseline;
+//! 3. run every mutated project through the **differential oracles** (and
+//!    the whole corpus through 1-worker vs N-worker engine runs);
+//! 4. enforce the layer-3 **measure invariants** on everything computed.
+//!
+//! Any violation is shrunk (ddmin-lite) and — when a reproducer directory
+//! is configured — serialized to disk for replay.
+
+use crate::divergence::{first_divergence, totals_divergence};
+use crate::invariants::check_measures;
+use crate::mutators::{all_mutators, Invariant};
+use crate::oracles::{baseline, per_project_oracles, scratch_store_dir, OracleCtx};
+use crate::repro::Reproducer;
+use crate::shrink::{apply_script, script_label, shrink, MutationStep};
+use coevo_corpus::{generate_corpus, CorpusSpec, ProjectArtifacts};
+use coevo_engine::{Source, StudyConfig, StudyRunner};
+use coevo_taxa::TaxonomyConfig;
+use std::path::PathBuf;
+
+/// Configuration of one check run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckConfig {
+    /// Corpus seed (also salts every mutation seed).
+    pub seed: u64,
+    /// Projects per taxon in the generated corpus.
+    pub per_taxon: usize,
+    /// Where to write reproducers; `None` skips serialization.
+    pub repro_dir: Option<PathBuf>,
+    /// Predicate-call budget of each shrink.
+    pub shrink_budget: usize,
+    /// Stop after this many violations (a broken build would otherwise
+    /// report every project).
+    pub max_violations: usize,
+}
+
+impl CheckConfig {
+    /// The fast CI configuration: 12 projects (2 per taxon).
+    pub fn quick(seed: u64) -> Self {
+        Self { seed, per_taxon: 2, repro_dir: None, shrink_budget: 60, max_violations: 5 }
+    }
+
+    /// The thorough configuration: 54 projects (9 per taxon).
+    pub fn full(seed: u64) -> Self {
+        Self { seed, per_taxon: 9, repro_dir: None, shrink_budget: 120, max_violations: 10 }
+    }
+}
+
+/// One confirmed violation, minimized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The project (or `corpus:<mutator>` for corpus-level differentials).
+    pub project: String,
+    /// The minimized mutation script.
+    pub script: Vec<MutationStep>,
+    /// Which check fired: an oracle name, `metamorphic`,
+    /// `measure-invariants`, `workers-1-vs-4`, or `baseline`.
+    pub check: String,
+    /// First divergent field / broken invariant, with both values.
+    pub detail: String,
+    /// Serialized reproducer, when written.
+    pub repro_path: Option<PathBuf>,
+}
+
+impl Violation {
+    /// The script rendered as `a+b` (`-` when empty).
+    pub fn mutation_label(&self) -> String {
+        script_label(&self.script)
+    }
+}
+
+/// Everything one check run observed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckReport {
+    /// Projects in the generated corpus.
+    pub projects: usize,
+    /// Mutators in the registry.
+    pub mutators: usize,
+    /// Differential oracles (per-project + corpus-level).
+    pub oracles: usize,
+    /// Mutation scripts actually applied (inapplicable ones are skipped).
+    pub mutation_runs: usize,
+    /// Differential oracle executions.
+    pub oracle_runs: usize,
+    /// Layer-3 invariant sweeps (one per measured project).
+    pub invariant_checks: usize,
+    /// Violations found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// True when no check fired.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Mix a stable per-(project, slot) seed out of the run seed.
+fn step_seed(seed: u64, project: usize, slot: u64) -> u64 {
+    let mut x = seed
+        ^ (project as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ slot.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+/// The weakest invariant promised by a script: one totals-only step
+/// weakens the whole composition.
+fn script_invariant(script: &[MutationStep]) -> Invariant {
+    let totals_only = script.iter().any(|s| {
+        crate::mutators::Mutator::by_name(&s.name)
+            .is_some_and(|m| m.invariant == Invariant::IdenticalTotals)
+    });
+    if totals_only {
+        Invariant::IdenticalTotals
+    } else {
+        Invariant::IdenticalMeasures
+    }
+}
+
+/// Run the whole harness. Deterministic for a given config.
+pub fn run_check(cfg: &CheckConfig) -> CheckReport {
+    let taxonomy = TaxonomyConfig::default();
+    let mut spec = CorpusSpec::paper().with_per_taxon(cfg.per_taxon);
+    spec.seed = cfg.seed;
+    let projects: Vec<ProjectArtifacts> =
+        generate_corpus(&spec).iter().map(ProjectArtifacts::from_generated).collect();
+
+    let store_dir = scratch_store_dir(&format!("check_{:x}", cfg.seed));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let ctx = OracleCtx { taxonomy: &taxonomy, store_dir: &store_dir };
+
+    let mutators = all_mutators();
+    let oracles = per_project_oracles();
+    let mut report = CheckReport {
+        projects: projects.len(),
+        mutators: mutators.len(),
+        oracles: oracles.len() + 1, // + the corpus-level workers differential
+        ..CheckReport::default()
+    };
+
+    let record =
+        |report: &mut CheckReport,
+         original: &ProjectArtifacts,
+         script: &[MutationStep],
+         check: &str,
+         detail: String,
+         reproduces: &mut dyn FnMut(&ProjectArtifacts, &[MutationStep]) -> bool| {
+            let (arts, script) = shrink(original, script, cfg.shrink_budget, reproduces);
+            let repro = Reproducer {
+                seed: cfg.seed,
+                check: check.to_string(),
+                violation: detail.clone(),
+                script: script.clone(),
+                artifacts: arts,
+            };
+            let duplicate = report
+                .violations
+                .iter()
+                .any(|v| v.project == original.name && v.check == check && v.script == script);
+            if duplicate {
+                return; // several scripts shrank to the same minimal case
+            }
+            let repro_path = cfg.repro_dir.as_deref().and_then(|d| repro.save(d).ok());
+            report.violations.push(Violation {
+                project: original.name.clone(),
+                script,
+                check: check.to_string(),
+                detail,
+                repro_path,
+            });
+        };
+
+    'projects: for (pi, p) in projects.iter().enumerate() {
+        // Baseline through the production pipeline.
+        let (data, base) = match baseline(p, &taxonomy) {
+            Ok(x) => x,
+            Err(e) => {
+                record(&mut report, p, &[], "baseline", e, &mut |arts, _| {
+                    baseline(arts, &taxonomy).is_err()
+                });
+                continue;
+            }
+        };
+
+        // Layer 3 on the unmutated project.
+        report.invariant_checks += 1;
+        for msg in check_measures(&data, &base, &taxonomy) {
+            record(&mut report, p, &[], "measure-invariants", msg, &mut |arts, script| {
+                let Some(m) = apply_script(arts, script) else { return false };
+                match baseline(&m, &taxonomy) {
+                    Ok((d, b)) => !check_measures(&d, &b, &taxonomy).is_empty(),
+                    Err(_) => false,
+                }
+            });
+        }
+
+        // One single-step script per mutator, plus one composed script to
+        // exercise composability.
+        let mut scripts: Vec<Vec<MutationStep>> = mutators
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                vec![MutationStep {
+                    name: m.name.to_string(),
+                    seed: step_seed(cfg.seed, pi, mi as u64),
+                }]
+            })
+            .collect();
+        scripts.push(vec![
+            MutationStep {
+                name: "comment-churn".to_string(),
+                seed: step_seed(cfg.seed, pi, 100),
+            },
+            MutationStep {
+                name: "permute-tables".to_string(),
+                seed: step_seed(cfg.seed, pi, 101),
+            },
+        ]);
+
+        for script in scripts {
+            let Some(mutated) = apply_script(p, &script) else { continue };
+            if mutated == *p {
+                continue; // inapplicable on this project
+            }
+            report.mutation_runs += 1;
+
+            let (mdata, mbase) = match baseline(&mutated, &taxonomy) {
+                Ok(x) => x,
+                Err(e) => {
+                    record(
+                        &mut report,
+                        p,
+                        &script,
+                        "baseline",
+                        format!("mutated history failed the pipeline: {e}"),
+                        &mut |arts, script| {
+                            apply_script(arts, script)
+                                .is_some_and(|m| m != *arts && baseline(&m, &taxonomy).is_err())
+                        },
+                    );
+                    continue;
+                }
+            };
+
+            // Metamorphic invariant vs the unmutated baseline.
+            let invariant = script_invariant(&script);
+            let divergence = match invariant {
+                Invariant::IdenticalMeasures => first_divergence(&base, &mbase),
+                Invariant::IdenticalTotals => totals_divergence(&base, &mbase),
+            };
+            if let Some(d) = divergence {
+                record(
+                    &mut report,
+                    p,
+                    &script,
+                    "metamorphic",
+                    format!("{} broken: {d}", invariant.name()),
+                    &mut |arts, script| {
+                        let Some(m) = apply_script(arts, script) else { return false };
+                        if m == *arts {
+                            return false;
+                        }
+                        let (Ok((_, b0)), Ok((_, b1))) =
+                            (baseline(arts, &taxonomy), baseline(&m, &taxonomy))
+                        else {
+                            return false;
+                        };
+                        match script_invariant(script) {
+                            Invariant::IdenticalMeasures => {
+                                first_divergence(&b0, &b1).is_some()
+                            }
+                            Invariant::IdenticalTotals => totals_divergence(&b0, &b1).is_some(),
+                        }
+                    },
+                );
+            }
+
+            // Layer 3 on the mutated project.
+            report.invariant_checks += 1;
+            for msg in check_measures(&mdata, &mbase, &taxonomy) {
+                record(
+                    &mut report,
+                    p,
+                    &script,
+                    "measure-invariants",
+                    msg,
+                    &mut |arts, script| {
+                        let Some(m) = apply_script(arts, script) else { return false };
+                        match baseline(&m, &taxonomy) {
+                            Ok((d, b)) => !check_measures(&d, &b, &taxonomy).is_empty(),
+                            Err(_) => false,
+                        }
+                    },
+                );
+            }
+
+            // Differential oracles on the mutated project.
+            for oracle in oracles {
+                report.oracle_runs += 1;
+                let outcome = oracle.check(&mutated, &mbase, &ctx);
+                let detail = match outcome {
+                    Ok(None) => continue,
+                    Ok(Some(d)) => d.to_string(),
+                    Err(e) => format!("oracle path failed: {e}"),
+                };
+                record(&mut report, p, &script, oracle.name, detail, &mut |arts, script| {
+                    let Some(m) = apply_script(arts, script) else { return false };
+                    let Ok((_, mb)) = baseline(&m, &taxonomy) else { return false };
+                    matches!(oracle.check(&m, &mb, &ctx), Ok(Some(_)) | Err(_))
+                });
+            }
+
+            if report.violations.len() >= cfg.max_violations {
+                break 'projects;
+            }
+        }
+    }
+
+    // Corpus-level differential: 1-worker vs 4-worker engine runs over the
+    // original corpus and over each mutator's fully-mutated corpus.
+    if report.violations.len() < cfg.max_violations {
+        let mut corpora: Vec<(String, Vec<ProjectArtifacts>)> =
+            vec![("corpus:original".to_string(), projects.clone())];
+        for (mi, m) in mutators.iter().enumerate() {
+            let mutated: Vec<ProjectArtifacts> = projects
+                .iter()
+                .enumerate()
+                .map(|(pi, q)| {
+                    let mut out = q.clone();
+                    m.apply_seeded(&mut out, step_seed(cfg.seed, pi, 200 + mi as u64));
+                    out
+                })
+                .collect();
+            corpora.push((format!("corpus:{}", m.name), mutated));
+        }
+        for (label, corpus) in corpora {
+            report.oracle_runs += 1;
+            let run = |workers: usize| {
+                StudyRunner::new(StudyConfig { taxonomy, ..StudyConfig::default() })
+                    .with_workers(workers)
+                    .run(Source::InMemory(corpus.clone()))
+            };
+            let detail = match (run(1), run(4)) {
+                (Ok(one), Ok(four)) => {
+                    if one.projects == four.projects && one.results == four.results {
+                        continue;
+                    }
+                    let field = one
+                        .results
+                        .measures
+                        .iter()
+                        .zip(four.results.measures.iter())
+                        .find_map(|(a, b)| first_divergence(a, b))
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "reports disagree".to_string());
+                    format!("1-worker vs 4-worker runs disagree: {field}")
+                }
+                (Err(e), _) | (_, Err(e)) => format!("engine run failed: {e}"),
+            };
+            report.violations.push(Violation {
+                project: label,
+                script: Vec::new(),
+                check: "workers-1-vs-4".to_string(),
+                detail,
+                repro_path: None,
+            });
+            if report.violations.len() >= cfg.max_violations {
+                break;
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        let q = CheckConfig::quick(42);
+        let f = CheckConfig::full(42);
+        assert!(q.per_taxon < f.per_taxon);
+        assert!(f.per_taxon * 6 >= 50, "full corpus must cover ≥ 50 projects");
+    }
+
+    #[test]
+    fn step_seed_is_stable_and_spread() {
+        assert_eq!(step_seed(42, 3, 7), step_seed(42, 3, 7));
+        assert_ne!(step_seed(42, 3, 7), step_seed(42, 3, 8));
+        assert_ne!(step_seed(42, 3, 7), step_seed(42, 4, 7));
+        assert_ne!(step_seed(42, 3, 7), step_seed(43, 3, 7));
+    }
+
+    #[test]
+    fn script_invariant_weakens_with_scale_time() {
+        let full = vec![MutationStep { name: "case-fold".into(), seed: 1 }];
+        assert_eq!(script_invariant(&full), Invariant::IdenticalMeasures);
+        let scaled = vec![
+            MutationStep { name: "case-fold".into(), seed: 1 },
+            MutationStep { name: "scale-time".into(), seed: 2 },
+        ];
+        assert_eq!(script_invariant(&scaled), Invariant::IdenticalTotals);
+    }
+
+    // Full-harness runs live in `tests/` (tier-1 `oracle_smoke`) — they are
+    // too slow for a unit-test position but cheap enough for the suite.
+}

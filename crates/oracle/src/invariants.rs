@@ -1,0 +1,194 @@
+//! Layer-3 checks: invariants on the measures themselves.
+//!
+//! These hold for *every* project, mutated or not, by construction of the
+//! paper's definitions: cumulative series are monotone in [0,1] and end at
+//! 1.0, synchronicity is a fraction monotone in θ, advance flags agree with
+//! their fractions, attainment is monotone in α, and the reported taxon is
+//! the classifier's (or the pre-assigned) verdict.
+
+use coevo_core::{ProjectData, ProjectMeasures};
+use coevo_taxa::TaxonomyConfig;
+
+/// Check every measure invariant; returns one description per violation
+/// (empty = all good).
+pub fn check_measures(
+    data: &ProjectData,
+    m: &ProjectMeasures,
+    cfg: &TaxonomyConfig,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut bad = |s: String| out.push(s);
+
+    // Cumulative series: monotone, bounded, ending at 1.0 when there is
+    // anything to accumulate.
+    let jp = data.joint_progress();
+    for (label, series, total) in [
+        ("project", &jp.project, data.project.total()),
+        ("schema", &jp.schema, data.schema.total()),
+        ("time", &jp.time, jp.time.len() as u64),
+    ] {
+        for w in series.windows(2) {
+            if w[1] < w[0] {
+                bad(format!("{label} cumulative series not monotone: {} > {}", w[0], w[1]));
+                break;
+            }
+        }
+        if series.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+            bad(format!("{label} cumulative series leaves [0,1]"));
+        }
+        match series.last() {
+            Some(&last) if total > 0 && last != 1.0 => {
+                bad(format!("{label} cumulative series ends at {last}, not 1.0"));
+            }
+            None => bad(format!("{label} cumulative series is empty")),
+            _ => {}
+        }
+    }
+    if m.months != jp.months() {
+        bad(format!("months {} disagrees with joint axis {}", m.months, jp.months()));
+    }
+
+    // Synchronicity: fractions, monotone in θ.
+    for (label, v) in [("sync_05", m.sync_05), ("sync_10", m.sync_10)] {
+        if !(0.0..=1.0).contains(&v) {
+            bad(format!("{label} = {v} leaves [0,1]"));
+        }
+    }
+    if m.sync_05 > m.sync_10 {
+        bad(format!("sync not monotone in θ: sync_05 {} > sync_10 {}", m.sync_05, m.sync_10));
+    }
+
+    // Advance: fractions present exactly for multi-month lives, `always`
+    // flags consistent with the fractions.
+    let multi_month = m.months > 1;
+    for (label, v, always) in [
+        ("over_source", m.advance.over_source, m.advance.always_over_source),
+        ("over_time", m.advance.over_time, m.advance.always_over_time),
+    ] {
+        match v {
+            Some(f) if !multi_month => bad(format!("{label} = Some({f}) on single-month life")),
+            None if multi_month => bad(format!("{label} missing on multi-month life")),
+            Some(f) if !(0.0..=1.0).contains(&f) => bad(format!("{label} = {f} leaves [0,1]")),
+            _ => {}
+        }
+        if always != (v == Some(1.0)) {
+            bad(format!("always_{label} = {always} disagrees with {label} = {v:?}"));
+        }
+    }
+    if m.advance.always_over_both
+        && !(m.advance.always_over_source && m.advance.always_over_time)
+    {
+        bad("always_over_both set without both always flags".to_string());
+    }
+
+    // Attainment: bounded fractions, present monotonically (reaching 100%
+    // implies reaching every lower α), non-decreasing in α.
+    let levels = [
+        ("at_50", m.attainment.at_50),
+        ("at_75", m.attainment.at_75),
+        ("at_80", m.attainment.at_80),
+        ("at_100", m.attainment.at_100),
+    ];
+    for (label, v) in levels {
+        if let Some(f) = v {
+            if !(0.0..=1.0).contains(&f) {
+                bad(format!("attainment {label} = {f} leaves [0,1]"));
+            }
+        }
+    }
+    for w in levels.windows(2) {
+        let ((la, a), (lb, b)) = (w[0], w[1]);
+        match (a, b) {
+            (None, Some(_)) => bad(format!("attainment {lb} present but {la} missing")),
+            (Some(x), Some(y)) if x > y => {
+                bad(format!("attainment not monotone in α: {la} {x} > {lb} {y}"));
+            }
+            _ => {}
+        }
+    }
+
+    // Taxon: the measures must carry the effective taxon, and a
+    // pre-assigned taxon must win over the classifier.
+    if m.taxon != data.effective_taxon(cfg) {
+        bad(format!("taxon {:?} disagrees with effective taxon", m.taxon));
+    }
+    if let Some(assigned) = data.taxon {
+        if m.taxon != assigned {
+            bad(format!("pre-assigned taxon {assigned:?} lost to {:?}", m.taxon));
+        }
+    }
+
+    // Totals: the measures must restate the heartbeat totals exactly.
+    if m.schema_total_activity != data.schema.total() {
+        bad(format!(
+            "schema_total_activity {} disagrees with heartbeat total {}",
+            m.schema_total_activity,
+            data.schema.total()
+        ));
+    }
+    if m.project_total_activity != data.project.total() {
+        bad(format!(
+            "project_total_activity {} disagrees with heartbeat total {}",
+            m.project_total_activity,
+            data.project.total()
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_heartbeat::{Heartbeat, YearMonth};
+
+    fn data() -> ProjectData {
+        let start = YearMonth::new(2020, 1).unwrap();
+        ProjectData::new(
+            "a/b",
+            Heartbeat::new(start, vec![4, 0, 2, 1]),
+            Heartbeat::new(start, vec![3, 1, 0, 0]),
+            3,
+        )
+    }
+
+    #[test]
+    fn honest_measures_pass() {
+        let cfg = TaxonomyConfig::default();
+        let d = data();
+        let m = d.measures(&cfg);
+        assert_eq!(check_measures(&d, &m, &cfg), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tampered_totals_are_caught() {
+        let cfg = TaxonomyConfig::default();
+        let d = data();
+        let mut m = d.measures(&cfg);
+        m.schema_total_activity += 7;
+        let errs = check_measures(&d, &m, &cfg);
+        assert!(errs.iter().any(|e| e.contains("schema_total_activity")), "{errs:?}");
+    }
+
+    #[test]
+    fn tampered_sync_and_attainment_are_caught() {
+        let cfg = TaxonomyConfig::default();
+        let d = data();
+        let mut m = d.measures(&cfg);
+        m.sync_05 = 1.5;
+        m.attainment.at_50 = None;
+        let errs = check_measures(&d, &m, &cfg);
+        assert!(errs.iter().any(|e| e.contains("sync_05")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("at_75 present but at_50 missing")), "{errs:?}");
+    }
+
+    #[test]
+    fn tampered_advance_flags_are_caught() {
+        let cfg = TaxonomyConfig::default();
+        let d = data();
+        let mut m = d.measures(&cfg);
+        m.advance.always_over_source = !(m.advance.over_source == Some(1.0));
+        let errs = check_measures(&d, &m, &cfg);
+        assert!(errs.iter().any(|e| e.contains("always_over_source")), "{errs:?}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Metamorphic & differential correctness harness for the study pipeline.
+//!
+//! `coevo-oracle` answers one question the unit suites cannot: *do the
+//! independent implementations in this workspace still agree with each
+//! other on inputs none of them was written against?* It does so in three
+//! layers:
+//!
+//! 1. **Mutators** ([`mutators`]) — deterministic, seeded, composable
+//!    transformations of a generated project's history, each paired with a
+//!    declared metamorphic invariant (measures identical, or attainment
+//!    identical for time-scaling).
+//! 2. **Differential oracles** ([`oracles`]) — independent recomputation
+//!    paths the repo already ships (legacy diff, uncached parse,
+//!    print→reparse, store round trip, 1-vs-N workers) that must agree
+//!    bit-for-bit with the production pipeline.
+//! 3. **Measure invariants** ([`invariants`]) — properties every
+//!    `ProjectMeasures` must satisfy by construction.
+//!
+//! [`harness::run_check`] drives all three over a seeded corpus; failures
+//! are shrunk ([`shrink`]) and serialized as replayable reproducers
+//! ([`repro`]). The `coevo check` CLI subcommand is a thin wrapper around
+//! this crate.
+
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod harness;
+pub mod invariants;
+pub mod mutators;
+pub mod oracles;
+pub mod repro;
+pub mod shrink;
+
+pub use divergence::{first_divergence, totals_divergence, Divergence};
+pub use harness::{run_check, CheckConfig, CheckReport, Violation};
+pub use invariants::check_measures;
+pub use mutators::{all_mutators, Invariant, Mutator};
+pub use oracles::{baseline, per_project_oracles, Oracle, OracleCtx};
+pub use repro::Reproducer;
+pub use shrink::{apply_script, script_label, shrink, MutationStep};

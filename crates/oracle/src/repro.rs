@@ -1,0 +1,125 @@
+//! Serialized reproducers: a failing case on disk.
+//!
+//! When a check fires, the harness shrinks the case and writes a JSON
+//! reproducer holding everything needed to replay it: the (shrunk)
+//! pre-mutation artifacts, the (shrunk) mutation script with its seeds, and
+//! which check fired. `Reproducer::load(path)` + [`Reproducer::mutated`]
+//! put the exact failing input back in your hands.
+
+use crate::shrink::{apply_script, script_label, MutationStep};
+use coevo_corpus::ProjectArtifacts;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A minimized failing case, as serialized next to a `coevo check` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// Seed of the check run that found this.
+    pub seed: u64,
+    /// The oracle or invariant that fired.
+    pub check: String,
+    /// What diverged or which invariant broke.
+    pub violation: String,
+    /// The minimized mutation script.
+    pub script: Vec<MutationStep>,
+    /// The minimized pre-mutation artifacts.
+    pub artifacts: ProjectArtifacts,
+}
+
+impl Reproducer {
+    /// The mutated artifacts this reproducer describes: the stored
+    /// pre-mutation artifacts with the stored script re-applied. `None`
+    /// when the script names a mutator this build does not know.
+    pub fn mutated(&self) -> Option<ProjectArtifacts> {
+        apply_script(&self.artifacts, &self.script)
+    }
+
+    /// File name this reproducer serializes under. Includes the mutation
+    /// label so two violations of the same check on one project (under
+    /// different scripts) never overwrite each other.
+    pub fn file_name(&self) -> String {
+        let slug = |s: &str| -> String {
+            s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        };
+        format!(
+            "repro-{}-{}-{}.json",
+            slug(&self.artifacts.name),
+            slug(&self.check),
+            slug(&script_label(&self.script))
+        )
+    }
+
+    /// Write this reproducer under `dir` (created if needed); returns the
+    /// file path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Load a reproducer back from disk.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        serde_json::from_str(&text).map_err(|e| e.to_string())
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} under {} [{}]: {}",
+            self.artifacts.name,
+            script_label(&self.script),
+            self.check,
+            self.violation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_corpus::{generate_corpus, CorpusSpec};
+
+    fn repro() -> Reproducer {
+        let p = &generate_corpus(&CorpusSpec::paper().with_per_taxon(1))[0];
+        Reproducer {
+            seed: 42,
+            check: "legacy-diff".into(),
+            violation: "schema_total_activity: 10 vs 12".into(),
+            script: vec![MutationStep { name: "case-fold".into(), seed: 7 }],
+            artifacts: ProjectArtifacts::from_generated(p),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("coevo_repro_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = repro();
+        let path = r.save(&dir).expect("save");
+        assert!(path.to_string_lossy().ends_with(".json"), "{path:?}");
+        let back = Reproducer::load(&path).expect("load");
+        assert_eq!(back, r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mutated_replays_the_script() {
+        let r = repro();
+        let mutated = r.mutated().expect("known mutators");
+        assert_ne!(mutated, r.artifacts);
+        // Replay is deterministic.
+        assert_eq!(r.mutated().unwrap(), mutated);
+    }
+
+    #[test]
+    fn describe_mentions_all_parts() {
+        let d = repro().describe();
+        assert!(d.contains("case-fold"), "{d}");
+        assert!(d.contains("legacy-diff"), "{d}");
+        assert!(d.contains("schema_total_activity"), "{d}");
+    }
+}

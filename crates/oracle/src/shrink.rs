@@ -1,0 +1,182 @@
+//! Greedy minimization of failing cases (ddmin-lite).
+//!
+//! A violation is a triple (project artifacts, mutation script, failing
+//! check). The shrinker minimizes the first two while the check keeps
+//! failing: drop script steps, then truncate the DDL version history and
+//! the commit history from the tail. Every candidate is re-validated by
+//! re-running the caller's predicate, so the minimized case is guaranteed
+//! to still reproduce.
+
+use crate::mutators::Mutator;
+use coevo_corpus::ProjectArtifacts;
+use coevo_vcs::{parse_log, write_log};
+use serde::{Deserialize, Serialize};
+
+/// One step of a mutation script: a mutator plus the seed of its rng
+/// stream. Serialized into reproducers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationStep {
+    /// Mutator name, resolvable via [`Mutator::by_name`].
+    pub name: String,
+    /// The ChaCha seed of this application.
+    pub seed: u64,
+}
+
+/// Render a script as `a+b+c` (or `-` for the empty script).
+pub fn script_label(script: &[MutationStep]) -> String {
+    if script.is_empty() {
+        return "-".to_string();
+    }
+    script.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join("+")
+}
+
+/// Apply a mutation script to a copy of `p`. Returns `None` when a step
+/// names an unknown mutator; inapplicable steps are applied as no-ops.
+pub fn apply_script(p: &ProjectArtifacts, script: &[MutationStep]) -> Option<ProjectArtifacts> {
+    let mut out = p.clone();
+    for step in script {
+        let m = Mutator::by_name(&step.name)?;
+        m.apply_seeded(&mut out, step.seed);
+    }
+    Some(out)
+}
+
+/// Budgeted greedy shrink. `reproduces(artifacts, script)` must return true
+/// when the original violation still fires; it is called at most `budget`
+/// times. Returns the smallest `(artifacts, script)` found.
+pub fn shrink(
+    artifacts: &ProjectArtifacts,
+    script: &[MutationStep],
+    mut budget: usize,
+    mut reproduces: impl FnMut(&ProjectArtifacts, &[MutationStep]) -> bool,
+) -> (ProjectArtifacts, Vec<MutationStep>) {
+    let mut best_a = artifacts.clone();
+    let mut best_s = script.to_vec();
+
+    // 1. Drop script steps, one at a time, to a fixpoint.
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+        for i in 0..best_s.len() {
+            if budget == 0 {
+                break;
+            }
+            let mut candidate = best_s.clone();
+            candidate.remove(i);
+            budget -= 1;
+            if reproduces(&best_a, &candidate) {
+                best_s = candidate;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // 2. Truncate the DDL version history from the tail, halving the cut
+    //    until single steps, keeping at least one version.
+    let mut cut = best_a.ddl_versions.len() / 2;
+    while cut > 0 && budget > 0 {
+        while best_a.ddl_versions.len() > cut && budget > 0 {
+            let mut candidate = best_a.clone();
+            candidate.ddl_versions.truncate(candidate.ddl_versions.len() - cut);
+            budget -= 1;
+            if reproduces(&candidate, &best_s) {
+                best_a = candidate;
+            } else {
+                break;
+            }
+        }
+        cut /= 2;
+    }
+
+    // 3. Truncate the commit history from the tail the same way.
+    if let Ok(repo) = parse_log(&best_a.git_log) {
+        let mut commits = repo.commits.len();
+        let mut cut = commits / 2;
+        while cut > 0 && budget > 0 {
+            while commits > cut && budget > 0 {
+                let Ok(mut repo) = parse_log(&best_a.git_log) else { break };
+                repo.commits.truncate(commits - cut);
+                let mut candidate = best_a.clone();
+                candidate.git_log = write_log(&repo);
+                budget -= 1;
+                if reproduces(&candidate, &best_s) {
+                    best_a = candidate;
+                    commits -= cut;
+                } else {
+                    break;
+                }
+            }
+            cut /= 2;
+        }
+    }
+
+    (best_a, best_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_corpus::{generate_corpus, CorpusSpec};
+
+    fn project() -> ProjectArtifacts {
+        let corpus = generate_corpus(&CorpusSpec::paper().with_per_taxon(1));
+        // Pick the project with the longest version history, so shrinking
+        // has something to chew on.
+        corpus
+            .iter()
+            .map(ProjectArtifacts::from_generated)
+            .max_by_key(|p| p.ddl_versions.len())
+            .unwrap()
+    }
+
+    #[test]
+    fn script_labels() {
+        assert_eq!(script_label(&[]), "-");
+        let s = vec![
+            MutationStep { name: "case-fold".into(), seed: 1 },
+            MutationStep { name: "shift-time".into(), seed: 2 },
+        ];
+        assert_eq!(script_label(&s), "case-fold+shift-time");
+    }
+
+    #[test]
+    fn apply_script_rejects_unknown_mutators() {
+        let p = project();
+        assert!(apply_script(&p, &[MutationStep { name: "no-such".into(), seed: 0 }]).is_none());
+        let s = [MutationStep { name: "comment-churn".into(), seed: 3 }];
+        let mutated = apply_script(&p, &s).expect("known mutator");
+        assert_ne!(mutated, p);
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_steps_and_versions() {
+        let p = project();
+        let script = vec![
+            MutationStep { name: "comment-churn".into(), seed: 1 },
+            MutationStep { name: "case-fold".into(), seed: 2 },
+            MutationStep { name: "shift-time".into(), seed: 3 },
+        ];
+        // Synthetic failure: fires whenever the script still contains
+        // case-fold and at least 2 versions survive. The shrinker must
+        // reduce to exactly that core.
+        let (a, s) = shrink(&p, &script, 200, |artifacts, script| {
+            artifacts.ddl_versions.len() >= 2 && script.iter().any(|m| m.name == "case-fold")
+        });
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].name, "case-fold");
+        assert_eq!(a.ddl_versions.len(), 2);
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let p = project();
+        let mut calls = 0usize;
+        let script = vec![MutationStep { name: "comment-churn".into(), seed: 1 }];
+        shrink(&p, &script, 5, |_, _| {
+            calls += 1;
+            true
+        });
+        assert!(calls <= 5, "{calls}");
+    }
+}

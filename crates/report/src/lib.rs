@@ -17,6 +17,7 @@ pub mod profile;
 pub mod scatter;
 pub mod summary;
 pub mod table;
+pub mod violations;
 
 pub use figures::render_all_figures;
 pub use summary::research_question_answers;

@@ -1,0 +1,91 @@
+//! Rendering correctness-check violations, as printed by `coevo check`.
+//!
+//! Like [`crate::profile`], this module is deliberately oracle-agnostic: it
+//! renders plain rows, so the report crate stays independent of the
+//! harness that finds the violations.
+
+use crate::table::TextTable;
+
+/// One violation found by a correctness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationRow {
+    /// The project whose history exposed the problem.
+    pub project: String,
+    /// The mutation script applied to it (`-` for the unmutated baseline).
+    pub mutation: String,
+    /// The oracle or invariant that fired.
+    pub oracle: String,
+    /// What diverged: the first differing field, or the broken invariant.
+    pub detail: String,
+    /// Path of the serialized reproducer, when one was written.
+    pub repro: Option<String>,
+}
+
+/// Render a violation table plus a one-line verdict. An empty slice renders
+/// the all-clear line alone — no table header for nothing.
+pub fn render_violations(rows: &[ViolationRow]) -> String {
+    if rows.is_empty() {
+        return "no violations\n".to_string();
+    }
+    let mut table = TextTable::new(["project", "mutation", "oracle", "detail"]);
+    for r in rows {
+        table.row([
+            r.project.as_str(),
+            r.mutation.as_str(),
+            r.oracle.as_str(),
+            r.detail.as_str(),
+        ]);
+    }
+    let mut out = table.render();
+    for r in rows {
+        if let Some(path) = &r.repro {
+            out.push_str(&format!("reproducer for {}: {}\n", r.project, path));
+        }
+    }
+    out.push_str(&format!(
+        "{} violation{} found\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(project: &str, detail: &str, repro: Option<&str>) -> ViolationRow {
+        ViolationRow {
+            project: project.into(),
+            mutation: "case-fold".into(),
+            oracle: "legacy-diff".into(),
+            detail: detail.into(),
+            repro: repro.map(Into::into),
+        }
+    }
+
+    #[test]
+    fn empty_is_all_clear() {
+        assert_eq!(render_violations(&[]), "no violations\n");
+    }
+
+    #[test]
+    fn rows_render_with_repro_paths_and_count() {
+        let rows = vec![
+            row("a/b", "schema_total_activity: 10 vs 12", Some("/tmp/r.json")),
+            row("c/d", "sync_05 out of [0,1]", None),
+        ];
+        let text = render_violations(&rows);
+        assert!(text.contains("project"), "{text}");
+        assert!(text.contains("a/b"), "{text}");
+        assert!(text.contains("legacy-diff"), "{text}");
+        assert!(text.contains("reproducer for a/b: /tmp/r.json"), "{text}");
+        assert!(text.contains("2 violations found"), "{text}");
+    }
+
+    #[test]
+    fn singular_count_line() {
+        let text = render_violations(&[row("a/b", "d", None)]);
+        assert!(text.contains("1 violation found"), "{text}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-file test for the execution-profile renderer: the exact bytes of
+//! `coevo study --profile` output are part of the CLI contract (operators
+//! grep and diff them), so formatting drift must be a deliberate,
+//! reviewed change to the checked-in golden file.
+//!
+//! To update after an intentional formatting change:
+//! `UPDATE_GOLDEN=1 cargo test -p coevo-report --test golden_profile`
+
+use coevo_report::profile::{render_profile, ProfileRow, StoreProfile};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    if rendered != expected {
+        // Line-by-line diff beats one giant assert message.
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at {}:{}", path.display(), i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            expected.lines().count(),
+            "line count differs from {}",
+            path.display()
+        );
+        panic!("rendered output differs from {} in trailing whitespace", path.display());
+    }
+}
+
+/// Fixed inputs covering the interesting cells: sub-second and multi-second
+/// durations, a zero-duration stage, cache hit/miss/`-` cells, and both
+/// store-backed and store-less footers.
+fn fixture_rows() -> Vec<ProfileRow> {
+    vec![
+        ProfileRow {
+            stage: "parse".into(),
+            items: 1950,
+            busy: Duration::from_millis(1520),
+            cache_hits: 1170,
+            cache_misses: 780,
+        },
+        ProfileRow {
+            stage: "diff".into(),
+            items: 1755,
+            busy: Duration::from_millis(428),
+            cache_hits: 0,
+            cache_misses: 1755,
+        },
+        ProfileRow {
+            stage: "measure".into(),
+            items: 195,
+            busy: Duration::from_micros(87_000),
+            cache_hits: 0,
+            cache_misses: 0,
+        },
+        ProfileRow {
+            stage: "stats".into(),
+            items: 0,
+            busy: Duration::ZERO,
+            cache_hits: 0,
+            cache_misses: 0,
+        },
+    ]
+}
+
+#[test]
+fn profile_rendering_matches_golden_file() {
+    let text = render_profile(&fixture_rows(), Duration::from_millis(640), 4, None);
+    assert_matches_golden("profile.txt", &text);
+}
+
+#[test]
+fn store_backed_profile_rendering_matches_golden_file() {
+    let mut rows = fixture_rows();
+    rows.insert(
+        0,
+        ProfileRow {
+            stage: "store".into(),
+            items: 195,
+            busy: Duration::from_millis(12),
+            cache_hits: 150,
+            cache_misses: 45,
+        },
+    );
+    let store = StoreProfile {
+        hits: 150,
+        misses: 40,
+        invalidated: 3,
+        quarantined: 2,
+        published: 45,
+        publish_failures: 1,
+    };
+    let text = render_profile(&rows, Duration::from_millis(640), 4, Some(&store));
+    assert_matches_golden("profile_store.txt", &text);
+}

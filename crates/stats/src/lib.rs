@@ -40,4 +40,4 @@ pub use kruskal::{kruskal_wallis, kruskal_wallis_with, KruskalResult};
 pub use mannwhitney::{mann_whitney_u, spearman_rho, MannWhitneyResult};
 pub use rank::rank_with_ties;
 pub use regression::{linear_fit, LinearFit};
-pub use shapiro::{shapiro_wilk, ShapiroResult};
+pub use shapiro::{shapiro_wilk, shapiro_wilk_checked, ShapiroError, ShapiroResult};

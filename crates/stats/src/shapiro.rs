@@ -16,18 +16,64 @@ pub struct ShapiroResult {
     pub p_value: f64,
 }
 
+/// Why a Shapiro–Wilk test could not be run on a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapiroError {
+    /// Fewer than 3 observations — the test is undefined.
+    TooFew {
+        /// The offending sample size.
+        n: usize,
+    },
+    /// More than 5000 observations — outside Royston's calibrated range.
+    TooMany {
+        /// The offending sample size.
+        n: usize,
+    },
+    /// The sample contains a NaN or infinite value.
+    NotFinite,
+    /// All observations are equal, so W is undefined (zero variance).
+    Constant,
+}
+
+impl std::fmt::Display for ShapiroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFew { n } => write!(f, "shapiro_wilk requires n >= 3, got n = {n}"),
+            Self::TooMany { n } => write!(f, "shapiro_wilk requires n <= 5000, got n = {n}"),
+            Self::NotFinite => write!(f, "shapiro_wilk requires finite input, got NaN/inf"),
+            Self::Constant => write!(f, "shapiro_wilk is undefined on a constant sample"),
+        }
+    }
+}
+
+impl std::error::Error for ShapiroError {}
+
 /// Run the Shapiro–Wilk test. Requires 3 ≤ n ≤ 5000 and a non-constant
-/// sample; returns `None` otherwise.
+/// sample; returns `None` otherwise (see [`shapiro_wilk_checked`] for the
+/// precise reason).
 pub fn shapiro_wilk(sample: &[f64]) -> Option<ShapiroResult> {
+    shapiro_wilk_checked(sample).ok()
+}
+
+/// Run the Shapiro–Wilk test, reporting *why* an unusable sample was
+/// rejected instead of collapsing every failure mode into `None`.
+pub fn shapiro_wilk_checked(sample: &[f64]) -> Result<ShapiroResult, ShapiroError> {
     let n = sample.len();
-    if !(3..=5000).contains(&n) {
-        return None;
+    if n < 3 {
+        return Err(ShapiroError::TooFew { n });
+    }
+    if n > 5000 {
+        return Err(ShapiroError::TooMany { n });
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(ShapiroError::NotFinite);
     }
     let mut x: Vec<f64> = sample.to_vec();
-    x.sort_by(|a, b| a.partial_cmp(b).expect("shapiro_wilk: NaN in input"));
+    // Total order is safe: non-finite values were rejected above.
+    x.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
     let range = x[n - 1] - x[0];
     if range <= 0.0 {
-        return None; // constant sample
+        return Err(ShapiroError::Constant);
     }
 
     // Expected values of normal order statistics (Blom approximation used by
@@ -100,7 +146,7 @@ pub fn shapiro_wilk(sample: &[f64]) -> Option<ShapiroResult> {
         normal_sf((y - mu) / sigma)
     };
 
-    Some(ShapiroResult { w, p_value })
+    Ok(ShapiroResult { w, p_value })
 }
 
 /// Evaluate a polynomial with coefficients in ascending-power order.
@@ -181,6 +227,43 @@ mod tests {
         assert!(shapiro_wilk(&[]).is_none());
         assert!(shapiro_wilk(&[5.0, 5.0, 5.0, 5.0]).is_none());
         assert!(shapiro_wilk(&vec![0.5; 6000]).is_none());
+    }
+
+    #[test]
+    fn checked_variant_reports_the_reason() {
+        assert_eq!(shapiro_wilk_checked(&[]), Err(ShapiroError::TooFew { n: 0 }));
+        assert_eq!(shapiro_wilk_checked(&[1.0, 2.0]), Err(ShapiroError::TooFew { n: 2 }));
+        assert_eq!(
+            shapiro_wilk_checked(&vec![0.5; 6000]),
+            Err(ShapiroError::TooMany { n: 6000 })
+        );
+        assert_eq!(shapiro_wilk_checked(&[7.0; 9]), Err(ShapiroError::Constant));
+        assert!(shapiro_wilk_checked(&[3.0, 1.0, 4.0, 1.5, 5.0]).is_ok());
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error_not_a_panic() {
+        assert_eq!(
+            shapiro_wilk_checked(&[1.0, f64::NAN, 3.0, 4.0]),
+            Err(ShapiroError::NotFinite)
+        );
+        assert_eq!(
+            shapiro_wilk_checked(&[1.0, 2.0, f64::INFINITY]),
+            Err(ShapiroError::NotFinite)
+        );
+        assert_eq!(
+            shapiro_wilk_checked(&[f64::NEG_INFINITY, 2.0, 3.0]),
+            Err(ShapiroError::NotFinite)
+        );
+        // The Option API degrades to None rather than panicking in the sort.
+        assert!(shapiro_wilk(&[1.0, f64::NAN, 3.0, 4.0]).is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e: Box<dyn std::error::Error> = Box::new(ShapiroError::TooFew { n: 2 });
+        assert!(e.to_string().contains("n >= 3"));
+        assert!(ShapiroError::NotFinite.to_string().contains("NaN"));
     }
 
     #[test]

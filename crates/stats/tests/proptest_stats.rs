@@ -1,10 +1,39 @@
 //! Property tests on statistical invariants.
 
 use coevo_stats::{
-    chi_square_independence, fisher_exact_2x2, kendall_tau_b, kruskal_wallis, quantile,
-    rank_with_ties, shapiro_wilk,
+    chi_square_independence, fisher_exact_2x2, kendall_tau_b, kruskal_wallis, mann_whitney_u,
+    quantile, rank_with_ties, shapiro_wilk, shapiro_wilk_checked, ShapiroError,
 };
 use proptest::prelude::*;
+
+/// Exact small-sample enumeration of the Mann–Whitney U distribution: the U
+/// statistic of the first group under every possible assignment of the
+/// pooled sample into groups of size `n1` and `n − n1`.
+fn enumerate_u(pooled: &[f64], n1: usize) -> Vec<f64> {
+    let n = pooled.len();
+    assert!(n <= 12, "enumeration is exponential; keep the sample small");
+    let mut us = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != n1 {
+            continue;
+        }
+        let mut a = Vec::with_capacity(n1);
+        let mut b = Vec::with_capacity(n - n1);
+        for (i, &v) in pooled.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+        }
+        // U₁ = R₁ − n₁(n₁+1)/2 over the midranks of the pooled sample.
+        let arranged: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let ranks = rank_with_ties(&arranged);
+        let r1: f64 = ranks[..n1].iter().sum();
+        us.push(r1 - (n1 * (n1 + 1)) as f64 / 2.0);
+    }
+    us
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -133,5 +162,76 @@ proptest! {
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn mann_whitney_all_tied_agrees_with_exact_enumeration(
+        v in -100.0f64..100.0,
+        n1 in 1usize..6,
+        n2 in 1usize..6,
+    ) {
+        // Exact enumeration over every group assignment of an all-tied pooled
+        // sample: U is the same constant (n₁n₂/2) for all C(n, n₁)
+        // arrangements, so the permutation distribution is degenerate and no
+        // p-value is defined. The implementation must agree by declining
+        // rather than fabricating a p from zero variance.
+        let pooled = vec![v; n1 + n2];
+        let us = enumerate_u(&pooled, n1);
+        let expected = (n1 * n2) as f64 / 2.0;
+        prop_assert!(us.iter().all(|&u| (u - expected).abs() < 1e-9));
+        prop_assert_eq!(mann_whitney_u(&pooled[..n1], &pooled[n1..]), None);
+    }
+
+    #[test]
+    fn mann_whitney_u_statistic_matches_exact_enumeration_identity(
+        a in prop::collection::vec(0.0f64..4.0, 2..5),
+        b in prop::collection::vec(0.0f64..4.0, 2..5),
+    ) {
+        // The identity arrangement (first n₁ observations → group one) must
+        // produce exactly the U the implementation reports, and every
+        // enumerated U must respect 0 ≤ U ≤ n₁n₂.
+        let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let us = enumerate_u(&pooled, a.len());
+        if let Some(r) = mann_whitney_u(&a, &b) {
+            prop_assert!(us.iter().any(|&u| (u - r.u).abs() < 1e-9));
+            let max_u = (a.len() * b.len()) as f64;
+            prop_assert!(us.iter().all(|&u| (-1e-9..=max_u + 1e-9).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn kruskal_all_tied_is_undefined(
+        v in -100.0f64..100.0,
+        na in 1usize..5,
+        nb in 1usize..5,
+        nc in 0usize..5,
+    ) {
+        // With every observation identical, each group's rank sum is forced
+        // to nᵢ(n+1)/2 under every arrangement, the uncorrected H is 0, and
+        // the tie correction divides by zero — the exact permutation
+        // distribution is degenerate, so the implementation must return None.
+        prop_assume!(na + nb + nc >= 3);
+        let a = vec![v; na];
+        let b = vec![v; nb];
+        let c = vec![v; nc];
+        prop_assert_eq!(kruskal_wallis(&[&a, &b, &c]), None);
+    }
+
+    #[test]
+    fn shapiro_never_panics_on_nan(
+        mut xs in prop::collection::vec(-10.0f64..10.0, 3..30),
+        idx in 0usize..30,
+    ) {
+        // A NaN anywhere in the sample is a typed error, not a panic in the
+        // sort comparator.
+        let slot = idx % xs.len();
+        xs[slot] = f64::NAN;
+        prop_assert_eq!(shapiro_wilk_checked(&xs), Err(ShapiroError::NotFinite));
+        prop_assert_eq!(shapiro_wilk(&xs), None);
+    }
+
+    #[test]
+    fn shapiro_small_samples_are_typed_errors(xs in prop::collection::vec(-10.0f64..10.0, 0..3)) {
+        prop_assert_eq!(shapiro_wilk_checked(&xs), Err(ShapiroError::TooFew { n: xs.len() }));
     }
 }
