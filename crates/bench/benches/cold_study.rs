@@ -1,0 +1,203 @@
+//! The cold path end to end: parse + diff every DDL version of the full
+//! 195-project paper corpus from scratch, comparing
+//!
+//! - **baseline** — the pre-interning path: per-project content dedup (so
+//!   inactive versions still parse once, as the old engine's cache already
+//!   ensured), `parse_schema_legacy` (eager owned-token lexing, one heap
+//!   `String` per textual token, no interner → the diff falls back to
+//!   string-keyed column matching), incremental diff;
+//! - **cold** — this refactor's path: a per-project [`ParseCache`] whose
+//!   shared [`Interner`] lets the streaming zero-copy lexer borrow the
+//!   source text and the diff compare identifiers as integers.
+//!
+//! Acceptance bars (asserted below, in test mode *and* bench mode):
+//! ≥ 1.5× cold full-corpus speedup and ≥ 5× fewer parse-stage allocations.
+//! The two paths are first checked to produce identical histories. In bench
+//! mode (`cargo bench -- --bench`) the measured numbers are written to
+//! `BENCH_5.json` at the repo root so future PRs can diff against them.
+
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_ddl::{parse_schema_legacy, Dialect, ParseCache, Schema};
+use coevo_diff::{MatchPolicy, SchemaHistory, SchemaVersion};
+use coevo_engine::allocs;
+use coevo_heartbeat::DateTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+// The whole point of this bench: every heap allocation either path makes is
+// counted. `count-allocs` is a default-on feature so plain `cargo bench` /
+// `cargo test` measure real numbers; disabling it leaves the system
+// allocator untouched and turns the alloc assertions into no-ops.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: allocs::CountingAlloc<std::alloc::System> =
+    allocs::CountingAlloc(std::alloc::System);
+
+/// One project's raw cold-path input: its dated DDL texts.
+struct RawProject {
+    ddl_versions: Vec<(DateTime, String)>,
+    dialect: Dialect,
+}
+
+fn corpus() -> Vec<RawProject> {
+    generate_corpus(&CorpusSpec::paper())
+        .into_iter()
+        .map(|p| RawProject { ddl_versions: p.raw.ddl_versions, dialect: p.raw.dialect })
+        .collect()
+}
+
+/// Parse one project the pre-interning way: content-deduped
+/// `parse_schema_legacy`.
+fn parse_baseline(p: &RawProject) -> Vec<SchemaVersion> {
+    let mut seen: HashMap<&str, Arc<Schema>> = HashMap::new();
+    p.ddl_versions
+        .iter()
+        .map(|(d, s)| SchemaVersion {
+            date: *d,
+            schema: Arc::clone(seen.entry(s).or_insert_with(|| {
+                Arc::new(parse_schema_legacy(s, p.dialect).expect("legacy parse"))
+            })),
+        })
+        .collect()
+}
+
+/// Parse one project through the interned streaming path.
+fn parse_cold(p: &RawProject) -> Vec<SchemaVersion> {
+    let mut cache = ParseCache::new();
+    p.ddl_versions
+        .iter()
+        .map(|(d, s)| SchemaVersion {
+            date: *d,
+            schema: cache.parse(s, p.dialect).expect("parse"),
+        })
+        .collect()
+}
+
+fn history(versions: Vec<SchemaVersion>) -> SchemaHistory {
+    SchemaHistory::from_schemas(versions, MatchPolicy::ByName).expect("non-empty history")
+}
+
+fn cold_study(projects: &[RawProject], parse: fn(&RawProject) -> Vec<SchemaVersion>) -> u64 {
+    // Fold the per-project delta counts so the whole pipeline is observed.
+    projects.iter().map(|p| history(parse(p)).deltas().len() as u64).sum()
+}
+
+/// Allocations of the *parse stage only* across the full corpus.
+fn parse_stage_allocs(
+    projects: &[RawProject],
+    parse: fn(&RawProject) -> Vec<SchemaVersion>,
+) -> allocs::AllocSnapshot {
+    let before = allocs::snapshot();
+    for p in projects {
+        black_box(parse(black_box(p)));
+    }
+    allocs::snapshot().since(before)
+}
+
+fn measured_speedup(projects: &[RawProject], rounds: u32) -> (f64, f64, f64) {
+    // One untimed warmup per path, then interleaved rounds keeping the
+    // minimum per side: for CPU-bound work anything above the minimum is
+    // scheduler/frequency interference, so min-of-N interleaved is far less
+    // noisy than averaging two back-to-back loops.
+    black_box(cold_study(black_box(projects), parse_baseline));
+    black_box(cold_study(black_box(projects), parse_cold));
+    let (mut baseline, mut cold) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        black_box(cold_study(black_box(projects), parse_baseline));
+        baseline = baseline.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(cold_study(black_box(projects), parse_cold));
+        cold = cold.min(t.elapsed().as_secs_f64());
+    }
+    (baseline, cold, baseline / cold)
+}
+
+/// `BENCH_5.json`: the perf trajectory record future PRs diff against.
+fn write_bench_json(
+    baseline_ns: f64,
+    cold_ns: f64,
+    speedup: f64,
+    legacy: allocs::AllocSnapshot,
+    interned: allocs::AllocSnapshot,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    let json = format!(
+        "{{\n  \"cold_study/full_corpus_baseline\": {{ \"ns_per_iter\": {:.0}, \"parse_allocs\": {}, \"parse_alloc_bytes\": {} }},\n  \"cold_study/full_corpus_cold\": {{ \"ns_per_iter\": {:.0}, \"parse_allocs\": {}, \"parse_alloc_bytes\": {} }},\n  \"cold_study/speedup\": {:.2},\n  \"cold_study/parse_alloc_reduction\": {:.2}\n}}\n",
+        baseline_ns,
+        legacy.allocs,
+        legacy.bytes,
+        cold_ns,
+        interned.allocs,
+        interned.bytes,
+        speedup,
+        if interned.allocs > 0 { legacy.allocs as f64 / interned.allocs as f64 } else { 0.0 },
+    );
+    std::fs::write(path, json).expect("write BENCH_5.json");
+    println!("[cold_study] wrote {path}");
+}
+
+fn cold_study_bench(c: &mut Criterion) {
+    let projects = corpus();
+    let versions: usize = projects.iter().map(|p| p.ddl_versions.len()).sum();
+
+    // Sanity: both paths produce identical histories before we time them.
+    for p in &projects {
+        assert_eq!(history(parse_cold(p)), history(parse_baseline(p)), "paths diverge");
+    }
+
+    // Parse-stage allocations, full corpus, both paths. With `count-allocs`
+    // off (or the allocator not installed) the counters stay zero and the
+    // ratio assertion is skipped.
+    let legacy_allocs = parse_stage_allocs(&projects, parse_baseline);
+    let interned_allocs = parse_stage_allocs(&projects, parse_cold);
+    if interned_allocs.allocs > 0 {
+        let reduction = legacy_allocs.allocs as f64 / interned_allocs.allocs as f64;
+        println!(
+            "[cold_study] parse allocs over {} projects / {versions} versions: \
+             legacy {} ({} B)  interned {} ({} B)  reduction {reduction:.1}x",
+            projects.len(),
+            legacy_allocs.allocs,
+            legacy_allocs.bytes,
+            interned_allocs.allocs,
+            interned_allocs.bytes,
+        );
+        assert!(
+            reduction >= 5.0,
+            "parse-stage allocation reduction {reduction:.2}x below the 5x acceptance bar"
+        );
+    }
+
+    let (b, n, speedup) = measured_speedup(&projects, 5);
+    println!(
+        "[cold_study] full corpus ({} projects, {versions} versions): \
+         baseline {:.1}ms  cold {:.1}ms  speedup {speedup:.2}x",
+        projects.len(),
+        b * 1e3,
+        n * 1e3,
+    );
+    assert!(
+        speedup >= 1.5,
+        "cold full-corpus speedup {speedup:.2}x below the 1.5x acceptance bar"
+    );
+
+    if std::env::args().any(|a| a == "--bench") {
+        write_bench_json(b * 1e9, n * 1e9, speedup, legacy_allocs, interned_allocs);
+    }
+
+    let mut group = c.benchmark_group("cold_study");
+    group.sample_size(10);
+    group.bench_function("full_corpus_baseline", |bch| {
+        bch.iter(|| black_box(cold_study(black_box(&projects), parse_baseline)))
+    });
+    group.bench_function("full_corpus_cold", |bch| {
+        bch.iter(|| black_box(cold_study(black_box(&projects), parse_cold)))
+    });
+    group.finish();
+}
+
+criterion_group!(cold, cold_study_bench);
+criterion_main!(cold);

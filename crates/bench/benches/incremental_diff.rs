@@ -24,9 +24,9 @@ const VERSIONS: usize = 60;
 fn base_schema() -> Schema {
     let mut tables = Vec::with_capacity(TABLES);
     for t in 0..TABLES {
-        let mut table = Table::new(&format!("table_{t:02}"));
+        let mut table = Table::new(format!("table_{t:02}"));
         for c in 0..COLUMNS {
-            table.columns.push(Column::new(&format!("col_{c}"), SqlType::simple("INT")));
+            table.columns.push(Column::new(format!("col_{c}"), SqlType::simple("INT")));
         }
         table.columns[0].inline_primary_key = true;
         tables.push(table);
@@ -49,7 +49,7 @@ fn sparse_texts() -> Vec<(DateTime, String)> {
             let t = (i / 10) % TABLES;
             schema.tables[t]
                 .columns
-                .push(Column::new(&format!("added_{i}"), SqlType::simple("TEXT")));
+                .push(Column::new(format!("added_{i}"), SqlType::simple("TEXT")));
             current = print_schema(&schema, Dialect::Generic);
         }
         texts.push((date(i), current.clone()));
@@ -67,7 +67,7 @@ fn dense_texts() -> Vec<(DateTime, String)> {
             let t = i % TABLES;
             schema.tables[t]
                 .columns
-                .push(Column::new(&format!("added_{i}"), SqlType::simple("TEXT")));
+                .push(Column::new(format!("added_{i}"), SqlType::simple("TEXT")));
         }
         texts.push((date(i), print_schema(&schema, Dialect::Generic)));
     }

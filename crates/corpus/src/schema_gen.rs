@@ -188,7 +188,7 @@ impl EvolvingSchema {
     pub fn add_table<R: Rng>(&mut self, rng: &mut R, cols: usize) -> u64 {
         let cols = cols.max(1);
         let name = self.fresh_table_name();
-        let mut t = Table::new(&name);
+        let mut t = Table::new(name.as_str());
         let mut id_col = Column::new("id", SqlType::simple("INT"));
         id_col.nullable = false;
         id_col.inline_primary_key = true;
@@ -198,7 +198,7 @@ impl EvolvingSchema {
             let cname = self.fresh_column_name();
             // Column names repeat across tables; make them unique within the
             // table by construction (fresh ids are globally unique).
-            t.columns.push(Column::new(&cname, Self::random_type(rng)));
+            t.columns.push(Column::new(cname.as_str(), Self::random_type(rng)));
         }
         self.schema.tables.push(t);
         cols as u64
@@ -223,7 +223,7 @@ impl EvolvingSchema {
         let cname = self.fresh_column_name();
         let ty = Self::random_type(rng);
         let idx = rng.gen_range(0..self.schema.tables.len());
-        self.schema.tables[idx].columns.push(Column::new(&cname, ty));
+        self.schema.tables[idx].columns.push(Column::new(cname.as_str(), ty));
         1
     }
 
@@ -303,7 +303,7 @@ impl EvolvingSchema {
                 // Table birth sized to fit the remaining budget.
                 let cols = rng.gen_range(2..=remaining.min(8)) as usize;
                 let cost = self.add_table(rng, cols);
-                window.new_tables.push(self.schema.tables.last().unwrap().key());
+                window.new_tables.push(self.schema.tables.last().unwrap().key().to_string());
                 cost
             } else if remaining >= 3 && roll < 18 {
                 self.drop_untouched_table_within(remaining, &window)
@@ -321,7 +321,9 @@ impl EvolvingSchema {
                 spent += if fallback == 0 {
                     let cols = remaining.clamp(1, 3) as usize;
                     let cost = self.add_table(rng, cols);
-                    window.new_tables.push(self.schema.tables.last().unwrap().key());
+                    window
+                        .new_tables
+                        .push(self.schema.tables.last().unwrap().key().to_string());
                     cost
                 } else {
                     fallback
@@ -344,8 +346,8 @@ impl EvolvingSchema {
         let ty = Self::random_type(rng);
         let idx = Self::hot_biased_index(rng, self.schema.tables.len());
         let t = &mut self.schema.tables[idx];
-        let tkey = t.key();
-        t.columns.push(Column::new(&cname, ty));
+        let tkey = t.key().to_string();
+        t.columns.push(Column::new(cname.as_str(), ty));
         window.touched_columns.push((tkey.clone(), cname.to_ascii_lowercase()));
         window.touched_tables.push(tkey);
         1
@@ -356,14 +358,14 @@ impl EvolvingSchema {
     fn eject_untouched<R: Rng>(&mut self, rng: &mut R, window: &mut Window) -> u64 {
         let mut spots: Vec<(usize, usize)> = Vec::new();
         for (ti, t) in self.schema.tables.iter().enumerate() {
-            if window.table_is_new(&t.key()) {
+            if window.table_is_new(t.key()) {
                 continue;
             }
             if t.columns.len() <= 1 {
                 continue;
             }
             for (ci, c) in t.columns.iter().enumerate() {
-                if !c.inline_primary_key && !window.column_is_touched(&t.key(), &c.key()) {
+                if !c.inline_primary_key && !window.column_is_touched(t.key(), c.key()) {
                     spots.push((ti, ci));
                 }
             }
@@ -372,8 +374,8 @@ impl EvolvingSchema {
             return 0;
         }
         let (ti, ci) = spots[Self::hot_biased_index(rng, spots.len())];
-        let tkey = self.schema.tables[ti].key();
-        let ckey = self.schema.tables[ti].columns[ci].key();
+        let tkey = self.schema.tables[ti].key().to_string();
+        let ckey = self.schema.tables[ti].columns[ci].key().to_string();
         self.schema.tables[ti].columns.remove(ci);
         window.touched_columns.push((tkey.clone(), ckey));
         window.touched_tables.push(tkey);
@@ -385,11 +387,11 @@ impl EvolvingSchema {
     fn change_type_untouched<R: Rng>(&mut self, rng: &mut R, window: &mut Window) -> u64 {
         let mut spots: Vec<(usize, usize)> = Vec::new();
         for (ti, t) in self.schema.tables.iter().enumerate() {
-            if window.table_is_new(&t.key()) {
+            if window.table_is_new(t.key()) {
                 continue;
             }
             for (ci, c) in t.columns.iter().enumerate() {
-                if !c.inline_primary_key && !window.column_is_touched(&t.key(), &c.key()) {
+                if !c.inline_primary_key && !window.column_is_touched(t.key(), c.key()) {
                     spots.push((ti, ci));
                 }
             }
@@ -402,8 +404,8 @@ impl EvolvingSchema {
         for _ in 0..16 {
             let new = Self::random_type(rng);
             if new != old {
-                let tkey = self.schema.tables[ti].key();
-                let ckey = self.schema.tables[ti].columns[ci].key();
+                let tkey = self.schema.tables[ti].key().to_string();
+                let ckey = self.schema.tables[ti].columns[ci].key().to_string();
                 self.schema.tables[ti].columns[ci].sql_type = new;
                 window.touched_columns.push((tkey.clone(), ckey));
                 window.touched_tables.push(tkey);
@@ -420,7 +422,7 @@ impl EvolvingSchema {
             return 0;
         }
         let idx = self.schema.tables.iter().position(|t| {
-            (t.columns.len() as u64) <= budget && !window.table_is_excluded(&t.key())
+            (t.columns.len() as u64) <= budget && !window.table_is_excluded(t.key())
         });
         match idx {
             Some(i) => {

@@ -1,0 +1,53 @@
+//! Property: the interned streaming parse and the legacy owned-token parse
+//! are observationally identical on everything the generator can emit.
+//!
+//! The zero-copy lexer, the interner fast path, and `parse_schema_legacy`
+//! are separate code paths by design (the bench compares them), which makes
+//! silent divergence the failure mode to fear: a cold study would "pass"
+//! while measuring two different parsers. This drives both paths over
+//! generator corpora under proptest-chosen seeds and corpus sizes and
+//! asserts model equality, fingerprint equality, and printer-round-trip
+//! equality for every DDL version text.
+
+use coevo_corpus::{generate_corpus, CorpusSpec};
+use coevo_ddl::{
+    fingerprint, parse_schema, parse_schema_interned, parse_schema_legacy, print_schema,
+    Interner,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case parses a few hundred DDL texts twice; keep the case count
+    // modest so the suite stays inside normal `cargo test` time.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interned_parse_equals_legacy_parse(seed in any::<u64>(), per_taxon in 1usize..4) {
+        let mut spec = CorpusSpec::paper().with_per_taxon(per_taxon);
+        spec.seed = seed;
+        let interner = Interner::new();
+        for project in generate_corpus(&spec) {
+            let dialect = project.raw.dialect;
+            for (_, text) in &project.raw.ddl_versions {
+                let legacy = parse_schema_legacy(text, dialect).expect("legacy parse");
+                let interned =
+                    parse_schema_interned(text, dialect, &interner).expect("interned parse");
+
+                // The models are equal — field by field, not just by hash —
+                // and their structural fingerprints agree.
+                prop_assert_eq!(&legacy, &interned);
+                prop_assert_eq!(
+                    fingerprint::of_schema(&legacy),
+                    fingerprint::of_schema(&interned)
+                );
+
+                // Printing the interned parse and re-parsing it (through the
+                // default path) lands on the same model: interning leaks
+                // nothing into the printed form.
+                let printed = print_schema(&interned, dialect);
+                let reparsed = parse_schema(&printed, dialect).expect("reparse printed");
+                prop_assert_eq!(&interned, &reparsed);
+            }
+        }
+    }
+}

@@ -12,8 +12,9 @@
 use crate::dialect::Dialect;
 use crate::error::Result;
 use crate::fingerprint::content_hash;
+use crate::intern::Interner;
 use crate::model::Schema;
-use crate::parser::parse_schema;
+use crate::parser::parse_schema_interned;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,18 +28,36 @@ struct Entry {
 ///
 /// Scope one cache per project history (the engine does): identical versions
 /// within a history share a schema, and the cache's memory dies with the
-/// history.
-#[derive(Default)]
+/// history. The cache also owns a project-scoped [`Interner`]: every schema
+/// it parses shares one symbol numbering, so downstream diffs of two cached
+/// versions compare names by integer symbol instead of re-folding strings.
 pub struct ParseCache {
     buckets: HashMap<u64, Vec<Entry>>,
+    interner: Arc<Interner>,
     hits: u64,
     misses: u64,
 }
 
+impl Default for ParseCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ParseCache {
-    /// An empty cache.
+    /// An empty cache with a fresh interner.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            buckets: HashMap::new(),
+            interner: Arc::new(Interner::new()),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The interner every schema parsed through this cache shares.
+    pub fn interner(&self) -> Arc<Interner> {
+        Arc::clone(&self.interner)
     }
 
     /// Parse `sql` under `dialect`, returning a shared schema. Byte-identical
@@ -54,7 +73,7 @@ impl ParseCache {
             self.hits += 1;
             return Ok(Arc::clone(&e.schema));
         }
-        let schema = Arc::new(parse_schema(sql, dialect)?);
+        let schema = Arc::new(parse_schema_interned(sql, dialect, &self.interner)?);
         self.buckets.entry(hash).or_default().push(Entry {
             dialect,
             text: Arc::from(sql),
@@ -114,6 +133,17 @@ mod tests {
         let mut c = ParseCache::new();
         let s = c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
         assert!(s.seal_data().is_some());
+    }
+
+    #[test]
+    fn cached_schemas_share_one_interner() {
+        let mut c = ParseCache::new();
+        let a = c.parse("CREATE TABLE t (a INT);", Dialect::Generic).unwrap();
+        let b = c.parse("CREATE TABLE t (a INT, b INT);", Dialect::Generic).unwrap();
+        let iid = c.interner().id();
+        assert_eq!(a.tables[0].name.interner_id(), iid);
+        assert_eq!(b.tables[0].name.interner_id(), iid);
+        assert_eq!(a.tables[0].name.symbol(), b.tables[0].name.symbol());
     }
 
     #[test]

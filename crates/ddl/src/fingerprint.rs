@@ -137,11 +137,11 @@ fn absorb_column(h: &mut Fnv1a, c: &Column) {
     h.write_opt_str(c.comment.as_deref());
 }
 
-fn absorb_name_columns(h: &mut Fnv1a, name: Option<&str>, columns: &[String]) {
+fn absorb_name_columns<S: AsRef<str>>(h: &mut Fnv1a, name: Option<&str>, columns: &[S]) {
     h.write_opt_str(name);
     h.write_u64(columns.len() as u64);
     for c in columns {
-        h.write_str(c);
+        h.write_str(c.as_ref());
     }
 }
 
@@ -222,13 +222,21 @@ pub fn of_table(t: &Table) -> Fingerprint {
     h.finish()
 }
 
-/// Fingerprint of a whole schema: its tables, in declaration order.
+/// Fingerprint of a whole schema: the fingerprints of its tables, in
+/// declaration order.
+///
+/// Hashing table *fingerprints* instead of re-absorbing every table keeps the
+/// equality-tracking property (table fingerprints already track table
+/// equality) while letting a sealed schema reuse its tables' cached values —
+/// sealing otherwise hashes the whole model twice, once per table and once
+/// here. [`Table::fingerprint`] computes on the fly when unsealed, so the
+/// value is identical either way.
 pub fn of_schema(s: &Schema) -> Fingerprint {
     let mut h = Fnv1a::new();
     h.tag(TAG_SCHEMA);
     h.write_u64(s.tables.len() as u64);
     for t in &s.tables {
-        absorb_table(&mut h, t);
+        h.write_u64(t.fingerprint().0);
     }
     h.finish()
 }

@@ -1,4 +1,4 @@
-//! Hand-written SQL lexer.
+//! Hand-written streaming, zero-copy SQL lexer.
 //!
 //! Handles the lexical quirks of real-world MySQL and PostgreSQL dump files:
 //! `--` line comments, `#` line comments (MySQL), `/* ... */` block comments
@@ -8,13 +8,24 @@
 //! double-quoted identifiers (PostgreSQL / ANSI), bracket identifiers
 //! (tolerated for stray SQL Server files), and PostgreSQL dollar-quoted
 //! strings (`$$ ... $$`, `$tag$ ... $tag$`).
+//!
+//! Tokens borrow `&str` slices of the source wherever the token value is a
+//! verbatim slice (words, numbers, operators, dollar-quoted bodies) and a
+//! [`Cow`] for quoted forms, which borrow unless an escape sequence or a
+//! non-ASCII byte forces the historical byte-wise rebuild. The streaming
+//! entry point is [`Lexer::next_token`]; [`Lexer::tokenize`] materializes the
+//! whole stream, and [`Lexer::tokenize_owned`] additionally copies every
+//! token's text — the pre-refactor allocation profile, kept as the legacy
+//! parse path's input and the allocation benchmarks' baseline.
 
 use crate::dialect::Dialect;
 use crate::error::{ParseError, ParseErrorKind, Result};
-use crate::token::{Token, TokenKind};
+use crate::token::{OwnedToken, Token, TokenKind};
+use std::borrow::Cow;
 
 /// Streaming lexer over a DDL script.
 pub struct Lexer<'a> {
+    text: &'a str,
     src: &'a [u8],
     pos: usize,
     line: u32,
@@ -25,16 +36,34 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Construct a new instance.
     pub fn new(src: &'a str, dialect: Dialect) -> Self {
-        Self { src: src.as_bytes(), pos: 0, line: 1, column: 1, dialect }
+        Self { text: src, src: src.as_bytes(), pos: 0, line: 1, column: 1, dialect }
     }
 
     /// Tokenize the whole input, appending a trailing [`TokenKind::Eof`].
-    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+    pub fn tokenize(mut self) -> Result<Vec<Token<'a>>> {
         let mut out = Vec::new();
         loop {
             let tok = self.next_token()?;
             let is_eof = tok.kind == TokenKind::Eof;
             out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Tokenize the whole input into owned tokens: one heap `String` per
+    /// textual token. This is the legacy parse path's input shape.
+    pub fn tokenize_owned(mut self) -> Result<Vec<OwnedToken>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(OwnedToken {
+                kind: tok.kind.to_owned_kind(),
+                line: tok.line,
+                column: tok.column,
+            });
             if is_eof {
                 return Ok(out);
             }
@@ -68,8 +97,17 @@ impl<'a> Lexer<'a> {
     fn skip_trivia(&mut self) -> Result<()> {
         loop {
             match self.peek() {
-                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
-                    self.bump();
+                // Whitespace runs are the single most common byte class in
+                // dump files; consume them without the double bounds check
+                // `peek` + `bump` would pay per byte.
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                    self.column += 1;
+                }
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.column = 1;
                 }
                 Some(b'-') if self.peek_at(1) == Some(b'-') => {
                     self.skip_line_comment();
@@ -86,12 +124,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn skip_line_comment(&mut self) {
-        while let Some(b) = self.peek() {
-            if b == b'\n' {
-                break;
-            }
-            self.bump();
-        }
+        // Scan to the newline in one pass; the run contains no newline, so
+        // only the column needs updating.
+        let rest = &self.src[self.pos..];
+        let n = rest.iter().position(|&b| b == b'\n').unwrap_or(rest.len());
+        self.pos += n;
+        self.column += n as u32;
     }
 
     fn skip_block_comment(&mut self) -> Result<()> {
@@ -115,7 +153,10 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_token(&mut self) -> Result<Token> {
+    /// Lex the next token. Past the end of input this keeps returning
+    /// [`TokenKind::Eof`]; the streaming parser pulls from here without ever
+    /// materializing the token vector.
+    pub fn next_token(&mut self) -> Result<Token<'a>> {
         self.skip_trivia()?;
         let (line, column) = (self.line, self.column);
         let Some(b) = self.peek() else {
@@ -157,30 +198,37 @@ impl<'a> Lexer<'a> {
         Ok(Token { kind, line, column })
     }
 
-    fn single(&mut self, kind: TokenKind) -> TokenKind {
+    fn single(&mut self, kind: TokenKind<'a>) -> TokenKind<'a> {
         self.bump();
         kind
     }
 
-    fn word(&mut self) -> TokenKind {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if is_ident_continue(b) {
-                self.bump();
-            } else {
-                break;
-            }
-        }
-        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-        TokenKind::Word(text)
+    /// Slice `[start..end)` of the source. Both bounds are always char
+    /// boundaries here: every token starts on one, and the scanners below
+    /// only stop on ASCII bytes (identifier-continue includes all bytes
+    /// ≥ 0x80, and quote/tag delimiters are ASCII).
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        &self.text[start..end]
     }
 
-    fn operator(&mut self) -> TokenKind {
+    fn word(&mut self) -> TokenKind<'a> {
+        // Identifier-continue bytes never include a newline, so the whole
+        // run advances in one pass with a single column update.
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let n = rest.iter().position(|&b| !is_ident_continue(b)).unwrap_or(rest.len());
+        self.pos += n;
+        self.column += n as u32;
+        TokenKind::Word(self.slice(start, self.pos))
+    }
+
+    fn operator(&mut self) -> TokenKind<'a> {
         // Greedily take the two-character operators we care about; everything
         // else is a single-character Op. The parser never interprets these
         // beyond skipping expressions, so fidelity is not required.
+        let start = self.pos;
         let a = self.bump().unwrap();
-        let two = match (a, self.peek()) {
+        match (a, self.peek()) {
             (b':', Some(b':'))
             | (b'<', Some(b'='))
             | (b'>', Some(b'='))
@@ -188,15 +236,14 @@ impl<'a> Lexer<'a> {
             | (b'!', Some(b'='))
             | (b'|', Some(b'|'))
             | (b'&', Some(b'&')) => {
-                let second = self.bump().unwrap();
-                Some(format!("{}{}", a as char, second as char))
+                self.bump();
             }
-            _ => None,
-        };
-        TokenKind::Op(two.unwrap_or_else(|| (a as char).to_string()))
+            _ => {}
+        }
+        TokenKind::Op(self.slice(start, self.pos))
     }
 
-    fn number(&mut self) -> Result<TokenKind> {
+    fn number(&mut self) -> Result<TokenKind<'a>> {
         let start = self.pos;
         let mut seen_dot = false;
         let mut seen_exp = false;
@@ -232,74 +279,137 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("number bytes are ASCII")
-            .to_string();
+        let text = self.slice(start, self.pos);
         if text == "." {
-            return Err(self.err(ParseErrorKind::BadNumber(text)));
+            return Err(self.err(ParseErrorKind::BadNumber(text.to_string())));
         }
         Ok(TokenKind::Number(text))
     }
 
-    fn string_literal(&mut self) -> Result<TokenKind> {
+    fn string_literal(&mut self) -> Result<TokenKind<'a>> {
         self.bump(); // opening quote
-        let mut out = String::new();
+        let start = self.pos;
+        let mut clean = true; // borrowable: no escapes, ASCII only
         loop {
             match self.peek() {
                 None => {
                     return Err(self.err(ParseErrorKind::UnterminatedLiteral("string literal")))
                 }
                 Some(b'\'') => {
+                    let end = self.pos;
                     self.bump();
                     if self.peek() == Some(b'\'') {
                         // '' escape
+                        clean = false;
                         self.bump();
-                        out.push('\'');
+                    } else if clean {
+                        return Ok(TokenKind::StringLit(Cow::Borrowed(self.slice(start, end))));
                     } else {
-                        return Ok(TokenKind::StringLit(out));
+                        return Ok(TokenKind::StringLit(Cow::Owned(
+                            self.rebuild_string(start, end),
+                        )));
                     }
                 }
                 Some(b'\\') if self.dialect.backslash_escapes() => {
+                    clean = false;
                     self.bump();
-                    if let Some(esc) = self.bump() {
-                        out.push(unescape(esc));
-                    }
+                    self.bump(); // escaped byte, if any
                 }
                 Some(b) => {
+                    if b >= 0x80 {
+                        clean = false;
+                    }
                     self.bump();
-                    out.push(b as char);
                 }
             }
         }
     }
 
-    fn quoted_ident(&mut self, quote: u8, what: &'static str) -> Result<TokenKind> {
+    /// Rebuild a string-literal body exactly as the historical eager lexer
+    /// did: bytes pushed as chars (Latin-1 recovery for non-ASCII), `''`
+    /// collapsed, backslash escapes resolved per dialect.
+    fn rebuild_string(&self, start: usize, end: usize) -> String {
+        let bytes = &self.src[start..end];
+        let mut out = String::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b == b'\'' {
+                // Inside the body every quote is the first half of a `''`
+                // escape (a lone quote would have terminated the literal).
+                out.push('\'');
+                i += 2;
+            } else if b == b'\\' && self.dialect.backslash_escapes() {
+                i += 1;
+                if i < bytes.len() {
+                    out.push(unescape(bytes[i]));
+                    i += 1;
+                }
+            } else {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn quoted_ident(&mut self, quote: u8, what: &'static str) -> Result<TokenKind<'a>> {
         self.bump(); // opening quote
-        let mut out = String::new();
+        let start = self.pos;
+        let mut clean = true;
         loop {
             match self.peek() {
                 None => return Err(self.err(ParseErrorKind::UnterminatedLiteral(what))),
                 Some(b) if b == quote => {
+                    let end = self.pos;
                     self.bump();
                     if self.peek() == Some(quote) {
                         // Doubled quote escape inside identifier.
+                        clean = false;
                         self.bump();
-                        out.push(quote as char);
+                    } else if clean {
+                        return Ok(TokenKind::QuotedIdent(Cow::Borrowed(
+                            self.slice(start, end),
+                        )));
                     } else {
-                        return Ok(TokenKind::QuotedIdent(out));
+                        return Ok(TokenKind::QuotedIdent(Cow::Owned(
+                            self.rebuild_quoted(start, end, quote),
+                        )));
                     }
                 }
                 Some(b) => {
+                    if b >= 0x80 {
+                        clean = false;
+                    }
                     self.bump();
-                    out.push(b as char);
                 }
             }
         }
     }
 
-    fn bracket_ident(&mut self) -> Result<TokenKind> {
+    /// Rebuild a quoted-identifier body byte-wise, collapsing doubled-quote
+    /// escapes — the historical eager lexer's exact output.
+    fn rebuild_quoted(&self, start: usize, end: usize, quote: u8) -> String {
+        let bytes = &self.src[start..end];
+        let mut out = String::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b == quote {
+                out.push(quote as char);
+                i += 2;
+            } else {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn bracket_ident(&mut self) -> Result<TokenKind<'a>> {
         self.bump(); // '['
-        let mut out = String::new();
+        let start = self.pos;
+        let mut clean = true;
         loop {
             match self.peek() {
                 None => {
@@ -308,12 +418,19 @@ impl<'a> Lexer<'a> {
                     )
                 }
                 Some(b']') => {
+                    let end = self.pos;
                     self.bump();
-                    return Ok(TokenKind::QuotedIdent(out));
+                    return Ok(TokenKind::QuotedIdent(if clean {
+                        Cow::Borrowed(self.slice(start, end))
+                    } else {
+                        Cow::Owned(self.src[start..end].iter().map(|&b| b as char).collect())
+                    }));
                 }
                 Some(b) => {
+                    if b >= 0x80 {
+                        clean = false;
+                    }
                     self.bump();
-                    out.push(b as char);
                 }
             }
         }
@@ -331,7 +448,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn dollar_quoted(&mut self) -> Result<TokenKind> {
+    fn dollar_quoted(&mut self) -> Result<TokenKind<'a>> {
         // Read the opening tag `$...$`.
         let tag_start = self.pos;
         self.bump(); // first '$'
@@ -341,22 +458,22 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let tag: Vec<u8> = self.src[tag_start..self.pos].to_vec();
+        let tag_end = self.pos;
         let body_start = self.pos;
+        let tag_len = tag_end - tag_start;
         // Scan for the closing tag.
         loop {
-            if self.pos + tag.len() > self.src.len() {
+            if self.pos + tag_len > self.src.len() {
                 return Err(
                     self.err(ParseErrorKind::UnterminatedLiteral("dollar-quoted string"))
                 );
             }
-            if &self.src[self.pos..self.pos + tag.len()] == tag.as_slice() {
-                let body =
-                    String::from_utf8_lossy(&self.src[body_start..self.pos]).into_owned();
-                for _ in 0..tag.len() {
+            if self.src[self.pos..self.pos + tag_len] == self.src[tag_start..tag_end] {
+                let body = self.slice(body_start, self.pos);
+                for _ in 0..tag_len {
                     self.bump();
                 }
-                return Ok(TokenKind::StringLit(body));
+                return Ok(TokenKind::StringLit(Cow::Borrowed(body)));
             }
             self.bump();
         }
@@ -385,11 +502,11 @@ fn unescape(b: u8) -> char {
 mod tests {
     use super::*;
 
-    fn lex(s: &str) -> Vec<TokenKind> {
+    fn lex(s: &str) -> Vec<TokenKind<'_>> {
         Lexer::new(s, Dialect::MySql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
     }
 
-    fn lex_pg(s: &str) -> Vec<TokenKind> {
+    fn lex_pg(s: &str) -> Vec<TokenKind<'_>> {
         Lexer::new(s, Dialect::Postgres)
             .tokenize()
             .unwrap()
@@ -404,12 +521,12 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                TokenKind::Word("CREATE".into()),
-                TokenKind::Word("TABLE".into()),
-                TokenKind::Word("t".into()),
+                TokenKind::Word("CREATE"),
+                TokenKind::Word("TABLE"),
+                TokenKind::Word("t"),
                 TokenKind::LParen,
-                TokenKind::Word("id".into()),
-                TokenKind::Word("INT".into()),
+                TokenKind::Word("id"),
+                TokenKind::Word("INT"),
                 TokenKind::RParen,
                 TokenKind::Semicolon,
                 TokenKind::Eof,
@@ -463,14 +580,70 @@ mod tests {
     }
 
     #[test]
+    fn clean_literals_borrow_from_the_source() {
+        let src = "'plain' `name` \"Quoted\" $$body$$";
+        let toks = Lexer::new(src, Dialect::Postgres).tokenize().unwrap();
+        for t in &toks {
+            match &t.kind {
+                TokenKind::StringLit(c) | TokenKind::QuotedIdent(c) => {
+                    assert!(matches!(c, Cow::Borrowed(_)), "{:?} should borrow", t.kind);
+                }
+                _ => {}
+            }
+        }
+        // Escaped forms must rebuild (owned) with identical content.
+        let toks = lex("'it''s'");
+        assert!(matches!(&toks[0], TokenKind::StringLit(Cow::Owned(s)) if s == "it's"));
+    }
+
+    #[test]
+    fn non_ascii_literal_bytes_keep_latin1_recovery() {
+        // Byte-wise recovery of non-ASCII literal content predates the
+        // zero-copy lexer; the rebuilt value must match it byte for byte.
+        let toks = lex("'café'");
+        let TokenKind::StringLit(s) = &toks[0] else { panic!("{toks:?}") };
+        let expected: String = "café".bytes().map(|b| b as char).collect();
+        assert!(matches!(s, Cow::Owned(_)));
+        assert_eq!(s.as_ref(), expected);
+    }
+
+    #[test]
+    fn streaming_matches_eager_tokenize() {
+        let src = "CREATE TABLE `t` (a INT DEFAULT 'x''y', b DECIMAL(10,2)); -- c\n$$q$$";
+        let eager = Lexer::new(src, Dialect::Postgres).tokenize().unwrap();
+        let mut lexer = Lexer::new(src, Dialect::Postgres);
+        let mut streamed = Vec::new();
+        loop {
+            let t = lexer.next_token().unwrap();
+            let eof = t.kind == TokenKind::Eof;
+            streamed.push(t);
+            if eof {
+                break;
+            }
+        }
+        assert_eq!(eager, streamed);
+    }
+
+    #[test]
+    fn owned_tokens_mirror_borrowed_tokens() {
+        let src = "CREATE TABLE t (a INT, b VARCHAR(9) DEFAULT 'it''s');";
+        let borrowed = Lexer::new(src, Dialect::MySql).tokenize().unwrap();
+        let owned = Lexer::new(src, Dialect::MySql).tokenize_owned().unwrap();
+        assert_eq!(borrowed.len(), owned.len());
+        for (b, o) in borrowed.iter().zip(&owned) {
+            assert_eq!(*b, o.view());
+        }
+    }
+
+    #[test]
     fn line_comments() {
         let toks = lex("a -- comment to end\nb # another\nc");
         assert_eq!(
             toks,
             vec![
-                TokenKind::Word("a".into()),
-                TokenKind::Word("b".into()),
-                TokenKind::Word("c".into()),
+                TokenKind::Word("a"),
+                TokenKind::Word("b"),
+                TokenKind::Word("c"),
                 TokenKind::Eof,
             ]
         );
@@ -480,16 +653,13 @@ mod tests {
     fn hash_is_not_comment_in_postgres() {
         // Postgres has no # comments; '#' lexes as an operator.
         let toks = lex_pg("a # b");
-        assert!(toks.contains(&TokenKind::Op("#".into())) || toks.len() == 4);
+        assert!(toks.contains(&TokenKind::Op("#")) || toks.len() == 4);
     }
 
     #[test]
     fn block_comments_including_executable() {
         let toks = lex("/* plain */ a /*!40101 SET x=1 */ b");
-        assert_eq!(
-            toks,
-            vec![TokenKind::Word("a".into()), TokenKind::Word("b".into()), TokenKind::Eof,]
-        );
+        assert_eq!(toks, vec![TokenKind::Word("a"), TokenKind::Word("b"), TokenKind::Eof,]);
     }
 
     #[test]
@@ -510,11 +680,11 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                TokenKind::Number("1".into()),
-                TokenKind::Number("2.5".into()),
-                TokenKind::Number("10e3".into()),
-                TokenKind::Number("1.5E-2".into()),
-                TokenKind::Number(".5".into()),
+                TokenKind::Number("1"),
+                TokenKind::Number("2.5"),
+                TokenKind::Number("10e3"),
+                TokenKind::Number("1.5E-2"),
+                TokenKind::Number(".5"),
                 TokenKind::Eof,
             ]
         );
@@ -526,7 +696,7 @@ mod tests {
         let toks = lex("10END");
         assert_eq!(
             toks,
-            vec![TokenKind::Number("10".into()), TokenKind::Word("END".into()), TokenKind::Eof,]
+            vec![TokenKind::Number("10"), TokenKind::Word("END"), TokenKind::Eof,]
         );
     }
 
@@ -554,9 +724,9 @@ mod tests {
     fn operators_and_eq() {
         let toks = lex("a = b <> c <= d :: e");
         assert!(toks.contains(&TokenKind::Eq));
-        assert!(toks.contains(&TokenKind::Op("<>".into())));
-        assert!(toks.contains(&TokenKind::Op("<=".into())));
-        assert!(toks.contains(&TokenKind::Op("::".into())));
+        assert!(toks.contains(&TokenKind::Op("<>")));
+        assert!(toks.contains(&TokenKind::Op("<=")));
+        assert!(toks.contains(&TokenKind::Op("::")));
     }
 
     #[test]
@@ -565,9 +735,9 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                TokenKind::Word("public".into()),
+                TokenKind::Word("public"),
                 TokenKind::Dot,
-                TokenKind::Word("users".into()),
+                TokenKind::Word("users"),
                 TokenKind::Eof,
             ]
         );

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod dialect;
 pub mod error;
 pub mod fingerprint;
+pub mod intern;
 pub mod lexer;
 pub mod model;
 pub mod parser;
@@ -50,10 +51,14 @@ pub use cache::ParseCache;
 pub use dialect::Dialect;
 pub use error::{ParseError, ParseErrorKind, Result};
 pub use fingerprint::Fingerprint;
+pub use intern::{Ident, Interner, Symbol};
 pub use lexer::Lexer;
 pub use model::{
     Column, ForeignKey, IndexDef, Schema, SchemaSeal, SqlType, Table, TableConstraint,
     TableSeal,
 };
-pub use parser::{parse_schema, parse_statements, Parser, Statement};
+pub use parser::{
+    parse_schema, parse_schema_interned, parse_schema_legacy, parse_statements, Parser,
+    Statement,
+};
 pub use printer::print_schema;

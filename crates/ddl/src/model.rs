@@ -5,21 +5,33 @@
 //! declaration order (order changes are not evolution events in the paper,
 //! but the printer preserves them); lookups are case-insensitive, matching
 //! SQL's treatment of unquoted identifiers.
+//!
+//! Every name is an [`Ident`]: original spelling plus a precomputed
+//! case-folded key, and — when the parse went through an [`Interner`]
+//! (see [`crate::parse_schema_interned`]) — a [`Symbol`] so two schemas
+//! parsed through the same interner can compare names as integers.
+//!
+//! [`Interner`]: crate::intern::Interner
 
 use crate::fingerprint::{self, Fingerprint};
+use crate::intern::{Ident, Symbol};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A parsed SQL data type: base name plus optional parameters, e.g.
 /// `VARCHAR(255)`, `DECIMAL(10,2)`, `INT`, `ENUM('a','b')`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SqlType {
     /// Uppercased base type name, possibly multi-word (`DOUBLE PRECISION`).
-    pub name: String,
+    pub name: Ident,
     /// Raw parameter list text items, e.g. `["255"]`, `["10", "2"]`,
-    /// `["'a'", "'b'"]` for enums.
-    pub params: Vec<String>,
+    /// `["'a'", "'b'"]` for enums. Interned: the handful of distinct
+    /// parameter spellings a project uses (`10`, `2`, `255`, …) are shared
+    /// `Arc<str>`s, so re-parsing a parameterized column allocates nothing
+    /// for its parameters on a warm interner.
+    pub params: Vec<Ident>,
     /// Trailing modifiers that are part of the type in MySQL
     /// (`UNSIGNED`, `ZEROFILL`) — uppercased.
     pub modifiers: Vec<String>,
@@ -28,14 +40,18 @@ pub struct SqlType {
 impl SqlType {
     /// A parameterless type.
     pub fn simple(name: &str) -> Self {
-        Self { name: name.to_ascii_uppercase(), params: Vec::new(), modifiers: Vec::new() }
+        Self {
+            name: Ident::from(name.to_ascii_uppercase()),
+            params: Vec::new(),
+            modifiers: Vec::new(),
+        }
     }
 
     /// A type with parameters, e.g. `SqlType::with_params("VARCHAR", &["255"])`.
     pub fn with_params(name: &str, params: &[&str]) -> Self {
         Self {
-            name: name.to_ascii_uppercase(),
-            params: params.iter().map(|s| s.to_string()).collect(),
+            name: Ident::from(name.to_ascii_uppercase()),
+            params: params.iter().map(|s| Ident::new(s)).collect(),
             modifiers: Vec::new(),
         }
     }
@@ -65,7 +81,7 @@ impl fmt::Display for SqlType {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Column {
     /// Name as written (original case preserved).
-    pub name: String,
+    pub name: Ident,
     /// The declared SQL data type.
     pub sql_type: SqlType,
     /// The nullable.
@@ -85,9 +101,9 @@ pub struct Column {
 
 impl Column {
     /// A nullable column of the given type with no constraints.
-    pub fn new(name: &str, sql_type: SqlType) -> Self {
+    pub fn new(name: impl Into<Ident>, sql_type: SqlType) -> Self {
         Self {
-            name: name.to_string(),
+            name: name.into(),
             sql_type,
             nullable: true,
             default: None,
@@ -98,9 +114,10 @@ impl Column {
         }
     }
 
-    /// Case-insensitive name comparison key.
-    pub fn key(&self) -> String {
-        self.name.to_ascii_lowercase()
+    /// Case-insensitive name comparison key. Precomputed at [`Ident`]
+    /// construction — this borrows; it never allocates.
+    pub fn key(&self) -> &str {
+        self.name.key()
     }
 }
 
@@ -110,16 +127,16 @@ pub enum TableConstraint {
     /// A table-level `PRIMARY KEY` constraint.
     PrimaryKey {
         /// The object name.
-        name: Option<String>,
+        name: Option<Ident>,
         /// The column names.
-        columns: Vec<String>,
+        columns: Vec<Ident>,
     },
     /// A `UNIQUE` constraint.
     Unique {
         /// The object name.
-        name: Option<String>,
+        name: Option<Ident>,
         /// The column names.
-        columns: Vec<String>,
+        columns: Vec<Ident>,
     },
     /// A `FOREIGN KEY` reference.
     ForeignKey(ForeignKey),
@@ -127,7 +144,7 @@ pub enum TableConstraint {
     /// The name, as written in the source.
     Check {
         /// The object name.
-        name: Option<String>,
+        name: Option<Ident>,
         /// The expr.
         expr: String,
     },
@@ -137,13 +154,13 @@ pub enum TableConstraint {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ForeignKey {
     /// The name, as written in the source.
-    pub name: Option<String>,
+    pub name: Option<Ident>,
     /// The referenced column names.
-    pub columns: Vec<String>,
+    pub columns: Vec<Ident>,
     /// The foreign table.
-    pub foreign_table: String,
+    pub foreign_table: Ident,
     /// The foreign columns.
-    pub foreign_columns: Vec<String>,
+    pub foreign_columns: Vec<Ident>,
     /// Raw text of ON DELETE / ON UPDATE actions, if any.
     pub actions: Vec<String>,
 }
@@ -152,40 +169,170 @@ pub struct ForeignKey {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IndexDef {
     /// The name, as written in the source.
-    pub name: Option<String>,
+    pub name: Option<Ident>,
     /// The referenced column names.
-    pub columns: Vec<String>,
+    pub columns: Vec<Ident>,
     /// The unique.
     pub unique: bool,
 }
 
+/// Sort `(symbol, declaration index)` pairs so a binary search can resolve a
+/// symbol to the *last* declaration carrying it (matching folded-key maps).
+fn build_sym_index(syms: impl ExactSizeIterator<Item = u32>) -> Vec<(u32, usize)> {
+    let mut v: Vec<(u32, usize)> = syms.enumerate().map(|(i, s)| (s, i)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Last declaration index carrying `sym`, if any.
+fn sym_lookup(v: &[(u32, usize)], sym: u32) -> Option<usize> {
+    let end = v.partition_point(|&(s, _)| s <= sym);
+    if end > 0 && v[end - 1].0 == sym {
+        Some(v[end - 1].1)
+    } else {
+        None
+    }
+}
+
+/// The shared interner id of a sequence of idents: nonzero only when every
+/// ident was interned and all by the same interner. `empty_default` is used
+/// for an empty sequence.
+fn common_iid<'a>(mut idents: impl Iterator<Item = &'a Ident>, empty_default: u32) -> u32 {
+    match idents.next() {
+        None => empty_default,
+        Some(first) => {
+            let iid = first.interner_id();
+            if iid != 0 && idents.all(|i| i.interner_id() == iid) {
+                iid
+            } else {
+                0
+            }
+        }
+    }
+}
+
 /// Parse-time cache of a table's derived lookup data: its case-folded name
-/// key, the folded key of every column (declaration order), a key → index
-/// map, and the table's structural [`Fingerprint`].
+/// key, the folded key and [`Symbol`] of every column (declaration order),
+/// key → index and symbol → index maps, the resolved primary key, and the
+/// table's structural [`Fingerprint`].
 ///
 /// Seals are *derived* state — they never serialize, never participate in
 /// equality, and are dropped by every `&mut` accessor so they can only
 /// describe the current structure. A hand-built or deserialized table simply
 /// has no seal; all consumers fall back to computing the same data on the
 /// fly.
+///
+/// The folded keys are `Arc<str>` clones of the idents' own folded text, so
+/// sealing bumps refcounts instead of copying strings.
 #[derive(Debug, Clone)]
 pub struct TableSeal {
-    key: String,
-    folded: Vec<String>,
-    by_key: BTreeMap<String, usize>,
+    key: Arc<str>,
+    /// `(folded key, symbol)` of every column, declaration order. One vector
+    /// instead of two parallel ones: sealing a table costs a fixed, small
+    /// number of allocations, and this is on the per-version cold path.
+    cols: Vec<(Arc<str>, u32)>,
+    by_key: BTreeMap<Arc<str>, usize>,
+    by_sym: Vec<(u32, usize)>,
+    /// Shared interner id of all column names (0 = mixed or uninterned;
+    /// symbol comparisons are only meaningful when both sides share a
+    /// nonzero id).
+    iid: u32,
+    pk: PkSeal,
     fingerprint: Fingerprint,
+}
+
+/// The resolved effective primary key of a sealed table, in one of two
+/// representations — never both, so the common case allocates one vector.
+#[derive(Debug, Clone)]
+enum PkSeal {
+    /// Every pk name resolved to a declared column and the seal's interner
+    /// id is nonzero: stored as symbols. The diff fast path borrows this
+    /// slice directly; folded keys are recovered through `by_sym` on demand.
+    Syms(Vec<u32>),
+    /// Fallback with string semantics: folded keys (uninterned or
+    /// mixed-interner tables, or a PK naming a column never declared).
+    Keys(Vec<Arc<str>>),
 }
 
 impl TableSeal {
     fn build(table: &Table) -> Self {
-        let folded: Vec<String> = table.columns.iter().map(|c| c.key()).collect();
+        let cols: Vec<(Arc<str>, u32)> =
+            table.columns.iter().map(|c| (c.name.key_arc(), c.name.symbol().0)).collect();
+        let iid = common_iid(table.columns.iter().map(|c| &c.name), table.name.interner_id());
         // Duplicate keys: last declaration wins, matching the `collect()`
         // semantics of the map the diff core used to rebuild per call.
-        let by_key = folded.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+        let by_key: BTreeMap<Arc<str>, usize> =
+            cols.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
+        let by_sym = build_sym_index(cols.iter().map(|&(_, s)| s));
+        // Resolve the effective primary key directly against the folded keys
+        // instead of materializing [`Table::primary_key`]'s `Vec<String>`:
+        // same order and dedup semantics (inline flags first, then table
+        // constraints, constraint keys deduped against what's already there),
+        // but the common case allocates one vector of symbols. Within one
+        // nonzero interner id two names fold equal exactly when their
+        // symbols are equal, so the symbol form loses no information; the
+        // first unresolved name (or an uninterned table) downgrades to keys.
+        let mut pk = if iid != 0 { PkSeal::Syms(Vec::new()) } else { PkSeal::Keys(Vec::new()) };
+        for (i, c) in table.columns.iter().enumerate() {
+            if c.inline_primary_key {
+                match &mut pk {
+                    PkSeal::Syms(v) => v.push(cols[i].1),
+                    PkSeal::Keys(v) => v.push(cols[i].0.clone()),
+                }
+            }
+        }
+        for constraint in &table.constraints {
+            let TableConstraint::PrimaryKey { columns, .. } = constraint else {
+                continue;
+            };
+            for col in columns {
+                let k = col.key();
+                let resolved = by_key.get(k).copied();
+                let dup = match (&pk, resolved) {
+                    // Every pushed symbol came from a declared column, so an
+                    // unresolved key cannot duplicate one.
+                    (PkSeal::Syms(v), Some(i)) => v.contains(&cols[i].1),
+                    (PkSeal::Syms(_), None) => false,
+                    (PkSeal::Keys(v), _) => v.iter().any(|p| &**p == k),
+                };
+                if dup {
+                    continue;
+                }
+                match resolved {
+                    Some(i) => match &mut pk {
+                        PkSeal::Syms(v) => v.push(cols[i].1),
+                        PkSeal::Keys(v) => v.push(cols[i].0.clone()),
+                    },
+                    None => {
+                        // PK references a column the table does not declare
+                        // (tolerated by the model): no symbol to compare by,
+                        // so the whole pk downgrades to string semantics.
+                        if let PkSeal::Syms(syms) = &pk {
+                            let keys = syms
+                                .iter()
+                                .map(|&s| {
+                                    let i = sym_lookup(&by_sym, s)
+                                        .expect("pk symbol sealed from a declared column");
+                                    cols[i].0.clone()
+                                })
+                                .collect();
+                            pk = PkSeal::Keys(keys);
+                        }
+                        match &mut pk {
+                            PkSeal::Keys(v) => v.push(Arc::from(k)),
+                            PkSeal::Syms(_) => unreachable!("downgraded above"),
+                        }
+                    }
+                }
+            }
+        }
         Self {
-            key: table.name.to_ascii_lowercase(),
-            folded,
+            key: table.name.key_arc(),
+            cols,
             by_key,
+            by_sym,
+            iid,
+            pk,
             fingerprint: fingerprint::of_table(table),
         }
     }
@@ -197,7 +344,13 @@ impl TableSeal {
 
     /// The case-folded key of column `i` (declaration order).
     pub fn column_key(&self, i: usize) -> &str {
-        &self.folded[i]
+        &self.cols[i].0
+    }
+
+    /// The symbol of column `i` (declaration order). Only meaningful when
+    /// [`interner_id`](Self::interner_id) is nonzero.
+    pub fn column_sym(&self, i: usize) -> Symbol {
+        Symbol(self.cols[i].1)
     }
 
     /// Index of the column with the given folded key (last declaration wins
@@ -206,14 +359,65 @@ impl TableSeal {
         self.by_key.get(key).copied()
     }
 
+    /// Index of the column with the given symbol (last declaration wins on
+    /// duplicates). Only meaningful when the caller verified both sides
+    /// share this seal's nonzero [`interner_id`](Self::interner_id).
+    pub fn column_index_by_sym(&self, sym: Symbol) -> Option<usize> {
+        sym_lookup(&self.by_sym, sym.0)
+    }
+
+    /// Shared interner id of all column-name idents; 0 when the columns are
+    /// uninterned or mixed across interners (then symbol lookups must not
+    /// be used).
+    pub fn interner_id(&self) -> u32 {
+        self.iid
+    }
+
+    /// Number of columns in the effective primary key.
+    pub fn pk_len(&self) -> usize {
+        match &self.pk {
+            PkSeal::Syms(v) => v.len(),
+            PkSeal::Keys(v) => v.len(),
+        }
+    }
+
+    /// The case-folded key of primary-key column `j` (pk order, deduped) —
+    /// the precomputed equivalent of indexing [`Table::primary_key`],
+    /// borrowing instead of allocating.
+    pub fn pk_key(&self, j: usize) -> &str {
+        match &self.pk {
+            PkSeal::Syms(v) => {
+                let i = sym_lookup(&self.by_sym, v[j])
+                    .expect("pk symbol sealed from a declared column");
+                &self.cols[i].0
+            }
+            PkSeal::Keys(v) => &v[j],
+        }
+    }
+
+    /// The effective primary-key column keys (lowercased, deduped, in
+    /// order).
+    pub fn pk_keys(&self) -> impl ExactSizeIterator<Item = &str> {
+        (0..self.pk_len()).map(|j| self.pk_key(j))
+    }
+
+    /// Symbols of the primary-key columns, present only when every pk name
+    /// resolved to a declared column and the seal's interner id is nonzero.
+    pub fn pk_syms(&self) -> Option<&[u32]> {
+        match &self.pk {
+            PkSeal::Syms(v) => Some(v),
+            PkSeal::Keys(_) => None,
+        }
+    }
+
     /// Number of columns covered by the seal.
     pub fn len(&self) -> usize {
-        self.folded.len()
+        self.cols.len()
     }
 
     /// True when the sealed table has no columns.
     pub fn is_empty(&self) -> bool {
-        self.folded.is_empty()
+        self.cols.is_empty()
     }
 
     /// The table's structural fingerprint.
@@ -222,12 +426,15 @@ impl TableSeal {
     }
 }
 
-/// Parse-time cache of a schema's derived lookup data: a case-folded
-/// table-key → index map and the schema's structural [`Fingerprint`].
-/// Same lifecycle rules as [`TableSeal`].
+/// Parse-time cache of a schema's derived lookup data: case-folded
+/// table-key → index and symbol → index maps and the schema's structural
+/// [`Fingerprint`]. Same lifecycle rules as [`TableSeal`].
 #[derive(Debug, Clone)]
 pub struct SchemaSeal {
-    by_key: BTreeMap<String, usize>,
+    by_key: BTreeMap<Arc<str>, usize>,
+    by_sym: Vec<(u32, usize)>,
+    /// Shared interner id of all table-name idents (0 = mixed/uninterned).
+    iid: u32,
     fingerprint: Fingerprint,
 }
 
@@ -238,8 +445,10 @@ impl SchemaSeal {
                 .tables
                 .iter()
                 .enumerate()
-                .map(|(i, t)| (t.name.to_ascii_lowercase(), i))
+                .map(|(i, t)| (t.name.key_arc(), i))
                 .collect(),
+            by_sym: build_sym_index(schema.tables.iter().map(|t| t.name.symbol().0)),
+            iid: common_iid(schema.tables.iter().map(|t| &t.name), 0),
             fingerprint: fingerprint::of_schema(schema),
         }
     }
@@ -248,6 +457,19 @@ impl SchemaSeal {
     /// on duplicates).
     pub fn table_index(&self, key: &str) -> Option<usize> {
         self.by_key.get(key).copied()
+    }
+
+    /// Index of the table with the given symbol (last declaration wins on
+    /// duplicates). Only meaningful when the caller verified both sides
+    /// share this seal's nonzero [`interner_id`](Self::interner_id).
+    pub fn table_index_by_sym(&self, sym: Symbol) -> Option<usize> {
+        sym_lookup(&self.by_sym, sym.0)
+    }
+
+    /// Shared interner id of all table-name idents; 0 when the tables are
+    /// uninterned or mixed across interners.
+    pub fn interner_id(&self) -> u32 {
+        self.iid
     }
 
     /// The schema's structural fingerprint.
@@ -292,7 +514,7 @@ impl Deserialize for SchemaSeal {
 pub struct Table {
     /// Name as written (original case preserved); schema-qualified prefixes
     /// (`public.`) are stripped at parse time.
-    pub name: String,
+    pub name: Ident,
     /// The referenced column names.
     pub columns: Vec<Column>,
     /// The constraints.
@@ -315,9 +537,9 @@ impl PartialEq for Table {
 
 impl Table {
     /// Construct a new instance.
-    pub fn new(name: &str) -> Self {
+    pub fn new(name: impl Into<Ident>) -> Self {
         Self {
-            name: name.to_string(),
+            name: name.into(),
             columns: Vec::new(),
             constraints: Vec::new(),
             indexes: Vec::new(),
@@ -325,9 +547,10 @@ impl Table {
         }
     }
 
-    /// Case-insensitive name comparison key.
-    pub fn key(&self) -> String {
-        self.name.to_ascii_lowercase()
+    /// Case-insensitive name comparison key. Precomputed at [`Ident`]
+    /// construction — this borrows; it never allocates.
+    pub fn key(&self) -> &str {
+        self.name.key()
     }
 
     /// Look up a column case-insensitively.
@@ -371,14 +594,18 @@ impl Table {
     /// The effective primary-key column names (lowercased), merging inline
     /// `PRIMARY KEY` column flags and table-level PRIMARY KEY constraints.
     pub fn primary_key(&self) -> Vec<String> {
-        let mut pk: Vec<String> =
-            self.columns.iter().filter(|c| c.inline_primary_key).map(|c| c.key()).collect();
+        let mut pk: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| c.inline_primary_key)
+            .map(|c| c.key().to_string())
+            .collect();
         for constraint in &self.constraints {
             if let TableConstraint::PrimaryKey { columns, .. } = constraint {
                 for col in columns {
-                    let k = col.to_ascii_lowercase();
-                    if !pk.contains(&k) {
-                        pk.push(k);
+                    let k = col.key();
+                    if !pk.iter().any(|p| p == k) {
+                        pk.push(k.to_string());
                     }
                 }
             }
@@ -503,6 +730,7 @@ impl Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::Interner;
 
     fn users_table() -> Table {
         let mut t = Table::new("Users");
@@ -647,5 +875,39 @@ mod tests {
             actions: vec![],
         }));
         assert_eq!(t.foreign_keys().count(), 1);
+    }
+
+    #[test]
+    fn sealed_interned_table_exposes_symbols() {
+        let interner = Interner::new();
+        let mut t = Table::new(interner.ident("Users"));
+        t.columns.push(Column::new(interner.ident("Id"), SqlType::simple("INT")));
+        t.columns.push(Column::new(interner.ident("Email"), SqlType::simple("TEXT")));
+        t.columns[0].inline_primary_key = true;
+        t.seal();
+        let seal = t.seal_data().unwrap();
+        assert_eq!(seal.interner_id(), interner.id());
+        assert_eq!(seal.column_index_by_sym(seal.column_sym(1)), Some(1));
+        assert_eq!(seal.pk_len(), 1);
+        assert_eq!(seal.pk_key(0), "id");
+        assert_eq!(seal.pk_keys().collect::<Vec<_>>(), ["id"]);
+        assert_eq!(seal.pk_syms().unwrap(), &[seal.column_sym(0).0]);
+    }
+
+    #[test]
+    fn uninterned_seal_has_no_symbol_index() {
+        let mut t = users_table();
+        t.seal();
+        let seal = t.seal_data().unwrap();
+        assert_eq!(seal.interner_id(), 0);
+        assert_eq!(seal.pk_syms(), None);
+    }
+
+    #[test]
+    fn column_key_borrows_precomputed_fold() {
+        let c = Column::new("UserName", SqlType::simple("INT"));
+        assert_eq!(c.key(), "username");
+        // Same pointer every call: the key is precomputed, not rebuilt.
+        assert!(std::ptr::eq(c.key(), c.key()));
     }
 }

@@ -5,12 +5,21 @@
 //! other statement (INSERT/SET/USE/GRANT/…) by consuming tokens up to the
 //! statement terminator. This skip-tolerance is essential: the corpus files
 //! are full database dumps, not curated DDL.
+//!
+//! The parser is *streaming*: it pulls [`Token`]s from the zero-copy
+//! [`Lexer`] on demand through a small lookahead buffer, so the whole token
+//! vector is never materialized. Identifiers become [`Ident`]s, optionally
+//! through a shared [`Interner`] (see [`parse_schema_interned`]) so the diff
+//! hot loop can compare names as integers instead of re-folding strings.
 
 use crate::dialect::Dialect;
 use crate::error::{ParseError, ParseErrorKind, Result};
+use crate::intern::{Ident, Interner};
 use crate::lexer::Lexer;
 use crate::model::{Column, ForeignKey, IndexDef, SqlType, Table, TableConstraint};
-use crate::token::{Token, TokenKind};
+use crate::token::{OwnedToken, Token, TokenKind};
+use std::borrow::Cow;
+use std::collections::VecDeque;
 
 /// One parsed top-level statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,26 +34,26 @@ pub enum Statement {
     /// An `ALTER TABLE` statement.
     AlterTable {
         /// Table name as written.
-        table: String,
+        table: Ident,
         /// The ops.
         ops: Vec<AlterOp>,
     },
     /// A `DROP TABLE` statement.
     DropTable {
         /// The names.
-        names: Vec<String>,
+        names: Vec<Ident>,
         /// The if exists.
         if_exists: bool,
     },
     /// MySQL top-level `RENAME TABLE a TO b[, c TO d]`.
     RenameTable {
         /// The renames.
-        renames: Vec<(String, String)>,
+        renames: Vec<(Ident, Ident)>,
     },
     /// A `CREATE INDEX` statement.
     CreateIndex {
         /// The table name.
-        table: String,
+        table: Ident,
         /// The index.
         index: IndexDef,
     },
@@ -62,14 +71,14 @@ pub enum AlterOp {
     /// Add a column.
     AddColumn(Column),
     /// Drop a column.
-    DropColumn(String),
+    DropColumn(Ident),
     /// MySQL `MODIFY [COLUMN] name <new definition>`.
     ModifyColumn(Column),
     /// MySQL `CHANGE [COLUMN] old new <new definition>` (rename + redefine).
     /// The old name.
     ChangeColumn {
         /// The name before the change.
-        old_name: String,
+        old_name: Ident,
         /// The new definition.
         new: Column,
     },
@@ -77,7 +86,7 @@ pub enum AlterOp {
     /// 1-based source column.
     SetColumnType {
         /// The column name.
-        column: String,
+        column: Ident,
         /// The SQL data type.
         sql_type: SqlType,
     },
@@ -85,7 +94,7 @@ pub enum AlterOp {
     /// 1-based source column.
     SetColumnNotNull {
         /// The column name.
-        column: String,
+        column: Ident,
         /// The not null.
         not_null: bool,
     },
@@ -93,62 +102,152 @@ pub enum AlterOp {
     /// 1-based source column.
     SetColumnDefault {
         /// The column name.
-        column: String,
+        column: Ident,
         /// The default.
         default: Option<String>,
     },
     /// Rename a column.
     RenameColumn {
         /// The name before the change.
-        old_name: String,
+        old_name: Ident,
         /// The name after the change.
-        new_name: String,
+        new_name: Ident,
     },
     /// Rename the table.
     RenameTable {
         /// The name after the change.
-        new_name: String,
+        new_name: Ident,
     },
     /// Add a table-level constraint.
     AddConstraint(TableConstraint),
     /// MySQL `DROP PRIMARY KEY`.
     DropPrimaryKey,
     /// DROP CONSTRAINT / DROP FOREIGN KEY / DROP KEY / DROP INDEX name.
-    DropConstraint(String),
+    DropConstraint(Ident),
     /// Add a secondary index.
     AddIndex(IndexDef),
     /// A clause we tolerate but do not model (ENGINE=, AUTO_INCREMENT=, …).
     Ignored,
 }
 
-/// Parse a full script into statements.
+/// Parse a full script into statements, streaming tokens from the lexer.
 pub fn parse_statements(sql: &str, dialect: Dialect) -> Result<Vec<Statement>> {
-    let tokens = Lexer::new(sql, dialect).tokenize()?;
-    Parser::new(tokens, dialect).parse_script()
+    Parser::streaming(sql, dialect).parse_script()
 }
 
 /// Parse a full script and apply it to an empty schema, yielding the final
 /// logical schema the script defines. The result is *sealed*: its key maps
 /// and structural fingerprints are precomputed (see [`crate::fingerprint`]),
 /// so downstream diffing never re-folds identifiers or rebuilds lookup maps.
+///
+/// Identifiers are interned into a fresh per-call [`Interner`]; to share one
+/// interner across many versions of the same project (so the diff can compare
+/// names as integers), use [`parse_schema_interned`].
 pub fn parse_schema(sql: &str, dialect: Dialect) -> Result<crate::model::Schema> {
-    let stmts = parse_statements(sql, dialect)?;
+    let interner = Interner::new();
+    parse_schema_interned(sql, dialect, &interner)
+}
+
+/// Like [`parse_schema`], but interning every identifier into the caller's
+/// [`Interner`]. Schemas parsed through the same interner carry symbols from
+/// one numbering, which enables the integer-compare fast path in the diff.
+pub fn parse_schema_interned(
+    sql: &str,
+    dialect: Dialect,
+    interner: &Interner,
+) -> Result<crate::model::Schema> {
+    let stmts = Parser::streaming(sql, dialect).with_interner(interner).parse_script()?;
+    let mut schema = crate::apply::apply_statements_owned(stmts)?;
+    schema.seal();
+    Ok(schema)
+}
+
+/// The pre-interning parse path: eagerly tokenize the whole script into
+/// owned tokens (one heap `String` per textual token), then parse without an
+/// interner. Kept as the allocation-faithful baseline for the
+/// allocation-profiling benchmarks and as a differential twin of the
+/// streaming path.
+pub fn parse_schema_legacy(sql: &str, dialect: Dialect) -> Result<crate::model::Schema> {
+    let tokens = Lexer::new(sql, dialect).tokenize_owned()?;
+    let stmts = Parser::from_owned_tokens(&tokens, dialect).parse_script()?;
     let mut schema = crate::apply::apply_statements(&stmts)?;
     schema.seal();
     Ok(schema)
 }
 
-/// The recursive-descent parser over a token buffer.
-pub struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
-    dialect: Dialect,
+/// Where the parser's tokens come from.
+enum Source<'a> {
+    /// Streaming straight from the zero-copy lexer.
+    Lexer(Lexer<'a>),
+    /// Replaying a pre-tokenized owned buffer (legacy path).
+    Owned { toks: &'a [OwnedToken], pos: usize },
+    /// No source: the lookahead buffer already holds every token.
+    Done,
 }
 
-impl Parser {
-    /// Construct a new instance.
-    pub fn new(tokens: Vec<Token>, dialect: Dialect) -> Self {
-        Self { tokens, pos: 0, dialect }
+/// The recursive-descent parser over a streaming token source.
+///
+/// Lifetimes: `'a` is the source text (tokens borrow from it), `'i` is the
+/// optional interner used to build [`Ident`]s.
+pub struct Parser<'a, 'i> {
+    source: Source<'a>,
+    /// Lookahead buffer; `peek_at(n)` fills it to `n + 1` tokens.
+    buf: VecDeque<Token<'a>>,
+    /// Sticky EOF: once the source yields `Eof`, every further pull
+    /// re-yields it (mirrors the old "never advance past the end" buffer).
+    eof: Option<Token<'a>>,
+    /// First lexer error, surfaced by `parse_script` (the streaming parser
+    /// only discovers lex errors when it reaches them, but callers expect
+    /// the tokenize-first behavior where a lex error always wins).
+    lex_err: Option<ParseError>,
+    dialect: Dialect,
+    interner: Option<&'i Interner>,
+}
+
+impl<'a, 'i> Parser<'a, 'i> {
+    /// Construct a parser over an eagerly tokenized buffer. The buffer must
+    /// end with an `Eof` token (as [`Lexer::tokenize`] guarantees).
+    pub fn new(tokens: Vec<Token<'a>>, dialect: Dialect) -> Self {
+        Self {
+            source: Source::Done,
+            buf: tokens.into(),
+            eof: None,
+            lex_err: None,
+            dialect,
+            interner: None,
+        }
+    }
+
+    /// Construct a streaming parser that pulls tokens from the lexer on
+    /// demand and never materializes the whole token vector.
+    pub fn streaming(sql: &'a str, dialect: Dialect) -> Self {
+        Self {
+            source: Source::Lexer(Lexer::new(sql, dialect)),
+            buf: VecDeque::new(),
+            eof: None,
+            lex_err: None,
+            dialect,
+            interner: None,
+        }
+    }
+
+    /// Construct a parser replaying pre-tokenized owned tokens (the legacy
+    /// allocation-profile path).
+    pub fn from_owned_tokens(tokens: &'a [OwnedToken], dialect: Dialect) -> Self {
+        Self {
+            source: Source::Owned { toks: tokens, pos: 0 },
+            buf: VecDeque::new(),
+            eof: None,
+            lex_err: None,
+            dialect,
+            interner: None,
+        }
+    }
+
+    /// Intern every identifier this parser produces into `interner`.
+    pub fn with_interner(mut self, interner: &'i Interner) -> Self {
+        self.interner = Some(interner);
+        self
     }
 
     /// The dialect this parser was constructed for. The lexer already
@@ -162,32 +261,88 @@ impl Parser {
 
     // ---- token-stream helpers -------------------------------------------
 
-    fn peek(&self) -> &TokenKind {
-        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
-    }
-
-    fn peek_token(&self) -> &Token {
-        &self.tokens[self.pos.min(self.tokens.len() - 1)]
-    }
-
-    fn peek_at(&self, offset: usize) -> &TokenKind {
-        let idx = (self.pos + offset).min(self.tokens.len() - 1);
-        &self.tokens[idx].kind
-    }
-
-    fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
-        if self.pos < self.tokens.len() - 1 {
-            self.pos += 1;
+    /// Pull the next token from the source. Lexer errors are stashed and
+    /// turned into a synthetic `Eof` at the error position, so parsing stops
+    /// there and `parse_script` can surface the lex error.
+    fn pull(&mut self) -> Token<'a> {
+        if let Some(t) = &self.eof {
+            return t.clone();
         }
-        kind
+        match &mut self.source {
+            Source::Lexer(lx) => match lx.next_token() {
+                Ok(t) => t,
+                Err(e) => {
+                    let (line, column) = (e.line, e.column);
+                    if self.lex_err.is_none() {
+                        self.lex_err = Some(e);
+                    }
+                    Token { kind: TokenKind::Eof, line, column }
+                }
+            },
+            Source::Owned { toks, pos } => {
+                if *pos < toks.len() {
+                    let t = toks[*pos].view();
+                    *pos += 1;
+                    t
+                } else {
+                    Token { kind: TokenKind::Eof, line: 1, column: 1 }
+                }
+            }
+            Source::Done => Token { kind: TokenKind::Eof, line: 1, column: 1 },
+        }
     }
 
-    fn at_eof(&self) -> bool {
+    /// Ensure the lookahead buffer holds at least `n + 1` tokens. The
+    /// already-buffered case is the overwhelmingly common one (the grammar
+    /// rarely looks past one token), so it stays on the inlined fast path.
+    #[inline]
+    fn fill(&mut self, n: usize) {
+        if self.buf.len() <= n {
+            self.fill_slow(n);
+        }
+    }
+
+    fn fill_slow(&mut self, n: usize) {
+        while self.buf.len() <= n {
+            let t = self.pull();
+            if matches!(t.kind, TokenKind::Eof) && self.eof.is_none() {
+                self.eof = Some(t.clone());
+            }
+            self.buf.push_back(t);
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> &TokenKind<'a> {
+        self.fill(0);
+        &self.buf[0].kind
+    }
+
+    fn peek_token(&mut self) -> &Token<'a> {
+        self.fill(0);
+        &self.buf[0]
+    }
+
+    #[inline]
+    fn peek_at(&mut self, offset: usize) -> &TokenKind<'a> {
+        self.fill(offset);
+        &self.buf[offset].kind
+    }
+
+    #[inline]
+    fn advance(&mut self) -> TokenKind<'a> {
+        self.fill(0);
+        if matches!(self.buf[0].kind, TokenKind::Eof) {
+            return TokenKind::Eof;
+        }
+        self.buf.pop_front().expect("buffer filled").kind
+    }
+
+    fn at_eof(&mut self) -> bool {
         matches!(self.peek(), TokenKind::Eof)
     }
 
-    fn err_here(&self, expected: &str) -> ParseError {
+    fn err_here(&mut self, expected: &str) -> ParseError {
         let t = self.peek_token();
         ParseError::new(
             ParseErrorKind::UnexpectedToken {
@@ -197,6 +352,24 @@ impl Parser {
             t.line,
             t.column,
         )
+    }
+
+    /// Build an [`Ident`] for `text`, interning it when an interner is set.
+    fn make_ident(&self, text: &str) -> Ident {
+        match self.interner {
+            Some(i) => i.ident(text),
+            None => Ident::new(text),
+        }
+    }
+
+    /// The identifier under the cursor, if the current token can be one.
+    /// Does not advance.
+    fn ident_here(&mut self) -> Option<Ident> {
+        let interner = self.interner;
+        self.peek().ident_text().map(|t| match interner {
+            Some(i) => i.ident(t),
+            None => Ident::new(t),
+        })
     }
 
     /// Consume a bare keyword if present; returns whether it was consumed.
@@ -230,7 +403,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+    fn expect(&mut self, kind: &TokenKind<'a>, what: &str) -> Result<()> {
         if self.peek() == kind {
             self.advance();
             Ok(())
@@ -241,18 +414,17 @@ impl Parser {
 
     /// Parse an identifier (word or quoted), stripping schema qualification
     /// (`db.table` → `table`).
-    fn ident(&mut self) -> Result<String> {
-        let first = match self.peek().ident_text() {
-            Some(t) => t.to_string(),
+    fn ident(&mut self) -> Result<Ident> {
+        let mut name = match self.ident_here() {
+            Some(id) => id,
             None => return Err(self.err_here("identifier")),
         };
         self.advance();
-        let mut name = first;
         while matches!(self.peek(), TokenKind::Dot) {
             self.advance();
-            match self.peek().ident_text() {
-                Some(t) => {
-                    name = t.to_string();
+            match self.ident_here() {
+                Some(id) => {
+                    name = id;
                     self.advance();
                 }
                 None => return Err(self.err_here("identifier after '.'")),
@@ -352,16 +524,26 @@ impl Parser {
 
     /// Parse every statement in the script.
     pub fn parse_script(&mut self) -> Result<Vec<Statement>> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(16);
         loop {
             // Tolerate stray semicolons between statements.
             while matches!(self.peek(), TokenKind::Semicolon) {
                 self.advance();
             }
             if self.at_eof() {
+                // A lexer error truncated the stream: surface it, like the
+                // tokenize-first path would have before parsing began.
+                if let Some(e) = self.lex_err.take() {
+                    return Err(e);
+                }
                 return Ok(out);
             }
-            out.push(self.statement()?);
+            match self.statement() {
+                Ok(s) => out.push(s),
+                // Prefer the lexer's own error over the parse error its
+                // synthetic EOF provoked.
+                Err(e) => return Err(self.lex_err.take().unwrap_or(e)),
+            }
         }
     }
 
@@ -385,25 +567,38 @@ impl Parser {
     }
 
     fn create_statement(&mut self) -> Result<Statement> {
-        // We sit on CREATE. Look ahead for what is being created.
+        // We sit on CREATE. Look ahead for what is being created. The
+        // comparisons are case-insensitive in place — this runs once per
+        // CREATE statement and must not allocate on the TABLE/INDEX path.
+        const MODIFIERS: &[&str] = &[
+            "TEMPORARY",
+            "TEMP",
+            "UNIQUE",
+            "FULLTEXT",
+            "SPATIAL",
+            "OR",
+            "REPLACE",
+            "UNLOGGED",
+            "GLOBAL",
+            "LOCAL",
+        ];
         let mut i = 1;
         // Modifiers that may precede the object keyword.
-        while matches!(self.peek_at(i).ident_text(), Some(w) if matches!(
-            w.to_ascii_uppercase().as_str(),
-            "TEMPORARY" | "TEMP" | "UNIQUE" | "FULLTEXT" | "SPATIAL" | "OR" | "REPLACE"
-                | "UNLOGGED" | "GLOBAL" | "LOCAL"
-        )) {
+        while matches!(self.peek_at(i).ident_text(), Some(w) if MODIFIERS
+            .iter()
+            .any(|m| w.eq_ignore_ascii_case(m)))
+        {
             i += 1;
         }
-        let object =
-            self.peek_at(i).ident_text().map(|w| w.to_ascii_uppercase()).unwrap_or_default();
-        match object.as_str() {
-            "TABLE" => self.create_table(),
-            "INDEX" => self.create_index(),
-            _ => {
-                self.skip_to_semicolon();
-                Ok(Statement::Skipped { leading: format!("CREATE {object}") })
-            }
+        let object = self.peek_at(i).ident_text();
+        if object.is_some_and(|w| w.eq_ignore_ascii_case("TABLE")) {
+            self.create_table()
+        } else if object.is_some_and(|w| w.eq_ignore_ascii_case("INDEX")) {
+            self.create_index()
+        } else {
+            let object = object.map(str::to_ascii_uppercase).unwrap_or_default();
+            self.skip_to_semicolon();
+            Ok(Statement::Skipped { leading: format!("CREATE {object}") })
         }
     }
 
@@ -413,7 +608,7 @@ impl Parser {
         self.expect_kw("TABLE")?;
         let if_not_exists = self.eat_kws(&["IF", "NOT", "EXISTS"]);
         let name = self.ident()?;
-        let mut table = Table::new(&name);
+        let mut table = Table::new(name);
 
         // `CREATE TABLE t LIKE other;` or `AS SELECT`: skip, no columns known.
         if !matches!(self.peek(), TokenKind::LParen) {
@@ -422,6 +617,9 @@ impl Parser {
         }
 
         self.advance(); // '('
+                        // One up-front reservation instead of doubling through 4/8/16 as
+                        // elements stream in; real tables cluster under a dozen columns.
+        table.columns.reserve(12);
         loop {
             self.table_element(&mut table)?;
             match self.peek() {
@@ -488,7 +686,7 @@ impl Parser {
         Ok(())
     }
 
-    fn peek_constraint_kind(&self) -> bool {
+    fn peek_constraint_kind(&mut self) -> bool {
         (self.peek().is_keyword("PRIMARY") && self.peek_at(1).is_keyword("KEY"))
             || (self.peek().is_keyword("FOREIGN") && self.peek_at(1).is_keyword("KEY"))
             || (self.peek().is_keyword("UNIQUE")
@@ -496,7 +694,7 @@ impl Parser {
             || self.peek().is_keyword("CHECK")
     }
 
-    fn table_constraint(&mut self, name: Option<String>) -> Result<TableConstraint> {
+    fn table_constraint(&mut self, name: Option<Ident>) -> Result<TableConstraint> {
         if self.eat_kws(&["PRIMARY", "KEY"]) {
             // MySQL allows an index type: PRIMARY KEY USING BTREE (…)
             self.maybe_using_clause();
@@ -574,7 +772,7 @@ impl Parser {
     /// `(col [(len)] [ASC|DESC], …)` — index/key column lists, lengths and
     /// directions discarded. Also tolerates functional index entries by
     /// skipping balanced parens.
-    fn paren_column_list(&mut self) -> Result<Vec<String>> {
+    fn paren_column_list(&mut self) -> Result<Vec<Ident>> {
         self.expect(&TokenKind::LParen, "'('")?;
         let mut cols = Vec::new();
         loop {
@@ -599,15 +797,14 @@ impl Parser {
                     ));
                 }
                 _ => {
-                    if let Some(t) = self.peek().ident_text() {
-                        let t = t.to_string();
+                    if let Some(id) = self.ident_here() {
                         self.advance();
                         // Optional prefix length `(10)` or ASC/DESC.
                         if matches!(self.peek(), TokenKind::LParen) {
                             self.skip_parens()?;
                         }
                         let _ = self.eat_kw("ASC") || self.eat_kw("DESC");
-                        cols.push(t);
+                        cols.push(id);
                     } else {
                         self.advance(); // tolerate exotic tokens
                     }
@@ -629,18 +826,17 @@ impl Parser {
                 // Action: CASCADE | RESTRICT | SET NULL | SET DEFAULT | NO ACTION
                 while let Some(w) = self.peek().ident_text() {
                     let up = w.to_ascii_uppercase();
-                    if matches!(
+                    if !matches!(
                         up.as_str(),
                         "CASCADE" | "RESTRICT" | "SET" | "NULL" | "DEFAULT" | "NO" | "ACTION"
                     ) {
-                        if !action.is_empty() {
-                            action.push(' ');
-                        }
-                        action.push_str(&up);
-                        self.advance();
-                    } else {
                         break;
                     }
+                    if !action.is_empty() {
+                        action.push(' ');
+                    }
+                    action.push_str(&up);
+                    self.advance();
                 }
                 actions.push(format!("ON {which} {action}"));
             } else if self.eat_kw("DEFERRABLE")
@@ -663,7 +859,7 @@ impl Parser {
     fn column_def(&mut self, table: &mut Table) -> Result<Column> {
         let name = self.ident()?;
         let (sql_type, serial_auto) = self.sql_type()?;
-        let mut col = Column::new(&name, sql_type);
+        let mut col = Column::new(name, sql_type);
         col.auto_increment = serial_auto;
         if serial_auto {
             col.nullable = false; // SERIAL implies NOT NULL
@@ -675,36 +871,41 @@ impl Parser {
     /// Parse a data type. Returns the type and whether it was a SERIAL
     /// pseudo-type (implying auto-increment).
     fn sql_type(&mut self) -> Result<(SqlType, bool)> {
-        let first = match self.peek().ident_text() {
-            Some(t) => t.to_ascii_uppercase(),
-            None => return Err(self.err_here("data type")),
+        if self.peek().ident_text().is_none() {
+            return Err(self.err_here("data type"));
+        }
+        let first_tok = self.advance();
+        let raw = first_tok.ident_text().expect("checked ident token");
+        // Already-uppercase names (the canonical form every dump printed by
+        // this workspace carries) are borrowed straight from the source
+        // text; only mixed-case input pays for a case-folded copy.
+        let mut name: Cow<'_, str> = if raw.bytes().any(|b| b.is_ascii_lowercase()) {
+            Cow::Owned(raw.to_ascii_uppercase())
+        } else {
+            Cow::Borrowed(raw)
         };
-        self.advance();
 
-        // Multi-word types.
-        let mut name = first.clone();
-        match first.as_str() {
-            "DOUBLE" if self.eat_kw("PRECISION") => name = "DOUBLE PRECISION".into(),
-            "CHARACTER" | "CHAR" | "NATIONAL" => {
-                if self.eat_kw("VARYING") {
-                    name = "VARCHAR".into();
-                } else if first == "NATIONAL" {
-                    if self.eat_kw("CHARACTER") || self.eat_kw("CHAR") {
-                        let varying = self.eat_kw("VARYING");
-                        name = if varying { "NVARCHAR".into() } else { "NCHAR".into() };
-                    }
-                } else if first == "CHARACTER" {
-                    name = "CHAR".into();
+        // Multi-word types. (WITH/WITHOUT TIME ZONE for TIME/TIMESTAMP is
+        // handled after the params: precision comes first in PG —
+        // `timestamp(3) with time zone` — and both orders are re-checked
+        // there.)
+        if name == "DOUBLE" {
+            if self.eat_kw("PRECISION") {
+                name = Cow::Borrowed("DOUBLE PRECISION");
+            }
+        } else if name == "CHARACTER" || name == "CHAR" || name == "NATIONAL" {
+            if self.eat_kw("VARYING") {
+                name = Cow::Borrowed("VARCHAR");
+            } else if name == "NATIONAL" {
+                if self.eat_kw("CHARACTER") || self.eat_kw("CHAR") {
+                    let varying = self.eat_kw("VARYING");
+                    name = Cow::Borrowed(if varying { "NVARCHAR" } else { "NCHAR" });
                 }
+            } else if name == "CHARACTER" {
+                name = Cow::Borrowed("CHAR");
             }
-            "BIT" if self.eat_kw("VARYING") => name = "VARBIT".into(),
-            "TIME" | "TIMESTAMP" => {
-                // Optional precision handled below; WITH/WITHOUT TIME ZONE here.
-                // Order matters: precision comes first in PG (`timestamp(3) with
-                // time zone`), so check after params — we handle both orders by
-                // re-checking after params too.
-            }
-            _ => {}
+        } else if name == "BIT" && self.eat_kw("VARYING") {
+            name = Cow::Borrowed("VARBIT");
         }
 
         // Parameters.
@@ -721,15 +922,23 @@ impl Parser {
                         self.advance();
                     }
                     TokenKind::Number(n) => {
-                        params.push(n.clone());
+                        // Copy the `&'a str` out of the token so interning
+                        // can borrow `self` after the peek ends.
+                        let text: &str = n;
+                        let p = self.make_ident(text);
+                        params.push(p);
                         self.advance();
                     }
                     TokenKind::StringLit(s) => {
-                        params.push(format!("'{s}'"));
+                        let quoted = format!("'{s}'");
+                        let p = self.make_ident(&quoted);
+                        params.push(p);
                         self.advance();
                     }
                     other => {
-                        params.push(raw_text(other));
+                        let text = raw_text(other);
+                        let p = self.make_ident(&text);
+                        params.push(p);
                         self.advance();
                     }
                 }
@@ -746,7 +955,7 @@ impl Parser {
             self.expect_kw("TIME")?;
             self.expect_kw("ZONE")?;
             if with {
-                name = if name == "TIME" { "TIMETZ".into() } else { "TIMESTAMPTZ".into() };
+                name = Cow::Borrowed(if name == "TIME" { "TIMETZ" } else { "TIMESTAMPTZ" });
             }
         }
 
@@ -763,20 +972,22 @@ impl Parser {
         }
 
         // Postgres array suffix `[]` (possibly multi-dimensional).
-        while matches!(self.peek(), TokenKind::Op(o) if o == "[") {
+        while matches!(self.peek(), TokenKind::Op(o) if *o == "[") {
             self.advance();
             if matches!(self.peek(), TokenKind::Number(_)) {
                 self.advance();
             }
-            if matches!(self.peek(), TokenKind::Op(o) if o == "]") {
+            if matches!(self.peek(), TokenKind::Op(o) if *o == "]") {
                 self.advance();
             }
-            name.push_str("[]");
+            name.to_mut().push_str("[]");
         }
 
+        // `name` is already uppercase here, so alias lookup needs no second
+        // case-fold; un-aliased names are interned verbatim.
         let (canonical, serial) = normalize_type_name(&name);
-        let sql_type = SqlType { name: canonical, params, modifiers };
-        Ok((sql_type, serial))
+        let tname = self.make_ident(canonical.unwrap_or(&name));
+        Ok((SqlType { name: tname, params, modifiers }, serial))
     }
 
     fn column_options(&mut self, col: &mut Column, table: &mut Table) -> Result<()> {
@@ -799,7 +1010,7 @@ impl Parser {
                 // Bare KEY after a column in MySQL means "make it a key".
             } else if self.eat_kw("COMMENT") {
                 if let TokenKind::StringLit(s) = self.peek().clone() {
-                    col.comment = Some(s);
+                    col.comment = Some(s.into_owned());
                     self.advance();
                 }
             } else if self.eat_kw("COLLATE")
@@ -861,7 +1072,7 @@ impl Parser {
                 self.advance();
             }
             TokenKind::Number(n) => {
-                out = n;
+                out = n.to_string();
                 self.advance();
             }
             TokenKind::Op(o) if o == "-" || o == "+" => {
@@ -870,14 +1081,14 @@ impl Parser {
                     out = format!("{o}{n}");
                     self.advance();
                 } else {
-                    out = o;
+                    out = o.to_string();
                 }
             }
             TokenKind::LParen => {
                 out = self.capture_parens()?;
             }
             TokenKind::Word(w) => {
-                out = w.clone();
+                out = w.to_string();
                 self.advance();
                 if matches!(self.peek(), TokenKind::LParen) {
                     out.push_str(&self.capture_parens()?);
@@ -888,13 +1099,13 @@ impl Parser {
                 }
             }
             TokenKind::QuotedIdent(q) => {
-                out = q;
+                out = q.into_owned();
                 self.advance();
             }
             _ => return Err(self.err_here("default expression")),
         }
         // Postgres cast chains: `'x'::character varying`.
-        while matches!(self.peek(), TokenKind::Op(o) if o == "::") {
+        while matches!(self.peek(), TokenKind::Op(o) if *o == "::") {
             self.advance();
             let (t, _) = self.sql_type()?;
             out.push_str("::");
@@ -992,14 +1203,13 @@ impl Parser {
                 return Ok(AlterOp::AddColumn(col));
             }
             let mut dummy = Table::new("_");
-            let mut col = self.column_def(&mut dummy)?;
+            let col = self.column_def(&mut dummy)?;
             // Position clauses.
             if self.eat_kw("FIRST") {
             } else if self.eat_kw("AFTER") {
                 let _ = self.ident();
             }
             // MySQL allows `ADD c INT NOT NULL AFTER x` — col parsed already.
-            col.comment = col.comment.take();
             return Ok(AlterOp::AddColumn(col));
         }
         if self.eat_kw("DROP") {
@@ -1200,43 +1410,42 @@ impl Parser {
 
 /// Render a token back to approximate raw text (used when capturing
 /// expressions verbatim).
-fn raw_text(kind: &TokenKind) -> String {
+fn raw_text(kind: &TokenKind<'_>) -> String {
     match kind {
-        TokenKind::Word(w) => w.clone(),
-        TokenKind::QuotedIdent(q) => q.clone(),
+        TokenKind::Word(w) => (*w).to_string(),
+        TokenKind::QuotedIdent(q) => q.to_string(),
         TokenKind::StringLit(s) => format!("'{s}'"),
-        TokenKind::Number(n) => n.clone(),
+        TokenKind::Number(n) => (*n).to_string(),
         TokenKind::LParen => "(".into(),
         TokenKind::RParen => ")".into(),
         TokenKind::Comma => ",".into(),
         TokenKind::Semicolon => ";".into(),
         TokenKind::Dot => ".".into(),
         TokenKind::Eq => "=".into(),
-        TokenKind::Op(o) => o.clone(),
+        TokenKind::Op(o) => (*o).to_string(),
         TokenKind::Eof => String::new(),
     }
 }
 
-/// Normalize type-name aliases across dialects; returns (canonical name,
-/// is-serial-pseudotype).
-fn normalize_type_name(name: &str) -> (String, bool) {
-    let up = name.to_ascii_uppercase();
-    let (canon, serial) = match up.as_str() {
-        "INTEGER" | "INT4" | "MEDIUMINT" => ("INT", false),
-        "INT8" => ("BIGINT", false),
-        "INT2" => ("SMALLINT", false),
-        "SERIAL" | "SERIAL4" => ("INT", true),
-        "BIGSERIAL" | "SERIAL8" => ("BIGINT", true),
-        "SMALLSERIAL" | "SERIAL2" => ("SMALLINT", true),
-        "BOOL" => ("BOOLEAN", false),
-        "DEC" | "FIXED" | "NUMERIC" => ("DECIMAL", false),
-        "FLOAT4" => ("REAL", false),
-        "FLOAT8" => ("DOUBLE PRECISION", false),
-        "CHARACTER" => ("CHAR", false),
-        "BYTEA" => ("BYTEA", false),
-        other => (other, false),
-    };
-    (canon.to_string(), serial)
+/// Normalize type-name aliases across dialects. The input is already
+/// uppercased by `sql_type`; returns the canonical static name when the
+/// alias table matches (so no fresh `String` is built on the hot path) and
+/// whether the type was a SERIAL pseudo-type.
+fn normalize_type_name(up: &str) -> (Option<&'static str>, bool) {
+    match up {
+        "INTEGER" | "INT4" | "MEDIUMINT" => (Some("INT"), false),
+        "INT8" => (Some("BIGINT"), false),
+        "INT2" => (Some("SMALLINT"), false),
+        "SERIAL" | "SERIAL4" => (Some("INT"), true),
+        "BIGSERIAL" | "SERIAL8" => (Some("BIGINT"), true),
+        "SMALLSERIAL" | "SERIAL2" => (Some("SMALLINT"), true),
+        "BOOL" => (Some("BOOLEAN"), false),
+        "DEC" | "FIXED" | "NUMERIC" => (Some("DECIMAL"), false),
+        "FLOAT4" => (Some("REAL"), false),
+        "FLOAT8" => (Some("DOUBLE PRECISION"), false),
+        "CHARACTER" => (Some("CHAR"), false),
+        _ => (None, false),
+    }
 }
 
 #[cfg(test)]
@@ -1590,13 +1799,11 @@ mod tests {
         let stmts = parse_my("RENAME TABLE old1 TO new1, old2 TO new2;");
         match &stmts[0] {
             Statement::RenameTable { renames } => {
-                assert_eq!(
-                    renames,
-                    &[
-                        ("old1".to_string(), "new1".to_string()),
-                        ("old2".to_string(), "new2".to_string())
-                    ]
-                );
+                assert_eq!(renames.len(), 2);
+                assert_eq!(renames[0].0, "old1");
+                assert_eq!(renames[0].1, "new1");
+                assert_eq!(renames[1].0, "old2");
+                assert_eq!(renames[1].1, "new2");
             }
             other => panic!("{other:?}"),
         }
@@ -1627,5 +1834,37 @@ mod tests {
             let tokens = Lexer::new("CREATE TABLE t (a INT);", dialect).tokenize().unwrap();
             assert_eq!(Parser::new(tokens, dialect).dialect(), dialect);
         }
+    }
+
+    #[test]
+    fn streaming_and_legacy_schemas_agree() {
+        let sql = "CREATE TABLE Users (Id INT PRIMARY KEY, Name VARCHAR(10));\
+                   ALTER TABLE users ADD COLUMN age INT;";
+        let a = parse_schema(sql, Dialect::MySql).unwrap();
+        let b = parse_schema_legacy(sql, Dialect::MySql).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn interned_parse_shares_symbols_across_versions() {
+        let interner = Interner::new();
+        let v1 = parse_schema_interned("CREATE TABLE t (a INT);", Dialect::MySql, &interner)
+            .unwrap();
+        let v2 =
+            parse_schema_interned("CREATE TABLE t (a INT, b INT);", Dialect::MySql, &interner)
+                .unwrap();
+        let t1 = v1.table("t").unwrap();
+        let t2 = v2.table("t").unwrap();
+        assert_eq!(t1.name.interner_id(), interner.id());
+        assert_eq!(t1.name.symbol(), t2.name.symbol());
+        assert_eq!(t1.columns[0].name.symbol(), t2.columns[0].name.symbol());
+    }
+
+    #[test]
+    fn lex_errors_surface_from_the_streaming_parser() {
+        let err = parse_statements("CREATE TABLE t (a INT); 'unterminated", Dialect::MySql)
+            .unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnterminatedLiteral(_)), "{err:?}");
     }
 }

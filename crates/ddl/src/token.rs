@@ -1,35 +1,44 @@
 //! Token definitions produced by the [`crate::lexer::Lexer`].
+//!
+//! Tokens are zero-copy: a [`Token`] borrows `&str` slices of the source
+//! text wherever the token's value is a verbatim slice (words, numbers,
+//! operators), and a [`Cow`] for quoted literals, which borrow unless an
+//! escape sequence or non-UTF-8 byte recovery forced the lexer to build the
+//! value. [`OwnedToken`] is the eagerly materialized form kept for the
+//! legacy (pre-interning) parse path and as the baseline for the
+//! allocation-profiling benchmarks.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A single lexical token with its source position.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Token {
+pub struct Token<'a> {
     /// The kind of this item.
-    pub kind: TokenKind,
+    pub kind: TokenKind<'a>,
     /// 1-based line where the token starts.
     pub line: u32,
     /// 1-based column where the token starts.
     pub column: u32,
 }
 
-/// The lexical class of a token.
+/// The lexical class of a token, borrowing from the source where possible.
 ///
 /// SQL keywords are *not* distinguished at the lexer level: identifiers carry
 /// their raw text and the parser matches keywords case-insensitively. This
 /// keeps the lexer dialect-agnostic (MySQL and PostgreSQL share the token
 /// shapes; they differ in quoting rules, handled by the lexer options).
 #[derive(Debug, Clone, PartialEq)]
-pub enum TokenKind {
+pub enum TokenKind<'a> {
     /// A bare word: keyword, table/column name, or function name.
-    Word(String),
+    Word(&'a str),
     /// A quoted identifier (backticks, double quotes, or brackets), with
     /// quotes stripped and escapes resolved.
-    QuotedIdent(String),
+    QuotedIdent(Cow<'a, str>),
     /// A string literal ('...' or dollar-quoted), contents only.
-    StringLit(String),
+    StringLit(Cow<'a, str>),
     /// A numeric literal, verbatim.
-    Number(String),
+    Number(&'a str),
     /// Opening parenthesis.
     LParen,
     /// Closing parenthesis.
@@ -44,12 +53,12 @@ pub enum TokenKind {
     Eq,
     /// Any other operator-ish punctuation we tolerate but never interpret
     /// (e.g. `<`, `>`, `+`, `-`, `*`, `/`, `::`, `!=`).
-    Op(String),
+    Op(&'a str),
     /// End of input sentinel.
     Eof,
 }
 
-impl TokenKind {
+impl TokenKind<'_> {
     /// The identifier text if this token can serve as an identifier.
     pub fn ident_text(&self) -> Option<&str> {
         match self {
@@ -63,9 +72,27 @@ impl TokenKind {
     pub fn is_keyword(&self, kw: &str) -> bool {
         matches!(self, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
     }
+
+    /// An owning copy of this token kind.
+    pub fn to_owned_kind(&self) -> OwnedTokenKind {
+        match self {
+            TokenKind::Word(w) => OwnedTokenKind::Word((*w).to_string()),
+            TokenKind::QuotedIdent(q) => OwnedTokenKind::QuotedIdent(q.to_string()),
+            TokenKind::StringLit(s) => OwnedTokenKind::StringLit(s.to_string()),
+            TokenKind::Number(n) => OwnedTokenKind::Number((*n).to_string()),
+            TokenKind::LParen => OwnedTokenKind::LParen,
+            TokenKind::RParen => OwnedTokenKind::RParen,
+            TokenKind::Comma => OwnedTokenKind::Comma,
+            TokenKind::Semicolon => OwnedTokenKind::Semicolon,
+            TokenKind::Dot => OwnedTokenKind::Dot,
+            TokenKind::Eq => OwnedTokenKind::Eq,
+            TokenKind::Op(o) => OwnedTokenKind::Op((*o).to_string()),
+            TokenKind::Eof => OwnedTokenKind::Eof,
+        }
+    }
 }
 
-impl fmt::Display for TokenKind {
+impl fmt::Display for TokenKind<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TokenKind::Word(w) => write!(f, "{w}"),
@@ -84,31 +111,108 @@ impl fmt::Display for TokenKind {
     }
 }
 
+/// An eagerly owned token: one heap `String` per textual token — exactly
+/// the allocation profile of the pre-interning lexer. Produced by
+/// [`Lexer::tokenize_owned`](crate::lexer::Lexer::tokenize_owned) for the
+/// legacy parse path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedToken {
+    /// The kind of this item.
+    pub kind: OwnedTokenKind,
+    /// 1-based line where the token starts.
+    pub line: u32,
+    /// 1-based column where the token starts.
+    pub column: u32,
+}
+
+impl OwnedToken {
+    /// A borrowed view of this token, usable wherever a [`Token`] is.
+    pub fn view(&self) -> Token<'_> {
+        let kind = match &self.kind {
+            OwnedTokenKind::Word(w) => TokenKind::Word(w),
+            OwnedTokenKind::QuotedIdent(q) => TokenKind::QuotedIdent(Cow::Borrowed(q)),
+            OwnedTokenKind::StringLit(s) => TokenKind::StringLit(Cow::Borrowed(s)),
+            OwnedTokenKind::Number(n) => TokenKind::Number(n),
+            OwnedTokenKind::LParen => TokenKind::LParen,
+            OwnedTokenKind::RParen => TokenKind::RParen,
+            OwnedTokenKind::Comma => TokenKind::Comma,
+            OwnedTokenKind::Semicolon => TokenKind::Semicolon,
+            OwnedTokenKind::Dot => TokenKind::Dot,
+            OwnedTokenKind::Eq => TokenKind::Eq,
+            OwnedTokenKind::Op(o) => TokenKind::Op(o),
+            OwnedTokenKind::Eof => TokenKind::Eof,
+        };
+        Token { kind, line: self.line, column: self.column }
+    }
+}
+
+/// The owning counterpart of [`TokenKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedTokenKind {
+    /// A bare word: keyword, table/column name, or function name.
+    Word(String),
+    /// A quoted identifier with quotes stripped and escapes resolved.
+    QuotedIdent(String),
+    /// A string literal, contents only.
+    StringLit(String),
+    /// A numeric literal, verbatim.
+    Number(String),
+    /// Opening parenthesis.
+    LParen,
+    /// Closing parenthesis.
+    RParen,
+    /// Comma separator.
+    Comma,
+    /// Statement terminator.
+    Semicolon,
+    /// Name qualifier dot.
+    Dot,
+    /// Equality / assignment sign.
+    Eq,
+    /// Any other operator-ish punctuation.
+    Op(String),
+    /// End of input sentinel.
+    Eof,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn ident_text_for_words_and_quoted() {
-        assert_eq!(TokenKind::Word("users".into()).ident_text(), Some("users"));
-        assert_eq!(TokenKind::QuotedIdent("order".into()).ident_text(), Some("order"));
+        assert_eq!(TokenKind::Word("users").ident_text(), Some("users"));
+        assert_eq!(TokenKind::QuotedIdent(Cow::Borrowed("order")).ident_text(), Some("order"));
         assert_eq!(TokenKind::Comma.ident_text(), None);
-        assert_eq!(TokenKind::StringLit("x".into()).ident_text(), None);
+        assert_eq!(TokenKind::StringLit(Cow::Borrowed("x")).ident_text(), None);
     }
 
     #[test]
     fn keyword_match_is_case_insensitive() {
-        assert!(TokenKind::Word("CREATE".into()).is_keyword("create"));
-        assert!(TokenKind::Word("create".into()).is_keyword("CREATE"));
-        assert!(TokenKind::Word("Create".into()).is_keyword("create"));
+        assert!(TokenKind::Word("CREATE").is_keyword("create"));
+        assert!(TokenKind::Word("create").is_keyword("CREATE"));
+        assert!(TokenKind::Word("Create").is_keyword("create"));
         // Quoted identifiers are never keywords.
-        assert!(!TokenKind::QuotedIdent("create".into()).is_keyword("create"));
+        assert!(!TokenKind::QuotedIdent(Cow::Borrowed("create")).is_keyword("create"));
     }
 
     #[test]
     fn display_round_trips_meaningfully() {
-        assert_eq!(TokenKind::Word("users".into()).to_string(), "users");
+        assert_eq!(TokenKind::Word("users").to_string(), "users");
         assert_eq!(TokenKind::Eof.to_string(), "end of input");
         assert_eq!(TokenKind::Comma.to_string(), "','");
+    }
+
+    #[test]
+    fn owned_view_round_trips() {
+        let owned = OwnedToken {
+            kind: OwnedTokenKind::QuotedIdent("Users".to_string()),
+            line: 3,
+            column: 7,
+        };
+        let view = owned.view();
+        assert_eq!(view.kind, TokenKind::QuotedIdent(Cow::Borrowed("Users")));
+        assert_eq!((view.line, view.column), (3, 7));
+        assert_eq!(view.kind.to_owned_kind(), owned.kind);
     }
 }

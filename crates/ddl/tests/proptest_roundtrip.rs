@@ -69,7 +69,7 @@ fn sql_type_strategy() -> impl Strategy<Value = SqlType> {
 fn column_strategy() -> impl Strategy<Value = Column> {
     (ident_strategy(), sql_type_strategy(), any::<bool>(), any::<bool>()).prop_map(
         |(name, ty, nullable, unique)| {
-            let mut c = Column::new(&name, ty);
+            let mut c = Column::new(name.as_str(), ty);
             c.nullable = nullable;
             c.unique = unique;
             c
@@ -90,12 +90,12 @@ prop_compose! {
     ) -> Table {
         // De-duplicate column names (case-insensitive).
         let mut seen = std::collections::HashSet::new();
-        cols.retain(|c| seen.insert(c.key()));
+        cols.retain(|c| seen.insert(c.key().to_string()));
         if pk_first {
             cols[0].inline_primary_key = true;
             cols[0].nullable = false;
         }
-        let mut t = Table::new(&name);
+        let mut t = Table::new(name.as_str());
         t.columns = cols;
         let first = t.columns[0].name.clone();
         let last = t.columns.last().unwrap().name.clone();
@@ -107,22 +107,22 @@ prop_compose! {
         }
         if with_unique && t.columns.len() > 1 {
             t.constraints.push(TableConstraint::Unique {
-                name: Some(format!("uq_{name}")),
+                name: Some(format!("uq_{name}").into()),
                 columns: vec![last.clone()],
             });
         }
         if with_fk {
             t.constraints.push(TableConstraint::ForeignKey(ForeignKey {
-                name: Some(format!("fk_{name}")),
+                name: Some(format!("fk_{name}").into()),
                 columns: vec![first.clone()],
-                foreign_table: fk_target,
-                foreign_columns: vec!["id".to_string()],
+                foreign_table: fk_target.into(),
+                foreign_columns: vec!["id".into()],
                 actions: vec!["ON DELETE CASCADE".to_string()],
             }));
         }
         if with_index {
             t.indexes.push(IndexDef {
-                name: Some(format!("idx_{name}")),
+                name: Some(format!("idx_{name}").into()),
                 columns: vec![first],
                 unique: false,
             });
@@ -134,7 +134,7 @@ prop_compose! {
 prop_compose! {
     fn schema_strategy()(mut tables in prop::collection::vec(table_strategy(), 0..6)) -> Schema {
         let mut seen = std::collections::HashSet::new();
-        tables.retain(|t| seen.insert(t.key()));
+        tables.retain(|t| seen.insert(t.key().to_string()));
         Schema::from_tables(tables)
     }
 }
@@ -244,13 +244,13 @@ proptest! {
         let reparsed = parse_schema(&printed, Dialect::Generic).expect("re-parse");
         let seal = reparsed.seal_data().expect("parsed schemas are sealed");
         for (i, t) in reparsed.tables.iter().enumerate() {
-            prop_assert_eq!(seal.table_index(&t.key()), Some(i));
+            prop_assert_eq!(seal.table_index(t.key()), Some(i));
             let ts = t.seal_data().expect("parsed tables are sealed");
-            prop_assert_eq!(ts.table_key(), t.key().as_str());
+            prop_assert_eq!(ts.table_key(), t.key());
             prop_assert_eq!(ts.len(), t.columns.len());
             for (j, c) in t.columns.iter().enumerate() {
-                prop_assert_eq!(ts.column_key(j), c.key().as_str());
-                prop_assert_eq!(ts.column_index(&c.key()), Some(j));
+                prop_assert_eq!(ts.column_key(j), c.key());
+                prop_assert_eq!(ts.column_index(c.key()), Some(j));
             }
         }
     }

@@ -92,7 +92,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
         for fk in &old_fks {
             if !new_fks.iter().any(|n| fk_signature(n) == fk_signature(fk)) {
                 delta.foreign_keys.push(ForeignKeyChange::Removed {
-                    table: new_table.name.clone(),
+                    table: new_table.name.to_string(),
                     fk: (*fk).clone(),
                 });
             }
@@ -100,7 +100,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
         for fk in &new_fks {
             if !old_fks.iter().any(|o| fk_signature(o) == fk_signature(fk)) {
                 delta.foreign_keys.push(ForeignKeyChange::Added {
-                    table: new_table.name.clone(),
+                    table: new_table.name.to_string(),
                     fk: (*fk).clone(),
                 });
             }
@@ -108,7 +108,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
         for idx in &old_table.indexes {
             if !new_table.indexes.iter().any(|n| index_signature(n) == index_signature(idx)) {
                 delta.indexes.push(IndexChange::Removed {
-                    table: new_table.name.clone(),
+                    table: new_table.name.to_string(),
                     index: idx.clone(),
                 });
             }
@@ -116,7 +116,7 @@ pub fn diff_constraints(old: &Schema, new: &Schema) -> ConstraintDelta {
         for idx in &new_table.indexes {
             if !old_table.indexes.iter().any(|o| index_signature(o) == index_signature(idx)) {
                 delta.indexes.push(IndexChange::Added {
-                    table: new_table.name.clone(),
+                    table: new_table.name.to_string(),
                     index: idx.clone(),
                 });
             }

@@ -37,7 +37,7 @@ pub fn change_localization(history: &SchemaHistory) -> ChangeLocalization {
     let mut universe: BTreeMap<String, u64> = BTreeMap::new();
     for v in history.versions() {
         for t in &v.schema.tables {
-            universe.entry(t.key()).or_insert(0);
+            universe.entry(t.key().to_string()).or_insert(0);
         }
     }
     // Post-birth activity attribution (delta 0 is the creation).

@@ -12,7 +12,6 @@ use crate::changes::{SchemaDelta, TableDelta, TableFate};
 use crate::table_diff::{diff_tables, diff_tables_legacy};
 use coevo_ddl::{Schema, SchemaSeal, Table};
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Counters for how much work the incremental diff core actually did — and,
@@ -85,14 +84,13 @@ pub fn diff_schemas_counted(
         return SchemaDelta { tables: Vec::new() };
     }
 
-    let old_keys = SchemaKeys::of(old);
-    let new_keys = SchemaKeys::of(new);
+    let matcher = SchemaMatcher::of(old, new);
 
     let mut deltas = Vec::new();
 
     // Old-version order: drops and survivors.
     for t in &old.tables {
-        match new_keys.index_of(&table_key(t)) {
+        match matcher.match_in_new(t) {
             Some(j) => {
                 let new_t = &new.tables[j];
                 if tables_identical(t, new_t) {
@@ -107,7 +105,7 @@ pub fn diff_schemas_counted(
             }
             None => {
                 deltas.push(TableDelta {
-                    table: t.name.clone(),
+                    table: t.name.to_string(),
                     fate: TableFate::Dropped,
                     changes: Vec::new(),
                     attribute_count: t.columns.len(),
@@ -117,9 +115,9 @@ pub fn diff_schemas_counted(
     }
     // New-version order: creations.
     for t in &new.tables {
-        if old_keys.index_of(&table_key(t)).is_none() {
+        if matcher.match_in_old(t).is_none() {
             deltas.push(TableDelta {
-                table: t.name.clone(),
+                table: t.name.to_string(),
                 fate: TableFate::Created,
                 changes: Vec::new(),
                 attribute_count: t.columns.len(),
@@ -135,15 +133,15 @@ pub fn diff_schemas_counted(
 /// attribute-level diff on every surviving table.
 pub fn diff_schemas_legacy(old: &Schema, new: &Schema, policy: MatchPolicy) -> SchemaDelta {
     let old_by_key: BTreeMap<String, usize> =
-        old.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
+        old.tables.iter().enumerate().map(|(i, t)| (t.key().to_string(), i)).collect();
     let new_by_key: BTreeMap<String, usize> =
-        new.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
+        new.tables.iter().enumerate().map(|(i, t)| (t.key().to_string(), i)).collect();
 
     let mut deltas = Vec::new();
 
     // Old-version order: drops and survivors.
     for t in &old.tables {
-        match new_by_key.get(&t.key()) {
+        match new_by_key.get(t.key()) {
             Some(&j) => {
                 let td = diff_tables_legacy(t, &new.tables[j], policy);
                 if !td.changes.is_empty() {
@@ -152,7 +150,7 @@ pub fn diff_schemas_legacy(old: &Schema, new: &Schema, policy: MatchPolicy) -> S
             }
             None => {
                 deltas.push(TableDelta {
-                    table: t.name.clone(),
+                    table: t.name.to_string(),
                     fate: TableFate::Dropped,
                     changes: Vec::new(),
                     attribute_count: t.columns.len(),
@@ -162,9 +160,9 @@ pub fn diff_schemas_legacy(old: &Schema, new: &Schema, policy: MatchPolicy) -> S
     }
     // New-version order: creations.
     for t in &new.tables {
-        if !old_by_key.contains_key(&t.key()) {
+        if !old_by_key.contains_key(t.key()) {
             deltas.push(TableDelta {
-                table: t.name.clone(),
+                table: t.name.to_string(),
                 fate: TableFate::Created,
                 changes: Vec::new(),
                 attribute_count: t.columns.len(),
@@ -210,12 +208,51 @@ fn tables_identical(old: &Table, new: &Table) -> bool {
     old.columns.len() == new.columns.len()
 }
 
-/// A table's case-folded key: borrowed from the seal when available,
-/// computed otherwise.
-fn table_key(t: &Table) -> Cow<'_, str> {
+/// A table's case-folded key, borrowed either from the seal or from the
+/// fold the name's [`coevo_ddl::Ident`] computed at construction time.
+fn table_key(t: &Table) -> &str {
     match t.seal_data() {
-        Some(s) => Cow::Borrowed(s.table_key()),
-        None => Cow::Owned(t.key()),
+        Some(s) => s.table_key(),
+        None => t.key(),
+    }
+}
+
+/// How the two schemas' tables are matched: by integer symbol when both
+/// sides were sealed under the same live interner (see
+/// [`crate::table_diff`]'s matcher for the invariant), by case-folded
+/// string key otherwise.
+enum SchemaMatcher<'a> {
+    Syms { old: &'a SchemaSeal, new: &'a SchemaSeal },
+    Strs { old: SchemaKeys<'a>, new: SchemaKeys<'a> },
+}
+
+impl<'a> SchemaMatcher<'a> {
+    fn of(old: &'a Schema, new: &'a Schema) -> Self {
+        if let (Some(a), Some(b)) = (old.seal_data(), new.seal_data()) {
+            // A schema seal's interner id is nonzero only when *every* table
+            // name was interned by that one interner, so symbol equality is
+            // exactly case-folded name equality here.
+            if a.interner_id() != 0 && a.interner_id() == b.interner_id() {
+                return Self::Syms { old: a, new: b };
+            }
+        }
+        Self::Strs { old: SchemaKeys::of(old), new: SchemaKeys::of(new) }
+    }
+
+    /// Index in `new` of the table matching `t` (a table of `old`).
+    fn match_in_new(&self, t: &Table) -> Option<usize> {
+        match self {
+            Self::Syms { new, .. } => new.table_index_by_sym(t.name.symbol()),
+            Self::Strs { new, .. } => new.index_of(table_key(t)),
+        }
+    }
+
+    /// Index in `old` of the table matching `t` (a table of `new`).
+    fn match_in_old(&self, t: &Table) -> Option<usize> {
+        match self {
+            Self::Syms { old, .. } => old.table_index_by_sym(t.name.symbol()),
+            Self::Strs { old, .. } => old.index_of(table_key(t)),
+        }
     }
 }
 
@@ -230,9 +267,9 @@ impl<'a> SchemaKeys<'a> {
     fn of(s: &'a Schema) -> Self {
         match s.seal_data() {
             Some(seal) => Self::Sealed(seal),
-            None => {
-                Self::Built(s.tables.iter().enumerate().map(|(i, t)| (t.key(), i)).collect())
-            }
+            None => Self::Built(
+                s.tables.iter().enumerate().map(|(i, t)| (t.key().to_string(), i)).collect(),
+            ),
         }
     }
 

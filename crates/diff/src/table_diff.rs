@@ -25,7 +25,8 @@ impl<'a> ColumnKeys<'a> {
                 Self::Sealed(seal)
             }
             None => {
-                let folded: Vec<String> = t.columns.iter().map(|c| c.key()).collect();
+                let folded: Vec<String> =
+                    t.columns.iter().map(|c| c.key().to_string()).collect();
                 let by_key = folded.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
                 Self::Built { folded, by_key }
             }
@@ -50,6 +51,74 @@ impl<'a> ColumnKeys<'a> {
     }
 }
 
+/// How the two sides' columns are matched. When both tables were sealed under
+/// the *same live interner* (the engine's per-project [`coevo_ddl::ParseCache`]
+/// guarantees this for every version of one history), two names fold equal
+/// exactly when their symbols are equal, so matching and key-participation
+/// checks degrade to integer comparisons with zero allocation. Any other
+/// pairing — unsealed tables, hand-built tables, schemas parsed through
+/// different interners — takes the case-folded string path, which is
+/// byte-for-byte the pre-interning algorithm.
+enum Matcher<'a> {
+    Syms { old: &'a TableSeal, new: &'a TableSeal, old_pk: &'a [u32], new_pk: &'a [u32] },
+    Strs { old: ColumnKeys<'a>, new: ColumnKeys<'a>, old_pk: Vec<String>, new_pk: Vec<String> },
+}
+
+impl<'a> Matcher<'a> {
+    fn of(old: &'a Table, new: &'a Table) -> Self {
+        if let (Some(a), Some(b)) = (old.seal_data(), new.seal_data()) {
+            // Symbols are comparable only within one interner (id 0 means
+            // "uninterned"), and pk_syms is None when a PK names a column the
+            // table never declared — that case keeps string semantics.
+            if a.interner_id() != 0 && a.interner_id() == b.interner_id() {
+                if let (Some(old_pk), Some(new_pk)) = (a.pk_syms(), b.pk_syms()) {
+                    debug_assert_eq!(a.len(), old.columns.len(), "stale seal on {}", old.name);
+                    debug_assert_eq!(b.len(), new.columns.len(), "stale seal on {}", new.name);
+                    return Self::Syms { old: a, new: b, old_pk, new_pk };
+                }
+            }
+        }
+        Self::Strs {
+            old: ColumnKeys::of(old),
+            new: ColumnKeys::of(new),
+            old_pk: old.primary_key(),
+            new_pk: new.primary_key(),
+        }
+    }
+
+    /// Index in `new` of the column matching old column `i`.
+    fn match_in_new(&self, i: usize) -> Option<usize> {
+        match self {
+            Self::Syms { old, new, .. } => new.column_index_by_sym(old.column_sym(i)),
+            Self::Strs { old, new, .. } => new.index_of(old.key(i)),
+        }
+    }
+
+    /// Index in `old` of the column matching new column `j`.
+    fn match_in_old(&self, j: usize) -> Option<usize> {
+        match self {
+            Self::Syms { old, new, .. } => old.column_index_by_sym(new.column_sym(j)),
+            Self::Strs { old, new, .. } => old.index_of(new.key(j)),
+        }
+    }
+
+    /// Primary-key participation of old column `i`.
+    fn old_in_key(&self, i: usize) -> bool {
+        match self {
+            Self::Syms { old, old_pk, .. } => old_pk.contains(&old.column_sym(i).0),
+            Self::Strs { old, old_pk, .. } => old_pk.iter().any(|p| p == old.key(i)),
+        }
+    }
+
+    /// Primary-key participation of new column `j`.
+    fn new_in_key(&self, j: usize) -> bool {
+        match self {
+            Self::Syms { new, new_pk, .. } => new_pk.contains(&new.column_sym(j).0),
+            Self::Strs { new, new_pk, .. } => new_pk.iter().any(|p| p == new.key(j)),
+        }
+    }
+}
+
 /// Diff two versions of a surviving table into attribute-level changes.
 ///
 /// Attributes are matched by case-insensitive name (the paper's policy).
@@ -57,11 +126,7 @@ impl<'a> ColumnKeys<'a> {
 /// with identical types are additionally recognized as renames — an ablation
 /// of the matching construct, not the paper's accounting.
 pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
-    let old_keys = ColumnKeys::of(old);
-    let new_keys = ColumnKeys::of(new);
-
-    let old_pk = old.primary_key();
-    let new_pk = new.primary_key();
+    let matcher = Matcher::of(old, new);
 
     let mut changes = Vec::new();
     let mut ejected: Vec<usize> = Vec::new();
@@ -70,22 +135,21 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
     // Survivors: type and key changes. Iterate in old declaration order for
     // deterministic output.
     for (i, col) in old.columns.iter().enumerate() {
-        let key = old_keys.key(i);
-        match new_keys.index_of(key) {
+        match matcher.match_in_new(i) {
             Some(j) => {
                 let new_col = &new.columns[j];
                 if !col.sql_type.equivalent(&new_col.sql_type) {
                     changes.push(AttributeChange::TypeChanged {
-                        name: new_col.name.clone(),
+                        name: new_col.name.to_string(),
                         from: col.sql_type.clone(),
                         to: new_col.sql_type.clone(),
                     });
                 }
-                let was_in_key = old_pk.iter().any(|p| p == key);
-                let now_in_key = new_pk.iter().any(|p| p == new_keys.key(j));
+                let was_in_key = matcher.old_in_key(i);
+                let now_in_key = matcher.new_in_key(j);
                 if was_in_key != now_in_key {
                     changes.push(AttributeChange::KeyChanged {
-                        name: new_col.name.clone(),
+                        name: new_col.name.to_string(),
                         now_in_key,
                     });
                 }
@@ -94,7 +158,7 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
         }
     }
     for (j, _col) in new.columns.iter().enumerate() {
-        if old_keys.index_of(new_keys.key(j)).is_none() {
+        if matcher.match_in_old(j).is_none() {
             injected.push(j);
         }
     }
@@ -111,8 +175,8 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
             {
                 let j = remaining_new.remove(pos);
                 changes.push(AttributeChange::Renamed {
-                    from: old.columns[i].name.clone(),
-                    to: new.columns[j].name.clone(),
+                    from: old.columns[i].name.to_string(),
+                    to: new.columns[j].name.to_string(),
                     sql_type: old.columns[i].sql_type.clone(),
                 });
                 paired_old.push(i);
@@ -124,19 +188,19 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
 
     for i in ejected {
         changes.push(AttributeChange::Ejected {
-            name: old.columns[i].name.clone(),
+            name: old.columns[i].name.to_string(),
             sql_type: old.columns[i].sql_type.clone(),
         });
     }
     for j in injected {
         changes.push(AttributeChange::Injected {
-            name: new.columns[j].name.clone(),
+            name: new.columns[j].name.to_string(),
             sql_type: new.columns[j].sql_type.clone(),
         });
     }
 
     TableDelta {
-        table: new.name.clone(),
+        table: new.name.to_string(),
         fate: TableFate::Survived,
         changes,
         attribute_count: 0,
@@ -148,9 +212,9 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
 /// lookup and rebuilds both key maps per call.
 pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
     let old_by_key: BTreeMap<String, usize> =
-        old.columns.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
+        old.columns.iter().enumerate().map(|(i, c)| (c.key().to_string(), i)).collect();
     let new_by_key: BTreeMap<String, usize> =
-        new.columns.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
+        new.columns.iter().enumerate().map(|(i, c)| (c.key().to_string(), i)).collect();
 
     let old_pk = old.primary_key();
     let new_pk = new.primary_key();
@@ -162,21 +226,21 @@ pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> Tabl
     // Survivors: type and key changes. Iterate in old declaration order for
     // deterministic output.
     for (i, col) in old.columns.iter().enumerate() {
-        match new_by_key.get(&col.key()) {
+        match new_by_key.get(col.key()) {
             Some(&j) => {
                 let new_col = &new.columns[j];
                 if !col.sql_type.equivalent(&new_col.sql_type) {
                     changes.push(AttributeChange::TypeChanged {
-                        name: new_col.name.clone(),
+                        name: new_col.name.to_string(),
                         from: col.sql_type.clone(),
                         to: new_col.sql_type.clone(),
                     });
                 }
-                let was_in_key = old_pk.contains(&col.key());
-                let now_in_key = new_pk.contains(&new_col.key());
+                let was_in_key = old_pk.iter().any(|p| p == col.key());
+                let now_in_key = new_pk.iter().any(|p| p == new_col.key());
                 if was_in_key != now_in_key {
                     changes.push(AttributeChange::KeyChanged {
-                        name: new_col.name.clone(),
+                        name: new_col.name.to_string(),
                         now_in_key,
                     });
                 }
@@ -185,7 +249,7 @@ pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> Tabl
         }
     }
     for (j, col) in new.columns.iter().enumerate() {
-        if !old_by_key.contains_key(&col.key()) {
+        if !old_by_key.contains_key(col.key()) {
             injected.push(j);
         }
     }
@@ -202,8 +266,8 @@ pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> Tabl
             {
                 let j = remaining_new.remove(pos);
                 changes.push(AttributeChange::Renamed {
-                    from: old.columns[i].name.clone(),
-                    to: new.columns[j].name.clone(),
+                    from: old.columns[i].name.to_string(),
+                    to: new.columns[j].name.to_string(),
                     sql_type: old.columns[i].sql_type.clone(),
                 });
                 paired_old.push(i);
@@ -215,19 +279,19 @@ pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> Tabl
 
     for i in ejected {
         changes.push(AttributeChange::Ejected {
-            name: old.columns[i].name.clone(),
+            name: old.columns[i].name.to_string(),
             sql_type: old.columns[i].sql_type.clone(),
         });
     }
     for j in injected {
         changes.push(AttributeChange::Injected {
-            name: new.columns[j].name.clone(),
+            name: new.columns[j].name.to_string(),
             sql_type: new.columns[j].sql_type.clone(),
         });
     }
 
     TableDelta {
-        table: new.name.clone(),
+        table: new.name.to_string(),
         fate: TableFate::Survived,
         changes,
         attribute_count: 0,

@@ -21,7 +21,7 @@ prop_compose! {
     ) -> Table {
         let mut t = Table::new(name_pool[name_idx]);
         for (cname, ty) in cols {
-            t.columns.push(Column::new(&cname, ty));
+            t.columns.push(Column::new(cname.as_str(), ty));
         }
         if pk {
             t.columns[0].inline_primary_key = true;
@@ -36,7 +36,7 @@ prop_compose! {
             table_strategy(&["alpha", "beta", "gamma", "delta", "epsilon"]), 0..5)
     ) -> Schema {
         let mut seen = std::collections::HashSet::new();
-        tables.retain(|t| seen.insert(t.key()));
+        tables.retain(|t| seen.insert(t.key().to_string()));
         Schema::from_tables(tables)
     }
 }

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allocs;
 mod error;
 mod metrics;
 pub mod pipeline;

@@ -50,6 +50,8 @@ pub struct Metrics {
     items: [AtomicU64; Stage::ALL.len()],
     cache_hits: [AtomicU64; Stage::ALL.len()],
     cache_misses: [AtomicU64; Stage::ALL.len()],
+    allocs: [AtomicU64; Stage::ALL.len()],
+    alloc_bytes: [AtomicU64; Stage::ALL.len()],
     store: [AtomicU64; StoreEvent::COUNT],
     store_enabled: AtomicBool,
     started: Instant,
@@ -69,6 +71,8 @@ impl Metrics {
             items: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_hits: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            allocs: std::array::from_fn(|_| AtomicU64::new(0)),
+            alloc_bytes: std::array::from_fn(|_| AtomicU64::new(0)),
             store: std::array::from_fn(|_| AtomicU64::new(0)),
             store_enabled: AtomicBool::new(false),
             started: Instant::now(),
@@ -103,6 +107,19 @@ impl Metrics {
         self.cache_misses[i].fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// Record an allocation delta ([`crate::allocs::AllocSnapshot::since`])
+    /// the worker measured around `stage`. All-zero deltas — the norm when
+    /// no counting allocator is installed — are skipped so a production run
+    /// stays write-free here.
+    pub fn record_allocs(&self, stage: Stage, delta: crate::allocs::AllocSnapshot) {
+        if delta.allocs == 0 && delta.bytes == 0 {
+            return;
+        }
+        let i = Self::index(stage);
+        self.allocs[i].fetch_add(delta.allocs, Ordering::Relaxed);
+        self.alloc_bytes[i].fetch_add(delta.bytes, Ordering::Relaxed);
+    }
+
     /// Freeze the counters. `workers` is echoed into the snapshot so the
     /// profile rendering can relate summed busy time to wall time.
     pub fn snapshot(&self, workers: usize) -> MetricsSnapshot {
@@ -115,6 +132,8 @@ impl Metrics {
                 busy: Duration::from_nanos(self.busy_nanos[i].load(Ordering::Relaxed)),
                 cache_hits: self.cache_hits[i].load(Ordering::Relaxed),
                 cache_misses: self.cache_misses[i].load(Ordering::Relaxed),
+                allocs: self.allocs[i].load(Ordering::Relaxed),
+                alloc_bytes: self.alloc_bytes[i].load(Ordering::Relaxed),
             })
             .collect();
         let store = self.store_enabled.load(Ordering::Relaxed).then(|| StoreMetrics {
@@ -150,6 +169,12 @@ pub struct StageMetrics {
     /// Incremental-core lookups that did the work (fresh parses, tables
     /// actually diffed).
     pub cache_misses: u64,
+    /// Heap allocations measured inside the stage. Zero unless the binary
+    /// installed [`crate::allocs::CountingAlloc`] (only the benchmark suite
+    /// does).
+    pub allocs: u64,
+    /// Bytes those allocations requested.
+    pub alloc_bytes: u64,
 }
 
 impl StageMetrics {
@@ -230,6 +255,8 @@ impl MetricsSnapshot {
                 busy: s.busy,
                 cache_hits: s.cache_hits,
                 cache_misses: s.cache_misses,
+                allocs: s.allocs,
+                alloc_bytes: s.alloc_bytes,
             })
             .collect();
         let store = self.store.map(|s| coevo_report::profile::StoreProfile {
@@ -281,6 +308,33 @@ mod tests {
         assert_eq!(snap.stage(Stage::Load).unwrap().cache_hit_rate(), None);
         let text = snap.render();
         assert!(text.contains("97%"), "{text}"); // parse hit rate 59/61
+    }
+
+    #[test]
+    fn alloc_counters_accumulate_and_render() {
+        use crate::allocs::AllocSnapshot;
+        let m = Metrics::new();
+        // Zero deltas (no counting allocator installed) leave everything 0.
+        m.record_allocs(Stage::Parse, AllocSnapshot::default());
+        // Non-zero deltas accumulate per stage.
+        m.record_allocs(Stage::Parse, AllocSnapshot { allocs: 1000, bytes: 64_000 });
+        m.record_allocs(Stage::Parse, AllocSnapshot { allocs: 500, bytes: 16_000 });
+        m.record_allocs(Stage::Diff, AllocSnapshot { allocs: 10, bytes: 320 });
+        let snap = m.snapshot(1);
+        let parse = snap.stage(Stage::Parse).unwrap();
+        assert_eq!((parse.allocs, parse.alloc_bytes), (1500, 80_000));
+        assert_eq!(snap.stage(Stage::Measure).unwrap().allocs, 0);
+        let text = snap.render();
+        assert!(text.contains("allocs"), "{text}");
+        assert!(text.contains("1.5k"), "{text}"); // parse allocs, humanized
+    }
+
+    #[test]
+    fn alloc_free_snapshot_renders_no_alloc_column() {
+        let m = Metrics::new();
+        m.record(Stage::Parse, Duration::from_millis(1), 1);
+        let text = m.snapshot(1).render();
+        assert!(!text.contains("allocs"), "{text}");
     }
 
     #[test]

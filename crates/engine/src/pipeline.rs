@@ -5,6 +5,7 @@
 //! This is the structured replacement for the stringly-typed entry points in
 //! [`coevo_corpus::pipeline`], which remain as deprecated shims.
 
+use crate::allocs;
 use crate::error::{EngineError, EngineErrorKind, Stage};
 use crate::metrics::Metrics;
 use coevo_core::{ProjectData, ProjectMeasures};
@@ -45,6 +46,7 @@ pub(crate) fn process(
     // Parse: the git log, then every DDL version through a per-project
     // content-addressed cache — byte-identical versions (inactive commits)
     // parse once and share one `Arc<Schema>`.
+    let a = allocs::snapshot();
     let t = Instant::now();
     let repo =
         parse_log(&item.git_log).map_err(|e| fail(Stage::Parse, EngineErrorKind::GitLog(e)))?;
@@ -58,22 +60,27 @@ pub(crate) fn process(
     }
     metrics.record(Stage::Parse, t.elapsed(), 1 + item.ddl_versions.len() as u64);
     metrics.record_cache(Stage::Parse, cache.hits(), cache.misses());
+    metrics.record_allocs(Stage::Parse, allocs::snapshot().since(a));
 
     // Diff: consecutive versions into the delta sequence.
+    let a = allocs::snapshot();
     let t = Instant::now();
     let history = SchemaHistory::from_schemas(versions, MatchPolicy::ByName)
         .ok_or_else(|| fail(Stage::Diff, EngineErrorKind::Empty("schema history")))?;
     metrics.record(Stage::Diff, t.elapsed(), history.deltas().len() as u64);
     let dstats = history.diff_stats();
     metrics.record_cache(Stage::Diff, dstats.elided(), dstats.tables_diffed);
+    metrics.record_allocs(Stage::Diff, allocs::snapshot().since(a));
 
     // Heartbeat: the two monthly activity series.
+    let a = allocs::snapshot();
     let t = Instant::now();
     let project_hb = project_heartbeat(&repo)
         .ok_or_else(|| fail(Stage::Heartbeat, EngineErrorKind::Empty("repository")))?;
     let schema_hb = history.heartbeat();
     let birth_activity = history.deltas().first().map(|d| d.breakdown.total()).unwrap_or(0);
     metrics.record(Stage::Heartbeat, t.elapsed(), 2);
+    metrics.record_allocs(Stage::Heartbeat, allocs::snapshot().since(a));
 
     let mut data = ProjectData::new(&item.name, project_hb, schema_hb, birth_activity);
     if let Some(taxon) = item.taxon {
@@ -81,9 +88,11 @@ pub(crate) fn process(
     }
 
     // Measure: the per-project study measures.
+    let a = allocs::snapshot();
     let t = Instant::now();
     let measures = data.measures(cfg);
     metrics.record(Stage::Measure, t.elapsed(), 1);
+    metrics.record_allocs(Stage::Measure, allocs::snapshot().since(a));
 
     Ok((data, measures))
 }

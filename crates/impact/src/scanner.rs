@@ -68,13 +68,13 @@ impl IdentifierIndex {
         for t in &schema.tables {
             for c in &t.columns {
                 if eligible(&c.name) {
-                    entries.insert(c.key(), RefKind::Column);
+                    entries.insert(c.key().to_string(), RefKind::Column);
                 }
             }
         }
         for t in &schema.tables {
             if eligible(&t.name) {
-                entries.insert(t.key(), RefKind::Table);
+                entries.insert(t.key().to_string(), RefKind::Table);
             }
         }
         Self { entries }

@@ -12,7 +12,7 @@
 //! rewrites equal outputs, so every reported violation replays exactly.
 
 use coevo_corpus::ProjectArtifacts;
-use coevo_ddl::{parse_schema, print_schema, Schema, TableConstraint};
+use coevo_ddl::{parse_schema, print_schema, Ident, Schema, TableConstraint};
 use coevo_heartbeat::{DateTime, YearMonth};
 use coevo_vcs::{parse_log, write_log, Commit, Repository};
 use rand::{Rng, SeedableRng};
@@ -220,8 +220,8 @@ fn permute_columns(p: &mut ProjectArtifacts, rng: &mut ChaCha8Rng) -> bool {
 /// refold is rename-preserving: every cross-version match survives.
 fn case_fold(p: &mut ProjectArtifacts, rng: &mut ChaCha8Rng) -> bool {
     let upper = rng.gen_bool(0.5);
-    let fold = move |s: &mut String| {
-        *s = if upper {
+    let fold = move |s: &mut Ident| {
+        let refolded = if upper {
             s.to_ascii_uppercase()
         } else {
             // Title-case: first byte upper, rest lower.
@@ -234,6 +234,7 @@ fn case_fold(p: &mut ProjectArtifacts, rng: &mut ChaCha8Rng) -> bool {
             out.extend(chars);
             out
         };
+        *s = Ident::new(&refolded);
     };
     map_schemas(p, rng, |schema, _| {
         for t in &mut schema.tables {

@@ -134,21 +134,21 @@ pub fn parse_query(sql: &str) -> Result<Query, QueryError> {
     Ok(q)
 }
 
-struct QueryParser {
-    tokens: Vec<Token>,
+struct QueryParser<'a> {
+    tokens: Vec<Token<'a>>,
     pos: usize,
 }
 
-impl QueryParser {
-    fn peek(&self) -> &TokenKind {
+impl<'a> QueryParser<'a> {
+    fn peek(&self) -> &TokenKind<'a> {
         &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
     }
 
-    fn peek_at(&self, n: usize) -> &TokenKind {
+    fn peek_at(&self, n: usize) -> &TokenKind<'a> {
         &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
     }
 
-    fn advance(&mut self) -> TokenKind {
+    fn advance(&mut self) -> TokenKind<'a> {
         let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
@@ -219,13 +219,13 @@ impl QueryParser {
 
         // Select list.
         loop {
-            if matches!(self.peek(), TokenKind::Op(o) if o == "*") {
+            if matches!(self.peek(), TokenKind::Op(o) if *o == "*") {
                 self.advance();
                 q.items.push(SelectItem::Star { qualifier: None });
             } else if let (Some(t), TokenKind::Dot, TokenKind::Op(star)) =
                 (self.peek().ident_text().map(str::to_string), self.peek_at(1), self.peek_at(2))
             {
-                if star == "*" {
+                if *star == "*" {
                     self.advance(); // qualifier
                     self.advance(); // .
                     self.advance(); // *
@@ -447,7 +447,7 @@ impl QueryParser {
                         self.advance(); // function name
                         continue;
                     }
-                    if is_reserved(&w) {
+                    if is_reserved(w) {
                         self.advance();
                         continue;
                     }
@@ -455,19 +455,19 @@ impl QueryParser {
                     if matches!(self.peek(), TokenKind::Dot) {
                         self.advance();
                         match self.peek().clone() {
-                            TokenKind::Op(o) if o == "*" => {
+                            TokenKind::Op("*") => {
                                 self.advance(); // qualifier.* in an expression
                             }
                             k => match k.ident_text() {
                                 Some(col) => {
-                                    refs.push(ColumnRef::qualified(&w, col));
+                                    refs.push(ColumnRef::qualified(w, col));
                                     self.advance();
                                 }
                                 None => return err("identifier after '.'"),
                             },
                         }
                     } else {
-                        refs.push(ColumnRef::bare(&w));
+                        refs.push(ColumnRef::bare(w));
                     }
                 }
                 TokenKind::QuotedIdent(w) => {
@@ -487,7 +487,7 @@ impl QueryParser {
                 }
                 // printf-style placeholder (`%s`, `%d`): the word after `%`
                 // is part of the placeholder, not a column.
-                TokenKind::Op(o) if o == "%" => {
+                TokenKind::Op("%") => {
                     self.advance();
                     if matches!(self.peek(), TokenKind::Word(w) if w.len() <= 2) {
                         self.advance();

@@ -22,6 +22,12 @@ pub struct ProfileRow {
     pub cache_hits: u64,
     /// Incremental-core lookups that did the work.
     pub cache_misses: u64,
+    /// Heap allocations measured inside the stage; zero when the collecting
+    /// binary ran without a counting allocator (the normal case — only the
+    /// benchmark suite installs one).
+    pub allocs: u64,
+    /// Bytes those allocations requested.
+    pub alloc_bytes: u64,
 }
 
 impl ProfileRow {
@@ -32,6 +38,13 @@ impl ProfileRow {
         }
         let rate = self.cache_hits as f64 / total as f64 * 100.0;
         format!("{rate:.0}% ({}/{total})", self.cache_hits)
+    }
+
+    fn alloc_cell(&self) -> String {
+        if self.allocs == 0 {
+            return "-".to_string();
+        }
+        format!("{} ({})", fmt_count(self.allocs), fmt_bytes(self.alloc_bytes))
     }
 }
 
@@ -85,7 +98,10 @@ impl StoreProfile {
 /// Render the profile table: one row per stage with busy time, item count,
 /// throughput, share of total busy time, and incremental-cache hit rate,
 /// plus a wall-time footer. A store-backed run passes its counters as
-/// `store`, adding a `store` column and a store summary line.
+/// `store`, adding a `store` column and a store summary line. An `allocs`
+/// column appears only when some row carries allocation counts (i.e. the
+/// collecting binary ran under a counting allocator), so alloc-free renders
+/// are byte-identical to the pre-profiling format.
 pub fn render_profile(
     rows: &[ProfileRow],
     wall: Duration,
@@ -93,6 +109,7 @@ pub fn render_profile(
     store: Option<&StoreProfile>,
 ) -> String {
     let total_busy: Duration = rows.iter().map(|r| r.busy).sum();
+    let with_allocs = rows.iter().any(|r| r.allocs > 0);
     let mut headers = vec![
         "stage".to_string(),
         "items".into(),
@@ -101,6 +118,9 @@ pub fn render_profile(
         "% busy".into(),
         "cache".into(),
     ];
+    if with_allocs {
+        headers.push("allocs".into());
+    }
     if store.is_some() {
         headers.push("store".into());
     }
@@ -124,6 +144,9 @@ pub fn render_profile(
             format!("{share:.0}%"),
             r.cache_cell(),
         ];
+        if with_allocs {
+            cells.push(r.alloc_cell());
+        }
         if let Some(s) = store {
             cells.push(s.cell(&r.stage));
         }
@@ -146,6 +169,28 @@ pub fn render_profile(
         },
     ));
     out
+}
+
+/// Compact human count: `847`, `1.5k`, `2.3M`.
+fn fmt_count(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Compact human byte count: `512B`, `64.0KiB`, `3.2MiB`.
+fn fmt_bytes(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1}MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1}KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
+    }
 }
 
 /// Compact human duration: `428ms`, `1.52s`, `87µs`.
@@ -173,6 +218,8 @@ mod tests {
                 busy: Duration::from_millis(300),
                 cache_hits: 59,
                 cache_misses: 41,
+                allocs: 0,
+                alloc_bytes: 0,
             },
             ProfileRow {
                 stage: "diff".into(),
@@ -180,6 +227,8 @@ mod tests {
                 busy: Duration::from_millis(100),
                 cache_hits: 0,
                 cache_misses: 0,
+                allocs: 0,
+                alloc_bytes: 0,
             },
         ];
         let text = render_profile(&rows, Duration::from_millis(200), 4, None);
@@ -200,6 +249,8 @@ mod tests {
             busy: Duration::ZERO,
             cache_hits: 0,
             cache_misses: 0,
+            allocs: 0,
+            alloc_bytes: 0,
         }];
         let text = render_profile(&rows, Duration::ZERO, 1, None);
         assert!(text.contains("stats"), "{text}");
@@ -217,6 +268,8 @@ mod tests {
                 busy: Duration::from_millis(12),
                 cache_hits: 195,
                 cache_misses: 0,
+                allocs: 0,
+                alloc_bytes: 0,
             },
             ProfileRow {
                 stage: "parse".into(),
@@ -224,6 +277,8 @@ mod tests {
                 busy: Duration::ZERO,
                 cache_hits: 0,
                 cache_misses: 0,
+                allocs: 0,
+                alloc_bytes: 0,
             },
         ];
         let store = StoreProfile { hits: 195, published: 0, ..StoreProfile::default() };
@@ -247,5 +302,52 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
         assert_eq!(fmt_duration(Duration::from_millis(428)), "428ms");
         assert_eq!(fmt_duration(Duration::from_micros(87)), "87µs");
+    }
+
+    #[test]
+    fn count_and_byte_formats() {
+        assert_eq!(fmt_count(847), "847");
+        assert_eq!(fmt_count(1_500), "1.5k");
+        assert_eq!(fmt_count(2_300_000), "2.3M");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(65_536), "64.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+
+    #[test]
+    fn alloc_column_renders_only_when_counted() {
+        let mut rows = vec![
+            ProfileRow {
+                stage: "parse".into(),
+                items: 100,
+                busy: Duration::from_millis(300),
+                cache_hits: 0,
+                cache_misses: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+            },
+            ProfileRow {
+                stage: "diff".into(),
+                items: 50,
+                busy: Duration::from_millis(100),
+                cache_hits: 0,
+                cache_misses: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+            },
+        ];
+        // All-zero counts (no counting allocator): no `allocs` column, and
+        // the render is byte-identical to the pre-profiling format.
+        let plain = render_profile(&rows, Duration::from_millis(200), 4, None);
+        assert!(!plain.contains("allocs"), "{plain}");
+
+        rows[0].allocs = 12_400;
+        rows[0].alloc_bytes = 3 << 20;
+        let counted = render_profile(&rows, Duration::from_millis(200), 4, None);
+        assert!(counted.contains("allocs"), "{counted}");
+        assert!(counted.contains("12.4k (3.0MiB)"), "{counted}");
+        // A stage with no recorded allocations renders `-`, not `0`.
+        let diff_line = counted.lines().find(|l| l.starts_with("diff")).unwrap();
+        assert!(diff_line.trim_end().ends_with('-'), "{diff_line}");
     }
 }

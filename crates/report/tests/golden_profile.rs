@@ -49,6 +49,8 @@ fn fixture_rows() -> Vec<ProfileRow> {
             busy: Duration::from_millis(1520),
             cache_hits: 1170,
             cache_misses: 780,
+            allocs: 0,
+            alloc_bytes: 0,
         },
         ProfileRow {
             stage: "diff".into(),
@@ -56,6 +58,8 @@ fn fixture_rows() -> Vec<ProfileRow> {
             busy: Duration::from_millis(428),
             cache_hits: 0,
             cache_misses: 1755,
+            allocs: 0,
+            alloc_bytes: 0,
         },
         ProfileRow {
             stage: "measure".into(),
@@ -63,6 +67,8 @@ fn fixture_rows() -> Vec<ProfileRow> {
             busy: Duration::from_micros(87_000),
             cache_hits: 0,
             cache_misses: 0,
+            allocs: 0,
+            alloc_bytes: 0,
         },
         ProfileRow {
             stage: "stats".into(),
@@ -70,6 +76,8 @@ fn fixture_rows() -> Vec<ProfileRow> {
             busy: Duration::ZERO,
             cache_hits: 0,
             cache_misses: 0,
+            allocs: 0,
+            alloc_bytes: 0,
         },
     ]
 }
@@ -78,6 +86,21 @@ fn fixture_rows() -> Vec<ProfileRow> {
 fn profile_rendering_matches_golden_file() {
     let text = render_profile(&fixture_rows(), Duration::from_millis(640), 4, None);
     assert_matches_golden("profile.txt", &text);
+}
+
+#[test]
+fn alloc_counted_profile_rendering_matches_golden_file() {
+    // The shape `cargo bench`-collected profiles have: the same stages, but
+    // with allocation counts sampled by a counting global allocator.
+    let mut rows = fixture_rows();
+    rows[0].allocs = 1_482_000; // parse: the cold path's allocation hot spot
+    rows[0].alloc_bytes = 96 << 20;
+    rows[1].allocs = 12_400;
+    rows[1].alloc_bytes = 3 << 20;
+    rows[2].allocs = 980;
+    rows[2].alloc_bytes = 120_000;
+    let text = render_profile(&rows, Duration::from_millis(640), 4, None);
+    assert_matches_golden("profile_allocs.txt", &text);
 }
 
 #[test]
@@ -91,6 +114,8 @@ fn store_backed_profile_rendering_matches_golden_file() {
             busy: Duration::from_millis(12),
             cache_hits: 150,
             cache_misses: 45,
+            allocs: 0,
+            alloc_bytes: 0,
         },
     );
     let store = StoreProfile {
