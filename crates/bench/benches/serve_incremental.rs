@@ -1,0 +1,146 @@
+//! The serve path's reason to exist, measured: with the full 195-project
+//! study warm in an [`IncrementalStudy`], appending one month of activity
+//! to one project and re-answering the corpus summary must be at least
+//! **10× faster** than recomputing the whole study cold from artifacts —
+//! that floor is asserted, in test mode *and* bench mode. In bench mode
+//! (`cargo bench -- --bench`) the measured numbers are written to
+//! `BENCH_6.json` at the repo root so future PRs can diff against them.
+//!
+//! Before timing anything, the warm and cold paths are checked to produce
+//! bit-identical `StudyResults` — a fast differential guard on top of the
+//! oracle suite's.
+
+use coevo_core::StudyResults;
+use coevo_corpus::{generate_corpus, CorpusSpec, ProjectArtifacts};
+use coevo_engine::{IncrementalStudy, ProjectEvent, StudyConfig, StudyRunner};
+use coevo_heartbeat::{DateTime, YearMonth};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn corpus() -> Vec<ProjectArtifacts> {
+    generate_corpus(&CorpusSpec::paper()).iter().map(ProjectArtifacts::from_generated).collect()
+}
+
+/// The cold path: every project re-measured from raw artifacts through the
+/// production pipeline, then the study statistics recomputed — what a
+/// batch-only deployment pays for *any* update.
+fn cold_batch(corpus: &[ProjectArtifacts], runner: &StudyRunner) -> StudyResults {
+    let mut measures: Vec<_> =
+        corpus.iter().map(|p| runner.run_project(p).expect("pipeline").1).collect();
+    measures.sort_by(|a, b| a.name.cmp(&b.name));
+    StudyResults::from_measures(measures)
+}
+
+/// A mid-month commit timestamp inside `month`.
+fn commit_date(month: YearMonth) -> DateTime {
+    DateTime::parse(&format!("{:04}-{:02}-15 12:00:00 +0000", month.year, month.month))
+        .expect("synthesized date")
+}
+
+/// Append one commit in a fresh month to `name` and re-answer the corpus
+/// summary — the serve daemon's per-update work.
+fn warm_append(
+    study: &mut IncrementalStudy,
+    name: &str,
+    dialect: coevo_ddl::Dialect,
+    month: YearMonth,
+) -> StudyResults {
+    study
+        .ingest(
+            name,
+            dialect,
+            None,
+            [ProjectEvent::Commit { date: commit_date(month), files_updated: 1 }],
+        )
+        .expect("append");
+    study.results()
+}
+
+fn serve_incremental_bench(c: &mut Criterion) {
+    let corpus = corpus();
+    let runner = StudyRunner::new(StudyConfig::default());
+
+    // Warm the incremental study with the whole corpus.
+    let mut study = IncrementalStudy::default();
+    for p in &corpus {
+        study.ingest_artifacts(p).expect("ingest");
+    }
+
+    // Differential guard: warm and cold answers are bit-identical before
+    // any timing starts.
+    assert_eq!(study.results(), cold_batch(&corpus, &runner), "warm/cold paths diverge");
+
+    // The appended months land just past the target project's frontier, one
+    // per iteration, so every warm iteration is a true one-month append.
+    let target = corpus[0].name.clone();
+    let dialect = corpus[0].dialect;
+    let mut next_month = study
+        .project(&target)
+        .and_then(|s| s.project_heartbeat())
+        .expect("warm project")
+        .end()
+        .plus(1);
+
+    // Min-of-N interleaved: one cold recompute per round brackets a burst
+    // of warm appends (the cold side is ~ms, the warm side ~µs; a burst
+    // keeps the clock overhead negligible on the warm side).
+    const ROUNDS: u32 = 5;
+    const WARM_BURST: u32 = 20;
+    let (mut cold, mut warm) = (f64::INFINITY, f64::INFINITY);
+    black_box(cold_batch(black_box(&corpus), &runner));
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        black_box(cold_batch(black_box(&corpus), &runner));
+        cold = cold.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for _ in 0..WARM_BURST {
+            black_box(warm_append(black_box(&mut study), &target, dialect, next_month));
+            next_month = next_month.plus(1);
+        }
+        warm = warm.min(t.elapsed().as_secs_f64() / WARM_BURST as f64);
+    }
+    let speedup = cold / warm;
+    println!(
+        "[serve_incremental] {} projects: cold batch {:.2}ms  one-month append + summary \
+         {:.3}ms  speedup {speedup:.1}x",
+        corpus.len(),
+        cold * 1e3,
+        warm * 1e3,
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm one-month append + summary speedup {speedup:.2}x below the 10x acceptance bar"
+    );
+
+    if std::env::args().any(|a| a == "--bench") {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+        let json = format!(
+            "{{\n  \"serve_incremental/cold_batch_recompute\": {{ \"ns_per_iter\": {:.0} }},\n  \"serve_incremental/one_month_append_plus_summary\": {{ \"ns_per_iter\": {:.0} }},\n  \"serve_incremental/speedup\": {:.2}\n}}\n",
+            cold * 1e9,
+            warm * 1e9,
+            speedup,
+        );
+        std::fs::write(path, json).expect("write BENCH_6.json");
+        println!("[serve_incremental] wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("serve_incremental");
+    group.sample_size(10);
+    group.bench_function("cold_batch_recompute", |b| {
+        b.iter(|| black_box(cold_batch(black_box(&corpus), &runner)))
+    });
+    group.bench_function("one_month_append_plus_summary", |b| {
+        b.iter(|| {
+            let out =
+                black_box(warm_append(black_box(&mut study), &target, dialect, next_month));
+            next_month = next_month.plus(1);
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(serve, serve_incremental_bench);
+criterion_main!(serve);

@@ -19,6 +19,13 @@ USAGE:
                                              (quarantines corrupt entries;
                                              exits nonzero if any were found)
     coevo store gc <DIR> --max-bytes N       evict LRU entries beyond budget
+    coevo serve [--addr HOST:PORT] [--store DIR]
+                                             run the incremental study daemon
+                                             (line-delimited JSON over TCP:
+                                             ingest, project, summary, taxa,
+                                             snapshot, shutdown); --store
+                                             persists snapshots for warm
+                                             restarts
     coevo check [--quick|--full] [--seed N] [--repro DIR]
                                              metamorphic & differential
                                              correctness check over a seeded
@@ -60,6 +67,13 @@ pub enum Command {
         action: StoreAction,
         /// The store's root directory.
         dir: PathBuf,
+    },
+    /// `coevo serve`: the incremental study daemon.
+    Serve {
+        /// The address to bind (`host:port`), when overridden.
+        addr: Option<String>,
+        /// Root directory of the snapshot store (memory-only when absent).
+        store: Option<PathBuf>,
     },
     /// `coevo check`: the metamorphic/differential correctness harness.
     Check {
@@ -186,6 +200,14 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
                 expect_no_flags(&flags)?;
             }
             Ok(Command::Store { action, dir: PathBuf::from(dir) })
+        }
+        "serve" => {
+            let (flags, pos) = split_flags(rest)?;
+            expect_no_positionals(&pos)?;
+            Ok(Command::Serve {
+                addr: flag_value(&flags, "addr").map(String::from),
+                store: flag_value(&flags, "store").map(PathBuf::from),
+            })
         }
         "check" => {
             let (mut flags, pos) = split_flags(rest)?;
@@ -449,6 +471,19 @@ mod tests {
         assert!(parse(&["store", "compact", "cache"]).is_err());
         assert!(parse(&["store", "stats"]).is_err());
         assert!(parse(&["store", "stats", "cache", "--max-bytes", "9"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        assert_eq!(parse(&["serve"]).unwrap(), Command::Serve { addr: None, store: None });
+        assert_eq!(
+            parse(&["serve", "--addr", "127.0.0.1:0", "--store", "cache"]).unwrap(),
+            Command::Serve {
+                addr: Some("127.0.0.1:0".to_string()),
+                store: Some(PathBuf::from("cache")),
+            }
+        );
+        assert!(parse(&["serve", "extra"]).is_err());
     }
 
     #[test]

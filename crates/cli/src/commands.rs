@@ -71,6 +71,31 @@ pub fn study(
     Ok(())
 }
 
+/// `coevo serve`: run the incremental study daemon until a client sends
+/// `shutdown`. The listening address is printed (and flushed) before the
+/// accept loop starts, so wrappers can parse it — with `--addr 127.0.0.1:0`
+/// the kernel-assigned port is the only way to find the daemon.
+pub fn serve(addr: Option<&str>, store: Option<&Path>, out: &mut dyn Write) -> CmdResult {
+    let config = coevo_serve::ServeConfig {
+        addr: addr.unwrap_or(coevo_serve::DEFAULT_ADDR).to_string(),
+        store_dir: store.map(Path::to_path_buf),
+        taxonomy: TaxonomyConfig::default(),
+    };
+    let server = coevo_serve::Server::bind(&config).map_err(io_err)?;
+    writeln!(out, "coevo serve listening on {}", server.local_addr()).map_err(io_err)?;
+    if let Some(dir) = store {
+        writeln!(
+            out,
+            "snapshots under {} ({} project(s) restored)",
+            dir.display(),
+            server.restored_projects()
+        )
+        .map_err(io_err)?;
+    }
+    out.flush().map_err(io_err)?;
+    server.run().map_err(io_err)
+}
+
 /// `coevo store stats <dir>`: entry/byte/quarantine counts of a result
 /// store.
 pub fn store_stats(dir: &Path, out: &mut dyn Write) -> CmdResult {

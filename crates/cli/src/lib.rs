@@ -6,6 +6,9 @@
 //!   [--store DIR]` — run the full 195-project study on the execution
 //!   engine, optionally backed by a content-addressed result store so
 //!   re-runs only recompute changed projects;
+//! - `coevo serve [--addr HOST:PORT] [--store DIR]` — run the incremental
+//!   study daemon (line-delimited JSON over TCP), snapshotting to a result
+//!   store for warm restarts;
 //! - `coevo store {stats,verify,gc} <dir>` — inspect, validate and bound
 //!   the result store;
 //! - `coevo check [--quick|--full] [--seed N] [--repro DIR]` — run the
@@ -48,6 +51,9 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
             args::StoreAction::Verify => commands::store_verify(&dir, out),
             args::StoreAction::Gc { max_bytes } => commands::store_gc(&dir, max_bytes, out),
         },
+        Command::Serve { addr, store } => {
+            commands::serve(addr.as_deref(), store.as_deref(), out)
+        }
         Command::Check { full, seed, repro_dir } => {
             commands::check(full, seed, repro_dir.as_deref(), out)
         }

@@ -30,46 +30,19 @@ pub struct AdvanceMeasures {
     pub always_over_both: bool,
 }
 
-/// Compute the advance measures from the three aligned cumulative series.
+/// Compute the advance measures from the three aligned cumulative series —
+/// a whole-series fold over [`crate::fold::AdvanceAccum`], the same
+/// accumulator the incremental [`crate::fold::AdvanceFold`] rescans with.
 pub fn advance_measures(schema: &[f64], project: &[f64], time: &[f64]) -> AdvanceMeasures {
     assert!(
         schema.len() == project.len() && project.len() == time.len(),
         "series must be aligned"
     );
-    let n = schema.len();
-    if n <= 1 {
-        return AdvanceMeasures {
-            over_source: None,
-            over_time: None,
-            always_over_source: false,
-            always_over_time: false,
-            always_over_both: false,
-        };
+    let mut acc = crate::fold::AdvanceAccum::new();
+    for i in 0..schema.len() {
+        acc.push(schema[i], project[i], time[i]);
     }
-    let months_after_creation = n - 1;
-    let mut src_hits = 0usize;
-    let mut time_hits = 0usize;
-    let mut both_hits = 0usize;
-    for i in 1..n {
-        let adv_src = schema[i] - project[i] >= -1e-12;
-        let adv_time = schema[i] - time[i] >= -1e-12;
-        if adv_src {
-            src_hits += 1;
-        }
-        if adv_time {
-            time_hits += 1;
-        }
-        if adv_src && adv_time {
-            both_hits += 1;
-        }
-    }
-    AdvanceMeasures {
-        over_source: Some(src_hits as f64 / months_after_creation as f64),
-        over_time: Some(time_hits as f64 / months_after_creation as f64),
-        always_over_source: src_hits == months_after_creation,
-        always_over_time: time_hits == months_after_creation,
-        always_over_both: both_hits == months_after_creation,
-    }
+    acc.value()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! 100%, 100%] over months M0…M6 (duration 6 months): the 45%-attainment
 //! timepoint is M1 and the fractional timepoint is 1/6 ≈ 16.66%.
 
+use crate::fold::{attains, AttainmentAccum};
 use serde::{Deserialize, Serialize};
 
 /// The completion levels the paper measures (50%, 75%, 80%, 100%).
@@ -19,7 +20,7 @@ pub const ATTAINMENT_ALPHAS: [f64; 4] = [0.50, 0.75, 0.80, 1.00];
 /// activity, whose cumulative progression is identically zero).
 pub fn attainment_index(cumulative: &[f64], alpha: f64) -> Option<usize> {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-    cumulative.iter().position(|&v| v >= alpha - 1e-12)
+    cumulative.iter().position(|&v| attains(v, alpha))
 }
 
 /// The α-attainment *fractional* timepoint: the attainment index as a
@@ -49,14 +50,15 @@ pub struct AttainmentLevels {
 }
 
 impl AttainmentLevels {
-    /// Compute all four levels.
+    /// Compute all four levels — a whole-series fold over
+    /// [`AttainmentAccum`], the same accumulator semantics the incremental
+    /// [`crate::fold::AttainmentFold`] maintains with its cursors.
     pub fn of(cumulative: &[f64]) -> Self {
-        Self {
-            at_50: attainment_fraction(cumulative, 0.50),
-            at_75: attainment_fraction(cumulative, 0.75),
-            at_80: attainment_fraction(cumulative, 0.80),
-            at_100: attainment_fraction(cumulative, 1.00),
+        let mut acc = AttainmentAccum::new();
+        for &v in cumulative {
+            acc.push(v);
         }
+        acc.value()
     }
 
     /// The level for a given α of [`ATTAINMENT_ALPHAS`].

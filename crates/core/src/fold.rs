@@ -1,0 +1,834 @@
+//! Fold-based measure computation over an append-only month series.
+//!
+//! The batch API computes every measure from a *finished* pair of aligned
+//! cumulative series. This module turns that around: a [`MeasureFolds`]
+//! ingests one `(project_activity, schema_activity)` pair per month through
+//! [`MeasureFolds::append_month`] and keeps every measure of the study —
+//! θ-synchronicity, α-attainment fractions, advance over source/time, and
+//! the cumulative series themselves — warm as the series grows.
+//!
+//! **One semantics.** The point predicates ([`theta_synchronous`],
+//! [`attains`], [`in_advance`]) and the point accumulators ([`SyncAccum`],
+//! [`AdvanceAccum`], [`AttainmentAccum`]) are the single source of truth:
+//! the batch functions (`theta_synchronicity`, `advance_measures`,
+//! `AttainmentLevels::of`) are literally "fold the whole series" over these
+//! accumulators, and the incremental fold states rescan through the same
+//! accumulators whenever a cheap update is impossible. Batch and fold can
+//! therefore never drift: they evaluate the same floating-point expressions
+//! over the same inputs, bit for bit.
+//!
+//! **Cost model.** [`MeasureFolds::append_month`] is O(1) amortized:
+//!
+//! - [`CumulativeFold`] pushes one prefix sum per series — O(1);
+//! - [`AttainmentFold`] maintains one forward-only cursor per α. Appending
+//!   activity can only *grow* the schema total, so the cumulative fraction
+//!   at a fixed index never increases, and a month that once failed an
+//!   α-threshold fails it forever — the cursor never moves left. Each
+//!   cursor advances at most `months` times over the fold's life — O(1)
+//!   amortized, and the produced index is exactly the batch
+//!   `attainment_index`;
+//! - [`ThetaSyncFold`] absorbs a month in O(1) when the appended month has
+//!   zero activity on both series (the totals — and hence every earlier
+//!   fraction — are unchanged, so only the new point needs judging). When a
+//!   total moves, every fraction moves, so the hit count is recomputed
+//!   lazily at the next [`MeasureFold::value`] call and cached against the
+//!   `(months, totals)` stamp;
+//! - [`AdvanceFold`] is always lazy: time progress `(i+1)/months` re-weighs
+//!   *every* point on each append, so no incremental count can survive an
+//!   append. Its rescan is likewise cached against the series stamp, making
+//!   repeated queries between appends free.
+//!
+//! **Bounded replay.** Out-of-order events mutate months that are already
+//! folded. [`MeasureFolds`] snapshots the (tiny, O(1)-sized) fold states
+//! every [`SNAPSHOT_INTERVAL`] months; [`MeasureFolds::rewind_to`] restores
+//! the nearest snapshot at or before the mutated month and tells the caller
+//! from which month to re-append. The replay is bounded by the distance to
+//! the previous snapshot plus the months after the mutation — never a full
+//! pipeline recompute, and never a re-parse or re-diff.
+
+use crate::advance::AdvanceMeasures;
+use crate::attainment::{AttainmentLevels, ATTAINMENT_ALPHAS};
+
+/// The comparison slack shared by every measure predicate of the study.
+pub const MEASURE_EPS: f64 = 1e-12;
+
+/// Fold-state snapshot cadence, in months.
+pub const SNAPSHOT_INTERVAL: usize = 16;
+
+// ---- point predicates (the single semantics) -------------------------------
+
+/// Is a point θ-synchronous? (`|p − s| ≤ θ`, with slack.)
+pub fn theta_synchronous(p: f64, s: f64, theta: f64) -> bool {
+    (p - s).abs() <= theta + MEASURE_EPS
+}
+
+/// Does a cumulative fraction attain level α? (`v ≥ α`, with slack.)
+pub fn attains(v: f64, alpha: f64) -> bool {
+    v >= alpha - MEASURE_EPS
+}
+
+/// Is `lead` in advance of (at or ahead of) `other`? (`lead − other ≥ 0`,
+/// with slack.)
+pub fn in_advance(lead: f64, other: f64) -> bool {
+    lead - other >= -MEASURE_EPS
+}
+
+// ---- point accumulators ----------------------------------------------------
+
+/// Point-by-point θ-synchronicity accumulator: push every aligned point,
+/// read the synchronous fraction.
+#[derive(Debug, Clone)]
+pub struct SyncAccum {
+    theta: f64,
+    months: usize,
+    hits: usize,
+}
+
+impl SyncAccum {
+    /// A fresh accumulator for a non-negative θ band.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta >= 0.0, "theta must be non-negative");
+        Self { theta, months: 0, hits: 0 }
+    }
+
+    /// Absorb one aligned point.
+    pub fn push(&mut self, p: f64, s: f64) {
+        self.months += 1;
+        if theta_synchronous(p, s, self.theta) {
+            self.hits += 1;
+        }
+    }
+
+    /// The θ-synchronicity so far (0.0 for an empty series).
+    pub fn value(&self) -> f64 {
+        if self.months == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.months as f64
+        }
+    }
+}
+
+/// Point-by-point advance accumulator: push every aligned
+/// `(schema, project, time)` triple in month order, read the RQ2 measures.
+/// The first pushed month is the creation month and is excluded from the
+/// counts, matching the paper's "months after creation" denominator.
+#[derive(Debug, Clone, Default)]
+pub struct AdvanceAccum {
+    months: usize,
+    src_hits: usize,
+    time_hits: usize,
+    both_hits: usize,
+}
+
+impl AdvanceAccum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one aligned point (creation month first).
+    pub fn push(&mut self, schema: f64, project: f64, time: f64) {
+        self.months += 1;
+        if self.months == 1 {
+            return; // the creation month is not measured
+        }
+        let adv_src = in_advance(schema, project);
+        let adv_time = in_advance(schema, time);
+        if adv_src {
+            self.src_hits += 1;
+        }
+        if adv_time {
+            self.time_hits += 1;
+        }
+        if adv_src && adv_time {
+            self.both_hits += 1;
+        }
+    }
+
+    /// The advance measures so far (`None`/`false` while the life has no
+    /// months after creation).
+    pub fn value(&self) -> AdvanceMeasures {
+        if self.months <= 1 {
+            return AdvanceMeasures {
+                over_source: None,
+                over_time: None,
+                always_over_source: false,
+                always_over_time: false,
+                always_over_both: false,
+            };
+        }
+        let months_after_creation = self.months - 1;
+        AdvanceMeasures {
+            over_source: Some(self.src_hits as f64 / months_after_creation as f64),
+            over_time: Some(self.time_hits as f64 / months_after_creation as f64),
+            always_over_source: self.src_hits == months_after_creation,
+            always_over_time: self.time_hits == months_after_creation,
+            always_over_both: self.both_hits == months_after_creation,
+        }
+    }
+}
+
+/// Point-by-point attainment accumulator: push the cumulative schema
+/// fraction of every month in order, read the four α-attainment fractional
+/// timepoints.
+#[derive(Debug, Clone, Default)]
+pub struct AttainmentAccum {
+    months: usize,
+    indices: [Option<usize>; ATTAINMENT_ALPHAS.len()],
+}
+
+impl AttainmentAccum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb the next month's cumulative schema fraction.
+    pub fn push(&mut self, schema: f64) {
+        let i = self.months;
+        self.months += 1;
+        for (k, &alpha) in ATTAINMENT_ALPHAS.iter().enumerate() {
+            if self.indices[k].is_none() && attains(schema, alpha) {
+                self.indices[k] = Some(i);
+            }
+        }
+    }
+
+    /// The attainment levels so far.
+    pub fn value(&self) -> AttainmentLevels {
+        let duration = self.months.saturating_sub(1);
+        let frac = |idx: Option<usize>| {
+            idx.map(|i| if duration == 0 { 0.0 } else { i as f64 / duration as f64 })
+        };
+        AttainmentLevels {
+            at_50: frac(self.indices[0]),
+            at_75: frac(self.indices[1]),
+            at_80: frac(self.indices[2]),
+            at_100: frac(self.indices[3]),
+        }
+    }
+}
+
+// ---- the series spine ------------------------------------------------------
+
+/// The cumulative-series fold: per-month prefix sums of project and schema
+/// activity on the shared (aligned) month axis. This is the spine every
+/// other fold reads through — cumulative fractions are *derived* on demand
+/// from `prefix / total`, evaluating the same division `cumulative_fraction`
+/// performs, so no per-month `Vec<f64>` is ever materialized on the measure
+/// path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CumulativeFold {
+    p_prefix: Vec<u64>,
+    s_prefix: Vec<u64>,
+}
+
+impl CumulativeFold {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one month of raw activity to both series.
+    pub fn append_month(&mut self, p_activity: u64, s_activity: u64) {
+        let p = self.p_prefix.last().copied().unwrap_or(0) + p_activity;
+        let s = self.s_prefix.last().copied().unwrap_or(0) + s_activity;
+        self.p_prefix.push(p);
+        self.s_prefix.push(s);
+    }
+
+    /// Months folded so far.
+    pub fn months(&self) -> usize {
+        self.p_prefix.len()
+    }
+
+    /// Total project activity folded so far.
+    pub fn project_total(&self) -> u64 {
+        self.p_prefix.last().copied().unwrap_or(0)
+    }
+
+    /// Total schema activity folded so far.
+    pub fn schema_total(&self) -> u64 {
+        self.s_prefix.last().copied().unwrap_or(0)
+    }
+
+    /// Cumulative fractional project activity at month `i` (0.0 throughout
+    /// for an all-zero series, as in `cumulative_fraction`).
+    pub fn project_at(&self, i: usize) -> f64 {
+        fraction(self.p_prefix[i], self.project_total())
+    }
+
+    /// Cumulative fractional schema activity at month `i`.
+    pub fn schema_at(&self, i: usize) -> f64 {
+        fraction(self.s_prefix[i], self.schema_total())
+    }
+
+    /// Cumulative fractional time progress at month `i`: `(i+1)/months`.
+    pub fn time_at(&self, i: usize) -> f64 {
+        (i + 1) as f64 / self.months() as f64
+    }
+
+    /// Drop every month at index ≥ `months` (replay support).
+    pub fn truncate(&mut self, months: usize) {
+        self.p_prefix.truncate(months);
+        self.s_prefix.truncate(months);
+    }
+
+    /// Materialize the project fraction series into a caller-owned buffer
+    /// (cleared first), so repeated queries reuse one allocation.
+    pub fn project_fractions_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend((0..self.months()).map(|i| self.project_at(i)));
+    }
+
+    /// Materialize the schema fraction series into a caller-owned buffer.
+    pub fn schema_fractions_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend((0..self.months()).map(|i| self.schema_at(i)));
+    }
+
+    /// Materialize the time progress series into a caller-owned buffer.
+    pub fn time_fractions_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend((0..self.months()).map(|i| self.time_at(i)));
+    }
+}
+
+fn fraction(prefix: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        prefix as f64 / total as f64
+    }
+}
+
+// ---- the per-measure folds -------------------------------------------------
+
+/// A measure kept warm over an append-only series.
+///
+/// The [`CumulativeFold`] is the spine: callers append raw activity there
+/// and then offer the grown series to each fold. `append_month` must be
+/// called exactly once per appended month, *after* the spine grew;
+/// `value` may be called at any time and may cache (hence `&mut`).
+pub trait MeasureFold {
+    /// What the fold measures.
+    type Output;
+
+    /// Absorb the month just appended to `series` (the series already
+    /// includes it). O(1).
+    fn append_month(&mut self, series: &CumulativeFold);
+
+    /// The measure at the current frontier.
+    fn value(&mut self, series: &CumulativeFold) -> Self::Output;
+
+    /// Forget everything.
+    fn reset(&mut self);
+}
+
+/// θ-synchronicity as a fold. O(1) appends for quiet months; lazy cached
+/// rescan through [`SyncAccum`] when a total moves.
+#[derive(Debug, Clone)]
+pub struct ThetaSyncFold {
+    theta: f64,
+    hits: usize,
+    valid_months: usize,
+    valid_totals: (u64, u64),
+}
+
+impl ThetaSyncFold {
+    /// A fresh fold for a non-negative θ band.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta >= 0.0, "theta must be non-negative");
+        Self { theta, hits: 0, valid_months: 0, valid_totals: (0, 0) }
+    }
+
+    fn refresh(&mut self, series: &CumulativeFold) {
+        let stamp = (series.project_total(), series.schema_total());
+        if self.valid_months == series.months() && self.valid_totals == stamp {
+            return;
+        }
+        let mut acc = SyncAccum::new(self.theta);
+        for i in 0..series.months() {
+            acc.push(series.project_at(i), series.schema_at(i));
+        }
+        self.hits = acc.hits;
+        self.valid_months = series.months();
+        self.valid_totals = stamp;
+    }
+}
+
+impl MeasureFold for ThetaSyncFold {
+    type Output = f64;
+
+    fn append_month(&mut self, series: &CumulativeFold) {
+        let stamp = (series.project_total(), series.schema_total());
+        // Fast path: the appended month was quiet on both series, so every
+        // earlier fraction is unchanged and only the new point needs judging.
+        if series.months() == self.valid_months + 1 && self.valid_totals == stamp {
+            let i = series.months() - 1;
+            if theta_synchronous(series.project_at(i), series.schema_at(i), self.theta) {
+                self.hits += 1;
+            }
+            self.valid_months = series.months();
+        }
+        // Otherwise the count is stale; `value` rescans and re-caches.
+    }
+
+    fn value(&mut self, series: &CumulativeFold) -> f64 {
+        self.refresh(series);
+        if series.months() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / series.months() as f64
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.theta);
+    }
+}
+
+/// α-attainment as a fold: one forward-only cursor per α. Appending
+/// activity never increases the cumulative fraction at a fixed index, so a
+/// month that failed a threshold fails it forever and the cursor never
+/// backtracks — O(1) amortized per month, no rescans ever.
+#[derive(Debug, Clone, Default)]
+pub struct AttainmentFold {
+    cursors: [usize; ATTAINMENT_ALPHAS.len()],
+}
+
+impl AttainmentFold {
+    /// A fresh fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn advance_cursors(&mut self, series: &CumulativeFold) {
+        for (k, &alpha) in ATTAINMENT_ALPHAS.iter().enumerate() {
+            let mut c = self.cursors[k];
+            while c < series.months() && !attains(series.schema_at(c), alpha) {
+                c += 1;
+            }
+            self.cursors[k] = c;
+        }
+    }
+}
+
+impl MeasureFold for AttainmentFold {
+    type Output = AttainmentLevels;
+
+    fn append_month(&mut self, series: &CumulativeFold) {
+        self.advance_cursors(series);
+    }
+
+    fn value(&mut self, series: &CumulativeFold) -> AttainmentLevels {
+        self.advance_cursors(series);
+        let months = series.months();
+        let duration = months.saturating_sub(1);
+        let frac = |c: usize| {
+            if c < months {
+                Some(if duration == 0 { 0.0 } else { c as f64 / duration as f64 })
+            } else {
+                None
+            }
+        };
+        AttainmentLevels {
+            at_50: frac(self.cursors[0]),
+            at_75: frac(self.cursors[1]),
+            at_80: frac(self.cursors[2]),
+            at_100: frac(self.cursors[3]),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cursors = Default::default();
+    }
+}
+
+/// Advance over source/time as a fold. Time progress `(i+1)/months`
+/// re-weighs every point on each append, so counts cannot survive an
+/// append; the fold rescans through [`AdvanceAccum`] lazily at `value` and
+/// caches against the series stamp, making repeated queries free.
+#[derive(Debug, Clone, Default)]
+pub struct AdvanceFold {
+    cached: Option<AdvanceMeasures>,
+    valid_months: usize,
+    valid_totals: (u64, u64),
+}
+
+impl AdvanceFold {
+    /// A fresh fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MeasureFold for AdvanceFold {
+    type Output = AdvanceMeasures;
+
+    fn append_month(&mut self, _series: &CumulativeFold) {
+        // Nothing to maintain: the time axis shifted under every point.
+    }
+
+    fn value(&mut self, series: &CumulativeFold) -> AdvanceMeasures {
+        let stamp = (series.project_total(), series.schema_total());
+        if let Some(cached) = self.cached {
+            if self.valid_months == series.months() && self.valid_totals == stamp {
+                return cached;
+            }
+        }
+        let mut acc = AdvanceAccum::new();
+        for i in 0..series.months() {
+            acc.push(series.schema_at(i), series.project_at(i), series.time_at(i));
+        }
+        let value = acc.value();
+        self.cached = Some(value);
+        self.valid_months = series.months();
+        self.valid_totals = stamp;
+        value
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+// ---- the owner -------------------------------------------------------------
+
+/// Every per-project measure of the study at the current fold frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldOutputs {
+    /// Months folded (the shared axis length).
+    pub months: usize,
+    /// 5%-synchronicity.
+    pub sync_05: f64,
+    /// 10%-synchronicity.
+    pub sync_10: f64,
+    /// RQ2 advance measures.
+    pub advance: AdvanceMeasures,
+    /// RQ3 attainment levels.
+    pub attainment: AttainmentLevels,
+    /// Total project activity folded.
+    pub project_total: u64,
+    /// Total schema activity folded.
+    pub schema_total: u64,
+}
+
+/// Snapshot of the (scalar) fold states at a given frontier, for bounded
+/// replay after a late event.
+#[derive(Debug, Clone)]
+struct FoldSnapshot {
+    months: usize,
+    sync_05: ThetaSyncFold,
+    sync_10: ThetaSyncFold,
+    attainment: AttainmentFold,
+    advance: AdvanceFold,
+}
+
+/// The complete fold set for one project: the cumulative spine plus the
+/// four measure folds, with periodic snapshots for bounded replay.
+#[derive(Debug, Clone)]
+pub struct MeasureFolds {
+    series: CumulativeFold,
+    sync_05: ThetaSyncFold,
+    sync_10: ThetaSyncFold,
+    attainment: AttainmentFold,
+    advance: AdvanceFold,
+    snapshots: Vec<FoldSnapshot>,
+    replays: u64,
+}
+
+impl Default for MeasureFolds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeasureFolds {
+    /// An empty fold set (θ bands 5% and 10%, the paper's α levels).
+    pub fn new() -> Self {
+        Self {
+            series: CumulativeFold::new(),
+            sync_05: ThetaSyncFold::new(0.05),
+            sync_10: ThetaSyncFold::new(0.10),
+            attainment: AttainmentFold::new(),
+            advance: AdvanceFold::new(),
+            snapshots: Vec::new(),
+            replays: 0,
+        }
+    }
+
+    /// Fold two raw heartbeats whole, on the axis spanning the earlier of
+    /// the two starts through the later of the two ends — the fold
+    /// expression of the batch `align_pair` + measure pipeline, without
+    /// materializing aligned copies or fraction vectors.
+    pub fn from_heartbeats(
+        project: &coevo_heartbeat::Heartbeat,
+        schema: &coevo_heartbeat::Heartbeat,
+    ) -> Self {
+        let start = project.start().min(schema.start());
+        let end = project.end().max(schema.end());
+        let months = end.months_since(&start) + 1;
+        let mut folds = Self::new();
+        for i in 0..months {
+            let month = start.plus(i);
+            folds.append_month(project.at(month), schema.at(month));
+        }
+        folds
+    }
+
+    /// Months folded so far.
+    pub fn months(&self) -> usize {
+        self.series.months()
+    }
+
+    /// The cumulative spine (for chart/serve queries).
+    pub fn series(&self) -> &CumulativeFold {
+        &self.series
+    }
+
+    /// How many bounded replays (rewinds) this fold set has absorbed.
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Append one month of raw activity and update every fold. O(1)
+    /// amortized.
+    pub fn append_month(&mut self, p_activity: u64, s_activity: u64) {
+        self.series.append_month(p_activity, s_activity);
+        self.sync_05.append_month(&self.series);
+        self.sync_10.append_month(&self.series);
+        self.attainment.append_month(&self.series);
+        self.advance.append_month(&self.series);
+        if self.series.months().is_multiple_of(SNAPSHOT_INTERVAL) {
+            self.snapshots.push(FoldSnapshot {
+                months: self.series.months(),
+                sync_05: self.sync_05.clone(),
+                sync_10: self.sync_10.clone(),
+                attainment: self.attainment.clone(),
+                advance: self.advance.clone(),
+            });
+        }
+    }
+
+    /// Rewind to the nearest snapshot at or before `months` — the bounded
+    /// replay for a late event that mutated month index `months` (or later).
+    /// Returns the month index from which the caller must re-append.
+    pub fn rewind_to(&mut self, months: usize) -> usize {
+        debug_assert!(months <= self.series.months());
+        self.replays += 1;
+        while self.snapshots.last().is_some_and(|s| s.months > months) {
+            self.snapshots.pop();
+        }
+        let resume = match self.snapshots.last() {
+            Some(snap) => {
+                self.sync_05 = snap.sync_05.clone();
+                self.sync_10 = snap.sync_10.clone();
+                self.attainment = snap.attainment.clone();
+                self.advance = snap.advance.clone();
+                snap.months
+            }
+            None => {
+                self.sync_05.reset();
+                self.sync_10.reset();
+                self.attainment.reset();
+                self.advance.reset();
+                0
+            }
+        };
+        self.series.truncate(resume);
+        resume
+    }
+
+    /// Every measure at the current frontier.
+    pub fn outputs(&mut self) -> FoldOutputs {
+        FoldOutputs {
+            months: self.series.months(),
+            sync_05: self.sync_05.value(&self.series),
+            sync_10: self.sync_10.value(&self.series),
+            advance: self.advance.value(&self.series),
+            attainment: self.attainment.value(&self.series),
+            project_total: self.series.project_total(),
+            schema_total: self.series.schema_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advance::advance_measures;
+    use crate::synchronicity::theta_synchronicity;
+    use coevo_heartbeat::{cumulative_fraction, time_progress};
+
+    /// The batch reference: measures of a finished raw activity pair.
+    fn batch(p_act: &[u64], s_act: &[u64]) -> FoldOutputs {
+        assert_eq!(p_act.len(), s_act.len());
+        let p = cumulative_fraction(p_act);
+        let s = cumulative_fraction(s_act);
+        let t = time_progress(p_act.len());
+        FoldOutputs {
+            months: p_act.len(),
+            sync_05: theta_synchronicity(&p, &s, 0.05),
+            sync_10: theta_synchronicity(&p, &s, 0.10),
+            advance: advance_measures(&s, &p, &t),
+            attainment: AttainmentLevels::of(&s),
+            project_total: p_act.iter().sum(),
+            schema_total: s_act.iter().sum(),
+        }
+    }
+
+    fn fold_all(p_act: &[u64], s_act: &[u64]) -> MeasureFolds {
+        let mut folds = MeasureFolds::new();
+        for (&p, &s) in p_act.iter().zip(s_act) {
+            folds.append_month(p, s);
+        }
+        folds
+    }
+
+    /// A deterministic pseudo-random activity pair, `n` months long.
+    fn arbitrary_series(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let p = (0..n).map(|_| next() % 7).collect();
+        let s = (0..n).map(|_| if next() % 3 == 0 { next() % 20 } else { 0 }).collect();
+        (p, s)
+    }
+
+    #[test]
+    fn fold_equals_batch_on_every_prefix() {
+        for seed in [1, 2, 3, 99] {
+            let (p, s) = arbitrary_series(40, seed);
+            let mut folds = MeasureFolds::new();
+            for k in 0..p.len() {
+                folds.append_month(p[k], s[k]);
+                assert_eq!(folds.outputs(), batch(&p[..=k], &s[..=k]), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_activity_series() {
+        let mut folds = fold_all(&[0, 0, 0], &[0, 0, 0]);
+        let out = folds.outputs();
+        assert_eq!(out, batch(&[0, 0, 0], &[0, 0, 0]));
+        // Zero-vs-zero is synchronous everywhere, attains nothing.
+        assert_eq!(out.sync_10, 1.0);
+        assert_eq!(out.attainment.at_50, None);
+    }
+
+    #[test]
+    fn empty_fold_outputs() {
+        let out = MeasureFolds::new().outputs();
+        assert_eq!(out.months, 0);
+        assert_eq!(out.sync_05, 0.0);
+        assert_eq!(out.advance.over_source, None);
+        assert_eq!(out.attainment.at_100, None);
+    }
+
+    #[test]
+    fn quiet_month_fast_path_matches_rescan() {
+        // Activity followed by a long quiet tail: every quiet append takes
+        // the O(1) path, and the result must still equal batch.
+        let mut p = vec![5, 3, 0, 2];
+        let mut s = vec![10, 0, 4, 0];
+        p.extend(std::iter::repeat_n(0, 30));
+        s.extend(std::iter::repeat_n(0, 30));
+        let mut folds = fold_all(&p, &s);
+        assert_eq!(folds.outputs(), batch(&p, &s));
+    }
+
+    #[test]
+    fn rewind_replays_a_mutation_exactly() {
+        for mutate_at in [0usize, 5, 16, 17, 31, 39] {
+            let (mut p, mut s) = arbitrary_series(40, 7);
+            let mut folds = fold_all(&p, &s);
+            let _ = folds.outputs(); // warm caches, then invalidate by rewind
+                                     // A late event adds activity to an already-folded month.
+            p[mutate_at] += 11;
+            s[mutate_at] += 3;
+            let resume = folds.rewind_to(mutate_at);
+            assert!(resume <= mutate_at);
+            for k in resume..p.len() {
+                folds.append_month(p[k], s[k]);
+            }
+            assert_eq!(folds.outputs(), batch(&p, &s), "mutate_at {mutate_at}");
+            assert_eq!(folds.replays(), 1);
+        }
+    }
+
+    #[test]
+    fn rewind_uses_snapshots_not_month_zero() {
+        let (p, s) = arbitrary_series(64, 13);
+        let mut folds = fold_all(&p, &s);
+        // Mutating month 40 must resume from the snapshot at 32, not 0.
+        assert_eq!(folds.rewind_to(40), 32);
+        for k in 32..p.len() {
+            folds.append_month(p[k], s[k]);
+        }
+        assert_eq!(folds.outputs(), batch(&p, &s));
+    }
+
+    #[test]
+    fn repeated_rewinds_stay_consistent() {
+        let (mut p, s) = arbitrary_series(50, 21);
+        let mut folds = fold_all(&p, &s);
+        for (i, bump) in [(45usize, 2u64), (10, 7), (30, 1), (0, 4)] {
+            p[i] += bump;
+            let resume = folds.rewind_to(i);
+            for k in resume..p.len() {
+                folds.append_month(p[k], s[k]);
+            }
+            assert_eq!(folds.outputs(), batch(&p, &s), "mutation at {i}");
+        }
+        assert_eq!(folds.replays(), 4);
+    }
+
+    #[test]
+    fn from_heartbeats_matches_manual_alignment() {
+        use coevo_heartbeat::{Heartbeat, YearMonth};
+        let ym = |y, m| YearMonth::new(y, m).unwrap();
+        let project = Heartbeat::new(ym(2020, 1), vec![1, 2, 3, 4]);
+        let schema = Heartbeat::new(ym(2020, 3), vec![7, 0, 5]);
+        let mut folds = MeasureFolds::from_heartbeats(&project, &schema);
+        // Axis: 2020-01 .. 2020-05 (5 months).
+        assert_eq!(folds.outputs(), batch(&[1, 2, 3, 4, 0], &[0, 0, 7, 0, 5]));
+    }
+
+    #[test]
+    fn accumulators_match_slice_functions() {
+        let p = [0.1, 0.4, 0.8, 1.0];
+        let s = [0.5, 0.5, 0.75, 1.0];
+        let t = [0.25, 0.5, 0.75, 1.0];
+        let mut sync = SyncAccum::new(0.10);
+        let mut adv = AdvanceAccum::new();
+        let mut att = AttainmentAccum::new();
+        for i in 0..p.len() {
+            sync.push(p[i], s[i]);
+            adv.push(s[i], p[i], t[i]);
+            att.push(s[i]);
+        }
+        assert_eq!(sync.value(), theta_synchronicity(&p, &s, 0.10));
+        assert_eq!(adv.value(), advance_measures(&s, &p, &t));
+        assert_eq!(att.value(), AttainmentLevels::of(&s));
+    }
+
+    #[test]
+    fn fractions_into_reuses_buffer_and_matches_batch() {
+        let (p, s) = arbitrary_series(20, 3);
+        let folds = fold_all(&p, &s);
+        let mut buf = Vec::new();
+        folds.series().project_fractions_into(&mut buf);
+        assert_eq!(buf, cumulative_fraction(&p));
+        let cap = buf.capacity();
+        folds.series().schema_fractions_into(&mut buf);
+        assert_eq!(buf, cumulative_fraction(&s));
+        assert_eq!(buf.capacity(), cap, "buffer must be reused");
+        folds.series().time_fractions_into(&mut buf);
+        assert_eq!(buf, time_progress(p.len()));
+    }
+}

@@ -31,12 +31,17 @@
 
 pub mod advance;
 pub mod attainment;
+pub mod fold;
 pub mod progress;
 pub mod study;
 pub mod synchronicity;
 
 pub use advance::{advance_measures, AdvanceMeasures};
 pub use attainment::{attainment_fraction, AttainmentLevels, ATTAINMENT_ALPHAS};
+pub use fold::{
+    AdvanceFold, AttainmentFold, CumulativeFold, FoldOutputs, MeasureFold, MeasureFolds,
+    ThetaSyncFold,
+};
 pub use progress::{ProjectData, ProjectMeasures};
-pub use study::{Study, StudyResults};
+pub use study::{StatsCache, Study, StudyResults};
 pub use synchronicity::{theta_synchronicity, theta_synchronous_at};

@@ -1,8 +1,8 @@
 //! Per-project inputs and the derived per-project measures.
 
-use crate::advance::{advance_measures, AdvanceMeasures};
+use crate::advance::AdvanceMeasures;
 use crate::attainment::AttainmentLevels;
-use crate::synchronicity::theta_synchronicity;
+use crate::fold::MeasureFolds;
 use coevo_heartbeat::{Heartbeat, JointProgress};
 use coevo_taxa::{classify, HeartbeatFeatures, Taxon, TaxonomyConfig};
 use serde::{Deserialize, Serialize};
@@ -50,21 +50,20 @@ impl ProjectData {
         })
     }
 
-    /// Compute every per-project measure of the study.
+    /// Compute every per-project measure of the study by folding the whole
+    /// aligned series through [`MeasureFolds`] — the same fold states the
+    /// incremental path keeps warm, so batch and incremental measures are
+    /// one semantics. No fraction vectors are materialized.
     pub fn measures(&self, cfg: &TaxonomyConfig) -> ProjectMeasures {
-        let jp = self.joint_progress();
-        let sync_05 = theta_synchronicity(&jp.project, &jp.schema, 0.05);
-        let sync_10 = theta_synchronicity(&jp.project, &jp.schema, 0.10);
-        let advance = advance_measures(&jp.schema, &jp.project, &jp.time);
-        let attainment = AttainmentLevels::of(&jp.schema);
+        let out = MeasureFolds::from_heartbeats(&self.project, &self.schema).outputs();
         ProjectMeasures {
             name: self.name.clone(),
             taxon: self.effective_taxon(cfg),
-            months: jp.months(),
-            sync_05,
-            sync_10,
-            advance,
-            attainment,
+            months: out.months,
+            sync_05: out.sync_05,
+            sync_10: out.sync_10,
+            advance: out.advance,
+            attainment: out.attainment,
             schema_total_activity: self.schema.total(),
             project_total_activity: self.project.total(),
         }

@@ -9,6 +9,7 @@ use coevo_stats::{
 };
 use coevo_taxa::{Taxon, TaxonomyConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// The study: a corpus of projects plus the taxonomy configuration.
 pub struct Study {
@@ -224,12 +225,24 @@ pub struct StudyResults {
 impl StudyResults {
     /// Derive all figures and tests from per-project measures.
     pub fn from_measures(measures: Vec<ProjectMeasures>) -> Self {
+        Self::from_measures_cached(measures, &mut StatsCache::default())
+    }
+
+    /// Like [`StudyResults::from_measures`], but memoizing the expensive
+    /// exact tests in `cache`. Callers that recompute the study after small
+    /// deltas (one project, one month) keep the cache across calls and skip
+    /// the Fisher enumerations whenever the contingency tables are
+    /// unchanged; the answers are bit-identical to the uncached path.
+    pub fn from_measures_cached(
+        measures: Vec<ProjectMeasures>,
+        cache: &mut StatsCache,
+    ) -> Self {
         let fig4 = fig4(&measures);
         let fig5 = fig5(&measures);
         let fig6 = fig6(&measures);
         let fig7 = fig7(&measures);
         let fig8 = fig8(&measures);
-        let section7 = section7(&measures);
+        let section7 = section7_cached(&measures, cache);
         Self { measures, fig4, fig5, fig6, fig7, fig8, section7 }
     }
 
@@ -356,8 +369,42 @@ pub fn fig8(measures: &[ProjectMeasures]) -> Fig8Grid {
     }
 }
 
+/// Memo for the expensive exact tests of [`section7`], keyed by the
+/// contingency table they are computed from. The Fisher enumeration
+/// dominates the study-summary cost by three orders of magnitude over
+/// everything else, yet its input — the taxon × always-in-advance
+/// contingency table — is a handful of small counts that a one-month
+/// append to a single project rarely moves. Long-lived recomputing callers
+/// (the incremental study behind `coevo serve`) carry one of these across
+/// summaries; cached and fresh answers are the same deterministic numbers.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCache {
+    /// Fisher p-values (exact or Monte Carlo fallback) by table rows.
+    fisher: HashMap<Vec<(u64, u64)>, Option<f64>>,
+}
+
+impl StatsCache {
+    /// The Fisher r×2 p-value for `rows` — exact when the enumeration is
+    /// tractable (budget 2M tables), Monte Carlo in the style of R's
+    /// `simulate.p.value` otherwise — memoized by the table itself.
+    fn fisher_p(&mut self, rows: &[(u64, u64)]) -> Option<f64> {
+        if let Some(p) = self.fisher.get(rows) {
+            return *p;
+        }
+        let p = fisher_exact_rx2(rows, 2_000_000)
+            .or_else(|| fisher_rx2_monte_carlo(rows, 100_000, 0xF15E));
+        self.fisher.insert(rows.to_vec(), p);
+        p
+    }
+}
+
 /// Compute the Section 7 statistical analysis.
 pub fn section7(measures: &[ProjectMeasures]) -> Section7 {
+    section7_cached(measures, &mut StatsCache::default())
+}
+
+/// [`section7`] with the exact tests memoized in `cache`.
+pub fn section7_cached(measures: &[ProjectMeasures], cache: &mut StatsCache) -> Section7 {
     // Normality screen over the study's attributes.
     let attrs: Vec<(&str, Vec<f64>)> = vec![
         ("sync_05", measures.iter().map(|m| m.sync_05).collect()),
@@ -406,10 +453,7 @@ pub fn section7(measures: &[ProjectMeasures]) -> Section7 {
                 .collect();
             let chi2 = chi_square_independence(&table)?;
             let fisher_rows: Vec<(u64, u64)> = table.iter().map(|r| (r[0], r[1])).collect();
-            // Exact when the enumeration is tractable; Monte Carlo (the
-            // approach of R's simulate.p.value) otherwise.
-            let fisher_p = fisher_exact_rx2(&fisher_rows, 2_000_000)
-                .or_else(|| fisher_rx2_monte_carlo(&fisher_rows, 100_000, 0xF15E));
+            let fisher_p = cache.fisher_p(&fisher_rows);
             Some(LagTest {
                 flag: flag.to_string(),
                 chi2_statistic: chi2.statistic,

@@ -8,24 +8,27 @@
 //! 10% and reports the 10% results (Kendall correlation between the two:
 //! 0.67).
 
+use crate::fold::{theta_synchronous, SyncAccum};
+
 /// Is timepoint `i` θ-synchronous for the two cumulative series?
 pub fn theta_synchronous_at(p: &[f64], s: &[f64], theta: f64, i: usize) -> bool {
-    (p[i] - s[i]).abs() <= theta + 1e-12
+    theta_synchronous(p[i], s[i], theta)
 }
 
 /// The θ-synchronicity of two cumulative fractional series: the fraction of
-/// timepoints where the two are within θ of each other.
+/// timepoints where the two are within θ of each other — a whole-series
+/// fold over [`SyncAccum`], the same accumulator the incremental
+/// [`crate::fold::ThetaSyncFold`] maintains.
 ///
 /// Both series must share one month axis (see
 /// [`coevo_heartbeat::align_pair`]). Returns 0.0 for empty series.
 pub fn theta_synchronicity(p: &[f64], s: &[f64], theta: f64) -> f64 {
     assert_eq!(p.len(), s.len(), "series must be aligned");
-    assert!(theta >= 0.0, "theta must be non-negative");
-    if p.is_empty() {
-        return 0.0;
+    let mut acc = SyncAccum::new(theta);
+    for i in 0..p.len() {
+        acc.push(p[i], s[i]);
     }
-    let hits = (0..p.len()).filter(|&i| theta_synchronous_at(p, s, theta, i)).count();
-    hits as f64 / p.len() as f64
+    acc.value()
 }
 
 #[cfg(test)]

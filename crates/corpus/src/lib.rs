@@ -34,7 +34,5 @@ pub mod spec;
 pub use artifacts::ProjectArtifacts;
 pub use case_study::case_study_project;
 pub use generator::{generate_corpus, CorpusSpec, GeneratedProject};
-pub use pipeline::PipelineError;
-#[allow(deprecated)] // re-exported so downstream deprecation warnings point here
-pub use pipeline::{project_from_generated, projects_from_generated_parallel};
+pub use pipeline::{project_from_texts, PipelineError};
 pub use spec::{paper_spec, TaxonSpec};

@@ -163,11 +163,17 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<ProjectData>, LoaderError> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // round-trip checks compare against the legacy pipeline shim
 mod tests {
     use super::*;
     use crate::generator::{generate_corpus, CorpusSpec};
-    use crate::pipeline::project_from_generated;
+
+    /// Measure a generated project directly from its in-memory artifacts —
+    /// the reference the save/load round trip must reproduce.
+    fn direct_measure(p: &GeneratedProject) -> ProjectData {
+        project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)
+            .map(|d| d.with_taxon(p.raw.taxon))
+            .unwrap()
+    }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir =
@@ -189,7 +195,7 @@ mod tests {
             let pdir = dir.join(format!("p{i}"));
             save_project(&pdir, p).unwrap();
             let loaded = load_project(&pdir).unwrap();
-            let direct = project_from_generated(p).unwrap();
+            let direct = direct_measure(p);
             assert_eq!(loaded.name, direct.name);
             assert_eq!(loaded.project, direct.project);
             assert_eq!(loaded.schema, direct.schema);

@@ -2,7 +2,6 @@
 //! pipeline the paper describes: parse the git log, parse every DDL version,
 //! diff consecutive versions, and build the two monthly heartbeats.
 
-use crate::generator::GeneratedProject;
 use crate::project_gen::SCHEMA_PATH;
 use coevo_core::ProjectData;
 use coevo_ddl::Dialect;
@@ -63,52 +62,6 @@ pub fn project_from_texts(
     Ok(ProjectData::new(name, project_hb, schema_hb, birth_activity))
 }
 
-/// Pipeline entry for generated projects: parses the rendered git log (so
-/// the text format is exercised) and the printed DDL texts, and attaches the
-/// generator's taxon label (playing the role of the dataset's manual taxon
-/// assignment).
-#[deprecated(
-    since = "0.1.0",
-    note = "use coevo_engine::pipeline::project_from_generated (typed errors) or \
-            coevo_engine::StudyRunner for whole-corpus runs"
-)]
-pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, PipelineError> {
-    let data = project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)?;
-    Ok(data.with_taxon(p.raw.taxon))
-}
-
-/// Run the pipeline over many generated projects in parallel, preserving
-/// input order. Each project's work (git-log parse, DDL parses, diffs) is
-/// independent, so the mapping fans out over `crossbeam` scoped threads —
-/// the full 195-project corpus pipeline is the study's dominant cost.
-#[deprecated(
-    since = "0.1.0",
-    note = "use coevo_engine::StudyRunner, which adds work stealing, per-stage \
-            metrics and structured partial-failure handling"
-)]
-#[allow(deprecated)] // the shim forwards to its deprecated sibling
-pub fn projects_from_generated_parallel(
-    generated: &[GeneratedProject],
-) -> Result<Vec<ProjectData>, PipelineError> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = generated.len().div_ceil(workers.max(1)).max(1);
-    let mut slots: Vec<Option<Result<ProjectData, PipelineError>>> =
-        (0..generated.len()).map(|_| None).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for (projects, out) in generated.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (p, slot) in projects.iter().zip(out.iter_mut()) {
-                    *slot = Some(project_from_generated(p));
-                }
-            });
-        }
-    })
-    .expect("pipeline worker panicked");
-
-    slots.into_iter().map(|slot| slot.expect("every slot filled")).collect()
-}
-
 /// Sanity accessor used by tests and reports: the schema path the generator
 /// uses inside repositories.
 pub fn schema_path() -> &'static str {
@@ -116,11 +69,17 @@ pub fn schema_path() -> &'static str {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated shims keep their behavioral coverage here
 mod tests {
     use super::*;
-    use crate::generator::{generate_corpus, CorpusSpec};
+    use crate::generator::{generate_corpus, CorpusSpec, GeneratedProject};
     use coevo_taxa::Taxon;
+
+    /// The generated-project pipeline the engine crate wraps with typed
+    /// errors: raw texts through `project_from_texts`, taxon label attached.
+    fn project_of(p: &GeneratedProject) -> Result<ProjectData, PipelineError> {
+        project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)
+            .map(|d| d.with_taxon(p.raw.taxon))
+    }
 
     fn small_corpus() -> Vec<GeneratedProject> {
         let mut spec = CorpusSpec::paper();
@@ -133,7 +92,7 @@ mod tests {
     #[test]
     fn pipeline_runs_on_generated_projects() {
         for p in small_corpus() {
-            let data = project_from_generated(&p).expect("pipeline");
+            let data = project_of(&p).expect("pipeline");
             assert_eq!(data.taxon, Some(p.raw.taxon));
             assert!(data.project.total() > 0);
             assert!(data.schema.total() > 0, "{}", p.raw.name);
@@ -144,7 +103,7 @@ mod tests {
     #[test]
     fn schema_heartbeat_reflects_scheduled_activity() {
         for p in small_corpus() {
-            let data = project_from_generated(&p).unwrap();
+            let data = project_of(&p).unwrap();
             // Birth activity equals the initial schema's attribute count.
             let initial = coevo_ddl::parse_schema(&p.raw.ddl_versions[0].1, p.raw.dialect)
                 .unwrap()
@@ -160,7 +119,7 @@ mod tests {
     #[test]
     fn project_axis_spans_schema_axis() {
         for p in small_corpus() {
-            let data = project_from_generated(&p).unwrap();
+            let data = project_of(&p).unwrap();
             assert!(data.project.start() <= data.schema.start(), "{}", p.raw.name);
         }
     }
@@ -178,7 +137,7 @@ mod tests {
         let mut agree = 0;
         let mut total = 0;
         for p in &corpus {
-            let data = project_from_generated(p).unwrap();
+            let data = project_of(p).unwrap();
             let mut unlabeled = data.clone();
             unlabeled.taxon = None;
             if unlabeled.effective_taxon(&cfg) == p.raw.taxon {
@@ -187,22 +146,6 @@ mod tests {
             total += 1;
         }
         assert!(agree * 3 >= total * 2, "classifier agreement too low: {agree}/{total}");
-    }
-
-    #[test]
-    fn parallel_pipeline_matches_sequential() {
-        let corpus = small_corpus();
-        let parallel = projects_from_generated_parallel(&corpus).unwrap();
-        let sequential: Vec<_> =
-            corpus.iter().map(|p| project_from_generated(p).unwrap()).collect();
-        assert_eq!(parallel, sequential);
-    }
-
-    #[test]
-    fn parallel_pipeline_propagates_errors() {
-        let mut corpus = small_corpus();
-        corpus[1].git_log = "garbage that is not a log".into();
-        assert!(projects_from_generated_parallel(&corpus).is_err());
     }
 
     #[test]

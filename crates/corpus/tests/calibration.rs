@@ -3,15 +3,19 @@
 //! the paper's published numbers. Run with `--nocapture` to see the full
 //! measured-vs-paper report.
 
-#![allow(deprecated)] // exercises the corpus crate's own (shimmed) pipeline entry
-
 use coevo_core::Study;
-use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+use coevo_corpus::{generate_corpus, project_from_texts, CorpusSpec};
 
 fn run_study() -> coevo_core::StudyResults {
     let corpus = generate_corpus(&CorpusSpec::paper());
-    let projects: Vec<_> =
-        corpus.iter().map(|p| project_from_generated(p).expect("pipeline")).collect();
+    let projects: Vec<_> = corpus
+        .iter()
+        .map(|p| {
+            project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)
+                .map(|d| d.with_taxon(p.raw.taxon))
+                .expect("pipeline")
+        })
+        .collect();
     Study::new(projects).run()
 }
 

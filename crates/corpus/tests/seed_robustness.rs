@@ -2,17 +2,19 @@
 //! one lucky seed. Runs the full study under alternative seeds and asserts
 //! the *shape* properties (not the tuned point values).
 
-#![allow(deprecated)] // exercises the corpus crate's own (shimmed) pipeline entry
-
 use coevo_core::Study;
-use coevo_corpus::{generate_corpus, project_from_generated, CorpusSpec};
+use coevo_corpus::{generate_corpus, project_from_texts, CorpusSpec};
 
 fn run_with_seed(seed: u64) -> coevo_core::StudyResults {
     let mut spec = CorpusSpec::paper();
     spec.seed = seed;
     let projects: Vec<_> = generate_corpus(&spec)
         .iter()
-        .map(|p| project_from_generated(p).expect("pipeline"))
+        .map(|p| {
+            project_from_texts(&p.raw.name, &p.git_log, &p.raw.ddl_versions, p.raw.dialect)
+                .map(|d| d.with_taxon(p.raw.taxon))
+                .expect("pipeline")
+        })
         .collect();
     Study::new(projects).run()
 }

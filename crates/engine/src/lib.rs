@@ -34,11 +34,16 @@
 
 pub mod allocs;
 mod error;
+pub mod incremental;
 mod metrics;
 pub mod pipeline;
 mod runner;
 mod store_stage;
 
 pub use error::{EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage};
+pub use incremental::{
+    artifacts_to_events, IncrementalStudy, IngestError, ProjectEvent, ProjectSnapshot,
+    ProjectState,
+};
 pub use metrics::{Metrics, MetricsSnapshot, StageMetrics, StoreEvent, StoreMetrics};
 pub use runner::{EngineReport, Source, StudyConfig, StudyRunner};

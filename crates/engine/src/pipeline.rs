@@ -118,8 +118,7 @@ pub fn project_from_texts(
 }
 
 /// Run the typed pipeline on one generated project, attaching the
-/// generator's taxon label. The structured counterpart of the deprecated
-/// `coevo_corpus::project_from_generated`.
+/// generator's taxon label.
 pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, EngineError> {
     let item = WorkItem {
         index: 0,
@@ -145,16 +144,22 @@ mod tests {
     }
 
     #[test]
-    fn matches_legacy_pipeline_on_generated_projects() {
+    fn matches_corpus_text_pipeline_on_generated_projects() {
         let mut spec = CorpusSpec::paper();
         for t in &mut spec.taxa {
             t.count = 1;
         }
         for p in generate_corpus(&spec) {
             let typed = project_from_generated(&p).expect("typed pipeline");
-            #[allow(deprecated)]
-            let legacy = coevo_corpus::project_from_generated(&p).expect("legacy pipeline");
-            assert_eq!(typed, legacy, "{}", p.raw.name);
+            let reference = coevo_corpus::project_from_texts(
+                &p.raw.name,
+                &p.git_log,
+                &p.raw.ddl_versions,
+                p.raw.dialect,
+            )
+            .map(|d| d.with_taxon(p.raw.taxon))
+            .expect("corpus pipeline");
+            assert_eq!(typed, reference, "{}", p.raw.name);
         }
     }
 

@@ -496,18 +496,17 @@ mod tests {
     }
 
     #[test]
-    fn engine_matches_legacy_study() {
+    fn engine_matches_free_function_study() {
         let spec = small_spec(1);
         let report = StudyRunner::new(StudyConfig::default())
             .run(Source::Spec(spec.clone()))
             .expect("engine run");
-        #[allow(deprecated)]
-        let projects = coevo_corpus::projects_from_generated_parallel(
-            &coevo_corpus::generate_corpus(&spec),
-        )
-        .expect("legacy pipeline");
-        let legacy = Study::new(projects).run();
-        assert_eq!(report.results, legacy);
+        let projects: Vec<_> = coevo_corpus::generate_corpus(&spec)
+            .iter()
+            .map(|p| crate::pipeline::project_from_generated(p).expect("pipeline"))
+            .collect();
+        let reference = Study::new(projects).run();
+        assert_eq!(report.results, reference);
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub use align::{align_pair, AlignedPair, JointProgress};
 pub use cumulative::{cumulative_fraction, time_progress};
 pub use date::{Date, DateError, DateTime};
 pub use month::YearMonth;
-pub use series::Heartbeat;
+pub use series::{Heartbeat, HeartbeatError, MAX_HEARTBEAT_MONTHS};
 pub use window::{windowed_activity, windowed_pair};

@@ -4,6 +4,44 @@ use crate::cumulative::cumulative_fraction;
 use crate::date::Date;
 use crate::month::YearMonth;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The widest month span a heartbeat may cover (10 000 years). A span
+/// beyond this is always a data error — a mistyped year in a commit date —
+/// and would otherwise allocate an absurd activity vector.
+pub const MAX_HEARTBEAT_MONTHS: usize = 120_000;
+
+/// Why a heartbeat could not be built from events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeartbeatError {
+    /// No events were given; a heartbeat needs at least a birth month.
+    Empty,
+    /// The events span more months than [`MAX_HEARTBEAT_MONTHS`] — an
+    /// out-of-range date. Carries the span and the two offending months.
+    SpanExceeded {
+        /// The span the events would cover, in months.
+        months: usize,
+        /// The earliest event month.
+        first: YearMonth,
+        /// The latest event month.
+        last: YearMonth,
+    },
+}
+
+impl fmt::Display for HeartbeatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "no events: a heartbeat needs at least a birth month"),
+            Self::SpanExceeded { months, first, last } => write!(
+                f,
+                "events span {months} months ({first}..{last}), beyond the \
+                 {MAX_HEARTBEAT_MONTHS}-month limit — out-of-range date?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeartbeatError {}
 
 /// A monthly activity series anchored at a start month. Element `i` is the
 /// activity in month `start + i`; months without updates hold zero, matching
@@ -26,23 +64,43 @@ impl Heartbeat {
         Self { start, activity }
     }
 
-    /// Bucket dated events into months. Returns `None` when no events are
-    /// given (a heartbeat needs at least a birth month). The series spans
-    /// from the month of the earliest event through the month of the latest.
+    /// Bucket dated events into months. Returns `None` when the events
+    /// cannot form a heartbeat; the thin `Option` wrapper over
+    /// [`Heartbeat::try_from_events`], which reports *why*.
     pub fn from_events<I>(events: I) -> Option<Self>
     where
         I: IntoIterator<Item = (Date, u64)>,
     {
+        Self::try_from_events(events).ok()
+    }
+
+    /// Bucket dated events into months, with typed errors: no events at all
+    /// ([`HeartbeatError::Empty`]) or a month span wide enough to imply an
+    /// out-of-range date ([`HeartbeatError::SpanExceeded`]). The series
+    /// spans from the month of the earliest event through the month of the
+    /// latest.
+    pub fn try_from_events<I>(events: I) -> Result<Self, HeartbeatError>
+    where
+        I: IntoIterator<Item = (Date, u64)>,
+    {
         let events: Vec<(Date, u64)> = events.into_iter().collect();
-        let first = events.iter().map(|(d, _)| YearMonth::of(*d)).min()?;
-        let last = events.iter().map(|(d, _)| YearMonth::of(*d)).max()?;
+        let months_of = |events: &[(Date, u64)]| {
+            let mut ms = events.iter().map(|(d, _)| YearMonth::of(*d));
+            let first = ms.next()?;
+            let (min, max) = ms.fold((first, first), |(lo, hi), m| (lo.min(m), hi.max(m)));
+            Some((min, max))
+        };
+        let (first, last) = months_of(&events).ok_or(HeartbeatError::Empty)?;
         let months = (last.months_since(&first) + 1) as usize;
+        if months > MAX_HEARTBEAT_MONTHS {
+            return Err(HeartbeatError::SpanExceeded { months, first, last });
+        }
         let mut activity = vec![0u64; months];
         for (date, amount) in events {
             let idx = YearMonth::of(date).months_since(&first) as usize;
             activity[idx] += amount;
         }
-        Some(Self { start: first, activity })
+        Ok(Self { start: first, activity })
     }
 
     /// The first month of the series.
@@ -155,6 +213,36 @@ mod tests {
     #[test]
     fn from_events_empty_is_none() {
         assert!(Heartbeat::from_events(Vec::<(Date, u64)>::new()).is_none());
+        assert_eq!(
+            Heartbeat::try_from_events(Vec::<(Date, u64)>::new()),
+            Err(HeartbeatError::Empty)
+        );
+    }
+
+    #[test]
+    fn try_from_events_matches_from_events() {
+        let events = vec![(d(2015, 1, 5), 2), (d(2016, 3, 1), 7)];
+        assert_eq!(
+            Heartbeat::try_from_events(events.clone()).ok(),
+            Heartbeat::from_events(events)
+        );
+    }
+
+    #[test]
+    fn try_from_events_rejects_absurd_spans() {
+        let events = vec![(d(2015, 1, 5), 2), (d(99_999, 1, 1), 1)];
+        let err = Heartbeat::try_from_events(events.clone()).unwrap_err();
+        let HeartbeatError::SpanExceeded { months, first, last } = err else {
+            panic!("expected SpanExceeded, got {err:?}");
+        };
+        assert!(months > MAX_HEARTBEAT_MONTHS);
+        assert_eq!(first, ym(2015, 1));
+        assert_eq!(last, YearMonth::new(99_999, 1).unwrap());
+        // The Option wrapper maps the error to None.
+        assert!(Heartbeat::from_events(events).is_none());
+        // Errors render something actionable.
+        let msg = HeartbeatError::Empty.to_string();
+        assert!(msg.contains("birth month"), "{msg}");
     }
 
     #[test]

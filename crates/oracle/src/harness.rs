@@ -9,7 +9,9 @@
 //!    project and enforce the declared **metamorphic invariant** against
 //!    the baseline;
 //! 3. run every mutated project through the **differential oracles** (and
-//!    the whole corpus through 1-worker vs N-worker engine runs);
+//!    the whole corpus through 1-worker vs N-worker engine runs and the
+//!    batch-vs-incremental study differential, with seeded event-batch
+//!    splits);
 //! 4. enforce the layer-3 **measure invariants** on everything computed.
 //!
 //! Any violation is shrunk (ddmin-lite) and — when a reproducer directory
@@ -21,8 +23,9 @@ use crate::mutators::{all_mutators, Invariant};
 use crate::oracles::{baseline, per_project_oracles, scratch_store_dir, OracleCtx};
 use crate::repro::Reproducer;
 use crate::shrink::{apply_script, script_label, shrink, MutationStep};
+use coevo_core::{ProjectMeasures, StudyResults};
 use coevo_corpus::{generate_corpus, CorpusSpec, ProjectArtifacts};
-use coevo_engine::{Source, StudyConfig, StudyRunner};
+use coevo_engine::{artifacts_to_events, IncrementalStudy, Source, StudyConfig, StudyRunner};
 use coevo_taxa::TaxonomyConfig;
 use std::path::PathBuf;
 
@@ -128,6 +131,75 @@ fn script_invariant(script: &[MutationStep]) -> Invariant {
     }
 }
 
+/// Corpus-level differential: the batch study (production per-project
+/// pipeline, measures name-sorted) vs the event-streamed
+/// [`IncrementalStudy`], with every project's event list split at a seeded
+/// cut and delivered suffix-first — so the second ingest lands out of
+/// order and must replay history, not merely append. `None` means the two
+/// paths agreed bit-for-bit, down to the serialized JSON.
+fn batch_vs_incremental(
+    corpus: &[ProjectArtifacts],
+    taxonomy: &TaxonomyConfig,
+    seed: u64,
+) -> Option<String> {
+    let mut incremental = IncrementalStudy::new(*taxonomy);
+    let mut batch: Vec<ProjectMeasures> = Vec::with_capacity(corpus.len());
+    for (pi, p) in corpus.iter().enumerate() {
+        let measured = baseline(p, taxonomy).map(|(_, m)| m);
+        let streamed = stream_split(&mut incremental, p, step_seed(seed, pi, 300));
+        match (measured, streamed) {
+            (Ok(m), Ok(())) => batch.push(m),
+            (Err(_), Err(_)) => continue, // both paths reject: parity holds
+            (Ok(_), Err(e)) => {
+                return Some(format!(
+                    "{}: event stream failed where batch succeeded: {e}",
+                    p.name
+                ));
+            }
+            (Err(e), Ok(())) => {
+                return Some(format!(
+                    "{}: batch failed where event stream succeeded: {e}",
+                    p.name
+                ));
+            }
+        }
+    }
+    batch.sort_by(|a, b| a.name.cmp(&b.name));
+    let batch = StudyResults::from_measures(batch);
+    let streamed = incremental.results();
+    if batch != streamed {
+        let field = batch
+            .measures
+            .iter()
+            .zip(streamed.measures.iter())
+            .find_map(|(a, b)| first_divergence(a, b))
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "aggregate results disagree".to_string());
+        return Some(format!("batch vs incremental study disagree: {field}"));
+    }
+    let batch_json = serde_json::to_string(&batch).expect("results serialize");
+    let streamed_json = serde_json::to_string(&streamed).expect("results serialize");
+    if batch_json != streamed_json {
+        return Some("batch vs incremental study serialize differently".to_string());
+    }
+    None
+}
+
+/// Feed one project into the incremental study as two event batches split
+/// at a seeded cut point, suffix first.
+fn stream_split(
+    study: &mut IncrementalStudy,
+    p: &ProjectArtifacts,
+    seed: u64,
+) -> Result<(), String> {
+    let events = artifacts_to_events(p).map_err(|e| e.to_string())?;
+    let cut = (seed as usize) % (events.len() + 1);
+    let (head, tail) = events.split_at(cut);
+    study.ingest(&p.name, p.dialect, p.taxon, tail.to_vec()).map_err(|e| e.to_string())?;
+    study.ingest(&p.name, p.dialect, p.taxon, head.to_vec()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// Run the whole harness. Deterministic for a given config.
 pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let taxonomy = TaxonomyConfig::default();
@@ -145,7 +217,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let mut report = CheckReport {
         projects: projects.len(),
         mutators: mutators.len(),
-        oracles: oracles.len() + 1, // + the corpus-level workers differential
+        oracles: oracles.len() + 2, // + the two corpus-level differentials
         ..CheckReport::default()
     };
 
@@ -327,8 +399,9 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
         }
     }
 
-    // Corpus-level differential: 1-worker vs 4-worker engine runs over the
-    // original corpus and over each mutator's fully-mutated corpus.
+    // Corpus-level differentials over the original corpus and over each
+    // mutator's fully-mutated corpus: 1-worker vs 4-worker engine runs,
+    // and the batch study vs the event-streamed incremental study.
     if report.violations.len() < cfg.max_violations {
         let mut corpora: Vec<(String, Vec<ProjectArtifacts>)> =
             vec![("corpus:original".to_string(), projects.clone())];
@@ -344,39 +417,53 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
                 .collect();
             corpora.push((format!("corpus:{}", m.name), mutated));
         }
-        for (label, corpus) in corpora {
+        'corpora: for (label, corpus) in corpora {
+            let mut failures: Vec<(&'static str, String)> = Vec::new();
+
             report.oracle_runs += 1;
             let run = |workers: usize| {
                 StudyRunner::new(StudyConfig { taxonomy, ..StudyConfig::default() })
                     .with_workers(workers)
                     .run(Source::InMemory(corpus.clone()))
             };
-            let detail = match (run(1), run(4)) {
+            match (run(1), run(4)) {
                 (Ok(one), Ok(four)) => {
-                    if one.projects == four.projects && one.results == four.results {
-                        continue;
+                    if one.projects != four.projects || one.results != four.results {
+                        let field = one
+                            .results
+                            .measures
+                            .iter()
+                            .zip(four.results.measures.iter())
+                            .find_map(|(a, b)| first_divergence(a, b))
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "reports disagree".to_string());
+                        failures.push((
+                            "workers-1-vs-4",
+                            format!("1-worker vs 4-worker runs disagree: {field}"),
+                        ));
                     }
-                    let field = one
-                        .results
-                        .measures
-                        .iter()
-                        .zip(four.results.measures.iter())
-                        .find_map(|(a, b)| first_divergence(a, b))
-                        .map(|d| d.to_string())
-                        .unwrap_or_else(|| "reports disagree".to_string());
-                    format!("1-worker vs 4-worker runs disagree: {field}")
                 }
-                (Err(e), _) | (_, Err(e)) => format!("engine run failed: {e}"),
-            };
-            report.violations.push(Violation {
-                project: label,
-                script: Vec::new(),
-                check: "workers-1-vs-4".to_string(),
-                detail,
-                repro_path: None,
-            });
-            if report.violations.len() >= cfg.max_violations {
-                break;
+                (Err(e), _) | (_, Err(e)) => {
+                    failures.push(("workers-1-vs-4", format!("engine run failed: {e}")));
+                }
+            }
+
+            report.oracle_runs += 1;
+            if let Some(detail) = batch_vs_incremental(&corpus, &taxonomy, cfg.seed) {
+                failures.push(("batch-vs-incremental", detail));
+            }
+
+            for (check, detail) in failures {
+                report.violations.push(Violation {
+                    project: label.clone(),
+                    script: Vec::new(),
+                    check: check.to_string(),
+                    detail,
+                    repro_path: None,
+                });
+                if report.violations.len() >= cfg.max_violations {
+                    break 'corpora;
+                }
             }
         }
     }

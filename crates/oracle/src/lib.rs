@@ -11,8 +11,9 @@
 //!    identical for time-scaling).
 //! 2. **Differential oracles** ([`oracles`]) — independent recomputation
 //!    paths the repo already ships (legacy diff, uncached parse,
-//!    print→reparse, store round trip, 1-vs-N workers) that must agree
-//!    bit-for-bit with the production pipeline.
+//!    print→reparse, store round trip, event streaming, 1-vs-N workers,
+//!    batch vs incremental study) that must agree bit-for-bit with the
+//!    production pipeline.
 //! 3. **Measure invariants** ([`invariants`]) — properties every
 //!    `ProjectMeasures` must satisfy by construction.
 //!

@@ -4,15 +4,18 @@
 //! incremental diff, store-less) is the *baseline*. Each oracle recomputes
 //! the same project's measures through a path the repo already ships for
 //! other reasons — the legacy quadratic diff, uncached parsing, the
-//! print→reparse round trip, the warm-restart store — and any divergence
-//! from the baseline is a bug in one of the two paths.
+//! print→reparse round trip, the warm-restart store, the event-streamed
+//! incremental study — and any divergence from the baseline is a bug in
+//! one of the two paths.
 
 use crate::divergence::{first_divergence, Divergence};
 use coevo_core::{ProjectData, ProjectMeasures};
 use coevo_corpus::ProjectArtifacts;
 use coevo_ddl::{parse_schema, print_schema};
 use coevo_diff::{DiffMode, MatchPolicy, SchemaHistory, SchemaVersion};
-use coevo_engine::{StudyConfig, StudyRunner};
+use coevo_engine::{
+    artifacts_to_events, IncrementalStudy, ProjectEvent, StudyConfig, StudyRunner,
+};
 use coevo_taxa::TaxonomyConfig;
 use coevo_vcs::{monthly::project_heartbeat, parse_log};
 use std::path::{Path, PathBuf};
@@ -60,14 +63,16 @@ impl Oracle {
 }
 
 /// The per-project differential oracles, in the order the harness runs
-/// them. (A fifth, corpus-level differential — 1-worker vs N-worker engine
-/// runs — lives in the harness, since it needs the whole corpus at once.)
+/// them. (The corpus-level differentials — 1-worker vs N-worker engine
+/// runs, and batch vs event-streamed incremental study — live in the
+/// harness, since they need the whole corpus at once.)
 pub fn per_project_oracles() -> &'static [Oracle] {
     const ORACLES: &[Oracle] = &[
         Oracle { name: "legacy-diff", run: legacy_diff },
         Oracle { name: "uncached-parse", run: uncached_parse },
         Oracle { name: "print-reparse", run: print_reparse },
         Oracle { name: "store-roundtrip", run: store_roundtrip },
+        Oracle { name: "event-stream", run: event_stream },
     ];
     ORACLES
 }
@@ -147,6 +152,30 @@ fn store_roundtrip(
     Ok(warm)
 }
 
+/// Batch vs event-streamed: replay the project's history as typed events
+/// through the warm [`IncrementalStudy`] path, deliberately out of order —
+/// DDL versions first, then commits newest-first, with folds forced into
+/// existence in between so the backfill exercises the bounded-replay path
+/// rather than a cold rebuild. The warm measures must equal the batch
+/// baseline bit-for-bit.
+fn event_stream(p: &ProjectArtifacts, ctx: &OracleCtx<'_>) -> Result<ProjectMeasures, String> {
+    let events = artifacts_to_events(p).map_err(|e| e.to_string())?;
+    let (mut commits, ddls): (Vec<_>, Vec<_>) =
+        events.into_iter().partition(|e| matches!(e, ProjectEvent::Commit { .. }));
+    commits.reverse();
+
+    let mut study = IncrementalStudy::new(*ctx.taxonomy);
+    study.ingest(&p.name, p.dialect, p.taxon, ddls).map_err(|e| e.to_string())?;
+    let _ = study.results(); // materialize folds before the backfill
+    study.ingest(&p.name, p.dialect, p.taxon, commits).map_err(|e| e.to_string())?;
+
+    let cfg = *ctx.taxonomy;
+    study
+        .project_mut(&p.name)
+        .and_then(|s| s.measures(&cfg))
+        .ok_or_else(|| "event-streamed project is not measurable".to_string())
+}
+
 /// The baseline path: the engine's production single-project pipeline.
 pub fn baseline_runner(taxonomy: &TaxonomyConfig) -> StudyRunner {
     StudyRunner::new(StudyConfig { taxonomy: *taxonomy, ..StudyConfig::default() })
@@ -198,7 +227,7 @@ mod tests {
     #[test]
     fn oracle_registry_is_well_formed() {
         let names: Vec<&str> = per_project_oracles().iter().map(|o| o.name).collect();
-        assert!(names.len() >= 4, "{names:?}");
+        assert!(names.len() >= 5, "{names:?}");
         for n in &names {
             assert!(Oracle::by_name(n).is_some());
         }

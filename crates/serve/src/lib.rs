@@ -1,0 +1,55 @@
+//! # coevo-serve — the incremental study daemon
+//!
+//! `coevo serve` keeps an [`coevo_engine::IncrementalStudy`] warm behind a
+//! TCP socket speaking line-delimited JSON: clients stream project events
+//! (`ingest`), and the daemon answers measure queries (`project`), the
+//! full rendered study (`summary`), the taxon census (`taxa`), and
+//! persistence commands (`snapshot`, `shutdown`) from the warm fold
+//! states — one month of new history costs an O(1)-amortized fold append,
+//! not a study re-run.
+//!
+//! With `--store DIR`, per-project [`coevo_engine::ProjectSnapshot`]s are
+//! published to a content-addressed [`coevo_store::ResultStore`] under
+//! `DIR/serve` — automatically every [`state::SNAPSHOT_EVERY`] events and
+//! on `snapshot`/`shutdown` — so a restarted daemon resumes exactly where
+//! it stopped, never replaying the parser or differ.
+//!
+//! ```text
+//! → {"cmd":"ingest","project":"a/b","events":[{"kind":"commit","date":"2020-01-05","files":3}]}
+//! ← {"ok":true,"applied":1,"pending":["a/b: no DDL versions ingested"]}
+//! → {"cmd":"project","project":"a/b"}
+//! ← {"ok":true,"measures":{...}}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use protocol::{Request, Response, TaxonCount, WireEvent};
+pub use server::{Server, ServeError};
+pub use state::{ServeState, SnapshotStore, SNAPSHOT_EVERY};
+
+use coevo_taxa::TaxonomyConfig;
+use std::path::PathBuf;
+
+/// The daemon's default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7466";
+
+/// How a daemon is brought up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The address to bind (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Root of the snapshot store; `None` serves memory-only.
+    pub store_dir: Option<PathBuf>,
+    /// The taxonomy configuration measures are computed under.
+    pub taxonomy: TaxonomyConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { addr: DEFAULT_ADDR.to_string(), store_dir: None, taxonomy: TaxonomyConfig::default() }
+    }
+}

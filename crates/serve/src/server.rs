@@ -1,0 +1,277 @@
+//! The TCP front: line-delimited JSON over a thread-per-connection accept
+//! loop, all connections sharing one [`ServeState`] behind a mutex.
+//!
+//! The protocol is strictly request/response per line, so the lock is held
+//! only while one request computes — never across network reads. A
+//! `shutdown` request flushes snapshots, flips the stop flag, and pokes the
+//! listener with a loopback connection so the accept loop observes the flag
+//! without platform-specific listener teardown.
+
+use crate::state::ServeState;
+use crate::ServeConfig;
+use coevo_store::StoreError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A bound, not-yet-running daemon. Binding and running are split so tests
+/// (and the CLI banner) can learn the actual address before serving —
+/// binding port 0 picks a free port.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    state: Mutex<ServeState>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// What bringing a daemon up can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or accepting on the TCP listener failed.
+    Io(std::io::Error),
+    /// Opening or reading the snapshot store failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "serve: {e}"),
+            Self::Store(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl Server {
+    /// Bind the listener and restore snapshots. No request is served yet.
+    pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
+        let state = ServeState::open(config.taxonomy, config.store_dir.as_deref())?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared { state: Mutex::new(state), stop: AtomicBool::new(false), addr }),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Projects restored from the snapshot store at bind time.
+    pub fn restored_projects(&self) -> usize {
+        self.shared.state.lock().expect("serve state lock").projects()
+    }
+
+    /// Serve until a `shutdown` request arrives. Accepted connections are
+    /// handled on detached threads (a thread blocked on an idle client must
+    /// not delay shutdown); the final snapshot flush happens in the
+    /// `shutdown` handler itself, before its response is written, so it is
+    /// always complete by the time this returns.
+    pub fn run(self) -> Result<(), ServeError> {
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: read request lines, answer response lines, until
+/// EOF, a write failure, or a `shutdown` request.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let shutting_down;
+        let response = {
+            let mut state = shared.state.lock().expect("serve state lock");
+            let response = state.handle_line(&line);
+            shutting_down = response.ok && line.contains("\"shutdown\"");
+            if shutting_down {
+                // Bounded crash-loss is the contract while running; zero
+                // loss is the contract on clean shutdown.
+                let _ = state.flush_snapshots();
+            }
+            response
+        };
+        let json = serde_json::to_string(&response).expect("response serializes");
+        if writeln!(writer, "{json}").and_then(|_| writer.flush()).is_err() {
+            return;
+        }
+        if shutting_down {
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, Response, WireEvent};
+    use coevo_taxa::TaxonomyConfig;
+    use std::io::BufRead;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            Self { reader, writer: stream }
+        }
+
+        fn roundtrip(&mut self, req: &Request) -> Response {
+            let line = serde_json::to_string(req).unwrap();
+            writeln!(self.writer, "{line}").unwrap();
+            self.writer.flush().unwrap();
+            let mut answer = String::new();
+            self.reader.read_line(&mut answer).unwrap();
+            serde_json::from_str(&answer).expect("response json")
+        }
+    }
+
+    fn spawn_server(store_dir: Option<std::path::PathBuf>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir,
+            taxonomy: TaxonomyConfig::default(),
+        };
+        let server = Server::bind(&config).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+        (addr, handle)
+    }
+
+    #[test]
+    fn full_protocol_session_over_tcp() {
+        let (addr, handle) = spawn_server(None);
+        let mut client = Client::connect(addr);
+
+        assert!(client.roundtrip(&Request::bare("ping")).ok);
+
+        let resp = client.roundtrip(&Request {
+            cmd: "ingest".into(),
+            project: Some("net/socket".into()),
+            dialect: Some("mysql".into()),
+            taxon: None,
+            events: Some(vec![
+                WireEvent::commit("2020-01-05 00:00:00 +0000", 3),
+                WireEvent::ddl("2020-01-10 00:00:00 +0000", "CREATE TABLE t (a INT);"),
+                WireEvent::commit("2020-02-05 00:00:00 +0000", 2),
+            ]),
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.applied, Some(3));
+
+        let resp = client.roundtrip(&Request {
+            project: Some("net/socket".into()),
+            ..Request::bare("project")
+        });
+        let measures = resp.measures.expect("measures");
+        assert_eq!(measures.months, 2);
+        assert_eq!(measures.project_total_activity, 5);
+
+        // A second concurrent client sees the same state.
+        let mut other = Client::connect(addr);
+        let resp = other.roundtrip(&Request::bare("summary"));
+        assert_eq!(resp.projects, Some(1));
+        assert!(resp.report.unwrap().contains("Figure 4"));
+
+        // Malformed input keeps the connection alive.
+        writeln!(client.writer, "not json").unwrap();
+        client.writer.flush().unwrap();
+        let mut answer = String::new();
+        client.reader.read_line(&mut answer).unwrap();
+        assert!(answer.contains("\"ok\":false"));
+        assert!(client.roundtrip(&Request::bare("ping")).ok);
+
+        assert!(client.roundtrip(&Request::bare("shutdown")).ok);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn shutdown_flushes_snapshots_for_warm_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "coevo_serve_tcp_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (addr, handle) = spawn_server(Some(dir.clone()));
+        let mut client = Client::connect(addr);
+        let resp = client.roundtrip(&Request {
+            cmd: "ingest".into(),
+            project: Some("warm/restart".into()),
+            dialect: None,
+            taxon: None,
+            events: Some(vec![
+                WireEvent::commit("2021-03-01 00:00:00 +0000", 4),
+                WireEvent::ddl("2021-03-02 00:00:00 +0000", "CREATE TABLE w (a INT);"),
+            ]),
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        assert!(client.roundtrip(&Request::bare("shutdown")).ok);
+        handle.join().expect("server thread");
+
+        // A new daemon over the same store resumes with the project warm.
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: Some(dir.clone()),
+            taxonomy: TaxonomyConfig::default(),
+        };
+        let server = Server::bind(&config).expect("rebind");
+        assert_eq!(server.restored_projects(), 1);
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+        let mut client = Client::connect(addr);
+        let resp = client.roundtrip(&Request {
+            project: Some("warm/restart".into()),
+            ..Request::bare("project")
+        });
+        assert!(resp.measures.is_some());
+        assert!(client.roundtrip(&Request::bare("shutdown")).ok);
+        handle.join().expect("server thread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -36,6 +36,26 @@ impl InputDigest {
     pub fn key(&self) -> String {
         format!("{:016x}-{:016x}-{:016x}", self.history, self.vcs, self.config)
     }
+
+    /// Parse a canonical key string back into a digest — the exact inverse
+    /// of [`InputDigest::key`]. Rejects anything that is not three
+    /// 16-digit lowercase hex words joined by `-`, so directory listings
+    /// can safely skip foreign files.
+    pub fn parse_key(key: &str) -> Option<Self> {
+        let mut words = key.split('-');
+        let mut parse = || {
+            let w = words.next()?;
+            if w.len() != 16 || !w.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+                return None;
+            }
+            u64::from_str_radix(w, 16).ok()
+        };
+        let (history, vcs, config) = (parse()?, parse()?, parse()?);
+        if words.next().is_some() {
+            return None;
+        }
+        Some(Self { history, vcs, config })
+    }
 }
 
 impl fmt::Display for InputDigest {
@@ -72,6 +92,28 @@ mod tests {
         assert_ne!(base.key(), InputDigest::new(1, 2, 9).key());
         // Components do not alias across positions.
         assert_ne!(InputDigest::new(1, 2, 3).key(), InputDigest::new(2, 1, 3).key());
+    }
+
+    #[test]
+    fn parse_key_inverts_key() {
+        for d in [
+            InputDigest::new(0, 0, 0),
+            InputDigest::new(1, 0xABCD, u64::MAX),
+            InputDigest::new(0xDEAD_BEEF, 42, 7),
+        ] {
+            assert_eq!(InputDigest::parse_key(&d.key()), Some(d));
+        }
+        for bad in [
+            "",
+            "0000000000000001",
+            "0000000000000001-000000000000abcd",
+            "0000000000000001-000000000000abcd-ffffffffffffffff-0000000000000000",
+            "000000000000001-000000000000abcd-ffffffffffffffff", // 15 digits
+            "0000000000000001-000000000000ABCD-ffffffffffffffff", // uppercase
+            "0000000000000001-000000000000abcg-ffffffffffffffff", // non-hex
+        ] {
+            assert_eq!(InputDigest::parse_key(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

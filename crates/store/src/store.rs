@@ -349,6 +349,19 @@ impl ResultStore {
         Ok(report)
     }
 
+    /// The digests of every committed entry, in key order. Foreign files in
+    /// the entries directory (wrong extension, unparsable stem) are skipped,
+    /// not errors — the listing only reports what [`ResultStore::get`] could
+    /// actually serve.
+    pub fn digests(&self) -> Result<Vec<InputDigest>, StoreError> {
+        Ok(self
+            .entry_files()?
+            .iter()
+            .filter_map(|p| p.file_stem())
+            .filter_map(|stem| InputDigest::parse_key(&stem.to_string_lossy()))
+            .collect())
+    }
+
     /// Aggregate store numbers.
     pub fn stats(&self) -> Result<StoreStats, StoreError> {
         let mut entries = 0;
@@ -676,6 +689,23 @@ mod tests {
         let report = store.gc(0).unwrap();
         assert_eq!(report.kept, 0);
         assert_eq!(store.stats().unwrap().entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_lists_committed_entries_in_key_order() {
+        let (dir, store) = tmp_store("digests");
+        assert_eq!(store.digests().unwrap(), Vec::new());
+        let mut expected: Vec<InputDigest> = (0..3).map(|i| digest(40 + i)).collect();
+        for d in &expected {
+            store.put(d, &payload("x")).unwrap();
+        }
+        expected.sort_by_key(|d| d.key());
+        assert_eq!(store.digests().unwrap(), expected);
+        // Foreign files are skipped, not errors.
+        fs::write(store.entries_dir().join("not-a-digest.entry"), "junk").unwrap();
+        fs::write(store.entries_dir().join("README"), "hello").unwrap();
+        assert_eq!(store.digests().unwrap(), expected);
         let _ = fs::remove_dir_all(&dir);
     }
 

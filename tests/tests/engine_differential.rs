@@ -1,6 +1,6 @@
 //! Determinism of the execution engine: the parallel study must be
-//! byte-identical to the sequential one, both must match the legacy
-//! free-function pipeline, and the fingerprinted incremental diff core must
+//! byte-identical to the sequential one, both must match the free-function
+//! pipeline mapped sequentially, and the fingerprinted incremental diff core must
 //! reproduce the pre-refactor accounting exactly — all over the full
 //! 195-project corpus.
 
@@ -33,21 +33,22 @@ fn parallel_study_is_byte_identical_to_sequential() {
 }
 
 #[test]
-#[allow(deprecated)] // differential oracle: the legacy pipeline entry
-fn engine_matches_legacy_pipeline_on_full_corpus() {
+fn engine_matches_free_function_pipeline_on_full_corpus() {
     let corpus = coevo_corpus::generate_corpus(&coevo_corpus::CorpusSpec::paper());
-    let legacy_projects =
-        coevo_corpus::projects_from_generated_parallel(&corpus).expect("legacy pipeline");
-    let legacy = Study::new(legacy_projects.clone()).run();
+    let reference_projects: Vec<_> = corpus
+        .iter()
+        .map(|p| coevo_engine::pipeline::project_from_generated(p).expect("pipeline"))
+        .collect();
+    let reference = Study::new(reference_projects.clone()).run();
 
     let report =
         StudyRunner::new(StudyConfig::default()).run(Source::paper()).expect("engine run");
 
-    assert_eq!(report.projects, legacy_projects);
-    assert_eq!(report.results, legacy);
+    assert_eq!(report.projects, reference_projects);
+    assert_eq!(report.results, reference);
     assert_eq!(
         serde_json::to_string(&report.results).unwrap(),
-        serde_json::to_string(&legacy).unwrap()
+        serde_json::to_string(&reference).unwrap()
     );
 }
 

@@ -1,0 +1,110 @@
+//! Differentials for the fold/event path: the incremental study must be
+//! bit-for-bit equal to the batch study over the full 195-project corpus,
+//! and every fold prefix must equal the batch measures of the truncated
+//! series — for both θ bands and every attainment α the paper uses.
+
+use coevo_core::{
+    advance_measures, theta_synchronicity, AttainmentLevels, MeasureFolds, StudyResults,
+    ATTAINMENT_ALPHAS,
+};
+use coevo_corpus::ProjectArtifacts;
+use coevo_engine::{artifacts_to_events, IncrementalStudy, Source, StudyConfig, StudyRunner};
+use coevo_heartbeat::{cumulative_fraction, time_progress};
+use proptest::prelude::*;
+
+/// Batch measures of the first `k` months of a raw activity pair, computed
+/// through the materializing reference path (fraction vectors + the
+/// original measure functions).
+fn batch_prefix(p_act: &[u64], s_act: &[u64], k: usize) -> (f64, f64, AttainmentLevels) {
+    let p = cumulative_fraction(&p_act[..k]);
+    let s = cumulative_fraction(&s_act[..k]);
+    (
+        theta_synchronicity(&p, &s, 0.05),
+        theta_synchronicity(&p, &s, 0.10),
+        AttainmentLevels::of(&s),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Folding k months must equal batch-measuring the truncated series,
+    /// for every prefix k — not just the final frontier. This is the
+    /// property that makes `append_month` trustworthy mid-stream.
+    #[test]
+    fn fold_prefixes_match_batch_measures_of_truncated_series(
+        p_act in prop::collection::vec(0u64..25, 1..70),
+        s_act in prop::collection::vec(0u64..18, 1..70),
+    ) {
+        let months = p_act.len().min(s_act.len());
+        let p_act = &p_act[..months];
+        let s_act = &s_act[..months];
+
+        let mut folds = MeasureFolds::new();
+        for k in 1..=months {
+            folds.append_month(p_act[k - 1], s_act[k - 1]);
+            let out = folds.outputs();
+            let (sync_05, sync_10, attainment) = batch_prefix(p_act, s_act, k);
+
+            prop_assert_eq!(out.months, k);
+            prop_assert_eq!(out.sync_05, sync_05, "θ=0.05 at prefix {}", k);
+            prop_assert_eq!(out.sync_10, sync_10, "θ=0.10 at prefix {}", k);
+            for alpha in ATTAINMENT_ALPHAS {
+                prop_assert_eq!(
+                    out.attainment.get(alpha),
+                    attainment.get(alpha),
+                    "α={} at prefix {}", alpha, k
+                );
+            }
+
+            // The advance measures ride the same spine; they must agree
+            // at every prefix too.
+            let p = cumulative_fraction(&p_act[..k]);
+            let s = cumulative_fraction(&s_act[..k]);
+            let t = time_progress(k);
+            prop_assert_eq!(
+                out.advance,
+                advance_measures(&s, &p, &t),
+                "advance at prefix {}", k
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_study_matches_batch_study_on_full_corpus() {
+    let report = StudyRunner::new(StudyConfig::default())
+        .run(Source::paper())
+        .expect("batch engine run");
+    assert!(report.failures.is_empty());
+    assert_eq!(report.projects.len(), 195);
+    let mut by_name = report.results.measures.clone();
+    by_name.sort_by(|a, b| a.name.cmp(&b.name));
+    let batch = StudyResults::from_measures(by_name);
+
+    let corpus: Vec<ProjectArtifacts> =
+        coevo_corpus::generate_corpus(&coevo_corpus::CorpusSpec::paper())
+            .iter()
+            .map(ProjectArtifacts::from_generated)
+            .collect();
+    let mut streamed = IncrementalStudy::default();
+    for (i, p) in corpus.iter().enumerate() {
+        // Deliver each project's history in two batches split at a
+        // project-dependent point, suffix first, so a third of the corpus
+        // stresses out-of-order replay rather than pure append.
+        let events = artifacts_to_events(p).expect("events");
+        let cut = (i * 7919) % (events.len() + 1);
+        let (head, tail) = events.split_at(cut);
+        streamed.ingest(&p.name, p.dialect, p.taxon, tail.to_vec()).expect("ingest tail");
+        streamed.ingest(&p.name, p.dialect, p.taxon, head.to_vec()).expect("ingest head");
+    }
+    assert!(streamed.pending().is_empty());
+
+    let incremental = streamed.results();
+    assert_eq!(incremental, batch);
+    assert_eq!(
+        serde_json::to_string(&incremental).unwrap(),
+        serde_json::to_string(&batch).unwrap(),
+        "streamed and batch results must serialize byte-identically"
+    );
+}

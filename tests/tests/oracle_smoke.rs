@@ -25,19 +25,20 @@ fn coevo_check_quick_is_clean_through_the_cli() {
 }
 
 /// The harness must meet the coverage floors the oracle promises: ≥ 8
-/// mutators, ≥ 4 per-project differential oracles plus the corpus-level
-/// workers differential, and layer-3 invariant sweeps over every measured
-/// project — under an arbitrary seed, not just the CI one.
+/// mutators, ≥ 5 per-project differential oracles plus the two corpus-level
+/// differentials (1-vs-N workers, batch-vs-incremental study), and layer-3
+/// invariant sweeps over every measured project — under an arbitrary seed,
+/// not just the CI one.
 #[test]
 fn run_check_covers_the_promised_floors() {
     assert!(all_mutators().len() >= 8);
-    assert!(per_project_oracles().len() >= 4);
+    assert!(per_project_oracles().len() >= 5);
 
     let report = run_check(&CheckConfig::quick(7));
     assert!(report.ok(), "violations on a clean build: {:#?}", report.violations);
     assert_eq!(report.projects, 12);
     assert_eq!(report.mutators, all_mutators().len());
-    assert_eq!(report.oracles, per_project_oracles().len() + 1);
+    assert_eq!(report.oracles, per_project_oracles().len() + 2);
     assert!(
         report.mutation_runs >= report.projects * 8,
         "expected ≥ 8 applied mutations per project, got {} over {} projects",

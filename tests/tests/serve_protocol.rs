@@ -1,0 +1,153 @@
+//! Wire-level test of `coevo serve`: requests are raw JSON lines over TCP,
+//! written by hand the way an external client following the README would —
+//! no shared request structs. The daemon's answers must match the batch
+//! pipeline for the same history, and must survive a daemon restart.
+
+use coevo_serve::{Response, ServeConfig, Server};
+use coevo_taxa::TaxonomyConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+struct RawClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Self { reader, writer: stream }
+    }
+
+    fn send(&mut self, line: &str) -> Response {
+        writeln!(self.writer, "{line}").expect("write");
+        self.writer.flush().expect("flush");
+        let mut answer = String::new();
+        self.reader.read_line(&mut answer).expect("read");
+        serde_json::from_str(&answer).expect("response is one JSON object per line")
+    }
+}
+
+fn spawn(store_dir: Option<std::path::PathBuf>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir,
+        taxonomy: TaxonomyConfig::default(),
+    };
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+#[test]
+fn served_measures_match_the_batch_pipeline() {
+    use coevo_engine::{StudyConfig, StudyRunner};
+
+    // One real generated project, streamed over the wire.
+    let corpus =
+        coevo_corpus::generate_corpus(&coevo_corpus::CorpusSpec::paper().with_per_taxon(1));
+    let p = coevo_corpus::ProjectArtifacts::from_generated(&corpus[0]);
+    let (_, batch) = StudyRunner::new(StudyConfig::default())
+        .run_project(&p)
+        .expect("batch pipeline");
+
+    let (addr, handle) = spawn(None);
+    let mut client = RawClient::connect(addr);
+    assert!(client.send(r#"{"cmd":"ping"}"#).ok);
+
+    // Events rendered by hand into the documented wire shape.
+    let events: Vec<String> = coevo_engine::artifacts_to_events(&p)
+        .expect("events")
+        .into_iter()
+        .map(|e| match e {
+            coevo_engine::ProjectEvent::Commit { date, files_updated } => {
+                format!(r#"{{"kind":"commit","date":"{date}","files":{files_updated}}}"#)
+            }
+            coevo_engine::ProjectEvent::DdlVersion { date, ddl } => format!(
+                r#"{{"kind":"ddl","date":"{date}","ddl":{}}}"#,
+                serde_json::to_string(&ddl).unwrap()
+            ),
+        })
+        .collect();
+    let taxon = p.taxon.expect("generated projects are labeled");
+    let ingest = format!(
+        r#"{{"cmd":"ingest","project":{},"dialect":"{}","taxon":"{}","events":[{}]}}"#,
+        serde_json::to_string(&p.name).unwrap(),
+        p.dialect.name(),
+        taxon.slug(),
+        events.join(",")
+    );
+    let resp = client.send(&ingest);
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.applied, Some(events.len() as u64));
+
+    let project_req = format!(
+        r#"{{"cmd":"project","project":{}}}"#,
+        serde_json::to_string(&p.name).unwrap()
+    );
+    let resp = client.send(&project_req);
+    assert!(resp.ok, "{:?}", resp.error);
+    let served = resp.measures.expect("measures");
+    assert_eq!(served, batch, "served measures must equal the batch pipeline's");
+
+    // The summary renders the same figures the batch reporter does.
+    let resp = client.send(r#"{"cmd":"summary"}"#);
+    assert_eq!(resp.projects, Some(1));
+    let report = resp.report.expect("report text");
+    assert!(report.contains("Figure 4"), "summary must render the figures");
+
+    let resp = client.send(r#"{"cmd":"taxa"}"#);
+    let taxa = resp.taxa.expect("taxa counts");
+    assert_eq!(taxa.iter().map(|t| t.count).sum::<u64>(), 1);
+    assert!(taxa.iter().any(|t| t.taxon == taxon.slug() && t.count == 1));
+
+    // Unknown commands and unknown projects answer errors, not hangups.
+    assert!(!client.send(r#"{"cmd":"no-such-command"}"#).ok);
+    assert!(!client.send(r#"{"cmd":"project","project":"never/ingested"}"#).ok);
+
+    assert!(client.send(r#"{"cmd":"shutdown"}"#).ok);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn daemon_restart_resumes_from_snapshots() {
+    let dir = std::env::temp_dir().join(format!(
+        "coevo_serve_proto_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, handle) = spawn(Some(dir.clone()));
+    let mut client = RawClient::connect(addr);
+    let ingest = concat!(
+        r#"{"cmd":"ingest","project":"ops/relay","dialect":"mysql","events":["#,
+        r#"{"kind":"commit","date":"2019-06-03 10:00:00 +0000","files":2},"#,
+        r#"{"kind":"ddl","date":"2019-06-04 09:00:00 +0000","ddl":"CREATE TABLE r (id INT, t VARCHAR(9));"},"#,
+        r#"{"kind":"commit","date":"2019-07-11 10:00:00 +0000","files":1}]}"#
+    );
+    let resp = client.send(ingest);
+    assert!(resp.ok, "{:?}", resp.error);
+    assert!(client.send(r#"{"cmd":"shutdown"}"#).ok);
+    handle.join().expect("server thread");
+
+    // Same store, new daemon: the project answers without re-ingestion,
+    // and keeps accepting further events.
+    let (addr, handle) = spawn(Some(dir.clone()));
+    let mut client = RawClient::connect(addr);
+    let resp = client.send(r#"{"cmd":"project","project":"ops/relay"}"#);
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.measures.expect("measures").months, 2);
+    let resp = client.send(
+        r#"{"cmd":"ingest","project":"ops/relay","dialect":"mysql","events":[{"kind":"commit","date":"2019-08-02 10:00:00 +0000","files":3}]}"#,
+    );
+    assert!(resp.ok, "{:?}", resp.error);
+    let resp = client.send(r#"{"cmd":"project","project":"ops/relay"}"#);
+    assert_eq!(resp.measures.expect("measures").months, 3);
+
+    assert!(client.send(r#"{"cmd":"shutdown"}"#).ok);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
