@@ -1,0 +1,195 @@
+//! The streamed corpus path at scale: generate a sharded corpus on disk,
+//! run the shard-batched streaming engine over it, and hold it to the PR's
+//! two acceptance bars (asserted in test mode *and* bench mode):
+//!
+//! - **correctness** — on a 2 000-project sharded corpus the streamed run
+//!   is bit-identical (results *and* serialized JSON) to the eager
+//!   in-memory run;
+//! - **memory** — the streamed run's peak live-heap growth stays within 3×
+//!   the working set of processing one shard in memory, no matter how many
+//!   shards the corpus has. In bench mode (`cargo bench -- --bench`) this
+//!   is measured on a 10 000-project corpus — 20 shards, so an O(corpus)
+//!   regression overshoots the bar by ~7× and cannot hide in noise.
+//!
+//! Bench mode also asserts a conservative throughput floor and writes the
+//! measured numbers to `BENCH_7.json` at the repo root (the `BENCH_5`/
+//! `BENCH_6` convention) so future PRs can diff against them.
+
+use coevo_corpus::{generate_sharded, CorpusSpec, CorpusStream, ProjectArtifacts};
+use coevo_engine::{allocs, Source, StudyConfig, StudyRunner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+// Count every heap allocation, and track the live-byte high-water mark the
+// peak-memory bar is asserted against. Crate-local default-on feature: the
+// production binary never links the counting allocator.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: allocs::CountingAlloc<std::alloc::System> =
+    allocs::CountingAlloc(std::alloc::System);
+
+const SEED: u64 = 0x5EED_2019;
+/// Test-mode scale: big enough for 8 shard boundaries, small enough for CI.
+const TEST_PROJECTS: usize = 2_000;
+const TEST_SHARD: usize = 250;
+/// Bench-mode scale: the 10k corpus the issue's memory bar is defined on.
+const BENCH_PROJECTS: usize = 10_000;
+const BENCH_SHARD: usize = 500;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("coevo_bench_streamed_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded_corpus(tag: &str, projects: usize, shard: usize) -> PathBuf {
+    let dir = scratch(tag);
+    let mut spec = CorpusSpec::paper().with_total(projects);
+    spec.seed = SEED;
+    let manifest = generate_sharded(&dir, &spec, shard).expect("generate sharded corpus");
+    assert_eq!(manifest.total_projects, projects);
+    dir
+}
+
+fn runner(max_resident: usize) -> StudyRunner {
+    StudyRunner::new(StudyConfig::default()).with_max_resident(max_resident)
+}
+
+/// Read the *largest* shard back into memory (by on-disk bytes — projects
+/// are generated taxon by taxon, so shards differ widely in history size
+/// and the streamed peak tracks the biggest one resident, not the first).
+fn biggest_shard(dir: &std::path::Path) -> Vec<ProjectArtifacts> {
+    let stream = CorpusStream::open(dir).expect("open corpus");
+    let entry = stream
+        .manifest()
+        .shards
+        .iter()
+        .max_by_key(|e| std::fs::metadata(dir.join(&e.file)).map(|m| m.len()).unwrap_or(0))
+        .cloned()
+        .expect("non-empty corpus");
+    stream
+        .shard_reader(&entry)
+        .expect("open shard")
+        .collect::<Result<Vec<_>, _>>()
+        .expect("read shard")
+}
+
+/// Peak live-heap growth of `f` relative to the live bytes at entry. Zero
+/// when the counting allocator is not installed.
+fn peak_growth<T>(f: impl FnOnce() -> T) -> (T, i64) {
+    allocs::reset_peak_live();
+    let base = allocs::live_bytes();
+    let out = f();
+    (out, (allocs::peak_live_bytes() - base).max(0))
+}
+
+fn write_bench_json(
+    projects: usize,
+    shard_size: usize,
+    elapsed: f64,
+    peak: i64,
+    working_set: i64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    let json = format!(
+        "{{\n  \"streamed_study/projects\": {projects},\n  \"streamed_study/shard_size\": {shard_size},\n  \"streamed_study/projects_per_sec\": {:.0},\n  \"streamed_study/peak_live_bytes\": {peak},\n  \"streamed_study/shard_working_set_bytes\": {working_set},\n  \"streamed_study/peak_ratio\": {:.2}\n}}\n",
+        projects as f64 / elapsed,
+        if working_set > 0 { peak as f64 / working_set as f64 } else { 0.0 },
+    );
+    std::fs::write(path, json).expect("write BENCH_7.json");
+    println!("[streamed_study] wrote {path}");
+}
+
+fn streamed_study_bench(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+
+    // Correctness bar: eager vs streamed over the 2k sharded corpus, bit
+    // for bit — results, failures, and serialized JSON.
+    let small = sharded_corpus("2k", TEST_PROJECTS, TEST_SHARD);
+    let eager = runner(0).run(Source::Sharded(small.clone())).expect("eager run");
+    let streamed =
+        runner(TEST_SHARD).run_streamed(Source::Sharded(small.clone())).expect("streamed run");
+    assert!(eager.failures.is_empty() && streamed.failures.is_empty());
+    assert_eq!(streamed.results, eager.results, "streamed diverges from eager");
+    assert_eq!(
+        coevo_report::csv::measures_csv(&streamed.results),
+        coevo_report::csv::measures_csv(&eager.results),
+        "rendered outputs diverge"
+    );
+    assert_eq!(streamed.results.measures.len(), TEST_PROJECTS);
+    drop((eager, streamed));
+
+    // Memory bar, measured at the mode's scale: the streamed peak must stay
+    // within 3x one shard's in-memory working set.
+    let (projects, shard_size, dir) = if bench_mode {
+        (BENCH_PROJECTS, BENCH_SHARD, sharded_corpus("10k", BENCH_PROJECTS, BENCH_SHARD))
+    } else {
+        (TEST_PROJECTS, TEST_SHARD, small.clone())
+    };
+    let (_, working_set) = peak_growth(|| {
+        let projects = biggest_shard(&dir);
+        let report = runner(0).run(Source::InMemory(projects)).expect("one-shard study");
+        black_box(report.results.measures.len())
+    });
+
+    let t = Instant::now();
+    let (count, peak) = peak_growth(|| {
+        let report = runner(shard_size)
+            .run_streamed(Source::Sharded(dir.clone()))
+            .expect("streamed run");
+        assert!(report.failures.is_empty());
+        report.results.measures.len()
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(count, projects);
+    let rate = projects as f64 / elapsed;
+    println!(
+        "[streamed_study] {projects} projects / shard {shard_size}: {elapsed:.2}s \
+         ({rate:.0} projects/s), peak live {:.1} MiB vs shard working set {:.1} MiB",
+        peak as f64 / (1 << 20) as f64,
+        working_set as f64 / (1 << 20) as f64,
+    );
+    if working_set > 0 && peak > 0 {
+        let ratio = peak as f64 / working_set as f64;
+        assert!(
+            ratio <= 3.0,
+            "streamed peak {peak} B is {ratio:.2}x the one-shard working set \
+             {working_set} B (bar: 3x) — the engine is retaining project data \
+             across batches"
+        );
+    }
+    // Throughput floor: deliberately conservative (CI machines vary), and
+    // only meaningful on optimized builds.
+    if !cfg!(debug_assertions) {
+        assert!(rate >= 50.0, "streamed throughput {rate:.0} projects/s below the 50/s floor");
+    }
+
+    if bench_mode {
+        write_bench_json(projects, shard_size, elapsed, peak, working_set);
+    }
+
+    // Criterion timing on a small sharded study so `cargo bench` trends the
+    // per-run cost without re-running the 10k corpus per sample.
+    let tiny = sharded_corpus("tiny", 195, 32);
+    let mut group = c.benchmark_group("streamed_study");
+    group.sample_size(10);
+    group.bench_function("sharded_195", |b| {
+        b.iter(|| {
+            let report = runner(32)
+                .run_streamed(Source::Sharded(black_box(tiny.clone())))
+                .expect("streamed run");
+            black_box(report.results.measures.len())
+        })
+    });
+    group.finish();
+
+    for d in [small, dir, tiny] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+criterion_group!(streamed, streamed_study_bench);
+criterion_main!(streamed);

@@ -8,12 +8,24 @@ pub const USAGE: &str = "\
 coevo — joint source and schema evolution study (EDBT 2023 reproduction)
 
 USAGE:
-    coevo study [--seed N] [--csv DIR] [--from DIR] [--workers N] [--profile]
-                [--store DIR]                run the study (generated corpus,
-                                             or an on-disk one via --from);
+    coevo study [--seed N] [--csv DIR] [--from DIR] [--shards DIR]
+                [--max-resident N] [--workers N] [--profile] [--store DIR]
+                                             run the study (generated corpus,
+                                             an on-disk one via --from, or a
+                                             sharded one via --shards);
+                                             --max-resident streams shard
+                                             batches at O(shard) peak memory;
                                              --profile prints per-stage timing;
                                              --store serves unchanged projects
                                              from a result store (warm restart)
+    coevo corpus gen --projects N --out DIR [--shard-size K] [--seed N]
+                                             write a sharded corpus (manifest +
+                                             fixed-size shard files) scaled to
+                                             N projects with the paper's taxon
+                                             mix
+    coevo corpus info <DIR>                  print a sharded corpus's manifest
+                                             summary (format, seed, shards,
+                                             projects)
     coevo store stats <DIR>                  result-store entry/byte counts
     coevo store verify <DIR>                 validate every entry checksum
                                              (quarantines corrupt entries;
@@ -54,12 +66,22 @@ pub enum Command {
         csv_dir: Option<PathBuf>,
         /// Run over an on-disk corpus directory instead of generating one.
         from_dir: Option<PathBuf>,
+        /// Run over a sharded corpus directory (`coevo corpus gen` layout).
+        shards_dir: Option<PathBuf>,
+        /// Stream execution with at most this many resident projects
+        /// (0/absent = eager in-memory run).
+        max_resident: Option<usize>,
         /// Engine worker threads (None = one per available CPU).
         workers: Option<usize>,
         /// Print the engine's per-stage execution profile.
         profile: bool,
         /// Root directory of the content-addressed result store.
         store: Option<PathBuf>,
+    },
+    /// `coevo corpus`: generate and inspect sharded corpora.
+    Corpus {
+        /// What to do.
+        action: CorpusAction,
     },
     /// `coevo store`: inspect and maintain a result store.
     Store {
@@ -145,6 +167,27 @@ pub enum Command {
     Help,
 }
 
+/// A `coevo corpus` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusAction {
+    /// Generate a sharded corpus on disk.
+    Gen {
+        /// Target directory for the manifest and shard files.
+        out: PathBuf,
+        /// Total number of projects (the paper's taxon mix, rescaled).
+        projects: usize,
+        /// Projects per shard file.
+        shard_size: usize,
+        /// The deterministic RNG seed.
+        seed: u64,
+    },
+    /// Print a sharded corpus's manifest summary.
+    Info {
+        /// The corpus directory.
+        dir: PathBuf,
+    },
+}
+
 /// A `coevo store` maintenance action.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StoreAction {
@@ -175,14 +218,51 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
             let (mut flags, pos) = split_flags(rest)?;
             expect_no_positionals(&pos)?;
             let profile = take_bool_flag(&mut flags, "profile");
+            let from_dir = flag_value(&flags, "from").map(PathBuf::from);
+            let shards_dir = flag_value(&flags, "shards").map(PathBuf::from);
+            if from_dir.is_some() && shards_dir.is_some() {
+                return Err("study takes at most one of --from / --shards".to_string());
+            }
             Ok(Command::Study {
                 seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
                 csv_dir: flag_value(&flags, "csv").map(PathBuf::from),
-                from_dir: flag_value(&flags, "from").map(PathBuf::from),
+                from_dir,
+                shards_dir,
+                max_resident: flag_u64(&flags, "max-resident")?.map(|v| v as usize),
                 workers: flag_u64(&flags, "workers")?.map(|v| v as usize),
                 profile,
                 store: flag_value(&flags, "store").map(PathBuf::from),
             })
+        }
+        "corpus" => {
+            let (flags, pos) = split_flags(rest)?;
+            match pos.first().map(String::as_str) {
+                Some("gen") => {
+                    expect_no_positionals(&pos[1..])?;
+                    Ok(Command::Corpus {
+                        action: CorpusAction::Gen {
+                            out: flag_value(&flags, "out")
+                                .map(PathBuf::from)
+                                .ok_or("corpus gen requires --out DIR")?,
+                            projects: flag_u64(&flags, "projects")?
+                                .ok_or("corpus gen requires --projects N")?
+                                as usize,
+                            shard_size: flag_u64(&flags, "shard-size")?.unwrap_or(1000)
+                                as usize,
+                            seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
+                        },
+                    })
+                }
+                Some("info") => {
+                    expect_no_flags(&flags)?;
+                    let [_, dir] = positional::<2>(&pos, "info <DIR>")?;
+                    Ok(Command::Corpus {
+                        action: CorpusAction::Info { dir: PathBuf::from(dir) },
+                    })
+                }
+                Some(other) => Err(format!("unknown corpus action {other:?}\n{USAGE}")),
+                None => Err(format!("expected <gen|info>\n{USAGE}")),
+            }
         }
         "store" => {
             let (flags, pos) = split_flags(rest)?;
@@ -387,6 +467,8 @@ mod tests {
                 seed: DEFAULT_SEED,
                 csv_dir: None,
                 from_dir: None,
+                shards_dir: None,
+                max_resident: None,
                 workers: None,
                 profile: false,
                 store: None,
@@ -402,6 +484,8 @@ mod tests {
                 seed: 42,
                 csv_dir: Some(PathBuf::from("out")),
                 from_dir: None,
+                shards_dir: None,
+                max_resident: None,
                 workers: None,
                 profile: false,
                 store: None,
@@ -419,6 +503,8 @@ mod tests {
                 seed: 9,
                 csv_dir: None,
                 from_dir: None,
+                shards_dir: None,
+                max_resident: None,
                 workers: Some(4),
                 profile: true,
                 store: None,
@@ -430,12 +516,75 @@ mod tests {
                 seed: DEFAULT_SEED,
                 csv_dir: None,
                 from_dir: None,
+                shards_dir: None,
+                max_resident: None,
                 workers: Some(2),
                 profile: true,
                 store: None,
             }
         );
         assert!(parse(&["study", "--workers", "many"]).is_err());
+    }
+
+    #[test]
+    fn study_sharded_flags() {
+        let Command::Study { shards_dir, max_resident, .. } =
+            parse(&["study", "--shards", "corpus", "--max-resident", "500"]).unwrap()
+        else {
+            panic!("expected study");
+        };
+        assert_eq!(shards_dir, Some(PathBuf::from("corpus")));
+        assert_eq!(max_resident, Some(500));
+        // --from and --shards are mutually exclusive.
+        assert!(parse(&["study", "--from", "a", "--shards", "b"]).is_err());
+        assert!(parse(&["study", "--max-resident", "lots"]).is_err());
+    }
+
+    #[test]
+    fn corpus_subcommands() {
+        assert_eq!(
+            parse(&["corpus", "gen", "--projects", "2000", "--out", "dir"]).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Gen {
+                    out: PathBuf::from("dir"),
+                    projects: 2000,
+                    shard_size: 1000,
+                    seed: DEFAULT_SEED,
+                },
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "corpus",
+                "gen",
+                "--projects",
+                "100",
+                "--shard-size",
+                "25",
+                "--seed",
+                "7",
+                "--out",
+                "dir",
+            ])
+            .unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Gen {
+                    out: PathBuf::from("dir"),
+                    projects: 100,
+                    shard_size: 25,
+                    seed: 7,
+                },
+            }
+        );
+        assert_eq!(
+            parse(&["corpus", "info", "dir"]).unwrap(),
+            Command::Corpus { action: CorpusAction::Info { dir: PathBuf::from("dir") } }
+        );
+        assert!(parse(&["corpus", "gen", "--out", "dir"]).is_err()); // no --projects
+        assert!(parse(&["corpus", "gen", "--projects", "10"]).is_err()); // no --out
+        assert!(parse(&["corpus", "info"]).is_err());
+        assert!(parse(&["corpus", "squash", "dir"]).is_err());
+        assert!(parse(&["corpus"]).is_err());
     }
 
     #[test]

@@ -23,23 +23,29 @@ fn io_err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
 }
 
-/// `coevo study`: the full corpus study — over the generated corpus, or
-/// over an on-disk corpus directory when `from_dir` is given. Runs on the
-/// execution engine: projects that fail to load or parse are reported as
-/// warnings and the study proceeds on the survivors.
+/// `coevo study`: the full corpus study — over the generated corpus, an
+/// on-disk corpus directory (`from_dir`), or a sharded one (`shards_dir`).
+/// Runs on the execution engine: projects that fail to load or parse are
+/// reported as warnings and the study proceeds on the survivors. With
+/// `max_resident` set the engine streams shard-sized batches, holding at
+/// most that many projects in memory; the output is byte-identical to the
+/// eager run.
 #[allow(clippy::too_many_arguments)]
 pub fn study(
     seed: u64,
     csv_dir: Option<&Path>,
     from_dir: Option<&Path>,
+    shards_dir: Option<&Path>,
+    max_resident: Option<usize>,
     workers: Option<usize>,
     profile: bool,
     store: Option<&Path>,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let source = match from_dir {
-        Some(dir) => Source::OnDisk(dir.to_path_buf()),
-        None => Source::GeneratedCorpus(seed),
+    let source = match (from_dir, shards_dir) {
+        (Some(dir), _) => Source::OnDisk(dir.to_path_buf()),
+        (None, Some(dir)) => Source::Sharded(dir.to_path_buf()),
+        (None, None) => Source::GeneratedCorpus(seed),
     };
     let mut runner = StudyRunner::new(StudyConfig::default());
     if let Some(n) = workers {
@@ -48,13 +54,24 @@ pub fn study(
     if let Some(dir) = store {
         runner = runner.with_store(dir);
     }
-    let report = runner.run(source).map_err(io_err)?;
-    writeln!(out, "studying {} projects", report.projects.len() + report.failures.len())
+    // Streamed and eager runs are pinned byte-identical, so the choice here
+    // only changes peak memory, never the output below.
+    let (results, failures, metrics) = match max_resident {
+        Some(n) => {
+            let report = runner.with_max_resident(n).run_streamed(source).map_err(io_err)?;
+            (report.results, report.failures, report.metrics)
+        }
+        None => {
+            let report = runner.run(source).map_err(io_err)?;
+            (report.results, report.failures, report.metrics)
+        }
+    };
+    writeln!(out, "studying {} projects", results.measures.len() + failures.len())
         .map_err(io_err)?;
-    for failure in &report.failures {
+    for failure in &failures {
         writeln!(out, "warning: skipped {failure}").map_err(io_err)?;
     }
-    let results = &report.results;
+    let results = &results;
     writeln!(out, "{}", render_all_figures(results)).map_err(io_err)?;
     writeln!(out, "{}", coevo_report::research_question_answers(results)).map_err(io_err)?;
     if let Some(dir) = csv_dir {
@@ -66,7 +83,66 @@ pub fn study(
         writeln!(out, "CSV files written to {}", dir.display()).map_err(io_err)?;
     }
     if profile {
-        writeln!(out, "{}", report.metrics.render()).map_err(io_err)?;
+        writeln!(out, "{}", metrics.render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `coevo corpus gen`: write a sharded corpus — versioned manifest plus
+/// fixed-size shard files — scaled to `projects` total projects with the
+/// paper's taxon mix. Generation streams one project at a time, so corpora
+/// far larger than memory are fine.
+pub fn corpus_gen(
+    out_dir: &Path,
+    projects: usize,
+    shard_size: usize,
+    seed: u64,
+    out: &mut dyn Write,
+) -> CmdResult {
+    if shard_size == 0 {
+        return Err("--shard-size must be at least 1".to_string());
+    }
+    let mut spec = CorpusSpec::paper().with_total(projects);
+    spec.seed = seed;
+    let manifest =
+        coevo_corpus::generate_sharded(out_dir, &spec, shard_size).map_err(io_err)?;
+    writeln!(
+        out,
+        "wrote {} projects in {} shard(s) (≤{} projects each) to {}",
+        manifest.total_projects,
+        manifest.shards.len(),
+        manifest.shard_size,
+        out_dir.display()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// `coevo corpus info <dir>`: print a sharded corpus's manifest summary.
+pub fn corpus_info(dir: &Path, out: &mut dyn Write) -> CmdResult {
+    let stream = coevo_corpus::CorpusStream::open(dir).map_err(io_err)?;
+    let m = stream.manifest();
+    writeln!(out, "sharded corpus at {}", dir.display()).map_err(io_err)?;
+    writeln!(out, "  format version: {}", m.format).map_err(io_err)?;
+    writeln!(out, "  seed: {}", m.seed).map_err(io_err)?;
+    writeln!(
+        out,
+        "  projects: {} in {} shard(s) (≤{} each)",
+        m.total_projects,
+        m.shards.len(),
+        m.shard_size
+    )
+    .map_err(io_err)?;
+    for s in &m.shards {
+        writeln!(
+            out,
+            "  {}: projects {}..{} (checksum {:016x})",
+            s.file,
+            s.start,
+            s.start + s.projects,
+            s.checksum
+        )
+        .map_err(io_err)?;
     }
     Ok(())
 }
@@ -588,7 +664,7 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 3, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), None, false, None, &mut out).unwrap();
+        study(0, None, Some(&dir), None, None, None, false, None, &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("studying 6 projects"), "{text}");
         assert!(text.contains("Figure 4"), "{text}");
@@ -601,7 +677,7 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 5, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), Some(2), true, None, &mut out).unwrap();
+        study(0, None, Some(&dir), None, None, Some(2), true, None, &mut out).unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("execution profile"), "{text}");
         for stage in ["load", "parse", "diff", "heartbeat", "measure", "stats"] {
@@ -619,12 +695,12 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&corpus, 7, Some(1), &mut gen_out).unwrap();
         let mut cold = Vec::new();
-        study(0, None, Some(&corpus), None, true, Some(&store), &mut cold).unwrap();
+        study(0, None, Some(&corpus), None, None, None, true, Some(&store), &mut cold).unwrap();
         let cold_text = String::from_utf8_lossy(&cold);
         assert!(cold_text.contains("0/6 served"), "{cold_text}");
         assert!(cold_text.contains("6 miss"), "{cold_text}");
         let mut warm = Vec::new();
-        study(0, None, Some(&corpus), None, true, Some(&store), &mut warm).unwrap();
+        study(0, None, Some(&corpus), None, None, None, true, Some(&store), &mut warm).unwrap();
         let warm_text = String::from_utf8_lossy(&warm);
         assert!(warm_text.contains("6/6 served"), "{warm_text}");
         assert!(warm_text.contains("6 hit"), "{warm_text}");
@@ -636,6 +712,39 @@ mod tests {
     }
 
     #[test]
+    fn corpus_gen_info_and_streamed_study_round_trip() {
+        let dir = tmp("corpusgen");
+        let corpus = dir.join("shards");
+        let mut out = Vec::new();
+        corpus_gen(&corpus, 12, 5, 7, &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("wrote 12 projects in 3 shard(s)"), "{text}");
+
+        let mut info_out = Vec::new();
+        corpus_info(&corpus, &mut info_out).unwrap();
+        let info = String::from_utf8_lossy(&info_out);
+        assert!(info.contains("projects: 12 in 3 shard(s)"), "{info}");
+        assert!(info.contains("shard-00000"), "{info}");
+
+        // Eager and streamed runs over the sharded corpus print identical
+        // bytes (no --profile: stage timings are nondeterministic).
+        let mut eager = Vec::new();
+        study(0, None, None, Some(&corpus), None, None, false, None, &mut eager).unwrap();
+        let eager_text = String::from_utf8_lossy(&eager);
+        assert!(eager_text.contains("studying 12 projects"), "{eager_text}");
+        let mut streamed = Vec::new();
+        study(0, None, None, Some(&corpus), Some(5), None, false, None, &mut streamed).unwrap();
+        assert_eq!(eager, streamed);
+
+        // Generating into the same directory twice is fine (idempotent
+        // layout), and gen with a bad shard size errors.
+        assert!(corpus_gen(&corpus, 0, 0, 7, &mut Vec::new()).is_err());
+        let mut info_out = Vec::new();
+        assert!(corpus_info(&dir.join("nope"), &mut info_out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn store_subcommands_round_trip() {
         let dir = tmp("storecmds");
         let corpus = dir.join("corpus");
@@ -643,7 +752,8 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&corpus, 9, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&corpus), None, false, Some(&store_dir), &mut out).unwrap();
+        study(0, None, Some(&corpus), None, None, None, false, Some(&store_dir), &mut out)
+            .unwrap();
 
         let mut stats_out = Vec::new();
         store_stats(&store_dir, &mut stats_out).unwrap();

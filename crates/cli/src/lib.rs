@@ -3,9 +3,13 @@
 //! Subcommands:
 //!
 //! - `coevo study [--seed N] [--csv DIR] [--workers N] [--profile]
-//!   [--store DIR]` — run the full 195-project study on the execution
-//!   engine, optionally backed by a content-addressed result store so
-//!   re-runs only recompute changed projects;
+//!   [--store DIR] [--shards DIR] [--max-resident N]` — run the full
+//!   195-project study on the execution engine, optionally backed by a
+//!   content-addressed result store so re-runs only recompute changed
+//!   projects; with `--shards`/`--max-resident` the engine streams a
+//!   sharded corpus at O(shard) peak memory;
+//! - `coevo corpus gen --projects N --out DIR [--shard-size K] [--seed N]`
+//!   and `coevo corpus info <dir>` — write and inspect sharded corpora;
 //! - `coevo serve [--addr HOST:PORT] [--store DIR]` — run the incremental
 //!   study daemon (line-delimited JSON over TCP), snapshotting to a result
 //!   store for warm restarts;
@@ -37,15 +41,32 @@ pub use args::{parse_args, Command, ParsedArgs};
 /// command, writing human output to `out`. Returns a process exit code.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
     let result = match cmd {
-        Command::Study { seed, csv_dir, from_dir, workers, profile, store } => commands::study(
+        Command::Study {
+            seed,
+            csv_dir,
+            from_dir,
+            shards_dir,
+            max_resident,
+            workers,
+            profile,
+            store,
+        } => commands::study(
             seed,
             csv_dir.as_deref(),
             from_dir.as_deref(),
+            shards_dir.as_deref(),
+            max_resident,
             workers,
             profile,
             store.as_deref(),
             out,
         ),
+        Command::Corpus { action } => match action {
+            args::CorpusAction::Gen { out: dir, projects, shard_size, seed } => {
+                commands::corpus_gen(&dir, projects, shard_size, seed, out)
+            }
+            args::CorpusAction::Info { dir } => commands::corpus_info(&dir, out),
+        },
         Command::Store { action, dir } => match action {
             args::StoreAction::Stats => commands::store_stats(&dir, out),
             args::StoreAction::Verify => commands::store_verify(&dir, out),

@@ -30,8 +30,24 @@ pub struct ProjectArtifacts {
     pub git_log: String,
 }
 
+impl From<GeneratedProject> for ProjectArtifacts {
+    /// Owned conversion: moves the version texts and git log instead of
+    /// cloning them. The streaming corpus writer generates → converts →
+    /// serializes one project at a time, so the clone would double its
+    /// (per-project) peak.
+    fn from(p: GeneratedProject) -> Self {
+        Self {
+            name: p.raw.name,
+            taxon: Some(p.raw.taxon),
+            dialect: p.raw.dialect,
+            ddl_versions: p.raw.ddl_versions,
+            git_log: p.git_log,
+        }
+    }
+}
+
 impl ProjectArtifacts {
-    /// Project artifacts of a generated project.
+    /// Project artifacts of a generated project (borrowing clone).
     pub fn from_generated(p: &GeneratedProject) -> Self {
         Self {
             name: p.raw.name.clone(),

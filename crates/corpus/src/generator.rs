@@ -33,6 +33,41 @@ impl CorpusSpec {
         }
         self
     }
+
+    /// This spec scaled to `total` projects overall, preserving the taxon
+    /// *mix* proportionally (largest-remainder apportionment, so counts sum
+    /// to exactly `total`). Per-taxon `single_month_count` scales with its
+    /// taxon and is clamped to the new count. This is how
+    /// `coevo corpus gen --projects N` turns the calibrated 195-project
+    /// paper mix into a 10k–100k corpus with the same taxon proportions.
+    pub fn with_total(mut self, total: usize) -> Self {
+        let old_total: usize = self.taxa.iter().map(|t| t.count).sum();
+        if old_total == 0 {
+            return self;
+        }
+        // Integer floors first, then hand out the remainder to the largest
+        // fractional parts (stable: ties broken by taxon order).
+        let mut floors = Vec::with_capacity(self.taxa.len());
+        let mut remainders = Vec::with_capacity(self.taxa.len());
+        for (i, t) in self.taxa.iter().enumerate() {
+            let exact = t.count * total;
+            floors.push(exact / old_total);
+            remainders.push((exact % old_total, i));
+        }
+        let assigned: usize = floors.iter().sum();
+        remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, i) in remainders.iter().take(total - assigned) {
+            floors[i] += 1;
+        }
+        for (t, new_count) in self.taxa.iter_mut().zip(floors) {
+            t.single_month_count = (t.single_month_count * new_count)
+                .checked_div(t.count)
+                .unwrap_or(0)
+                .min(new_count);
+            t.count = new_count;
+        }
+        self
+    }
 }
 
 /// One generated project, with its git log rendered to text so consumers
@@ -45,24 +80,31 @@ pub struct GeneratedProject {
     pub git_log: String,
 }
 
-/// Generate the corpus. Each project gets its own ChaCha stream derived from
-/// the master seed and its global index, so individual projects are
-/// reproducible independently of generation order.
-pub fn generate_corpus(spec: &CorpusSpec) -> Vec<GeneratedProject> {
-    let mut out = Vec::with_capacity(spec.taxa.iter().map(|t| t.count).sum());
-    let mut global_idx = 0u64;
+/// Generate the project at `global_idx` of the spec's corpus, or `None` past
+/// the end. Each project gets its own ChaCha stream derived from the master
+/// seed and its global index, so any single project is reproducible without
+/// generating the ones before it — the primitive that lets a sharded
+/// generation stream a 100k-project corpus one project at a time.
+pub fn generate_nth(spec: &CorpusSpec, global_idx: usize) -> Option<GeneratedProject> {
+    let mut offset = global_idx;
     for taxon_spec in &spec.taxa {
-        for i in 0..taxon_spec.count {
+        if offset < taxon_spec.count {
             let mut rng = ChaCha8Rng::seed_from_u64(
-                spec.seed ^ (global_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                spec.seed ^ ((global_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             );
-            let raw = generate_project(&mut rng, taxon_spec, i);
+            let raw = generate_project(&mut rng, taxon_spec, offset);
             let git_log = write_log(&raw.repo);
-            out.push(GeneratedProject { raw, git_log });
-            global_idx += 1;
+            return Some(GeneratedProject { raw, git_log });
         }
+        offset -= taxon_spec.count;
     }
-    out
+    None
+}
+
+/// Generate the corpus eagerly, in global order.
+pub fn generate_corpus(spec: &CorpusSpec) -> Vec<GeneratedProject> {
+    let total: usize = spec.taxa.iter().map(|t| t.count).sum();
+    (0..total).map(|i| generate_nth(spec, i).expect("index < total")).collect()
 }
 
 #[cfg(test)]
@@ -116,5 +158,47 @@ mod tests {
         // Generation of the full corpus is cheap enough to smoke-test.
         let corpus = generate_corpus(&CorpusSpec::paper());
         assert_eq!(corpus.len(), 195);
+    }
+
+    #[test]
+    fn generate_nth_matches_eager_generation() {
+        let spec = small_spec();
+        let eager = generate_corpus(&spec);
+        for (i, expected) in eager.iter().enumerate() {
+            let got = generate_nth(&spec, i).unwrap();
+            assert_eq!(got.raw.name, expected.raw.name);
+            assert_eq!(got.git_log, expected.git_log);
+            assert_eq!(got.raw.ddl_versions, expected.raw.ddl_versions);
+        }
+        assert!(generate_nth(&spec, eager.len()).is_none());
+    }
+
+    #[test]
+    fn with_total_preserves_mix_and_sums_exactly() {
+        let spec = CorpusSpec::paper().with_total(1000);
+        let counts: Vec<usize> = spec.taxa.iter().map(|t| t.count).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        // 27/195 ≈ 138.46 → every taxon lands within 1 of proportional.
+        for (t, &n) in CorpusSpec::paper().taxa.iter().zip(&counts) {
+            let exact = t.count as f64 * 1000.0 / 195.0;
+            assert!((n as f64 - exact).abs() < 1.0, "{n} vs {exact}");
+        }
+        for t in &spec.taxa {
+            assert!(t.single_month_count <= t.count);
+        }
+        // Scaling to the original total is the identity on counts.
+        let same = CorpusSpec::paper().with_total(195);
+        for (a, b) in same.taxa.iter().zip(CorpusSpec::paper().taxa.iter()) {
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.single_month_count, b.single_month_count);
+        }
+    }
+
+    #[test]
+    fn with_total_handles_small_totals() {
+        for total in [0usize, 1, 6, 13] {
+            let spec = CorpusSpec::paper().with_total(total);
+            assert_eq!(spec.taxa.iter().map(|t| t.count).sum::<usize>(), total);
+        }
     }
 }

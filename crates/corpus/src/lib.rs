@@ -29,10 +29,15 @@ pub mod loader;
 pub mod pipeline;
 pub mod project_gen;
 pub mod schema_gen;
+pub mod shard;
 pub mod spec;
 
 pub use artifacts::ProjectArtifacts;
 pub use case_study::case_study_project;
-pub use generator::{generate_corpus, CorpusSpec, GeneratedProject};
+pub use generator::{generate_corpus, generate_nth, CorpusSpec, GeneratedProject};
 pub use pipeline::{project_from_texts, PipelineError};
+pub use shard::{
+    generate_sharded, CorpusManifest, CorpusStream, ShardEntry, ShardError, ShardReader,
+    ShardWriter, CORPUS_FORMAT_VERSION,
+};
 pub use spec::{paper_spec, TaxonSpec};

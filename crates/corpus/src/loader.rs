@@ -63,6 +63,9 @@ pub enum LoaderError {
     BadDialect(String),
     /// The measurement pipeline rejected the loaded artifacts.
     Pipeline(PipelineError),
+    /// Two project directories declare the same project name. The study keys
+    /// results by name, so loading both would silently alias them.
+    DuplicateProject(String),
 }
 
 impl std::fmt::Display for LoaderError {
@@ -73,6 +76,9 @@ impl std::fmt::Display for LoaderError {
             Self::BadDate(s) => write!(f, "bad date {s:?}"),
             Self::BadDialect(s) => write!(f, "unknown dialect {s:?}"),
             Self::Pipeline(e) => write!(f, "pipeline: {e}"),
+            Self::DuplicateProject(name) => {
+                write!(f, "duplicate project name {name:?}")
+            }
         }
     }
 }
@@ -159,6 +165,9 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<ProjectData>, LoaderError> {
         }
     }
     out.sort_by(|a, b| a.name.cmp(&b.name));
+    if let Some(w) = out.windows(2).find(|w| w[0].name == w[1].name) {
+        return Err(LoaderError::DuplicateProject(w[0].name.clone()));
+    }
     Ok(out)
 }
 
@@ -232,6 +241,39 @@ mod tests {
     fn missing_manifest_errors() {
         let dir = tmpdir("missing");
         assert!(matches!(load_project(&dir), Err(LoaderError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_project_names_error() {
+        let spec = CorpusSpec::paper().with_per_taxon(1);
+        let p = &generate_corpus(&spec)[0];
+        let dir = tmpdir("dup");
+        save_project(&dir.join("a"), p).unwrap();
+        save_project(&dir.join("b"), p).unwrap();
+        assert!(matches!(load_corpus(&dir), Err(LoaderError::DuplicateProject(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_version_file_errors() {
+        // A manifest that references a version file that was never written
+        // (e.g. the save was killed mid-way) is a typed Io error, not a
+        // panic.
+        let spec = CorpusSpec::paper().with_per_taxon(1);
+        let p = &generate_corpus(&spec)[0];
+        let dir = tmpdir("trunc");
+        save_project(&dir, p).unwrap();
+        fs::remove_file(dir.join("versions/0001.sql")).unwrap();
+        assert!(matches!(load_project(&dir), Err(LoaderError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_errors() {
+        let dir = tmpdir("badjson");
+        fs::write(dir.join("manifest.json"), "{not json").unwrap();
+        assert!(matches!(load_project(&dir), Err(LoaderError::Json(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 

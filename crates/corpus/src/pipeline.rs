@@ -90,14 +90,15 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_runs_on_generated_projects() {
+    fn pipeline_runs_on_generated_projects() -> Result<(), PipelineError> {
         for p in small_corpus() {
-            let data = project_of(&p).expect("pipeline");
+            let data = project_of(&p)?;
             assert_eq!(data.taxon, Some(p.raw.taxon));
             assert!(data.project.total() > 0);
             assert!(data.schema.total() > 0, "{}", p.raw.name);
             assert!(data.birth_activity > 0);
         }
+        Ok(())
     }
 
     #[test]

@@ -204,6 +204,15 @@ impl EvolvingSchema {
         cols as u64
     }
 
+    /// [`Self::add_table`], also reporting the new table's key — lets the
+    /// budget loop record window membership without re-reading (and
+    /// potentially panicking on) the table list.
+    fn add_table_keyed<R: Rng>(&mut self, rng: &mut R, cols: usize) -> (u64, String) {
+        let cost = self.add_table(rng, cols);
+        let key = self.schema.tables.last().map(|t| t.key().to_string()).unwrap_or_default();
+        (cost, key)
+    }
+
     /// Drop a random table (activity cost: its attribute count); no-op with
     /// cost 0 when the schema is empty or `keep_at_least` tables remain.
     pub fn drop_table<R: Rng>(&mut self, rng: &mut R, keep_at_least: usize) -> u64 {
@@ -302,8 +311,8 @@ impl EvolvingSchema {
             let got = if remaining >= 4 && roll < 12 {
                 // Table birth sized to fit the remaining budget.
                 let cols = rng.gen_range(2..=remaining.min(8)) as usize;
-                let cost = self.add_table(rng, cols);
-                window.new_tables.push(self.schema.tables.last().unwrap().key().to_string());
+                let (cost, key) = self.add_table_keyed(rng, cols);
+                window.new_tables.push(key);
                 cost
             } else if remaining >= 3 && roll < 18 {
                 self.drop_untouched_table_within(remaining, &window)
@@ -320,10 +329,8 @@ impl EvolvingSchema {
                 let fallback = self.inject_window(rng, &mut window);
                 spent += if fallback == 0 {
                     let cols = remaining.clamp(1, 3) as usize;
-                    let cost = self.add_table(rng, cols);
-                    window
-                        .new_tables
-                        .push(self.schema.tables.last().unwrap().key().to_string());
+                    let (cost, key) = self.add_table_keyed(rng, cols);
+                    window.new_tables.push(key);
                     cost
                 } else {
                     fallback
@@ -463,14 +470,15 @@ mod tests {
     }
 
     #[test]
-    fn generated_schema_is_parseable() {
+    fn generated_schema_is_parseable() -> Result<(), coevo_ddl::ParseError> {
         let mut r = rng(2);
         let s = EvolvingSchema::initial(&mut r, 8, 2, 9);
         for dialect in [Dialect::MySql, Dialect::Postgres, Dialect::Generic] {
             let text = print_schema(&s.schema, dialect);
-            let parsed = parse_schema(&text, dialect).expect("generated SQL parses");
+            let parsed = parse_schema(&text, dialect)?;
             assert_eq!(parsed.attribute_count(), s.schema.attribute_count());
         }
+        Ok(())
     }
 
     #[test]

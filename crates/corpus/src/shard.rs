@@ -1,0 +1,762 @@
+//! Sharded, streaming on-disk corpora: generate and read 10k–100k projects
+//! at O(shard) peak memory.
+//!
+//! Layout of a sharded corpus directory:
+//!
+//! ```text
+//! <dir>/
+//!   corpus.json            # versioned manifest: seed, shard size, totals,
+//!                          # per-shard record counts + FNV-1a 64 checksums
+//!   shards/
+//!     shard-00000.csh      # fixed-size flat shard of project records
+//!     shard-00001.csh
+//!     ...
+//! ```
+//!
+//! A shard file is flat and stream-readable: an 8-byte magic (format version
+//! embedded), a `u32` record count, then length-prefixed
+//! [`ProjectArtifacts`] records (`u32` payload length + JSON payload).
+//! Offsets are computable from the prefixes alone, so a reader can skip or
+//! mmap records without a central index; the per-shard checksum (FNV-1a 64
+//! over the whole file) lives in the manifest, which is what makes a shard
+//! file *immutable once published* — rewriting one without updating
+//! `corpus.json` is detected on the next read.
+//!
+//! Writes are crash-safe by construction: shards and the manifest are
+//! written to a `.tmp` sibling and renamed into place, and the manifest is
+//! written *last*. A generator killed mid-run leaves either stray `.tmp`
+//! files or no `corpus.json` at all — never a manifest that points at a
+//! half-written shard — and [`CorpusStream::open`] reports the typed
+//! [`ShardError::MissingManifest`] instead of reading garbage.
+//!
+//! Reading is lenient at record granularity: a shard whose header, length
+//! framing or byte count is broken fails as a whole (typed error), but a
+//! record whose JSON payload is corrupt yields a per-record
+//! [`ShardError::Record`] and iteration continues — one malformed project
+//! fails that project, not the corpus (and not the process).
+
+use crate::artifacts::ProjectArtifacts;
+use crate::generator::{generate_nth, CorpusSpec};
+use coevo_ddl::fingerprint::Fnv1a;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Format version of the sharded corpus layout (manifest + shard files).
+/// Bump on any incompatible change; readers reject other versions with a
+/// typed error instead of misparsing.
+pub const CORPUS_FORMAT_VERSION: u32 = 1;
+
+/// Shard file magic: 7 identifying bytes + the format version byte.
+const SHARD_MAGIC: [u8; 8] = *b"COEVOSH\x01";
+
+/// The manifest file name inside a sharded corpus directory.
+pub const MANIFEST_FILE: &str = "corpus.json";
+
+/// Errors of the sharded corpus layer. Every corruption mode a study can
+/// meet on disk has a typed variant, so callers demote precisely — a broken
+/// record fails one project, a broken shard fails one shard, and only a
+/// missing or alien manifest fails the corpus.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Filesystem error, with the path it happened on.
+    Io(String, io::Error),
+    /// The corpus directory has no readable `corpus.json`.
+    MissingManifest(PathBuf),
+    /// The manifest (or a record payload) failed to (de)serialize.
+    Json(String),
+    /// The manifest declares an unsupported format version.
+    FormatVersion {
+        /// The version found in the manifest.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+    /// A shard file does not start with the shard magic.
+    BadMagic(String),
+    /// A shard file ended before its declared records did.
+    Truncated {
+        /// The shard file.
+        file: String,
+        /// What was being read when the bytes ran out.
+        detail: String,
+    },
+    /// A shard file's bytes do not hash to the manifest's checksum.
+    Checksum {
+        /// The shard file.
+        file: String,
+        /// The checksum recorded in the manifest.
+        expected: u64,
+        /// The checksum of the bytes actually read.
+        found: u64,
+    },
+    /// A shard's record count disagrees with the manifest entry.
+    CountMismatch {
+        /// The shard file.
+        file: String,
+        /// Records the manifest entry declares.
+        manifest: usize,
+        /// Records the shard header declares.
+        header: usize,
+    },
+    /// Two projects in the corpus share a name (the study keys results and
+    /// failures by name; duplicates would silently alias).
+    DuplicateProject(String),
+    /// One record's payload is corrupt; the surrounding shard remains
+    /// readable.
+    Record {
+        /// The shard file.
+        file: String,
+        /// The record's position within the shard.
+        index: usize,
+        /// Why the payload was rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(path, e) => write!(f, "{path}: {e}"),
+            Self::MissingManifest(dir) => {
+                write!(f, "{}: no {MANIFEST_FILE} (not a sharded corpus, or a generation that was killed before finishing)", dir.display())
+            }
+            Self::Json(e) => write!(f, "json: {e}"),
+            Self::FormatVersion { found, expected } => {
+                write!(f, "corpus format version {found} (this build reads {expected})")
+            }
+            Self::BadMagic(file) => write!(f, "{file}: not a shard file (bad magic)"),
+            Self::Truncated { file, detail } => write!(f, "{file}: truncated ({detail})"),
+            Self::Checksum { file, expected, found } => write!(
+                f,
+                "{file}: checksum mismatch (manifest {expected:#018x}, file {found:#018x})"
+            ),
+            Self::CountMismatch { file, manifest, header } => write!(
+                f,
+                "{file}: record count mismatch (manifest says {manifest}, header says {header})"
+            ),
+            Self::DuplicateProject(name) => write!(f, "duplicate project name {name:?}"),
+            Self::Record { file, index, detail } => {
+                write!(f, "{file}: record {index}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The versioned manifest of a sharded corpus (`corpus.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    /// The layout format version ([`CORPUS_FORMAT_VERSION`]).
+    pub format: u32,
+    /// The generator seed, for provenance (0 for hand-assembled corpora).
+    pub seed: u64,
+    /// The nominal shard size (the last shard may be smaller).
+    pub shard_size: usize,
+    /// Total project records across all shards.
+    pub total_projects: usize,
+    /// The shards, in corpus order.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// One shard of the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Shard file path, relative to the corpus directory.
+    pub file: String,
+    /// Global index of the shard's first project. Carried explicitly (not
+    /// derived from the entry's position) so reordering manifest entries
+    /// permutes *processing* order without changing any project's corpus
+    /// position — shard-order permutations yield identical summaries.
+    pub start: usize,
+    /// Number of project records in the shard.
+    pub projects: usize,
+    /// FNV-1a 64 over the shard file's bytes.
+    pub checksum: u64,
+}
+
+fn io_err(path: &Path, e: io::Error) -> ShardError {
+    ShardError::Io(path.display().to_string(), e)
+}
+
+/// A streaming writer of the sharded layout: push projects one at a time;
+/// each full shard is serialized, checksummed and atomically renamed into
+/// place before the next one starts, so peak memory is O(shard) regardless
+/// of corpus size. [`ShardWriter::finish`] flushes the final partial shard
+/// and writes the manifest (also atomically, and last).
+pub struct ShardWriter {
+    dir: PathBuf,
+    shard_size: usize,
+    seed: u64,
+    /// Serialized records of the shard under construction.
+    buf: Vec<u8>,
+    records_in_shard: usize,
+    shards: Vec<ShardEntry>,
+    total: usize,
+    names: HashSet<String>,
+}
+
+impl ShardWriter {
+    /// Create `dir` (and its `shards/` subdirectory) and start writing.
+    /// `shard_size` is the number of projects per shard (≥ 1).
+    pub fn create(dir: &Path, seed: u64, shard_size: usize) -> Result<Self, ShardError> {
+        let shard_size = shard_size.max(1);
+        fs::create_dir_all(dir.join("shards")).map_err(|e| io_err(dir, e))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            shard_size,
+            seed,
+            buf: Vec::new(),
+            records_in_shard: 0,
+            shards: Vec::new(),
+            total: 0,
+            names: HashSet::new(),
+        })
+    }
+
+    /// Append one project record. Duplicate names are rejected with a typed
+    /// error — the study keys results by name, so a duplicate would alias.
+    pub fn push(&mut self, project: &ProjectArtifacts) -> Result<(), ShardError> {
+        if !self.names.insert(project.name.clone()) {
+            return Err(ShardError::DuplicateProject(project.name.clone()));
+        }
+        let payload = serde_json::to_string(project)
+            .map_err(|e| ShardError::Json(e.to_string()))?
+            .into_bytes();
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.records_in_shard += 1;
+        self.total += 1;
+        if self.records_in_shard == self.shard_size {
+            self.flush_shard()?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the current shard to `shards/shard-NNNNN.csh` via a `.tmp`
+    /// sibling + rename, record its manifest entry, and start the next one.
+    fn flush_shard(&mut self) -> Result<(), ShardError> {
+        if self.records_in_shard == 0 {
+            return Ok(());
+        }
+        let ordinal = self.shards.len();
+        let rel = format!("shards/shard-{ordinal:05}.csh");
+        let path = self.dir.join(&rel);
+        let tmp = self.dir.join(format!("{rel}.tmp"));
+
+        let mut bytes = Vec::with_capacity(SHARD_MAGIC.len() + 4 + self.buf.len());
+        bytes.extend_from_slice(&SHARD_MAGIC);
+        bytes.extend_from_slice(&(self.records_in_shard as u32).to_le_bytes());
+        bytes.extend_from_slice(&self.buf);
+        let mut h = Fnv1a::new();
+        h.write(&bytes);
+        let checksum = h.finish().0;
+
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+
+        self.shards.push(ShardEntry {
+            file: rel,
+            start: self.total - self.records_in_shard,
+            projects: self.records_in_shard,
+            checksum,
+        });
+        self.buf.clear();
+        self.records_in_shard = 0;
+        Ok(())
+    }
+
+    /// Flush the final partial shard and write `corpus.json` (atomically,
+    /// and after every shard it points at exists on disk).
+    pub fn finish(mut self) -> Result<CorpusManifest, ShardError> {
+        self.flush_shard()?;
+        let manifest = CorpusManifest {
+            format: CORPUS_FORMAT_VERSION,
+            seed: self.seed,
+            shard_size: self.shard_size,
+            total_projects: self.total,
+            shards: std::mem::take(&mut self.shards),
+        };
+        save_manifest(&self.dir, &manifest)?;
+        Ok(manifest)
+    }
+}
+
+/// Write `corpus.json` via temp file + fsync + rename. Public so tools (and
+/// tests) can rewrite a manifest — e.g. to permute shard processing order.
+pub fn save_manifest(dir: &Path, manifest: &CorpusManifest) -> Result<(), ShardError> {
+    let json =
+        serde_json::to_string_pretty(manifest).map_err(|e| ShardError::Json(e.to_string()))?;
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(json.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    Ok(())
+}
+
+/// Generate `spec`'s corpus directly into the sharded layout, one project at
+/// a time — the corpus is never resident in memory. This is what
+/// `coevo corpus gen` runs.
+pub fn generate_sharded(
+    dir: &Path,
+    spec: &CorpusSpec,
+    shard_size: usize,
+) -> Result<CorpusManifest, ShardError> {
+    let total = crate::spec::total_count(&spec.taxa);
+    let mut writer = ShardWriter::create(dir, spec.seed, shard_size)?;
+    for idx in 0..total {
+        let generated = generate_nth(spec, idx).expect("index < total");
+        writer.push(&ProjectArtifacts::from(generated))?;
+    }
+    writer.finish()
+}
+
+/// A streaming reader of one shard file: validates the magic, format and
+/// record count up front, then yields records one at a time, feeding every
+/// byte through the running checksum. After the last record the checksum is
+/// compared against the manifest — unless a per-record error was already
+/// reported, in which case the (inevitably failing) whole-file checksum
+/// would only duplicate the finer-grained diagnosis.
+pub struct ShardReader {
+    file: String,
+    reader: io::BufReader<fs::File>,
+    /// Records the header (cross-checked against the manifest) declares.
+    records: usize,
+    next_index: usize,
+    hasher: Fnv1a,
+    expected_checksum: u64,
+    record_errors: usize,
+    /// Set once iteration is over (exhausted or fatally broken).
+    done: bool,
+}
+
+impl ShardReader {
+    /// Open one shard through its manifest entry.
+    pub fn open(dir: &Path, entry: &ShardEntry) -> Result<Self, ShardError> {
+        let path = dir.join(&entry.file);
+        let f = fs::File::open(&path).map_err(|e| io_err(&path, e))?;
+        let mut reader = io::BufReader::new(f);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic).map_err(|_| ShardError::Truncated {
+            file: entry.file.clone(),
+            detail: "header".into(),
+        })?;
+        if magic != SHARD_MAGIC {
+            return Err(ShardError::BadMagic(entry.file.clone()));
+        }
+        let mut count = [0u8; 4];
+        reader.read_exact(&mut count).map_err(|_| ShardError::Truncated {
+            file: entry.file.clone(),
+            detail: "record count".into(),
+        })?;
+        let records = u32::from_le_bytes(count) as usize;
+        if records != entry.projects {
+            return Err(ShardError::CountMismatch {
+                file: entry.file.clone(),
+                manifest: entry.projects,
+                header: records,
+            });
+        }
+        let mut hasher = Fnv1a::new();
+        hasher.write(&magic);
+        hasher.write(&count);
+        Ok(Self {
+            file: entry.file.clone(),
+            reader,
+            records,
+            next_index: 0,
+            hasher,
+            expected_checksum: entry.checksum,
+            record_errors: 0,
+            done: false,
+        })
+    }
+
+    /// Records this shard declares.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether the shard declares zero records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    fn read_record(&mut self) -> Result<ProjectArtifacts, ShardError> {
+        let index = self.next_index;
+        let mut len = [0u8; 4];
+        self.reader.read_exact(&mut len).map_err(|_| {
+            self.done = true;
+            ShardError::Truncated {
+                file: self.file.clone(),
+                detail: format!("length of record {index}"),
+            }
+        })?;
+        self.hasher.write(&len);
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.reader.read_exact(&mut payload).map_err(|_| {
+            self.done = true;
+            ShardError::Truncated {
+                file: self.file.clone(),
+                detail: format!("payload of record {index}"),
+            }
+        })?;
+        self.hasher.write(&payload);
+        // Framing survived: a corrupt payload fails *this record* only.
+        std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+            .map_err(|detail| {
+                self.record_errors += 1;
+                ShardError::Record { file: self.file.clone(), index, detail }
+            })
+    }
+}
+
+impl Iterator for ShardReader {
+    type Item = Result<ProjectArtifacts, ShardError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.next_index == self.records {
+            self.done = true;
+            // Whole-file integrity, once, after the last record — skipped
+            // when record-level corruption was already diagnosed.
+            let found = self.hasher.clone().finish().0;
+            if self.record_errors == 0 && found != self.expected_checksum {
+                return Some(Err(ShardError::Checksum {
+                    file: self.file.clone(),
+                    expected: self.expected_checksum,
+                    found,
+                }));
+            }
+            return None;
+        }
+        let item = self.read_record();
+        self.next_index += 1;
+        Some(item)
+    }
+}
+
+/// An open sharded corpus: the validated manifest plus shard accessors. The
+/// streaming replacement for eager corpus loading — callers iterate shards
+/// (or records) and never hold more than one shard's projects.
+pub struct CorpusStream {
+    dir: PathBuf,
+    manifest: CorpusManifest,
+}
+
+impl CorpusStream {
+    /// Open a sharded corpus directory: read and validate `corpus.json`.
+    pub fn open(dir: &Path) -> Result<Self, ShardError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(ShardError::MissingManifest(dir.to_path_buf()))
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let manifest: CorpusManifest =
+            serde_json::from_str(&text).map_err(|e| ShardError::Json(e.to_string()))?;
+        if manifest.format != CORPUS_FORMAT_VERSION {
+            return Err(ShardError::FormatVersion {
+                found: manifest.format,
+                expected: CORPUS_FORMAT_VERSION,
+            });
+        }
+        Ok(Self { dir: dir.to_path_buf(), manifest })
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &CorpusManifest {
+        &self.manifest
+    }
+
+    /// Total project records the manifest declares.
+    pub fn len(&self) -> usize {
+        self.manifest.total_projects
+    }
+
+    /// Whether the corpus declares zero projects.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.total_projects == 0
+    }
+
+    /// Open one shard for streaming reads.
+    pub fn shard_reader(&self, entry: &ShardEntry) -> Result<ShardReader, ShardError> {
+        ShardReader::open(&self.dir, entry)
+    }
+
+    /// Eagerly load the whole corpus in *global* order (manifest entry order
+    /// is ignored; entries are processed by their `start` index), failing on
+    /// the first problem — the strict, in-memory counterpart of the
+    /// streaming path, kept as its differential oracle. Also re-checks name
+    /// uniqueness, since hand-assembled corpora bypass [`ShardWriter`].
+    pub fn load_all(&self) -> Result<Vec<ProjectArtifacts>, ShardError> {
+        let mut entries: Vec<&ShardEntry> = self.manifest.shards.iter().collect();
+        entries.sort_by_key(|e| e.start);
+        let mut out = Vec::with_capacity(self.len());
+        let mut names = HashSet::new();
+        for entry in entries {
+            for record in self.shard_reader(entry)? {
+                let p = record?;
+                if !names.insert(p.name.clone()) {
+                    return Err(ShardError::DuplicateProject(p.name));
+                }
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_corpus;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("coevo_shard_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec(per_taxon: usize) -> CorpusSpec {
+        CorpusSpec::paper().with_per_taxon(per_taxon)
+    }
+
+    #[test]
+    fn generate_sharded_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let spec = small_spec(2); // 12 projects
+        let manifest = generate_sharded(&dir, &spec, 5).unwrap();
+        assert_eq!(manifest.total_projects, 12);
+        assert_eq!(manifest.shards.len(), 3); // 5 + 5 + 2
+        assert_eq!(manifest.shards[2].projects, 2);
+        assert_eq!(manifest.shards[1].start, 5);
+
+        let stream = CorpusStream::open(&dir).unwrap();
+        let loaded = stream.load_all().unwrap();
+        let reference: Vec<ProjectArtifacts> =
+            generate_corpus(&spec).iter().map(ProjectArtifacts::from_generated).collect();
+        assert_eq!(loaded, reference);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_reader_streams_with_checksum() {
+        let dir = tmpdir("reader");
+        let spec = small_spec(1);
+        let manifest = generate_sharded(&dir, &spec, 4).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        let mut n = 0;
+        for entry in &manifest.shards {
+            for record in stream.shard_reader(entry).unwrap() {
+                record.unwrap();
+                n += 1;
+            }
+        }
+        assert_eq!(n, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_typed() {
+        let dir = tmpdir("nomanifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(CorpusStream::open(&dir), Err(ShardError::MissingManifest(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_version_mismatch_is_typed() {
+        let dir = tmpdir("version");
+        generate_sharded(&dir, &small_spec(1), 4).unwrap();
+        let mut stream = CorpusStream::open(&dir).unwrap();
+        stream.manifest.format = CORPUS_FORMAT_VERSION + 1;
+        save_manifest(&dir, &stream.manifest).unwrap();
+        assert!(matches!(
+            CorpusStream::open(&dir),
+            Err(ShardError::FormatVersion { found, expected })
+                if found == CORPUS_FORMAT_VERSION + 1 && expected == CORPUS_FORMAT_VERSION
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_shard_is_typed() {
+        let dir = tmpdir("truncated");
+        let manifest = generate_sharded(&dir, &small_spec(1), 6).unwrap();
+        let path = dir.join(&manifest.shards[0].file);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        let last = stream.shard_reader(&manifest.shards[0]).unwrap().last().unwrap();
+        assert!(matches!(last, Err(ShardError::Truncated { .. })), "{last:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed() {
+        let dir = tmpdir("checksum");
+        let manifest = generate_sharded(&dir, &small_spec(1), 6).unwrap();
+        let path = dir.join(&manifest.shards[0].file);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside a payload without breaking the JSON: find a
+        // digit and swap it for another digit of equal byte length.
+        let pos = bytes.iter().rposition(|b| b.is_ascii_digit()).unwrap();
+        bytes[pos] = if bytes[pos] == b'7' { b'8' } else { b'7' };
+        fs::write(&path, &bytes).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        let results: Vec<_> = stream.shard_reader(&manifest.shards[0]).unwrap().collect();
+        // All records still parse, but the trailing integrity check fires.
+        let last = results.last().unwrap();
+        assert!(matches!(last, Err(ShardError::Checksum { .. })), "{last:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_fails_that_record_only() {
+        let dir = tmpdir("record");
+        let manifest = generate_sharded(&dir, &small_spec(1), 6).unwrap();
+        let path = dir.join(&manifest.shards[0].file);
+        let mut bytes = fs::read(&path).unwrap();
+        // Break the first record's JSON (the byte right after its length
+        // prefix) while leaving the framing intact.
+        let first_payload = SHARD_MAGIC.len() + 4 + 4;
+        bytes[first_payload] = b'!';
+        fs::write(&path, &bytes).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        let results: Vec<_> = stream.shard_reader(&manifest.shards[0]).unwrap().collect();
+        assert_eq!(results.len(), 6);
+        assert!(
+            matches!(&results[0], Err(ShardError::Record { index: 0, .. })),
+            "{:?}",
+            results[0]
+        );
+        // The remaining five records still load (and no duplicate checksum
+        // error is appended — the corruption is already diagnosed).
+        for r in &results[1..] {
+            r.as_ref().unwrap();
+        }
+        // The strict loader, by contrast, refuses the corpus.
+        assert!(stream.load_all().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let dir = tmpdir("magic");
+        let manifest = generate_sharded(&dir, &small_spec(1), 6).unwrap();
+        let path = dir.join(&manifest.shards[0].file);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        assert!(matches!(
+            stream.shard_reader(&manifest.shards[0]),
+            Err(ShardError::BadMagic(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn count_mismatch_is_typed() {
+        let dir = tmpdir("count");
+        let manifest = generate_sharded(&dir, &small_spec(1), 6).unwrap();
+        let mut doctored = manifest.clone();
+        doctored.shards[0].projects += 1;
+        save_manifest(&dir, &doctored).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        assert!(matches!(
+            stream.shard_reader(&stream.manifest().shards[0]),
+            Err(ShardError::CountMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_at_write_and_read() {
+        let dir = tmpdir("dup");
+        let spec = small_spec(1);
+        let p = ProjectArtifacts::from_generated(&generate_corpus(&spec)[0]);
+        let mut w = ShardWriter::create(&dir, 0, 8).unwrap();
+        w.push(&p).unwrap();
+        assert!(matches!(w.push(&p), Err(ShardError::DuplicateProject(_))));
+        let _ = fs::remove_dir_all(&dir);
+
+        // Reader-side: hand-assemble a corpus with two one-project shards
+        // holding the same name (bypassing the writer's check).
+        let dir = tmpdir("dupread");
+        let mut w = ShardWriter::create(&dir, 0, 1).unwrap();
+        w.push(&p).unwrap();
+        let mut manifest = w.finish().unwrap();
+        let shard0 = fs::read(dir.join(&manifest.shards[0].file)).unwrap();
+        fs::write(dir.join("shards/shard-00001.csh"), &shard0).unwrap();
+        let mut second = manifest.shards[0].clone();
+        second.file = "shards/shard-00001.csh".into();
+        second.start = 1;
+        manifest.shards.push(second);
+        manifest.total_projects = 2;
+        save_manifest(&dir, &manifest).unwrap();
+        let stream = CorpusStream::open(&dir).unwrap();
+        assert!(matches!(stream.load_all(), Err(ShardError::DuplicateProject(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_generation_leaves_no_manifest() {
+        // Simulate `coevo corpus gen` dying mid-run: the writer flushes
+        // complete shards but is dropped before `finish`.
+        let dir = tmpdir("killed");
+        let spec = small_spec(1);
+        let corpus = generate_corpus(&spec);
+        let mut w = ShardWriter::create(&dir, spec.seed, 2).unwrap();
+        for p in corpus.iter().take(5) {
+            w.push(&ProjectArtifacts::from_generated(p)).unwrap();
+        }
+        drop(w); // killed: no finish(), no corpus.json
+        assert!(dir.join("shards/shard-00000.csh").exists());
+        assert!(!dir.join(MANIFEST_FILE).exists());
+        assert!(matches!(CorpusStream::open(&dir), Err(ShardError::MissingManifest(_))));
+        // Re-running generation into the same directory recovers fully.
+        let manifest = generate_sharded(&dir, &spec, 2).unwrap();
+        assert_eq!(manifest.total_projects, 6);
+        assert_eq!(CorpusStream::open(&dir).unwrap().load_all().unwrap().len(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let dir = tmpdir("empty");
+        let w = ShardWriter::create(&dir, 0, 8).unwrap();
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.total_projects, 0);
+        assert!(manifest.shards.is_empty());
+        let stream = CorpusStream::open(&dir).unwrap();
+        assert!(stream.is_empty());
+        assert!(stream.load_all().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

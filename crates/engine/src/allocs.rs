@@ -18,10 +18,28 @@
 
 use std::alloc::{GlobalAlloc, Layout};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, Ordering};
 
 thread_local! {
     static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
     static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide live-byte accounting, unlike the per-stage counters above:
+/// every thread's allocs and deallocs flow into one signed total, and the
+/// high-water mark is maintained with `fetch_max`. Signed because a block
+/// can be freed on a different thread than it was allocated on (and after a
+/// [`reset_peak_live`], more bytes can die than were born since). The peak
+/// is what the streamed-study memory assertions read: it bounds the live
+/// heap of the whole process, exactly the O(shard) claim under test.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE: AtomicI64 = AtomicI64::new(0);
+
+fn note_live(delta: i64) {
+    let now = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    if delta > 0 {
+        PEAK_LIVE.fetch_max(now, Ordering::Relaxed);
+    }
 }
 
 /// A `#[global_allocator]` wrapper that counts allocations and allocated
@@ -47,11 +65,13 @@ fn note(bytes: usize) {
 unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         note(layout.size());
+        note_live(layout.size() as i64);
         self.0.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         note(layout.size());
+        note_live(layout.size() as i64);
         self.0.alloc_zeroed(layout)
     }
 
@@ -59,10 +79,12 @@ unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
         // A grow is the moment a fresh block may be obtained; count the new
         // size so repeated `Vec` doubling shows up in the byte counter.
         note(new_size);
+        note_live(new_size as i64 - layout.size() as i64);
         self.0.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note_live(-(layout.size() as i64));
         self.0.dealloc(ptr, layout)
     }
 }
@@ -95,6 +117,70 @@ pub fn snapshot() -> AllocSnapshot {
     AllocSnapshot {
         allocs: ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
         bytes: ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+/// Live heap bytes right now, process-wide. Zero (or meaningless) unless a
+/// [`CountingAlloc`] is installed.
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// The live-byte high-water mark since process start (or the last
+/// [`reset_peak_live`]). Zero unless a [`CountingAlloc`] is installed.
+pub fn peak_live_bytes() -> i64 {
+    PEAK_LIVE.load(Ordering::Relaxed)
+}
+
+/// Restart the peak at the *current* live level, so the next reading bounds
+/// only the allocations of the region under measurement. Racy against
+/// concurrent allocators by nature; call it from quiescent points (between
+/// runs), which is all the memory assertions need.
+pub fn reset_peak_live() {
+    PEAK_LIVE.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak resident set size of this process, self-sampled from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or if the field is
+/// unavailable. This is the OS's view — it includes code, stacks and
+/// allocator slack, and (being a high-water mark) never decreases — so the
+/// profile reports it alongside, not instead of, peak live bytes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// The process's peak-memory readings, sampled at profile-snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryProfile {
+    /// Peak resident set size (`VmHWM`), when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Live-heap high-water mark from [`CountingAlloc`], when one is
+    /// installed (`None` when the counters never moved).
+    pub peak_live_bytes: Option<u64>,
+}
+
+impl MemoryProfile {
+    /// Sample both peaks right now.
+    pub fn sample() -> Self {
+        let live = peak_live_bytes();
+        Self {
+            peak_rss_bytes: peak_rss_bytes(),
+            peak_live_bytes: (live > 0).then_some(live as u64),
+        }
     }
 }
 
@@ -137,5 +223,60 @@ mod tests {
         let delta = snapshot().since(before);
         assert_eq!(delta.allocs, 1);
         assert_eq!(delta.bytes, 64);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_and_dealloc() {
+        let alloc = CountingAlloc(std::alloc::System);
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let before_live = live_bytes();
+        reset_peak_live();
+        unsafe {
+            let p = alloc.alloc(layout);
+            assert!(!p.is_null());
+            assert!(live_bytes() >= before_live + 256);
+            assert!(peak_live_bytes() >= before_live + 256);
+            alloc.dealloc(p, layout);
+        }
+        // Balanced: the block's 256 bytes were returned.
+        assert_eq!(live_bytes(), before_live);
+        // The peak keeps the high-water mark after the free.
+        assert!(peak_live_bytes() >= before_live + 256);
+    }
+
+    #[test]
+    fn realloc_adjusts_live_by_the_difference() {
+        let alloc = CountingAlloc(std::alloc::System);
+        let small = Layout::from_size_align(128, 8).unwrap();
+        unsafe {
+            let p = alloc.alloc(small);
+            assert!(!p.is_null());
+            let before = live_bytes();
+            let q = alloc.realloc(p, small, 512);
+            assert!(!q.is_null());
+            assert_eq!(live_bytes(), before + (512 - 128));
+            alloc.dealloc(q, Layout::from_size_align(512, 8).unwrap());
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_present_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let rss = rss.expect("VmHWM available on Linux");
+            // A running test binary surely holds more than a megabyte.
+            assert!(rss > 1 << 20, "{rss}");
+        } else {
+            assert!(rss.is_none());
+        }
+    }
+
+    #[test]
+    fn memory_profile_samples_without_panic() {
+        let m = MemoryProfile::sample();
+        // peak_live may be None (no installed allocator) — just must not lie.
+        if let Some(live) = m.peak_live_bytes {
+            assert!(live > 0);
+        }
     }
 }

@@ -37,9 +37,7 @@ use coevo_core::{MeasureFolds, ProjectData, ProjectMeasures, StatsCache, StudyRe
 use coevo_corpus::ProjectArtifacts;
 use coevo_ddl::{Dialect, ParseCache, ParseError, Schema};
 use coevo_diff::{diff_schemas, SchemaDelta, SchemaVersion, VersionDelta};
-use coevo_heartbeat::{
-    DateTime, Heartbeat, HeartbeatError, YearMonth, MAX_HEARTBEAT_MONTHS,
-};
+use coevo_heartbeat::{DateTime, Heartbeat, HeartbeatError, YearMonth, MAX_HEARTBEAT_MONTHS};
 use coevo_taxa::{classify, HeartbeatFeatures, Taxon, TaxonomyConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -300,18 +298,16 @@ impl ProjectState {
     }
 
     fn ingest_version(&mut self, date: DateTime, ddl: &str) -> Result<(), IngestError> {
-        let schema = self.cache.parse(ddl, self.dialect).map_err(|error| IngestError::Ddl {
-            project: self.name.clone(),
-            error,
-        })?;
+        let schema = self
+            .cache
+            .parse(ddl, self.dialect)
+            .map_err(|error| IngestError::Ddl { project: self.name.clone(), error })?;
         let m = YearMonth::of(date.date);
         self.check_span(m)?;
 
         // Insert after every version dated at or before this one — exactly
         // where a stable sort by date would put an arrival-ordered sequence.
-        let i = self
-            .versions
-            .partition_point(|v| v.date.unix_seconds() <= date.unix_seconds());
+        let i = self.versions.partition_point(|v| v.date.unix_seconds() <= date.unix_seconds());
         let version = SchemaVersion { date, schema };
         let delta = self.delta_against_predecessor(i, &version);
         let breakdown = delta.breakdown();
@@ -333,7 +329,9 @@ impl ProjectState {
     /// provably inactive without a compare, as in the batch history.
     fn delta_against_predecessor(&self, i: usize, version: &SchemaVersion) -> SchemaDelta {
         match i.checked_sub(1).map(|p| &self.versions[p].schema) {
-            Some(prev) if Arc::ptr_eq(prev, &version.schema) => SchemaDelta { tables: Vec::new() },
+            Some(prev) if Arc::ptr_eq(prev, &version.schema) => {
+                SchemaDelta { tables: Vec::new() }
+            }
             Some(prev) => diff_schemas(prev.as_ref(), version.schema.as_ref()),
             None => diff_schemas(Schema::empty_ref(), version.schema.as_ref()),
         }
@@ -559,10 +557,8 @@ pub struct ProjectSnapshot {
 /// ingests: one [`ProjectEvent::Commit`] per non-merge commit of the git
 /// log, then one [`ProjectEvent::DdlVersion`] per dated version text.
 pub fn artifacts_to_events(p: &ProjectArtifacts) -> Result<Vec<ProjectEvent>, IngestError> {
-    let repo = coevo_vcs::parse_log(&p.git_log).map_err(|error| IngestError::GitLog {
-        project: p.name.clone(),
-        error,
-    })?;
+    let repo = coevo_vcs::parse_log(&p.git_log)
+        .map_err(|error| IngestError::GitLog { project: p.name.clone(), error })?;
     let mut events: Vec<ProjectEvent> = repo
         .non_merge_commits()
         .map(|c| ProjectEvent::Commit { date: c.date, files_updated: c.files_updated() })
@@ -667,11 +663,7 @@ impl IncrementalStudy {
 
     /// Names of projects that cannot be measured yet.
     pub fn pending(&self) -> Vec<&str> {
-        self.projects
-            .values()
-            .filter(|s| !s.is_measurable())
-            .map(|s| s.name())
-            .collect()
+        self.projects.values().filter(|s| !s.is_measurable()).map(|s| s.name()).collect()
     }
 
     /// Per-project measures of every measurable project, in name order —
@@ -774,9 +766,8 @@ mod tests {
         // Deliver commits last and reversed — every DDL version lands
         // before the project series even starts, then commits backfill
         // earlier months one by one.
-        let (commits, ddls): (Vec<_>, Vec<_>) = events
-            .into_iter()
-            .partition(|e| matches!(e, ProjectEvent::Commit { .. }));
+        let (commits, ddls): (Vec<_>, Vec<_>) =
+            events.into_iter().partition(|e| matches!(e, ProjectEvent::Commit { .. }));
         for ev in ddls {
             shuffled.ingest(ev).expect("ingest");
         }
@@ -828,7 +819,12 @@ mod tests {
     fn pending_projects_are_excluded_until_complete() {
         let mut study = IncrementalStudy::default();
         study
-            .ingest("solo/commits", Dialect::Generic, None, [commit("2020-01-05 00:00:00 +0000", 1)])
+            .ingest(
+                "solo/commits",
+                Dialect::Generic,
+                None,
+                [commit("2020-01-05 00:00:00 +0000", 1)],
+            )
             .unwrap();
         assert_eq!(study.pending(), vec!["solo/commits"]);
         assert!(study.results().measures.is_empty());
@@ -890,8 +886,9 @@ mod tests {
     #[test]
     fn bad_ddl_is_rejected_with_parse_position() {
         let mut state = ProjectState::new("x/y", Dialect::Generic);
-        let err =
-            state.ingest(version("2020-01-10 00:00:00 +0000", "CREATE TABLE t (a INT")).unwrap_err();
+        let err = state
+            .ingest(version("2020-01-10 00:00:00 +0000", "CREATE TABLE t (a INT"))
+            .unwrap_err();
         let IngestError::Ddl { project, error } = err else { panic!("expected Ddl") };
         assert_eq!(project, "x/y");
         assert!(error.line >= 1);

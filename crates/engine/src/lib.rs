@@ -39,6 +39,7 @@ mod metrics;
 pub mod pipeline;
 mod runner;
 mod store_stage;
+mod streamed;
 
 pub use error::{EngineError, EngineErrorKind, FailurePolicy, ProjectFailure, Stage};
 pub use incremental::{
@@ -46,4 +47,5 @@ pub use incremental::{
     ProjectState,
 };
 pub use metrics::{Metrics, MetricsSnapshot, StageMetrics, StoreEvent, StoreMetrics};
-pub use runner::{EngineReport, Source, StudyConfig, StudyRunner};
+pub use runner::{EngineReport, Source, StudyConfig, StudyRunner, DEFAULT_BATCH};
+pub use streamed::{MeasureFold, StreamedReport};

@@ -145,7 +145,13 @@ impl Metrics {
             publish_failures: self.store[StoreEvent::PublishFailure.index()]
                 .load(Ordering::Relaxed),
         });
-        MetricsSnapshot { stages, wall: self.started.elapsed(), workers, store }
+        MetricsSnapshot {
+            stages,
+            wall: self.started.elapsed(),
+            workers,
+            store,
+            memory: crate::allocs::MemoryProfile::sample(),
+        }
     }
 
     fn index(stage: Stage) -> usize {
@@ -236,6 +242,10 @@ pub struct MetricsSnapshot {
     pub workers: usize,
     /// Result-store counters; `Some` exactly when the run was store-backed.
     pub store: Option<StoreMetrics>,
+    /// Peak-memory readings at snapshot time (RSS high-water mark where the
+    /// platform exposes one; live-heap high-water mark when a counting
+    /// allocator is installed).
+    pub memory: crate::allocs::MemoryProfile,
 }
 
 impl MetricsSnapshot {
@@ -267,7 +277,19 @@ impl MetricsSnapshot {
             published: s.published,
             publish_failures: s.publish_failures,
         });
-        coevo_report::profile::render_profile(&rows, self.wall, self.workers, store.as_ref())
+        let memory = coevo_report::profile::MemoryRow {
+            rss_bytes: self.memory.peak_rss_bytes,
+            live_bytes: self.memory.peak_live_bytes,
+        };
+        let memory =
+            (memory.rss_bytes.is_some() || memory.live_bytes.is_some()).then_some(memory);
+        coevo_report::profile::render_profile(
+            &rows,
+            self.wall,
+            self.workers,
+            store.as_ref(),
+            memory.as_ref(),
+        )
     }
 }
 

@@ -44,6 +44,12 @@ pub enum Source {
     /// order. The entry point for callers that synthesize or rewrite
     /// histories themselves (the `coevo-oracle` mutators).
     InMemory(Vec<ProjectArtifacts>),
+    /// A sharded corpus directory (`corpus.json` + `shards/*.csh`, written
+    /// by `coevo corpus gen`). Projects run in *global* corpus order (shard
+    /// `start` offsets, not manifest entry order). [`StudyRunner::run`]
+    /// loads all shards eagerly; [`StudyRunner::run_streamed`] admits one
+    /// shard at a time for O(shard) peak memory.
+    Sharded(PathBuf),
 }
 
 impl Source {
@@ -71,7 +77,17 @@ pub struct StudyConfig {
     /// store-less. With a store, every project's result is looked up by
     /// input digest before the pipeline runs and published after a miss.
     pub store_dir: Option<PathBuf>,
+    /// Upper bound on the projects resident in memory at once during a
+    /// [`StudyRunner::run_streamed`] run: each admission batch is at most
+    /// this many projects. `0` picks the natural unit — one shard for
+    /// [`Source::Sharded`], [`DEFAULT_BATCH`] projects for the other
+    /// sources. Ignored by the eager [`StudyRunner::run`] path.
+    pub max_resident_projects: usize,
 }
+
+/// The streamed scheduler's batch size when neither the corpus shard size
+/// nor [`StudyConfig::max_resident_projects`] dictates one.
+pub const DEFAULT_BATCH: usize = 256;
 
 impl Default for StudyConfig {
     fn default() -> Self {
@@ -81,6 +97,7 @@ impl Default for StudyConfig {
             taxonomy: TaxonomyConfig::default(),
             channel_capacity: 32,
             store_dir: None,
+            max_resident_projects: 0,
         }
     }
 }
@@ -140,6 +157,14 @@ impl StudyRunner {
         self
     }
 
+    /// Bound the streamed scheduler's resident set to `n` projects per
+    /// admission batch (`0` = the source's natural unit; see
+    /// [`StudyConfig::max_resident_projects`]).
+    pub fn with_max_resident(mut self, n: usize) -> Self {
+        self.config.max_resident_projects = n;
+        self
+    }
+
     /// The effective configuration.
     pub fn config(&self) -> &StudyConfig {
         &self.config
@@ -154,22 +179,7 @@ impl StudyRunner {
     /// the run with its error.
     pub fn run(&self, source: Source) -> Result<EngineReport, EngineError> {
         let metrics = Metrics::new();
-
-        // An unusable store is a hard error, like an unreadable corpus: the
-        // user asked for warm restarts and cannot have them.
-        let store = match &self.config.store_dir {
-            Some(dir) => {
-                metrics.enable_store();
-                let store = coevo_store::ResultStore::open(dir).map_err(|e| EngineError {
-                    project: dir.display().to_string(),
-                    stage: Stage::Store,
-                    kind: EngineErrorKind::Store(e.to_string()),
-                })?;
-                let config_hash = store_config_hash(&self.config.taxonomy);
-                Some(StoreContext { store, config_hash })
-            }
-            None => None,
-        };
+        let store = self.open_store(&metrics)?;
 
         // Load stage.
         let t = Instant::now();
@@ -245,7 +255,29 @@ impl StudyRunner {
         }
     }
 
-    fn worker_count(&self, items: usize) -> usize {
+    /// Open the configured result store, if any. An unusable store is a
+    /// hard error, like an unreadable corpus: the user asked for warm
+    /// restarts and cannot have them.
+    pub(crate) fn open_store(
+        &self,
+        metrics: &Metrics,
+    ) -> Result<Option<StoreContext>, EngineError> {
+        match &self.config.store_dir {
+            Some(dir) => {
+                metrics.enable_store();
+                let store = coevo_store::ResultStore::open(dir).map_err(|e| EngineError {
+                    project: dir.display().to_string(),
+                    stage: Stage::Store,
+                    kind: EngineErrorKind::Store(e.to_string()),
+                })?;
+                let config_hash = store_config_hash(&self.config.taxonomy);
+                Ok(Some(StoreContext { store, config_hash }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    pub(crate) fn worker_count(&self, items: usize) -> usize {
         let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let n = if self.config.workers == 0 { auto() } else { self.config.workers };
         n.min(items.max(1))
@@ -269,6 +301,7 @@ impl StudyRunner {
                 projects.into_iter().enumerate().map(|(i, p)| work_item(i, p)).collect(),
                 Vec::new(),
             )),
+            Source::Sharded(dir) => load_sharded(&dir),
         }
     }
 
@@ -276,7 +309,7 @@ impl StudyRunner {
     /// work stealing; collect `(index, result)` pairs over a bounded channel
     /// into input-order slots.
     #[allow(clippy::type_complexity)]
-    fn run_pool(
+    pub(crate) fn run_pool(
         &self,
         items: Vec<WorkItem>,
         workers: usize,
@@ -363,7 +396,7 @@ impl StudyRunner {
 }
 
 /// Turn explicit project artifacts into the pipeline's work item.
-fn work_item(index: usize, p: ProjectArtifacts) -> WorkItem {
+pub(crate) fn work_item(index: usize, p: ProjectArtifacts) -> WorkItem {
     WorkItem {
         index,
         name: p.name,
@@ -439,12 +472,88 @@ fn load_on_disk(
     Ok((items, failures))
 }
 
+/// Load a whole sharded corpus eagerly, in global order — the in-memory
+/// counterpart (and differential oracle) of the streamed path, sharing its
+/// per-shard leniency so both paths surface identical failures.
+#[allow(clippy::type_complexity)]
+fn load_sharded(
+    dir: &std::path::Path,
+) -> Result<(Vec<WorkItem>, Vec<ProjectFailure>), EngineError> {
+    let stream = open_corpus_stream(dir)?;
+    let mut entries = stream.manifest().shards.clone();
+    entries.sort_by_key(|e| e.start);
+    let mut items = Vec::new();
+    let mut failures = Vec::new();
+    for entry in &entries {
+        let (projects, fails) = read_shard_lenient(&stream, entry);
+        failures.extend(fails);
+        for p in projects {
+            let index = items.len();
+            items.push(work_item(index, p));
+        }
+    }
+    Ok((items, failures))
+}
+
+/// Open a sharded corpus, mapping an unusable corpus (missing manifest,
+/// format-version mismatch, unreadable `corpus.json`) to a hard load error.
+pub(crate) fn open_corpus_stream(
+    dir: &std::path::Path,
+) -> Result<coevo_corpus::CorpusStream, EngineError> {
+    coevo_corpus::CorpusStream::open(dir).map_err(|e| EngineError {
+        project: dir.display().to_string(),
+        stage: Stage::Load,
+        kind: EngineErrorKind::Load(e.to_string()),
+    })
+}
+
+/// Read one shard with record-level leniency: a shard that cannot be opened
+/// (bad magic, count mismatch, unreadable file) becomes one failure named
+/// after the shard file; a corrupt record becomes a failure named
+/// `<file>[record N]` while the remaining records still load. Both the
+/// eager and the streamed sharded paths call this, so their failure sets
+/// are identical by construction.
+pub(crate) fn read_shard_lenient(
+    stream: &coevo_corpus::CorpusStream,
+    entry: &coevo_corpus::ShardEntry,
+) -> (Vec<ProjectArtifacts>, Vec<ProjectFailure>) {
+    let shard_failure = |kind: String| {
+        ProjectFailure::from(EngineError {
+            project: entry.file.clone(),
+            stage: Stage::Load,
+            kind: EngineErrorKind::Load(kind),
+        })
+    };
+    let reader = match stream.shard_reader(entry) {
+        Ok(r) => r,
+        Err(e) => return (Vec::new(), vec![shard_failure(e.to_string())]),
+    };
+    let mut projects = Vec::with_capacity(entry.projects);
+    let mut failures = Vec::new();
+    for record in reader {
+        match record {
+            Ok(p) => projects.push(p),
+            Err(coevo_corpus::ShardError::Record { file, index, detail }) => {
+                failures.push(ProjectFailure::from(EngineError {
+                    project: format!("{file}[record {index}]"),
+                    stage: Stage::Load,
+                    kind: EngineErrorKind::Load(detail),
+                }));
+            }
+            Err(e) => failures.push(shard_failure(e.to_string())),
+        }
+    }
+    (projects, failures)
+}
+
 type RawProjectParts =
     (String, String, Vec<(DateTime, String)>, Dialect, Option<coevo_taxa::Taxon>);
 
 /// Read one project directory's raw artifacts without running the pipeline
 /// (parsing happens inside the instrumented worker stages).
-fn load_project_raw(dir: &std::path::Path) -> Result<RawProjectParts, EngineErrorKind> {
+pub(crate) fn load_project_raw(
+    dir: &std::path::Path,
+) -> Result<RawProjectParts, EngineErrorKind> {
     let io = |what: &str, e: std::io::Error| EngineErrorKind::Load(format!("{what}: {e}"));
     let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))
         .map_err(|e| io("manifest.json", e))?;

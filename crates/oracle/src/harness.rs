@@ -9,9 +9,10 @@
 //!    project and enforce the declared **metamorphic invariant** against
 //!    the baseline;
 //! 3. run every mutated project through the **differential oracles** (and
-//!    the whole corpus through 1-worker vs N-worker engine runs and the
-//!    batch-vs-incremental study differential, with seeded event-batch
-//!    splits);
+//!    the whole corpus through 1-worker vs N-worker engine runs, the
+//!    batch-vs-incremental study differential with seeded event-batch
+//!    splits, and the eager-vs-streamed engine differential with seeded
+//!    mid-corpus failure injection);
 //! 4. enforce the layer-3 **measure invariants** on everything computed.
 //!
 //! Any violation is shrunk (ddmin-lite) and — when a reproducer directory
@@ -65,7 +66,8 @@ pub struct Violation {
     /// The minimized mutation script.
     pub script: Vec<MutationStep>,
     /// Which check fired: an oracle name, `metamorphic`,
-    /// `measure-invariants`, `workers-1-vs-4`, or `baseline`.
+    /// `measure-invariants`, `workers-1-vs-4`, `streamed-vs-inmemory`, or
+    /// `baseline`.
     pub check: String,
     /// First divergent field / broken invariant, with both values.
     pub detail: String,
@@ -185,6 +187,76 @@ fn batch_vs_incremental(
     None
 }
 
+/// Corpus-level differential: the eager engine run vs the shard-batched
+/// streamed run over the same corpus, with a deliberately tiny batch cap so
+/// several batch boundaries land mid-corpus. Checked twice: on the corpus
+/// as-is, and with one seeded project's git log corrupted so both paths
+/// must demote it to the same structured failure under
+/// `CollectAndContinue`. `None` means results, failures and serialized
+/// JSON all agreed bit-for-bit.
+fn streamed_vs_inmemory(
+    corpus: &[ProjectArtifacts],
+    taxonomy: &TaxonomyConfig,
+    seed: u64,
+) -> Option<String> {
+    let compare = |corpus: &[ProjectArtifacts], tag: &str| -> Option<String> {
+        let runner =
+            StudyRunner::new(StudyConfig { taxonomy: *taxonomy, ..Default::default() })
+                .with_max_resident(3);
+        let eager = runner.run(Source::InMemory(corpus.to_vec()));
+        let streamed = runner.run_streamed(Source::InMemory(corpus.to_vec()));
+        match (eager, streamed) {
+            (Ok(e), Ok(s)) => {
+                if e.failures != s.failures {
+                    return Some(format!(
+                        "{tag}: eager vs streamed failure sets disagree: {} vs {}",
+                        e.failures.len(),
+                        s.failures.len()
+                    ));
+                }
+                if e.results != s.results {
+                    let field = e
+                        .results
+                        .measures
+                        .iter()
+                        .zip(s.results.measures.iter())
+                        .find_map(|(a, b)| first_divergence(a, b))
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "aggregate results disagree".to_string());
+                    return Some(format!("{tag}: eager vs streamed disagree: {field}"));
+                }
+                let ej = serde_json::to_string(&e.results).expect("results serialize");
+                let sj = serde_json::to_string(&s.results).expect("results serialize");
+                if ej != sj {
+                    return Some(format!(
+                        "{tag}: eager vs streamed results serialize differently"
+                    ));
+                }
+                None
+            }
+            (Err(e), Ok(_)) => Some(format!("{tag}: eager failed where streamed ran: {e}")),
+            (Ok(_), Err(e)) => Some(format!("{tag}: streamed failed where eager ran: {e}")),
+            (Err(_), Err(_)) => None, // both reject: parity holds
+        }
+    };
+
+    if let Some(d) = compare(corpus, "clean") {
+        return Some(d);
+    }
+    if corpus.is_empty() {
+        return None;
+    }
+    // Seeded mid-corpus failure injection: truncate the victim's first DDL
+    // version so its parse stage fails. Both paths must skip exactly the
+    // same project and agree on everything computed from the survivors.
+    let victim = (step_seed(seed, corpus.len(), 400) as usize) % corpus.len();
+    let mut injected = corpus.to_vec();
+    if let Some((_, sql)) = injected[victim].ddl_versions.first_mut() {
+        *sql = "CREATE TABLE broken (a INT".to_string();
+    }
+    compare(&injected, "failure-injected")
+}
+
 /// Feed one project into the incremental study as two event batches split
 /// at a seeded cut point, suffix first.
 fn stream_split(
@@ -217,7 +289,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let mut report = CheckReport {
         projects: projects.len(),
         mutators: mutators.len(),
-        oracles: oracles.len() + 2, // + the two corpus-level differentials
+        oracles: oracles.len() + 3, // + the three corpus-level differentials
         ..CheckReport::default()
     };
 
@@ -401,7 +473,9 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
 
     // Corpus-level differentials over the original corpus and over each
     // mutator's fully-mutated corpus: 1-worker vs 4-worker engine runs,
-    // and the batch study vs the event-streamed incremental study.
+    // the batch study vs the event-streamed incremental study, and the
+    // eager engine vs the shard-batched streamed engine (clean and with a
+    // seeded mid-corpus failure injected).
     if report.violations.len() < cfg.max_violations {
         let mut corpora: Vec<(String, Vec<ProjectArtifacts>)> =
             vec![("corpus:original".to_string(), projects.clone())];
@@ -451,6 +525,11 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             report.oracle_runs += 1;
             if let Some(detail) = batch_vs_incremental(&corpus, &taxonomy, cfg.seed) {
                 failures.push(("batch-vs-incremental", detail));
+            }
+
+            report.oracle_runs += 1;
+            if let Some(detail) = streamed_vs_inmemory(&corpus, &taxonomy, cfg.seed) {
+                failures.push(("streamed-vs-inmemory", detail));
             }
 
             for (check, detail) in failures {

@@ -95,18 +95,46 @@ impl StoreProfile {
     }
 }
 
+/// Peak-memory readings of the collecting process, rendered as a footer line
+/// (peak memory is a process-wide fact, so it gets a summary line like the
+/// store counters rather than a per-stage column). `None` for either reading
+/// drops it; both `None` should be passed as `memory: None` to reproduce the
+/// memory-free render byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryRow {
+    /// Peak resident set size (OS view, e.g. `VmHWM` on Linux).
+    pub rss_bytes: Option<u64>,
+    /// Live-heap high-water mark (counting-allocator view).
+    pub live_bytes: Option<u64>,
+}
+
+impl MemoryRow {
+    fn footer(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(rss) = self.rss_bytes {
+            parts.push(format!("rss {}", fmt_bytes(rss)));
+        }
+        if let Some(live) = self.live_bytes {
+            parts.push(format!("live {}", fmt_bytes(live)));
+        }
+        format!("peak memory: {}\n", parts.join(" | "))
+    }
+}
+
 /// Render the profile table: one row per stage with busy time, item count,
 /// throughput, share of total busy time, and incremental-cache hit rate,
 /// plus a wall-time footer. A store-backed run passes its counters as
 /// `store`, adding a `store` column and a store summary line. An `allocs`
 /// column appears only when some row carries allocation counts (i.e. the
 /// collecting binary ran under a counting allocator), so alloc-free renders
-/// are byte-identical to the pre-profiling format.
+/// are byte-identical to the pre-profiling format. Peak-memory readings,
+/// when sampled, render as a `peak memory:` footer line.
 pub fn render_profile(
     rows: &[ProfileRow],
     wall: Duration,
     workers: usize,
     store: Option<&StoreProfile>,
+    memory: Option<&MemoryRow>,
 ) -> String {
     let total_busy: Duration = rows.iter().map(|r| r.busy).sum();
     let with_allocs = rows.iter().any(|r| r.allocs > 0);
@@ -156,6 +184,11 @@ pub fn render_profile(
     out.push_str(&table.render());
     if let Some(s) = store {
         out.push_str(&s.footer());
+    }
+    if let Some(m) = memory {
+        if m.rss_bytes.is_some() || m.live_bytes.is_some() {
+            out.push_str(&m.footer());
+        }
     }
     out.push_str(&format!(
         "wall {} | busy {} | {} workers | parallel speedup {:.2}x\n",
@@ -231,7 +264,7 @@ mod tests {
                 alloc_bytes: 0,
             },
         ];
-        let text = render_profile(&rows, Duration::from_millis(200), 4, None);
+        let text = render_profile(&rows, Duration::from_millis(200), 4, None, None);
         assert!(text.contains("parse"), "{text}");
         assert!(text.contains("items/s"), "{text}");
         assert!(text.contains("75%"), "{text}"); // parse share of busy
@@ -252,7 +285,7 @@ mod tests {
             allocs: 0,
             alloc_bytes: 0,
         }];
-        let text = render_profile(&rows, Duration::ZERO, 1, None);
+        let text = render_profile(&rows, Duration::ZERO, 1, None, None);
         assert!(text.contains("stats"), "{text}");
         assert!(text.contains("0.00x"), "{text}");
         // No cache lookups → the cache column shows `-`, not a 0% rate.
@@ -282,7 +315,7 @@ mod tests {
             },
         ];
         let store = StoreProfile { hits: 195, published: 0, ..StoreProfile::default() };
-        let text = render_profile(&rows, Duration::from_millis(20), 4, Some(&store));
+        let text = render_profile(&rows, Duration::from_millis(20), 4, Some(&store), None);
         assert!(text.contains("195/195 served"), "{text}");
         assert!(
             text.contains(
@@ -292,9 +325,43 @@ mod tests {
         );
 
         // The store-less rendering has no store column at all.
-        let without = render_profile(&rows, Duration::from_millis(20), 4, None);
+        let without = render_profile(&rows, Duration::from_millis(20), 4, None, None);
         assert!(!without.contains("served"), "{without}");
         assert!(!without.contains("publish"), "{without}");
+    }
+
+    #[test]
+    fn memory_footer_renders_only_when_sampled() {
+        let rows = vec![ProfileRow {
+            stage: "parse".into(),
+            items: 10,
+            busy: Duration::from_millis(10),
+            cache_hits: 0,
+            cache_misses: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+        }];
+        let both = MemoryRow {
+            rss_bytes: Some(120 << 20),
+            live_bytes: Some((25 << 20) + (103 << 10)),
+        };
+        let text = render_profile(&rows, Duration::from_millis(20), 1, None, Some(&both));
+        assert!(text.contains("peak memory: rss 120.0MiB | live 25.1MiB"), "{text}");
+
+        // Live-only (non-Linux bench run) and rss-only (production Linux run)
+        // each render just their reading.
+        let live_only = MemoryRow { rss_bytes: None, live_bytes: Some(1 << 20) };
+        let text = render_profile(&rows, Duration::from_millis(20), 1, None, Some(&live_only));
+        assert!(text.contains("peak memory: live 1.0MiB"), "{text}");
+        assert!(!text.contains("rss"), "{text}");
+
+        // No readings at all: byte-identical to passing no memory row.
+        let empty = MemoryRow::default();
+        let with_empty =
+            render_profile(&rows, Duration::from_millis(20), 1, None, Some(&empty));
+        let without = render_profile(&rows, Duration::from_millis(20), 1, None, None);
+        assert_eq!(with_empty, without);
+        assert!(!without.contains("peak memory"), "{without}");
     }
 
     #[test]
@@ -338,12 +405,12 @@ mod tests {
         ];
         // All-zero counts (no counting allocator): no `allocs` column, and
         // the render is byte-identical to the pre-profiling format.
-        let plain = render_profile(&rows, Duration::from_millis(200), 4, None);
+        let plain = render_profile(&rows, Duration::from_millis(200), 4, None, None);
         assert!(!plain.contains("allocs"), "{plain}");
 
         rows[0].allocs = 12_400;
         rows[0].alloc_bytes = 3 << 20;
-        let counted = render_profile(&rows, Duration::from_millis(200), 4, None);
+        let counted = render_profile(&rows, Duration::from_millis(200), 4, None, None);
         assert!(counted.contains("allocs"), "{counted}");
         assert!(counted.contains("12.4k (3.0MiB)"), "{counted}");
         // A stage with no recorded allocations renders `-`, not `0`.

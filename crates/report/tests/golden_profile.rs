@@ -6,7 +6,7 @@
 //! To update after an intentional formatting change:
 //! `UPDATE_GOLDEN=1 cargo test -p coevo-report --test golden_profile`
 
-use coevo_report::profile::{render_profile, ProfileRow, StoreProfile};
+use coevo_report::profile::{render_profile, MemoryRow, ProfileRow, StoreProfile};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -84,7 +84,7 @@ fn fixture_rows() -> Vec<ProfileRow> {
 
 #[test]
 fn profile_rendering_matches_golden_file() {
-    let text = render_profile(&fixture_rows(), Duration::from_millis(640), 4, None);
+    let text = render_profile(&fixture_rows(), Duration::from_millis(640), 4, None, None);
     assert_matches_golden("profile.txt", &text);
 }
 
@@ -99,7 +99,7 @@ fn alloc_counted_profile_rendering_matches_golden_file() {
     rows[1].alloc_bytes = 3 << 20;
     rows[2].allocs = 980;
     rows[2].alloc_bytes = 120_000;
-    let text = render_profile(&rows, Duration::from_millis(640), 4, None);
+    let text = render_profile(&rows, Duration::from_millis(640), 4, None, None);
     assert_matches_golden("profile_allocs.txt", &text);
 }
 
@@ -126,6 +126,18 @@ fn store_backed_profile_rendering_matches_golden_file() {
         published: 45,
         publish_failures: 1,
     };
-    let text = render_profile(&rows, Duration::from_millis(640), 4, Some(&store));
+    let text = render_profile(&rows, Duration::from_millis(640), 4, Some(&store), None);
     assert_matches_golden("profile_store.txt", &text);
+}
+
+#[test]
+fn memory_profile_rendering_matches_golden_file() {
+    // The shape a streamed `coevo study --profile` run has on Linux under
+    // the bench allocator: both the OS peak-RSS reading and the live-heap
+    // high-water mark.
+    let memory =
+        MemoryRow { rss_bytes: Some(120 << 20), live_bytes: Some((25 << 20) + (103 << 10)) };
+    let text =
+        render_profile(&fixture_rows(), Duration::from_millis(640), 4, None, Some(&memory));
+    assert_matches_golden("profile_memory.txt", &text);
 }

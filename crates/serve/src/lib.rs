@@ -28,7 +28,7 @@ pub mod server;
 pub mod state;
 
 pub use protocol::{Request, Response, TaxonCount, WireEvent};
-pub use server::{Server, ServeError};
+pub use server::{ServeError, Server};
 pub use state::{ServeState, SnapshotStore, SNAPSHOT_EVERY};
 
 use coevo_taxa::TaxonomyConfig;
@@ -50,6 +50,10 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { addr: DEFAULT_ADDR.to_string(), store_dir: None, taxonomy: TaxonomyConfig::default() }
+        Self {
+            addr: DEFAULT_ADDR.to_string(),
+            store_dir: None,
+            taxonomy: TaxonomyConfig::default(),
+        }
     }
 }

@@ -69,7 +69,11 @@ impl Server {
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
-            shared: Arc::new(Shared { state: Mutex::new(state), stop: AtomicBool::new(false), addr }),
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                stop: AtomicBool::new(false),
+                addr,
+            }),
         })
     }
 
@@ -170,7 +174,9 @@ mod tests {
         }
     }
 
-    fn spawn_server(store_dir: Option<std::path::PathBuf>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    fn spawn_server(
+        store_dir: Option<std::path::PathBuf>,
+    ) -> (SocketAddr, std::thread::JoinHandle<()>) {
         let config = ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             store_dir,

@@ -200,17 +200,14 @@ impl ServeState {
         match state.measures(&taxonomy) {
             Some(measures) => Response { measures: Some(measures), ..Response::ok() },
             None => Response {
-                pending: state
-                    .pending_reason()
-                    .map(|reason| vec![format!("{name}: {reason}")]),
+                pending: state.pending_reason().map(|reason| vec![format!("{name}: {reason}")]),
                 ..Response::ok()
             },
         }
     }
 
     fn summary(&mut self) -> Response {
-        let pending: Vec<String> =
-            self.study.pending().into_iter().map(String::from).collect();
+        let pending: Vec<String> = self.study.pending().into_iter().map(String::from).collect();
         let results = self.study.results();
         let report = format!(
             "{}\n{}",
@@ -334,10 +331,8 @@ mod tests {
     fn ingest_then_project_returns_measures() {
         let mut state = ServeState::open(TaxonomyConfig::default(), None).unwrap();
         complete_project(&mut state, "a/b");
-        let resp = state.handle(&Request {
-            project: Some("a/b".into()),
-            ..Request::bare("project")
-        });
+        let resp =
+            state.handle(&Request { project: Some("a/b".into()), ..Request::bare("project") });
         assert!(resp.ok);
         let m = resp.measures.expect("measures");
         assert_eq!(m.name, "a/b");

@@ -25,10 +25,10 @@ fn coevo_check_quick_is_clean_through_the_cli() {
 }
 
 /// The harness must meet the coverage floors the oracle promises: ≥ 8
-/// mutators, ≥ 5 per-project differential oracles plus the two corpus-level
-/// differentials (1-vs-N workers, batch-vs-incremental study), and layer-3
-/// invariant sweeps over every measured project — under an arbitrary seed,
-/// not just the CI one.
+/// mutators, ≥ 5 per-project differential oracles plus the three
+/// corpus-level differentials (1-vs-N workers, batch-vs-incremental study,
+/// eager-vs-streamed engine), and layer-3 invariant sweeps over every
+/// measured project — under an arbitrary seed, not just the CI one.
 #[test]
 fn run_check_covers_the_promised_floors() {
     assert!(all_mutators().len() >= 8);
@@ -38,7 +38,7 @@ fn run_check_covers_the_promised_floors() {
     assert!(report.ok(), "violations on a clean build: {:#?}", report.violations);
     assert_eq!(report.projects, 12);
     assert_eq!(report.mutators, all_mutators().len());
-    assert_eq!(report.oracles, per_project_oracles().len() + 2);
+    assert_eq!(report.oracles, per_project_oracles().len() + 3);
     assert!(
         report.mutation_runs >= report.projects * 8,
         "expected ≥ 8 applied mutations per project, got {} over {} projects",

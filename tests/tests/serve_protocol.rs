@@ -49,9 +49,8 @@ fn served_measures_match_the_batch_pipeline() {
     let corpus =
         coevo_corpus::generate_corpus(&coevo_corpus::CorpusSpec::paper().with_per_taxon(1));
     let p = coevo_corpus::ProjectArtifacts::from_generated(&corpus[0]);
-    let (_, batch) = StudyRunner::new(StudyConfig::default())
-        .run_project(&p)
-        .expect("batch pipeline");
+    let (_, batch) =
+        StudyRunner::new(StudyConfig::default()).run_project(&p).expect("batch pipeline");
 
     let (addr, handle) = spawn(None);
     let mut client = RawClient::connect(addr);
@@ -83,10 +82,8 @@ fn served_measures_match_the_batch_pipeline() {
     assert!(resp.ok, "{:?}", resp.error);
     assert_eq!(resp.applied, Some(events.len() as u64));
 
-    let project_req = format!(
-        r#"{{"cmd":"project","project":{}}}"#,
-        serde_json::to_string(&p.name).unwrap()
-    );
+    let project_req =
+        format!(r#"{{"cmd":"project","project":{}}}"#, serde_json::to_string(&p.name).unwrap());
     let resp = client.send(&project_req);
     assert!(resp.ok, "{:?}", resp.error);
     let served = resp.measures.expect("measures");
