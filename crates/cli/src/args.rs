@@ -47,6 +47,19 @@ USAGE:
     coevo generate <OUT-DIR> [--seed N] [--per-taxon N]
                                              write a corpus in loader layout
     coevo case-study                         the paper's §3.3 case study
+    coevo compat <OLD.sql> <NEW.sql> [--dialect D] [--src DIR]
+                                             classify one schema change by
+                                             compatibility level (BACKWARD /
+                                             FORWARD / FULL / BREAKING); with
+                                             --src, cross-check BREAKING calls
+                                             against stored queries and source
+                                             references (false-alarm verdict)
+    coevo compat [--shards DIR | --seed N [--projects N]]
+                                             corpus mode: per-taxon
+                                             compatibility profiles with the
+                                             FROZEN-vs-ACTIVE breaking-rate
+                                             contrast, over a sharded corpus
+                                             (streamed) or a generated one
     coevo diff <OLD.sql> <NEW.sql> [--dialect mysql|postgres|generic] [--smo]
     coevo impact <OLD.sql> <NEW.sql> <SRC-DIR> [--dialect D]
                                              source files at risk from a change
@@ -123,6 +136,11 @@ pub enum Command {
     },
     /// `coevo case-study`: the paper's §3.3 project.
     CaseStudy,
+    /// `coevo compat`: compatibility classification of schema changes.
+    Compat {
+        /// Single-diff or corpus mode.
+        mode: CompatMode,
+    },
     /// `coevo diff`: diff two DDL files.
     Diff {
         /// Path to the old schema version.
@@ -185,6 +203,32 @@ pub enum CorpusAction {
     Info {
         /// The corpus directory.
         dir: PathBuf,
+    },
+}
+
+/// What `coevo compat` runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompatMode {
+    /// Classify one schema change (two DDL files).
+    Single {
+        /// Path to the old schema version.
+        old: PathBuf,
+        /// Path to the new schema version.
+        new: PathBuf,
+        /// The SQL dialect to parse with.
+        dialect: Dialect,
+        /// Source tree to scan for migration-impact evidence.
+        src_dir: Option<PathBuf>,
+    },
+    /// Per-taxon compatibility profiles over a whole corpus.
+    Corpus {
+        /// Stream a sharded corpus from disk instead of generating one.
+        shards_dir: Option<PathBuf>,
+        /// The deterministic corpus seed (generated mode).
+        seed: u64,
+        /// Total project count of the generated corpus (paper mix when
+        /// absent).
+        projects: Option<usize>,
     },
 }
 
@@ -321,6 +365,47 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
         "case-study" => {
             expect_empty(rest)?;
             Ok(Command::CaseStudy)
+        }
+        "compat" => {
+            let (flags, pos) = split_flags(rest)?;
+            match pos.len() {
+                2 => {
+                    let dialect = flag_dialect(&flags)?;
+                    let [old, new] = positional::<2>(&pos, "<OLD.sql> <NEW.sql>")?;
+                    if flag_value(&flags, "shards").is_some() {
+                        return Err("--shards is corpus mode: drop the DDL files".to_string());
+                    }
+                    Ok(Command::Compat {
+                        mode: CompatMode::Single {
+                            old: PathBuf::from(old),
+                            new: PathBuf::from(new),
+                            dialect,
+                            src_dir: flag_value(&flags, "src").map(PathBuf::from),
+                        },
+                    })
+                }
+                0 => {
+                    let shards_dir = flag_value(&flags, "shards").map(PathBuf::from);
+                    let projects = flag_u64(&flags, "projects")?.map(|v| v as usize);
+                    if shards_dir.is_some() && projects.is_some() {
+                        return Err(
+                            "--projects sizes a generated corpus; --shards reads one from disk"
+                                .to_string(),
+                        );
+                    }
+                    Ok(Command::Compat {
+                        mode: CompatMode::Corpus {
+                            shards_dir,
+                            seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
+                            projects,
+                        },
+                    })
+                }
+                _ => Err(format!(
+                    "compat takes <OLD.sql> <NEW.sql> or no positionals, got {}\n{USAGE}",
+                    pos.len()
+                )),
+            }
         }
         "diff" => {
             let (mut flags, pos) = split_flags(rest)?;
@@ -670,6 +755,67 @@ mod tests {
             parse(&["generate", "corpus", "--per-taxon", "3", "--seed", "7"]).unwrap(),
             Command::Generate { dir: PathBuf::from("corpus"), seed: 7, per_taxon: Some(3) }
         );
+    }
+
+    #[test]
+    fn compat_single_diff_mode() {
+        assert_eq!(
+            parse(&["compat", "a.sql", "b.sql", "--dialect", "mysql", "--src", "src"]).unwrap(),
+            Command::Compat {
+                mode: CompatMode::Single {
+                    old: PathBuf::from("a.sql"),
+                    new: PathBuf::from("b.sql"),
+                    dialect: Dialect::MySql,
+                    src_dir: Some(PathBuf::from("src")),
+                },
+            }
+        );
+        assert_eq!(
+            parse(&["compat", "a.sql", "b.sql"]).unwrap(),
+            Command::Compat {
+                mode: CompatMode::Single {
+                    old: PathBuf::from("a.sql"),
+                    new: PathBuf::from("b.sql"),
+                    dialect: Dialect::Generic,
+                    src_dir: None,
+                },
+            }
+        );
+        assert!(parse(&["compat", "a.sql"]).is_err());
+        assert!(parse(&["compat", "a.sql", "b.sql", "c.sql"]).is_err());
+        assert!(parse(&["compat", "a.sql", "b.sql", "--shards", "dir"]).is_err());
+    }
+
+    #[test]
+    fn compat_corpus_mode() {
+        assert_eq!(
+            parse(&["compat"]).unwrap(),
+            Command::Compat {
+                mode: CompatMode::Corpus {
+                    shards_dir: None,
+                    seed: DEFAULT_SEED,
+                    projects: None
+                },
+            }
+        );
+        assert_eq!(
+            parse(&["compat", "--seed", "42", "--projects", "24"]).unwrap(),
+            Command::Compat {
+                mode: CompatMode::Corpus { shards_dir: None, seed: 42, projects: Some(24) },
+            }
+        );
+        assert_eq!(
+            parse(&["compat", "--shards", "corpus"]).unwrap(),
+            Command::Compat {
+                mode: CompatMode::Corpus {
+                    shards_dir: Some(PathBuf::from("corpus")),
+                    seed: DEFAULT_SEED,
+                    projects: None,
+                },
+            }
+        );
+        // --shards and --projects describe different corpora: reject both.
+        assert!(parse(&["compat", "--shards", "corpus", "--projects", "9"]).is_err());
     }
 
     #[test]

@@ -248,6 +248,14 @@ pub fn check(
         report.invariant_checks,
     )
     .map_err(io_err)?;
+    writeln!(
+        out,
+        "compat family: {} planted steps, {} BREAKING, false-alarm rate {:.2}",
+        report.compat.steps,
+        report.compat.breaking_steps,
+        report.compat.false_alarm_rate(),
+    )
+    .map_err(io_err)?;
     let rows: Vec<ViolationRow> = report
         .violations
         .iter()
@@ -385,6 +393,171 @@ pub fn case_study(out: &mut dyn Write) -> CmdResult {
         .map_err(io_err)?;
     writeln!(out, "\n{}", joint_progress_chart(&data, 16, 66)).map_err(io_err)?;
     Ok(())
+}
+
+/// `coevo compat <OLD> <NEW>`: classify one schema change by compatibility
+/// level. With `src_dir`, the migration-impact layer cross-checks a
+/// BREAKING call against stored queries and source references and reports
+/// a false-alarm verdict when nothing corroborates it.
+pub fn compat_single(
+    old: &Path,
+    new: &Path,
+    dialect: Dialect,
+    src_dir: Option<&Path>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let old_sql =
+        std::fs::read_to_string(old).map_err(|e| format!("{}: {e}", old.display()))?;
+    let new_sql =
+        std::fs::read_to_string(new).map_err(|e| format!("{}: {e}", new.display()))?;
+    let old_schema = coevo_ddl::parse_schema(&old_sql, dialect).map_err(io_err)?;
+    let new_schema = coevo_ddl::parse_schema(&new_sql, dialect).map_err(io_err)?;
+    let delta = diff_schemas(&old_schema, &new_schema);
+    let constraints = diff_constraints(&old_schema, &new_schema);
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if let Some(dir) = src_dir {
+        collect_sources(dir, &mut sources)?;
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(p, t)| (p.as_str(), t.as_str())).collect();
+    let verdict = coevo_compat::verdict_for_step(
+        &old_schema,
+        &new_schema,
+        &delta,
+        &constraints,
+        src_dir.map(|_| refs.as_slice()),
+    );
+
+    let rows: Vec<coevo_report::compat::StepRuleRow> = verdict
+        .classification
+        .hits
+        .iter()
+        .map(|h| coevo_report::compat::StepRuleRow {
+            rule: h.rule.to_string(),
+            level: h.level.to_string(),
+            table: h.table.clone(),
+            subject: h.subject.clone(),
+        })
+        .collect();
+    let evidence = verdict.evidence.as_ref().map(|e| coevo_report::compat::EvidenceSummary {
+        broken_queries: e.broken_queries.clone(),
+        breaking_refs: e.breaking_refs,
+        files: e.files,
+        queries_scanned: e.queries_scanned,
+        queries_demoted: e.queries_demoted,
+    });
+    let text = coevo_report::compat::render_step_report(
+        verdict.level().as_str(),
+        &rows,
+        evidence.as_ref().map(|e| (e, verdict.false_alarm)),
+    );
+    write!(out, "{text}").map_err(io_err)
+}
+
+/// Corpus-mode `coevo compat`: per-taxon compatibility profiles with the
+/// FROZEN-vs-ACTIVE breaking-rate contrast. Reads a sharded corpus one
+/// shard at a time (`shards_dir`) or generates one in memory; both paths
+/// aggregate order-independent per-taxon counters, so their output is
+/// byte-identical for the same corpus.
+pub fn compat_corpus(
+    shards_dir: Option<&Path>,
+    seed: u64,
+    projects: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use std::collections::BTreeMap;
+
+    let mut per_taxon: BTreeMap<coevo_taxa::Taxon, coevo_compat::CompatProfile> =
+        BTreeMap::new();
+    let mut measured = 0usize;
+    let mut skipped: Vec<String> = Vec::new();
+    let mut profile_one = |p: &coevo_corpus::ProjectArtifacts| {
+        let Some(taxon) = p.taxon else {
+            skipped.push(format!("{}: no taxon label", p.name));
+            return;
+        };
+        let history = match SchemaHistory::from_ddl_texts(
+            p.ddl_versions.iter().map(|(d, s)| (*d, s.as_str())),
+            p.dialect,
+        ) {
+            Ok(Some(h)) => h,
+            Ok(None) => {
+                skipped.push(format!("{}: no DDL versions", p.name));
+                return;
+            }
+            Err(e) => {
+                skipped.push(format!("{}: {e}", p.name));
+                return;
+            }
+        };
+        per_taxon.entry(taxon).or_default().merge(&coevo_compat::profile_history(&history));
+        measured += 1;
+    };
+
+    match shards_dir {
+        Some(dir) => {
+            let stream = coevo_corpus::CorpusStream::open(dir).map_err(io_err)?;
+            let manifest = stream.manifest().clone();
+            for entry in &manifest.shards {
+                let reader = stream.shard_reader(entry).map_err(io_err)?;
+                for project in reader {
+                    profile_one(&project.map_err(io_err)?);
+                }
+            }
+        }
+        None => {
+            let mut spec = match projects {
+                Some(n) => CorpusSpec::paper().with_total(n),
+                None => CorpusSpec::paper(),
+            };
+            spec.seed = seed;
+            for p in &generate_corpus(&spec) {
+                profile_one(&coevo_corpus::ProjectArtifacts::from_generated(p));
+            }
+        }
+    }
+
+    writeln!(out, "compatibility profiles over {measured} projects").map_err(io_err)?;
+    for s in &skipped {
+        writeln!(out, "warning: skipped {s}").map_err(io_err)?;
+    }
+    let mut total = coevo_compat::CompatProfile::default();
+    let mut rows: Vec<coevo_report::compat::CompatTaxonRow> = Vec::new();
+    for taxon in coevo_taxa::Taxon::ALL {
+        let Some(profile) = per_taxon.get(&taxon) else { continue };
+        total.merge(profile);
+        rows.push(taxon_row(taxon.name(), profile));
+    }
+    rows.push(taxon_row("TOTAL", &total));
+    let contrast = coevo_compat::frozen_active_contrast(
+        &per_taxon,
+        &mut coevo_core::StatsCache::default(),
+    );
+    let contrast_row = coevo_report::compat::ContrastRow {
+        frozen: (contrast.frozen.0, contrast.frozen.0 + contrast.frozen.1),
+        active: (contrast.active.0, contrast.active.0 + contrast.active.1),
+        fisher_p: contrast.fisher_p,
+    };
+    write!(out, "{}", coevo_report::compat::render_compat_profiles(&rows, Some(&contrast_row)))
+        .map_err(io_err)
+}
+
+fn taxon_row(
+    label: &str,
+    p: &coevo_compat::CompatProfile,
+) -> coevo_report::compat::CompatTaxonRow {
+    coevo_report::compat::CompatTaxonRow {
+        taxon: label.to_string(),
+        steps: p.steps as u64,
+        none: p.none as u64,
+        full: p.full as u64,
+        backward: p.backward as u64,
+        forward: p.forward as u64,
+        breaking: p.breaking as u64,
+        breaking_rate: p.breaking_rate(),
+    }
 }
 
 /// `coevo diff`: diff two DDL files.
@@ -890,6 +1063,94 @@ mod tests {
         assert!(text.contains("2 embedded queries scanned, 1 broken"), "{text}");
         assert!(text.contains("total_price"), "{text}");
         assert!(text.contains("line 1"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compat_single_command_with_evidence() {
+        let dir = tmp("compat1");
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE invoices (id INT, total_price INT);")
+            .unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE invoices (id INT);").unwrap();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(dir.join("src/billing.py"), "q = 'SELECT total_price FROM invoices'\n")
+            .unwrap();
+        let mut out = Vec::new();
+        compat_single(
+            &dir.join("old.sql"),
+            &dir.join("new.sql"),
+            Dialect::Generic,
+            Some(&dir.join("src")),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("compatibility: BREAKING"), "{text}");
+        assert!(text.contains("attr-ejected"), "{text}");
+        assert!(text.contains("breaks: SELECT total_price FROM invoices"), "{text}");
+        assert!(!text.contains("false alarm"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compat_single_command_flags_false_alarms() {
+        let dir = tmp("compat2");
+        // Narrowing with nothing referencing the column: BREAKING by rule,
+        // but nothing corroborates — the verdict must say so.
+        std::fs::write(dir.join("old.sql"), "CREATE TABLE t (a BIGINT);").unwrap();
+        std::fs::write(dir.join("new.sql"), "CREATE TABLE t (a INT);").unwrap();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(dir.join("src/app.js"), "console.log('unrelated');\n").unwrap();
+        let mut out = Vec::new();
+        compat_single(
+            &dir.join("old.sql"),
+            &dir.join("new.sql"),
+            Dialect::Generic,
+            Some(&dir.join("src")),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("type-narrowed"), "{text}");
+        assert!(text.contains("possible false alarm"), "{text}");
+
+        // Without --src there is no evidence and no verdict line.
+        let mut out = Vec::new();
+        compat_single(
+            &dir.join("old.sql"),
+            &dir.join("new.sql"),
+            Dialect::Generic,
+            None,
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("compatibility: BREAKING"), "{text}");
+        assert!(!text.contains("evidence:"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compat_corpus_sharded_matches_in_memory_byte_for_byte() {
+        let dir = tmp("compatcorpus");
+        let corpus = dir.join("shards");
+        corpus_gen(&corpus, 12, 5, 7, &mut Vec::new()).unwrap();
+
+        let mut streamed = Vec::new();
+        compat_corpus(Some(&corpus), 0, None, &mut streamed).unwrap();
+        let mut in_memory = Vec::new();
+        compat_corpus(None, 7, Some(12), &mut in_memory).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&streamed),
+            String::from_utf8_lossy(&in_memory),
+            "sharded and in-memory corpus modes must print identical bytes"
+        );
+
+        let text = String::from_utf8_lossy(&streamed);
+        assert!(text.contains("compatibility profiles over 12 projects"), "{text}");
+        assert!(text.contains("BREAKING"), "{text}");
+        assert!(text.contains("TOTAL"), "{text}");
+        assert!(text.contains("FROZEN-side breaking-rate"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

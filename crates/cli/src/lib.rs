@@ -22,6 +22,11 @@
 //! - `coevo generate <out-dir> [--seed N] [--per-taxon N]` — write a corpus
 //!   to disk in the loader layout;
 //! - `coevo case-study` — the paper's §3.3 case study;
+//! - `coevo compat <old.sql> <new.sql> [--src DIR]` and
+//!   `coevo compat [--shards DIR | --seed N [--projects N]]` — classify
+//!   schema changes by compatibility level, with migration-impact evidence
+//!   in single-diff mode and per-taxon breaking-rate profiles (plus the
+//!   FROZEN-vs-ACTIVE Fisher contrast) in corpus mode;
 //! - `coevo diff <old.sql> <new.sql> [--dialect D] [--smo]` — diff two DDL
 //!   files;
 //! - `coevo parse <file.sql> [--dialect D]` — validate and summarize a DDL
@@ -83,6 +88,14 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
             commands::generate(&dir, seed, per_taxon, out)
         }
         Command::CaseStudy => commands::case_study(out),
+        Command::Compat { mode } => match mode {
+            args::CompatMode::Single { old, new, dialect, src_dir } => {
+                commands::compat_single(&old, &new, dialect, src_dir.as_deref(), out)
+            }
+            args::CompatMode::Corpus { shards_dir, seed, projects } => {
+                commands::compat_corpus(shards_dir.as_deref(), seed, projects, out)
+            }
+        },
         Command::Diff { old, new, dialect, smo } => {
             commands::diff(&old, &new, dialect, smo, out)
         }

@@ -1,0 +1,155 @@
+//! The compatibility vocabulary: the five levels and their lattice.
+
+use serde::{Deserialize, Serialize};
+
+/// The compatibility level of one schema change (or one whole step).
+///
+/// The vocabulary is the schema-registry one, read from the perspective of
+/// the *code* around the schema:
+///
+/// - **backward** compatible: code written against the *old* schema keeps
+///   working after the change is deployed (deploy-safe);
+/// - **forward** compatible: code written against the *new* schema would
+///   still work against the *old* schema (rollback-safe);
+/// - [`CompatLevel::Full`] is both, [`CompatLevel::Breaking`] is neither,
+///   and [`CompatLevel::None`] means the step changed nothing at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CompatLevel {
+    /// No logical change between the two versions.
+    None,
+    /// Compatible in both directions (e.g. index churn, type widening).
+    Full,
+    /// Old readers/writers keep working; rolling back would strand new code.
+    Backward,
+    /// New code runs against the old schema; existing writers are at risk
+    /// (constraint tightening).
+    Forward,
+    /// Neither direction is safe: existing queries or writes break.
+    Breaking,
+}
+
+impl CompatLevel {
+    /// The registry-style uppercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompatLevel::None => "NONE",
+            CompatLevel::Full => "FULL",
+            CompatLevel::Backward => "BACKWARD",
+            CompatLevel::Forward => "FORWARD",
+            CompatLevel::Breaking => "BREAKING",
+        }
+    }
+
+    /// Parse the uppercase name back (exact match).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "NONE" => Some(CompatLevel::None),
+            "FULL" => Some(CompatLevel::Full),
+            "BACKWARD" => Some(CompatLevel::Backward),
+            "FORWARD" => Some(CompatLevel::Forward),
+            "BREAKING" => Some(CompatLevel::Breaking),
+            _ => None,
+        }
+    }
+
+    /// Deploy safety: code written against the old schema keeps working.
+    pub fn is_backward_compatible(self) -> bool {
+        matches!(self, CompatLevel::None | CompatLevel::Full | CompatLevel::Backward)
+    }
+
+    /// Rollback safety: code written against the new schema works on the
+    /// old one.
+    pub fn is_forward_compatible(self) -> bool {
+        matches!(self, CompatLevel::None | CompatLevel::Full | CompatLevel::Forward)
+    }
+
+    /// True only for [`CompatLevel::Breaking`].
+    pub fn is_breaking(self) -> bool {
+        self == CompatLevel::Breaking
+    }
+
+    /// Combine two per-change levels into the step level. `None` and `Full`
+    /// are identities (up to each other); a backward-only change combined
+    /// with a forward-only one is safe in *neither* direction, hence
+    /// `Breaking`. The operation is commutative and associative, so step
+    /// classification is independent of change order.
+    pub fn combine(self, other: CompatLevel) -> CompatLevel {
+        use CompatLevel::*;
+        match (self, other) {
+            (None, x) | (x, None) => x,
+            (Full, x) | (x, Full) => x,
+            (Breaking, _) | (_, Breaking) => Breaking,
+            (Backward, Backward) => Backward,
+            (Forward, Forward) => Forward,
+            (Backward, Forward) | (Forward, Backward) => Breaking,
+        }
+    }
+}
+
+impl std::fmt::Display for CompatLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompatLevel::*;
+
+    const ALL: [CompatLevel; 5] = [None, Full, Backward, Forward, Breaking];
+
+    #[test]
+    fn names_round_trip() {
+        for l in ALL {
+            assert_eq!(CompatLevel::parse(l.as_str()), Some(l));
+            assert_eq!(l.to_string(), l.as_str());
+        }
+        assert_eq!(CompatLevel::parse("backward"), Option::None);
+    }
+
+    #[test]
+    fn full_implies_backward_and_forward() {
+        assert!(Full.is_backward_compatible() && Full.is_forward_compatible());
+        assert!(Backward.is_backward_compatible() && !Backward.is_forward_compatible());
+        assert!(Forward.is_forward_compatible() && !Forward.is_backward_compatible());
+        assert!(!Breaking.is_backward_compatible() && !Breaking.is_forward_compatible());
+    }
+
+    #[test]
+    fn combine_is_commutative_and_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.combine(b), b.combine(a), "{a} ⊔ {b}");
+                for c in ALL {
+                    assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_lattice() {
+        assert_eq!(None.combine(Backward), Backward);
+        assert_eq!(Full.combine(Forward), Forward);
+        assert_eq!(Backward.combine(Forward), Breaking);
+        assert_eq!(Breaking.combine(Full), Breaking);
+        // The combined level is compatible in a direction iff both inputs
+        // are — combine never *gains* safety.
+        for a in ALL {
+            for b in ALL {
+                let c = a.combine(b);
+                if a != None || b != None {
+                    assert_eq!(
+                        c.is_backward_compatible(),
+                        a.is_backward_compatible() && b.is_backward_compatible()
+                    );
+                    assert_eq!(
+                        c.is_forward_compatible(),
+                        a.is_forward_compatible() && b.is_forward_compatible()
+                    );
+                }
+            }
+        }
+    }
+}

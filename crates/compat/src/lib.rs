@@ -1,0 +1,41 @@
+//! # coevo-compat — compatibility classification & migration impact
+//!
+//! The paper measures *how much* schemas and source co-evolve; this crate
+//! answers *how safely*. Every step of a [`coevo_diff::SchemaHistory`] is
+//! mapped to a [`CompatLevel`] — the schema-registry vocabulary BACKWARD /
+//! FORWARD / FULL / BREAKING / NONE — by an explicit, unit-tested rule per
+//! change kind (see the rule table in [`rules`]), and BREAKING calls are
+//! cross-checked against evidence from the project's own code: stored
+//! queries that actually fail ([`coevo_query::breaking_queries`]) and
+//! source references that are hit ([`coevo_impact::ImpactAnalyzer`]).
+//!
+//! The three layers, bottom-up:
+//!
+//! - [`rules`] — per-change classification; [`classify_step`] folds rule
+//!   hits with the [`CompatLevel::combine`] lattice (commutative and
+//!   associative, so the step level is independent of change order);
+//! - [`verdict`] — [`verdict_for_step`] attaches [`CompatEvidence`] and a
+//!   `false_alarm` flag to each step (conservative rules minus evidence);
+//! - [`profile`] — [`profile_history`] aggregates a project; per-taxon
+//!   roll-ups and the FROZEN-vs-ACTIVE [`frozen_active_contrast`] (Fisher
+//!   r×2 through [`coevo_core::StatsCache`]) aggregate a corpus.
+//!
+//! Consumers: the `coevo compat` CLI subcommand (single-diff and corpus
+//! mode), the `compat` request of the `coevo serve` protocol ("is this DDL
+//! safe?" from warm state), the `coevo-report` compat table, and the
+//! `coevo check` compat oracle family.
+
+#![warn(missing_docs)]
+
+pub mod level;
+pub mod profile;
+pub mod rules;
+pub mod verdict;
+
+pub use level::CompatLevel;
+pub use profile::{
+    classify_history, frozen_active_contrast, is_frozen_side, profile_history, CompatProfile,
+    FrozenActiveContrast,
+};
+pub use rules::{classify_step, RuleHit, StepClassification, RULE_TABLE};
+pub use verdict::{gather_evidence, verdict_for_step, CompatEvidence, CompatVerdict};

@@ -1,0 +1,502 @@
+//! The per-change rule set: every [`AttributeChange`], table fate, and
+//! constraint change maps to exactly one named rule, and every rule maps to
+//! one [`CompatLevel`]. The step level is the [`CompatLevel::combine`] fold
+//! over the hits.
+//!
+//! # Rule table
+//!
+//! | rule              | trigger                                        | level    |
+//! |-------------------|------------------------------------------------|----------|
+//! | `table-created`   | table exists only in the new version           | BACKWARD |
+//! | `table-dropped`   | table exists only in the old version           | BREAKING |
+//! | `attr-add-optional` | injected column, nullable or with a default  | BACKWARD |
+//! | `attr-add-required` | injected column, NOT NULL and no default     | BREAKING |
+//! | `attr-ejected`    | column removed from a surviving table          | BREAKING |
+//! | `attr-renamed`    | rename detected (counted as eject + inject)    | BREAKING |
+//! | `type-widened`    | type changed within a family, strictly wider   | FULL     |
+//! | `type-narrowed`   | type changed within a family, not wider        | BREAKING |
+//! | `type-changed`    | type changed across families (incomparable)    | BREAKING |
+//! | `key-tightened`   | column newly participates in the primary key   | FORWARD  |
+//! | `key-relaxed`     | column left the primary key                    | BACKWARD |
+//! | `fk-added`        | foreign key gained by a surviving table        | FORWARD  |
+//! | `fk-removed`      | foreign key lost by a surviving table          | BACKWARD |
+//! | `index-changed`   | secondary index added or removed               | FULL     |
+//!
+//! The reading is code-centric: BACKWARD = deploy-safe (old code keeps
+//! working), FORWARD = rollback-safe (new code works on the old schema).
+//! Removals of read surface break existing queries → BREAKING; additive
+//! read surface is deploy-safe but strands new code on rollback → BACKWARD;
+//! write-constraint tightening (keys, foreign keys) puts *existing writers*
+//! at risk while code honoring the new constraint runs anywhere → FORWARD;
+//! perf-only churn and strict widening → FULL. Renames are conservatively
+//! BREAKING — under the paper's by-name matching they are an eject + inject,
+//! and the old spelling is gone either way.
+
+use crate::level::CompatLevel;
+use coevo_ddl::{Schema, SqlType};
+use coevo_diff::{
+    AttributeChange, ConstraintDelta, ForeignKeyChange, IndexChange, SchemaDelta, TableFate,
+};
+use serde::Serialize;
+
+/// One rule firing on one concrete change.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RuleHit {
+    /// The rule name from the rule table.
+    pub rule: &'static str,
+    /// The level this rule assigns.
+    pub level: CompatLevel,
+    /// The table the change happened in.
+    pub table: String,
+    /// What changed (column, constraint, or table description).
+    pub subject: String,
+}
+
+/// The full rule table: `(rule, level, trigger)`. Documentation, tests, and
+/// the report legend all read this one source of truth.
+pub const RULE_TABLE: &[(&str, CompatLevel, &str)] = &[
+    ("table-created", CompatLevel::Backward, "table exists only in the new version"),
+    ("table-dropped", CompatLevel::Breaking, "table exists only in the old version"),
+    ("attr-add-optional", CompatLevel::Backward, "injected column, nullable or with a default"),
+    ("attr-add-required", CompatLevel::Breaking, "injected column, NOT NULL and no default"),
+    ("attr-ejected", CompatLevel::Breaking, "column removed from a surviving table"),
+    ("attr-renamed", CompatLevel::Breaking, "rename detected (counted as eject + inject)"),
+    ("type-widened", CompatLevel::Full, "type changed within a family, strictly wider"),
+    ("type-narrowed", CompatLevel::Breaking, "type changed within a family, not wider"),
+    ("type-changed", CompatLevel::Breaking, "type changed across families (incomparable)"),
+    ("key-tightened", CompatLevel::Forward, "column newly participates in the primary key"),
+    ("key-relaxed", CompatLevel::Backward, "column left the primary key"),
+    ("fk-added", CompatLevel::Forward, "foreign key gained by a surviving table"),
+    ("fk-removed", CompatLevel::Backward, "foreign key lost by a surviving table"),
+    ("index-changed", CompatLevel::Full, "secondary index added or removed"),
+];
+
+/// Look a rule's level up in [`RULE_TABLE`] (panics on a typo'd name — the
+/// table is the single source of truth and every producer is unit-tested).
+fn level_of(rule: &str) -> CompatLevel {
+    RULE_TABLE
+        .iter()
+        .find(|(r, _, _)| *r == rule)
+        .map(|(_, l, _)| *l)
+        .unwrap_or_else(|| unreachable!("rule {rule:?} missing from RULE_TABLE"))
+}
+
+fn hit(rule: &'static str, table: &str, subject: impl Into<String>) -> RuleHit {
+    RuleHit { rule, level: level_of(rule), table: table.to_string(), subject: subject.into() }
+}
+
+/// One step's classification: the combined level plus every rule that fired,
+/// in delta order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StepClassification {
+    /// The step's combined compatibility level.
+    pub level: CompatLevel,
+    /// Every rule hit, in delta order.
+    pub hits: Vec<RuleHit>,
+}
+
+impl StepClassification {
+    /// Render the distinct rules that fired, in first-hit order.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for h in &self.hits {
+            if !out.contains(&h.rule) {
+                out.push(h.rule);
+            }
+        }
+        out
+    }
+}
+
+/// How a type change compares within the widening partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TypeTransition {
+    /// Strictly wider within one family: every old value still fits.
+    Widened,
+    /// Same family, not wider: values can be truncated or rejected.
+    Narrowed,
+    /// Different families: nothing can be promised.
+    Incomparable,
+}
+
+/// Integer family rank; `None` for non-integer types.
+fn int_rank(name: &str) -> Option<u8> {
+    match name {
+        "TINYINT" => Some(1),
+        "SMALLINT" => Some(2),
+        "MEDIUMINT" => Some(3),
+        "INT" | "INTEGER" => Some(4),
+        "BIGINT" => Some(5),
+        _ => None,
+    }
+}
+
+/// Character family rank; parameterized lengths compare within one rank.
+fn char_rank(name: &str) -> Option<u8> {
+    match name {
+        "CHAR" => Some(1),
+        "VARCHAR" => Some(2),
+        "TEXT" | "MEDIUMTEXT" | "LONGTEXT" | "CLOB" => Some(3),
+        _ => None,
+    }
+}
+
+fn first_param(t: &SqlType) -> Option<u64> {
+    t.params.first().and_then(|p| p.as_str().parse().ok())
+}
+
+/// Classify a type change. Widening is only claimed when it is provable
+/// from the names and parameters; everything else is conservative.
+fn type_transition(from: &SqlType, to: &SqlType) -> TypeTransition {
+    let (f, t) = (from.name.key().to_ascii_uppercase(), to.name.key().to_ascii_uppercase());
+    if from.modifiers != to.modifiers {
+        return TypeTransition::Incomparable; // UNSIGNED flips change the domain
+    }
+    if let (Some(rf), Some(rt)) = (int_rank(&f), int_rank(&t)) {
+        return if rt > rf { TypeTransition::Widened } else { TypeTransition::Narrowed };
+    }
+    if let (Some(rf), Some(rt)) = (char_rank(&f), char_rank(&t)) {
+        return match rt.cmp(&rf) {
+            std::cmp::Ordering::Greater => TypeTransition::Widened,
+            std::cmp::Ordering::Less => TypeTransition::Narrowed,
+            std::cmp::Ordering::Equal => {
+                // Same kind: compare declared lengths (absent = unbounded
+                // only for the TEXT rank, which has no parameters anyway).
+                match (first_param(from), first_param(to)) {
+                    (Some(a), Some(b)) if b > a => TypeTransition::Widened,
+                    (Some(_), Some(_)) => TypeTransition::Narrowed,
+                    _ => TypeTransition::Narrowed,
+                }
+            }
+        };
+    }
+    if f == "DECIMAL" && t == "DECIMAL" || f == "NUMERIC" && t == "NUMERIC" {
+        let precision = |ty: &SqlType, i: usize| {
+            ty.params.get(i).and_then(|p| p.as_str().parse::<u64>().ok()).unwrap_or(0)
+        };
+        let wider = precision(to, 0) >= precision(from, 0)
+            && precision(to, 1) >= precision(from, 1)
+            && (precision(to, 0) > precision(from, 0) || precision(to, 1) > precision(from, 1));
+        return if wider { TypeTransition::Widened } else { TypeTransition::Narrowed };
+    }
+    TypeTransition::Incomparable
+}
+
+/// Classify one step: the delta between two consecutive schema versions,
+/// plus the surviving-table constraint delta. `new` is the post-step schema
+/// — injected columns carry only their name and type in the delta, so
+/// nullability and defaults are looked up there.
+pub fn classify_step(
+    new: &Schema,
+    delta: &SchemaDelta,
+    constraints: &ConstraintDelta,
+) -> StepClassification {
+    let mut hits: Vec<RuleHit> = Vec::new();
+    for td in &delta.tables {
+        match td.fate {
+            TableFate::Created => {
+                hits.push(hit(
+                    "table-created",
+                    &td.table,
+                    format!("{} attribute(s) born", td.attribute_count),
+                ));
+            }
+            TableFate::Dropped => {
+                hits.push(hit(
+                    "table-dropped",
+                    &td.table,
+                    format!("{} attribute(s) deleted", td.attribute_count),
+                ));
+            }
+            TableFate::Survived => {
+                for ch in &td.changes {
+                    hits.push(classify_change(new, &td.table, ch));
+                }
+            }
+        }
+    }
+    for fk in &constraints.foreign_keys {
+        hits.push(match fk {
+            ForeignKeyChange::Added { table, fk } => {
+                hit("fk-added", table, format!("→ {}", fk.foreign_table))
+            }
+            ForeignKeyChange::Removed { table, fk } => {
+                hit("fk-removed", table, format!("→ {}", fk.foreign_table))
+            }
+        });
+    }
+    for idx in &constraints.indexes {
+        let cols = |index: &coevo_ddl::IndexDef| {
+            index.columns.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(",")
+        };
+        hits.push(match idx {
+            IndexChange::Added { table, index } => {
+                hit("index-changed", table, format!("+({})", cols(index)))
+            }
+            IndexChange::Removed { table, index } => {
+                hit("index-changed", table, format!("-({})", cols(index)))
+            }
+        });
+    }
+    let level = hits.iter().fold(CompatLevel::None, |acc, h| acc.combine(h.level));
+    StepClassification { level, hits }
+}
+
+/// Classify one in-place attribute change of a surviving table.
+fn classify_change(new: &Schema, table: &str, ch: &AttributeChange) -> RuleHit {
+    match ch {
+        AttributeChange::Injected { name, sql_type } => {
+            // The delta carries only name + type; nullability and defaults
+            // live in the new schema. A failed lookup (impossible through
+            // the diff engine) is treated as NOT NULL without default —
+            // conservative, never optimistic.
+            let optional = new
+                .table(table)
+                .and_then(|t| t.column(name))
+                .is_some_and(|c| c.nullable || c.default.is_some());
+            if optional {
+                hit("attr-add-optional", table, format!("{name} {sql_type}"))
+            } else {
+                hit("attr-add-required", table, format!("{name} {sql_type} NOT NULL"))
+            }
+        }
+        AttributeChange::Ejected { name, sql_type } => {
+            hit("attr-ejected", table, format!("{name} {sql_type}"))
+        }
+        AttributeChange::TypeChanged { name, from, to } => {
+            let rule = match type_transition(from, to) {
+                TypeTransition::Widened => "type-widened",
+                TypeTransition::Narrowed => "type-narrowed",
+                TypeTransition::Incomparable => "type-changed",
+            };
+            hit(rule, table, format!("{name}: {from} → {to}"))
+        }
+        AttributeChange::KeyChanged { name, now_in_key } => {
+            if *now_in_key {
+                hit("key-tightened", table, name.clone())
+            } else {
+                hit("key-relaxed", table, name.clone())
+            }
+        }
+        AttributeChange::Renamed { from, to, sql_type } => {
+            hit("attr-renamed", table, format!("{from} → {to} ({sql_type})"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+    use coevo_diff::{diff_constraints, diff_schemas};
+
+    /// Classify the step between two DDL texts, the way every caller does.
+    fn classify(old_sql: &str, new_sql: &str) -> StepClassification {
+        let old = parse_schema(old_sql, Dialect::Generic).unwrap();
+        let new = parse_schema(new_sql, Dialect::Generic).unwrap();
+        let delta = diff_schemas(&old, &new);
+        let constraints = diff_constraints(&old, &new);
+        classify_step(&new, &delta, &constraints)
+    }
+
+    fn rules(c: &StepClassification) -> Vec<&'static str> {
+        c.rule_names()
+    }
+
+    #[test]
+    fn empty_step_is_none() {
+        let c = classify("CREATE TABLE t (a INT);", "CREATE TABLE t (a INT);");
+        assert_eq!(c.level, CompatLevel::None);
+        assert!(c.hits.is_empty());
+    }
+
+    #[test]
+    fn table_created_is_backward() {
+        let c = classify(
+            "CREATE TABLE t (a INT);",
+            "CREATE TABLE t (a INT); CREATE TABLE u (b INT);",
+        );
+        assert_eq!(c.level, CompatLevel::Backward);
+        assert_eq!(rules(&c), vec!["table-created"]);
+    }
+
+    #[test]
+    fn table_dropped_is_breaking() {
+        let c = classify(
+            "CREATE TABLE t (a INT); CREATE TABLE u (b INT);",
+            "CREATE TABLE t (a INT);",
+        );
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["table-dropped"]);
+    }
+
+    #[test]
+    fn nullable_add_is_backward() {
+        let c = classify("CREATE TABLE t (a INT);", "CREATE TABLE t (a INT, b INT);");
+        assert_eq!(c.level, CompatLevel::Backward);
+        assert_eq!(rules(&c), vec!["attr-add-optional"]);
+    }
+
+    #[test]
+    fn defaulted_not_null_add_is_backward() {
+        let c = classify(
+            "CREATE TABLE t (a INT);",
+            "CREATE TABLE t (a INT, b INT NOT NULL DEFAULT 0);",
+        );
+        assert_eq!(c.level, CompatLevel::Backward);
+        assert_eq!(rules(&c), vec!["attr-add-optional"]);
+    }
+
+    #[test]
+    fn required_add_without_default_is_breaking() {
+        let c = classify("CREATE TABLE t (a INT);", "CREATE TABLE t (a INT, b INT NOT NULL);");
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["attr-add-required"]);
+    }
+
+    #[test]
+    fn attribute_delete_is_breaking() {
+        let c = classify("CREATE TABLE t (a INT, b INT);", "CREATE TABLE t (a INT);");
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["attr-ejected"]);
+    }
+
+    #[test]
+    fn type_widening_is_full() {
+        for (from, to) in [
+            ("a INT", "a BIGINT"),
+            ("a SMALLINT", "a INT"),
+            ("a VARCHAR(100)", "a VARCHAR(255)"),
+            ("a VARCHAR(255)", "a TEXT"),
+            ("a CHAR(8)", "a VARCHAR(32)"),
+            ("a DECIMAL(10,2)", "a DECIMAL(12,2)"),
+        ] {
+            let c = classify(
+                &format!("CREATE TABLE t ({from});"),
+                &format!("CREATE TABLE t ({to});"),
+            );
+            assert_eq!(c.level, CompatLevel::Full, "{from} → {to}");
+            assert_eq!(rules(&c), vec!["type-widened"], "{from} → {to}");
+        }
+    }
+
+    #[test]
+    fn type_narrowing_is_breaking() {
+        for (from, to) in [
+            ("a BIGINT", "a INT"),
+            ("a VARCHAR(255)", "a VARCHAR(100)"),
+            ("a TEXT", "a VARCHAR(255)"),
+            ("a DECIMAL(12,2)", "a DECIMAL(10,2)"),
+        ] {
+            let c = classify(
+                &format!("CREATE TABLE t ({from});"),
+                &format!("CREATE TABLE t ({to});"),
+            );
+            assert_eq!(c.level, CompatLevel::Breaking, "{from} → {to}");
+            assert_eq!(rules(&c), vec!["type-narrowed"], "{from} → {to}");
+        }
+    }
+
+    #[test]
+    fn cross_family_type_change_is_breaking() {
+        let c = classify("CREATE TABLE t (a INT);", "CREATE TABLE t (a TEXT);");
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["type-changed"]);
+    }
+
+    #[test]
+    fn key_tightening_is_forward_relaxing_backward() {
+        let c = classify(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));",
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));",
+        );
+        assert_eq!(c.level, CompatLevel::Forward);
+        assert_eq!(rules(&c), vec!["key-tightened"]);
+        let c = classify(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));",
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));",
+        );
+        assert_eq!(c.level, CompatLevel::Backward);
+        assert_eq!(rules(&c), vec!["key-relaxed"]);
+    }
+
+    #[test]
+    fn rename_is_conservatively_breaking() {
+        // By-name matching reports a rename as eject + inject; either way
+        // the step must come out BREAKING.
+        let c = classify("CREATE TABLE t (old_name INT);", "CREATE TABLE t (new_name INT);");
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert!(rules(&c).contains(&"attr-ejected"), "{:?}", rules(&c));
+    }
+
+    #[test]
+    fn renamed_change_variant_is_breaking() {
+        // The rename-aware MatchPolicy emits the Renamed variant directly.
+        let new = parse_schema("CREATE TABLE t (b INT);", Dialect::Generic).unwrap();
+        let delta = SchemaDelta {
+            tables: vec![coevo_diff::TableDelta {
+                table: "t".into(),
+                fate: TableFate::Survived,
+                changes: vec![AttributeChange::Renamed {
+                    from: "a".into(),
+                    to: "b".into(),
+                    sql_type: SqlType::simple("INT"),
+                }],
+                attribute_count: 0,
+            }],
+        };
+        let c = classify_step(&new, &delta, &ConstraintDelta::default());
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["attr-renamed"]);
+    }
+
+    #[test]
+    fn fk_add_is_forward_remove_backward_index_full() {
+        let c = classify(
+            "CREATE TABLE p (id INT PRIMARY KEY); CREATE TABLE t (a INT);",
+            "CREATE TABLE p (id INT PRIMARY KEY);
+             CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES p (id));",
+        );
+        assert_eq!(c.level, CompatLevel::Forward);
+        assert_eq!(rules(&c), vec!["fk-added"]);
+        let c = classify(
+            "CREATE TABLE p (id INT PRIMARY KEY);
+             CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES p (id));",
+            "CREATE TABLE p (id INT PRIMARY KEY); CREATE TABLE t (a INT);",
+        );
+        assert_eq!(c.level, CompatLevel::Backward);
+        assert_eq!(rules(&c), vec!["fk-removed"]);
+    }
+
+    #[test]
+    fn mixed_directions_combine_to_breaking() {
+        // Backward-only (optional add) + forward-only (key tightened) is
+        // safe in neither direction.
+        let c = classify(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));",
+            "CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY (a, b));",
+        );
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert!(rules(&c).contains(&"attr-add-optional"));
+        assert!(rules(&c).contains(&"key-tightened"));
+    }
+
+    #[test]
+    fn every_rule_table_entry_has_a_producer() {
+        // The producers above cover the table; this pins the table itself.
+        let mut seen: Vec<&str> = RULE_TABLE.iter().map(|(r, _, _)| *r).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), RULE_TABLE.len(), "duplicate rule names");
+        for (rule, level, _) in RULE_TABLE {
+            assert_eq!(level_of(rule), *level);
+        }
+    }
+
+    #[test]
+    fn classification_serializes() {
+        let c = classify("CREATE TABLE t (a INT);", "CREATE TABLE t (a INT, b INT);");
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("attr-add-optional"), "{json}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The evidence layer: cross-check a rule-based classification against what
+//! the step *actually* breaks — stored queries (`coevo-query`) and source
+//! references (`coevo-impact`).
+//!
+//! The rules are deliberately conservative (a rename is BREAKING even if
+//! nothing ever selected the old spelling), so a BREAKING classification
+//! with *zero* evidence is flagged as a `false_alarm` rather than silently
+//! trusted. The reverse direction is the oracle's invariant: a step with a
+//! genuinely broken stored query must always classify BREAKING, because
+//! queries only break when read surface disappears, and every read-surface
+//! removal is a BREAKING rule.
+
+use crate::level::CompatLevel;
+use crate::rules::{classify_step, StepClassification};
+use coevo_ddl::Schema;
+use coevo_diff::{ConstraintDelta, SchemaDelta};
+use coevo_impact::{ImpactAnalyzer, ScanConfig};
+use coevo_query::{breaking_queries, extract_sql_strings, parse_query};
+use serde::Serialize;
+
+/// What a step's change set demonstrably hits in the project's own code.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CompatEvidence {
+    /// Stored queries valid before the step and broken after it.
+    pub broken_queries: Vec<String>,
+    /// Source references to breaking identifiers (from the impact scanner).
+    pub breaking_refs: usize,
+    /// Files containing at least one breaking reference.
+    pub files: usize,
+    /// Embedded SQL strings extracted and examined.
+    pub queries_scanned: usize,
+    /// Embedded SQL strings that failed to parse as queries. Malformed
+    /// stored queries *demote* to this counter — they never abort a run.
+    pub queries_demoted: usize,
+}
+
+impl CompatEvidence {
+    /// True when nothing in the sources corroborates a breaking call.
+    pub fn is_empty(&self) -> bool {
+        self.broken_queries.is_empty() && self.breaking_refs == 0
+    }
+}
+
+/// A step's final verdict: the rule classification, the source evidence
+/// (when sources were available), and whether a BREAKING call went
+/// uncorroborated.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CompatVerdict {
+    /// The rule-based classification.
+    pub classification: StepClassification,
+    /// Evidence gathered from the project sources; `None` when the caller
+    /// had no sources to scan (pure-DDL corpora).
+    pub evidence: Option<CompatEvidence>,
+    /// True when the rules said BREAKING but neither a stored query nor a
+    /// source reference corroborates it.
+    pub false_alarm: bool,
+}
+
+impl CompatVerdict {
+    /// Shorthand for the classified level.
+    pub fn level(&self) -> CompatLevel {
+        self.classification.level
+    }
+}
+
+/// Gather evidence for one step from `(path, text)` source pairs: extract
+/// embedded SQL, find queries newly broken by the step, and count breaking
+/// source references through the impact analyzer.
+pub fn gather_evidence(
+    old: &Schema,
+    delta: &SchemaDelta,
+    new: &Schema,
+    sources: &[(&str, &str)],
+) -> CompatEvidence {
+    let mut sqls: Vec<String> = Vec::new();
+    let mut demoted = 0usize;
+    for (_, text) in sources {
+        for embedded in extract_sql_strings(text) {
+            if parse_query(&embedded.sql).is_err() {
+                demoted += 1; // typed QueryError: skip, never abort
+            }
+            sqls.push(embedded.sql);
+        }
+    }
+    let sql_refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+    let broken = breaking_queries(old, new, &sql_refs);
+
+    let analyzer = ImpactAnalyzer::new(old, &ScanConfig::default());
+    let report = analyzer.impact_of(delta, sources);
+    let files = report.files.iter().filter(|f| f.breaking_references() > 0).count();
+
+    CompatEvidence {
+        broken_queries: broken.into_iter().map(|b| b.sql).collect(),
+        breaking_refs: report.total_breaking(),
+        files,
+        queries_scanned: sqls.len(),
+        queries_demoted: demoted,
+    }
+}
+
+/// Classify one step and cross-check it against the project sources.
+/// `sources` may be `None` (no code available) — the verdict then carries
+/// no evidence and `false_alarm` stays `false` (absence of sources is not
+/// absence of impact).
+pub fn verdict_for_step(
+    old: &Schema,
+    new: &Schema,
+    delta: &SchemaDelta,
+    constraints: &ConstraintDelta,
+    sources: Option<&[(&str, &str)]>,
+) -> CompatVerdict {
+    let classification = classify_step(new, delta, constraints);
+    let evidence = sources.map(|src| gather_evidence(old, delta, new, src));
+    let false_alarm = classification.level.is_breaking()
+        && evidence.as_ref().is_some_and(CompatEvidence::is_empty);
+    CompatVerdict { classification, evidence, false_alarm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coevo_ddl::{parse_schema, Dialect};
+    use coevo_diff::{diff_constraints, diff_schemas};
+
+    fn verdict(old_sql: &str, new_sql: &str, sources: &[(&str, &str)]) -> CompatVerdict {
+        let old = parse_schema(old_sql, Dialect::Generic).unwrap();
+        let new = parse_schema(new_sql, Dialect::Generic).unwrap();
+        let delta = diff_schemas(&old, &new);
+        let constraints = diff_constraints(&old, &new);
+        verdict_for_step(&old, &new, &delta, &constraints, Some(sources))
+    }
+
+    const OLD: &str = "CREATE TABLE orders (id INT, total_price INT, placed_at DATE);";
+    const NEW: &str = "CREATE TABLE orders (id INT, placed_at DATE);";
+
+    #[test]
+    fn broken_stored_query_corroborates_breaking() {
+        let src = r#"let q = "SELECT total_price FROM orders";"#;
+        let v = verdict(OLD, NEW, &[("app.rs", src)]);
+        assert_eq!(v.level(), CompatLevel::Breaking);
+        let ev = v.evidence.as_ref().unwrap();
+        assert_eq!(ev.broken_queries, vec!["SELECT total_price FROM orders".to_string()]);
+        assert!(ev.breaking_refs > 0);
+        assert!(!v.false_alarm);
+    }
+
+    #[test]
+    fn breaking_without_evidence_is_false_alarm() {
+        let src = r#"let q = "SELECT id FROM orders";"#;
+        let v = verdict(OLD, NEW, &[("app.rs", src)]);
+        assert_eq!(v.level(), CompatLevel::Breaking);
+        assert!(v.false_alarm, "{v:?}");
+        assert!(v.evidence.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_queries_demote_not_abort() {
+        let src = r#"
+            let bad = "SELECT FROM WHERE ((";
+            let good = "SELECT total_price FROM orders";
+        "#;
+        let v = verdict(OLD, NEW, &[("app.rs", src)]);
+        let ev = v.evidence.as_ref().unwrap();
+        assert!(ev.queries_demoted >= 1, "{ev:?}");
+        assert_eq!(ev.broken_queries.len(), 1);
+        assert!(ev.queries_scanned > ev.queries_demoted);
+    }
+
+    #[test]
+    fn no_sources_means_no_false_alarm_call() {
+        let old = parse_schema(OLD, Dialect::Generic).unwrap();
+        let new = parse_schema(NEW, Dialect::Generic).unwrap();
+        let delta = diff_schemas(&old, &new);
+        let constraints = diff_constraints(&old, &new);
+        let v = verdict_for_step(&old, &new, &delta, &constraints, None);
+        assert_eq!(v.level(), CompatLevel::Breaking);
+        assert!(v.evidence.is_none());
+        assert!(!v.false_alarm);
+    }
+
+    #[test]
+    fn benign_step_has_no_broken_queries() {
+        let src = r#"let q = "SELECT total_price FROM orders";"#;
+        let v = verdict(
+            OLD,
+            "CREATE TABLE orders (id INT, total_price INT, placed_at DATE, note TEXT);",
+            &[("app.rs", src)],
+        );
+        assert_eq!(v.level(), CompatLevel::Backward);
+        assert!(v.evidence.as_ref().unwrap().is_empty());
+        assert!(!v.false_alarm);
+    }
+}

@@ -396,6 +396,12 @@ impl StatsCache {
         self.fisher.insert(rows.to_vec(), p);
         p
     }
+
+    /// Public entry to the memoized Fisher r×2 test, for callers outside the
+    /// Section 7 pipeline (e.g. the compatibility FROZEN-vs-ACTIVE contrast).
+    pub fn fisher_rx2(&mut self, rows: &[(u64, u64)]) -> Option<f64> {
+        self.fisher_p(rows)
+    }
 }
 
 /// Compute the Section 7 statistical analysis.

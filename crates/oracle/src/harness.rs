@@ -97,6 +97,9 @@ pub struct CheckReport {
     pub oracle_runs: usize,
     /// Layer-3 invariant sweeps (one per measured project).
     pub invariant_checks: usize,
+    /// Evidence counters of the compat family: classified steps, BREAKING
+    /// steps, and uncorroborated (false-alarm) BREAKING calls.
+    pub compat: crate::compat_oracle::CompatStats,
     /// Violations found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -289,7 +292,8 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let mut report = CheckReport {
         projects: projects.len(),
         mutators: mutators.len(),
-        oracles: oracles.len() + 3, // + the three corpus-level differentials
+        // + the three corpus-level differentials + the compat family
+        oracles: oracles.len() + 3 + crate::compat_oracle::COMPAT_CHECKS,
         ..CheckReport::default()
     };
 
@@ -544,6 +548,31 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
                     break 'corpora;
                 }
             }
+        }
+    }
+
+    // The compat oracle family: ground-truth classification, query-evidence
+    // cross-checks, stability, and lattice semantics on planted projects
+    // with labeled breaking/benign steps. Stats (including the false-alarm
+    // rate) are reported even on a clean run.
+    {
+        let planted = (cfg.per_taxon * 2).max(4);
+        let steps = 10;
+        let (violations, stats) =
+            crate::compat_oracle::compat_sweep(step_seed(cfg.seed, 0, 500), planted, steps);
+        report.oracle_runs += planted * crate::compat_oracle::COMPAT_CHECKS;
+        report.compat = stats;
+        for (project, check, detail) in violations {
+            if report.violations.len() >= cfg.max_violations {
+                break;
+            }
+            report.violations.push(Violation {
+                project,
+                script: Vec::new(),
+                check: check.to_string(),
+                detail,
+                repro_path: None,
+            });
         }
     }
 

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compat_oracle;
 pub mod divergence;
 pub mod harness;
 pub mod invariants;
@@ -32,6 +33,7 @@ pub mod oracles;
 pub mod repro;
 pub mod shrink;
 
+pub use compat_oracle::{check_planted, compat_sweep, CompatStats, COMPAT_CHECKS};
 pub use divergence::{first_divergence, totals_divergence, Divergence};
 pub use harness::{run_check, CheckConfig, CheckReport, Violation};
 pub use invariants::check_measures;

@@ -37,5 +37,5 @@ pub mod validate;
 
 pub use ast::{ColumnRef, Query, SelectItem, TableRef};
 pub use extract::{extract_sql_strings, EmbeddedSql};
-pub use parser::parse_query;
+pub use parser::{parse_query, QueryError};
 pub use validate::{breaking_queries, validate, BrokenQuery, Issue, IssueKind};

@@ -769,4 +769,34 @@ mod tests {
         assert!(q.other_refs.contains(&ColumnRef::bare("shared_id")));
         assert_eq!(q.tables.len(), 2);
     }
+
+    /// Regression: the parser must answer every malformed input with a
+    /// typed [`QueryError`], never a panic — `breaking_queries` demotes
+    /// unparseable stored queries instead of aborting a whole scan on them.
+    #[test]
+    fn malformed_queries_error_without_panicking() {
+        let pathological = [
+            "",
+            "   ",
+            "SELECT FROM",
+            "SELECT * FROM",
+            "INSERT INTO",
+            "INSERT INTO t (",
+            "UPDATE",
+            "UPDATE SET a = 1",
+            "DELETE",
+            "DELETE FROM",
+            "SELECT ((((((((((((((((a FROM t",
+            "SELECT 'unterminated FROM t",
+            "SELECT a FROM t JOIN",
+            "TRUNCATE gibberish %%%",
+            "\u{0}\u{0}\u{0}",
+        ];
+        for sql in pathological {
+            let err = parse_query(sql).expect_err(&format!("{sql:?} must not parse"));
+            // The error is typed and printable, with a message to surface.
+            assert!(!err.message.is_empty(), "{sql:?} produced an empty error");
+            assert!(format!("{err}").contains("query parse error"), "{sql:?}: {err}");
+        }
+    }
 }

@@ -361,4 +361,16 @@ mod tests {
         assert_eq!(broken.len(), 1);
         assert_eq!(broken[0].issues[0].kind, IssueKind::UnknownTable);
     }
+
+    /// Regression: malformed stored queries are demoted (skipped), never
+    /// aborted on — the parseable queries around them still get checked.
+    #[test]
+    fn breaking_queries_demotes_malformed_queries() {
+        let old = schema("CREATE TABLE t (a INT, b INT);");
+        let new = schema("CREATE TABLE t (a INT);");
+        let queries = ["SELECT (((", "SELECT b FROM t", "", "INSERT INTO", "SELECT a FROM t"];
+        let broken = breaking_queries(&old, &new, &queries);
+        assert_eq!(broken.len(), 1, "{broken:?}");
+        assert_eq!(broken[0].sql, "SELECT b FROM t");
+    }
 }

@@ -1,0 +1,248 @@
+//! Rendering compatibility verdicts and profiles, as printed by
+//! `coevo compat`.
+//!
+//! Like [`crate::violations`], this module is deliberately engine-agnostic:
+//! it renders plain rows handed over by the CLI, so the report crate stays
+//! independent of the classifier that produced them.
+
+use crate::table::{pct, TextTable};
+
+/// One rule hit of a classified schema-change step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRuleRow {
+    /// The rule's stable name (e.g. `attr-ejected`).
+    pub rule: String,
+    /// The compatibility level the rule assigns.
+    pub level: String,
+    /// The table the change touched.
+    pub table: String,
+    /// The changed element (column, type transition, constraint).
+    pub subject: String,
+}
+
+/// Migration-impact evidence gathered for one step, when sources were
+/// scanned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvidenceSummary {
+    /// Stored queries the step breaks (valid before, invalid after).
+    pub broken_queries: Vec<String>,
+    /// Breaking identifier references found in the source tree.
+    pub breaking_refs: usize,
+    /// Source files carrying at least one reference.
+    pub files: usize,
+    /// Embedded queries scanned.
+    pub queries_scanned: usize,
+    /// Queries that failed to parse and were demoted, not aborted on.
+    pub queries_demoted: usize,
+}
+
+/// Render the single-step report of `coevo compat <OLD> <NEW>`: the folded
+/// level, the rule-hit table, and — when sources were scanned — the
+/// evidence block with the false-alarm verdict.
+pub fn render_step_report(
+    level: &str,
+    rows: &[StepRuleRow],
+    evidence: Option<(&EvidenceSummary, bool)>,
+) -> String {
+    let mut out = format!("compatibility: {level}\n");
+    if rows.is_empty() {
+        out.push_str("no schema changes detected\n");
+    } else {
+        let mut table = TextTable::new(["rule", "level", "table", "subject"]);
+        for r in rows {
+            table.row([
+                r.rule.as_str(),
+                r.level.as_str(),
+                r.table.as_str(),
+                r.subject.as_str(),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    if let Some((e, false_alarm)) = evidence {
+        out.push_str(&format!(
+            "evidence: {} breaking reference(s) in {} file(s), {} stored quer{} scanned ({} demoted as unparseable)\n",
+            e.breaking_refs,
+            e.files,
+            e.queries_scanned,
+            if e.queries_scanned == 1 { "y" } else { "ies" },
+            e.queries_demoted,
+        ));
+        for q in &e.broken_queries {
+            out.push_str(&format!("  breaks: {}\n", q.trim()));
+        }
+        if false_alarm {
+            out.push_str(
+                "verdict: BREAKING by rule, but no stored query or source reference \
+                 corroborates it (possible false alarm)\n",
+            );
+        }
+    }
+    out
+}
+
+/// One taxon's aggregated compatibility profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompatTaxonRow {
+    /// The taxon label (or `TOTAL` for the footer row).
+    pub taxon: String,
+    /// Evolution steps classified (births excluded).
+    pub steps: u64,
+    /// Steps at each level.
+    pub none: u64,
+    /// See [`CompatTaxonRow::none`].
+    pub full: u64,
+    /// See [`CompatTaxonRow::none`].
+    pub backward: u64,
+    /// See [`CompatTaxonRow::none`].
+    pub forward: u64,
+    /// See [`CompatTaxonRow::none`].
+    pub breaking: u64,
+    /// BREAKING over changed steps.
+    pub breaking_rate: f64,
+}
+
+/// The FROZEN-vs-ACTIVE breaking-rate contrast line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContrastRow {
+    /// (breaking, changed) on the frozen side.
+    pub frozen: (u64, u64),
+    /// (breaking, changed) on the active side.
+    pub active: (u64, u64),
+    /// Fisher exact p-value of the 2×2 contrast, when computable.
+    pub fisher_p: Option<f64>,
+}
+
+/// Render the per-taxon compatibility table of corpus-mode `coevo compat`,
+/// with the optional FROZEN-vs-ACTIVE contrast footer.
+pub fn render_compat_profiles(
+    rows: &[CompatTaxonRow],
+    contrast: Option<&ContrastRow>,
+) -> String {
+    let mut table = TextTable::new([
+        "taxon",
+        "steps",
+        "NONE",
+        "FULL",
+        "BACKWARD",
+        "FORWARD",
+        "BREAKING",
+        "breaking-rate",
+    ]);
+    for r in rows {
+        table.row([
+            r.taxon.clone(),
+            r.steps.to_string(),
+            r.none.to_string(),
+            r.full.to_string(),
+            r.backward.to_string(),
+            r.forward.to_string(),
+            r.breaking.to_string(),
+            pct(r.breaking_rate),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(c) = contrast {
+        let rate = |(b, n): (u64, u64)| if n == 0 { 0.0 } else { b as f64 / n as f64 };
+        out.push_str(&format!(
+            "FROZEN-side breaking-rate {} ({}/{}) vs ACTIVE-side {} ({}/{})",
+            pct(rate(c.frozen)),
+            c.frozen.0,
+            c.frozen.1,
+            pct(rate(c.active)),
+            c.active.0,
+            c.active.1,
+        ));
+        match c.fisher_p {
+            Some(p) => out.push_str(&format!(" — Fisher exact p = {p:.4}\n")),
+            None => out.push('\n'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(rule: &str, level: &str, subject: &str) -> StepRuleRow {
+        StepRuleRow {
+            rule: rule.into(),
+            level: level.into(),
+            table: "orders".into(),
+            subject: subject.into(),
+        }
+    }
+
+    #[test]
+    fn empty_step_renders_no_table() {
+        let text = render_step_report("NONE", &[], None);
+        assert!(text.contains("compatibility: NONE"), "{text}");
+        assert!(text.contains("no schema changes"), "{text}");
+    }
+
+    #[test]
+    fn rule_hits_and_evidence_render() {
+        let rows = vec![
+            hit("attr-ejected", "BREAKING", "total_price"),
+            hit("fk-added", "FORWARD", "fk"),
+        ];
+        let e = EvidenceSummary {
+            broken_queries: vec!["SELECT total_price FROM orders".into()],
+            breaking_refs: 3,
+            files: 2,
+            queries_scanned: 5,
+            queries_demoted: 1,
+        };
+        let text = render_step_report("BREAKING", &rows, Some((&e, false)));
+        assert!(text.contains("compatibility: BREAKING"), "{text}");
+        assert!(text.contains("attr-ejected"), "{text}");
+        assert!(text.contains("3 breaking reference(s) in 2 file(s)"), "{text}");
+        assert!(text.contains("5 stored queries scanned (1 demoted"), "{text}");
+        assert!(text.contains("breaks: SELECT total_price FROM orders"), "{text}");
+        assert!(!text.contains("false alarm"), "{text}");
+    }
+
+    #[test]
+    fn false_alarm_verdict_renders() {
+        let rows = vec![hit("type-narrowed", "BREAKING", "BIGINT -> INT")];
+        let e = EvidenceSummary { queries_scanned: 2, ..EvidenceSummary::default() };
+        let text = render_step_report("BREAKING", &rows, Some((&e, true)));
+        assert!(text.contains("possible false alarm"), "{text}");
+    }
+
+    #[test]
+    fn profile_table_with_contrast() {
+        let rows = vec![
+            CompatTaxonRow {
+                taxon: "FROZEN".into(),
+                steps: 4,
+                none: 1,
+                full: 1,
+                backward: 1,
+                forward: 0,
+                breaking: 1,
+                breaking_rate: 1.0 / 3.0,
+            },
+            CompatTaxonRow {
+                taxon: "ACTIVE".into(),
+                steps: 10,
+                none: 0,
+                full: 2,
+                backward: 3,
+                forward: 1,
+                breaking: 4,
+                breaking_rate: 0.4,
+            },
+        ];
+        let contrast = ContrastRow { frozen: (1, 3), active: (4, 10), fisher_p: Some(0.6154) };
+        let text = render_compat_profiles(&rows, Some(&contrast));
+        assert!(text.contains("breaking-rate"), "{text}");
+        assert!(text.contains("33%"), "{text}");
+        assert!(text.contains("FROZEN-side breaking-rate 33% (1/3)"), "{text}");
+        assert!(text.contains("Fisher exact p = 0.6154"), "{text}");
+        let no_p =
+            render_compat_profiles(&rows, Some(&ContrastRow { fisher_p: None, ..contrast }));
+        assert!(!no_p.contains("Fisher"), "{no_p}");
+    }
+}

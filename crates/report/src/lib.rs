@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod barchart;
+pub mod compat;
 pub mod csv;
 pub mod figures;
 pub mod linechart;

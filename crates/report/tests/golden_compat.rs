@@ -1,0 +1,115 @@
+//! Golden-file test for the `coevo compat` renderers: the exact bytes of
+//! both the single-diff step report and the corpus-mode profile table are
+//! part of the CLI contract (CI diffs two runs byte-for-byte), so
+//! formatting drift must be a deliberate, reviewed change to the
+//! checked-in golden files.
+//!
+//! To update after an intentional formatting change:
+//! `UPDATE_GOLDEN=1 cargo test -p coevo-report --test golden_compat`
+
+use coevo_report::compat::{
+    render_compat_profiles, render_step_report, CompatTaxonRow, ContrastRow, EvidenceSummary,
+    StepRuleRow,
+};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    if rendered != expected {
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at {}:{}", path.display(), i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            expected.lines().count(),
+            "line count differs from {}",
+            path.display()
+        );
+        panic!("rendered output differs from {} in trailing whitespace", path.display());
+    }
+}
+
+fn step_rows() -> Vec<StepRuleRow> {
+    vec![
+        StepRuleRow {
+            rule: "attr-ejected".into(),
+            level: "BREAKING".into(),
+            table: "invoices".into(),
+            subject: "total_price".into(),
+        },
+        StepRuleRow {
+            rule: "attr-add-optional".into(),
+            level: "BACKWARD".into(),
+            table: "invoices".into(),
+            subject: "created_stamp".into(),
+        },
+        StepRuleRow {
+            rule: "type-widened".into(),
+            level: "FULL".into(),
+            table: "orders".into(),
+            subject: "unit_count: INT -> BIGINT".into(),
+        },
+    ]
+}
+
+/// Store-less mode: the rule table alone, no evidence block.
+#[test]
+fn step_report_without_sources_matches_golden_file() {
+    let text = render_step_report("BREAKING", &step_rows(), None);
+    assert_matches_golden("compat_step.txt", &text);
+}
+
+/// Single-diff mode with a scanned source tree: the evidence block with a
+/// corroborating broken query, demoted-query count, and no false alarm.
+#[test]
+fn step_report_with_evidence_matches_golden_file() {
+    let evidence = EvidenceSummary {
+        broken_queries: vec!["SELECT total_price FROM invoices".into()],
+        breaking_refs: 3,
+        files: 2,
+        queries_scanned: 5,
+        queries_demoted: 1,
+    };
+    let text = render_step_report("BREAKING", &step_rows(), Some((&evidence, false)));
+    assert_matches_golden("compat_step_evidence.txt", &text);
+}
+
+/// Corpus mode: the per-taxon profile table with a TOTAL footer row and the
+/// FROZEN-vs-ACTIVE contrast line, Fisher p included.
+#[test]
+fn corpus_profiles_match_golden_file() {
+    let row = |taxon: &str, steps, none, full, backward, forward, breaking| CompatTaxonRow {
+        taxon: taxon.into(),
+        steps,
+        none,
+        full,
+        backward,
+        forward,
+        breaking,
+        breaking_rate: if steps == none {
+            0.0
+        } else {
+            breaking as f64 / (steps - none) as f64
+        },
+    };
+    let rows = vec![
+        row("FROZEN", 4, 2, 1, 1, 0, 0),
+        row("MODERATE", 12, 1, 2, 5, 1, 3),
+        row("ACTIVE", 20, 0, 3, 8, 2, 7),
+        row("TOTAL", 36, 3, 6, 14, 3, 10),
+    ];
+    let contrast = ContrastRow { frozen: (0, 2), active: (10, 31), fisher_p: Some(0.3182) };
+    let text = render_compat_profiles(&rows, Some(&contrast));
+    assert_matches_golden("compat_profiles.txt", &text);
+}

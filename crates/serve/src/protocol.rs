@@ -13,6 +13,7 @@
 //! | `project`  | `project`                               | `measures` or `pending`         |
 //! | `summary`  | —                                       | `projects`, `pending`, `report` |
 //! | `taxa`     | —                                       | `taxa`                          |
+//! | `compat`   | `project`, `ddl?`                       | `compat` (level, rules, steps)  |
 //! | `snapshot` | —                                       | `written`                       |
 //! | `shutdown` | —                                       | `ok` (then the daemon exits)    |
 
@@ -38,12 +39,22 @@ pub struct Request {
     /// The events to ingest.
     #[serde(default)]
     pub events: Option<Vec<WireEvent>>,
+    /// Candidate DDL text for `compat` ("is this schema safe to ship?").
+    #[serde(default)]
+    pub ddl: Option<String>,
 }
 
 impl Request {
     /// A bare command with no fields.
     pub fn bare(cmd: &str) -> Self {
-        Self { cmd: cmd.to_string(), project: None, dialect: None, taxon: None, events: None }
+        Self {
+            cmd: cmd.to_string(),
+            project: None,
+            dialect: None,
+            taxon: None,
+            events: None,
+            ddl: None,
+        }
     }
 }
 
@@ -102,6 +113,22 @@ impl WireEvent {
     }
 }
 
+/// The `compat` answer: either the classification of one candidate step
+/// (project head → submitted DDL) or the compatibility profile of the
+/// project's warm history when no DDL is submitted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompatAnswer {
+    /// The combined compatibility level (`BACKWARD`, `FORWARD`, `FULL`,
+    /// `BREAKING`, `NONE`). In profile mode: the fold over every step.
+    pub level: String,
+    /// Distinct classification rules that fired, first-hit order.
+    pub rules: Vec<String>,
+    /// Evolution steps profiled (0 in candidate-DDL mode).
+    pub steps: u64,
+    /// Steps classified BREAKING (candidate mode: 1 or 0).
+    pub breaking_steps: u64,
+}
+
 /// One taxon's project count in the `taxa` answer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaxonCount {
@@ -141,6 +168,9 @@ pub struct Response {
     /// Snapshots written by `snapshot`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub written: Option<u64>,
+    /// The compatibility answer of `compat`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub compat: Option<CompatAnswer>,
 }
 
 impl Response {
@@ -156,6 +186,7 @@ impl Response {
             report: None,
             taxa: None,
             written: None,
+            compat: None,
         }
     }
 

@@ -200,6 +200,7 @@ mod tests {
             project: Some("net/socket".into()),
             dialect: Some("mysql".into()),
             taxon: None,
+            ddl: None,
             events: Some(vec![
                 WireEvent::commit("2020-01-05 00:00:00 +0000", 3),
                 WireEvent::ddl("2020-01-10 00:00:00 +0000", "CREATE TABLE t (a INT);"),
@@ -251,6 +252,7 @@ mod tests {
             project: Some("warm/restart".into()),
             dialect: None,
             taxon: None,
+            ddl: None,
             events: Some(vec![
                 WireEvent::commit("2021-03-01 00:00:00 +0000", 4),
                 WireEvent::ddl("2021-03-02 00:00:00 +0000", "CREATE TABLE w (a INT);"),

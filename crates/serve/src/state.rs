@@ -5,9 +5,11 @@
 //! layer serializes access behind a mutex — so every command is unit
 //! testable without a socket.
 
-use crate::protocol::{Request, Response, TaxonCount};
+use crate::protocol::{CompatAnswer, Request, Response, TaxonCount};
+use coevo_compat::{classify_step, CompatLevel};
 use coevo_ddl::fingerprint::content_hash;
 use coevo_ddl::Dialect;
+use coevo_diff::{diff_constraints, diff_schemas};
 use coevo_engine::{IncrementalStudy, ProjectEvent, ProjectSnapshot};
 use coevo_report::{render_all_figures, research_question_answers};
 use coevo_store::{InputDigest, Lookup, ResultStore, StoreError};
@@ -114,6 +116,7 @@ impl ServeState {
             "project" => self.project(req),
             "summary" => self.summary(),
             "taxa" => self.taxa(),
+            "compat" => self.compat(req),
             "snapshot" => self.snapshot_now(),
             "shutdown" => Response::ok(),
             other => Response::err(format!("unknown command {other:?}")),
@@ -237,6 +240,73 @@ impl ServeState {
         Response { taxa: Some(taxa), ..Response::ok() }
     }
 
+    /// Answer `compat` from warm state. With a `ddl` field: parse the
+    /// candidate with the project's dialect, diff it against the project's
+    /// latest warm schema, and classify that one step ("is this DDL safe to
+    /// ship?"). Without `ddl`: the compatibility profile of the project's
+    /// whole warm history (evolution steps only — birth excluded), with the
+    /// level folded over every step.
+    fn compat(&mut self, req: &Request) -> Response {
+        let Some(name) = req.project.as_deref() else {
+            return Response::err("compat requires a project");
+        };
+        let Some(state) = self.study.project(name) else {
+            return Response::err(format!("unknown project {name:?}"));
+        };
+        let versions = state.versions();
+        let Some(head) = versions.last() else {
+            return Response::err(format!("project {name:?} has no DDL versions yet"));
+        };
+        let answer = match req.ddl.as_deref() {
+            Some(ddl) => {
+                let candidate = match coevo_ddl::parse_schema(ddl, state.dialect()) {
+                    Ok(s) => s,
+                    Err(e) => return Response::err(format!("candidate DDL: {e}")),
+                };
+                let old = head.schema.as_ref();
+                let delta = diff_schemas(old, &candidate);
+                let constraints = diff_constraints(old, &candidate);
+                let class = classify_step(&candidate, &delta, &constraints);
+                CompatAnswer {
+                    level: class.level.to_string(),
+                    rules: class.rule_names().iter().map(|r| r.to_string()).collect(),
+                    steps: 0,
+                    breaking_steps: if class.level.is_breaking() { 1 } else { 0 },
+                }
+            }
+            None => {
+                let deltas = state.deltas();
+                let mut level = CompatLevel::None;
+                let mut rules: Vec<String> = Vec::new();
+                let mut steps = 0u64;
+                let mut breaking = 0u64;
+                for i in 1..versions.len() {
+                    let old = versions[i - 1].schema.as_ref();
+                    let new = versions[i].schema.as_ref();
+                    let constraints = diff_constraints(old, new);
+                    let class = classify_step(new, &deltas[i].delta, &constraints);
+                    steps += 1;
+                    if class.level.is_breaking() {
+                        breaking += 1;
+                    }
+                    level = level.combine(class.level);
+                    for r in class.rule_names() {
+                        if !rules.iter().any(|x| x == r) {
+                            rules.push(r.to_string());
+                        }
+                    }
+                }
+                CompatAnswer {
+                    level: level.to_string(),
+                    rules,
+                    steps,
+                    breaking_steps: breaking,
+                }
+            }
+        };
+        Response { compat: Some(answer), ..Response::ok() }
+    }
+
     /// Snapshot one project now if enough events accumulated since its last
     /// snapshot. Persistence failures never fail the ingest: the events are
     /// already applied in memory, and the next snapshot retries.
@@ -294,6 +364,7 @@ mod tests {
             project: Some(project.into()),
             dialect: None,
             taxon: None,
+            ddl: None,
             events: Some(events),
         }
     }
@@ -308,6 +379,84 @@ mod tests {
             ],
         ));
         assert!(resp.ok, "{:?}", resp.error);
+    }
+
+    #[test]
+    fn compat_candidate_ddl_is_classified_against_warm_head() {
+        let mut state = ServeState::open(TaxonomyConfig::default(), None).unwrap();
+        complete_project(&mut state, "a/b");
+        // Dropping column `a` is a read-surface removal: BREAKING.
+        let resp = state.handle(&Request {
+            project: Some("a/b".into()),
+            ddl: Some("CREATE TABLE t (b INT);".into()),
+            ..Request::bare("compat")
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        let answer = resp.compat.expect("compat answer");
+        assert_eq!(answer.level, "BREAKING");
+        assert!(answer.rules.iter().any(|r| r == "attr-ejected"), "{:?}", answer.rules);
+        assert_eq!(answer.breaking_steps, 1);
+
+        // Adding a nullable column is BACKWARD.
+        let resp = state.handle(&Request {
+            project: Some("a/b".into()),
+            ddl: Some("CREATE TABLE t (a INT, b INT);".into()),
+            ..Request::bare("compat")
+        });
+        let answer = resp.compat.expect("compat answer");
+        assert_eq!(answer.level, "BACKWARD");
+        assert_eq!(answer.breaking_steps, 0);
+    }
+
+    #[test]
+    fn compat_without_ddl_profiles_the_warm_history() {
+        let mut state = ServeState::open(TaxonomyConfig::default(), None).unwrap();
+        let resp = state.handle(&ingest_request(
+            "a/b",
+            vec![
+                WireEvent::commit("2020-01-05 00:00:00 +0000", 3),
+                WireEvent::ddl("2020-01-10 00:00:00 +0000", "CREATE TABLE t (a INT);"),
+                WireEvent::ddl(
+                    "2020-02-10 00:00:00 +0000",
+                    "CREATE TABLE t (a INT, b VARCHAR(10));",
+                ),
+                WireEvent::ddl("2020-03-10 00:00:00 +0000", "CREATE TABLE t (b VARCHAR(10));"),
+                WireEvent::commit("2020-03-15 00:00:00 +0000", 2),
+            ],
+        ));
+        assert!(resp.ok, "{:?}", resp.error);
+        let resp =
+            state.handle(&Request { project: Some("a/b".into()), ..Request::bare("compat") });
+        assert!(resp.ok, "{:?}", resp.error);
+        let answer = resp.compat.expect("compat answer");
+        // One BACKWARD add + one BREAKING eject folds to BREAKING.
+        assert_eq!(answer.level, "BREAKING");
+        assert_eq!(answer.steps, 2);
+        assert_eq!(answer.breaking_steps, 1);
+        assert!(answer.rules.iter().any(|r| r == "attr-add-optional"));
+        assert!(answer.rules.iter().any(|r| r == "attr-ejected"));
+    }
+
+    #[test]
+    fn compat_error_paths() {
+        let mut state = ServeState::open(TaxonomyConfig::default(), None).unwrap();
+        let resp = state.handle(&Request::bare("compat"));
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("requires a project"));
+
+        let resp = state
+            .handle(&Request { project: Some("no/such".into()), ..Request::bare("compat") });
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("unknown project"));
+
+        complete_project(&mut state, "a/b");
+        let resp = state.handle(&Request {
+            project: Some("a/b".into()),
+            ddl: Some("CREATE TABLE (((".into()),
+            ..Request::bare("compat")
+        });
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("candidate DDL"));
     }
 
     #[test]

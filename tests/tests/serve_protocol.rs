@@ -109,6 +109,55 @@ fn served_measures_match_the_batch_pipeline() {
 }
 
 #[test]
+fn compat_answers_from_warm_state_over_the_wire() {
+    let (addr, handle) = spawn(None);
+    let mut client = RawClient::connect(addr);
+    let ingest = concat!(
+        r#"{"cmd":"ingest","project":"pay/ledger","dialect":"mysql","events":["#,
+        r#"{"kind":"commit","date":"2019-06-03 10:00:00 +0000","files":2},"#,
+        r#"{"kind":"ddl","date":"2019-06-04 09:00:00 +0000","ddl":"CREATE TABLE r (id INT, label VARCHAR(9));"},"#,
+        r#"{"kind":"ddl","date":"2019-07-04 09:00:00 +0000","ddl":"CREATE TABLE r (id INT, label VARCHAR(9), note TEXT);"},"#,
+        r#"{"kind":"commit","date":"2019-07-11 10:00:00 +0000","files":1}]}"#
+    );
+    let resp = client.send(ingest);
+    assert!(resp.ok, "{:?}", resp.error);
+
+    // "Is this DDL safe to ship?" — dropping `label` is BREAKING.
+    let resp = client.send(
+        r#"{"cmd":"compat","project":"pay/ledger","ddl":"CREATE TABLE r (id INT, note TEXT);"}"#,
+    );
+    assert!(resp.ok, "{:?}", resp.error);
+    let answer = resp.compat.expect("compat answer");
+    assert_eq!(answer.level, "BREAKING");
+    assert!(answer.rules.iter().any(|r| r == "attr-ejected"), "{:?}", answer.rules);
+    assert_eq!(answer.breaking_steps, 1);
+
+    // A nullable add against the same warm head is BACKWARD.
+    let resp = client.send(
+        r#"{"cmd":"compat","project":"pay/ledger","ddl":"CREATE TABLE r (id INT, label VARCHAR(9), note TEXT, extra INT);"}"#,
+    );
+    let answer = resp.compat.expect("compat answer");
+    assert_eq!(answer.level, "BACKWARD");
+    assert_eq!(answer.breaking_steps, 0);
+
+    // Without a candidate the daemon profiles the warm history: the one
+    // evolution step added a nullable column.
+    let resp = client.send(r#"{"cmd":"compat","project":"pay/ledger"}"#);
+    let answer = resp.compat.expect("compat answer");
+    assert_eq!(answer.level, "BACKWARD");
+    assert_eq!(answer.steps, 1);
+    assert_eq!(answer.breaking_steps, 0);
+    assert!(answer.rules.iter().any(|r| r == "attr-add-optional"));
+
+    // Errors answer on the same connection, not hangups.
+    assert!(!client.send(r#"{"cmd":"compat"}"#).ok);
+    assert!(!client.send(r#"{"cmd":"compat","project":"never/seen"}"#).ok);
+
+    assert!(client.send(r#"{"cmd":"shutdown"}"#).ok);
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn daemon_restart_resumes_from_snapshots() {
     let dir = std::env::temp_dir().join(format!(
         "coevo_serve_proto_{}_{:?}",
