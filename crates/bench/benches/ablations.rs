@@ -25,12 +25,13 @@ fn ablation_diff_matching(c: &mut Criterion) {
     )
     .unwrap();
     let by_name = diff_schemas_with(&old, &new, MatchPolicy::ByName);
-    let rename = diff_schemas_with(&old, &new, MatchPolicy::RenameDetection);
+    let rename = diff_schemas_with(&old, &new, MatchPolicy::rename_detection());
     println!(
-        "\n[ablation_diff_matching] structural changes: by-name={}  rename-aware={} (activity {} both ways)",
+        "\n[ablation_diff_matching] structural changes: by-name={}  rename-aware={} (activity {} vs {})",
         by_name.tables.iter().map(|t| t.changes.len()).sum::<usize>(),
         rename.tables.iter().map(|t| t.changes.len()).sum::<usize>(),
         by_name.total_activity(),
+        rename.total_activity(),
     );
     c.bench_function("ablation_diff_matching/by_name", |b| {
         b.iter(|| {
@@ -42,7 +43,7 @@ fn ablation_diff_matching(c: &mut Criterion) {
             black_box(diff_schemas_with(
                 black_box(&old),
                 black_box(&new),
-                MatchPolicy::RenameDetection,
+                MatchPolicy::rename_detection(),
             ))
         })
     });

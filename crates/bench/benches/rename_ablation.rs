@@ -1,0 +1,123 @@
+//! Ablation of the scored rename matcher: diff the same planted evolution
+//! steps under `MatchPolicy::ByName` (the paper's accounting) and
+//! `MatchPolicy::RenameDetection`, and measure what the matcher costs and
+//! what it reclassifies. Asserted against a conservative throughput floor
+//! (≥1 000 diffs/s on optimized builds) in test mode *and* bench mode.
+//!
+//! Bench mode (`cargo bench -- --bench`) runs a larger corpus and writes
+//! the measured numbers to `BENCH_9.json` at the repo root (the `BENCH_5`…
+//! `BENCH_8` convention) so future PRs can diff against them.
+
+use coevo_corpus::plant_rename_project;
+use coevo_ddl::{parse_schema, Schema};
+use coevo_diff::{diff_schemas_with, MatchPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 0x5EED_2019;
+/// Test-mode scale: enough steps to dominate fixed costs, fast in CI.
+const TEST_PROJECTS: usize = 30;
+/// Bench-mode scale.
+const BENCH_PROJECTS: usize = 300;
+const STEPS_PER_PROJECT: usize = 12;
+
+/// Parse every planted version once, so the timed region is diffing alone.
+fn prepare_steps(projects: usize) -> Vec<(Schema, Schema)> {
+    let mut steps = Vec::new();
+    for i in 0..projects {
+        let planted = plant_rename_project(SEED.wrapping_add(i as u64), STEPS_PER_PROJECT);
+        let schemas: Vec<Schema> = planted
+            .ddl_versions
+            .iter()
+            .map(|(_, sql)| parse_schema(sql, planted.dialect).expect("planted DDL parses"))
+            .collect();
+        for w in schemas.windows(2) {
+            steps.push((w[0].clone(), w[1].clone()));
+        }
+    }
+    steps
+}
+
+/// Diff every step under `policy`; returns (elapsed seconds, Renamed count,
+/// eject+inject count) — the matched and unmatched column-pairing outcomes.
+fn run_policy(steps: &[(Schema, Schema)], policy: MatchPolicy) -> (f64, u64, u64) {
+    let t = Instant::now();
+    let (mut matched, mut unmatched) = (0u64, 0u64);
+    for (old, new) in steps {
+        let delta = diff_schemas_with(black_box(old), black_box(new), policy);
+        let b = delta.breakdown();
+        matched += b.attrs_renamed;
+        unmatched += b.attrs_ejected + b.attrs_injected;
+    }
+    (t.elapsed().as_secs_f64(), matched, unmatched)
+}
+
+fn write_bench_json(steps: usize, by_name: (f64, u64, u64), aware: (f64, u64, u64)) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    let json = format!(
+        "{{\n  \"rename_ablation/steps\": {steps},\n  \
+         \"rename_ablation/by_name_diffs_per_sec\": {:.0},\n  \
+         \"rename_ablation/aware_diffs_per_sec\": {:.0},\n  \
+         \"rename_ablation/matched_renames\": {},\n  \
+         \"rename_ablation/unmatched_eject_inject\": {},\n  \
+         \"rename_ablation/by_name_eject_inject\": {}\n}}\n",
+        steps as f64 / by_name.0,
+        steps as f64 / aware.0,
+        aware.1,
+        aware.2,
+        by_name.2,
+    );
+    std::fs::write(path, json).expect("write BENCH_9.json");
+    println!("[rename_ablation] wrote {path}");
+}
+
+fn rename_ablation_bench(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let projects = if bench_mode { BENCH_PROJECTS } else { TEST_PROJECTS };
+    let steps = prepare_steps(projects);
+    assert_eq!(steps.len(), projects * STEPS_PER_PROJECT);
+
+    let by_name = run_policy(&steps, MatchPolicy::ByName);
+    let aware = run_policy(&steps, MatchPolicy::rename_detection());
+    let rate = steps.len() as f64 / aware.0;
+    println!(
+        "[rename_ablation] {} steps: by-name {:.0} diffs/s ({} eject+inject), \
+         rename-aware {rate:.0} diffs/s ({} matched, {} unmatched)",
+        steps.len(),
+        steps.len() as f64 / by_name.0,
+        by_name.2,
+        aware.1,
+        aware.2,
+    );
+    // By-name never matches; the scored matcher must find the planted
+    // renames and only ever shrinks the eject+inject population.
+    assert_eq!(by_name.1, 0, "ByName must emit no Renamed change");
+    assert!(aware.1 > 0, "planted corpora always contain renames");
+    assert!(aware.2 <= by_name.2, "matching can only reduce eject+inject");
+    // Throughput floor: deliberately conservative (CI machines vary), and
+    // only meaningful on optimized builds.
+    if !cfg!(debug_assertions) {
+        assert!(
+            rate >= 1_000.0,
+            "rename-aware diff throughput {rate:.0} diffs/s below the 1k/s floor"
+        );
+    }
+
+    if bench_mode {
+        write_bench_json(steps.len(), by_name, aware);
+    }
+
+    let mut group = c.benchmark_group("rename_ablation");
+    group.sample_size(10);
+    group.bench_function("by_name", |b| {
+        b.iter(|| black_box(run_policy(&steps, MatchPolicy::ByName)))
+    });
+    group.bench_function("rename_aware", |b| {
+        b.iter(|| black_box(run_policy(&steps, MatchPolicy::rename_detection())))
+    });
+    group.finish();
+}
+
+criterion_group!(rename, rename_ablation_bench);
+criterion_main!(rename);

@@ -10,6 +10,7 @@ coevo — joint source and schema evolution study (EDBT 2023 reproduction)
 USAGE:
     coevo study [--seed N] [--csv DIR] [--from DIR] [--shards DIR]
                 [--max-resident N] [--workers N] [--profile] [--store DIR]
+                [--renames [--rename-threshold T]]
                                              run the study (generated corpus,
                                              an on-disk one via --from, or a
                                              sharded one via --shards);
@@ -17,7 +18,11 @@ USAGE:
                                              batches at O(shard) peak memory;
                                              --profile prints per-stage timing;
                                              --store serves unchanged projects
-                                             from a result store (warm restart)
+                                             from a result store (warm restart);
+                                             --renames diffs with the scored
+                                             column matcher (Renamed category,
+                                             per-taxon rename rates) at the
+                                             given confidence threshold
     coevo corpus gen --projects N --out DIR [--shard-size K] [--seed N]
                                              write a sharded corpus (manifest +
                                              fixed-size shard files) scaled to
@@ -90,6 +95,10 @@ pub enum Command {
         profile: bool,
         /// Root directory of the content-addressed result store.
         store: Option<PathBuf>,
+        /// Diff with rename detection (the scored column matcher).
+        renames: bool,
+        /// Confidence threshold override for `--renames`.
+        rename_threshold: Option<f64>,
     },
     /// `coevo corpus`: generate and inspect sharded corpora.
     Corpus {
@@ -262,10 +271,20 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
             let (mut flags, pos) = split_flags(rest)?;
             expect_no_positionals(&pos)?;
             let profile = take_bool_flag(&mut flags, "profile");
+            let renames = take_bool_flag(&mut flags, "renames");
             let from_dir = flag_value(&flags, "from").map(PathBuf::from);
             let shards_dir = flag_value(&flags, "shards").map(PathBuf::from);
             if from_dir.is_some() && shards_dir.is_some() {
                 return Err("study takes at most one of --from / --shards".to_string());
+            }
+            let rename_threshold = flag_f64(&flags, "rename-threshold")?;
+            if rename_threshold.is_some() && !renames {
+                return Err("--rename-threshold requires --renames".to_string());
+            }
+            if let Some(t) = rename_threshold {
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(format!("--rename-threshold must be in [0, 1], got {t}"));
+                }
             }
             Ok(Command::Study {
                 seed: flag_u64(&flags, "seed")?.unwrap_or(DEFAULT_SEED),
@@ -276,6 +295,8 @@ pub fn parse_args(args: &[String]) -> ParsedArgs {
                 workers: flag_u64(&flags, "workers")?.map(|v| v as usize),
                 profile,
                 store: flag_value(&flags, "store").map(PathBuf::from),
+                renames,
+                rename_threshold,
             })
         }
         "corpus" => {
@@ -459,7 +480,7 @@ fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags take the next token
             // unless it is itself a flag.
-            let is_bool = matches!(name, "smo" | "profile" | "quick" | "full");
+            let is_bool = matches!(name, "smo" | "profile" | "quick" | "full" | "renames");
             let next_is_value =
                 i + 1 < args.len() && !args[i + 1].starts_with("--") && !is_bool;
             if next_is_value {
@@ -486,6 +507,17 @@ fn flag_u64(flags: &[(String, Option<String>)], name: &str) -> Result<Option<u64
         None => Ok(None),
         Some((_, Some(v))) => v
             .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some((_, None)) => Err(format!("--{name} expects a value")),
+    }
+}
+
+fn flag_f64(flags: &[(String, Option<String>)], name: &str) -> Result<Option<f64>, String> {
+    match flags.iter().find(|(n, _)| n == name) {
+        None => Ok(None),
+        Some((_, Some(v))) => v
+            .parse::<f64>()
             .map(Some)
             .map_err(|_| format!("--{name} expects a number, got {v:?}")),
         Some((_, None)) => Err(format!("--{name} expects a value")),
@@ -557,6 +589,8 @@ mod tests {
                 workers: None,
                 profile: false,
                 store: None,
+                renames: false,
+                rename_threshold: None,
             }
         );
     }
@@ -574,6 +608,8 @@ mod tests {
                 workers: None,
                 profile: false,
                 store: None,
+                renames: false,
+                rename_threshold: None,
             }
         );
     }
@@ -593,6 +629,8 @@ mod tests {
                 workers: Some(4),
                 profile: true,
                 store: None,
+                renames: false,
+                rename_threshold: None,
             }
         );
         assert_eq!(
@@ -606,6 +644,8 @@ mod tests {
                 workers: Some(2),
                 profile: true,
                 store: None,
+                renames: false,
+                rename_threshold: None,
             }
         );
         assert!(parse(&["study", "--workers", "many"]).is_err());
@@ -681,6 +721,32 @@ mod tests {
         };
         assert_eq!(store, Some(PathBuf::from("cache")));
         assert!(profile);
+    }
+
+    #[test]
+    fn study_rename_flags() {
+        // --renames is boolean: it must not swallow the next flag's token.
+        let Command::Study { renames, rename_threshold, seed, .. } =
+            parse(&["study", "--renames", "--seed", "7"]).unwrap()
+        else {
+            panic!("expected study");
+        };
+        assert!(renames);
+        assert_eq!(rename_threshold, None);
+        assert_eq!(seed, 7);
+
+        let Command::Study { renames, rename_threshold, .. } =
+            parse(&["study", "--renames", "--rename-threshold", "0.75"]).unwrap()
+        else {
+            panic!("expected study");
+        };
+        assert!(renames);
+        assert_eq!(rename_threshold, Some(0.75));
+
+        // A threshold needs the flag, must be numeric, and must be in [0, 1].
+        assert!(parse(&["study", "--rename-threshold", "0.7"]).is_err());
+        assert!(parse(&["study", "--renames", "--rename-threshold", "hot"]).is_err());
+        assert!(parse(&["study", "--renames", "--rename-threshold", "1.5"]).is_err());
     }
 
     #[test]

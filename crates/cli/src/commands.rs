@@ -5,7 +5,7 @@ use coevo_corpus::{case_study_project, generate_corpus, CorpusSpec};
 use coevo_ddl::Dialect;
 use coevo_diff::{
     change_localization, delta_to_smos, diff_constraints, diff_schemas, net_growth,
-    schema_size_series, SchemaHistory,
+    schema_size_series, MatchPolicy, SchemaHistory,
 };
 use coevo_engine::{Source, StudyConfig, StudyRunner};
 use coevo_oracle::CheckConfig;
@@ -29,7 +29,9 @@ fn io_err<E: std::fmt::Display>(e: E) -> String {
 /// reported as warnings and the study proceeds on the survivors. With
 /// `max_resident` set the engine streams shard-sized batches, holding at
 /// most that many projects in memory; the output is byte-identical to the
-/// eager run.
+/// eager run. With `renames` the diff stage pairs ejected/injected columns
+/// through the scored matcher (at `rename_threshold` when given) and the
+/// per-taxon rename profile is appended to the report.
 #[allow(clippy::too_many_arguments)]
 pub fn study(
     seed: u64,
@@ -40,6 +42,8 @@ pub fn study(
     workers: Option<usize>,
     profile: bool,
     store: Option<&Path>,
+    renames: bool,
+    rename_threshold: Option<f64>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let source = match (from_dir, shards_dir) {
@@ -47,7 +51,12 @@ pub fn study(
         (None, Some(dir)) => Source::Sharded(dir.to_path_buf()),
         (None, None) => Source::GeneratedCorpus(seed),
     };
-    let mut runner = StudyRunner::new(StudyConfig::default());
+    let policy = match (renames, rename_threshold) {
+        (false, _) => MatchPolicy::ByName,
+        (true, None) => MatchPolicy::rename_detection(),
+        (true, Some(t)) => MatchPolicy::rename_detection_with(t),
+    };
+    let mut runner = StudyRunner::new(StudyConfig::default()).with_match_policy(policy);
     if let Some(n) = workers {
         runner = runner.with_workers(n);
     }
@@ -74,6 +83,11 @@ pub fn study(
     let results = &results;
     writeln!(out, "{}", render_all_figures(results)).map_err(io_err)?;
     writeln!(out, "{}", coevo_report::research_question_answers(results)).map_err(io_err)?;
+    if renames {
+        let threshold = policy.rename_threshold().unwrap_or_default();
+        writeln!(out, "per-taxon rename profile (threshold {threshold}):").map_err(io_err)?;
+        rename_profiles(seed, from_dir, shards_dir, policy, out)?;
+    }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(dir).map_err(io_err)?;
         std::fs::write(dir.join("measures.csv"), measures_csv(results)).map_err(io_err)?;
@@ -84,6 +98,147 @@ pub fn study(
     }
     if profile {
         writeln!(out, "{}", metrics.render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Walk every project of the study source a second time under the
+/// rename-aware policy and print the per-taxon rename profile: how many
+/// evolution steps carry at least one detected rename, and what share of
+/// activity units the matcher reclassified away from eject+inject pairs.
+/// Order-independent counters, so the table is identical for eager and
+/// streamed runs over the same corpus.
+fn rename_profiles(
+    seed: u64,
+    from_dir: Option<&Path>,
+    shards_dir: Option<&Path>,
+    policy: MatchPolicy,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Counts {
+        steps: u64,
+        steps_with_renames: u64,
+        renames: u64,
+        activity: u64,
+    }
+    let mut per_taxon: BTreeMap<coevo_taxa::Taxon, Counts> = BTreeMap::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut profile_one = |name: &str,
+                           taxon: Option<coevo_taxa::Taxon>,
+                           versions: &[(coevo_heartbeat::DateTime, String)],
+                           dialect: Option<Dialect>| {
+        let Some(dialect) = dialect else {
+            skipped.push(format!("{name}: unknown dialect"));
+            return;
+        };
+        let Some(taxon) = taxon else {
+            skipped.push(format!("{name}: no taxon label"));
+            return;
+        };
+        let history = match SchemaHistory::from_ddl_texts_with(
+            versions.iter().map(|(d, s)| (*d, s.as_str())),
+            dialect,
+            policy,
+        ) {
+            Ok(Some(h)) => h,
+            Ok(None) => {
+                skipped.push(format!("{name}: no DDL versions"));
+                return;
+            }
+            Err(e) => {
+                skipped.push(format!("{name}: {e}"));
+                return;
+            }
+        };
+        let c = per_taxon.entry(taxon).or_default();
+        // Skip the birth delta: with no old columns there is nothing to
+        // rename, and compat profiles exclude births the same way.
+        for d in history.deltas().iter().skip(1) {
+            c.steps += 1;
+            let renamed = d.breakdown.attrs_renamed;
+            if renamed > 0 {
+                c.steps_with_renames += 1;
+            }
+            c.renames += renamed;
+            c.activity += d.breakdown.total();
+        }
+    };
+
+    match (from_dir, shards_dir) {
+        (Some(dir), _) => {
+            let mut dirs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                .map_err(io_err)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir() && p.join("manifest.json").exists())
+                .collect();
+            dirs.sort();
+            for pdir in dirs {
+                let manifest = serde_json_read(&pdir)?;
+                let dialect = Dialect::from_name(&manifest.dialect);
+                let mut versions = Vec::new();
+                for v in &manifest.versions {
+                    let date = coevo_heartbeat::DateTime::parse(&v.date).map_err(io_err)?;
+                    let text = std::fs::read_to_string(pdir.join("versions").join(&v.file))
+                        .map_err(io_err)?;
+                    versions.push((date, text));
+                }
+                let taxon = manifest.taxon.as_deref().and_then(coevo_taxa::Taxon::parse);
+                profile_one(&manifest.name, taxon, &versions, dialect);
+            }
+        }
+        (None, Some(dir)) => {
+            let stream = coevo_corpus::CorpusStream::open(dir).map_err(io_err)?;
+            let manifest = stream.manifest().clone();
+            for entry in &manifest.shards {
+                let reader = stream.shard_reader(entry).map_err(io_err)?;
+                for project in reader {
+                    let p = project.map_err(io_err)?;
+                    profile_one(&p.name, p.taxon, &p.ddl_versions, Some(p.dialect));
+                }
+            }
+        }
+        (None, None) => {
+            let mut spec = CorpusSpec::paper();
+            spec.seed = seed;
+            for p in &generate_corpus(&spec) {
+                profile_one(
+                    &p.raw.name,
+                    Some(p.raw.taxon),
+                    &p.raw.ddl_versions,
+                    Some(p.raw.dialect),
+                );
+            }
+        }
+    }
+
+    for s in &skipped {
+        writeln!(out, "warning: skipped {s}").map_err(io_err)?;
+    }
+    let mut rows: Vec<coevo_report::rename::RenameTaxonRow> = Vec::new();
+    let mut total = Counts::default();
+    for taxon in coevo_taxa::Taxon::ALL {
+        let Some(c) = per_taxon.get(&taxon) else { continue };
+        total.steps += c.steps;
+        total.steps_with_renames += c.steps_with_renames;
+        total.renames += c.renames;
+        total.activity += c.activity;
+        rows.push(rename_row(taxon.name(), c));
+    }
+    rows.push(rename_row("TOTAL", &total));
+    write!(out, "{}", coevo_report::rename::render_rename_profiles(&rows)).map_err(io_err)?;
+
+    fn rename_row(label: &str, c: &Counts) -> coevo_report::rename::RenameTaxonRow {
+        coevo_report::rename::RenameTaxonRow {
+            taxon: label.to_string(),
+            steps: c.steps,
+            steps_with_renames: c.steps_with_renames,
+            renames: c.renames,
+            activity: c.activity,
+            rename_rate: coevo_report::rename::RenameTaxonRow::rate(c.renames, c.activity),
+        }
     }
     Ok(())
 }
@@ -254,6 +409,15 @@ pub fn check(
         report.compat.steps,
         report.compat.breaking_steps,
         report.compat.false_alarm_rate(),
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "rename family: {} planted steps, {} planted renames, precision {:.2}, recall {:.2}",
+        report.rename.steps,
+        report.rename.planted,
+        report.rename.precision(),
+        report.rename.recall(),
     )
     .map_err(io_err)?;
     let rows: Vec<ViolationRow> = report
@@ -837,10 +1001,26 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 3, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), None, None, None, false, None, &mut out).unwrap();
+        study(0, None, Some(&dir), None, None, None, false, None, false, None, &mut out)
+            .unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("studying 6 projects"), "{text}");
         assert!(text.contains("Figure 4"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn study_renames_prints_per_taxon_profile() {
+        let dir = tmp("studyrenames");
+        let mut gen_out = Vec::new();
+        generate(&dir, 11, Some(1), &mut gen_out).unwrap();
+        let mut out = Vec::new();
+        study(0, None, Some(&dir), None, None, None, false, None, true, Some(0.7), &mut out)
+            .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("per-taxon rename profile (threshold 0.7):"), "{text}");
+        assert!(text.contains("rename-rate"), "{text}");
+        assert!(text.contains("TOTAL"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -850,7 +1030,8 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&dir, 5, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&dir), None, None, Some(2), true, None, &mut out).unwrap();
+        study(0, None, Some(&dir), None, None, Some(2), true, None, false, None, &mut out)
+            .unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("execution profile"), "{text}");
         for stage in ["load", "parse", "diff", "heartbeat", "measure", "stats"] {
@@ -868,12 +1049,38 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&corpus, 7, Some(1), &mut gen_out).unwrap();
         let mut cold = Vec::new();
-        study(0, None, Some(&corpus), None, None, None, true, Some(&store), &mut cold).unwrap();
+        study(
+            0,
+            None,
+            Some(&corpus),
+            None,
+            None,
+            None,
+            true,
+            Some(&store),
+            false,
+            None,
+            &mut cold,
+        )
+        .unwrap();
         let cold_text = String::from_utf8_lossy(&cold);
         assert!(cold_text.contains("0/6 served"), "{cold_text}");
         assert!(cold_text.contains("6 miss"), "{cold_text}");
         let mut warm = Vec::new();
-        study(0, None, Some(&corpus), None, None, None, true, Some(&store), &mut warm).unwrap();
+        study(
+            0,
+            None,
+            Some(&corpus),
+            None,
+            None,
+            None,
+            true,
+            Some(&store),
+            false,
+            None,
+            &mut warm,
+        )
+        .unwrap();
         let warm_text = String::from_utf8_lossy(&warm);
         assert!(warm_text.contains("6/6 served"), "{warm_text}");
         assert!(warm_text.contains("6 hit"), "{warm_text}");
@@ -902,11 +1109,25 @@ mod tests {
         // Eager and streamed runs over the sharded corpus print identical
         // bytes (no --profile: stage timings are nondeterministic).
         let mut eager = Vec::new();
-        study(0, None, None, Some(&corpus), None, None, false, None, &mut eager).unwrap();
+        study(0, None, None, Some(&corpus), None, None, false, None, false, None, &mut eager)
+            .unwrap();
         let eager_text = String::from_utf8_lossy(&eager);
         assert!(eager_text.contains("studying 12 projects"), "{eager_text}");
         let mut streamed = Vec::new();
-        study(0, None, None, Some(&corpus), Some(5), None, false, None, &mut streamed).unwrap();
+        study(
+            0,
+            None,
+            None,
+            Some(&corpus),
+            Some(5),
+            None,
+            false,
+            None,
+            false,
+            None,
+            &mut streamed,
+        )
+        .unwrap();
         assert_eq!(eager, streamed);
 
         // Generating into the same directory twice is fine (idempotent
@@ -925,8 +1146,20 @@ mod tests {
         let mut gen_out = Vec::new();
         generate(&corpus, 9, Some(1), &mut gen_out).unwrap();
         let mut out = Vec::new();
-        study(0, None, Some(&corpus), None, None, None, false, Some(&store_dir), &mut out)
-            .unwrap();
+        study(
+            0,
+            None,
+            Some(&corpus),
+            None,
+            None,
+            None,
+            false,
+            Some(&store_dir),
+            false,
+            None,
+            &mut out,
+        )
+        .unwrap();
 
         let mut stats_out = Vec::new();
         store_stats(&store_dir, &mut stats_out).unwrap();

@@ -55,6 +55,8 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
             workers,
             profile,
             store,
+            renames,
+            rename_threshold,
         } => commands::study(
             seed,
             csv_dir.as_deref(),
@@ -64,6 +66,8 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
             workers,
             profile,
             store.as_deref(),
+            renames,
+            rename_threshold,
             out,
         ),
         Command::Corpus { action } => match action {

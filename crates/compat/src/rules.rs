@@ -12,7 +12,7 @@
 //! | `attr-add-optional` | injected column, nullable or with a default  | BACKWARD |
 //! | `attr-add-required` | injected column, NOT NULL and no default     | BREAKING |
 //! | `attr-ejected`    | column removed from a surviving table          | BREAKING |
-//! | `attr-renamed`    | rename detected (counted as eject + inject)    | BREAKING |
+//! | `attr-renamed`    | rename detected by the scored column matcher   | BREAKING |
 //! | `type-widened`    | type changed within a family, strictly wider   | FULL     |
 //! | `type-narrowed`   | type changed within a family, not wider        | BREAKING |
 //! | `type-changed`    | type changed across families (incomparable)    | BREAKING |
@@ -29,13 +29,21 @@
 //! write-constraint tightening (keys, foreign keys) puts *existing writers*
 //! at risk while code honoring the new constraint runs anywhere → FORWARD;
 //! perf-only churn and strict widening → FULL. Renames are conservatively
-//! BREAKING — under the paper's by-name matching they are an eject + inject,
-//! and the old spelling is gone either way.
+//! BREAKING — under the paper's by-name matching they are an eject + inject
+//! (two BREAKING hits), and when `MatchPolicy::RenameDetection` recognizes
+//! the pair as one `Renamed` change the old spelling is *still* gone: every
+//! query or source reference selecting it fails. Rename-aware matching
+//! changes the activity accounting, never the compatibility verdict.
+//!
+//! The widening ladders ([`TypeTransition`], `type_transition`) live in
+//! `coevo_diff::rename` — the rename scorer uses the same ladders as type
+//! evidence, so both crates read one source of truth.
 
 use crate::level::CompatLevel;
-use coevo_ddl::{Schema, SqlType};
+use coevo_ddl::Schema;
 use coevo_diff::{
-    AttributeChange, ConstraintDelta, ForeignKeyChange, IndexChange, SchemaDelta, TableFate,
+    type_transition, AttributeChange, ConstraintDelta, ForeignKeyChange, IndexChange,
+    SchemaDelta, TableFate, TypeTransition,
 };
 use serde::Serialize;
 
@@ -60,7 +68,7 @@ pub const RULE_TABLE: &[(&str, CompatLevel, &str)] = &[
     ("attr-add-optional", CompatLevel::Backward, "injected column, nullable or with a default"),
     ("attr-add-required", CompatLevel::Breaking, "injected column, NOT NULL and no default"),
     ("attr-ejected", CompatLevel::Breaking, "column removed from a surviving table"),
-    ("attr-renamed", CompatLevel::Breaking, "rename detected (counted as eject + inject)"),
+    ("attr-renamed", CompatLevel::Breaking, "rename detected by the scored column matcher"),
     ("type-widened", CompatLevel::Full, "type changed within a family, strictly wider"),
     ("type-narrowed", CompatLevel::Breaking, "type changed within a family, not wider"),
     ("type-changed", CompatLevel::Breaking, "type changed across families (incomparable)"),
@@ -106,80 +114,6 @@ impl StepClassification {
         }
         out
     }
-}
-
-/// How a type change compares within the widening partial order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TypeTransition {
-    /// Strictly wider within one family: every old value still fits.
-    Widened,
-    /// Same family, not wider: values can be truncated or rejected.
-    Narrowed,
-    /// Different families: nothing can be promised.
-    Incomparable,
-}
-
-/// Integer family rank; `None` for non-integer types.
-fn int_rank(name: &str) -> Option<u8> {
-    match name {
-        "TINYINT" => Some(1),
-        "SMALLINT" => Some(2),
-        "MEDIUMINT" => Some(3),
-        "INT" | "INTEGER" => Some(4),
-        "BIGINT" => Some(5),
-        _ => None,
-    }
-}
-
-/// Character family rank; parameterized lengths compare within one rank.
-fn char_rank(name: &str) -> Option<u8> {
-    match name {
-        "CHAR" => Some(1),
-        "VARCHAR" => Some(2),
-        "TEXT" | "MEDIUMTEXT" | "LONGTEXT" | "CLOB" => Some(3),
-        _ => None,
-    }
-}
-
-fn first_param(t: &SqlType) -> Option<u64> {
-    t.params.first().and_then(|p| p.as_str().parse().ok())
-}
-
-/// Classify a type change. Widening is only claimed when it is provable
-/// from the names and parameters; everything else is conservative.
-fn type_transition(from: &SqlType, to: &SqlType) -> TypeTransition {
-    let (f, t) = (from.name.key().to_ascii_uppercase(), to.name.key().to_ascii_uppercase());
-    if from.modifiers != to.modifiers {
-        return TypeTransition::Incomparable; // UNSIGNED flips change the domain
-    }
-    if let (Some(rf), Some(rt)) = (int_rank(&f), int_rank(&t)) {
-        return if rt > rf { TypeTransition::Widened } else { TypeTransition::Narrowed };
-    }
-    if let (Some(rf), Some(rt)) = (char_rank(&f), char_rank(&t)) {
-        return match rt.cmp(&rf) {
-            std::cmp::Ordering::Greater => TypeTransition::Widened,
-            std::cmp::Ordering::Less => TypeTransition::Narrowed,
-            std::cmp::Ordering::Equal => {
-                // Same kind: compare declared lengths (absent = unbounded
-                // only for the TEXT rank, which has no parameters anyway).
-                match (first_param(from), first_param(to)) {
-                    (Some(a), Some(b)) if b > a => TypeTransition::Widened,
-                    (Some(_), Some(_)) => TypeTransition::Narrowed,
-                    _ => TypeTransition::Narrowed,
-                }
-            }
-        };
-    }
-    if f == "DECIMAL" && t == "DECIMAL" || f == "NUMERIC" && t == "NUMERIC" {
-        let precision = |ty: &SqlType, i: usize| {
-            ty.params.get(i).and_then(|p| p.as_str().parse::<u64>().ok()).unwrap_or(0)
-        };
-        let wider = precision(to, 0) >= precision(from, 0)
-            && precision(to, 1) >= precision(from, 1)
-            && (precision(to, 0) > precision(from, 0) || precision(to, 1) > precision(from, 1));
-        return if wider { TypeTransition::Widened } else { TypeTransition::Narrowed };
-    }
-    TypeTransition::Incomparable
 }
 
 /// Classify one step: the delta between two consecutive schema versions,
@@ -287,8 +221,8 @@ fn classify_change(new: &Schema, table: &str, ch: &AttributeChange) -> RuleHit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coevo_ddl::{parse_schema, Dialect};
-    use coevo_diff::{diff_constraints, diff_schemas};
+    use coevo_ddl::{parse_schema, Dialect, SqlType};
+    use coevo_diff::{diff_constraints, diff_schemas, diff_schemas_with, MatchPolicy};
 
     /// Classify the step between two DDL texts, the way every caller does.
     fn classify(old_sql: &str, new_sql: &str) -> StepClassification {
@@ -448,6 +382,25 @@ mod tests {
         let c = classify_step(&new, &delta, &ConstraintDelta::default());
         assert_eq!(c.level, CompatLevel::Breaking);
         assert_eq!(rules(&c), vec!["attr-renamed"]);
+    }
+
+    #[test]
+    fn detected_rename_classifies_breaking_end_to_end() {
+        // Through the real rename-aware diff (not a hand-built delta): the
+        // scored matcher pairs user_name → username, and the single Renamed
+        // change still makes the step BREAKING.
+        let old =
+            parse_schema("CREATE TABLE t (user_name VARCHAR(40), age INT);", Dialect::Generic)
+                .unwrap();
+        let new =
+            parse_schema("CREATE TABLE t (username VARCHAR(40), age INT);", Dialect::Generic)
+                .unwrap();
+        let delta = diff_schemas_with(&old, &new, MatchPolicy::rename_detection());
+        assert_eq!(delta.breakdown().attrs_renamed, 1, "{delta:?}");
+        let c = classify_step(&new, &delta, &ConstraintDelta::default());
+        assert_eq!(c.level, CompatLevel::Breaking);
+        assert_eq!(rules(&c), vec!["attr-renamed"]);
+        assert!(c.hits[0].subject.contains("user_name → username"), "{:?}", c.hits);
     }
 
     #[test]

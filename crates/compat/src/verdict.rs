@@ -179,6 +179,38 @@ mod tests {
     }
 
     #[test]
+    fn stored_query_on_renamed_column_corroborates_breaking() {
+        // A stored query selecting the *old* spelling of a detected rename:
+        // the rename-aware delta carries one Renamed change, the rules call
+        // it BREAKING, and the broken query is the corroborating evidence —
+        // no false alarm.
+        let old = parse_schema(
+            "CREATE TABLE orders (id INT, total_price INT, placed_at DATE);",
+            Dialect::Generic,
+        )
+        .unwrap();
+        let new = parse_schema(
+            "CREATE TABLE orders (id INT, total_prices INT, placed_at DATE);",
+            Dialect::Generic,
+        )
+        .unwrap();
+        let delta = coevo_diff::diff_schemas_with(
+            &old,
+            &new,
+            coevo_diff::MatchPolicy::rename_detection(),
+        );
+        assert_eq!(delta.breakdown().attrs_renamed, 1, "{delta:?}");
+        let constraints = diff_constraints(&old, &new);
+        let src = r#"let q = "SELECT total_price FROM orders";"#;
+        let v = verdict_for_step(&old, &new, &delta, &constraints, Some(&[("app.rs", src)]));
+        assert_eq!(v.level(), CompatLevel::Breaking);
+        assert_eq!(v.classification.rule_names(), vec!["attr-renamed"]);
+        let ev = v.evidence.as_ref().unwrap();
+        assert_eq!(ev.broken_queries, vec!["SELECT total_price FROM orders".to_string()]);
+        assert!(!v.false_alarm);
+    }
+
+    #[test]
     fn benign_step_has_no_broken_queries() {
         let src = r#"let q = "SELECT total_price FROM orders";"#;
         let v = verdict(

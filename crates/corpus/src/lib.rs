@@ -28,6 +28,7 @@ pub mod generator;
 pub mod loader;
 pub mod pipeline;
 pub mod plant;
+pub mod plant_rename;
 pub mod project_gen;
 pub mod schema_gen;
 pub mod shard;
@@ -38,6 +39,10 @@ pub use case_study::case_study_project;
 pub use generator::{generate_corpus, generate_nth, CorpusSpec, GeneratedProject};
 pub use pipeline::{project_from_texts, PipelineError};
 pub use plant::{plant_compat_project, PlantKind, PlantedProject, PlantedStep};
+pub use plant_rename::{
+    plant_rename_project, PlantedRename, PlantedRenameProject, PlantedRenameStep,
+    RenamePlantKind,
+};
 pub use shard::{
     generate_sharded, CorpusManifest, CorpusStream, ShardEntry, ShardError, ShardReader,
     ShardWriter, CORPUS_FORMAT_VERSION,

@@ -3,10 +3,23 @@
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
+/// `skip_serializing_if` predicate: the rename counter is only written when
+/// rename detection actually fired, so by-name breakdowns serialize to the
+/// same bytes they did before the seventh category existed.
+fn is_zero(n: &u64) -> bool {
+    *n == 0
+}
+
 /// Counts of attribute-level changes between two schema versions, in the six
 /// categories of the Schema_Evo_2019 dataset. Their sum is **Total
 /// Activity** — "the central measure that we will use to trace the amount of
 /// evolution the schema undergoes."
+///
+/// Under `MatchPolicy::RenameDetection` a seventh category appears:
+/// [`attrs_renamed`](ActivityBreakdown::attrs_renamed) counts each detected
+/// rename as **one** unit where by-name matching counts an eject plus an
+/// inject (two units), so rename-aware Total Activity is never above the
+/// paper's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ActivityBreakdown {
     /// Attributes born with a new table.
@@ -21,10 +34,16 @@ pub struct ActivityBreakdown {
     pub attrs_type_changed: u64,
     /// Attributes whose participation in the primary key changed.
     pub attrs_key_changed: u64,
+    /// Attributes recognized as renamed (rename detection only; always zero
+    /// under the paper's by-name matching, and then absent from JSON so
+    /// by-name serializations are byte-identical to the six-field form).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub attrs_renamed: u64,
 }
 
 impl ActivityBreakdown {
-    /// Total Activity: the sum of all six categories.
+    /// Total Activity: the sum of all categories (the paper's six, plus
+    /// detected renames when rename detection is on).
     pub fn total(&self) -> u64 {
         self.attrs_born_with_table
             + self.attrs_injected
@@ -32,6 +51,7 @@ impl ActivityBreakdown {
             + self.attrs_ejected
             + self.attrs_type_changed
             + self.attrs_key_changed
+            + self.attrs_renamed
     }
 
     /// True when no change at the logical level occurred (the paper's
@@ -51,9 +71,10 @@ impl ActivityBreakdown {
         self.attrs_deleted_with_table + self.attrs_ejected
     }
 
-    /// In-place maintenance (type + key changes).
+    /// In-place maintenance (type + key changes, plus detected renames — a
+    /// rename keeps the attribute alive and changes it in place).
     pub fn updates(&self) -> u64 {
-        self.attrs_type_changed + self.attrs_key_changed
+        self.attrs_type_changed + self.attrs_key_changed + self.attrs_renamed
     }
 }
 
@@ -69,6 +90,7 @@ impl Add for ActivityBreakdown {
             attrs_ejected: self.attrs_ejected + rhs.attrs_ejected,
             attrs_type_changed: self.attrs_type_changed + rhs.attrs_type_changed,
             attrs_key_changed: self.attrs_key_changed + rhs.attrs_key_changed,
+            attrs_renamed: self.attrs_renamed + rhs.attrs_renamed,
         }
     }
 }
@@ -97,6 +119,7 @@ mod tests {
             attrs_ejected: 4,
             attrs_type_changed: 5,
             attrs_key_changed: 6,
+            attrs_renamed: 0,
         }
     }
 
@@ -106,6 +129,14 @@ mod tests {
         assert_eq!(ActivityBreakdown::default().total(), 0);
         assert!(ActivityBreakdown::default().is_zero());
         assert!(!sample().is_zero());
+    }
+
+    #[test]
+    fn renames_count_in_total_and_updates() {
+        let s = ActivityBreakdown { attrs_renamed: 7, ..sample() };
+        assert_eq!(s.total(), 28);
+        assert_eq!(s.updates(), 18);
+        assert_eq!(s.additions() + s.removals() + s.updates(), s.total());
     }
 
     #[test]
@@ -126,5 +157,22 @@ mod tests {
         let mut acc = ActivityBreakdown::default();
         acc += sample();
         assert_eq!(acc, sample());
+        let lifted = sample() + ActivityBreakdown { attrs_renamed: 2, ..Default::default() };
+        assert_eq!(lifted.attrs_renamed, 2);
+    }
+
+    #[test]
+    fn zero_rename_field_is_absent_from_json() {
+        // By-name serializations must be byte-identical to the six-field
+        // form — the store round-trips entries through JSON.
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(!json.contains("attrs_renamed"), "{json}");
+        let with =
+            serde_json::to_string(&ActivityBreakdown { attrs_renamed: 1, ..sample() }).unwrap();
+        assert!(with.contains("\"attrs_renamed\":1"), "{with}");
+        let back: ActivityBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample());
+        let back: ActivityBreakdown = serde_json::from_str(&with).unwrap();
+        assert_eq!(back.attrs_renamed, 1);
     }
 }

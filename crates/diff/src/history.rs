@@ -129,7 +129,20 @@ impl SchemaHistory {
     where
         I: IntoIterator<Item = (DateTime, &'a str)>,
     {
-        Self::from_ddl_texts_cached(texts, dialect, &mut ParseCache::new())
+        Self::from_ddl_texts_with(texts, dialect, MatchPolicy::ByName)
+    }
+
+    /// [`SchemaHistory::from_ddl_texts`] under an explicit matching policy
+    /// (e.g. rename detection).
+    pub fn from_ddl_texts_with<'a, I>(
+        texts: I,
+        dialect: Dialect,
+        policy: MatchPolicy,
+    ) -> Result<Option<Self>, ParseError>
+    where
+        I: IntoIterator<Item = (DateTime, &'a str)>,
+    {
+        Self::from_ddl_texts_cached_with(texts, dialect, &mut ParseCache::new(), policy)
     }
 
     /// [`SchemaHistory::from_ddl_texts`] against a caller-owned cache, so the
@@ -143,11 +156,25 @@ impl SchemaHistory {
     where
         I: IntoIterator<Item = (DateTime, &'a str)>,
     {
+        Self::from_ddl_texts_cached_with(texts, dialect, cache, MatchPolicy::ByName)
+    }
+
+    /// [`SchemaHistory::from_ddl_texts_cached`] under an explicit matching
+    /// policy.
+    pub fn from_ddl_texts_cached_with<'a, I>(
+        texts: I,
+        dialect: Dialect,
+        cache: &mut ParseCache,
+        policy: MatchPolicy,
+    ) -> Result<Option<Self>, ParseError>
+    where
+        I: IntoIterator<Item = (DateTime, &'a str)>,
+    {
         let mut versions = Vec::new();
         for (date, sql) in texts {
             versions.push(SchemaVersion { date, schema: cache.parse(sql, dialect)? });
         }
-        Ok(Self::from_schemas(versions, MatchPolicy::ByName))
+        Ok(Self::from_schemas(versions, policy))
     }
 
     /// Work/skip counters accumulated while the deltas were computed. All

@@ -37,6 +37,7 @@ pub mod constraint_diff;
 pub mod growth;
 pub mod history;
 pub mod localization;
+pub mod rename;
 pub mod schema_diff;
 pub mod smo;
 pub mod table_diff;
@@ -47,6 +48,10 @@ pub use constraint_diff::{diff_constraints, ConstraintDelta, ForeignKeyChange, I
 pub use growth::{net_growth, schema_size_series, SizePoint};
 pub use history::{DiffMode, SchemaHistory, SchemaVersion, VersionDelta};
 pub use localization::{change_localization, gini_coefficient, ChangeLocalization};
+pub use rename::{
+    bigram_dice, jaro_winkler, pair_renames, rename_score, type_transition, RenameField,
+    TypeTransition, DEFAULT_RENAME_THRESHOLD,
+};
 pub use schema_diff::{
     diff_schemas, diff_schemas_counted, diff_schemas_legacy, diff_schemas_with, DiffStats,
     MatchPolicy,

@@ -43,15 +43,64 @@ impl DiffStats {
 
 /// How attributes (and, transitively, their changes) are matched between two
 /// versions. The paper matches by name; rename detection is an ablation knob
-/// (see DESIGN.md §7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// (see DESIGN.md §7 and §14).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MatchPolicy {
     /// Case-insensitive name equality — the paper's policy. A renamed
     /// attribute counts as one ejection plus one injection.
     #[default]
     ByName,
-    /// Additionally pair unmatched attributes of identical type as renames.
-    RenameDetection,
+    /// Additionally pair unmatched attributes through the scored matcher of
+    /// [`crate::rename`]: candidate pairs whose composite name/type/position
+    /// score reaches `threshold` become one [`Renamed`] change instead of an
+    /// eject + inject. Construct through [`MatchPolicy::rename_detection`] /
+    /// [`MatchPolicy::rename_detection_with`], which keep the threshold
+    /// finite and in `[0, 1]`.
+    ///
+    /// [`Renamed`]: crate::AttributeChange::Renamed
+    RenameDetection {
+        /// Minimum composite score a pair must reach to count as a rename.
+        threshold: f64,
+    },
+}
+
+// The constructors guarantee a finite threshold (never NaN), so equality is
+// total and `MatchPolicy` can sit in `Eq` contexts like config comparisons.
+impl Eq for MatchPolicy {}
+
+impl MatchPolicy {
+    /// Rename detection at the validated default threshold
+    /// [`crate::rename::DEFAULT_RENAME_THRESHOLD`].
+    pub fn rename_detection() -> Self {
+        Self::RenameDetection { threshold: crate::rename::DEFAULT_RENAME_THRESHOLD }
+    }
+
+    /// Rename detection at an explicit threshold, clamped to `[0, 1]`
+    /// (non-finite values fall back to the default threshold).
+    pub fn rename_detection_with(threshold: f64) -> Self {
+        let threshold = if threshold.is_finite() {
+            threshold.clamp(0.0, 1.0)
+        } else {
+            crate::rename::DEFAULT_RENAME_THRESHOLD
+        };
+        Self::RenameDetection { threshold }
+    }
+
+    /// The rename threshold, when rename detection is on.
+    pub fn rename_threshold(&self) -> Option<f64> {
+        match self {
+            Self::ByName => None,
+            Self::RenameDetection { threshold } => Some(*threshold),
+        }
+    }
+
+    /// A short stable tag for config digests and profile lines.
+    pub fn digest_tag(&self) -> String {
+        match self {
+            Self::ByName => "by-name".to_string(),
+            Self::RenameDetection { threshold } => format!("rename-detection:{threshold}"),
+        }
+    }
 }
 
 /// Diff two schema versions under the default (paper) matching policy.
@@ -378,13 +427,44 @@ mod tests {
 
     #[test]
     fn policy_is_threaded_to_tables() {
-        let old = schema("CREATE TABLE t (a VARCHAR(9));");
-        let new = schema("CREATE TABLE t (b VARCHAR(9));");
+        let old = schema("CREATE TABLE t (user_name VARCHAR(9));");
+        let new = schema("CREATE TABLE t (username VARCHAR(9));");
         let by_name = diff_schemas_with(&old, &new, MatchPolicy::ByName);
-        let renames = diff_schemas_with(&old, &new, MatchPolicy::RenameDetection);
+        let renames = diff_schemas_with(&old, &new, MatchPolicy::rename_detection());
         assert_eq!(by_name.breakdown().total(), 2);
-        // Rename still counts 2 in activity, but is structurally one change.
+        // A detected rename is one change and one unit of activity — strictly
+        // below the eject + inject the by-name accounting reports.
         assert_eq!(renames.tables[0].changes.len(), 1);
-        assert_eq!(renames.breakdown().total(), 2);
+        assert_eq!(renames.breakdown().total(), 1);
+        assert_eq!(renames.breakdown().attrs_renamed, 1);
+    }
+
+    #[test]
+    fn policy_constructors_sanitize_the_threshold() {
+        assert_eq!(
+            MatchPolicy::rename_detection_with(2.0),
+            MatchPolicy::RenameDetection { threshold: 1.0 }
+        );
+        assert_eq!(
+            MatchPolicy::rename_detection_with(-3.0),
+            MatchPolicy::RenameDetection { threshold: 0.0 }
+        );
+        assert_eq!(
+            MatchPolicy::rename_detection_with(f64::NAN),
+            MatchPolicy::rename_detection()
+        );
+        assert_eq!(MatchPolicy::ByName.rename_threshold(), None);
+        assert_eq!(
+            MatchPolicy::rename_detection().rename_threshold(),
+            Some(crate::rename::DEFAULT_RENAME_THRESHOLD)
+        );
+        assert_ne!(
+            MatchPolicy::ByName.digest_tag(),
+            MatchPolicy::rename_detection().digest_tag()
+        );
+        assert_ne!(
+            MatchPolicy::rename_detection_with(0.5).digest_tag(),
+            MatchPolicy::rename_detection_with(0.7).digest_tag()
+        );
     }
 }

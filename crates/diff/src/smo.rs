@@ -199,7 +199,8 @@ mod tests {
     fn rename_smo_from_rename_policy() {
         let old = schema("CREATE TABLE t (old_name INT);");
         let new = schema("CREATE TABLE t (new_name INT);");
-        let smos = delta_to_smos(&diff_schemas_with(&old, &new, MatchPolicy::RenameDetection));
+        let smos =
+            delta_to_smos(&diff_schemas_with(&old, &new, MatchPolicy::rename_detection()));
         assert_eq!(smos.len(), 1);
         assert_eq!(smos[0].to_string(), "ALTER TABLE t RENAME COLUMN old_name TO new_name");
         assert_eq!(smos[0].table(), "t");

@@ -123,8 +123,9 @@ impl<'a> Matcher<'a> {
 ///
 /// Attributes are matched by case-insensitive name (the paper's policy).
 /// Under [`MatchPolicy::RenameDetection`], unmatched old/new attribute pairs
-/// with identical types are additionally recognized as renames — an ablation
-/// of the matching construct, not the paper's accounting.
+/// are additionally run through the scored matcher of [`crate::rename`] and
+/// recognized as renames — an ablation of the matching construct, not the
+/// paper's accounting.
 pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
     let matcher = Matcher::of(old, new);
 
@@ -163,27 +164,18 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
         }
     }
 
-    if policy == MatchPolicy::RenameDetection {
-        // Greedily pair unmatched old attributes with unmatched new ones of
-        // the identical type, in declaration order.
-        let mut remaining_new = injected.clone();
-        let mut paired_old = Vec::new();
-        for &i in &ejected {
-            if let Some(pos) = remaining_new
-                .iter()
-                .position(|&j| new.columns[j].sql_type.equivalent(&old.columns[i].sql_type))
-            {
-                let j = remaining_new.remove(pos);
-                changes.push(AttributeChange::Renamed {
-                    from: old.columns[i].name.to_string(),
-                    to: new.columns[j].name.to_string(),
-                    sql_type: old.columns[i].sql_type.clone(),
-                });
-                paired_old.push(i);
-            }
-        }
-        ejected.retain(|i| !paired_old.contains(i));
-        injected = remaining_new;
+    if let MatchPolicy::RenameDetection { threshold } = policy {
+        // The scored matcher pairs best-score-first with deterministic
+        // tie-breaks, so ambiguous candidates never depend on declaration
+        // order (the naive first-match-wins pairing did).
+        crate::rename::apply_rename_pairing(
+            old,
+            new,
+            &mut ejected,
+            &mut injected,
+            &mut changes,
+            threshold,
+        );
     }
 
     for i in ejected {
@@ -209,7 +201,9 @@ pub fn diff_tables(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta 
 
 /// The pre-refactor attribute-level diff, preserved verbatim as the oracle
 /// for the differential tests: it re-lowercases every column name on each
-/// lookup and rebuilds both key maps per call.
+/// lookup and rebuilds both key maps per call. The rename step is the one
+/// exception to "verbatim": both paths call the *same* scored pairing, so
+/// rename-aware outputs stay comparable bit-for-bit.
 pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> TableDelta {
     let old_by_key: BTreeMap<String, usize> =
         old.columns.iter().enumerate().map(|(i, c)| (c.key().to_string(), i)).collect();
@@ -254,27 +248,15 @@ pub fn diff_tables_legacy(old: &Table, new: &Table, policy: MatchPolicy) -> Tabl
         }
     }
 
-    if policy == MatchPolicy::RenameDetection {
-        // Greedily pair unmatched old attributes with unmatched new ones of
-        // the identical type, in declaration order.
-        let mut remaining_new = injected.clone();
-        let mut paired_old = Vec::new();
-        for &i in &ejected {
-            if let Some(pos) = remaining_new
-                .iter()
-                .position(|&j| new.columns[j].sql_type.equivalent(&old.columns[i].sql_type))
-            {
-                let j = remaining_new.remove(pos);
-                changes.push(AttributeChange::Renamed {
-                    from: old.columns[i].name.to_string(),
-                    to: new.columns[j].name.to_string(),
-                    sql_type: old.columns[i].sql_type.clone(),
-                });
-                paired_old.push(i);
-            }
-        }
-        ejected.retain(|i| !paired_old.contains(i));
-        injected = remaining_new;
+    if let MatchPolicy::RenameDetection { threshold } = policy {
+        crate::rename::apply_rename_pairing(
+            old,
+            new,
+            &mut ejected,
+            &mut injected,
+            &mut changes,
+            threshold,
+        );
     }
 
     for i in ejected {
@@ -400,7 +382,7 @@ mod tests {
         let new = table("CREATE TABLE t (username VARCHAR(40), age INT);");
         let by_name = diff_tables(&old, &new, MatchPolicy::ByName);
         assert_eq!(by_name.changes.len(), 2); // eject + inject
-        let with_rename = diff_tables(&old, &new, MatchPolicy::RenameDetection);
+        let with_rename = diff_tables(&old, &new, MatchPolicy::rename_detection());
         assert_eq!(with_rename.changes.len(), 1);
         assert!(matches!(
             &with_rename.changes[0],
@@ -409,11 +391,92 @@ mod tests {
     }
 
     #[test]
-    fn rename_detection_requires_type_match() {
-        let old = table("CREATE TABLE t (a INT);");
-        let new = table("CREATE TABLE t (b TEXT);");
-        let d = diff_tables(&old, &new, MatchPolicy::RenameDetection);
-        assert_eq!(d.changes.len(), 2); // no pairing possible
+    fn rename_detection_rejects_cross_family_types() {
+        let old = table("CREATE TABLE t (amount INT);");
+        let new = table("CREATE TABLE t (amounts TEXT);");
+        let d = diff_tables(&old, &new, MatchPolicy::rename_detection());
+        assert_eq!(d.changes.len(), 2); // incomparable families never pair
+    }
+
+    #[test]
+    fn rename_detection_rejects_dissimilar_names() {
+        // Same type, same position — but the names share nothing, so the
+        // composite score stays under the default threshold.
+        let old = table("CREATE TABLE t (total_price INT);");
+        let new = table("CREATE TABLE t (batch_code INT);");
+        let d = diff_tables(&old, &new, MatchPolicy::rename_detection());
+        assert_eq!(d.changes.len(), 2);
+        // At threshold 0 the same pair is accepted: the knob is live.
+        let d = diff_tables(&old, &new, MatchPolicy::rename_detection_with(0.0));
+        assert_eq!(d.changes.len(), 1);
+        assert!(matches!(&d.changes[0], AttributeChange::Renamed { .. }));
+    }
+
+    #[test]
+    fn rename_plus_retype_along_a_ladder_pairs_with_a_type_change() {
+        let old = table("CREATE TABLE t (unit_count INT, other TEXT);");
+        let new = table("CREATE TABLE t (unit_counts BIGINT, other TEXT);");
+        let d = diff_tables(&old, &new, MatchPolicy::rename_detection());
+        assert_eq!(d.changes.len(), 2);
+        assert!(matches!(
+            &d.changes[0],
+            AttributeChange::Renamed { from, to, .. }
+                if from == "unit_count" && to == "unit_counts"
+        ));
+        assert!(matches!(
+            &d.changes[1],
+            AttributeChange::TypeChanged { name, .. } if name == "unit_counts"
+        ));
+    }
+
+    #[test]
+    fn ambiguous_rename_is_independent_of_declaration_order() {
+        // Two ejected INT columns compete for one injected INT column. The
+        // naive first-match-wins pairing bound whichever was declared first;
+        // the scorer must bind `unit_count` → `unit_counts` in both orders.
+        let fwd_old = table("CREATE TABLE t (total_price INT, unit_count INT, keep TEXT);");
+        let rev_old = table("CREATE TABLE t (unit_count INT, total_price INT, keep TEXT);");
+        let new = table("CREATE TABLE t (unit_counts INT, keep TEXT);");
+        for old in [&fwd_old, &rev_old] {
+            let d = diff_tables(old, &new, MatchPolicy::rename_detection());
+            let renamed: Vec<_> = d
+                .changes
+                .iter()
+                .filter_map(|c| match c {
+                    AttributeChange::Renamed { from, to, .. } => {
+                        Some((from.clone(), to.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                renamed,
+                vec![("unit_count".to_string(), "unit_counts".to_string())],
+                "declaration order changed the pairing"
+            );
+            assert!(d.changes.iter().any(
+                |c| matches!(c, AttributeChange::Ejected { name, .. } if name == "total_price")
+            ));
+        }
+    }
+
+    #[test]
+    fn legacy_and_incremental_agree_on_renames() {
+        let old = table("CREATE TABLE t (user_name VARCHAR(40), total_price INT, a TEXT);");
+        let new =
+            table("CREATE TABLE t (username VARCHAR(40), total_price_cents INT, b TEXT);");
+        for policy in [
+            MatchPolicy::ByName,
+            MatchPolicy::rename_detection(),
+            MatchPolicy::rename_detection_with(0.0),
+            MatchPolicy::rename_detection_with(1.0),
+        ] {
+            assert_eq!(
+                diff_tables(&old, &new, policy),
+                diff_tables_legacy(&old, &new, policy),
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]

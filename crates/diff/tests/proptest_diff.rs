@@ -90,13 +90,52 @@ proptest! {
         a in schema_strategy(), b in schema_strategy()
     ) {
         let by_name = diff_schemas_with(&a, &b, MatchPolicy::ByName);
-        let renames = diff_schemas_with(&a, &b, MatchPolicy::RenameDetection);
         let count = |d: &coevo_diff::SchemaDelta| -> usize {
             d.tables.iter().map(|t| t.changes.len()).sum()
         };
-        prop_assert!(count(&renames) <= count(&by_name));
-        // Activity accounting is identical under both policies.
-        prop_assert_eq!(renames.breakdown().total(), by_name.breakdown().total());
+        // At every threshold — including 0, where any same-family pair is
+        // accepted — a detected rename replaces an eject + inject, so both
+        // the structural change count and Total Activity can only go down.
+        for policy in [MatchPolicy::rename_detection(), MatchPolicy::rename_detection_with(0.0)] {
+            let renames = diff_schemas_with(&a, &b, policy);
+            prop_assert!(count(&renames) <= count(&by_name));
+            prop_assert!(renames.breakdown().total() <= by_name.breakdown().total());
+        }
+    }
+
+    #[test]
+    fn by_name_output_is_unaffected_by_the_rename_module(
+        a in schema_strategy(), b in schema_strategy()
+    ) {
+        // Flag-off must be the paper's accounting bit-for-bit: no rename
+        // counter in the struct, and none in the serialized bytes (the
+        // store round-trips entries through JSON).
+        let by_name = diff_schemas_with(&a, &b, MatchPolicy::ByName);
+        let breakdown = by_name.breakdown();
+        prop_assert_eq!(breakdown.attrs_renamed, 0);
+        let json = serde_json::to_string(&breakdown).unwrap();
+        prop_assert!(!json.contains("attrs_renamed"), "{}", json);
+        for td in &by_name.tables {
+            for ch in &td.changes {
+                prop_assert!(
+                    !matches!(ch, coevo_diff::AttributeChange::Renamed { .. }),
+                    "ByName diff emitted a Renamed change"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rename_threshold_is_monotone_on_schema_pairs(
+        a in schema_strategy(), b in schema_strategy()
+    ) {
+        let mut last = u64::MAX;
+        for t in [0.0, 0.4, 0.6, 0.8, 1.0] {
+            let d = diff_schemas_with(&a, &b, MatchPolicy::rename_detection_with(t));
+            let renamed = d.breakdown().attrs_renamed;
+            prop_assert!(renamed <= last, "threshold {} matched {} > {}", t, renamed, last);
+            last = renamed;
+        }
     }
 
     #[test]
@@ -108,7 +147,13 @@ proptest! {
         // sealed schemas (fingerprint skips active), and mixed pairs — under
         // both matching policies.
         let (sa, sb) = (sealed(&a), sealed(&b));
-        for policy in [MatchPolicy::ByName, MatchPolicy::RenameDetection] {
+        let policies = [
+            MatchPolicy::ByName,
+            MatchPolicy::rename_detection(),
+            MatchPolicy::rename_detection_with(0.0),
+            MatchPolicy::rename_detection_with(1.0),
+        ];
+        for policy in policies {
             let oracle = diff_schemas_legacy(&a, &b, policy);
             prop_assert_eq!(&diff_schemas_with(&a, &b, policy), &oracle);
             prop_assert_eq!(&diff_schemas_with(&sa, &sb, policy), &oracle);

@@ -36,7 +36,7 @@
 use coevo_core::{MeasureFolds, ProjectData, ProjectMeasures, StatsCache, StudyResults};
 use coevo_corpus::ProjectArtifacts;
 use coevo_ddl::{Dialect, ParseCache, ParseError, Schema};
-use coevo_diff::{diff_schemas, SchemaDelta, SchemaVersion, VersionDelta};
+use coevo_diff::{diff_schemas_with, MatchPolicy, SchemaDelta, SchemaVersion, VersionDelta};
 use coevo_heartbeat::{DateTime, Heartbeat, HeartbeatError, YearMonth, MAX_HEARTBEAT_MONTHS};
 use coevo_taxa::{classify, HeartbeatFeatures, Taxon, TaxonomyConfig};
 use serde::{Deserialize, Serialize};
@@ -164,6 +164,8 @@ pub struct ProjectState {
     name: String,
     dialect: Dialect,
     taxon: Option<Taxon>,
+    /// Column-matching policy every delta is diffed under.
+    policy: MatchPolicy,
     cache: ParseCache,
     /// Schema versions in the order `SchemaHistory::from_schemas` would
     /// sort them (stable by date; equal dates in arrival order).
@@ -197,12 +199,18 @@ impl fmt::Debug for ProjectState {
 }
 
 impl ProjectState {
-    /// A fresh, empty project.
+    /// A fresh, empty project under the paper's by-name accounting.
     pub fn new(name: &str, dialect: Dialect) -> Self {
+        Self::new_with_policy(name, dialect, MatchPolicy::ByName)
+    }
+
+    /// A fresh, empty project whose deltas are diffed under `policy`.
+    pub fn new_with_policy(name: &str, dialect: Dialect, policy: MatchPolicy) -> Self {
         Self {
             name: name.to_string(),
             dialect,
             taxon: None,
+            policy,
             cache: ParseCache::new(),
             versions: Vec::new(),
             deltas: Vec::new(),
@@ -332,8 +340,12 @@ impl ProjectState {
             Some(prev) if Arc::ptr_eq(prev, &version.schema) => {
                 SchemaDelta { tables: Vec::new() }
             }
-            Some(prev) => diff_schemas(prev.as_ref(), version.schema.as_ref()),
-            None => diff_schemas(Schema::empty_ref(), version.schema.as_ref()),
+            Some(prev) => {
+                diff_schemas_with(prev.as_ref(), version.schema.as_ref(), self.policy)
+            }
+            None => {
+                diff_schemas_with(Schema::empty_ref(), version.schema.as_ref(), self.policy)
+            }
         }
     }
 
@@ -344,7 +356,11 @@ impl ProjectState {
         let delta = if Arc::ptr_eq(&self.versions[i].schema, &succ.schema) {
             SchemaDelta { tables: Vec::new() }
         } else {
-            diff_schemas(self.versions[i].schema.as_ref(), succ.schema.as_ref())
+            diff_schemas_with(
+                self.versions[i].schema.as_ref(),
+                succ.schema.as_ref(),
+                self.policy,
+            )
         };
         let breakdown = delta.breakdown();
         let old_total = self.deltas[i + 1].breakdown.total();
@@ -506,9 +522,16 @@ impl ProjectState {
         }
     }
 
-    /// Rebuild a state from a snapshot. Folds are rebuilt lazily on the
-    /// first measure query.
+    /// Rebuild a state from a snapshot, diffing future versions by name.
+    /// Folds are rebuilt lazily on the first measure query.
     pub fn from_snapshot(snap: ProjectSnapshot) -> Self {
+        Self::from_snapshot_with(snap, MatchPolicy::ByName)
+    }
+
+    /// Rebuild a state from a snapshot, diffing future versions under
+    /// `policy`. Snapshots persist folded deltas, not the policy that
+    /// produced them — the restoring study supplies its own.
+    pub fn from_snapshot_with(snap: ProjectSnapshot, policy: MatchPolicy) -> Self {
         let mut schema_months = BTreeMap::new();
         for d in &snap.deltas {
             *schema_months.entry(YearMonth::of(d.date.date)).or_insert(0) +=
@@ -518,6 +541,7 @@ impl ProjectState {
             name: snap.name,
             dialect: snap.dialect,
             taxon: snap.taxon,
+            policy,
             cache: ParseCache::new(),
             versions: snap.versions,
             deltas: snap.deltas,
@@ -577,6 +601,7 @@ pub fn artifacts_to_events(p: &ProjectArtifacts) -> Result<Vec<ProjectEvent>, In
 #[derive(Debug, Default)]
 pub struct IncrementalStudy {
     taxonomy: TaxonomyConfig,
+    policy: MatchPolicy,
     projects: BTreeMap<String, ProjectState>,
     /// Memo for Section 7's exact tests: one-month appends rarely change
     /// the contingency tables, so warm summaries skip the Fisher
@@ -585,9 +610,14 @@ pub struct IncrementalStudy {
 }
 
 impl IncrementalStudy {
-    /// A fresh study under a taxonomy configuration.
+    /// A fresh study under a taxonomy configuration, diffing by name.
     pub fn new(taxonomy: TaxonomyConfig) -> Self {
-        Self { taxonomy, projects: BTreeMap::new(), stats: StatsCache::default() }
+        Self::new_with_policy(taxonomy, MatchPolicy::ByName)
+    }
+
+    /// A fresh study whose projects diff under `policy`.
+    pub fn new_with_policy(taxonomy: TaxonomyConfig, policy: MatchPolicy) -> Self {
+        Self { taxonomy, policy, projects: BTreeMap::new(), stats: StatsCache::default() }
     }
 
     /// The taxonomy configuration measures are computed under.
@@ -633,10 +663,11 @@ impl IncrementalStudy {
     where
         I: IntoIterator<Item = ProjectEvent>,
     {
+        let policy = self.policy;
         let state = self
             .projects
             .entry(name.to_string())
-            .or_insert_with(|| ProjectState::new(name, dialect));
+            .or_insert_with(|| ProjectState::new_with_policy(name, dialect, policy));
         if state.dialect() != dialect {
             return Err(IngestError::DialectMismatch {
                 project: name.to_string(),
@@ -686,9 +717,9 @@ impl IncrementalStudy {
     }
 
     /// Restore one project from a snapshot, replacing any existing state
-    /// under the same name.
+    /// under the same name. Future versions diff under this study's policy.
     pub fn restore(&mut self, snap: ProjectSnapshot) {
-        let state = ProjectState::from_snapshot(snap);
+        let state = ProjectState::from_snapshot_with(snap, self.policy);
         self.projects.insert(state.name().to_string(), state);
     }
 }

@@ -35,6 +35,7 @@ pub(crate) struct WorkItem {
 pub(crate) fn process(
     item: &WorkItem,
     cfg: &TaxonomyConfig,
+    policy: MatchPolicy,
     metrics: &Metrics,
 ) -> Result<(ProjectData, ProjectMeasures), EngineError> {
     let fail = |stage: Stage, kind: EngineErrorKind| EngineError {
@@ -65,7 +66,7 @@ pub(crate) fn process(
     // Diff: consecutive versions into the delta sequence.
     let a = allocs::snapshot();
     let t = Instant::now();
-    let history = SchemaHistory::from_schemas(versions, MatchPolicy::ByName)
+    let history = SchemaHistory::from_schemas(versions, policy)
         .ok_or_else(|| fail(Stage::Diff, EngineErrorKind::Empty("schema history")))?;
     metrics.record(Stage::Diff, t.elapsed(), history.deltas().len() as u64);
     let dstats = history.diff_stats();
@@ -114,7 +115,8 @@ pub fn project_from_texts(
         dialect,
         taxon: None,
     };
-    process(&item, &TaxonomyConfig::default(), &Metrics::new()).map(|(data, _)| data)
+    process(&item, &TaxonomyConfig::default(), MatchPolicy::ByName, &Metrics::new())
+        .map(|(data, _)| data)
 }
 
 /// Run the typed pipeline on one generated project, attaching the
@@ -128,7 +130,8 @@ pub fn project_from_generated(p: &GeneratedProject) -> Result<ProjectData, Engin
         dialect: p.raw.dialect,
         taxon: Some(p.raw.taxon),
     };
-    process(&item, &TaxonomyConfig::default(), &Metrics::new()).map(|(data, _)| data)
+    process(&item, &TaxonomyConfig::default(), MatchPolicy::ByName, &Metrics::new())
+        .map(|(data, _)| data)
 }
 
 #[cfg(test)]
@@ -180,7 +183,8 @@ mod tests {
             taxon: None,
         };
         let metrics = Metrics::new();
-        process(&item, &TaxonomyConfig::default(), &metrics).expect("pipeline");
+        process(&item, &TaxonomyConfig::default(), MatchPolicy::ByName, &metrics)
+            .expect("pipeline");
         let snap = metrics.snapshot(1);
         let parse = snap.stage(Stage::Parse).unwrap();
         // Item accounting is unchanged: 1 git log + 4 versions.

@@ -24,6 +24,7 @@ use coevo_core::{ProjectData, ProjectMeasures, StudyResults};
 use coevo_corpus::loader::Manifest;
 use coevo_corpus::{CorpusSpec, ProjectArtifacts};
 use coevo_ddl::Dialect;
+use coevo_diff::MatchPolicy;
 use coevo_heartbeat::DateTime;
 use coevo_taxa::TaxonomyConfig;
 use std::path::PathBuf;
@@ -70,6 +71,10 @@ pub struct StudyConfig {
     pub failure_policy: FailurePolicy,
     /// The taxonomy thresholds used when measuring projects.
     pub taxonomy: TaxonomyConfig,
+    /// The column-matching policy of the diff stage. `ByName` is the
+    /// paper's accounting; `RenameDetection` pairs ejected/injected columns
+    /// with the scored matcher and emits `Renamed` changes instead.
+    pub match_policy: MatchPolicy,
     /// Capacity of the bounded result channel between the worker pool and
     /// the collector (backpressure bound).
     pub channel_capacity: usize,
@@ -95,6 +100,7 @@ impl Default for StudyConfig {
             workers: 0,
             failure_policy: FailurePolicy::default(),
             taxonomy: TaxonomyConfig::default(),
+            match_policy: MatchPolicy::ByName,
             channel_capacity: 32,
             store_dir: None,
             max_resident_projects: 0,
@@ -154,6 +160,12 @@ impl StudyRunner {
     /// (created on first use).
     pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
         self.config.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Override the diff stage's column-matching policy.
+    pub fn with_match_policy(mut self, policy: MatchPolicy) -> Self {
+        self.config.match_policy = policy;
         self
     }
 
@@ -247,11 +259,18 @@ impl StudyRunner {
                     stage: Stage::Store,
                     kind: EngineErrorKind::Store(e.to_string()),
                 })?;
-                let config_hash = store_config_hash(&self.config.taxonomy);
+                let config_hash =
+                    store_config_hash(&self.config.taxonomy, self.config.match_policy);
                 let ctx = StoreContext { store, config_hash };
-                process_with_store(&item, &self.config.taxonomy, &metrics, &ctx)
+                process_with_store(
+                    &item,
+                    &self.config.taxonomy,
+                    self.config.match_policy,
+                    &metrics,
+                    &ctx,
+                )
             }
-            None => process(&item, &self.config.taxonomy, &metrics),
+            None => process(&item, &self.config.taxonomy, self.config.match_policy, &metrics),
         }
     }
 
@@ -270,7 +289,8 @@ impl StudyRunner {
                     stage: Stage::Store,
                     kind: EngineErrorKind::Store(e.to_string()),
                 })?;
-                let config_hash = store_config_hash(&self.config.taxonomy);
+                let config_hash =
+                    store_config_hash(&self.config.taxonomy, self.config.match_policy);
                 Ok(Some(StoreContext { store, config_hash }))
             }
             None => Ok(None),
@@ -336,6 +356,7 @@ impl StudyRunner {
         let abort = AtomicBool::new(false);
         let fail_fast = self.config.failure_policy == FailurePolicy::FailFast;
         let cfg = &self.config.taxonomy;
+        let policy = self.config.match_policy;
         let (tx, rx) = crossbeam::channel::bounded(self.config.channel_capacity.max(1));
 
         crossbeam::thread::scope(|scope| {
@@ -370,8 +391,10 @@ impl StudyRunner {
                             None
                         } else {
                             let r = match store {
-                                Some(ctx) => process_with_store(&item, cfg, metrics, ctx),
-                                None => process(&item, cfg, metrics),
+                                Some(ctx) => {
+                                    process_with_store(&item, cfg, policy, metrics, ctx)
+                                }
+                                None => process(&item, cfg, policy, metrics),
                             };
                             if fail_fast && r.is_err() {
                                 abort.store(true, Ordering::Relaxed);

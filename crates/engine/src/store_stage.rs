@@ -21,6 +21,7 @@ use crate::metrics::{Metrics, StoreEvent};
 use crate::pipeline::{process, WorkItem};
 use coevo_core::{ProjectData, ProjectMeasures};
 use coevo_ddl::fingerprint::Fnv1a;
+use coevo_diff::MatchPolicy;
 use coevo_store::{InputDigest, Lookup, ResultStore};
 use coevo_taxa::TaxonomyConfig;
 use serde::{Deserialize, Serialize};
@@ -57,14 +58,16 @@ impl StoreContext {
 }
 
 /// Hash everything configuration-side that feeds a result: the taxonomy
-/// thresholds (canonical JSON), the measure parameters baked into the
-/// pipeline (synchronicity thetas, attainment alphas), and the store format
-/// version. Any change produces different digests for *every* project — a
-/// config change is a full miss, never a partial reuse.
-pub(crate) fn store_config_hash(taxonomy: &TaxonomyConfig) -> u64 {
+/// thresholds (canonical JSON), the column-matching policy of the diff
+/// stage, the measure parameters baked into the pipeline (synchronicity
+/// thetas, attainment alphas), and the store format version. Any change
+/// produces different digests for *every* project — a config change is a
+/// full miss, never a partial reuse.
+pub(crate) fn store_config_hash(taxonomy: &TaxonomyConfig, policy: MatchPolicy) -> u64 {
     let mut h = Fnv1a::new();
     h.tag(0xC5);
     h.write_str(&serde_json::to_string(taxonomy).expect("taxonomy config serializes"));
+    h.write_str(&policy.digest_tag());
     h.write_str(&format!("{:?}", [0.05f64, 0.10])); // synchronicity thetas
     h.write_str(&format!("{:?}", coevo_core::ATTAINMENT_ALPHAS));
     h.write_u64(u64::from(coevo_store::FORMAT_VERSION));
@@ -76,6 +79,7 @@ pub(crate) fn store_config_hash(taxonomy: &TaxonomyConfig) -> u64 {
 pub(crate) fn process_with_store(
     item: &WorkItem,
     cfg: &TaxonomyConfig,
+    policy: MatchPolicy,
     metrics: &Metrics,
     ctx: &StoreContext,
 ) -> Result<(ProjectData, ProjectMeasures), EngineError> {
@@ -96,7 +100,7 @@ pub(crate) fn process_with_store(
     }
     metrics.record_cache(Stage::Store, 0, 1);
 
-    let (data, measures) = process(item, cfg, metrics)?;
+    let (data, measures) = process(item, cfg, policy, metrics)?;
 
     let t = Instant::now();
     let stored = StoredProjectResult { data, measures };
@@ -143,7 +147,7 @@ mod tests {
             .join(format!("coevo_store_stage_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ResultStore::open(&dir).unwrap();
-        let config_hash = store_config_hash(&TaxonomyConfig::default());
+        let config_hash = store_config_hash(&TaxonomyConfig::default(), MatchPolicy::ByName);
         (dir, StoreContext { store, config_hash })
     }
 
@@ -159,12 +163,12 @@ mod tests {
         let it = item("g/p");
 
         let metrics = Metrics::new();
-        let cold = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let cold = process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
         let s = snapshot_store(&metrics);
         assert_eq!((s.hits, s.misses, s.published), (0, 1, 1));
 
         let metrics = Metrics::new();
-        let warm = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let warm = process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
         let s = snapshot_store(&metrics);
         assert_eq!((s.hits, s.misses, s.published), (1, 0, 0));
         assert_eq!(cold, warm);
@@ -181,9 +185,9 @@ mod tests {
         let cfg = TaxonomyConfig::default();
         let it = item("g/p");
         let metrics = Metrics::new();
-        let direct = process(&it, &cfg, &metrics).unwrap();
-        let cold = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
-        let warm = process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        let direct = process(&it, &cfg, MatchPolicy::ByName, &metrics).unwrap();
+        let cold = process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
+        let warm = process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
         assert_eq!(direct, cold);
         assert_eq!(direct, warm);
         // Byte-identical through serialization too.
@@ -204,13 +208,31 @@ mod tests {
         let cfg = TaxonomyConfig::default();
         let it = item("g/p");
         let metrics = Metrics::new();
-        process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
 
         ctx.config_hash ^= 1; // a different configuration
         let metrics = Metrics::new();
-        process_with_store(&it, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
         let s = snapshot_store(&metrics);
         assert_eq!((s.hits, s.misses), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_change_is_a_full_miss() {
+        let (dir, mut ctx) = ctx("policy");
+        let cfg = TaxonomyConfig::default();
+        let it = item("g/p");
+        let metrics = Metrics::new();
+        process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
+
+        // The same project under rename detection must be a fresh key.
+        let policy = MatchPolicy::rename_detection();
+        ctx.config_hash = store_config_hash(&cfg, policy);
+        let metrics = Metrics::new();
+        process_with_store(&it, &cfg, policy, &metrics, &ctx).unwrap();
+        let s = snapshot_store(&metrics);
+        assert_eq!((s.hits, s.misses, s.published), (0, 1, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -221,14 +243,14 @@ mod tests {
         let a = item("g/a");
         let mut b = item("g/b");
         let metrics = Metrics::new();
-        process_with_store(&a, &cfg, &metrics, &ctx).unwrap();
-        process_with_store(&b, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&a, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
+        process_with_store(&b, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
 
         // Touch one byte of b's history.
         b.ddl_versions.last_mut().unwrap().1.push('\n');
         let metrics = Metrics::new();
-        process_with_store(&a, &cfg, &metrics, &ctx).unwrap();
-        process_with_store(&b, &cfg, &metrics, &ctx).unwrap();
+        process_with_store(&a, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
+        process_with_store(&b, &cfg, MatchPolicy::ByName, &metrics, &ctx).unwrap();
         let s = snapshot_store(&metrics);
         assert_eq!((s.hits, s.misses, s.published), (1, 1, 1));
         let _ = std::fs::remove_dir_all(&dir);
@@ -241,7 +263,7 @@ mod tests {
         let mut it = item("g/p");
         it.ddl_versions[1].1 = "CREATE TABLE t (".into();
         let metrics = Metrics::new();
-        assert!(process_with_store(&it, &cfg, &metrics, &ctx).is_err());
+        assert!(process_with_store(&it, &cfg, MatchPolicy::ByName, &metrics, &ctx).is_err());
         let s = snapshot_store(&metrics);
         assert_eq!((s.misses, s.published, s.publish_failures), (1, 0, 0));
         assert_eq!(ctx.store.stats().unwrap().entries, 0);
@@ -249,10 +271,20 @@ mod tests {
     }
 
     #[test]
-    fn config_hash_tracks_taxonomy() {
-        let base = store_config_hash(&TaxonomyConfig::default());
-        assert_eq!(base, store_config_hash(&TaxonomyConfig::default()));
+    fn config_hash_tracks_taxonomy_and_policy() {
+        let base = store_config_hash(&TaxonomyConfig::default(), MatchPolicy::ByName);
+        assert_eq!(base, store_config_hash(&TaxonomyConfig::default(), MatchPolicy::ByName));
         let cfg = TaxonomyConfig { almost_frozen_max: 9, ..TaxonomyConfig::default() };
-        assert_ne!(base, store_config_hash(&cfg));
+        assert_ne!(base, store_config_hash(&cfg, MatchPolicy::ByName));
+        let aware = MatchPolicy::rename_detection();
+        assert_ne!(base, store_config_hash(&TaxonomyConfig::default(), aware));
+        // Distinct thresholds are distinct configurations.
+        assert_ne!(
+            store_config_hash(&TaxonomyConfig::default(), aware),
+            store_config_hash(
+                &TaxonomyConfig::default(),
+                MatchPolicy::rename_detection_with(0.8)
+            )
+        );
     }
 }

@@ -100,6 +100,9 @@ pub struct CheckReport {
     /// Evidence counters of the compat family: classified steps, BREAKING
     /// steps, and uncorroborated (false-alarm) BREAKING calls.
     pub compat: crate::compat_oracle::CompatStats,
+    /// Detection counters of the rename family: planted renames, true and
+    /// false positives, and misses over the planted population.
+    pub rename: crate::rename_oracle::RenameStats,
     /// Violations found, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -292,8 +295,12 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     let mut report = CheckReport {
         projects: projects.len(),
         mutators: mutators.len(),
-        // + the three corpus-level differentials + the compat family
-        oracles: oracles.len() + 3 + crate::compat_oracle::COMPAT_CHECKS,
+        // + the three corpus-level differentials + the compat and rename
+        // families
+        oracles: oracles.len()
+            + 3
+            + crate::compat_oracle::COMPAT_CHECKS
+            + crate::rename_oracle::RENAME_CHECKS,
         ..CheckReport::default()
     };
 
@@ -562,6 +569,31 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
             crate::compat_oracle::compat_sweep(step_seed(cfg.seed, 0, 500), planted, steps);
         report.oracle_runs += planted * crate::compat_oracle::COMPAT_CHECKS;
         report.compat = stats;
+        for (project, check, detail) in violations {
+            if report.violations.len() >= cfg.max_violations {
+                break;
+            }
+            report.violations.push(Violation {
+                project,
+                script: Vec::new(),
+                check: check.to_string(),
+                detail,
+                repro_path: None,
+            });
+        }
+    }
+
+    // The rename oracle family: scored-matcher precision/recall against
+    // planted rename ground truth, the ≤-legacy activity bound, flag-off
+    // bit-identity, and threshold/permutation stability. Stats are reported
+    // even on a clean run.
+    {
+        let planted = (cfg.per_taxon * 2).max(4);
+        let steps = 12;
+        let (violations, stats) =
+            crate::rename_oracle::rename_sweep(step_seed(cfg.seed, 0, 600), planted, steps);
+        report.oracle_runs += planted * crate::rename_oracle::RENAME_CHECKS;
+        report.rename = stats;
         for (project, check, detail) in violations {
             if report.violations.len() >= cfg.max_violations {
                 break;

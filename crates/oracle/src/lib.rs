@@ -30,6 +30,7 @@ pub mod harness;
 pub mod invariants;
 pub mod mutators;
 pub mod oracles;
+pub mod rename_oracle;
 pub mod repro;
 pub mod shrink;
 
@@ -39,5 +40,9 @@ pub use harness::{run_check, CheckConfig, CheckReport, Violation};
 pub use invariants::check_measures;
 pub use mutators::{all_mutators, Invariant, Mutator};
 pub use oracles::{baseline, per_project_oracles, Oracle, OracleCtx};
+pub use rename_oracle::{
+    check_planted_renames, rename_sweep, RenameStats, PRECISION_FLOOR, RECALL_FLOOR,
+    RENAME_CHECKS,
+};
 pub use repro::Reproducer;
 pub use shrink::{apply_script, script_label, shrink, MutationStep};

@@ -1,0 +1,357 @@
+//! The rename oracle family: statistical validation of the scored column
+//! matcher on generator-planted rename ground truth.
+//!
+//! [`coevo_corpus::plant_rename_project`] evolves schema models one labeled
+//! operation per version — pure renames, rename + retype, rename +
+//! reposition, swapped pairs, same-type sibling decoys, and benign churn —
+//! so every step's true rename set is known *by construction* and the
+//! matcher under test never defines its own truth. Four checks run per
+//! planted project:
+//!
+//! - **rename-ground-truth** — per-step detected renames are tallied as
+//!   true/false positives and misses against the planted labels; the sweep
+//!   then asserts the statistical floors [`PRECISION_FLOOR`] and
+//!   [`RECALL_FLOOR`] over the whole planted population;
+//! - **rename-legacy-bound** — rename-aware Total Activity never exceeds
+//!   the paper's by-name accounting, on every step of every history;
+//! - **rename-flag-off** — under `MatchPolicy::ByName` the diff is
+//!   bit-identical to the legacy algorithm (struct *and* serialized JSON),
+//!   emits no `Renamed` change, and serializes no rename counter;
+//! - **rename-stability** — the matched-rename count is monotonically
+//!   non-increasing in the confidence threshold, and reversing the table
+//!   order of every DDL version changes no detected rename.
+
+use coevo_corpus::{plant_rename_project, PlantedRename, PlantedRenameProject};
+use coevo_ddl::print_schema;
+use coevo_diff::{
+    diff_schemas_legacy, diff_schemas_with, AttributeChange, MatchPolicy, SchemaDelta,
+};
+use std::collections::BTreeSet;
+
+/// The number of distinct checks this family contributes to the oracle
+/// count of a check report.
+pub const RENAME_CHECKS: usize = 4;
+
+/// Minimum precision the matcher must reach on the planted population.
+pub const PRECISION_FLOOR: f64 = 0.95;
+
+/// Minimum recall the matcher must reach on the planted population.
+pub const RECALL_FLOOR: f64 = 0.85;
+
+/// Aggregate detection counters of one rename sweep, for the report line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenameStats {
+    /// Evolution steps examined (births excluded).
+    pub steps: usize,
+    /// Renames planted by the generator.
+    pub planted: usize,
+    /// Planted renames the matcher found (true positives).
+    pub true_positives: usize,
+    /// Detections with no planted counterpart (false positives).
+    pub false_positives: usize,
+    /// Planted renames the matcher missed (false negatives).
+    pub false_negatives: usize,
+}
+
+impl RenameStats {
+    /// TP / (TP + FP); `1.0` when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        let detected = self.true_positives + self.false_positives;
+        if detected == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / detected as f64
+        }
+    }
+
+    /// TP / (TP + FN); `1.0` when nothing was planted.
+    pub fn recall(&self) -> f64 {
+        if self.planted == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.planted as f64
+        }
+    }
+
+    fn merge(&mut self, other: RenameStats) {
+        self.steps += other.steps;
+        self.planted += other.planted;
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Parse every DDL version of a planted project.
+fn schemas_of(p: &PlantedRenameProject) -> Result<Vec<coevo_ddl::Schema>, String> {
+    p.ddl_versions
+        .iter()
+        .map(|(_, sql)| {
+            coevo_ddl::parse_schema(sql, p.dialect)
+                .map_err(|e| format!("planted DDL failed to parse: {e}"))
+        })
+        .collect()
+}
+
+/// The detected rename triples of one delta, as an order-free set.
+fn detected_renames(delta: &SchemaDelta) -> BTreeSet<PlantedRename> {
+    let mut out = BTreeSet::new();
+    for td in &delta.tables {
+        for ch in &td.changes {
+            if let AttributeChange::Renamed { from, to, .. } = ch {
+                out.insert(PlantedRename {
+                    table: td.table.clone(),
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run the four rename checks on one planted project. Returns the
+/// violations found (check name, detail) and the detection counters —
+/// individual misses and false detections are *counted*, not failed; the
+/// sweep holds the population to the statistical floors.
+pub fn check_planted_renames(
+    p: &PlantedRenameProject,
+) -> (Vec<(&'static str, String)>, RenameStats) {
+    let mut violations: Vec<(&'static str, String)> = Vec::new();
+    let mut stats = RenameStats::default();
+    let schemas = match schemas_of(p) {
+        Ok(s) => s,
+        Err(e) => return (vec![("rename-ground-truth", e)], stats),
+    };
+
+    for step in &p.steps {
+        let (old, new) = (&schemas[step.index - 1], &schemas[step.index]);
+        let aware = diff_schemas_with(old, new, MatchPolicy::rename_detection());
+        let by_name = diff_schemas_with(old, new, MatchPolicy::ByName);
+
+        // Ground truth: tally detections against the planted labels.
+        stats.steps += 1;
+        stats.planted += step.renames.len();
+        let truth: BTreeSet<PlantedRename> = step.renames.iter().cloned().collect();
+        let detected = detected_renames(&aware);
+        stats.true_positives += detected.intersection(&truth).count();
+        stats.false_positives += detected.difference(&truth).count();
+        stats.false_negatives += truth.difference(&detected).count();
+
+        // Legacy bound: rename-aware activity never exceeds by-name.
+        let (aware_total, by_name_total) =
+            (aware.breakdown().total(), by_name.breakdown().total());
+        if aware_total > by_name_total {
+            violations.push((
+                "rename-legacy-bound",
+                format!(
+                    "step {}: rename-aware activity {aware_total} > by-name {by_name_total}",
+                    step.index
+                ),
+            ));
+        }
+
+        // Flag-off: ByName is the legacy algorithm bit-for-bit, with no
+        // trace of the rename category in struct or serialized form.
+        let legacy = diff_schemas_legacy(old, new, MatchPolicy::ByName);
+        if by_name != legacy {
+            violations.push((
+                "rename-flag-off",
+                format!("step {}: ByName diff diverges from the legacy algorithm", step.index),
+            ));
+        }
+        let by_name_json = serde_json::to_string(&by_name).expect("delta serializes");
+        let legacy_json = serde_json::to_string(&legacy).expect("delta serializes");
+        if by_name_json != legacy_json {
+            violations.push((
+                "rename-flag-off",
+                format!("step {}: ByName and legacy diffs serialize differently", step.index),
+            ));
+        }
+        if !detected_renames(&by_name).is_empty() {
+            violations.push((
+                "rename-flag-off",
+                format!("step {}: ByName diff emitted a Renamed change", step.index),
+            ));
+        }
+        let breakdown_json =
+            serde_json::to_string(&by_name.breakdown()).expect("breakdown serializes");
+        if breakdown_json.contains("attrs_renamed") {
+            violations.push((
+                "rename-flag-off",
+                format!("step {}: ByName breakdown serialized a rename counter", step.index),
+            ));
+        }
+
+        // Stability, part 1: threshold monotonicity on this step.
+        let mut last = u64::MAX;
+        for t in [0.0, 0.3, 0.6, 0.8, 1.0] {
+            let d = diff_schemas_with(old, new, MatchPolicy::rename_detection_with(t));
+            let n = d.breakdown().attrs_renamed;
+            if n > last {
+                violations.push((
+                    "rename-stability",
+                    format!(
+                        "step {}: raising the threshold to {t} grew matches {last} → {n}",
+                        step.index
+                    ),
+                ));
+            }
+            last = n;
+        }
+    }
+
+    // Stability, part 2: reversing the table order of every version must
+    // not change any detected rename.
+    match permuted_detections(p) {
+        Ok(permuted) => {
+            let original: Vec<BTreeSet<PlantedRename>> = p
+                .steps
+                .iter()
+                .map(|s| {
+                    detected_renames(&diff_schemas_with(
+                        &schemas[s.index - 1],
+                        &schemas[s.index],
+                        MatchPolicy::rename_detection(),
+                    ))
+                })
+                .collect();
+            if permuted != original {
+                violations.push((
+                    "rename-stability",
+                    "table-order permutation changed the detected renames".to_string(),
+                ));
+            }
+        }
+        Err(e) => violations.push(("rename-stability", e)),
+    }
+
+    (violations, stats)
+}
+
+/// Detected rename sets per step after reversing every version's tables.
+fn permuted_detections(
+    p: &PlantedRenameProject,
+) -> Result<Vec<BTreeSet<PlantedRename>>, String> {
+    let schemas: Vec<coevo_ddl::Schema> = p
+        .ddl_versions
+        .iter()
+        .map(|(_, sql)| {
+            let mut schema = coevo_ddl::parse_schema(sql, p.dialect)
+                .map_err(|e| format!("planted DDL failed to parse: {e}"))?;
+            schema.tables.reverse();
+            let reprinted = print_schema(&schema, p.dialect);
+            coevo_ddl::parse_schema(&reprinted, p.dialect)
+                .map_err(|e| format!("permuted DDL failed to parse: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(p.steps
+        .iter()
+        .map(|s| {
+            detected_renames(&diff_schemas_with(
+                &schemas[s.index - 1],
+                &schemas[s.index],
+                MatchPolicy::rename_detection(),
+            ))
+        })
+        .collect())
+}
+
+/// Run the whole family over `projects` planted projects derived from
+/// `seed`, each `steps_per_project` steps long, then hold the merged
+/// counters to the precision/recall floors. Deterministic in `seed`.
+pub fn rename_sweep(
+    seed: u64,
+    projects: usize,
+    steps_per_project: usize,
+) -> (Vec<(String, &'static str, String)>, RenameStats) {
+    let mut violations = Vec::new();
+    let mut stats = RenameStats::default();
+    for i in 0..projects {
+        let planted = plant_rename_project(seed.wrapping_add(i as u64), steps_per_project);
+        let (vs, s) = check_planted_renames(&planted);
+        stats.merge(s);
+        violations.extend(
+            vs.into_iter().map(|(check, detail)| (planted.name.clone(), check, detail)),
+        );
+    }
+    if stats.precision() < PRECISION_FLOOR {
+        violations.push((
+            "rename-sweep".to_string(),
+            "rename-ground-truth",
+            format!(
+                "precision {:.4} below the {PRECISION_FLOOR} floor ({} TP, {} FP over {} steps)",
+                stats.precision(),
+                stats.true_positives,
+                stats.false_positives,
+                stats.steps
+            ),
+        ));
+    }
+    if stats.recall() < RECALL_FLOOR {
+        violations.push((
+            "rename-sweep".to_string(),
+            "rename-ground-truth",
+            format!(
+                "recall {:.4} below the {RECALL_FLOOR} floor ({} TP of {} planted over {} steps)",
+                stats.recall(),
+                stats.true_positives,
+                stats.planted,
+                stats.steps
+            ),
+        ));
+    }
+    (violations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_projects_pass_the_family() {
+        let (violations, stats) = rename_sweep(42, 6, 12);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(stats.steps, 72);
+        assert!(stats.planted > 0, "plants must include true renames");
+        assert!(stats.precision() >= PRECISION_FLOOR, "{stats:?}");
+        assert!(stats.recall() >= RECALL_FLOOR, "{stats:?}");
+    }
+
+    #[test]
+    fn a_fabricated_rename_is_a_miss() {
+        // Sabotage ground truth: claim a rename the generator never planted;
+        // the sweep-level recall accounting must register the miss.
+        let mut p = plant_rename_project(7, 10);
+        p.steps[0].renames.push(PlantedRename {
+            table: "orders".into(),
+            from: "row_key".into(),
+            to: "never_renamed".into(),
+        });
+        let (_, stats) = check_planted_renames(&p);
+        assert!(stats.false_negatives > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = rename_sweep(123, 3, 8);
+        let b = rename_sweep(123, 3, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_ratios_are_sane() {
+        let s = RenameStats::default();
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = RenameStats {
+            steps: 10,
+            planted: 10,
+            true_positives: 9,
+            false_positives: 1,
+            false_negatives: 1,
+        };
+        assert!((s.precision() - 0.9).abs() < 1e-12);
+        assert!((s.recall() - 0.9).abs() < 1e-12);
+    }
+}

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod linechart;
 pub mod markdown;
 pub mod profile;
+pub mod rename;
 pub mod scatter;
 pub mod summary;
 pub mod table;

@@ -27,9 +27,9 @@ fn coevo_check_quick_is_clean_through_the_cli() {
 /// The harness must meet the coverage floors the oracle promises: ≥ 8
 /// mutators, ≥ 5 per-project differential oracles plus the three
 /// corpus-level differentials (1-vs-N workers, batch-vs-incremental study,
-/// eager-vs-streamed engine) and the compat check family over planted
-/// histories, and layer-3 invariant sweeps over every measured project —
-/// under an arbitrary seed, not just the CI one.
+/// eager-vs-streamed engine), the compat and rename check families over
+/// planted histories, and layer-3 invariant sweeps over every measured
+/// project — under an arbitrary seed, not just the CI one.
 #[test]
 fn run_check_covers_the_promised_floors() {
     assert!(all_mutators().len() >= 8);
@@ -39,11 +39,22 @@ fn run_check_covers_the_promised_floors() {
     assert!(report.ok(), "violations on a clean build: {:#?}", report.violations);
     assert_eq!(report.projects, 12);
     assert_eq!(report.mutators, all_mutators().len());
-    assert_eq!(report.oracles, per_project_oracles().len() + 3 + coevo_oracle::COMPAT_CHECKS);
+    assert_eq!(
+        report.oracles,
+        per_project_oracles().len()
+            + 3
+            + coevo_oracle::COMPAT_CHECKS
+            + coevo_oracle::RENAME_CHECKS
+    );
     // The compat sweep classifies planted histories with breaking steps.
     assert!(report.compat.steps > 0);
     assert!(report.compat.breaking_steps > 0);
     assert!(report.compat.false_alarm_rate() <= 1.0);
+    // The rename sweep validates the scored matcher on planted ground truth.
+    assert!(report.rename.steps > 0);
+    assert!(report.rename.planted > 0);
+    assert!(report.rename.precision() >= coevo_oracle::PRECISION_FLOOR);
+    assert!(report.rename.recall() >= coevo_oracle::RECALL_FLOOR);
     assert!(
         report.mutation_runs >= report.projects * 8,
         "expected ≥ 8 applied mutations per project, got {} over {} projects",
